@@ -1,0 +1,394 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4). Each benchmark runs the corresponding experiment
+// and reports the paper's metric (average %SA — sequential accesses
+// relative to a full scan — or satisfaction percentages) via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// evaluation section end to end. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+var (
+	qualityOnce sync.Once
+	qualityEnv  *experiments.Env
+
+	scaleOnce sync.Once
+	scaleEnv  *experiments.Env
+)
+
+func quality(b *testing.B) *experiments.Env {
+	b.Helper()
+	qualityOnce.Do(func() {
+		env, err := experiments.NewEnv(experiments.QualityConfig(), 1)
+		if err != nil {
+			b.Fatalf("quality env: %v", err)
+		}
+		qualityEnv = env
+	})
+	if qualityEnv == nil {
+		b.Skip("quality env failed earlier")
+	}
+	return qualityEnv
+}
+
+func scale(b *testing.B) *experiments.Env {
+	b.Helper()
+	scaleOnce.Do(func() {
+		env, err := experiments.NewEnv(experiments.ScalabilityConfig(), 1)
+		if err != nil {
+			b.Fatalf("scalability env: %v", err)
+		}
+		scaleEnv = env
+	})
+	if scaleEnv == nil {
+		b.Skip("scalability env failed earlier")
+	}
+	return scaleEnv
+}
+
+// meanSA averages the %SA over the points of a sweep.
+func meanSA(pts []experiments.SweepPoint) float64 {
+	xs := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.AvgPctSA
+	}
+	return stats.Mean(xs)
+}
+
+// BenchmarkRunningExample reproduces the paper's §3.1 worked example
+// (Tables 1-4): three users, three items, two periods, top-1 = i1.
+func BenchmarkRunningExample(b *testing.B) {
+	in := core.Input{
+		Apref: [][]float64{
+			{1.0, 0.2, 0.2},
+			{1.0, 0.2, 0.1},
+			{0.4, 0.2, 0.4},
+		},
+		Static: []float64{1.0, 0.2, 0.3},
+		Drift: [][]float64{
+			{0.8, 0.1, 0.2},
+			{0.7, 0.1, 0.1},
+		},
+		Spec:              consensus.AP(),
+		Agg:               core.DiscreteAggregator{Periods: 2},
+		K:                 1,
+		PartitionAffinity: true,
+	}
+	prob, err := core.NewProblem(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prob.Run(core.ModeGRECA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TopK[0].Key != 0 {
+			b.Fatalf("running example answer changed: %v", res.TopK)
+		}
+	}
+}
+
+// BenchmarkTable5Dataset generates the laptop-scale MovieLens-shaped
+// dataset whose statistics Table 5 summarizes. (Use -fullscale in
+// cmd/greca-experiments for the exact 1M marginals.)
+func BenchmarkTable5Dataset(b *testing.B) {
+	cfg := dataset.DefaultSynthConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sy, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := sy.Store.Stats()
+		b.ReportMetric(float64(st.Ratings), "ratings")
+	}
+}
+
+// BenchmarkFigure1Independent runs the six-variant independent
+// evaluation and reports the default variant's mean satisfaction.
+func BenchmarkFigure1Independent(b *testing.B) {
+	env := quality(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFigure1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, pct := range r.Charts[0] {
+			sum += pct
+			n++
+		}
+		b.ReportMetric(sum/float64(n), "default-sat-%")
+	}
+}
+
+// BenchmarkFigure2Consensus runs the AP/MO/PD three-way vote.
+func BenchmarkFigure2Consensus(b *testing.B) {
+	env := quality(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExperimentFigure2(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Comparative runs the three pairwise list choices.
+func BenchmarkFigure3Comparative(b *testing.B) {
+	env := quality(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExperimentFigure3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Periods measures period-granularity non-emptiness.
+func BenchmarkFigure4Periods(b *testing.B) {
+	env := quality(b)
+	nw := env.World.Network().Network
+	tl := env.World.Timeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExperimentFigure4(nw, tl.Start, tl.End)
+		b.ReportMetric(rows[2].NonEmptyPct, "two-month-nonempty-%")
+	}
+}
+
+// BenchmarkFigure5VaryK sweeps k from 5 to 30 (Figure 5A).
+func BenchmarkFigure5VaryK(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure5A(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSA(pts), "avg-SA-%")
+	}
+}
+
+// BenchmarkFigure5VaryGroupSize sweeps group size (Figure 5B).
+func BenchmarkFigure5VaryGroupSize(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure5B(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSA(pts), "avg-SA-%")
+	}
+}
+
+// BenchmarkFigure5VaryItems sweeps the candidate count (Figure 5C).
+func BenchmarkFigure5VaryItems(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure5C(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSA(pts), "avg-SA-%")
+	}
+}
+
+// BenchmarkFigure6Periods sweeps the "now" period (Figure 6).
+func BenchmarkFigure6Periods(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSA(pts), "avg-SA-%")
+	}
+}
+
+// BenchmarkFigure7GroupTypes compares group types (Figure 7).
+func BenchmarkFigure7GroupTypes(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].AvgPctSA, "sim-SA-%")
+		b.ReportMetric(pts[1].AvgPctSA, "diss-SA-%")
+	}
+}
+
+// BenchmarkFigure8Consensus compares consensus functions (Figure 8).
+func BenchmarkFigure8Consensus(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExperimentFigure8(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].AvgPctSA, "AR-SA-%")
+		b.ReportMetric(pts[3].AvgPctSA, "PDV2-SA-%")
+	}
+}
+
+// BenchmarkTimeModels compares discrete vs continuous (§4.2.4).
+func BenchmarkTimeModels(b *testing.B) {
+	env := scale(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentTimeModels(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.DiscretePctSA, "discrete-SA-%")
+		b.ReportMetric(r.ContinuousPctSA, "continuous-SA-%")
+	}
+}
+
+// scaleProblem builds one §4.2-default instance for the ablation and
+// micro benchmarks.
+func scaleProblem(b *testing.B, opt repro.Options) *core.Problem {
+	b.Helper()
+	env := scale(b)
+	group := env.RandomGroups(1, 6)[0]
+	prob, _, err := env.World.BuildProblem(group.Members, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkGRECADefault is the headline single-query benchmark: group
+// size 6, k=10, 3,900 items, AP, discrete model.
+func BenchmarkGRECADefault(b *testing.B) {
+	prob := scaleProblem(b, repro.Options{K: 10, NumItems: 3900, CheckInterval: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prob.Run(core.ModeGRECA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+	}
+}
+
+// BenchmarkAblationBufferVsThreshold contrasts GRECA's buffer
+// termination with the conservative TA-style exact-score stopping
+// (DESIGN.md §5).
+func BenchmarkAblationBufferVsThreshold(b *testing.B) {
+	prob := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2})
+	b.Run("buffer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := prob.Run(core.ModeGRECA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+		}
+	})
+	b.Run("threshold-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := prob.Run(core.ModeThresholdExact)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+		}
+	})
+}
+
+// BenchmarkAblationBounds contrasts cursor-tightened bounds against
+// static whole-list bounds.
+func BenchmarkAblationBounds(b *testing.B) {
+	tight := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2})
+	loose := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2, LooseBounds: true})
+	b.Run("tight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := tight.Run(core.ModeGRECA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+		}
+	})
+	b.Run("loose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := loose.Run(core.ModeGRECA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+		}
+	})
+}
+
+// BenchmarkAblationListLayout contrasts the paper's per-user affinity
+// list partitioning against one monolithic list per component.
+func BenchmarkAblationListLayout(b *testing.B) {
+	part := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2})
+	mono := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2, MonolithicAffinityLists: true})
+	b.Run("partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := part.Run(core.ModeGRECA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mono.Run(core.ModeGRECA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCheckInterval measures the stopping-check cadence
+// trade-off: fewer checks cost a few extra accesses but less bound
+// recomputation.
+func BenchmarkAblationCheckInterval(b *testing.B) {
+	for _, ci := range []int{1, 2, 8} {
+		prob := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: ci})
+		b.Run(map[int]string{1: "every-round", 2: "every-2", 8: "every-8"}[ci], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := prob.Run(core.ModeGRECA)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.PercentSA(), "SA-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFullScanBaseline is the naive algorithm defining 100%
+// accesses.
+func BenchmarkFullScanBaseline(b *testing.B) {
+	prob := scaleProblem(b, repro.Options{K: 10, NumItems: 900, CheckInterval: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Run(core.ModeFullScan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

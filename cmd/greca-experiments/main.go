@@ -1,0 +1,198 @@
+// Command greca-experiments regenerates every table and figure of the
+// paper's evaluation section and writes them as markdown. With no
+// flags it runs everything against deterministic synthetic worlds;
+// individual experiments can be selected with -only.
+//
+// Usage:
+//
+//	greca-experiments [-only table5,fig1,...] [-out report.md] [-seed N] [-fullscale]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("greca-experiments: ")
+
+	var (
+		only      = flag.String("only", "", "comma-separated subset: example,table5,fig1,fig2,fig3,fig4,fig5a,fig5b,fig5c,fig6,fig7,fig8,timemodels,ablations,clusteredindex,largegroups,sensitivity")
+		out       = flag.String("out", "", "write the markdown report to this file (default stdout)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		fullscale = flag.Bool("fullscale", false, "use the full MovieLens-1M-sized dataset for Table 5 (slower)")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(s))] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Fprintf(w, "# GRECA Experiment Report\n\nseed=%d, generated %s\n",
+		*seed, time.Now().Format(time.RFC3339))
+
+	// Quality experiments share one environment; scalability another.
+	var qEnv, sEnv *experiments.Env
+	quality := func() *experiments.Env {
+		if qEnv == nil {
+			log.Printf("building quality environment...")
+			env, err := experiments.NewEnv(experiments.QualityConfig(), *seed)
+			check(err)
+			qEnv = env
+		}
+		return qEnv
+	}
+	scalability := func() *experiments.Env {
+		if sEnv == nil {
+			log.Printf("building scalability environment...")
+			env, err := experiments.NewEnv(experiments.ScalabilityConfig(), *seed)
+			check(err)
+			sEnv = env
+		}
+		return sEnv
+	}
+
+	if want("example") {
+		log.Printf("running example (tables 1-4)...")
+		r, err := experiments.ExperimentRunningExample()
+		check(err)
+		check(experiments.WriteRunningExample(w, r))
+	}
+	if want("table5") {
+		log.Printf("table 5...")
+		var store *dataset.Store
+		if *fullscale {
+			sy, err := dataset.Generate(dataset.MovieLens1MConfig())
+			check(err)
+			store = sy.Store
+		} else {
+			store = scalability().World.Ratings()
+		}
+		check(experiments.WriteTable5(w, experiments.ExperimentTable5(store)))
+	}
+	if want("fig1") {
+		log.Printf("figure 1...")
+		r, err := experiments.ExperimentFigure1(quality())
+		check(err)
+		check(experiments.WriteFigure1(w, r))
+	}
+	if want("fig2") {
+		log.Printf("figure 2...")
+		r, err := experiments.ExperimentFigure2(quality())
+		check(err)
+		check(experiments.WriteFigure2(w, r))
+	}
+	if want("fig3") {
+		log.Printf("figure 3...")
+		r, err := experiments.ExperimentFigure3(quality())
+		check(err)
+		check(experiments.WriteFigure3(w, r))
+	}
+	if want("fig4") {
+		log.Printf("figure 4...")
+		env := quality()
+		rows := experiments.ExperimentFigure4(env.World.SocialNetwork(),
+			env.World.Timeline().Start, env.World.Timeline().End)
+		check(experiments.WriteFigure4(w, rows))
+	}
+	if want("fig5a") {
+		log.Printf("figure 5A...")
+		pts, err := experiments.ExperimentFigure5A(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 5A — Varying k", "k", pts))
+	}
+	if want("fig5b") {
+		log.Printf("figure 5B...")
+		pts, err := experiments.ExperimentFigure5B(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 5B — Varying Group Size", "size", pts))
+	}
+	if want("fig5c") {
+		log.Printf("figure 5C...")
+		pts, err := experiments.ExperimentFigure5C(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 5C — Varying Number of Items", "items", pts))
+	}
+	if want("fig6") {
+		log.Printf("figure 6...")
+		pts, err := experiments.ExperimentFigure6(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 6 — Per-Period Accesses (discrete model)", "period", pts))
+	}
+	if want("fig7") {
+		log.Printf("figure 7...")
+		pts, err := experiments.ExperimentFigure7(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 7 — Group Types", "type", pts))
+	}
+	if want("fig8") {
+		log.Printf("figure 8...")
+		pts, err := experiments.ExperimentFigure8(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Figure 8 — Consensus Functions", "function", pts))
+	}
+	if want("timemodels") {
+		log.Printf("time models...")
+		r, err := experiments.ExperimentTimeModels(scalability())
+		check(err)
+		check(experiments.WriteTimeModels(w, r))
+	}
+	if want("ablations") {
+		log.Printf("ablations...")
+		r, err := experiments.ExperimentAblations(scalability())
+		check(err)
+		check(experiments.WriteAblations(w, r))
+	}
+	if want("clusteredindex") {
+		log.Printf("clustered index extension...")
+		rows, err := experiments.ExperimentClusteredIndex(quality())
+		check(err)
+		check(experiments.WriteClusteredIndex(w, rows))
+	}
+	if want("sensitivity") {
+		log.Printf("seed sensitivity...")
+		rows, err := experiments.ExperimentSeedSensitivity([]int64{*seed, *seed + 1, *seed + 2})
+		check(err)
+		check(experiments.WriteSensitivity(w, rows))
+	}
+	if want("largegroups") {
+		log.Printf("large groups extension...")
+		pts, err := experiments.ExperimentLargeGroups(scalability())
+		check(err)
+		check(experiments.WriteSweep(w, "Extension (§6) — Larger Groups", "size", pts))
+	}
+	log.Printf("done")
+}

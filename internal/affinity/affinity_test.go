@@ -1,0 +1,300 @@
+package affinity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/social"
+)
+
+func TestSegmentGranularities(t *testing.T) {
+	// One 365-day year must yield the paper's Figure 4 period counts.
+	start := social.StudyStart
+	end := start + 365*24*3600
+	want := map[Granularity]int{
+		Week:     53,
+		Month:    12,
+		TwoMonth: 6,
+		Season:   4,
+		HalfYear: 2,
+	}
+	for g, n := range want {
+		tl := Segment(start, end, g)
+		if tl.NumPeriods() != n {
+			t.Errorf("%v: %d periods, want %d", g, tl.NumPeriods(), n)
+		}
+		// Periods must tile [start, end) without gaps.
+		cur := start
+		for _, p := range tl.Periods {
+			if p.Start != cur {
+				t.Fatalf("%v: gap at %d", g, cur)
+			}
+			if p.End <= p.Start {
+				t.Fatalf("%v: empty period %+v", g, p)
+			}
+			cur = p.End
+		}
+		if cur != end {
+			t.Errorf("%v: timeline ends at %d, want %d", g, cur, end)
+		}
+	}
+}
+
+func TestSegmentUniform(t *testing.T) {
+	tl := SegmentUniform(0, 100, 7)
+	if tl.NumPeriods() != 7 {
+		t.Fatalf("periods = %d", tl.NumPeriods())
+	}
+	cur := int64(0)
+	for _, p := range tl.Periods {
+		if p.Start != cur {
+			t.Fatalf("gap at %d", cur)
+		}
+		cur = p.End
+	}
+	if cur != 100 {
+		t.Errorf("end = %d", cur)
+	}
+}
+
+func TestPeriodPredicates(t *testing.T) {
+	p := Period{10, 20}
+	if p.Length() != 10 || !p.Contains(10) || p.Contains(20) || p.Contains(9) {
+		t.Errorf("Period predicates wrong")
+	}
+	q := Period{15, 25}
+	if !p.Precedes(q) || q.Precedes(p) {
+		t.Errorf("Precedes wrong")
+	}
+	if !p.Precedes(p) {
+		t.Errorf("Precedes should be reflexive (paper's ≤)")
+	}
+	if tl := SegmentUniform(0, 100, 4); tl.PeriodAt(26) != 1 || tl.PeriodAt(-5) != -1 {
+		t.Errorf("PeriodAt wrong")
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if p := MakePair(5, 2); p.U != 2 || p.V != 5 {
+		t.Errorf("MakePair not canonical: %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MakePair(3,3) did not panic")
+		}
+	}()
+	MakePair(3, 3)
+}
+
+// stubSource provides deterministic affinities for model tests.
+type stubSource struct {
+	static   func(u, v dataset.UserID) float64
+	periodic func(u, v dataset.UserID, p Period) float64
+}
+
+func (s stubSource) StaticAffinity(u, v dataset.UserID) float64 { return s.static(u, v) }
+func (s stubSource) PeriodicAffinity(u, v dataset.UserID, p Period) float64 {
+	return s.periodic(u, v, p)
+}
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	users := []dataset.UserID{0, 1, 2}
+	tl := SegmentUniform(0, 300, 3)
+	src := stubSource{
+		static: func(u, v dataset.UserID) float64 { return float64(u + v) },
+		periodic: func(u, v dataset.UserID, p Period) float64 {
+			// Pair (0,1) gains affinity over time, (1,2) loses it.
+			base := float64(u+v) / 3
+			frac := float64(p.Start) / 300
+			switch {
+			case u == 0 && v == 1:
+				return base + 3*frac
+			case u == 1 && v == 2:
+				return base + 3*(1-frac)
+			default:
+				return base
+			}
+		},
+	}
+	m, err := BuildModel(users, tl, src, src)
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	return m
+}
+
+func TestBuildModelStaticNormalization(t *testing.T) {
+	m := testModel(t)
+	// Raw statics: (0,1)=1, (0,2)=2, (1,2)=3 → normalized by 3.
+	if got := m.StaticOf(0, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("static(0,1) = %v, want 1/3", got)
+	}
+	if got := m.StaticOf(1, 2); got != 1 {
+		t.Errorf("static(1,2) = %v, want 1", got)
+	}
+	if m.StaticOf(0, 2) != m.StaticOf(2, 0) {
+		t.Errorf("static not symmetric")
+	}
+}
+
+func TestDriftSignsTrackEvolution(t *testing.T) {
+	m := testModel(t)
+	// Pair (0,1) grows: late drift must exceed early drift.
+	if !(m.DriftOf(0, 1, 2) > m.DriftOf(0, 1, 0)) {
+		t.Errorf("growing pair's drift not increasing: %v vs %v", m.DriftOf(0, 1, 2), m.DriftOf(0, 1, 0))
+	}
+	// Pair (1,2) decays.
+	if !(m.DriftOf(1, 2, 2) < m.DriftOf(1, 2, 0)) {
+		t.Errorf("decaying pair's drift not decreasing")
+	}
+	// Per-period normalization keeps drifts within [-1, 1].
+	for k := 0; k < 3; k++ {
+		for _, pr := range []Pair{MakePair(0, 1), MakePair(0, 2), MakePair(1, 2)} {
+			if d := m.Drift[k][pr]; d < -1 || d > 1 {
+				t.Errorf("drift %v out of range at period %d", d, k)
+			}
+		}
+	}
+}
+
+func TestAffVIsMeanOfDrifts(t *testing.T) {
+	m := testModel(t)
+	want := (m.DriftOf(0, 1, 0) + m.DriftOf(0, 1, 1)) / 2
+	if got := m.AffV(0, 1, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AffV = %v, want %v", got, want)
+	}
+}
+
+func TestDiscreteContinuousBounds(t *testing.T) {
+	m := testModel(t)
+	f := func(a, b, k uint8) bool {
+		u := dataset.UserID(a % 3)
+		v := dataset.UserID(b % 3)
+		if u == v {
+			return true
+		}
+		upTo := int(k) % 3
+		d := m.Discrete(u, v, upTo)
+		c := m.Continuous(u, v, upTo)
+		return d >= 0 && d <= 1 && c >= 0 && c <= 1 &&
+			d == m.Discrete(v, u, upTo) && c == m.Continuous(v, u, upTo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContinuousGrowthAndDecay(t *testing.T) {
+	m := testModel(t)
+	// For a growing pair with positive cumulative drift, continuous
+	// affinity exceeds static alone; for a decaying pair with negative
+	// cumulative drift it falls below.
+	growSum := m.DriftOf(0, 1, 0) + m.DriftOf(0, 1, 1) + m.DriftOf(0, 1, 2)
+	if growSum > 0 {
+		if !(m.Continuous(0, 1, 2) >= m.TimeAgnostic(0, 1)) {
+			t.Errorf("positive drift should not shrink continuous affinity")
+		}
+	}
+	decaySum := m.DriftOf(1, 2, 0) + m.DriftOf(1, 2, 1) + m.DriftOf(1, 2, 2)
+	if decaySum < 0 {
+		if !(m.Continuous(1, 2, 2) <= m.TimeAgnostic(1, 2)) {
+			t.Errorf("negative drift should not grow continuous affinity")
+		}
+	}
+}
+
+func TestAppendPeriodIncremental(t *testing.T) {
+	m := testModel(t)
+	before := m.Timeline.NumPeriods()
+	beforeDrift0 := m.DriftOf(0, 1, 0)
+	if err := m.AppendPeriod(Period{300, 400}); err != nil {
+		t.Fatalf("AppendPeriod: %v", err)
+	}
+	if m.Timeline.NumPeriods() != before+1 {
+		t.Errorf("period not appended")
+	}
+	// Previously computed drifts must be untouched (the paper's
+	// incremental maintenance property).
+	if m.DriftOf(0, 1, 0) != beforeDrift0 {
+		t.Errorf("existing drift recomputed")
+	}
+	// Overlapping append must fail.
+	if err := m.AppendPeriod(Period{350, 450}); err == nil {
+		t.Errorf("overlapping AppendPeriod accepted")
+	}
+}
+
+func TestBuildModelValidation(t *testing.T) {
+	src := stubSource{
+		static:   func(u, v dataset.UserID) float64 { return 1 },
+		periodic: func(u, v dataset.UserID, p Period) float64 { return 1 },
+	}
+	tl := SegmentUniform(0, 100, 2)
+	if _, err := BuildModel([]dataset.UserID{0}, tl, src, src); err == nil {
+		t.Errorf("single-user model accepted")
+	}
+	if _, err := BuildModel([]dataset.UserID{0, 1}, Timeline{}, src, src); err == nil {
+		t.Errorf("empty timeline accepted")
+	}
+	neg := stubSource{
+		static:   func(u, v dataset.UserID) float64 { return -1 },
+		periodic: func(u, v dataset.UserID, p Period) float64 { return 1 },
+	}
+	if _, err := BuildModel([]dataset.UserID{0, 1}, tl, neg, neg); err == nil {
+		t.Errorf("negative static affinity accepted")
+	}
+}
+
+func TestNetworkSourceMatchesPaperFormulas(t *testing.T) {
+	nw := social.NewNetwork(4)
+	nw.AddFriendship(0, 2)
+	nw.AddFriendship(1, 2)
+	nw.AddFriendship(0, 3)
+	nw.AddFriendship(1, 3)
+	nw.AddLike(social.PageLike{User: 0, Category: 1, Time: 10})
+	nw.AddLike(social.PageLike{User: 0, Category: 2, Time: 20})
+	nw.AddLike(social.PageLike{User: 1, Category: 2, Time: 15})
+	nw.AddLike(social.PageLike{User: 1, Category: 3, Time: 95})
+	nw.Freeze()
+	src := NetworkSource{Network: nw}
+	// affS(0,1) = |friends ∩| = |{2,3}| = 2.
+	if got := src.StaticAffinity(0, 1); got != 2 {
+		t.Errorf("static = %v, want 2", got)
+	}
+	// affP over [0,50): common categories of {1,2} and {2} = 1.
+	if got := src.PeriodicAffinity(0, 1, Period{0, 50}); got != 1 {
+		t.Errorf("periodic[0,50) = %v, want 1", got)
+	}
+	// affP over [50,100): {} vs {3} = 0.
+	if got := src.PeriodicAffinity(0, 1, Period{50, 100}); got != 0 {
+		t.Errorf("periodic[50,100) = %v, want 0", got)
+	}
+}
+
+func TestNonEmptyFractionMonotoneInGranularity(t *testing.T) {
+	sn, err := social.GenerateNetwork(social.DefaultSynthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sn.Config
+	var prev float64 = -1
+	for _, g := range []Granularity{Week, Month, TwoMonth, Season, HalfYear} {
+		frac, n := NonEmptyFraction(sn.Network, cfg.Start, cfg.End, g)
+		if frac < prev {
+			t.Errorf("%v: non-empty fraction %.3f decreased from %.3f", g, frac, prev)
+		}
+		if n != Segment(cfg.Start, cfg.End, g).NumPeriods() {
+			t.Errorf("%v: period count mismatch", g)
+		}
+		prev = frac
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Week.String() != "Week" || HalfYear.String() != "Half-Year" {
+		t.Errorf("granularity labels wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package affinity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/social"
+)
+
+func networkModel(t *testing.T) *Model {
+	t.Helper()
+	sn, err := social.GenerateNetwork(social.DefaultSynthConfig())
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	users := make([]dataset.UserID, sn.Config.Users)
+	for i := range users {
+		users[i] = dataset.UserID(i)
+	}
+	tl := Segment(sn.Config.Start, sn.Config.End, TwoMonth)
+	src := NetworkSource{Network: sn.Network}
+	m, err := BuildModel(users, tl, src, src)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return m
+}
+
+func TestClusteredIndexResidualBound(t *testing.T) {
+	m := networkModel(t)
+	ci, err := BuildClusteredIndex(m, 8)
+	if err != nil {
+		t.Fatalf("BuildClusteredIndex: %v", err)
+	}
+	// The construction-time Eps must actually bound every residual.
+	for i, u := range m.Users {
+		for _, v := range m.Users[i+1:] {
+			if d := math.Abs(m.StaticOf(u, v) - ci.ApproxStatic(u, v)); d > ci.Eps+1e-12 {
+				t.Fatalf("static residual %.4f exceeds Eps %.4f for (%d,%d)", d, ci.Eps, u, v)
+			}
+			for k := 0; k < m.Timeline.NumPeriods(); k++ {
+				if d := math.Abs(m.DriftOf(u, v, k) - ci.ApproxDrift(u, v, k)); d > ci.Eps+1e-12 {
+					t.Fatalf("drift residual %.4f exceeds Eps %.4f", d, ci.Eps)
+				}
+			}
+		}
+	}
+}
+
+func TestClusteredIndexCompression(t *testing.T) {
+	m := networkModel(t)
+	ci, err := BuildClusteredIndex(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := ci.CompressionRatio(); ratio >= 0.2 {
+		t.Errorf("8 clusters over 72 users should compress well below 20%%, got %.1f%%", 100*ratio)
+	}
+	if ci.StoredEntries() >= ci.ExactEntries() {
+		t.Errorf("compressed index larger than exact")
+	}
+}
+
+func TestClusteredIndexMoreClustersMoreAccuracy(t *testing.T) {
+	m := networkModel(t)
+	prevErr := math.Inf(1)
+	for _, k := range []int{2, 8, 36} {
+		ci, err := BuildClusteredIndex(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := ci.MeanAbsError()
+		if e > prevErr+0.02 {
+			t.Errorf("k=%d mean error %.4f worse than smaller k's %.4f", k, e, prevErr)
+		}
+		prevErr = e
+	}
+	// Degenerate full clustering: one user per cluster → exact.
+	full, err := BuildClusteredIndex(m, len(m.Users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := full.MeanAbsError(); e > 1e-9 {
+		t.Errorf("per-user clustering should be exact, error %.6f", e)
+	}
+}
+
+func TestClusteredIndexValidation(t *testing.T) {
+	m := networkModel(t)
+	if _, err := BuildClusteredIndex(m, 0); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := BuildClusteredIndex(m, len(m.Users)+1); err == nil {
+		t.Errorf("k>n accepted")
+	}
+}
+
+func TestClusterPairIndexDense(t *testing.T) {
+	k := 5
+	seen := map[int]bool{}
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			idx := clusterPairIndex(k, a, b)
+			if idx < 0 || idx >= numClusterPairs(k) {
+				t.Fatalf("index %d out of range for (%d,%d)", idx, a, b)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate index %d for (%d,%d)", idx, a, b)
+			}
+			seen[idx] = true
+			if idx != clusterPairIndex(k, b, a) {
+				t.Fatalf("index not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+	if len(seen) != numClusterPairs(k) {
+		t.Errorf("indices not dense: %d of %d", len(seen), numClusterPairs(k))
+	}
+}

@@ -1,0 +1,240 @@
+// Package cf implements the user-based collaborative filtering
+// predictor the paper uses as its absolute-preference source (§4):
+// user similarity is the cosine of the two users' rating vectors and
+// the predicted rating of u for i is the similarity-weighted average
+// of the ratings of u's nearest neighbors who rated i.
+package cf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// DefaultNeighbors is the neighborhood size used when none is given.
+const DefaultNeighbors = 50
+
+// Neighbor pairs a user with its cosine similarity to the query user.
+type Neighbor struct {
+	User dataset.UserID
+	Sim  float64
+}
+
+// Predictor computes user-user similarities and k-NN rating
+// predictions over a frozen dataset.Store. Neighborhoods are computed
+// lazily per user and cached; the cache is safe for concurrent use.
+type Predictor struct {
+	store   *dataset.Store
+	k       int
+	measure Similarity
+
+	mu        sync.Mutex
+	neighbors map[dataset.UserID][]Neighbor
+	norms     map[dataset.UserID]float64
+	// globalMean is the dataset mean rating, the last-resort fallback
+	// prediction when an item has no neighbor coverage.
+	globalMean float64
+	// itemMean caches per-item mean ratings for the first fallback.
+	itemMean map[dataset.ItemID]float64
+}
+
+// NewPredictor builds a predictor over store with neighborhoods of
+// size kNeighbors (DefaultNeighbors if <= 0) using cosine similarity —
+// the paper's §4 configuration. The store must be frozen.
+func NewPredictor(store *dataset.Store, kNeighbors int) (*Predictor, error) {
+	return NewPredictorSim(store, kNeighbors, CosineSim)
+}
+
+// NewPredictorSim builds a predictor with an explicit similarity
+// measure for the neighborhood selection.
+func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (*Predictor, error) {
+	if store == nil || !store.Frozen() {
+		return nil, fmt.Errorf("cf: NewPredictor requires a frozen store")
+	}
+	if kNeighbors <= 0 {
+		kNeighbors = DefaultNeighbors
+	}
+	p := &Predictor{
+		store:     store,
+		k:         kNeighbors,
+		measure:   measure,
+		neighbors: make(map[dataset.UserID][]Neighbor),
+		norms:     make(map[dataset.UserID]float64),
+		itemMean:  make(map[dataset.ItemID]float64),
+	}
+	var sum float64
+	n := 0
+	for _, it := range store.Items() {
+		rs := store.ByItem(it)
+		var s float64
+		for _, r := range rs {
+			s += r.Value
+		}
+		if len(rs) > 0 {
+			p.itemMean[it] = s / float64(len(rs))
+		}
+		sum += s
+		n += len(rs)
+	}
+	if n > 0 {
+		p.globalMean = sum / float64(n)
+	} else {
+		p.globalMean = 3 // middle of the 1..5 scale
+	}
+	return p, nil
+}
+
+// Cosine returns the cosine similarity of the rating vectors of u and
+// v: Σ r_u(i)·r_v(i) over common items, divided by the L2 norms of the
+// full vectors (the paper's vec(u) formulation).
+func (p *Predictor) Cosine(u, v dataset.UserID) float64 {
+	if u == v {
+		return 1
+	}
+	dot := p.dot(u, v)
+	if dot == 0 {
+		return 0
+	}
+	nu, nv := p.norm(u), p.norm(v)
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	return dot / (nu * nv)
+}
+
+// dot merges the two item-sorted rating slices.
+func (p *Predictor) dot(u, v dataset.UserID) float64 {
+	ru, rv := p.store.ByUser(u), p.store.ByUser(v)
+	var dot float64
+	i, j := 0, 0
+	for i < len(ru) && j < len(rv) {
+		switch {
+		case ru[i].Item < rv[j].Item:
+			i++
+		case ru[i].Item > rv[j].Item:
+			j++
+		default:
+			dot += ru[i].Value * rv[j].Value
+			i++
+			j++
+		}
+	}
+	return dot
+}
+
+func (p *Predictor) norm(u dataset.UserID) float64 {
+	p.mu.Lock()
+	n, ok := p.norms[u]
+	p.mu.Unlock()
+	if ok {
+		return n
+	}
+	var ss float64
+	for _, r := range p.store.ByUser(u) {
+		ss += r.Value * r.Value
+	}
+	n = math.Sqrt(ss)
+	p.mu.Lock()
+	p.norms[u] = n
+	p.mu.Unlock()
+	return n
+}
+
+// Neighbors returns u's k most cosine-similar users (excluding u and
+// zero-similarity users), sorted by descending similarity. The result
+// is cached; callers must not modify it.
+func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
+	p.mu.Lock()
+	if ns, ok := p.neighbors[u]; ok {
+		p.mu.Unlock()
+		return ns
+	}
+	p.mu.Unlock()
+
+	all := make([]Neighbor, 0, 64)
+	for _, v := range p.store.Users() {
+		if v == u {
+			continue
+		}
+		if s := p.Sim(p.measure, u, v); s > 0 {
+			all = append(all, Neighbor{User: v, Sim: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Sim != all[j].Sim {
+			return all[i].Sim > all[j].Sim
+		}
+		return all[i].User < all[j].User
+	})
+	if len(all) > p.k {
+		all = all[:p.k]
+	}
+	ns := append([]Neighbor(nil), all...)
+	p.mu.Lock()
+	p.neighbors[u] = ns
+	p.mu.Unlock()
+	return ns
+}
+
+// Predict returns the predicted rating of u for item it on the 1..5
+// scale. If u already rated it, the actual rating is returned. The
+// neighbor-weighted average falls back to the item mean and then the
+// global mean when coverage is missing, so predictions are total.
+func (p *Predictor) Predict(u dataset.UserID, it dataset.ItemID) float64 {
+	if v, ok := p.store.Value(u, it); ok {
+		return v
+	}
+	var num, den float64
+	for _, nb := range p.Neighbors(u) {
+		if v, ok := p.store.Value(nb.User, it); ok {
+			num += nb.Sim * v
+			den += nb.Sim
+		}
+	}
+	if den > 0 {
+		return clampRating(num / den)
+	}
+	if m, ok := p.itemMean[it]; ok {
+		return m
+	}
+	return p.globalMean
+}
+
+// PredictAll returns predictions of u for each item in items.
+func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float64 {
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = p.Predict(u, it)
+	}
+	return out
+}
+
+// GlobalMean returns the dataset mean rating.
+func (p *Predictor) GlobalMean() float64 { return p.globalMean }
+
+// PairwiseSimilaritySum returns the sum of pairwise cosine
+// similarities within the given user set — the objective the paper
+// maximizes (similar groups) or minimizes (dissimilar groups) during
+// group formation (§4.1.3).
+func (p *Predictor) PairwiseSimilaritySum(users []dataset.UserID) float64 {
+	var s float64
+	for i := range users {
+		for j := i + 1; j < len(users); j++ {
+			s += p.Cosine(users[i], users[j])
+		}
+	}
+	return s
+}
+
+func clampRating(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	if x > 5 {
+		return 5
+	}
+	return x
+}

@@ -1,0 +1,153 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestPearson(t *testing.T) {
+	// Perfect positive correlation on co-rated items.
+	s := buildStore(t, [][3]float64{
+		{0, 1, 1}, {0, 2, 3}, {0, 3, 5},
+		{1, 1, 2}, {1, 2, 3}, {1, 3, 4},
+	})
+	p, err := NewPredictor(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Pearson(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	if p.Pearson(0, 0) != 1 {
+		t.Errorf("self Pearson != 1")
+	}
+	// Anti-correlated users.
+	s2 := buildStore(t, [][3]float64{
+		{0, 1, 1}, {0, 2, 5},
+		{1, 1, 5}, {1, 2, 1},
+	})
+	p2, err := NewPredictor(s2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Pearson(0, 1); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti-correlated Pearson = %v, want -1", got)
+	}
+	// Single co-rated item: undefined → 0.
+	s3 := buildStore(t, [][3]float64{{0, 1, 3}, {1, 1, 4}, {1, 2, 2}})
+	p3, err := NewPredictor(s3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.Pearson(0, 1); got != 0 {
+		t.Errorf("one co-rating Pearson = %v, want 0", got)
+	}
+}
+
+func TestSimDispatch(t *testing.T) {
+	s := buildStore(t, [][3]float64{
+		{0, 1, 4}, {0, 2, 2},
+		{1, 1, 2}, {1, 2, 4},
+	})
+	p, err := NewPredictor(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sim(CosineSim, 0, 1) != p.Cosine(0, 1) {
+		t.Errorf("Sim(CosineSim) != Cosine")
+	}
+	if p.Sim(PearsonSim, 0, 1) != p.Pearson(0, 1) {
+		t.Errorf("Sim(PearsonSim) != Pearson")
+	}
+	if CosineSim.String() != "cosine" || PearsonSim.String() != "pearson" {
+		t.Errorf("similarity labels wrong")
+	}
+}
+
+func TestItemPredictorBasics(t *testing.T) {
+	if _, err := NewItemPredictor(nil, 5); err == nil {
+		t.Errorf("nil store accepted")
+	}
+	// Items 1 and 2 are rated identically relative to each rater's
+	// mean; item 3 opposes them.
+	s := buildStore(t, [][3]float64{
+		{0, 1, 5}, {0, 2, 5}, {0, 3, 1},
+		{1, 1, 4}, {1, 2, 4}, {1, 3, 2},
+		{2, 1, 5}, {2, 2, 4}, {2, 3, 1},
+		{3, 1, 4}, {3, 2, 5},
+	})
+	p, err := NewItemPredictor(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := p.AdjustedCosine(1, 2); sim <= 0 {
+		t.Errorf("similar items adjusted cosine = %v, want > 0", sim)
+	}
+	if sim := p.AdjustedCosine(1, 3); sim >= 0 {
+		t.Errorf("opposed items adjusted cosine = %v, want < 0", sim)
+	}
+	if p.AdjustedCosine(1, 1) != 1 {
+		t.Errorf("self similarity != 1")
+	}
+	// User 3 rated items 1 and 2 highly; predict for item 3 must lean
+	// low — but since only positively similar neighbors are used and
+	// item 3 opposes them, the item-mean fallback applies.
+	got := p.Predict(3, 3)
+	if got < 1 || got > 5 {
+		t.Errorf("prediction %v out of range", got)
+	}
+	// Own rating short-circuits.
+	if p.Predict(0, 1) != 5 {
+		t.Errorf("own rating not returned")
+	}
+	// Unknown item → global mean.
+	if p.Predict(0, 99) != p.GlobalMean() {
+		t.Errorf("global mean fallback broken")
+	}
+}
+
+func TestItemPredictorAgreesRoughlyWithUserBased(t *testing.T) {
+	cfg := dataset.DefaultSynthConfig()
+	cfg.Users = 80
+	cfg.Items = 120
+	cfg.TargetRatings = 4000
+	sy, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := NewPredictor(sy.Store, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := NewItemPredictor(sy.Store, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions from both predictors should correlate positively
+	// with latent scores (both are consistent estimators of the same
+	// signal); check mean absolute error against latent is sane.
+	var ubErr, ibErr float64
+	n := 0
+	for u := 0; u < 20; u++ {
+		for it := 0; it < 40; it++ {
+			uid, iid := dataset.UserID(u), dataset.ItemID(it)
+			if sy.Store.HasRated(uid, iid) {
+				continue
+			}
+			latent := sy.LatentScore(uid, iid)
+			ubErr += math.Abs(ub.Predict(uid, iid) - latent)
+			ibErr += math.Abs(ib.Predict(uid, iid) - latent)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("no unrated pairs sampled")
+	}
+	ubErr /= float64(n)
+	ibErr /= float64(n)
+	if ubErr > 2 || ibErr > 2 {
+		t.Errorf("MAE too high: user-based %.3f, item-based %.3f", ubErr, ibErr)
+	}
+}

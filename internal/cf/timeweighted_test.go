@@ -1,0 +1,144 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func buildTimedStore(t *testing.T, rows [][4]float64) *dataset.Store {
+	t.Helper()
+	s := dataset.NewStore()
+	for _, r := range rows {
+		err := s.Add(dataset.Rating{
+			User:  dataset.UserID(int(r[0])),
+			Item:  dataset.ItemID(int(r[1])),
+			Value: r[2],
+			Time:  int64(r[3]),
+		})
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.Freeze()
+	return s
+}
+
+func TestTimeWeightedRequiresBase(t *testing.T) {
+	if _, err := NewTimeWeightedPredictor(nil, 0); err == nil {
+		t.Errorf("nil base accepted")
+	}
+}
+
+func TestTimeWeightedFavorsRecentOpinions(t *testing.T) {
+	const day = 24 * 3600
+	// Two neighbors equally similar to user 0 (identical history on
+	// item 1); they disagree on item 2: the OLD rating says 5, the
+	// RECENT rating says 1.
+	s := buildTimedStore(t, [][4]float64{
+		{0, 1, 4, 1000 * day},
+		{1, 1, 4, 1000 * day}, {1, 2, 5, 0}, // ancient opinion
+		{2, 1, 4, 1000 * day}, {2, 2, 1, 1000 * day}, // fresh opinion
+	})
+	base, err := NewPredictor(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 100*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := base.Predict(0, 2)
+	timed := tw.Predict(0, 2)
+	if !(timed < plain) {
+		t.Errorf("time weighting should pull the prediction toward the recent rating: plain %.3f, timed %.3f", plain, timed)
+	}
+	if timed > 2 {
+		t.Errorf("timed prediction %.3f should be close to the fresh rating 1", timed)
+	}
+}
+
+func TestTimeWeightedWeightFunction(t *testing.T) {
+	s := buildTimedStore(t, [][4]float64{{0, 1, 3, 1000}})
+	base, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Now() != 1000 {
+		t.Fatalf("now = %d", tw.Now())
+	}
+	if w := tw.weight(1000); w != 1 {
+		t.Errorf("fresh weight = %v", w)
+	}
+	if w := tw.weight(900); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("one half-life weight = %v, want 0.5", w)
+	}
+	if w := tw.weight(800); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("two half-lives weight = %v, want 0.25", w)
+	}
+	if w := tw.weight(2000); w != 1 {
+		t.Errorf("future-dated rating weight = %v, want 1", w)
+	}
+}
+
+func TestTimeWeightedFallbacks(t *testing.T) {
+	s := buildTimedStore(t, [][4]float64{
+		{0, 1, 5, 10},
+		{1, 2, 2, 10}, {1, 3, 4, 10},
+	})
+	base, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.HalfLife != DefaultHalfLife {
+		t.Errorf("default half-life not applied")
+	}
+	// Own rating short-circuits.
+	if tw.Predict(0, 1) != 5 {
+		t.Errorf("own rating not returned")
+	}
+	// No neighbor coverage → item mean.
+	if got := tw.Predict(0, 2); got != 2 {
+		t.Errorf("item-mean fallback = %v, want 2", got)
+	}
+	// Unknown item → global mean.
+	if got := tw.Predict(0, 999); got != base.GlobalMean() {
+		t.Errorf("global-mean fallback = %v", got)
+	}
+}
+
+func TestTimeWeightedRange(t *testing.T) {
+	cfg := dataset.DefaultSynthConfig()
+	cfg.Users = 50
+	cfg.Items = 100
+	cfg.TargetRatings = 1500
+	sy, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewPredictor(sy.Store, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		for it := 0; it < 30; it++ {
+			v := tw.Predict(dataset.UserID(u), dataset.ItemID(it))
+			if v < 1 || v > 5 {
+				t.Fatalf("prediction %v out of range", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package consensus implements the paper's group consensus functions
+// (§2.3): group preference (Average, Least-Misery), group disagreement
+// (average pairwise, variance) and their weighted combination
+// F(G,i,p) = w1·gpref + w2·(1−dis).
+//
+// Every function is defined over closed intervals (stats.Interval) so
+// the same code path yields both exact scores (point intervals) and
+// the sound upper/lower bounds GRECA needs for partially seen items.
+// All combinators are monotone in the interval endpoints, which is
+// what Lemma 1 of the paper requires for instance-optimal early
+// termination.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// GroupPref selects the group preference aggregation.
+type GroupPref int
+
+const (
+	// Average is the paper's Average Preference: mean of member
+	// preferences.
+	Average GroupPref = iota
+	// LeastMisery is the paper's Least-Misery Preference: minimum of
+	// member preferences.
+	LeastMisery
+)
+
+// String returns the paper's abbreviation for the aggregation.
+func (g GroupPref) String() string {
+	switch g {
+	case Average:
+		return "AP"
+	case LeastMisery:
+		return "MO"
+	default:
+		return fmt.Sprintf("GroupPref(%d)", int(g))
+	}
+}
+
+// Disagreement selects the group disagreement component.
+type Disagreement int
+
+const (
+	// NoDisagreement uses group preference only (w2 is ignored).
+	NoDisagreement Disagreement = iota
+	// PairwiseDisagreement is the mean absolute pairwise difference,
+	// 2/(|G|(|G|−1)) Σ |pref(u,i) − pref(v,i)|.
+	PairwiseDisagreement
+	// VarianceDisagreement is the population variance of member
+	// preferences.
+	VarianceDisagreement
+)
+
+// String names the disagreement method.
+func (d Disagreement) String() string {
+	switch d {
+	case NoDisagreement:
+		return "none"
+	case PairwiseDisagreement:
+		return "pairwise"
+	case VarianceDisagreement:
+		return "variance"
+	default:
+		return fmt.Sprintf("Disagreement(%d)", int(d))
+	}
+}
+
+// Spec is a fully specified consensus function F = W1·gpref +
+// W2·(1−dis). The paper requires W1 + W2 = 1.
+type Spec struct {
+	Pref GroupPref
+	Dis  Disagreement
+	W1   float64
+	W2   float64
+}
+
+// AP is the Average Preference consensus (the paper's default).
+func AP() Spec { return Spec{Pref: Average, Dis: NoDisagreement, W1: 1} }
+
+// MO is the Least-Misery-Only consensus.
+func MO() Spec { return Spec{Pref: LeastMisery, Dis: NoDisagreement, W1: 1} }
+
+// PD is the Pair-wise Disagreement consensus with preference weight
+// w1 (disagreement weight 1−w1). The paper's PD V1 uses w1 = 0.8 and
+// PD V2 uses w1 = 0.2.
+func PD(w1 float64) Spec {
+	return Spec{Pref: Average, Dis: PairwiseDisagreement, W1: w1, W2: 1 - w1}
+}
+
+// VD is the variance-disagreement consensus with preference weight w1.
+func VD(w1 float64) Spec {
+	return Spec{Pref: Average, Dis: VarianceDisagreement, W1: w1, W2: 1 - w1}
+}
+
+// Validate checks the weight constraint and enum ranges.
+func (s Spec) Validate() error {
+	if s.Pref != Average && s.Pref != LeastMisery {
+		return fmt.Errorf("consensus: unknown group preference %d", int(s.Pref))
+	}
+	switch s.Dis {
+	case NoDisagreement:
+		if s.W1 <= 0 {
+			return fmt.Errorf("consensus: W1 must be positive without disagreement, got %g", s.W1)
+		}
+	case PairwiseDisagreement, VarianceDisagreement:
+		if s.W1 < 0 || s.W2 < 0 {
+			return fmt.Errorf("consensus: negative weights w1=%g w2=%g", s.W1, s.W2)
+		}
+		if diff := s.W1 + s.W2 - 1; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("consensus: w1+w2 must be 1, got %g", s.W1+s.W2)
+		}
+	default:
+		return fmt.Errorf("consensus: unknown disagreement %d", int(s.Dis))
+	}
+	return nil
+}
+
+// String names the spec the way the paper's figures do.
+func (s Spec) String() string {
+	switch {
+	case s.Dis == NoDisagreement && s.Pref == Average:
+		return "AP"
+	case s.Dis == NoDisagreement && s.Pref == LeastMisery:
+		return "MO"
+	case s.Dis == PairwiseDisagreement:
+		return fmt.Sprintf("PD(w1=%.1f)", s.W1)
+	case s.Dis == VarianceDisagreement:
+		return fmt.Sprintf("VD(w1=%.1f)", s.W1)
+	default:
+		return fmt.Sprintf("Spec{%v,%v,%.2f,%.2f}", s.Pref, s.Dis, s.W1, s.W2)
+	}
+}
+
+// GroupPrefInterval aggregates member preference intervals into the
+// group preference interval.
+func (s Spec) GroupPrefInterval(prefs []stats.Interval) stats.Interval {
+	if len(prefs) == 0 {
+		return stats.Point(0)
+	}
+	switch s.Pref {
+	case LeastMisery:
+		iv := prefs[0]
+		for _, p := range prefs[1:] {
+			iv = iv.MinI(p)
+		}
+		return iv
+	default: // Average
+		var lo, hi float64
+		for _, p := range prefs {
+			lo += p.Lo
+			hi += p.Hi
+		}
+		n := float64(len(prefs))
+		return stats.Interval{Lo: lo / n, Hi: hi / n}
+	}
+}
+
+// DisagreementInterval bounds the disagreement of the member
+// preference intervals. For point intervals the result is exact.
+func (s Spec) DisagreementInterval(prefs []stats.Interval) stats.Interval {
+	n := len(prefs)
+	if n < 2 || s.Dis == NoDisagreement {
+		return stats.Point(0)
+	}
+	switch s.Dis {
+	case PairwiseDisagreement:
+		var lo, hi float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := prefs[i].AbsDiff(prefs[j])
+				lo += d.Lo
+				hi += d.Hi
+			}
+		}
+		scale := 2 / float64(n*(n-1))
+		return stats.Interval{Lo: lo * scale, Hi: hi * scale}
+	case VarianceDisagreement:
+		// var = E[x²] − E[x]²; sound (if loose) under interval
+		// arithmetic, exact for point inputs.
+		var sqLo, sqHi, mLo, mHi float64
+		for _, p := range prefs {
+			sq := square(p)
+			sqLo += sq.Lo
+			sqHi += sq.Hi
+			mLo += p.Lo
+			mHi += p.Hi
+		}
+		fn := float64(n)
+		meanSq := stats.Interval{Lo: sqLo / fn, Hi: sqHi / fn}
+		mean := stats.Interval{Lo: mLo / fn, Hi: mHi / fn}
+		v := meanSq.Sub(square(mean))
+		if v.Lo < 0 {
+			v.Lo = 0
+		}
+		if v.Hi < 0 {
+			v.Hi = 0
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("consensus: unknown disagreement %d", int(s.Dis)))
+	}
+}
+
+// square returns the exact interval of x² for x in iv (tighter than
+// iv.Mul(iv) when iv straddles zero).
+func square(iv stats.Interval) stats.Interval {
+	lo2, hi2 := iv.Lo*iv.Lo, iv.Hi*iv.Hi
+	if iv.Lo <= 0 && iv.Hi >= 0 {
+		if lo2 > hi2 {
+			return stats.Interval{Lo: 0, Hi: lo2}
+		}
+		return stats.Interval{Lo: 0, Hi: hi2}
+	}
+	if lo2 < hi2 {
+		return stats.Interval{Lo: lo2, Hi: hi2}
+	}
+	return stats.Interval{Lo: hi2, Hi: lo2}
+}
+
+// Score computes the interval of F(G,i,p) from the member preference
+// intervals: W1·gpref + W2·(1−dis). Preferences are expected in [0,1];
+// the result then lies in [W1·0 + W2·0, W1 + W2] ⊆ [0,1] when
+// disagreement is enabled, or equals gpref otherwise.
+func (s Spec) Score(prefs []stats.Interval) stats.Interval {
+	gp := s.GroupPrefInterval(prefs)
+	if s.Dis == NoDisagreement {
+		return gp
+	}
+	dis := s.DisagreementInterval(prefs)
+	one := stats.Point(1)
+	return gp.Scale(s.W1).Add(one.Sub(dis).Scale(s.W2))
+}
+
+// ScoreExact computes F for fully known member preferences.
+func (s Spec) ScoreExact(prefs []float64) float64 {
+	ivs := make([]stats.Interval, len(prefs))
+	for i, p := range prefs {
+		ivs[i] = stats.Point(p)
+	}
+	return s.Score(ivs).Lo
+}

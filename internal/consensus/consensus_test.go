@@ -1,0 +1,184 @@
+package consensus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func points(xs ...float64) []stats.Interval {
+	out := make([]stats.Interval, len(xs))
+	for i, x := range xs {
+		out[i] = stats.Point(x)
+	}
+	return out
+}
+
+func TestSpecConstructorsValidate(t *testing.T) {
+	for _, s := range []Spec{AP(), MO(), PD(0.8), PD(0.2), VD(0.5)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", s, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Pref: GroupPref(9)},
+		{Pref: Average, Dis: Disagreement(9)},
+		{Pref: Average, Dis: NoDisagreement, W1: 0},
+		{Pref: Average, Dis: PairwiseDisagreement, W1: 0.5, W2: 0.6},
+		{Pref: Average, Dis: PairwiseDisagreement, W1: -0.2, W2: 1.2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("accepted %+v", s)
+		}
+	}
+}
+
+func TestAveragePreferenceExact(t *testing.T) {
+	got := AP().ScoreExact([]float64{0.2, 0.4, 0.9})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AP = %v, want 0.5", got)
+	}
+}
+
+func TestLeastMiseryExact(t *testing.T) {
+	got := MO().ScoreExact([]float64{0.2, 0.4, 0.9})
+	if got != 0.2 {
+		t.Errorf("MO = %v, want 0.2", got)
+	}
+}
+
+func TestPairwiseDisagreementExact(t *testing.T) {
+	// prefs {0.2, 0.4}: gpref = 0.3, dis = 0.2.
+	// F = 0.5*0.3 + 0.5*(1-0.2) = 0.55.
+	got := PD(0.5).ScoreExact([]float64{0.2, 0.4})
+	if math.Abs(got-0.55) > 1e-12 {
+		t.Errorf("PD = %v, want 0.55", got)
+	}
+}
+
+func TestVarianceDisagreementExact(t *testing.T) {
+	// prefs {0.2, 0.4}: variance = 0.01.
+	// F = 0.5*0.3 + 0.5*0.99 = 0.645.
+	got := VD(0.5).ScoreExact([]float64{0.2, 0.4})
+	if math.Abs(got-0.645) > 1e-9 {
+		t.Errorf("VD = %v, want 0.645", got)
+	}
+}
+
+func TestSingleMemberDegenerates(t *testing.T) {
+	for _, s := range []Spec{AP(), MO(), PD(0.3)} {
+		got := s.Score(points(0.7))
+		switch s.Dis {
+		case NoDisagreement:
+			if got.Lo != 0.7 {
+				t.Errorf("%v single member = %v", s, got)
+			}
+		default:
+			// dis = 0 → F = w1*0.7 + w2.
+			want := s.W1*0.7 + s.W2
+			if math.Abs(got.Lo-want) > 1e-12 {
+				t.Errorf("%v single member = %v, want %v", s, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyPrefs(t *testing.T) {
+	if got := AP().Score(nil); got.Lo != 0 || got.Hi != 0 {
+		t.Errorf("empty AP = %v", got)
+	}
+}
+
+// TestQuickScoreSoundness: interval Score encloses ScoreExact for
+// points sampled within the member intervals.
+func TestQuickScoreSoundness(t *testing.T) {
+	specs := []Spec{AP(), MO(), PD(0.8), PD(0.2), VD(0.4)}
+	f := func(raw [6]float64, widths [6]float64, pick [6]float64) bool {
+		ivs := make([]stats.Interval, 6)
+		pts := make([]float64, 6)
+		for i := range ivs {
+			lo := math.Abs(math.Mod(raw[i], 1))
+			w := math.Abs(math.Mod(widths[i], 1)) * (1 - lo)
+			ivs[i] = stats.Interval{Lo: lo, Hi: lo + w}
+			frac := math.Abs(math.Mod(pick[i], 1))
+			pts[i] = lo + frac*w
+		}
+		for _, s := range specs {
+			enclosure := s.Score(ivs)
+			exact := s.ScoreExact(pts)
+			if exact < enclosure.Lo-1e-9 || exact > enclosure.Hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotonicity is Lemma 1's property for the engine's
+// aggregations: raising any single member preference cannot lower the
+// group preference component.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(raw [5]float64, idx uint8, delta float64) bool {
+		prefs := make([]float64, 5)
+		for i := range prefs {
+			prefs[i] = math.Abs(math.Mod(raw[i], 1))
+		}
+		i := int(idx) % 5
+		d := math.Abs(math.Mod(delta, 1)) * (1 - prefs[i])
+		bumped := append([]float64(nil), prefs...)
+		bumped[i] += d
+		for _, s := range []Spec{AP(), MO()} {
+			before := s.ScoreExact(prefs)
+			after := s.ScoreExact(bumped)
+			if after < before-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringLabels(t *testing.T) {
+	if AP().String() != "AP" || MO().String() != "MO" {
+		t.Errorf("labels wrong: %v %v", AP(), MO())
+	}
+	if PD(0.8).String() != "PD(w1=0.8)" {
+		t.Errorf("PD label: %v", PD(0.8))
+	}
+	if Average.String() != "AP" || LeastMisery.String() != "MO" {
+		t.Errorf("GroupPref labels wrong")
+	}
+	if PairwiseDisagreement.String() != "pairwise" || VarianceDisagreement.String() != "variance" {
+		t.Errorf("Disagreement labels wrong")
+	}
+}
+
+func TestDisagreementIntervalExactForPoints(t *testing.T) {
+	pd := PD(0.5)
+	iv := pd.DisagreementInterval(points(0.1, 0.5, 0.9))
+	// Pairs: |0.1-0.5| + |0.1-0.9| + |0.5-0.9| = 1.6, × 2/6 = 0.5333…
+	want := 1.6 / 3
+	if math.Abs(iv.Lo-want) > 1e-12 || math.Abs(iv.Hi-want) > 1e-12 {
+		t.Errorf("dis = %v, want point %v", iv, want)
+	}
+}
+
+func TestVarianceIntervalNonNegative(t *testing.T) {
+	vd := VD(0.5)
+	iv := vd.DisagreementInterval([]stats.Interval{{Lo: 0.1, Hi: 0.4}, {Lo: 0.2, Hi: 0.9}})
+	if iv.Lo < 0 {
+		t.Errorf("variance interval has negative Lo: %v", iv)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Aggregator combines the static affinity component and the per-period
+// drift components of one user pair into the pair's overall temporal
+// affinity, over intervals. Implementations must be monotone
+// non-decreasing in every input endpoint — this is what extends the
+// paper's Lemma 1 (monotonicity of the consensus function w.r.t. the
+// affinity lists) to the bound computation.
+type Aggregator interface {
+	// Combine maps the static interval and the drift intervals (one
+	// per period, oldest first) to the affinity interval.
+	Combine(static stats.Interval, drifts []stats.Interval) stats.Interval
+	// NumPeriods reports how many drift lists the aggregator consumes
+	// (0 for time-agnostic aggregators).
+	NumPeriods() int
+	// MaxAffinity is the largest value Combine can return; it
+	// normalizes relative preferences.
+	MaxAffinity() float64
+	// String names the aggregator for reports.
+	String() string
+}
+
+// DiscreteAggregator implements the paper's discrete dynamic model:
+// affD = clamp01(affS + mean(drifts)) with Δ = number of periods.
+type DiscreteAggregator struct {
+	Periods int
+}
+
+// Combine implements Aggregator.
+func (a DiscreteAggregator) Combine(static stats.Interval, drifts []stats.Interval) stats.Interval {
+	if len(drifts) != a.Periods {
+		panic(fmt.Sprintf("core: DiscreteAggregator got %d drifts, want %d", len(drifts), a.Periods))
+	}
+	if a.Periods == 0 {
+		return static.Clamp(0, 1)
+	}
+	var lo, hi float64
+	for _, d := range drifts {
+		lo += d.Lo
+		hi += d.Hi
+	}
+	n := float64(a.Periods)
+	iv := static.Add(stats.Interval{Lo: lo / n, Hi: hi / n})
+	return iv.Clamp(0, 1)
+}
+
+// NumPeriods implements Aggregator.
+func (a DiscreteAggregator) NumPeriods() int { return a.Periods }
+
+// MaxAffinity implements Aggregator.
+func (a DiscreteAggregator) MaxAffinity() float64 { return 1 }
+
+// String implements Aggregator.
+func (a DiscreteAggregator) String() string { return fmt.Sprintf("discrete(%d)", a.Periods) }
+
+// ContinuousAggregator implements the paper's continuous dynamic
+// model: affC = clamp01(affS · e^{rate·Σdrifts}). The exponent is the
+// cumulative drift — λ(f−s0) in the paper, where λ is the drift rate
+// and the Δ normalizer of Equation 1 cancels against the time length.
+type ContinuousAggregator struct {
+	Periods int
+	// Rate scales the exponent; affinity.ContinuousRate is the
+	// standard value.
+	Rate float64
+}
+
+// Combine implements Aggregator. exp is monotone and static is
+// non-negative, so endpoint-wise evaluation is exact.
+func (a ContinuousAggregator) Combine(static stats.Interval, drifts []stats.Interval) stats.Interval {
+	if len(drifts) != a.Periods {
+		panic(fmt.Sprintf("core: ContinuousAggregator got %d drifts, want %d", len(drifts), a.Periods))
+	}
+	var lo, hi float64
+	for _, d := range drifts {
+		lo += d.Lo
+		hi += d.Hi
+	}
+	st := static.Clamp(0, math.Inf(1))
+	iv := stats.Interval{
+		Lo: st.Lo * math.Exp(a.Rate*lo),
+		Hi: st.Hi * math.Exp(a.Rate*hi),
+	}
+	return iv.Clamp(0, 1)
+}
+
+// NumPeriods implements Aggregator.
+func (a ContinuousAggregator) NumPeriods() int { return a.Periods }
+
+// MaxAffinity implements Aggregator.
+func (a ContinuousAggregator) MaxAffinity() float64 { return 1 }
+
+// String implements Aggregator.
+func (a ContinuousAggregator) String() string {
+	return fmt.Sprintf("continuous(%d,rate=%.2f)", a.Periods, a.Rate)
+}
+
+// StaticAggregator is the time-agnostic model: affinity is the static
+// component alone (the paper's Figure 1C baseline).
+type StaticAggregator struct{}
+
+// Combine implements Aggregator.
+func (StaticAggregator) Combine(static stats.Interval, drifts []stats.Interval) stats.Interval {
+	if len(drifts) != 0 {
+		panic("core: StaticAggregator expects no drift lists")
+	}
+	return static.Clamp(0, 1)
+}
+
+// NumPeriods implements Aggregator.
+func (StaticAggregator) NumPeriods() int { return 0 }
+
+// MaxAffinity implements Aggregator.
+func (StaticAggregator) MaxAffinity() float64 { return 1 }
+
+// String implements Aggregator.
+func (StaticAggregator) String() string { return "static" }
+
+// NoAffinityAggregator is the affinity-agnostic model (Figure 1B):
+// every pairwise affinity is zero, so relative preference vanishes and
+// the consensus collapses to plain aggregation of absolute
+// preferences.
+type NoAffinityAggregator struct{}
+
+// Combine implements Aggregator.
+func (NoAffinityAggregator) Combine(static stats.Interval, drifts []stats.Interval) stats.Interval {
+	return stats.Point(0)
+}
+
+// NumPeriods implements Aggregator.
+func (NoAffinityAggregator) NumPeriods() int { return 0 }
+
+// MaxAffinity implements Aggregator. A strictly positive value keeps
+// the preference normalizer well defined; with zero affinities the
+// normalization constant only rescales all scores identically.
+func (NoAffinityAggregator) MaxAffinity() float64 { return 1 }
+
+// String implements Aggregator.
+func (NoAffinityAggregator) String() string { return "none" }

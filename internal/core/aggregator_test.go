@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func frac(x float64) float64 { return math.Abs(math.Mod(x, 1)) }
+
+// intervalAround builds an interval containing the given point within
+// the domain [lo, hi].
+func intervalAround(pt, spread, lo, hi float64) stats.Interval {
+	w := frac(spread) * 0.3
+	ivLo := math.Max(lo, pt-w)
+	ivHi := math.Min(hi, pt+w)
+	return stats.Interval{Lo: ivLo, Hi: ivHi}
+}
+
+// TestQuickAggregatorSoundness: for every aggregator, combining
+// intervals that contain the true component values yields an interval
+// containing the true combined affinity.
+func TestQuickAggregatorSoundness(t *testing.T) {
+	aggs := []Aggregator{
+		DiscreteAggregator{Periods: 3},
+		ContinuousAggregator{Periods: 3, Rate: 0.2},
+	}
+	f := func(st, stSpread float64, dr [3]float64, drSpread [3]float64) bool {
+		stPt := frac(st)
+		stIv := intervalAround(stPt, stSpread, 0, 1)
+		drPts := make([]float64, 3)
+		drIvs := make([]stats.Interval, 3)
+		for i := range drPts {
+			drPts[i] = 2*frac(dr[i]) - 1
+			drIvs[i] = intervalAround(drPts[i], drSpread[i], -1, 1)
+		}
+		for _, agg := range aggs {
+			exactIv := agg.Combine(stats.Point(stPt), []stats.Interval{
+				stats.Point(drPts[0]), stats.Point(drPts[1]), stats.Point(drPts[2]),
+			})
+			exact := exactIv.Lo // point in, point out
+			combined := agg.Combine(stIv, drIvs)
+			if exact < combined.Lo-1e-9 || exact > combined.Hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAggregatorMonotone: raising any component endpoint cannot
+// lower the combined affinity — the Lemma 1 requirement the bound
+// machinery relies on.
+func TestQuickAggregatorMonotone(t *testing.T) {
+	aggs := []Aggregator{
+		DiscreteAggregator{Periods: 2},
+		ContinuousAggregator{Periods: 2, Rate: 0.2},
+		StaticAggregator{},
+	}
+	f := func(st float64, dr [2]float64, bumpSt, bump0 float64) bool {
+		stPt := frac(st)
+		d0 := 2*frac(dr[0]) - 1
+		d1 := 2*frac(dr[1]) - 1
+		for _, agg := range aggs {
+			var drifts, bumped []stats.Interval
+			if agg.NumPeriods() == 2 {
+				drifts = []stats.Interval{stats.Point(d0), stats.Point(d1)}
+				bumped = []stats.Interval{stats.Point(math.Min(1, d0+frac(bump0))), stats.Point(d1)}
+			}
+			base := agg.Combine(stats.Point(stPt), drifts)
+			// Bump static.
+			withSt := agg.Combine(stats.Point(math.Min(1, stPt+frac(bumpSt))), drifts)
+			if withSt.Lo < base.Lo-1e-9 {
+				return false
+			}
+			// Bump first drift (time-aware aggregators only).
+			if agg.NumPeriods() == 2 {
+				withDr := agg.Combine(stats.Point(stPt), bumped)
+				if withDr.Lo < base.Lo-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatorRangeAndLabels(t *testing.T) {
+	d := DiscreteAggregator{Periods: 2}
+	c := ContinuousAggregator{Periods: 2, Rate: 0.2}
+	s := StaticAggregator{}
+	n := NoAffinityAggregator{}
+	if d.MaxAffinity() != 1 || c.MaxAffinity() != 1 || s.MaxAffinity() != 1 || n.MaxAffinity() != 1 {
+		t.Errorf("max affinities wrong")
+	}
+	if d.NumPeriods() != 2 || s.NumPeriods() != 0 || n.NumPeriods() != 0 {
+		t.Errorf("period counts wrong")
+	}
+	for _, a := range []Aggregator{d, c, s, n} {
+		if a.String() == "" {
+			t.Errorf("empty label")
+		}
+	}
+	// NoAffinity always yields zero.
+	if got := n.Combine(stats.Point(0.9), nil); got.Lo != 0 || got.Hi != 0 {
+		t.Errorf("NoAffinity combine = %v", got)
+	}
+	// Clamping: large positive drift saturates at 1.
+	got := d.Combine(stats.Point(1), []stats.Interval{stats.Point(1), stats.Point(1)})
+	if got.Hi != 1 || got.Lo != 1 {
+		t.Errorf("discrete clamp = %v", got)
+	}
+	// Negative drift can zero the affinity but never below.
+	got = d.Combine(stats.Point(0.1), []stats.Interval{stats.Point(-1), stats.Point(-1)})
+	if got.Lo < 0 {
+		t.Errorf("negative drift broke the floor: %v", got)
+	}
+}
+
+func TestAggregatorPanicsOnWrongDriftCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("wrong drift count did not panic")
+		}
+	}()
+	DiscreteAggregator{Periods: 2}.Combine(stats.Point(0.5), []stats.Interval{stats.Point(0)})
+}
+
+func TestContinuousAggregatorDecay(t *testing.T) {
+	c := ContinuousAggregator{Periods: 1, Rate: 0.5}
+	grow := c.Combine(stats.Point(0.5), []stats.Interval{stats.Point(1)})
+	decay := c.Combine(stats.Point(0.5), []stats.Interval{stats.Point(-1)})
+	flat := c.Combine(stats.Point(0.5), []stats.Interval{stats.Point(0)})
+	if !(grow.Lo > flat.Lo && flat.Lo > decay.Lo) {
+		t.Errorf("exponential direction wrong: grow %v flat %v decay %v", grow, flat, decay)
+	}
+	if math.Abs(flat.Lo-0.5) > 1e-12 {
+		t.Errorf("zero drift should leave static untouched: %v", flat)
+	}
+}

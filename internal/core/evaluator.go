@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// evaluator holds the mutable run state of one GRECA execution: the
+// component values seen so far and scratch buffers for bound
+// computation. All score evaluation funnels through scoreItem so that
+// exact scoring (every component known) and bound scoring (cursor
+// intervals for unknown components) share one code path.
+type evaluator struct {
+	p *Problem
+
+	// aprefSeen[u][i] is the observed apref or NaN.
+	aprefSeen [][]float64
+	// staticSeen[pair] / driftSeen[t][pair] are observed affinity
+	// components or NaN.
+	staticSeen []float64
+	driftSeen  [][]float64
+	// agreementSeen[pair][i] is the observed pairwise agreement or NaN
+	// (pairwise disagreement consensus only).
+	agreementSeen [][]float64
+
+	// affCache[pair] is the pair's combined affinity interval under
+	// the current cursors; recomputed once per check round because it
+	// is item-independent.
+	affCache []stats.Interval
+
+	// scratch buffers reused across items within one check.
+	aprefIv []stats.Interval
+	prefIv  []stats.Interval
+	driftIv []stats.Interval
+}
+
+func newEvaluator(p *Problem) *evaluator {
+	ev := &evaluator{p: p}
+	ev.aprefSeen = make([][]float64, p.g)
+	for u := range ev.aprefSeen {
+		row := make([]float64, p.m)
+		for i := range row {
+			row[i] = math.NaN()
+		}
+		ev.aprefSeen[u] = row
+	}
+	if p.useAffinity {
+		ev.staticSeen = nanSlice(p.nPairs)
+		T := p.in.Agg.NumPeriods()
+		ev.driftSeen = make([][]float64, T)
+		for t := range ev.driftSeen {
+			ev.driftSeen[t] = nanSlice(p.nPairs)
+		}
+		ev.affCache = make([]stats.Interval, p.nPairs)
+		ev.driftIv = make([]stats.Interval, T)
+	}
+	if p.useAgreement {
+		ev.agreementSeen = make([][]float64, p.nPairs)
+		for pr := range ev.agreementSeen {
+			ev.agreementSeen[pr] = nanSlice(p.m)
+		}
+	}
+	ev.aprefIv = make([]stats.Interval, p.g)
+	ev.prefIv = make([]stats.Interval, p.g)
+	return ev
+}
+
+func nanSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+// observe records one consumed entry.
+func (ev *evaluator) observe(l *List, e Entry) {
+	switch l.Kind {
+	case PrefList:
+		ev.aprefSeen[l.Owner][e.Key] = e.Value
+	case StaticList:
+		ev.staticSeen[e.Key] = e.Value
+	case DriftList:
+		ev.driftSeen[l.Period][e.Key] = e.Value
+	case AgreementList:
+		ev.agreementSeen[l.Owner][e.Key] = e.Value
+	}
+}
+
+// refreshAffinity recomputes the per-pair affinity intervals from the
+// seen values and current cursors. Called once per check round.
+func (ev *evaluator) refreshAffinity() {
+	if !ev.p.useAffinity {
+		return
+	}
+	for pr := 0; pr < ev.p.nPairs; pr++ {
+		st := ev.componentInterval(ev.staticSeen[pr], ev.p.pairStatic[pr])
+		for t := range ev.driftSeen {
+			ev.driftIv[t] = ev.componentInterval(ev.driftSeen[t][pr], ev.p.pairDrift[t][pr])
+		}
+		ev.affCache[pr] = ev.p.in.Agg.Combine(st, ev.driftIv)
+	}
+}
+
+// refreshAffinityExact fills the affinity cache with exact values
+// straight from the input (TA mode, where random accesses resolved
+// every affinity component).
+func (ev *evaluator) refreshAffinityExact() {
+	if !ev.p.useAffinity {
+		return
+	}
+	for pr := 0; pr < ev.p.nPairs; pr++ {
+		for t := range ev.driftIv {
+			ev.driftIv[t] = stats.Point(ev.p.in.Drift[t][pr])
+		}
+		ev.affCache[pr] = ev.p.in.Agg.Combine(stats.Point(ev.p.in.Static[pr]), ev.driftIv)
+	}
+}
+
+// componentInterval returns the point interval for a seen value or the
+// [listMin, cursor] interval for an unseen one (the whole-list range
+// under the LooseBounds ablation).
+func (ev *evaluator) componentInterval(seen float64, l *List) stats.Interval {
+	if !math.IsNaN(seen) {
+		return stats.Point(seen)
+	}
+	if ev.p.in.LooseBounds {
+		hi := 0.0
+		if l.Len() > 0 {
+			hi = l.Entries[0].Value
+		}
+		return stats.Interval{Lo: l.MinValue, Hi: hi}
+	}
+	return stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+}
+
+// scoreItem computes the consensus score interval for item key under
+// current knowledge. refreshAffinity must have been called for the
+// current cursor state.
+func (ev *evaluator) scoreItem(key int) stats.Interval {
+	p := ev.p
+	for u := 0; u < p.g; u++ {
+		ev.aprefIv[u] = ev.componentInterval(ev.aprefSeen[u][key], p.prefList[u])
+	}
+	return ev.scoreFromAprefs(key)
+}
+
+// threshold computes the paper's ComputeTh({E}): the best score any
+// entirely unseen item could still achieve, using cursor intervals for
+// every preference and agreement component and current knowledge for
+// affinities (affinities are item-independent so seen values apply to
+// unseen items too).
+func (ev *evaluator) threshold() float64 {
+	p := ev.p
+	for u := 0; u < p.g; u++ {
+		l := p.prefList[u]
+		ev.aprefIv[u] = stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+	}
+	return ev.scoreFromAprefs(-1).Hi
+}
+
+// scoreFromAprefs combines ev.aprefIv with the cached affinity
+// intervals into member preferences (pref = apref + rpref, normalized)
+// and applies the consensus spec. key identifies the item for
+// agreement-list lookups; -1 denotes the virtual unseen item of the
+// threshold computation. This inlines preference.Combine to reuse
+// scratch buffers inside the hot loop.
+func (ev *evaluator) scoreFromAprefs(key int) stats.Interval {
+	p := ev.p
+	norm := 1 / (1 + float64(p.g-1)*p.in.Agg.MaxAffinity())
+	for u := 0; u < p.g; u++ {
+		iv := ev.aprefIv[u]
+		if p.useAffinity {
+			for v := 0; v < p.g; v++ {
+				if v == u {
+					continue
+				}
+				aff := ev.affCache[PairIndex(p.g, u, v)]
+				iv = iv.Add(aff.Mul(ev.aprefIv[v]))
+			}
+		}
+		ev.prefIv[u] = iv.Scale(norm).Clamp(0, 1)
+	}
+	if !p.useAgreement {
+		return p.in.Spec.Score(ev.prefIv)
+	}
+
+	// Pairwise disagreement via agreement lists:
+	// F = w1·gpref + w2·(1−dis) = w1·gpref + w2·mean pair agreement.
+	gp := p.in.Spec.GroupPrefInterval(ev.prefIv)
+	var agLo, agHi float64
+	for pr := 0; pr < p.nPairs; pr++ {
+		var iv stats.Interval
+		l := p.pairAgreement[pr]
+		if key >= 0 {
+			iv = ev.componentInterval(ev.agreementSeen[pr][key], l)
+		} else {
+			iv = stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+		}
+		agLo += iv.Lo
+		agHi += iv.Hi
+	}
+	n := float64(p.nPairs)
+	ag := stats.Interval{Lo: agLo / n, Hi: agHi / n}
+	return gp.Scale(p.in.Spec.W1).Add(ag.Scale(p.in.Spec.W2))
+}
+
+// exactAll computes exact scores for all items; every component must
+// have been observed (i.e. after a full scan). It reuses the interval
+// machinery with degenerate intervals, so exact and bounded scoring
+// cannot diverge.
+func (ev *evaluator) exactAll() []float64 {
+	ev.refreshAffinity()
+	out := make([]float64, ev.p.m)
+	for i := 0; i < ev.p.m; i++ {
+		iv := ev.scoreItem(i)
+		out[i] = iv.Lo
+	}
+	return out
+}
+
+// exactScore computes item key's exact consensus score straight from
+// the problem input, bypassing the seen-state — this is what a random
+// access fetches in TA mode. It funnels through the same interval
+// scorer with point inputs so it cannot diverge from bounded scoring.
+func (ev *evaluator) exactScore(key int) float64 {
+	p := ev.p
+	for u := 0; u < p.g; u++ {
+		ev.aprefIv[u] = stats.Point(p.in.Apref[u][key])
+	}
+	if p.useAffinity {
+		for pr := 0; pr < p.nPairs; pr++ {
+			for t := range ev.driftIv {
+				ev.driftIv[t] = stats.Point(p.in.Drift[t][pr])
+			}
+			ev.affCache[pr] = p.in.Agg.Combine(stats.Point(p.in.Static[pr]), ev.driftIv)
+		}
+	}
+	if !p.useAgreement {
+		return ev.scoreFromAprefsExactAgreement(key)
+	}
+	return ev.scoreFromAprefsExactAgreement(key)
+}
+
+// scoreFromAprefsExactAgreement evaluates the consensus with point
+// member preferences and, when the pairwise-disagreement path is
+// active, exact agreement values recomputed from the input aprefs.
+func (ev *evaluator) scoreFromAprefsExactAgreement(key int) float64 {
+	p := ev.p
+	norm := 1 / (1 + float64(p.g-1)*p.in.Agg.MaxAffinity())
+	for u := 0; u < p.g; u++ {
+		iv := ev.aprefIv[u]
+		if p.useAffinity {
+			for v := 0; v < p.g; v++ {
+				if v == u {
+					continue
+				}
+				iv = iv.Add(ev.affCache[PairIndex(p.g, u, v)].Mul(ev.aprefIv[v]))
+			}
+		}
+		ev.prefIv[u] = iv.Scale(norm).Clamp(0, 1)
+	}
+	if !p.useAgreement {
+		return p.in.Spec.Score(ev.prefIv).Lo
+	}
+	gp := p.in.Spec.GroupPrefInterval(ev.prefIv)
+	var ag float64
+	for i := 0; i < p.g; i++ {
+		for j := i + 1; j < p.g; j++ {
+			d := p.in.Apref[i][key] - p.in.Apref[j][key]
+			if d < 0 {
+				d = -d
+			}
+			ag += 1 - d
+		}
+	}
+	ag /= float64(p.nPairs)
+	return p.in.Spec.W1*gp.Lo + p.in.Spec.W2*ag
+}
+
+// fullyKnown reports whether item key's score interval is a point:
+// all its apref components and (if used) all affinity components have
+// been observed.
+func (ev *evaluator) fullyKnown(key int) bool {
+	for u := 0; u < ev.p.g; u++ {
+		if math.IsNaN(ev.aprefSeen[u][key]) {
+			return false
+		}
+	}
+	if ev.p.useAgreement {
+		for pr := 0; pr < ev.p.nPairs; pr++ {
+			if math.IsNaN(ev.agreementSeen[pr][key]) {
+				return false
+			}
+		}
+	}
+	return ev.affinityFullyKnown()
+}
+
+func (ev *evaluator) affinityFullyKnown() bool {
+	if !ev.p.useAffinity {
+		return true
+	}
+	for pr := 0; pr < ev.p.nPairs; pr++ {
+		if math.IsNaN(ev.staticSeen[pr]) {
+			return false
+		}
+		for t := range ev.driftSeen {
+			if math.IsNaN(ev.driftSeen[t][pr]) {
+				return false
+			}
+		}
+	}
+	return true
+}

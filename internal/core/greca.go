@@ -1,0 +1,551 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ModeGRECA is the paper's algorithm: NRA-style sequential
+	// accesses, interval bounds, global-threshold and buffer stopping
+	// conditions with incremental pruning.
+	ModeGRECA Mode = iota
+	// ModeThresholdExact is the conservative TA-style baseline used in
+	// the ablation study: it may stop only once k items have fully
+	// known (exact) scores and the k-th exact score dominates the
+	// global threshold. It never prunes on partial bounds, so it
+	// needs substantially more accesses than GRECA.
+	ModeThresholdExact
+	// ModeFullScan reads every entry of every list and ranks by exact
+	// score — the naive baseline defining 100% accesses.
+	ModeFullScan
+	// ModeTA is the classic Threshold Algorithm adapted naively: each
+	// sorted access on a preference list triggers random accesses that
+	// resolve the item's complete score (every apref component plus
+	// every affinity entry each member's relative preference touches —
+	// the paper's §3.1 example counts 21 RAs per item for a 3-member
+	// group over 2 periods). It stops when the k-th best exact score
+	// reaches the threshold. GRECA exists to avoid exactly this RA
+	// volume.
+	ModeTA
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGRECA:
+		return "GRECA"
+	case ModeThresholdExact:
+		return "threshold-exact"
+	case ModeFullScan:
+		return "full-scan"
+	case ModeTA:
+		return "TA"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// StopReason records which condition terminated the run.
+type StopReason int
+
+const (
+	// StopThreshold: the global threshold fell to (or below) the k-th
+	// lower bound with exactly k candidates alive — Algorithm 1 lines
+	// 17-19.
+	StopThreshold StopReason = iota
+	// StopBuffer: the buffer condition pruned the candidate set to k
+	// items (the k-th lower bound dominated every other buffered
+	// item's upper bound) — the paper's novel termination.
+	StopBuffer
+	// StopExhausted: every list was scanned to the end (no saveup).
+	StopExhausted
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopThreshold:
+		return "threshold"
+	case StopBuffer:
+		return "buffer"
+	case StopExhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// ItemScore is one result item with its final score bounds. For early
+// terminations LB and UB may not coincide; the returned set is still
+// guaranteed to be a correct top-k itemset (the paper's partial-order
+// result).
+type ItemScore struct {
+	Key    int
+	LB, UB float64
+}
+
+// AccessStats quantifies the work done, in the paper's currency.
+type AccessStats struct {
+	// SequentialAccesses is the number of list entries read.
+	SequentialAccesses int
+	// RandomAccesses is the number of direct component fetches
+	// (ModeTA only; GRECA makes none by design).
+	RandomAccesses int
+	// TotalEntries is the full-scan access count.
+	TotalEntries int
+	// Rounds is the number of round-robin sweeps executed.
+	Rounds int
+	// Checks is the number of stopping-condition evaluations.
+	Checks int
+	// Stop records the terminating condition.
+	Stop StopReason
+}
+
+// PercentSA returns 100·SA/TotalEntries — the paper's "average #SA %"
+// metric (smaller is better; the paper reports 75%+ saveup, i.e.
+// values below 25%).
+func (s AccessStats) PercentSA() float64 {
+	if s.TotalEntries == 0 {
+		return 0
+	}
+	return 100 * float64(s.SequentialAccesses) / float64(s.TotalEntries)
+}
+
+// Saveup returns 100 − PercentSA.
+func (s AccessStats) Saveup() float64 { return 100 - s.PercentSA() }
+
+// Result is the outcome of a Run.
+type Result struct {
+	TopK  []ItemScore
+	Stats AccessStats
+}
+
+// candidate tracks one buffered item during a run.
+type candidate struct {
+	key    int
+	lb, ub float64
+	alive  bool
+}
+
+// itemKeyed reports whether entries of the list kind carry item keys
+// (as opposed to member-pair keys).
+func itemKeyed(k ListKind) bool { return k == PrefList || k == AgreementList }
+
+// Run executes the problem in the given mode. The problem's cursors
+// are rewound first, so Run may be called repeatedly (not
+// concurrently).
+func (p *Problem) Run(mode Mode) (Result, error) {
+	p.reset()
+	switch mode {
+	case ModeGRECA:
+		return p.runGRECA()
+	case ModeThresholdExact:
+		return p.runThresholdExact()
+	case ModeFullScan:
+		return p.runFullScan()
+	case ModeTA:
+		return p.runTA()
+	default:
+		return Result{}, fmt.Errorf("core: unknown mode %d", int(mode))
+	}
+}
+
+// RAPerItem is the number of random accesses the naive TA adaptation
+// spends to resolve one item's complete score for a group of size g
+// over T periods: g absolute preferences plus, for each member's
+// relative preference, one lookup per other member per affinity list
+// (static + T drift lists). For the paper's running example (g=3,
+// T=2) this is 3 + 3·2·3 = 21, matching §3.1.
+func RAPerItem(g, T int) int {
+	if g < 2 {
+		return 1
+	}
+	return g + g*(g-1)*(1+T)
+}
+
+// runTA adapts the classic Threshold Algorithm: round-robin sorted
+// accesses over the preference lists only; every newly encountered
+// item is fully resolved via random accesses; stop when k exact
+// scores dominate the cursor-based threshold.
+func (p *Problem) runTA() (Result, error) {
+	ev := newEvaluator(p)
+	st := AccessStats{TotalEntries: p.totalEntries}
+	T := 0
+	if p.useAffinity {
+		T = p.in.Agg.NumPeriods()
+	}
+	raCost := RAPerItem(p.g, T)
+	if p.useAgreement {
+		raCost += p.nPairs // one agreement fetch per pair
+	}
+
+	exact := make(map[int]float64, 256)
+	for {
+		progressed := false
+		for _, l := range p.prefList {
+			e, ok := l.Next()
+			if !ok {
+				continue
+			}
+			progressed = true
+			st.SequentialAccesses++
+			ev.observe(l, e)
+			if _, done := exact[e.Key]; !done {
+				st.RandomAccesses += raCost
+				exact[e.Key] = ev.exactScore(e.Key)
+			}
+		}
+		st.Rounds++
+		st.Checks++
+		if len(exact) >= p.in.K {
+			topK := topKFromMap(exact, p.in.K)
+			kth := topK[p.in.K-1].LB
+			// TA threshold: the best score an unseen item could have
+			// given the preference cursors. Affinities are known
+			// exactly (random accesses fetched them), so the interval
+			// threshold is evaluated with point affinities.
+			ev.refreshAffinityExact()
+			if th := ev.threshold(); th <= kth {
+				st.Stop = StopThreshold
+				return Result{TopK: topK, Stats: st}, nil
+			}
+		}
+		if !progressed {
+			st.Stop = StopExhausted
+			return Result{TopK: topKFromMap(exact, p.in.K), Stats: st}, nil
+		}
+	}
+}
+
+func topKFromMap(exact map[int]float64, k int) []ItemScore {
+	all := make([]ItemScore, 0, len(exact))
+	for key, s := range exact {
+		all = append(all, ItemScore{Key: key, LB: s, UB: s})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].LB != all[b].LB {
+			return all[a].LB > all[b].LB
+		}
+		return all[a].Key < all[b].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func (p *Problem) runFullScan() (Result, error) {
+	ev := newEvaluator(p)
+	stats := AccessStats{TotalEntries: p.totalEntries, Stop: StopExhausted}
+	for _, l := range p.lists {
+		for {
+			e, ok := l.Next()
+			if !ok {
+				break
+			}
+			stats.SequentialAccesses++
+			ev.observe(l, e)
+		}
+	}
+	scores := ev.exactAll()
+	top := topKExact(scores, p.in.K)
+	return Result{TopK: top, Stats: stats}, nil
+}
+
+func topKExact(scores []float64, k int) []ItemScore {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]ItemScore, k)
+	for i := 0; i < k; i++ {
+		out[i] = ItemScore{Key: idx[i], LB: scores[idx[i]], UB: scores[idx[i]]}
+	}
+	return out
+}
+
+// runGRECA is Algorithm 1 with the incremental buffer strategy: after
+// each check round, candidates whose upper bound cannot beat the k-th
+// lower bound are pruned (the buffer condition applied continuously);
+// the run stops when only k candidates remain and the global threshold
+// cannot resurrect an unseen item.
+func (p *Problem) runGRECA() (Result, error) {
+	ev := newEvaluator(p)
+	st := AccessStats{TotalEntries: p.totalEntries}
+
+	cands := make([]*candidate, p.m) // indexed by item key; nil until seen
+	var alive []*candidate
+	checkEvery := p.in.CheckInterval
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	prunedToK := false // whether the buffer condition did any pruning
+
+	for {
+		progressed := false
+		for _, l := range p.lists {
+			e, ok := l.Next()
+			if !ok {
+				continue
+			}
+			progressed = true
+			st.SequentialAccesses++
+			ev.observe(l, e)
+			// Every item-keyed list entry makes the item a buffered
+			// candidate: once any of its components has been read the
+			// global threshold (which assumes cursor bounds for every
+			// component) no longer covers it, so it must carry its own
+			// bounds. Preference and agreement lists are item-keyed;
+			// affinity lists are pair-keyed.
+			if itemKeyed(l.Kind) && cands[e.Key] == nil {
+				c := &candidate{key: e.Key, alive: true}
+				cands[e.Key] = c
+				alive = append(alive, c)
+			}
+		}
+		if !progressed {
+			// All lists exhausted: every bound is now exact.
+			st.Rounds++
+			st.Checks++
+			st.Stop = StopExhausted
+			ev.refreshAffinity()
+			refreshBounds(ev, alive)
+			return Result{TopK: finalTopK(alive, p.in.K), Stats: st}, nil
+		}
+		st.Rounds++
+		if st.Rounds%checkEvery != 0 {
+			continue
+		}
+		st.Checks++
+
+		ev.refreshAffinity()
+		refreshBounds(ev, alive)
+		if len(alive) < p.in.K {
+			continue // not enough candidates yet
+		}
+		kthLB := kthLowerBound(alive, p.in.K)
+		th := ev.threshold()
+
+		// Buffer condition, applied incrementally: prune candidates
+		// whose UB is strictly below the k-th LB. Bounds only tighten
+		// as cursors advance, so a pruned item can never re-qualify.
+		pruned := prune(alive, kthLB, p.in.K)
+		if len(pruned) < len(alive) {
+			prunedToK = true
+		}
+		alive = pruned
+
+		// Termination. The threshold condition guards unseen items
+		// (they are not in the buffer); the buffer condition holds
+		// when the k-th LB is at least the UB of every candidate
+		// outside the k selected by lower bound. Non-strict
+		// comparison keeps exact score ties from forcing a full scan:
+		// an item tied with the k-th at ub == lb == kthLB cannot
+		// *exceed* any returned item, so the returned set is still a
+		// correct top-k itemset (the paper's partial-order result).
+		if th > kthLB {
+			continue
+		}
+		sorted := sortByLB(alive)
+		met := true
+		for _, c := range sorted[p.in.K:] {
+			if c.ub > kthLB {
+				met = false
+				break
+			}
+		}
+		if met {
+			if len(alive) > p.in.K || prunedToK {
+				st.Stop = StopBuffer
+			} else {
+				st.Stop = StopThreshold
+			}
+			return Result{TopK: toItemScores(sorted[:p.in.K]), Stats: st}, nil
+		}
+	}
+}
+
+// runThresholdExact is the conservative baseline: it only trusts fully
+// known (exact) scores, stopping when k items are fully resolved and
+// the k-th exact score dominates the threshold.
+func (p *Problem) runThresholdExact() (Result, error) {
+	ev := newEvaluator(p)
+	st := AccessStats{TotalEntries: p.totalEntries}
+
+	seen := make(map[int]struct{}, 256)
+	checkEvery := p.in.CheckInterval
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	for {
+		progressed := false
+		for _, l := range p.lists {
+			e, ok := l.Next()
+			if !ok {
+				continue
+			}
+			progressed = true
+			st.SequentialAccesses++
+			ev.observe(l, e)
+			if itemKeyed(l.Kind) {
+				seen[e.Key] = struct{}{}
+			}
+		}
+		if !progressed {
+			st.Rounds++
+			st.Checks++
+			st.Stop = StopExhausted
+			scores := ev.exactAll()
+			return Result{TopK: topKExact(scores, p.in.K), Stats: st}, nil
+		}
+		st.Rounds++
+		if st.Rounds%checkEvery != 0 {
+			continue
+		}
+		st.Checks++
+
+		ev.refreshAffinity()
+		if !ev.affinityFullyKnown() {
+			continue
+		}
+		exact := make([]ItemScore, 0, len(seen))
+		for key := range seen {
+			if !ev.fullyKnown(key) {
+				continue
+			}
+			iv := ev.scoreItem(key)
+			exact = append(exact, ItemScore{Key: key, LB: iv.Lo, UB: iv.Hi})
+		}
+		if len(exact) < p.in.K {
+			continue
+		}
+		sort.Slice(exact, func(a, b int) bool {
+			if exact[a].LB != exact[b].LB {
+				return exact[a].LB > exact[b].LB
+			}
+			return exact[a].Key < exact[b].Key
+		})
+		kth := exact[p.in.K-1].LB
+		if th := ev.threshold(); th <= kth {
+			// Unseen items cannot beat the k-th exact score; partially
+			// seen items might, so also require their UBs dominated.
+			ok := true
+			for key := range seen {
+				if ev.fullyKnown(key) {
+					continue
+				}
+				if iv := ev.scoreItem(key); iv.Hi > kth {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				st.Stop = StopThreshold
+				return Result{TopK: exact[:p.in.K], Stats: st}, nil
+			}
+		}
+	}
+}
+
+func refreshBounds(ev *evaluator, alive []*candidate) {
+	for _, c := range alive {
+		iv := ev.scoreItem(c.key)
+		c.lb, c.ub = iv.Lo, iv.Hi
+	}
+}
+
+// lbHeap is a min-heap over candidate lower bounds, used to select the
+// k-th largest LB in O(n log k) — the paper's heap-backed buffer.
+type lbHeap []*candidate
+
+func (h lbHeap) Len() int            { return len(h) }
+func (h lbHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h lbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lbHeap) Push(x interface{}) { *h = append(*h, x.(*candidate)) }
+func (h *lbHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// kthLowerBound returns the k-th largest lower bound among alive
+// candidates (len(alive) >= k).
+func kthLowerBound(alive []*candidate, k int) float64 {
+	h := make(lbHeap, 0, k)
+	heap.Init(&h)
+	for _, c := range alive {
+		if len(h) < k {
+			heap.Push(&h, c)
+		} else if c.lb > h[0].lb {
+			h[0] = c
+			heap.Fix(&h, 0)
+		}
+	}
+	return h[0].lb
+}
+
+// prune drops candidates whose upper bound cannot exceed kthLB while
+// always keeping at least k candidates (the top-k by LB are never
+// dropped: their UB >= LB >= ... >= kthLB).
+func prune(alive []*candidate, kthLB float64, k int) []*candidate {
+	out := alive[:0]
+	for _, c := range alive {
+		if c.ub >= kthLB {
+			out = append(out, c)
+			continue
+		}
+		c.alive = false
+	}
+	// Defensive: interval arithmetic guarantees ub >= lb, so at least
+	// the k candidates defining kthLB survive. Verify cheaply.
+	if len(out) < k {
+		panic(fmt.Sprintf("core: pruned below k (%d < %d); bound invariant violated", len(out), k))
+	}
+	return out
+}
+
+// sortByLB returns the candidates ordered by descending lower bound
+// (ties by ascending key for determinism).
+func sortByLB(alive []*candidate) []*candidate {
+	sorted := append([]*candidate(nil), alive...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].lb != sorted[b].lb {
+			return sorted[a].lb > sorted[b].lb
+		}
+		return sorted[a].key < sorted[b].key
+	})
+	return sorted
+}
+
+func toItemScores(cands []*candidate) []ItemScore {
+	out := make([]ItemScore, len(cands))
+	for i, c := range cands {
+		out[i] = ItemScore{Key: c.key, LB: c.lb, UB: c.ub}
+	}
+	return out
+}
+
+// finalTopK selects the k candidates with the highest lower bounds.
+func finalTopK(alive []*candidate, k int) []ItemScore {
+	sorted := sortByLB(alive)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return toItemScores(sorted[:k])
+}

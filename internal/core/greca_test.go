@@ -1,0 +1,486 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// runningExampleInput builds the paper's §3.1 example: three users,
+// three items (Tables 1-4), two six-month periods, AP consensus.
+// Absolute preferences are normalized to [0,1] (the paper's worked
+// example skips normalization; scores differ by a constant factor
+// which cannot change the top-k).
+func runningExampleInput(k int) Input {
+	// Table 1 (ratings /5): u1: i1=5, i2=1, i3=1; u2: i1=5, i2=1,
+	// i3=0.5; u3: i1=2, i2=1, i3=2.
+	apref := [][]float64{
+		{1.0, 0.2, 0.2},
+		{1.0, 0.2, 0.1},
+		{0.4, 0.2, 0.4},
+	}
+	// Pair order: (0,1), (0,2), (1,2).
+	static := []float64{1.0, 0.2, 0.3} // Table 2
+	drift := [][]float64{
+		{0.8, 0.1, 0.2}, // Table 3, period p1
+		{0.7, 0.1, 0.1}, // Table 4, period p2
+	}
+	return Input{
+		Apref:             apref,
+		Static:            static,
+		Drift:             drift,
+		Spec:              consensus.AP(),
+		Agg:               DiscreteAggregator{Periods: 2},
+		K:                 k,
+		PartitionAffinity: true,
+	}
+}
+
+func TestRunningExampleTop1(t *testing.T) {
+	prob, err := NewProblem(runningExampleInput(1))
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	for _, mode := range []Mode{ModeGRECA, ModeThresholdExact, ModeFullScan} {
+		res, err := prob.Run(mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res.TopK) != 1 {
+			t.Fatalf("%v: got %d items, want 1", mode, len(res.TopK))
+		}
+		if res.TopK[0].Key != 0 {
+			t.Errorf("%v: top-1 item = i%d, want i1 (the paper's answer)", mode, res.TopK[0].Key+1)
+		}
+	}
+}
+
+func TestRunningExampleScoresMatchHandComputation(t *testing.T) {
+	// Hand computation for item i1 under the discrete model:
+	// aff(u1,u2) = clamp01(1 + (0.8+0.7)/2) = 1
+	// aff(u1,u3) = clamp01(0.2 + 0.1) = 0.3
+	// aff(u2,u3) = clamp01(0.3 + 0.15) = 0.45
+	// pref(u1,i1) = (1 + 1*1 + 0.3*0.4) / (1+2) = 2.12/3
+	// pref(u2,i1) = (1 + 1*1 + 0.45*0.4) / 3 = 2.18/3
+	// pref(u3,i1) = (0.4 + 0.3*1 + 0.45*1) / 3 = 1.15/3
+	// AP(i1) = (2.12 + 2.18 + 1.15) / 9 = 5.45/9
+	want := 5.45 / 9
+
+	prob, err := NewProblem(runningExampleInput(3))
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	res, err := prob.Run(ModeFullScan)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	var got float64
+	found := false
+	for _, is := range res.TopK {
+		if is.Key == 0 {
+			got = is.LB
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("item i1 missing from full ranking %v", res.TopK)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("score(i1) = %.10f, want %.10f", got, want)
+	}
+}
+
+func TestRunningExampleBoundsBracketExact(t *testing.T) {
+	prob, err := NewProblem(runningExampleInput(3))
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	full, err := prob.Run(ModeFullScan)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	exact := make(map[int]float64)
+	for _, is := range full.TopK {
+		exact[is.Key] = is.LB
+	}
+	greca, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("GRECA: %v", err)
+	}
+	for _, is := range greca.TopK {
+		e := exact[is.Key]
+		if is.LB > e+1e-12 || is.UB < e-1e-12 {
+			t.Errorf("item %d: exact %.6f outside [LB=%.6f, UB=%.6f]", is.Key, e, is.LB, is.UB)
+		}
+	}
+}
+
+// randomInput builds a random but valid instance.
+func randomInput(rng *rand.Rand, g, m, T, k int, spec consensus.Spec, agg Aggregator) Input {
+	in := Input{Spec: spec, Agg: agg, K: k, PartitionAffinity: rng.Intn(2) == 0}
+	in.Apref = make([][]float64, g)
+	for u := 0; u < g; u++ {
+		row := make([]float64, m)
+		for i := range row {
+			row[i] = math.Round(rng.Float64()*1000) / 1000
+		}
+		in.Apref[u] = row
+	}
+	if _, none := agg.(NoAffinityAggregator); !none && g >= 2 {
+		np := NumPairs(g)
+		in.Static = make([]float64, np)
+		for i := range in.Static {
+			in.Static[i] = rng.Float64()
+		}
+		in.Drift = make([][]float64, agg.NumPeriods())
+		for t := range in.Drift {
+			row := make([]float64, np)
+			for i := range row {
+				row[i] = 2*rng.Float64() - 1
+			}
+			in.Drift[t] = row
+		}
+	}
+	return in
+}
+
+// exactScores returns the exact consensus score of every item via a
+// full scan (K widened to the item count so the ranking is total).
+func exactScores(t *testing.T, in Input) []float64 {
+	t.Helper()
+	full := in
+	full.K = len(in.Apref[0])
+	prob, err := NewProblem(full)
+	if err != nil {
+		t.Fatalf("NewProblem(full ranking): %v", err)
+	}
+	res, err := prob.Run(ModeFullScan)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	scores := make([]float64, len(in.Apref[0]))
+	for _, is := range res.TopK {
+		scores[is.Key] = is.LB
+	}
+	return scores
+}
+
+// kthExact returns the k-th largest exact score.
+func kthExact(scores []float64, k int) float64 {
+	cp := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	return cp[k-1]
+}
+
+func specs() []consensus.Spec {
+	return []consensus.Spec{
+		consensus.AP(),
+		consensus.MO(),
+		consensus.PD(0.8),
+		consensus.PD(0.2),
+		consensus.VD(0.5),
+	}
+}
+
+func aggregators(g, T int) []Aggregator {
+	return []Aggregator{
+		DiscreteAggregator{Periods: T},
+		ContinuousAggregator{Periods: T, Rate: 0.2},
+		StaticAggregator{},
+		NoAffinityAggregator{},
+	}
+}
+
+// TestGRECAMatchesFullScan is the central correctness property: for
+// random instances across all consensus functions and affinity
+// models, GRECA's early-terminated top-k itemset must equal a valid
+// top-k of the exact full-scan ranking (ties allow substitution of
+// equal-scored items).
+func TestGRECAMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := 2 + rng.Intn(4)
+		m := 20 + rng.Intn(120)
+		T := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(8)
+		for _, spec := range specs() {
+			for _, agg := range aggregators(g, T) {
+				in := randomInput(rng, g, m, T, k, spec, agg)
+				prob, err := NewProblem(in)
+				if err != nil {
+					t.Fatalf("NewProblem(g=%d m=%d T=%d k=%d %v %v): %v", g, m, T, k, spec, agg, err)
+				}
+				scores := exactScores(t, in)
+				gr, err := prob.Run(ModeGRECA)
+				if err != nil {
+					t.Fatalf("GRECA: %v", err)
+				}
+				assertValidTopK(t, scores, gr, k, spec.String()+"/"+agg.String())
+			}
+		}
+	}
+}
+
+// assertValidTopK checks that every returned item's exact score is at
+// least the k-th exact score (up to fp tolerance) — the problem
+// definition's guarantee under partial order.
+func assertValidTopK(t *testing.T, scores []float64, got Result, k int, label string) {
+	t.Helper()
+	if len(got.TopK) != k {
+		t.Fatalf("%s: returned %d items, want %d", label, len(got.TopK), k)
+	}
+	kth := kthExact(scores, k)
+	seen := make(map[int]bool, k)
+	for _, is := range got.TopK {
+		if seen[is.Key] {
+			t.Fatalf("%s: duplicate item %d in result", label, is.Key)
+		}
+		seen[is.Key] = true
+		if e := scores[is.Key]; e < kth-1e-9 {
+			t.Errorf("%s: item %d exact score %.9f below k-th exact %.9f", label, is.Key, e, kth)
+		}
+	}
+}
+
+func TestGRECASavesAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInput(rng, 6, 1000, 6, 10, consensus.AP(), DiscreteAggregator{Periods: 6})
+	prob, err := NewProblem(in)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	res, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("GRECA: %v", err)
+	}
+	if res.Stats.SequentialAccesses >= prob.TotalEntries() {
+		t.Errorf("GRECA used %d accesses, full scan is %d — no saveup", res.Stats.SequentialAccesses, prob.TotalEntries())
+	}
+	if res.Stats.Stop == StopExhausted {
+		t.Errorf("GRECA exhausted all lists on a uniform-random instance")
+	}
+}
+
+func TestThresholdExactNeedsMoreAccessesThanGRECA(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := randomInput(rng, 4, 400, 3, 5, consensus.AP(), DiscreteAggregator{Periods: 3})
+	prob, err := NewProblem(in)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	gr, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("GRECA: %v", err)
+	}
+	te, err := prob.Run(ModeThresholdExact)
+	if err != nil {
+		t.Fatalf("threshold-exact: %v", err)
+	}
+	if te.Stats.SequentialAccesses < gr.Stats.SequentialAccesses {
+		t.Errorf("threshold-exact used %d accesses < GRECA's %d; buffer condition should dominate",
+			te.Stats.SequentialAccesses, gr.Stats.SequentialAccesses)
+	}
+}
+
+func TestCheckIntervalPreservesCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, ci := range []int{1, 2, 4, 16} {
+		in := randomInput(rng, 3, 200, 2, 5, consensus.PD(0.5), DiscreteAggregator{Periods: 2})
+		in.CheckInterval = ci
+		prob, err := NewProblem(in)
+		if err != nil {
+			t.Fatalf("NewProblem(ci=%d): %v", ci, err)
+		}
+		scores := exactScores(t, in)
+		gr, err := prob.Run(ModeGRECA)
+		if err != nil {
+			t.Fatalf("GRECA(ci=%d): %v", ci, err)
+		}
+		assertValidTopK(t, scores, gr, in.K, "checkInterval")
+	}
+}
+
+func TestMonolithicAffinityLayoutMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := randomInput(rng, 5, 150, 3, 6, consensus.AP(), DiscreteAggregator{Periods: 3})
+	in.PartitionAffinity = true
+	scores := exactScores(t, in)
+	in.PartitionAffinity = false
+	probMono, err := NewProblem(in)
+	if err != nil {
+		t.Fatalf("NewProblem(monolithic): %v", err)
+	}
+	grMono, err := probMono.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("GRECA mono: %v", err)
+	}
+	assertValidTopK(t, scores, grMono, in.K, "monolithic")
+}
+
+func TestSingleMemberGroup(t *testing.T) {
+	in := Input{
+		Apref: [][]float64{{0.9, 0.1, 0.5, 0.7}},
+		Spec:  consensus.AP(),
+		Agg:   NoAffinityAggregator{},
+		K:     2,
+	}
+	prob, err := NewProblem(in)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	res, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("GRECA: %v", err)
+	}
+	want := map[int]bool{0: true, 3: true}
+	for _, is := range res.TopK {
+		if !want[is.Key] {
+			t.Errorf("unexpected top-2 item %d", is.Key)
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	base := runningExampleInput(1)
+	cases := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"no members", func(in *Input) { in.Apref = nil }},
+		{"ragged apref", func(in *Input) { in.Apref[1] = in.Apref[1][:2] }},
+		{"apref out of range", func(in *Input) { in.Apref[0][0] = 1.5 }},
+		{"nan apref", func(in *Input) { in.Apref[0][0] = math.NaN() }},
+		{"nil aggregator", func(in *Input) { in.Agg = nil }},
+		{"k zero", func(in *Input) { in.K = 0 }},
+		{"k too large", func(in *Input) { in.K = 4 }},
+		{"static wrong size", func(in *Input) { in.Static = in.Static[:1] }},
+		{"drift wrong periods", func(in *Input) { in.Drift = in.Drift[:1] }},
+		{"drift ragged", func(in *Input) { in.Drift[0] = in.Drift[0][:1] }},
+		{"bad spec", func(in *Input) {
+			in.Spec = consensus.Spec{Pref: consensus.Average, Dis: consensus.PairwiseDisagreement, W1: 0.8, W2: 0.9}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := runningExampleInput(1)
+			_ = base
+			tc.mutate(&in)
+			if _, err := NewProblem(in); err == nil {
+				t.Errorf("NewProblem accepted invalid input (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestStopReasonsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sawStop := map[StopReason]bool{}
+	for trial := 0; trial < 30; trial++ {
+		in := randomInput(rng, 3, 60, 2, 3, consensus.AP(), DiscreteAggregator{Periods: 2})
+		prob, err := NewProblem(in)
+		if err != nil {
+			t.Fatalf("NewProblem: %v", err)
+		}
+		res, err := prob.Run(ModeGRECA)
+		if err != nil {
+			t.Fatalf("GRECA: %v", err)
+		}
+		sawStop[res.Stats.Stop] = true
+	}
+	if !sawStop[StopBuffer] && !sawStop[StopThreshold] {
+		t.Errorf("no early termination observed across 30 random instances: %v", sawStop)
+	}
+}
+
+func TestAccessStatsArithmetic(t *testing.T) {
+	s := AccessStats{SequentialAccesses: 25, TotalEntries: 100}
+	if got := s.PercentSA(); got != 25 {
+		t.Errorf("PercentSA = %v, want 25", got)
+	}
+	if got := s.Saveup(); got != 75 {
+		t.Errorf("Saveup = %v, want 75", got)
+	}
+	var zero AccessStats
+	if zero.PercentSA() != 0 {
+		t.Errorf("zero-entry PercentSA should be 0")
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	prob, err := NewProblem(runningExampleInput(2))
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	first, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if first.Stats != second.Stats {
+		t.Errorf("stats differ across identical runs: %+v vs %+v", first.Stats, second.Stats)
+	}
+	if len(first.TopK) != len(second.TopK) {
+		t.Fatalf("result sizes differ")
+	}
+	for i := range first.TopK {
+		if first.TopK[i] != second.TopK[i] {
+			t.Errorf("item %d differs: %+v vs %+v", i, first.TopK[i], second.TopK[i])
+		}
+	}
+}
+
+func TestRAPerItemMatchesPaperExample(t *testing.T) {
+	// §3.1: computing the complete score of item i1 for the 3-user
+	// running example over 2 periods costs 21 random accesses.
+	if got := RAPerItem(3, 2); got != 21 {
+		t.Errorf("RAPerItem(3,2) = %d, want 21", got)
+	}
+	if got := RAPerItem(1, 5); got != 1 {
+		t.Errorf("single-member RAPerItem = %d, want 1", got)
+	}
+}
+
+func TestTAReturnsValidTopKAndCountsRAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 12; trial++ {
+		g := 2 + rng.Intn(3)
+		in := randomInput(rng, g, 80, 2, 4, consensus.AP(), DiscreteAggregator{Periods: 2})
+		scores := exactScores(t, in)
+		prob, err := NewProblem(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prob.Run(ModeTA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertValidTopK(t, scores, res, in.K, "TA")
+		if res.Stats.RandomAccesses == 0 {
+			t.Errorf("TA made no random accesses")
+		}
+		want := RAPerItem(g, 2)
+		if res.Stats.RandomAccesses%want != 0 {
+			t.Errorf("RA count %d not a multiple of per-item cost %d", res.Stats.RandomAccesses, want)
+		}
+	}
+}
+
+func TestGRECAMakesNoRandomAccesses(t *testing.T) {
+	prob, err := NewProblem(runningExampleInput(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prob.Run(ModeGRECA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RandomAccesses != 0 {
+		t.Errorf("GRECA counted %d random accesses", res.Stats.RandomAccesses)
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements GRECA (Group Recommendation with temporal
+// Affinities), the paper's instance-optimal top-k algorithm (§3), plus
+// the baselines it is evaluated against. The algorithm consumes
+// descending-sorted lists — per-member absolute preference lists,
+// static affinity lists and one periodic-drift affinity list per time
+// period — using sequential accesses only (NRA style), maintains
+// interval bounds for every encountered item, and terminates early via
+// the paper's global-threshold and buffer conditions.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ListKind distinguishes the three list families GRECA scans.
+type ListKind int
+
+const (
+	// PrefList holds (item, apref) entries of one group member.
+	PrefList ListKind = iota
+	// StaticList holds (pair, affS) entries.
+	StaticList
+	// DriftList holds (pair, periodic drift) entries for one period.
+	DriftList
+	// AgreementList holds (item, 1−|apref_u − apref_v|) entries of one
+	// member pair — the paper's pair-wise disagreement lists (Lemma 1,
+	// following its reference [3]) recast as descending agreement so
+	// the same cursor machinery applies: unseen items have agreement
+	// at most the cursor, i.e. disagreement at least 1−cursor, which
+	// is what lets disagreement-heavy consensus functions (PD V2)
+	// terminate quickly.
+	AgreementList
+)
+
+// String names the kind for diagnostics.
+func (k ListKind) String() string {
+	switch k {
+	case PrefList:
+		return "pref"
+	case StaticList:
+		return "static"
+	case DriftList:
+		return "drift"
+	case AgreementList:
+		return "agreement"
+	default:
+		return fmt.Sprintf("ListKind(%d)", int(k))
+	}
+}
+
+// Entry is one list element: Key is an item index for PrefList or a
+// pair index for affinity lists; Value is the sorted score.
+type Entry struct {
+	Key   int
+	Value float64
+}
+
+// List is one descending-sorted input list with a sequential-access
+// cursor. MinValue and the first entry's value are list metadata
+// (available without accesses, like any precomputed index statistic);
+// everything else costs one sequential access per entry.
+type List struct {
+	Kind ListKind
+	// Owner is the group-member index the list belongs to (the
+	// paper's per-user partitioning of preference and affinity lists).
+	Owner int
+	// Period is the period index for DriftList (-1 otherwise).
+	Period int
+	// Entries are sorted by descending Value (ties by ascending Key
+	// for determinism).
+	Entries []Entry
+	// MinValue is the smallest value in the list, used as the lower
+	// bound for unseen entries.
+	MinValue float64
+
+	pos int // number of entries consumed
+}
+
+// newList sorts entries descending and fills metadata.
+func newList(kind ListKind, owner, period int, entries []Entry) *List {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	l := &List{Kind: kind, Owner: owner, Period: period, Entries: entries}
+	if len(entries) > 0 {
+		l.MinValue = entries[len(entries)-1].Value
+	}
+	return l
+}
+
+// Exhausted reports whether every entry has been consumed.
+func (l *List) Exhausted() bool { return l.pos >= len(l.Entries) }
+
+// Next consumes and returns the next entry; ok is false when the list
+// is exhausted. Each successful Next is one sequential access.
+func (l *List) Next() (Entry, bool) {
+	if l.Exhausted() {
+		return Entry{}, false
+	}
+	e := l.Entries[l.pos]
+	l.pos++
+	return e, true
+}
+
+// CursorValue is the upper bound for any unseen entry in the list: the
+// value of the most recently read entry, or the list maximum before
+// the first read (sorted-list metadata).
+func (l *List) CursorValue() float64 {
+	if len(l.Entries) == 0 {
+		return 0
+	}
+	if l.pos == 0 {
+		return l.Entries[0].Value
+	}
+	return l.Entries[l.pos-1].Value
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// Pos returns the number of consumed entries.
+func (l *List) Pos() int { return l.pos }
+
+// reset rewinds the cursor so the same problem can be re-run.
+func (l *List) reset() { l.pos = 0 }
+
+// PairIndex maps member-index pairs (i<j) of a group of size g onto
+// the dense range [0, g(g-1)/2). This is the canonical ordering of all
+// pairwise affinity storage in the engine.
+func PairIndex(g, i, j int) int {
+	if i == j || i < 0 || j < 0 || i >= g || j >= g {
+		panic(fmt.Sprintf("core: bad pair (%d,%d) for group size %d", i, j, g))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return i*(2*g-i-1)/2 + (j - i - 1)
+}
+
+// NumPairs returns g(g-1)/2.
+func NumPairs(g int) int { return g * (g - 1) / 2 }
+
+// PairMembers inverts PairIndex.
+func PairMembers(g, idx int) (int, int) {
+	if idx < 0 || idx >= NumPairs(g) {
+		panic(fmt.Sprintf("core: pair index %d outside [0,%d)", idx, NumPairs(g)))
+	}
+	for i := 0; i < g-1; i++ {
+		rowLen := g - i - 1
+		if idx < rowLen {
+			return i, i + 1 + idx
+		}
+		idx -= rowLen
+	}
+	panic("core: unreachable in PairMembers")
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/consensus"
+)
+
+// Input fully specifies one top-k group recommendation instance in
+// index space: members are 0..g-1, items 0..m-1, pairs 0..g(g-1)/2-1
+// (see PairIndex). The engine layer maps real user/item IDs onto these
+// indices.
+type Input struct {
+	// Apref[u][i] is member u's absolute preference for item i,
+	// normalized to [0,1].
+	Apref [][]float64
+	// Static[p] is the normalized static affinity of pair p in [0,1].
+	// May be nil when Agg ignores affinity.
+	Static []float64
+	// Drift[t][p] is the normalized periodic drift of pair p in period
+	// t, in [-1,1]. len(Drift) must equal Agg.NumPeriods().
+	Drift [][]float64
+	// Spec is the consensus function F.
+	Spec consensus.Spec
+	// Agg is the temporal affinity model.
+	Agg Aggregator
+	// K is the result size.
+	K int
+	// PartitionAffinity selects the paper's per-user decomposition of
+	// each affinity list into n−1 sublists (true, the default layout)
+	// versus one monolithic n(n−1)/2 list (false). Both layouts are
+	// correct; they differ in round-robin interleaving granularity.
+	PartitionAffinity bool
+	// CheckInterval is the number of round-robin rounds between
+	// stopping-condition evaluations; 0 or 1 checks every round.
+	// Larger intervals trade a few extra accesses for less bound
+	// recomputation.
+	CheckInterval int
+	// LooseBounds disables cursor-based bounds for unseen components,
+	// falling back to the static per-list [min, max] interval. This is
+	// the ablation of GRECA's NRA-style bound tightening: correctness
+	// is preserved but unseen components never tighten, so early
+	// termination happens much later.
+	LooseBounds bool
+}
+
+// Validate checks dimensional consistency.
+func (in *Input) Validate() error {
+	g := len(in.Apref)
+	if g < 1 {
+		return fmt.Errorf("core: Input needs at least one member")
+	}
+	m := len(in.Apref[0])
+	if m == 0 {
+		return fmt.Errorf("core: Input needs at least one item")
+	}
+	for u, row := range in.Apref {
+		if len(row) != m {
+			return fmt.Errorf("core: Apref row %d has %d items, want %d", u, len(row), m)
+		}
+		for i, v := range row {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("core: Apref[%d][%d]=%g outside [0,1]", u, i, v)
+			}
+		}
+	}
+	if in.Agg == nil {
+		return fmt.Errorf("core: Input.Agg is nil")
+	}
+	if err := in.Spec.Validate(); err != nil {
+		return err
+	}
+	needsAffinity := false
+	if _, ok := in.Agg.(NoAffinityAggregator); !ok {
+		needsAffinity = g >= 2
+	}
+	nPairs := NumPairs(g)
+	if needsAffinity {
+		if len(in.Static) != nPairs {
+			return fmt.Errorf("core: Static has %d entries, want %d", len(in.Static), nPairs)
+		}
+		if len(in.Drift) != in.Agg.NumPeriods() {
+			return fmt.Errorf("core: Drift has %d periods, aggregator wants %d", len(in.Drift), in.Agg.NumPeriods())
+		}
+		for t, row := range in.Drift {
+			if len(row) != nPairs {
+				return fmt.Errorf("core: Drift[%d] has %d entries, want %d", t, len(row), nPairs)
+			}
+		}
+	}
+	if in.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", in.K)
+	}
+	if in.K > m {
+		return fmt.Errorf("core: K=%d exceeds item count %d", in.K, m)
+	}
+	return nil
+}
+
+// Problem is a validated, list-built instance ready to Run. Problems
+// are single-use per Run call but may be Run repeatedly (cursors are
+// rewound); they are not safe for concurrent Runs.
+type Problem struct {
+	in     Input
+	g, m   int
+	nPairs int
+	// lists in fixed round-robin order.
+	lists []*List
+	// prefList[u] is member u's preference list.
+	prefList []*List
+	// pairStatic[p] / pairDrift[t][p] locate the list containing each
+	// pair's static / drift entry (needed for cursor-based bounds).
+	pairStatic []*List
+	pairDrift  [][]*List
+	// pairAgreement[p] is the pair's agreement list (pairwise
+	// disagreement consensus only).
+	pairAgreement []*List
+	// totalEntries is the full-scan access count (the saveup
+	// denominator).
+	totalEntries int
+	useAffinity  bool
+	useAgreement bool
+}
+
+// NewProblem validates in and builds the sorted lists.
+func NewProblem(in Input) (*Problem, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := len(in.Apref)
+	m := len(in.Apref[0])
+	p := &Problem{
+		in:     in,
+		g:      g,
+		m:      m,
+		nPairs: NumPairs(g),
+	}
+	if _, ok := in.Agg.(NoAffinityAggregator); !ok && g >= 2 {
+		p.useAffinity = true
+	}
+
+	// Preference lists: one per member, all m items.
+	p.prefList = make([]*List, g)
+	for u := 0; u < g; u++ {
+		entries := make([]Entry, m)
+		for i := 0; i < m; i++ {
+			entries[i] = Entry{Key: i, Value: in.Apref[u][i]}
+		}
+		l := newList(PrefList, u, -1, entries)
+		p.prefList[u] = l
+		p.lists = append(p.lists, l)
+	}
+
+	if p.useAffinity {
+		p.pairStatic = make([]*List, p.nPairs)
+		p.buildAffinityLists(StaticList, -1, in.Static, p.pairStatic)
+		T := in.Agg.NumPeriods()
+		p.pairDrift = make([][]*List, T)
+		for t := 0; t < T; t++ {
+			p.pairDrift[t] = make([]*List, p.nPairs)
+			p.buildAffinityLists(DriftList, t, in.Drift[t], p.pairDrift[t])
+		}
+	}
+
+	// Pairwise disagreement consensus reads the paper's per-pair
+	// disagreement lists, stored as descending agreement
+	// 1 − |apref_u − apref_v| so the cursor bounds unseen agreement
+	// from above (i.e. unseen disagreement from below).
+	if in.Spec.Dis == consensus.PairwiseDisagreement && g >= 2 {
+		p.useAgreement = true
+		p.pairAgreement = make([]*List, p.nPairs)
+		for i := 0; i < g; i++ {
+			for j := i + 1; j < g; j++ {
+				pairIdx := PairIndex(g, i, j)
+				entries := make([]Entry, m)
+				for it := 0; it < m; it++ {
+					d := in.Apref[i][it] - in.Apref[j][it]
+					if d < 0 {
+						d = -d
+					}
+					entries[it] = Entry{Key: it, Value: 1 - d}
+				}
+				l := newList(AgreementList, pairIdx, -1, entries)
+				p.pairAgreement[pairIdx] = l
+				p.lists = append(p.lists, l)
+			}
+		}
+	}
+
+	for _, l := range p.lists {
+		p.totalEntries += l.Len()
+	}
+	return p, nil
+}
+
+// buildAffinityLists creates either per-owner partitions (owner u
+// holds pairs (u, v) for v > u, the paper's layout) or one monolithic
+// list, and records which list carries each pair in locate.
+func (p *Problem) buildAffinityLists(kind ListKind, period int, values []float64, locate []*List) {
+	if p.in.PartitionAffinity {
+		for u := 0; u < p.g-1; u++ {
+			entries := make([]Entry, 0, p.g-u-1)
+			for v := u + 1; v < p.g; v++ {
+				entries = append(entries, Entry{Key: PairIndex(p.g, u, v), Value: values[PairIndex(p.g, u, v)]})
+			}
+			l := newList(kind, u, period, entries)
+			for _, e := range entries {
+				locate[e.Key] = l
+			}
+			p.lists = append(p.lists, l)
+		}
+		return
+	}
+	entries := make([]Entry, p.nPairs)
+	for i := 0; i < p.nPairs; i++ {
+		entries[i] = Entry{Key: i, Value: values[i]}
+	}
+	l := newList(kind, 0, period, entries)
+	for i := range entries {
+		locate[i] = l
+	}
+	p.lists = append(p.lists, l)
+}
+
+// GroupSize returns the number of members.
+func (p *Problem) GroupSize() int { return p.g }
+
+// NumItems returns the number of candidate items.
+func (p *Problem) NumItems() int { return p.m }
+
+// TotalEntries returns the number of entries a full scan reads.
+func (p *Problem) TotalEntries() int { return p.totalEntries }
+
+// NumLists returns the number of input lists.
+func (p *Problem) NumLists() int { return len(p.lists) }
+
+func (p *Problem) reset() {
+	for _, l := range p.lists {
+		l.reset()
+	}
+}

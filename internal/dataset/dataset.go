@@ -1,0 +1,253 @@
+// Package dataset provides the collaborative-rating substrate of the
+// reproduction: an in-memory rating store, a loader for the MovieLens
+// "::"-separated dump format, and a synthetic generator that reproduces
+// the marginal statistics of the MovieLens 1M dataset used by the paper
+// (Table 5: 6,040 users, 3,952 movies, 1,000,209 ratings on a 1..5
+// scale with a long-tailed item popularity distribution).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UserID identifies a user. IDs are dense small integers starting at 0
+// so that stores can be backed by slices.
+type UserID int
+
+// ItemID identifies an item (a movie in the paper's evaluation).
+type ItemID int
+
+// Rating is one (user, item, value, timestamp) observation. Value is on
+// the paper's 1..5 scale; Time is a Unix timestamp in seconds.
+type Rating struct {
+	User UserID
+	Item ItemID
+	// Value is the star rating, 1..5 (5 best).
+	Value float64
+	// Time is the rating timestamp (Unix seconds). The group
+	// recommendation pipeline does not need it, but the MovieLens
+	// format carries it and the loader preserves it.
+	Time int64
+}
+
+// Stats summarises a store; it is what Table 5 of the paper reports.
+type Stats struct {
+	Users   int
+	Items   int
+	Ratings int
+	// MeanRating is the average rating value.
+	MeanRating float64
+	// MeanRatingsPerUser is Ratings / Users.
+	MeanRatingsPerUser float64
+}
+
+// Store is an in-memory collaborative rating database with both
+// user-major and item-major access paths. It is immutable after
+// Freeze; all query methods are then safe for concurrent use.
+type Store struct {
+	byUser   map[UserID][]Rating
+	byItem   map[ItemID][]Rating
+	users    []UserID
+	items    []ItemID
+	nRatings int
+	sumVal   float64
+	frozen   bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byUser: make(map[UserID][]Rating),
+		byItem: make(map[ItemID][]Rating),
+	}
+}
+
+// Add appends one rating. It panics if the store is frozen (adding to a
+// frozen store is a programming error in this codebase, never a data
+// condition) and returns an error for out-of-domain values so that
+// loaders can surface malformed input lines.
+func (s *Store) Add(r Rating) error {
+	if s.frozen {
+		panic("dataset: Add on frozen Store")
+	}
+	if r.Value < 1 || r.Value > 5 {
+		return fmt.Errorf("dataset: rating value %.2f for user %d item %d outside [1,5]", r.Value, r.User, r.Item)
+	}
+	s.byUser[r.User] = append(s.byUser[r.User], r)
+	s.byItem[r.Item] = append(s.byItem[r.Item], r)
+	s.nRatings++
+	s.sumVal += r.Value
+	return nil
+}
+
+// Freeze sorts the internal indexes and makes the store read-only.
+// User lists are sorted by item, item lists by user, which gives
+// deterministic iteration and enables merge-style similarity scans.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.users = s.users[:0]
+	for u, rs := range s.byUser {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Item < rs[j].Item })
+		s.users = append(s.users, u)
+	}
+	sort.Slice(s.users, func(i, j int) bool { return s.users[i] < s.users[j] })
+	s.items = s.items[:0]
+	for it, rs := range s.byItem {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].User < rs[j].User })
+		s.items = append(s.items, it)
+	}
+	sort.Slice(s.items, func(i, j int) bool { return s.items[i] < s.items[j] })
+	s.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// Users returns all user IDs in ascending order. The store must be
+// frozen. The returned slice is shared; callers must not modify it.
+func (s *Store) Users() []UserID {
+	s.mustFrozen("Users")
+	return s.users
+}
+
+// Items returns all item IDs in ascending order (shared slice).
+func (s *Store) Items() []ItemID {
+	s.mustFrozen("Items")
+	return s.items
+}
+
+// ByUser returns the ratings of u sorted by item (shared slice; may be
+// nil if u rated nothing).
+func (s *Store) ByUser(u UserID) []Rating {
+	s.mustFrozen("ByUser")
+	return s.byUser[u]
+}
+
+// ByItem returns the ratings of item it sorted by user (shared slice).
+func (s *Store) ByItem(it ItemID) []Rating {
+	s.mustFrozen("ByItem")
+	return s.byItem[it]
+}
+
+// Value returns the rating of u for it and whether it exists.
+func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
+	rs := s.byUser[u]
+	lo, hi := 0, len(rs)
+	if s.frozen {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= it })
+		if i < len(rs) && rs[i].Item == it {
+			return rs[i].Value, true
+		}
+		return 0, false
+	}
+	for i := lo; i < hi; i++ {
+		if rs[i].Item == it {
+			return rs[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// HasRated reports whether user u has rated item it.
+func (s *Store) HasRated(u UserID, it ItemID) bool {
+	_, ok := s.Value(u, it)
+	return ok
+}
+
+// NumRatings returns the number of ratings stored.
+func (s *Store) NumRatings() int { return s.nRatings }
+
+// Stats computes the Table-5 style summary.
+func (s *Store) Stats() Stats {
+	s.mustFrozen("Stats")
+	st := Stats{
+		Users:   len(s.users),
+		Items:   len(s.items),
+		Ratings: s.nRatings,
+	}
+	if s.nRatings > 0 {
+		st.MeanRating = s.sumVal / float64(s.nRatings)
+	}
+	if st.Users > 0 {
+		st.MeanRatingsPerUser = float64(st.Ratings) / float64(st.Users)
+	}
+	return st
+}
+
+// ItemPopularity returns items sorted by descending rating count — the
+// paper's "popular set" selection (top-50 by popularity) uses this.
+func (s *Store) ItemPopularity() []ItemID {
+	s.mustFrozen("ItemPopularity")
+	out := make([]ItemID, len(s.items))
+	copy(out, s.items)
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := len(s.byItem[out[i]]), len(s.byItem[out[j]])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ItemRatingVariance returns the population variance of the ratings of
+// item it — the paper's "diversity set" picks the 25 highest-variance
+// items among the top-200 popular ones.
+func (s *Store) ItemRatingVariance(it ItemID) float64 {
+	rs := s.byItem[it]
+	n := len(rs)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Value
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, r := range rs {
+		d := r.Value - mean
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// PopularSet returns the n most-rated items (the paper uses n=50).
+func (s *Store) PopularSet(n int) []ItemID {
+	pop := s.ItemPopularity()
+	if n > len(pop) {
+		n = len(pop)
+	}
+	return pop[:n]
+}
+
+// DiversitySet returns the nDiverse items with the highest rating
+// variance among the topPop most popular items (the paper uses
+// nDiverse=25, topPop=200).
+func (s *Store) DiversitySet(nDiverse, topPop int) []ItemID {
+	pop := s.PopularSet(topPop)
+	cp := make([]ItemID, len(pop))
+	copy(cp, pop)
+	sort.Slice(cp, func(i, j int) bool {
+		vi, vj := s.ItemRatingVariance(cp[i]), s.ItemRatingVariance(cp[j])
+		if vi != vj {
+			return vi > vj
+		}
+		return cp[i] < cp[j]
+	})
+	if nDiverse > len(cp) {
+		nDiverse = len(cp)
+	}
+	out := make([]ItemID, nDiverse)
+	copy(out, cp[:nDiverse])
+	return out
+}
+
+func (s *Store) mustFrozen(op string) {
+	if !s.frozen {
+		panic("dataset: " + op + " requires a frozen Store")
+	}
+}

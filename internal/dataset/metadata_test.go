@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func genMeta(t *testing.T) (*Synth, *Metadata) {
+	t.Helper()
+	cfg := DefaultSynthConfig()
+	cfg.Users = 40
+	cfg.Items = 80
+	cfg.TargetRatings = 800
+	sy, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return sy, GenerateMetadata(sy, 5)
+}
+
+func TestGenerateMetadataCoversWorld(t *testing.T) {
+	sy, md := genMeta(t)
+	if md.NumMovies() != sy.Config.Items {
+		t.Errorf("movies = %d, want %d", md.NumMovies(), sy.Config.Items)
+	}
+	if md.NumUsers() != sy.Config.Users {
+		t.Errorf("users = %d, want %d", md.NumUsers(), sy.Config.Users)
+	}
+	m, ok := md.Movie(0)
+	if !ok || m.Title == "" || len(m.Genres) == 0 {
+		t.Errorf("movie 0 incomplete: %+v", m)
+	}
+	// Primary genre label must reflect the latent genre.
+	if want := MovieLensGenres[sy.ItemGenre[0]]; m.Genres[0] != want {
+		t.Errorf("movie 0 genre %q, want %q", m.Genres[0], want)
+	}
+	u, ok := md.User(0)
+	if !ok || (u.Gender != GenderFemale && u.Gender != GenderMale) {
+		t.Errorf("user 0 incomplete: %+v", u)
+	}
+	validAge := false
+	for _, a := range MovieLensAgeBrackets {
+		if u.Age == a {
+			validAge = true
+		}
+	}
+	if !validAge {
+		t.Errorf("age %d not a MovieLens bracket", u.Age)
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	_, md := genMeta(t)
+	var movies, users bytes.Buffer
+	if err := md.WriteMovies(&movies); err != nil {
+		t.Fatal(err)
+	}
+	if err := md.WriteUsers(&users); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewMetadata()
+	if err := loaded.ReadMovies(&movies); err != nil {
+		t.Fatalf("ReadMovies: %v", err)
+	}
+	if err := loaded.ReadUsers(&users); err != nil {
+		t.Fatalf("ReadUsers: %v", err)
+	}
+	if loaded.NumMovies() != md.NumMovies() || loaded.NumUsers() != md.NumUsers() {
+		t.Fatalf("round trip lost rows: %d/%d movies, %d/%d users",
+			loaded.NumMovies(), md.NumMovies(), loaded.NumUsers(), md.NumUsers())
+	}
+	for id := 0; id < md.NumMovies(); id++ {
+		a, _ := md.Movie(ItemID(id))
+		b, ok := loaded.Movie(ItemID(id))
+		if !ok || a.Title != b.Title || strings.Join(a.Genres, "|") != strings.Join(b.Genres, "|") {
+			t.Fatalf("movie %d mismatch: %+v vs %+v", id, a, b)
+		}
+	}
+}
+
+func TestReadMoviesRejectsMalformed(t *testing.T) {
+	for _, line := range []string{"1::only-two", "x::title::Drama"} {
+		md := NewMetadata()
+		if err := md.ReadMovies(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// Titles containing "::"-free colons must parse.
+	md := NewMetadata()
+	if err := md.ReadMovies(strings.NewReader("7::Movie: The Sequel (1999)::Drama|Comedy\n")); err != nil {
+		t.Fatalf("rejected valid movie line: %v", err)
+	}
+	m, _ := md.Movie(7)
+	if m.Title != "Movie: The Sequel (1999)" || len(m.Genres) != 2 {
+		t.Errorf("parsed movie wrong: %+v", m)
+	}
+}
+
+func TestReadUsersRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1::F::25",            // short
+		"x::F::25::3::12345",  // bad id
+		"1::Q::25::3::12345",  // bad gender
+		"1::F::xx::3::12345",  // bad age
+		"1::F::25::xx::12345", // bad occupation
+	}
+	for _, line := range bad {
+		md := NewMetadata()
+		if err := md.ReadUsers(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestDemographicAffinity(t *testing.T) {
+	md := NewMetadata()
+	md.AddUser(User{ID: 1, Gender: GenderFemale, Age: 25, Occupation: 3})
+	md.AddUser(User{ID: 2, Gender: GenderFemale, Age: 25, Occupation: 7})
+	md.AddUser(User{ID: 3, Gender: GenderMale, Age: 50, Occupation: 3})
+	if got := md.DemographicAffinity(1, 2); got != 2 {
+		t.Errorf("aff(1,2) = %v, want 2 (gender+age)", got)
+	}
+	if got := md.DemographicAffinity(1, 3); got != 1 {
+		t.Errorf("aff(1,3) = %v, want 1 (occupation)", got)
+	}
+	if got := md.DemographicAffinity(1, 99); got != 0 {
+		t.Errorf("aff with missing user = %v, want 0", got)
+	}
+	if !md.SameAgeBracket(1, 2) || md.SameAgeBracket(1, 3) {
+		t.Errorf("SameAgeBracket wrong")
+	}
+	if md.Title(12345) != "Movie 12345" {
+		t.Errorf("placeholder title wrong: %q", md.Title(12345))
+	}
+}

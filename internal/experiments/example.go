@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// RunningExampleResult reproduces the paper's §3.1 worked example
+// (Tables 1-4): the top-1 answer and the access economics of GRECA
+// versus the naive TA adaptation.
+type RunningExampleResult struct {
+	// TopItem is the 1-based item number GRECA returns (the paper's
+	// answer is i1).
+	TopItem int
+	// GRECASequential is GRECA's sequential access count; it makes no
+	// random accesses.
+	GRECASequential int
+	// TARandomPerItem is TA's per-item random-access cost — the 21 the
+	// paper derives in §3.1.
+	TARandomPerItem int
+	// TARandomTotal is TA's total random accesses on the example.
+	TARandomTotal int
+	TotalEntries  int
+}
+
+// ExperimentRunningExample runs Tables 1-4 through GRECA and TA.
+func ExperimentRunningExample() (RunningExampleResult, error) {
+	in := core.Input{
+		Apref: [][]float64{
+			{1.0, 0.2, 0.2},
+			{1.0, 0.2, 0.1},
+			{0.4, 0.2, 0.4},
+		},
+		Static: []float64{1.0, 0.2, 0.3},
+		Drift: [][]float64{
+			{0.8, 0.1, 0.2},
+			{0.7, 0.1, 0.1},
+		},
+		Spec:              consensus.AP(),
+		Agg:               core.DiscreteAggregator{Periods: 2},
+		K:                 1,
+		PartitionAffinity: true,
+	}
+	prob, err := core.NewProblem(in)
+	if err != nil {
+		return RunningExampleResult{}, fmt.Errorf("running example: %w", err)
+	}
+	greca, err := prob.Run(core.ModeGRECA)
+	if err != nil {
+		return RunningExampleResult{}, fmt.Errorf("running example GRECA: %w", err)
+	}
+	ta, err := prob.Run(core.ModeTA)
+	if err != nil {
+		return RunningExampleResult{}, fmt.Errorf("running example TA: %w", err)
+	}
+	return RunningExampleResult{
+		TopItem:         greca.TopK[0].Key + 1,
+		GRECASequential: greca.Stats.SequentialAccesses,
+		TARandomPerItem: core.RAPerItem(3, 2),
+		TARandomTotal:   ta.Stats.RandomAccesses,
+		TotalEntries:    prob.TotalEntries(),
+	}, nil
+}
+
+// WriteRunningExample renders the §3.1 section of the report.
+func WriteRunningExample(w io.Writer, r RunningExampleResult) error {
+	_, err := fmt.Fprintf(w, `
+## §3.1 — Running Example (Tables 1-4)
+
+Top-1 item: **i%d** (the paper's answer is i1).
+
+| Metric | Value | Paper |
+|---|---|---|
+| GRECA sequential accesses | %d of %d entries | "avoids consuming all T·n(n−1)/2 entries" |
+| GRECA random accesses | 0 | 0 (SAs only, like NRA) |
+| TA random accesses per item | %d | 21 |
+| TA random accesses total | %d | — |
+`, r.TopItem, r.GRECASequential, r.TotalEntries, r.TARandomPerItem, r.TARandomTotal)
+	return err
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/groups"
+	"repro/internal/study"
+)
+
+// testEnv builds a small, fast environment shared by the tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	cfg := repro.QuickConfig()
+	cfg.Dataset.Users = 150
+	cfg.Dataset.Items = 800
+	cfg.Dataset.TargetRatings = 15_000
+	env, err := NewEnv(cfg, 1)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestNewEnvBuildsStudyGroups(t *testing.T) {
+	env := testEnv(t)
+	if len(env.StudyGroups) != 24 {
+		t.Errorf("study groups = %d, want 24 (3 replicates × 8)", len(env.StudyGroups))
+	}
+}
+
+func TestTable5(t *testing.T) {
+	env := testEnv(t)
+	r := ExperimentTable5(env.World.Ratings())
+	if r.Stats.Users == 0 || r.Stats.Ratings == 0 {
+		t.Errorf("empty stats: %+v", r.Stats)
+	}
+	if r.PaperUsers != 6040 || r.PaperMovies != 3952 || r.PaperRatings != 1_000_209 {
+		t.Errorf("paper constants wrong: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable5(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1000209") {
+		t.Errorf("report missing paper numbers:\n%s", buf.String())
+	}
+}
+
+func TestFigure4ShapeMatchesPaper(t *testing.T) {
+	env := testEnv(t)
+	rows := ExperimentFigure4(env.World.SocialNetwork(),
+		env.World.Timeline().Start, env.World.Timeline().End)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Period counts must match the paper exactly (pure calendar math).
+	for _, row := range rows {
+		if row.NumPeriods != row.PaperNumPeriods {
+			t.Errorf("%v: %d periods, paper %d", row.Granularity, row.NumPeriods, row.PaperNumPeriods)
+		}
+	}
+	// Non-emptiness must increase with period length and straddle the
+	// paper's two-month sweet spot (between 50%% and 90%%).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NonEmptyPct < rows[i-1].NonEmptyPct {
+			t.Errorf("non-emptiness not monotone at %v", rows[i].Granularity)
+		}
+	}
+	two := rows[2]
+	if two.NonEmptyPct < 50 || two.NonEmptyPct > 90 {
+		t.Errorf("two-month non-emptiness %.1f%% far from paper's 67.4%%", two.NonEmptyPct)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure4(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1And3Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	r1, err := ExperimentFigure1(env)
+	if err != nil {
+		t.Fatalf("figure 1: %v", err)
+	}
+	if len(r1.Charts) != 6 {
+		t.Errorf("charts = %d", len(r1.Charts))
+	}
+	for v, scores := range r1.Charts {
+		for c, pct := range scores {
+			if pct < 0 || pct > 100 {
+				t.Errorf("%v/%v = %v", v, c, pct)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure1(&buf, r1); err != nil {
+		t.Fatal(err)
+	}
+
+	r3, err := ExperimentFigure3(env)
+	if err != nil {
+		t.Fatalf("figure 3: %v", err)
+	}
+	for _, scores := range []study.CharacteristicScores{r3.AffinityVsAgnostic, r3.TimeVsAgnostic, r3.ContinuousVsDisc} {
+		for c, pct := range scores {
+			if pct < 0 || pct > 100 {
+				t.Errorf("fig3 %v = %v", c, pct)
+			}
+		}
+	}
+	buf.Reset()
+	if err := WriteFigure3(&buf, r3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2SharesAndPaperData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	r, err := ExperimentFigure2(env)
+	if err != nil {
+		t.Fatalf("figure 2: %v", err)
+	}
+	paper := Figure2Paper()
+	// The paper's embedded AP+MO+PD shares sum to 100 per column.
+	for _, c := range groups.Characteristics() {
+		sum := paper["AP"][c] + paper["MO"][c] + paper["PD"][c]
+		if sum < 99 || sum > 101 {
+			t.Errorf("paper shares for %v sum to %v", c, sum)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure2(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper") {
+		t.Errorf("figure 2 report missing paper rows")
+	}
+}
+
+func TestScalabilitySweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	gs := env.RandomGroups(3, 4)
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	opt := defaultOptions()
+	opt.NumItems = 300
+	pt, err := measure(env, gs, opt)
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	if pt.N != 3 {
+		t.Errorf("N = %d", pt.N)
+	}
+	if pt.AvgPctSA <= 0 || pt.AvgPctSA > 100 {
+		t.Errorf("AvgPctSA = %v", pt.AvgPctSA)
+	}
+	// The paper's headline: saveup of 75% or beyond.
+	if pt.AvgPctSA > 25 {
+		t.Errorf("saveup below 75%%: avg #SA = %.1f%%", pt.AvgPctSA)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweep(&buf, "test", "x", []SweepPoint{pt}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := repro.QuickConfig()
+	cfg.Dataset.Users = 150
+	cfg.Dataset.Items = 800
+	cfg.Dataset.TargetRatings = 15_000
+	env, err := NewEnv(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ExperimentAblations(env)
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	if r.LooseBoundsPctSA < r.GRECAPctSA {
+		t.Errorf("loose bounds (%.1f%%) beat tight bounds (%.1f%%)", r.LooseBoundsPctSA, r.GRECAPctSA)
+	}
+	if r.ThresholdExactPctSA < r.GRECAPctSA-1e-9 {
+		t.Errorf("threshold-exact (%.1f%%) beat GRECA (%.1f%%)", r.ThresholdExactPctSA, r.GRECAPctSA)
+	}
+	var buf bytes.Buffer
+	if err := WriteAblations(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualityAndScalabilityConfigsBuild(t *testing.T) {
+	if q := QualityConfig(); q.Dataset.Users == 0 {
+		t.Errorf("quality config empty")
+	}
+	if s := ScalabilityConfig(); s.Dataset.Items < 3900 {
+		t.Errorf("scalability catalog too small for the paper's 3,900-item default")
+	}
+}
+
+func TestExperimentTable5FullScaleMarginals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Generating the full 1M-rating dataset takes a few seconds; check
+	// Table 5's exact marginals once.
+	sy, err := dataset.Generate(dataset.MovieLens1MConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sy.Store.Stats()
+	if st.Users != 6040 {
+		t.Errorf("users = %d, want 6040", st.Users)
+	}
+	if st.Ratings != 1_000_209 {
+		t.Errorf("ratings = %d, want 1000209", st.Ratings)
+	}
+	if st.Items > 3952 {
+		t.Errorf("items = %d, beyond 3952", st.Items)
+	}
+}
+
+func TestRunningExampleExperiment(t *testing.T) {
+	r, err := ExperimentRunningExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TopItem != 1 {
+		t.Errorf("top item = i%d, want i1", r.TopItem)
+	}
+	if r.TARandomPerItem != 21 {
+		t.Errorf("TA RA per item = %d, want 21", r.TARandomPerItem)
+	}
+	if r.GRECASequential >= r.TotalEntries {
+		t.Errorf("GRECA read everything on the running example")
+	}
+	var buf bytes.Buffer
+	if err := WriteRunningExample(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "i1") {
+		t.Errorf("report missing answer")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := ExperimentSeedSensitivity([]int64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Seed != 11 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.TimeAwarePct < 0 || r.TimeAwarePct > 100 || r.AffinityAwarePct < 0 || r.AffinityAwarePct > 100 {
+			t.Errorf("percentages out of range: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSensitivity(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Seed") {
+		t.Errorf("report missing header")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/affinity"
+)
+
+// ClusteredIndexRow is one point of the §6 future-work study: how much
+// affinity-index storage clustering saves at what approximation cost.
+type ClusteredIndexRow struct {
+	Clusters       int
+	CompressionPct float64
+	Eps            float64
+	MeanAbsErr     float64
+}
+
+// ExperimentClusteredIndex sweeps the cluster count of the compressed
+// affinity index over the study population (the paper's §6 proposal:
+// "combine incremental clustering with our indices in order to
+// determine the minimum amount of information to store").
+func ExperimentClusteredIndex(env *Env) ([]ClusteredIndexRow, error) {
+	m := env.World.AffinityModel()
+	n := len(env.World.Participants())
+	var out []ClusteredIndexRow
+	for _, k := range []int{2, 4, 8, 16, 36, n} {
+		if k > n {
+			continue
+		}
+		ci, err := affinity.BuildClusteredIndex(m, k)
+		if err != nil {
+			return nil, fmt.Errorf("clustered index k=%d: %w", k, err)
+		}
+		out = append(out, ClusteredIndexRow{
+			Clusters:       k,
+			CompressionPct: 100 * ci.CompressionRatio(),
+			Eps:            ci.Eps,
+			MeanAbsErr:     ci.MeanAbsError(),
+		})
+	}
+	return out, nil
+}
+
+// WriteClusteredIndex renders the clustered-index sweep.
+func WriteClusteredIndex(w io.Writer, rows []ClusteredIndexRow) error {
+	if _, err := fmt.Fprintf(w, "\n## Extension (§6) — Clustered Affinity Index\n\n| Clusters | Stored vs exact %% | ε (worst residual) | Mean abs error |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %d | %.1f | %.3f | %.4f |\n",
+			r.Clusters, r.CompressionPct, r.Eps, r.MeanAbsErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExperimentLargeGroups extends Figure 5B toward the paper's §6 plan
+// of "larger groups": group sizes up to the whole participant
+// population, with a reduced candidate pool to keep the quadratic
+// pairwise state tractable.
+func ExperimentLargeGroups(env *Env) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, size := range []int{12, 24, 48, len(env.World.Participants())} {
+		gs := env.RandomGroups(5, size)
+		opt := defaultOptions()
+		opt.NumItems = 900
+		opt.CheckInterval = 4
+		pt, err := measure(env, gs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("large groups size=%d: %w", size, err)
+		}
+		pt.X = float64(size)
+		pt.Label = fmt.Sprintf("size=%d", size)
+		out = append(out, pt)
+	}
+	return out, nil
+}

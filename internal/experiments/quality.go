@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/affinity"
+	"repro/internal/dataset"
+	"repro/internal/groups"
+	"repro/internal/social"
+	"repro/internal/study"
+)
+
+// Table5Result reproduces Table 5: the rating dataset statistics.
+type Table5Result struct {
+	Stats dataset.Stats
+	// Paper reports 6,040 users / 3,952 movies / 1,000,209 ratings.
+	PaperUsers, PaperMovies, PaperRatings int
+}
+
+// ExperimentTable5 generates (or summarizes) the MovieLens-shaped
+// store and reports its Table 5 statistics.
+func ExperimentTable5(store *dataset.Store) Table5Result {
+	return Table5Result{
+		Stats:        store.Stats(),
+		PaperUsers:   6040,
+		PaperMovies:  3952,
+		PaperRatings: 1_000_209,
+	}
+}
+
+// Figure1Result holds the independent-evaluation satisfaction
+// percentages: one chart (A-F) per variant, each with the six group
+// characteristics.
+type Figure1Result struct {
+	Charts map[study.Variant]study.CharacteristicScores
+}
+
+// ExperimentFigure1 runs the independent evaluation (Figure 1 A-F).
+func ExperimentFigure1(env *Env) (Figure1Result, error) {
+	out := Figure1Result{Charts: map[study.Variant]study.CharacteristicScores{}}
+	for _, v := range study.Variants() {
+		scores, err := env.Study.Independent(env.StudyGroups, v)
+		if err != nil {
+			return Figure1Result{}, fmt.Errorf("figure 1 (%v): %w", v, err)
+		}
+		out.Charts[v] = scores
+	}
+	return out, nil
+}
+
+// Figure2Result holds the three-way consensus vote shares (AP/MO/PD)
+// per group characteristic, plus the paper's exact embedded numbers
+// for comparison.
+type Figure2Result struct {
+	Shares map[study.Variant]study.CharacteristicScores
+	// Paper values from the figure's embedded data table.
+	Paper map[string]map[groups.Characteristic]float64
+}
+
+// Figure2Paper returns the exact percentages embedded in the paper's
+// Figure 2 chart data.
+func Figure2Paper() map[string]map[groups.Characteristic]float64 {
+	return map[string]map[groups.Characteristic]float64{
+		"AP": {
+			groups.Similar: 27.78, groups.Dissimilar: 22.22, groups.Small: 44.44,
+			groups.Large: 16.67, groups.HighAffinity: 38.89, groups.LowAffinity: 22.22,
+		},
+		"MO": {
+			groups.Similar: 22.22, groups.Dissimilar: 33.33, groups.Small: 16.67,
+			groups.Large: 44.44, groups.HighAffinity: 16.67, groups.LowAffinity: 33.33,
+		},
+		"PD": {
+			groups.Similar: 50.00, groups.Dissimilar: 44.44, groups.Small: 38.89,
+			groups.Large: 38.89, groups.HighAffinity: 44.44, groups.LowAffinity: 44.44,
+		},
+	}
+}
+
+// ExperimentFigure2 runs the qualitative consensus comparison.
+func ExperimentFigure2(env *Env) (Figure2Result, error) {
+	shares, err := env.Study.ConsensusShares(env.StudyGroups)
+	if err != nil {
+		return Figure2Result{}, fmt.Errorf("figure 2: %w", err)
+	}
+	return Figure2Result{Shares: shares, Paper: Figure2Paper()}, nil
+}
+
+// Figure3Result holds the pairwise comparative evaluations:
+// A) affinity-aware vs affinity-agnostic, B) time-aware vs
+// time-agnostic, C) continuous vs discrete. Values are the percentage
+// of verdicts preferring the first list.
+type Figure3Result struct {
+	AffinityVsAgnostic study.CharacteristicScores
+	TimeVsAgnostic     study.CharacteristicScores
+	ContinuousVsDisc   study.CharacteristicScores
+}
+
+// ExperimentFigure3 runs the three comparative studies.
+func ExperimentFigure3(env *Env) (Figure3Result, error) {
+	a, err := env.Study.Comparative(env.StudyGroups, study.Default, study.AffinityAgnostic)
+	if err != nil {
+		return Figure3Result{}, fmt.Errorf("figure 3A: %w", err)
+	}
+	b, err := env.Study.Comparative(env.StudyGroups, study.Default, study.TimeAgnostic)
+	if err != nil {
+		return Figure3Result{}, fmt.Errorf("figure 3B: %w", err)
+	}
+	c, err := env.Study.Comparative(env.StudyGroups, study.ContinuousTime, study.Default)
+	if err != nil {
+		return Figure3Result{}, fmt.Errorf("figure 3C: %w", err)
+	}
+	return Figure3Result{AffinityVsAgnostic: a, TimeVsAgnostic: b, ContinuousVsDisc: c}, nil
+}
+
+// Figure4Row is one granularity row of Figure 4.
+type Figure4Row struct {
+	Granularity affinity.Granularity
+	NonEmptyPct float64
+	NumPeriods  int
+	// Paper values for the same granularity.
+	PaperNonEmptyPct float64
+	PaperNumPeriods  int
+}
+
+// ExperimentFigure4 measures the fraction of non-empty (user, period)
+// like cells for each granularity over the study window.
+func ExperimentFigure4(net *social.Network, start, end int64) []Figure4Row {
+	paper := map[affinity.Granularity]struct {
+		pct float64
+		n   int
+	}{
+		affinity.Week:     {26.01, 53},
+		affinity.Month:    {54.35, 12},
+		affinity.TwoMonth: {67.40, 6},
+		affinity.Season:   {77.18, 4},
+		affinity.HalfYear: {97.83, 2},
+	}
+	gs := []affinity.Granularity{affinity.Week, affinity.Month, affinity.TwoMonth, affinity.Season, affinity.HalfYear}
+	out := make([]Figure4Row, 0, len(gs))
+	for _, g := range gs {
+		frac, n := affinity.NonEmptyFraction(net, start, end, g)
+		out = append(out, Figure4Row{
+			Granularity:      g,
+			NonEmptyPct:      100 * frac,
+			NumPeriods:       n,
+			PaperNonEmptyPct: paper[g].pct,
+			PaperNumPeriods:  paper[g].n,
+		})
+	}
+	return out
+}

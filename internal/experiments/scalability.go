@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/groups"
+	"repro/internal/stats"
+)
+
+// Paper §4.2 defaults: 20 random groups, size 6, k=10, 3,900 items,
+// AP consensus, discrete time model.
+const (
+	DefaultNumGroups = 20
+	DefaultGroupSize = 6
+	DefaultK         = 10
+	DefaultNumItems  = 3900
+	// checkInterval batches GRECA's stopping checks; 2 keeps the
+	// access overhead negligible while halving bound recomputation.
+	checkInterval = 2
+)
+
+// SweepPoint is one x-axis point of a scalability figure: the mean
+// percentage of sequential accesses (vs full scan) over the group
+// sample, with its standard error (the paper's error bars).
+type SweepPoint struct {
+	Label    string
+	X        float64
+	AvgPctSA float64
+	StdErr   float64
+	N        int
+}
+
+// defaultOptions returns the §4.2 default recommendation options.
+func defaultOptions() repro.Options {
+	return repro.Options{
+		K:             DefaultK,
+		Consensus:     consensus.AP(),
+		TimeModel:     repro.Discrete,
+		NumItems:      DefaultNumItems,
+		CheckInterval: checkInterval,
+	}
+}
+
+// measure runs GRECA for every group under opt and aggregates the
+// percentage of sequential accesses. Groups run concurrently —
+// World.Recommend builds an independent problem per call and the CF
+// caches are internally synchronized.
+func measure(env *Env, gs []groups.Group, opt repro.Options) (SweepPoint, error) {
+	pcts := make([]float64, len(gs))
+	errs := make([]error, len(gs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g groups.Group) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rec, err := env.World.Recommend(g.Members, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: measuring group %v: %w", g.Members, err)
+				return
+			}
+			pcts[i] = rec.Stats.PercentSA()
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return SweepPoint{}, err
+		}
+	}
+	return SweepPoint{
+		AvgPctSA: stats.Mean(pcts),
+		StdErr:   stats.StdErr(pcts),
+		N:        len(pcts),
+	}, nil
+}
+
+// ExperimentFigure5A sweeps the result size k from 5 to 30 (Figure 5A).
+func ExperimentFigure5A(env *Env) ([]SweepPoint, error) {
+	gs := env.RandomGroups(DefaultNumGroups, DefaultGroupSize)
+	var out []SweepPoint
+	for k := 5; k <= 30; k += 5 {
+		opt := defaultOptions()
+		opt.K = k
+		pt, err := measure(env, gs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("figure 5A k=%d: %w", k, err)
+		}
+		pt.X = float64(k)
+		pt.Label = fmt.Sprintf("k=%d", k)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExperimentFigure5B sweeps the group size over {3, 6, 9, 12}
+// (Figure 5B).
+func ExperimentFigure5B(env *Env) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, size := range []int{3, 6, 9, 12} {
+		gs := env.RandomGroups(DefaultNumGroups, size)
+		pt, err := measure(env, gs, defaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("figure 5B size=%d: %w", size, err)
+		}
+		pt.X = float64(size)
+		pt.Label = fmt.Sprintf("size=%d", size)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExperimentFigure5C sweeps the candidate item count from 900 to
+// 3,900 (Figure 5C).
+func ExperimentFigure5C(env *Env) ([]SweepPoint, error) {
+	gs := env.RandomGroups(DefaultNumGroups, DefaultGroupSize)
+	var out []SweepPoint
+	for items := 900; items <= 3900; items += 500 {
+		opt := defaultOptions()
+		opt.NumItems = items
+		pt, err := measure(env, gs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("figure 5C items=%d: %w", items, err)
+		}
+		pt.X = float64(items)
+		pt.Label = fmt.Sprintf("items=%d", items)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExperimentFigure6 sweeps the "now" period from 1 to the timeline
+// length under the discrete model (Figure 6): later periods mean more
+// drift lists to aggregate, so accesses grow roughly linearly.
+func ExperimentFigure6(env *Env) ([]SweepPoint, error) {
+	gs := env.RandomGroups(DefaultNumGroups, DefaultGroupSize)
+	n := env.World.Timeline().NumPeriods()
+	var out []SweepPoint
+	for p := 1; p <= n; p++ {
+		opt := defaultOptions()
+		opt.Period = p
+		pt, err := measure(env, gs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("figure 6 period=%d: %w", p, err)
+		}
+		pt.X = float64(p)
+		pt.Label = fmt.Sprintf("period %d", p)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExperimentFigure7 compares the access cost across group types:
+// similar, dissimilar, high-affinity and low-affinity groups
+// (Figure 7). The paper finds similar and high-affinity groups prune
+// best.
+func ExperimentFigure7(env *Env) ([]SweepPoint, error) {
+	pool := env.World.Participants()
+	kinds := []struct {
+		label string
+		trait groups.Characteristic
+	}{
+		{"Sim", groups.Similar},
+		{"Diss", groups.Dissimilar},
+		{"High Aff", groups.HighAffinity},
+		{"Low Aff", groups.LowAffinity},
+	}
+	var out []SweepPoint
+	for i, kind := range kinds {
+		// Ten groups per type, varied by the former's sampling seed.
+		var gs []groups.Group
+		for s := 0; s < 10; s++ {
+			former := env.World.Former(env.Seed + int64(i*100+s))
+			var g groups.Group
+			switch kind.trait {
+			case groups.Similar:
+				g = former.Similar(pool, DefaultGroupSize)
+			case groups.Dissimilar:
+				g = former.Dissimilar(pool, DefaultGroupSize)
+			case groups.HighAffinity:
+				hg, err := former.HighAffinityGroup(pool, DefaultGroupSize)
+				if err != nil {
+					// Best-effort high-affinity group when the pool
+					// cannot reach the 0.4 threshold.
+					hg = former.LowAffinityGroup(pool, DefaultGroupSize)
+					hg.Traits = []groups.Characteristic{groups.HighAffinity}
+				}
+				g = hg
+			default:
+				g = former.LowAffinityGroup(pool, DefaultGroupSize)
+			}
+			gs = append(gs, g)
+		}
+		pt, err := measure(env, gs, defaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("figure 7 %s: %w", kind.label, err)
+		}
+		pt.X = float64(i)
+		pt.Label = kind.label
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExperimentFigure8 compares consensus functions: AR (the paper's
+// label for average rating/AP), MO, PD V1 (w1=0.8) and PD V2 (w1=0.2)
+// (Figure 8).
+func ExperimentFigure8(env *Env) ([]SweepPoint, error) {
+	gs := env.RandomGroups(DefaultNumGroups, DefaultGroupSize)
+	funcs := []struct {
+		label string
+		spec  consensus.Spec
+	}{
+		{"AR", consensus.AP()},
+		{"MO", consensus.MO()},
+		{"PD V1", consensus.PD(0.8)},
+		{"PD V2", consensus.PD(0.2)},
+	}
+	var out []SweepPoint
+	for i, f := range funcs {
+		opt := defaultOptions()
+		opt.Consensus = f.spec
+		pt, err := measure(env, gs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("figure 8 %s: %w", f.label, err)
+		}
+		pt.X = float64(i)
+		pt.Label = f.label
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TimeModelsResult compares the average %SA of the continuous and
+// discrete models (§4.2.4: 16.32% vs 16.6% in the paper).
+type TimeModelsResult struct {
+	ContinuousPctSA float64
+	DiscretePctSA   float64
+}
+
+// ExperimentTimeModels measures both time models on the same groups.
+func ExperimentTimeModels(env *Env) (TimeModelsResult, error) {
+	gs := env.RandomGroups(DefaultNumGroups, DefaultGroupSize)
+	disc, err := measure(env, gs, defaultOptions())
+	if err != nil {
+		return TimeModelsResult{}, fmt.Errorf("time models (discrete): %w", err)
+	}
+	opt := defaultOptions()
+	opt.TimeModel = repro.Continuous
+	cont, err := measure(env, gs, opt)
+	if err != nil {
+		return TimeModelsResult{}, fmt.Errorf("time models (continuous): %w", err)
+	}
+	return TimeModelsResult{ContinuousPctSA: cont.AvgPctSA, DiscretePctSA: disc.AvgPctSA}, nil
+}
+
+// AblationResult compares GRECA against its ablated executions on the
+// same instances (DESIGN.md §5).
+type AblationResult struct {
+	// GRECAPctSA is the full algorithm.
+	GRECAPctSA float64
+	// ThresholdExactPctSA disables the buffer condition (TA-style
+	// exact-score stopping).
+	ThresholdExactPctSA float64
+	// LooseBoundsPctSA disables cursor-based bound tightening.
+	LooseBoundsPctSA float64
+	// MonolithicPctSA uses one combined affinity list per component
+	// instead of the paper's per-user partitioning.
+	MonolithicPctSA float64
+}
+
+// ExperimentAblations measures the DESIGN.md ablations on a smaller
+// instance set (threshold-exact is expensive by construction).
+func ExperimentAblations(env *Env) (AblationResult, error) {
+	gs := env.RandomGroups(8, DefaultGroupSize)
+	opt := defaultOptions()
+	opt.NumItems = 900 // keep the exact-stopping baseline tractable
+
+	var out AblationResult
+	run := func(o repro.Options, mode core.Mode) (float64, error) {
+		var pcts []float64
+		for _, g := range gs {
+			prob, _, err := env.World.BuildProblem(g.Members, o)
+			if err != nil {
+				return 0, err
+			}
+			res, err := prob.Run(mode)
+			if err != nil {
+				return 0, err
+			}
+			pcts = append(pcts, res.Stats.PercentSA())
+		}
+		return stats.Mean(pcts), nil
+	}
+
+	var err error
+	if out.GRECAPctSA, err = run(opt, core.ModeGRECA); err != nil {
+		return out, fmt.Errorf("ablation GRECA: %w", err)
+	}
+	if out.ThresholdExactPctSA, err = run(opt, core.ModeThresholdExact); err != nil {
+		return out, fmt.Errorf("ablation threshold-exact: %w", err)
+	}
+	loose := opt
+	loose.LooseBounds = true
+	if out.LooseBoundsPctSA, err = run(loose, core.ModeGRECA); err != nil {
+		return out, fmt.Errorf("ablation loose bounds: %w", err)
+	}
+	mono := opt
+	mono.MonolithicAffinityLists = true
+	if out.MonolithicPctSA, err = run(mono, core.ModeGRECA); err != nil {
+		return out, fmt.Errorf("ablation monolithic lists: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/groups"
+	"repro/internal/study"
+)
+
+// SensitivityRow records, for one world seed, the headline quality
+// outcomes: the overall preference for time-aware over time-agnostic
+// recommendations (Figure 3B's aggregate) and for affinity-aware over
+// affinity-agnostic (Figure 3A's aggregate).
+type SensitivityRow struct {
+	Seed             int64
+	TimeAwarePct     float64
+	AffinityAwarePct float64
+}
+
+// ExperimentSeedSensitivity re-runs the two comparative headline
+// studies over several independently generated worlds. The paper's
+// single study cannot show run-to-run variance; this sweep makes the
+// simulated effect sizes' stability explicit (EXPERIMENTS.md reports
+// the time axis as the robust one).
+func ExperimentSeedSensitivity(seeds []int64) ([]SensitivityRow, error) {
+	out := make([]SensitivityRow, 0, len(seeds))
+	for _, seed := range seeds {
+		env, err := NewEnv(QualityConfig(), seed)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity seed %d: %w", seed, err)
+		}
+		timeAware, err := env.Study.Comparative(env.StudyGroups, study.Default, study.TimeAgnostic)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity seed %d (time): %w", seed, err)
+		}
+		affAware, err := env.Study.Comparative(env.StudyGroups, study.Default, study.AffinityAgnostic)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity seed %d (affinity): %w", seed, err)
+		}
+		out = append(out, SensitivityRow{
+			Seed:             seed,
+			TimeAwarePct:     overallPct(timeAware),
+			AffinityAwarePct: overallPct(affAware),
+		})
+	}
+	return out, nil
+}
+
+// overallPct averages a characteristic map into one headline number.
+func overallPct(cs study.CharacteristicScores) float64 {
+	var sum float64
+	n := 0
+	for _, c := range groups.Characteristics() {
+		if v, ok := cs[c]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteSensitivity renders the seed sweep.
+func WriteSensitivity(w io.Writer, rows []SensitivityRow) error {
+	if _, err := fmt.Fprintf(w, "\n## Seed Sensitivity — headline comparative preferences (%%)\n\n| Seed | Time-aware vs agnostic | Affinity-aware vs agnostic |\n|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %d | %.1f | %.1f |\n", r.Seed, r.TimeAwarePct, r.AffinityAwarePct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package preference implements the paper's user-item preference
+// model (§2.2): the overall preference of user u for item i in group G
+// is the absolute preference plus the affinity-weighted relative
+// preference,
+//
+//	pref(u,i,G,p) = apref(u,i) + rpref(u,i,G,p)
+//	rpref(u,i,G,p) = Σ_{u'≠u∈G} aff(u,u',p) · apref(u',i)
+//
+// Absolute preferences here are normalized to [0,1] (the engine
+// divides 1..5 CF predictions by 5) and the combined preference is
+// normalized by 1 + (|G|−1)·affMax so that scores stay in [0,1] and
+// are comparable across group sizes — the paper's worked example
+// "ignores normalization and final averaging"; we make it explicit.
+//
+// Functions operate on intervals so GRECA can evaluate the same model
+// with partially known inputs; point intervals recover exact values.
+package preference
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// AffinityFunc returns the affinity interval between group members at
+// positions i and j (i ≠ j) of the group slice. It must be symmetric.
+type AffinityFunc func(i, j int) stats.Interval
+
+// Combine computes the per-member overall preference intervals for a
+// single item. aprefs[i] is member i's absolute preference interval in
+// [0,1]; aff yields pairwise affinity intervals whose true values lie
+// in [affMin, affMax]. affMax must be positive; affMin may be negative
+// (decaying drift), in which case resulting preferences are clamped at
+// 0 from below after normalization.
+//
+// The normalizer is 1 + (g−1)·max(affMax, 0) — the largest achievable
+// unnormalized preference — so results lie in [0,1].
+func Combine(aprefs []stats.Interval, aff AffinityFunc, affMax float64) []stats.Interval {
+	g := len(aprefs)
+	if g == 0 {
+		return nil
+	}
+	if affMax <= 0 {
+		panic(fmt.Sprintf("preference: affMax must be positive, got %g", affMax))
+	}
+	norm := 1 + float64(g-1)*affMax
+	out := make([]stats.Interval, g)
+	for i := 0; i < g; i++ {
+		iv := aprefs[i]
+		for j := 0; j < g; j++ {
+			if j == i {
+				continue
+			}
+			iv = iv.Add(aff(i, j).Mul(aprefs[j]))
+		}
+		iv = iv.Scale(1 / norm)
+		// Negative drift can push a bound below zero; preferences are
+		// non-negative by construction of the model, so clamp.
+		out[i] = iv.Clamp(0, 1)
+	}
+	return out
+}
+
+// CombineExact is the point-value form of Combine.
+func CombineExact(aprefs []float64, aff func(i, j int) float64, affMax float64) []float64 {
+	ivs := make([]stats.Interval, len(aprefs))
+	for i, a := range aprefs {
+		ivs[i] = stats.Point(a)
+	}
+	res := Combine(ivs, func(i, j int) stats.Interval { return stats.Point(aff(i, j)) }, affMax)
+	out := make([]float64, len(res))
+	for i, iv := range res {
+		out[i] = iv.Lo
+	}
+	return out
+}
+
+// AffinityAgnostic is the AffinityFunc of the paper's affinity-
+// agnostic baseline: all pairwise affinities are zero, so pref
+// collapses to apref.
+func AffinityAgnostic(i, j int) stats.Interval { return stats.Point(0) }

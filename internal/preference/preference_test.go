@@ -1,0 +1,120 @@
+package preference
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestCombineExactHandComputed(t *testing.T) {
+	// Two users, affinity 0.5, aprefs 0.8 and 0.4, affMax 1.
+	// pref(0) = (0.8 + 0.5*0.4) / 2 = 0.5
+	// pref(1) = (0.4 + 0.5*0.8) / 2 = 0.4
+	aff := func(i, j int) float64 { return 0.5 }
+	got := CombineExact([]float64{0.8, 0.4}, aff, 1)
+	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.4) > 1e-12 {
+		t.Errorf("CombineExact = %v", got)
+	}
+}
+
+func TestCombineAffinityAgnosticIsRescaledApref(t *testing.T) {
+	aprefs := []float64{0.9, 0.1, 0.5}
+	got := CombineExact(aprefs, func(i, j int) float64 { return 0 }, 1)
+	// With zero affinity, pref = apref / (1 + (g-1)).
+	for i := range aprefs {
+		want := aprefs[i] / 3
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("pref[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCombineEmptyAndSingle(t *testing.T) {
+	if got := Combine(nil, AffinityAgnostic, 1); got != nil {
+		t.Errorf("empty Combine = %v", got)
+	}
+	got := Combine([]stats.Interval{stats.Point(0.7)}, AffinityAgnostic, 1)
+	if len(got) != 1 || got[0].Lo != 0.7 {
+		t.Errorf("single Combine = %v", got)
+	}
+}
+
+func TestCombinePanicsOnBadAffMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("affMax 0 did not panic")
+		}
+	}()
+	Combine([]stats.Interval{stats.Point(1)}, AffinityAgnostic, 0)
+}
+
+func TestCombineClampsNegativeDrift(t *testing.T) {
+	// Strongly negative affinity can push a preference below zero;
+	// the model clamps at 0.
+	aff := func(i, j int) stats.Interval { return stats.Point(-1) }
+	got := Combine([]stats.Interval{stats.Point(0.1), stats.Point(1)}, aff, 1)
+	for i, iv := range got {
+		if iv.Lo < 0 {
+			t.Errorf("pref[%d] = %v below 0", i, iv)
+		}
+	}
+}
+
+// TestQuickCombineSoundness: interval Combine encloses CombineExact at
+// sampled points.
+func TestQuickCombineSoundness(t *testing.T) {
+	f := func(a [4]float64, affRaw [6]float64) bool {
+		g := 4
+		aprefs := make([]float64, g)
+		ivs := make([]stats.Interval, g)
+		for i := range aprefs {
+			aprefs[i] = math.Abs(math.Mod(a[i], 1))
+			ivs[i] = stats.Point(aprefs[i])
+		}
+		pairVal := func(i, j int) float64 {
+			if i > j {
+				i, j = j, i
+			}
+			idx := i*3 + j - 1 // crude unique-ish index into affRaw
+			return math.Mod(math.Abs(affRaw[idx%6]), 1)
+		}
+		affIv := func(i, j int) stats.Interval { return stats.Point(pairVal(i, j)) }
+		affPt := pairVal
+		enclosed := Combine(ivs, affIv, 1)
+		exact := CombineExact(aprefs, affPt, 1)
+		for i := range exact {
+			if exact[i] < enclosed[i].Lo-1e-9 || exact[i] > enclosed[i].Hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCombineRange: with affinities in [0,1] and aprefs in [0,1],
+// preferences stay in [0,1].
+func TestQuickCombineRange(t *testing.T) {
+	f := func(a [5]float64, affSeed float64) bool {
+		ivs := make([]stats.Interval, 5)
+		for i := range ivs {
+			ivs[i] = stats.Point(math.Abs(math.Mod(a[i], 1)))
+		}
+		av := math.Abs(math.Mod(affSeed, 1))
+		aff := func(i, j int) stats.Interval { return stats.Point(av) }
+		got := Combine(ivs, aff, 1)
+		for _, iv := range got {
+			if iv.Lo < 0 || iv.Hi > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package social
+
+import (
+	"repro/internal/dataset"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadNetwork asserts the CSV network loader never panics and that
+// accepted networks satisfy basic invariants (symmetric friendships,
+// time-sorted likes, in-range categories).
+func FuzzLoadNetwork(f *testing.F) {
+	f.Add("user_a,user_b\n0,1\n", "user,category,timestamp\n0,5,100\n")
+	f.Add("0,1\n1,2\n", "1,196,0\n")
+	f.Add("a,b\nx,y\n", "q,w,e\n")
+	f.Add("0,0\n", "")
+	f.Add("", "0,999,1\n")
+	f.Add("0,1,2\n", "0,1\n")
+	f.Fuzz(func(t *testing.T, friendships, likes string) {
+		nw, err := LoadNetwork(8, strings.NewReader(friendships), strings.NewReader(likes))
+		if err != nil {
+			return
+		}
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				if nw.AreFriends(dataset.UserID(u), dataset.UserID(v)) != nw.AreFriends(dataset.UserID(v), dataset.UserID(u)) {
+					t.Fatal("asymmetric friendship")
+				}
+			}
+			var prev int64 = -1 << 62
+			for _, l := range nw.Likes(dataset.UserID(u)) {
+				if l.Time < prev {
+					t.Fatal("likes not time-sorted")
+				}
+				prev = l.Time
+				if l.Category < 0 || l.Category >= NumFacebookCategories {
+					t.Fatalf("accepted bad category %d", l.Category)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{4}, 4},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		if got := Mean(tc.xs); !almostEq(got, tc.want) {
+			t.Errorf("Mean(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestSampleVarianceAndStdErr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := SampleVariance(xs); !almostEq(got, 2.5) {
+		t.Errorf("SampleVariance = %v, want 2.5", got)
+	}
+	want := math.Sqrt(2.5) / math.Sqrt(5)
+	if got := StdErr(xs); !almostEq(got, want) {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+	if got := StdErr([]float64{1}); got != 0 {
+		t.Errorf("StdErr of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+	if Min([]float64{3, 1, 2}) != 1 || Max([]float64{3, 1, 2}) != 3 {
+		t.Errorf("Min/Max wrong")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Errorf("Clamp misbehaves")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, -4, 1}
+	scale := Normalize(xs)
+	if !almostEq(scale, 0.25) {
+		t.Errorf("scale = %v, want 0.25", scale)
+	}
+	if !almostEq(xs[1], -1) || !almostEq(xs[0], 0.5) {
+		t.Errorf("normalized = %v", xs)
+	}
+	zeros := []float64{0, 0}
+	if Normalize(zeros) != 1 {
+		t.Errorf("zero slice should return scale 1")
+	}
+}
+
+func TestMeanPairwiseAbsDiff(t *testing.T) {
+	if got := MeanPairwiseAbsDiff([]float64{1, 3}); !almostEq(got, 2) {
+		t.Errorf("pairwise diff of {1,3} = %v, want 2", got)
+	}
+	// {0, 1, 2}: pairs |0-1|+|0-2|+|1-2| = 4, times 2/(3*2) = 4/3.
+	if got := MeanPairwiseAbsDiff([]float64{0, 1, 2}); !almostEq(got, 4.0/3) {
+		t.Errorf("pairwise diff = %v, want 4/3", got)
+	}
+	if MeanPairwiseAbsDiff([]float64{7}) != 0 {
+		t.Errorf("singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !almostEq(got, 2.5) {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Errorf("empty percentile should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.1, 0.9, 0.5, -1, 2}, 0, 1, 2)
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Errorf("histogram = %v", counts)
+	}
+	if Histogram(nil, 1, 0, 2) != nil {
+		t.Errorf("invalid range should return nil")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(2, 1)
+	if iv.Lo != 1 || iv.Hi != 2 {
+		t.Errorf("NewInterval should swap backwards ends: %v", iv)
+	}
+	if !Point(3).Contains(3) || Point(3).Width() != 0 {
+		t.Errorf("Point misbehaves")
+	}
+	if !iv.Valid() || (Interval{math.NaN(), 1}).Valid() {
+		t.Errorf("Valid misbehaves")
+	}
+	if got := iv.Clamp(1.5, 3); got.Lo != 1.5 || got.Hi != 2 {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := Point(5).Clamp(0, 1); got.Lo != 1 || got.Hi != 1 {
+		t.Errorf("disjoint Clamp should collapse to edge: %v", got)
+	}
+}
+
+func TestIntervalAbsDiff(t *testing.T) {
+	a := Interval{1, 2}
+	b := Interval{4, 6}
+	d := a.AbsDiff(b)
+	if !almostEq(d.Lo, 2) || !almostEq(d.Hi, 5) {
+		t.Errorf("AbsDiff disjoint = %v, want [2,5]", d)
+	}
+	c := Interval{1.5, 5}
+	d = a.AbsDiff(c)
+	if d.Lo != 0 {
+		t.Errorf("overlapping AbsDiff should have Lo 0: %v", d)
+	}
+}
+
+// quickInterval converts two arbitrary floats into a valid interval in
+// a bounded range to avoid overflow artifacts.
+func quickInterval(a, b float64) Interval {
+	a = math.Mod(a, 100)
+	b = math.Mod(b, 100)
+	if math.IsNaN(a) {
+		a = 0
+	}
+	if math.IsNaN(b) {
+		b = 0
+	}
+	return NewInterval(a, b)
+}
+
+// pick returns a point inside iv parameterized by t in [0,1].
+func pick(iv Interval, t float64) float64 {
+	t = math.Mod(math.Abs(t), 1)
+	return iv.Lo + t*(iv.Hi-iv.Lo)
+}
+
+// TestQuickIntervalSoundness: for random intervals and random points
+// inside them, every arithmetic op's result interval contains the op
+// applied to the points. This is the soundness property GRECA's bound
+// correctness rests on.
+func TestQuickIntervalSoundness(t *testing.T) {
+	f := func(a1, a2, b1, b2, t1, t2 float64) bool {
+		A := quickInterval(a1, a2)
+		B := quickInterval(b1, b2)
+		x := pick(A, t1)
+		y := pick(B, t2)
+		const eps = 1e-9
+		if !containsEps(A.Add(B), x+y, eps) {
+			return false
+		}
+		if !containsEps(A.Sub(B), x-y, eps) {
+			return false
+		}
+		if !containsEps(A.Mul(B), x*y, eps) {
+			return false
+		}
+		if !containsEps(A.AbsDiff(B), math.Abs(x-y), eps) {
+			return false
+		}
+		if !containsEps(A.MinI(B), math.Min(x, y), eps) {
+			return false
+		}
+		if !containsEps(A.Scale(2.5), 2.5*x, eps) {
+			return false
+		}
+		if !containsEps(A.Scale(-1.5), -1.5*x, eps) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsEps(iv Interval, x, eps float64) bool {
+	return iv.Lo-eps <= x && x <= iv.Hi+eps
+}
+
+// TestQuickIntervalValidity: ops on valid intervals yield valid
+// intervals.
+func TestQuickIntervalValidity(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64) bool {
+		A := quickInterval(a1, a2)
+		B := quickInterval(b1, b2)
+		return A.Add(B).Valid() && A.Sub(B).Valid() && A.Mul(B).Valid() &&
+			A.AbsDiff(B).Valid() && A.MinI(B).Valid() && A.Clamp(0, 1).Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

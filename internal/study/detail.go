@@ -1,0 +1,100 @@
+package study
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/groups"
+)
+
+// GroupDetail is one study group's full evaluation record: its
+// composition metrics and the anchored mean verdict (0..5 stars) each
+// recommendation variant received from its members.
+type GroupDetail struct {
+	Group groups.Group
+	// MinAffinity is the minimum pairwise current affinity (the
+	// paper's high-affinity criterion checks it against 0.4).
+	MinAffinity float64
+	// MeanSimilarity is the mean pairwise rating similarity.
+	MeanSimilarity float64
+	// Verdicts maps each variant to the mean anchored verdict.
+	Verdicts map[Variant]float64
+}
+
+// Details evaluates every variant for every group and collects the
+// per-group records the paper's §4.1.4 tables summarize.
+func (s *Study) Details(gs []groups.Group) ([]GroupDetail, error) {
+	former := s.World.Former(0)
+	out := make([]GroupDetail, 0, len(gs))
+	for _, g := range gs {
+		d := GroupDetail{
+			Group:          g,
+			MinAffinity:    former.MinPairwiseAffinity(g.Members),
+			MeanSimilarity: former.MeanPairwiseSimilarity(g.Members),
+			Verdicts:       map[Variant]float64{},
+		}
+		for _, v := range Variants() {
+			items, err := s.Recommend(g, v)
+			if err != nil {
+				return nil, fmt.Errorf("study: details for %v/%v: %w", g.Members, v, err)
+			}
+			var sum float64
+			for _, u := range g.Members {
+				sum += s.anchoredVerdict(g, u, items)
+			}
+			d.Verdicts[v] = sum / float64(len(g.Members))
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// WriteDetails renders the per-group study table as markdown.
+func WriteDetails(w io.Writer, details []GroupDetail) error {
+	if _, err := fmt.Fprintf(w, "| # | Traits | Members | Min aff | Mean sim |"); err != nil {
+		return err
+	}
+	for _, v := range Variants() {
+		if _, err := fmt.Fprintf(w, " %s |", shortVariant(v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n|---|---|---|---|---|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for i, d := range details {
+		if _, err := fmt.Fprintf(w, "| %d | %v | %v | %.2f | %.3f |",
+			i+1, d.Group.Traits, d.Group.Members, d.MinAffinity, d.MeanSimilarity); err != nil {
+			return err
+		}
+		for _, v := range Variants() {
+			if _, err := fmt.Fprintf(w, " %.2f |", d.Verdicts[v]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shortVariant abbreviates variant names for table headers.
+func shortVariant(v Variant) string {
+	switch v {
+	case Default:
+		return "Default"
+	case AffinityAgnostic:
+		return "NoAff"
+	case TimeAgnostic:
+		return "NoTime"
+	case ContinuousTime:
+		return "Cont"
+	case MOVariant:
+		return "MO"
+	case PDVariant:
+		return "PD"
+	default:
+		return v.String()
+	}
+}

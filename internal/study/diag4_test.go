@@ -1,0 +1,65 @@
+package study
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestDiagnosticAffinityAlignment measures how well the engine's
+// measured affinities (static-only and temporal) track the latent
+// ground-truth affinity of the synthetic network. The temporal model
+// must correlate positively, and at least as well as static alone, for
+// the quality experiments to be meaningful.
+func TestDiagnosticAffinityAlignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, err := repro.NewWorld(repro.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := w.Participants()
+	now := w.Timeline().End - 1
+	var trueA, statA, discA, contA []float64
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			trueA = append(trueA, w.Network().TrueAffinity(ps[i], ps[j], now))
+			statA = append(statA, w.PairAffinity(ps[i], ps[j], repro.TimeAgnostic, -1))
+			discA = append(discA, w.PairAffinity(ps[i], ps[j], repro.Discrete, -1))
+			contA = append(contA, w.PairAffinity(ps[i], ps[j], repro.Continuous, -1))
+		}
+	}
+	cStat := pearson(trueA, statA)
+	cDisc := pearson(trueA, discA)
+	cCont := pearson(trueA, contA)
+	t.Logf("corr(true, static)=%.3f corr(true, discrete)=%.3f corr(true, continuous)=%.3f", cStat, cDisc, cCont)
+	if cDisc < 0.2 {
+		t.Errorf("discrete temporal affinity barely tracks ground truth (r=%.3f)", cDisc)
+	}
+	if cDisc < cStat-0.05 {
+		t.Errorf("adding the temporal component hurt alignment: discrete r=%.3f vs static r=%.3f", cDisc, cStat)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

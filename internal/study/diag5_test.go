@@ -1,0 +1,74 @@
+package study
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// TestDiagnosticUtilitySpan measures, per study group, the oracle
+// group utility of (a) the oracle-optimal list, (b) the default
+// variant, (c) the affinity-agnostic variant and (d) a random list.
+// The span (a)-(d) is the headroom the quality experiments have to
+// show differences; (b) must sit measurably above (c) on average for
+// the paper's Figure 1/3 shapes to be reproducible.
+func TestDiagnosticUtilitySpan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, err := repro.NewWorld(repro.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	items := s.CandidateItems()
+	now := w.Timeline().End - 1
+
+	var sumOpt, sumDef, sumAg, sumRnd float64
+	for gi, g := range s.StudyGroups(1) {
+		// Oracle-optimal top-10 by summed member satisfaction.
+		type scored struct {
+			it  dataset.ItemID
+			val float64
+		}
+		rows := make([]scored, len(items))
+		for ii, it := range items {
+			var u float64
+			for _, m := range g.Members {
+				u += s.Oracle.ItemSatisfaction(m, g.Members, it, now)
+			}
+			rows[ii] = scored{it, u}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].val > rows[b].val })
+		opt := make([]dataset.ItemID, 10)
+		for i := range opt {
+			opt[i] = rows[i].it
+		}
+		defL, err := s.Recommend(g, Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agL, err := s.Recommend(g, AffinityAgnostic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd := make([]dataset.ItemID, 10)
+		for i, p := range rng.Perm(len(items))[:10] {
+			rnd[i] = items[p]
+		}
+		o, d, a, r := meanSat(s, g.Members, opt), meanSat(s, g.Members, defL), meanSat(s, g.Members, agL), meanSat(s, g.Members, rnd)
+		sumOpt += o
+		sumDef += d
+		sumAg += a
+		sumRnd += r
+		t.Logf("group %d %v: optimal=%.3f default=%.3f agnostic=%.3f random=%.3f", gi, g.Traits, o, d, a, r)
+	}
+	t.Logf("MEANS: optimal=%.3f default=%.3f agnostic=%.3f random=%.3f", sumOpt/8, sumDef/8, sumAg/8, sumRnd/8)
+}

@@ -1,0 +1,86 @@
+package study
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// TestDiagnosticVariantSeparation logs how much the recommendation
+// variants actually differ — list overlap, affinity spread and oracle
+// satisfaction — to keep the quality experiments honest. It fails only
+// on gross degeneracy (all variants producing identical lists for
+// every group).
+func TestDiagnosticVariantSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, err := repro.NewWorld(repro.QuickConfig())
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	s, err := New(w, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	gs := s.StudyGroups(1)
+	identical := 0
+	for gi, g := range gs {
+		defList, err := s.Recommend(g, Default)
+		if err != nil {
+			t.Fatalf("recommend default: %v", err)
+		}
+		agList, err := s.Recommend(g, AffinityAgnostic)
+		if err != nil {
+			t.Fatalf("recommend agnostic: %v", err)
+		}
+		overlap := overlapCount(defList, agList)
+		if overlap == len(defList) {
+			identical++
+		}
+
+		// Affinity spread inside the group (measured, discrete, last period).
+		var minA, maxA = 2.0, -2.0
+		for i := range g.Members {
+			for j := i + 1; j < len(g.Members); j++ {
+				a := w.PairAffinity(g.Members[i], g.Members[j], repro.Discrete, -1)
+				if a < minA {
+					minA = a
+				}
+				if a > maxA {
+					maxA = a
+				}
+			}
+		}
+		satDef := meanSat(s, g.Members, defList)
+		satAg := meanSat(s, g.Members, agList)
+		t.Logf("group %d traits=%v overlap=%d/%d affRange=[%.2f,%.2f] satDefault=%.3f satAgnostic=%.3f",
+			gi, g.Traits, overlap, len(defList), minA, maxA, satDef, satAg)
+	}
+	if identical == len(gs) {
+		t.Errorf("all %d groups produced identical default vs affinity-agnostic lists", len(gs))
+	}
+}
+
+func overlapCount(a, b []dataset.ItemID) int {
+	set := make(map[dataset.ItemID]bool, len(a))
+	for _, it := range a {
+		set[it] = true
+	}
+	n := 0
+	for _, it := range b {
+		if set[it] {
+			n++
+		}
+	}
+	return n
+}
+
+func meanSat(s *Study, members []dataset.UserID, items []dataset.ItemID) float64 {
+	var sum float64
+	for _, u := range members {
+		sum += s.Oracle.ListSatisfaction(u, members, items, s.World.Timeline().End-1)
+	}
+	return sum / float64(len(members))
+}

@@ -1,0 +1,380 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro"
+	"repro/internal/consensus"
+	"repro/internal/dataset"
+	"repro/internal/groups"
+)
+
+// Variant names the recommendation configurations compared in the
+// paper's quality study (Figure 1 A-F).
+type Variant int
+
+const (
+	// Default: affinity-aware, discrete time model, AP consensus
+	// (Figure 1A).
+	Default Variant = iota
+	// AffinityAgnostic drops affinity entirely (Figure 1B).
+	AffinityAgnostic
+	// TimeAgnostic keeps static affinity but drops the temporal
+	// component (Figure 1C).
+	TimeAgnostic
+	// ContinuousTime swaps in the continuous time model (Figure 1D).
+	ContinuousTime
+	// MOVariant swaps the consensus to least-misery (Figure 1E).
+	MOVariant
+	// PDVariant swaps the consensus to pairwise disagreement
+	// (Figure 1F).
+	PDVariant
+)
+
+// Variants lists all six in figure order.
+func Variants() []Variant {
+	return []Variant{Default, AffinityAgnostic, TimeAgnostic, ContinuousTime, MOVariant, PDVariant}
+}
+
+// String names the variant as in the figure captions.
+func (v Variant) String() string {
+	switch v {
+	case Default:
+		return "Default"
+	case AffinityAgnostic:
+		return "Affinity-agnostic"
+	case TimeAgnostic:
+		return "Time-agnostic"
+	case ContinuousTime:
+		return "Continuous Time Model"
+	case MOVariant:
+		return "MO Consensus Function"
+	case PDVariant:
+		return "PD Consensus Function"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options returns the Recommend options implementing the variant.
+func (v Variant) Options(k int) repro.Options {
+	opt := repro.Options{K: k, Consensus: consensus.AP(), TimeModel: repro.Discrete}
+	switch v {
+	case AffinityAgnostic:
+		opt.TimeModel = repro.AffinityAgnostic
+	case TimeAgnostic:
+		opt.TimeModel = repro.TimeAgnostic
+	case ContinuousTime:
+		opt.TimeModel = repro.Continuous
+	case MOVariant:
+		opt.Consensus = consensus.MO()
+	case PDVariant:
+		opt.Consensus = consensus.PD(0.8)
+	}
+	return opt
+}
+
+// Study drives the simulated quality evaluation over a world.
+type Study struct {
+	World  *repro.World
+	Oracle *Oracle
+	// K is the recommended-list length shown to participants.
+	K   int
+	rng *rand.Rand
+
+	items    []dataset.ItemID
+	recCache map[string][]dataset.ItemID
+	anchors  map[string]*groupAnchor
+}
+
+// groupAnchor holds the per-user judgment anchors for one group: the
+// satisfaction of the oracle-optimal list (the best outing the judge
+// can imagine) and the mean satisfaction of random lists (a meaningless
+// recommendation). Human 0..5 verdicts are relative to expectations;
+// anchoring the simulated verdicts the same way keeps the reported
+// percentages on the paper's scale.
+type groupAnchor struct {
+	opt map[dataset.UserID]float64
+	rnd map[dataset.UserID]float64
+}
+
+// New builds a study over a synthetic world. The world must have been
+// generated (not loaded) because the oracle needs latent tastes.
+func New(w *repro.World, seed int64) (*Study, error) {
+	if w.SynthRatings() == nil {
+		return nil, fmt.Errorf("study: world has no synthetic latent state; quality study needs a generated world")
+	}
+	o := DefaultOracle(w.SynthRatings(), w.Network())
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Study{
+		World:    w,
+		Oracle:   o,
+		K:        10,
+		rng:      rand.New(rand.NewSource(seed)),
+		recCache: make(map[string][]dataset.ItemID),
+		anchors:  make(map[string]*groupAnchor),
+	}, nil
+}
+
+// anchorsFor computes (and caches) the verdict anchors of a group.
+func (s *Study) anchorsFor(g groups.Group) *groupAnchor {
+	key := fmt.Sprintf("%v", g.Members)
+	if a, ok := s.anchors[key]; ok {
+		return a
+	}
+	now := s.now()
+	items := s.CandidateItems()
+
+	// Oracle-optimal list: top-K items by summed noise-free member
+	// satisfaction.
+	type scored struct {
+		it  dataset.ItemID
+		val float64
+	}
+	rows := make([]scored, len(items))
+	for i, it := range items {
+		var v float64
+		for _, u := range g.Members {
+			v += s.Oracle.ItemSatisfaction(u, g.Members, it, now)
+		}
+		rows[i] = scored{it, v}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].val != rows[b].val {
+			return rows[a].val > rows[b].val
+		}
+		return rows[a].it < rows[b].it
+	})
+	k := s.K
+	if k > len(rows) {
+		k = len(rows)
+	}
+	opt := make([]dataset.ItemID, k)
+	for i := range opt {
+		opt[i] = rows[i].it
+	}
+
+	a := &groupAnchor{
+		opt: make(map[dataset.UserID]float64, len(g.Members)),
+		rnd: make(map[dataset.UserID]float64, len(g.Members)),
+	}
+	const randomLists = 15
+	rng := rand.New(rand.NewSource(int64(len(g.Members))*7919 + int64(g.Members[0])))
+	rndLists := make([][]dataset.ItemID, randomLists)
+	for r := range rndLists {
+		perm := rng.Perm(len(items))
+		l := make([]dataset.ItemID, k)
+		for i := 0; i < k; i++ {
+			l[i] = items[perm[i]]
+		}
+		rndLists[r] = l
+	}
+	for _, u := range g.Members {
+		a.opt[u] = s.Oracle.ListSatisfaction(u, g.Members, opt, now)
+		var sum float64
+		for _, l := range rndLists {
+			sum += s.Oracle.ListSatisfaction(u, g.Members, l, now)
+		}
+		a.rnd[u] = sum / randomLists
+	}
+	s.anchors[key] = a
+	return a
+}
+
+// anchoredVerdict converts u's noisy satisfaction with a list into the
+// paper's 0..5 star scale, anchored between the user's random-list
+// baseline (0 stars) and oracle-optimal list (5 stars).
+func (s *Study) anchoredVerdict(g groups.Group, u dataset.UserID, items []dataset.ItemID) float64 {
+	a := s.anchorsFor(g)
+	sat := s.Oracle.ListSatisfaction(u, g.Members, items, s.now())
+	sat += s.Oracle.NoiseStd * s.rng.NormFloat64()
+	span := a.opt[u] - a.rnd[u]
+	if span <= 1e-9 {
+		return 2.5
+	}
+	frac := (sat - a.rnd[u]) / span
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return 5 * frac
+}
+
+// CandidateItems returns the paper's study movie pool: the union of
+// the popular set (top-50 by rating count) and the diversity set (the
+// 25 highest-variance movies among the top-200 popular). Participants
+// judge recommendations drawn from this pool, which they know well —
+// and whose mix of crowd-pleasers and polarizing titles is what makes
+// consensus choices visible.
+func (s *Study) CandidateItems() []dataset.ItemID {
+	if s.items != nil {
+		return s.items
+	}
+	store := s.World.Ratings()
+	seen := map[dataset.ItemID]bool{}
+	var out []dataset.ItemID
+	for _, it := range store.PopularSet(50) {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	for _, it := range store.DiversitySet(25, 200) {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	s.items = out
+	return out
+}
+
+// now returns the judgment time: the end of the observation window.
+func (s *Study) now() int64 { return s.World.Timeline().End - 1 }
+
+// Recommend produces (and caches) the variant's list for a group.
+func (s *Study) Recommend(g groups.Group, v Variant) ([]dataset.ItemID, error) {
+	key := fmt.Sprintf("%v|%d", g.Members, v)
+	if items, ok := s.recCache[key]; ok {
+		return items, nil
+	}
+	opt := v.Options(s.K)
+	opt.Items = s.CandidateItems()
+	rec, err := s.World.Recommend(g.Members, opt)
+	if err != nil {
+		return nil, fmt.Errorf("study: recommending %v for %v: %w", v, g.Members, err)
+	}
+	items := make([]dataset.ItemID, len(rec.Items))
+	for i, it := range rec.Items {
+		items[i] = it.Item
+	}
+	s.recCache[key] = items
+	return items, nil
+}
+
+// CharacteristicScores maps each group characteristic to a percentage.
+type CharacteristicScores map[groups.Characteristic]float64
+
+// Independent runs the paper's independent evaluation for one variant
+// over the study groups: every member of every group rates the
+// variant's list 0..5; scores are averaged per characteristic and
+// reported as percentages (a mean verdict of 5 is 100%).
+func (s *Study) Independent(gs []groups.Group, v Variant) (CharacteristicScores, error) {
+	sums := map[groups.Characteristic]float64{}
+	counts := map[groups.Characteristic]int{}
+	for _, g := range gs {
+		items, err := s.Recommend(g, v)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range g.Members {
+			verdict := s.anchoredVerdict(g, u, items)
+			for _, c := range g.Traits {
+				sums[c] += verdict
+				counts[c]++
+			}
+		}
+	}
+	out := CharacteristicScores{}
+	for c, sum := range sums {
+		out[c] = 100 * sum / (5 * float64(counts[c]))
+	}
+	return out, nil
+}
+
+// Comparative runs the paper's two-list forced choice: for each group
+// member, which of v1's or v2's list do they prefer? Returns the
+// percentage of verdicts preferring v1, per characteristic.
+func (s *Study) Comparative(gs []groups.Group, v1, v2 Variant) (CharacteristicScores, error) {
+	wins := map[groups.Characteristic]int{}
+	counts := map[groups.Characteristic]int{}
+	for _, g := range gs {
+		l1, err := s.Recommend(g, v1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := s.Recommend(g, v2)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range g.Members {
+			if s.Oracle.Prefer(s.rng, u, g.Members, l1, l2, s.now()) {
+				for _, c := range g.Traits {
+					wins[c]++
+				}
+			}
+			for _, c := range g.Traits {
+				counts[c]++
+			}
+		}
+	}
+	out := CharacteristicScores{}
+	for c, n := range counts {
+		out[c] = 100 * float64(wins[c]) / float64(n)
+	}
+	return out, nil
+}
+
+// ConsensusShares runs the paper's three-way consensus comparison
+// (Figure 2): each member picks the most satisfying of the AP, MO and
+// PD lists; returns each function's share of the votes (percent) per
+// characteristic.
+func (s *Study) ConsensusShares(gs []groups.Group) (map[Variant]CharacteristicScores, error) {
+	cands := []Variant{Default, MOVariant, PDVariant} // AP, MO, PD
+	wins := map[Variant]map[groups.Characteristic]int{}
+	for _, v := range cands {
+		wins[v] = map[groups.Characteristic]int{}
+	}
+	counts := map[groups.Characteristic]int{}
+	for _, g := range gs {
+		lists := make([][]dataset.ItemID, len(cands))
+		for i, v := range cands {
+			l, err := s.Recommend(g, v)
+			if err != nil {
+				return nil, err
+			}
+			lists[i] = l
+		}
+		for _, u := range g.Members {
+			bestI, bestS := 0, -1.0
+			for i := range cands {
+				sat := s.Oracle.ListSatisfaction(u, g.Members, lists[i], s.now()) +
+					s.Oracle.NoiseStd*s.rng.NormFloat64()
+				if sat > bestS {
+					bestI, bestS = i, sat
+				}
+			}
+			for _, c := range g.Traits {
+				wins[cands[bestI]][c]++
+			}
+			for _, c := range g.Traits {
+				counts[c]++
+			}
+		}
+	}
+	out := map[Variant]CharacteristicScores{}
+	for _, v := range cands {
+		cs := CharacteristicScores{}
+		for c, n := range counts {
+			if n > 0 {
+				cs[c] = 100 * float64(wins[v][c]) / float64(n)
+			}
+		}
+		out[v] = cs
+	}
+	return out, nil
+}
+
+// StudyGroups forms the paper's eight evaluation groups (all
+// combinations of size × cohesiveness × affinity band) from the
+// participant pool.
+func (s *Study) StudyGroups(seed int64) []groups.Group {
+	former := s.World.Former(seed)
+	return former.StudyGroups(s.World.Participants())
+}

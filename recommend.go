@@ -1,0 +1,317 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/affinity"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TimeModel selects how pairwise affinity is evaluated (§2.1 and the
+// quality-study baselines of §4.1.4).
+type TimeModel int
+
+const (
+	// Discrete is the paper's default: affD = affS + mean periodic
+	// drift.
+	Discrete TimeModel = iota
+	// Continuous: affC = affS · e^{rate·Σdrift}.
+	Continuous
+	// TimeAgnostic uses the static component only (Figure 1C
+	// baseline).
+	TimeAgnostic
+	// AffinityAgnostic ignores affinity entirely (Figure 1B baseline);
+	// consensus aggregates absolute preferences alone.
+	AffinityAgnostic
+)
+
+// String names the time model as in the paper's figures.
+func (t TimeModel) String() string {
+	switch t {
+	case Discrete:
+		return "discrete"
+	case Continuous:
+		return "continuous"
+	case TimeAgnostic:
+		return "time-agnostic"
+	case AffinityAgnostic:
+		return "affinity-agnostic"
+	default:
+		return fmt.Sprintf("TimeModel(%d)", int(t))
+	}
+}
+
+// Options parameterizes one Recommend call. The zero value requests
+// the paper's defaults: k=10, AP consensus, discrete time model at the
+// latest period, 3900 candidate items, GRECA execution.
+type Options struct {
+	// K is the result size (10 if zero — the paper's default).
+	K int
+	// Consensus is the group consensus function (AP if zero value).
+	Consensus consensus.Spec
+	// TimeModel selects the affinity model variant.
+	TimeModel TimeModel
+	// Period is the 1-based number of the "now" period; 0 (the zero
+	// value) means the latest period. Earlier periods reproduce the
+	// paper's per-period scalability sweep (Figure 6).
+	Period int
+	// Items optionally fixes the candidate item set. When nil, the
+	// NumItems most popular items not rated by any group member are
+	// used (the paper's problem definition excludes items already
+	// consumed by a member).
+	Items []dataset.ItemID
+	// NumItems is the candidate count when Items is nil (3900 if
+	// zero — the paper's default).
+	NumItems int
+	// Mode selects GRECA or a baseline executor.
+	Mode core.Mode
+	// CheckInterval is GRECA's stopping-check cadence in rounds
+	// (1 = every round).
+	CheckInterval int
+	// MonolithicAffinityLists disables the paper's per-user
+	// partitioning of affinity lists (ablation).
+	MonolithicAffinityLists bool
+	// LooseBounds disables cursor-based bound tightening (ablation;
+	// see core.Input.LooseBounds).
+	LooseBounds bool
+}
+
+// DefaultK and DefaultNumItems are the paper's §4.2 defaults.
+const (
+	DefaultK        = 10
+	DefaultNumItems = 3900
+)
+
+func (o *Options) fill() {
+	if o.K == 0 {
+		o.K = DefaultK
+	}
+	zero := consensus.Spec{}
+	if o.Consensus == zero {
+		o.Consensus = consensus.AP()
+	}
+	if o.NumItems == 0 {
+		o.NumItems = DefaultNumItems
+	}
+}
+
+// ScoredItem is one recommended item. Score is the guaranteed lower
+// bound of the item's consensus score (exact when UpperBound equals
+// Score); GRECA's early termination may leave the top-k itemset only
+// partially ordered, as the paper notes.
+type ScoredItem struct {
+	Item       dataset.ItemID
+	Score      float64
+	UpperBound float64
+}
+
+// Recommendation is the result of one Recommend call.
+type Recommendation struct {
+	Items []ScoredItem
+	Stats core.AccessStats
+	// Period is the resolved "now" period index.
+	Period int
+}
+
+// Recommend computes the top-k itemset for the ad-hoc group under opt.
+func (w *World) Recommend(group []dataset.UserID, opt Options) (*Recommendation, error) {
+	prob, items, period, err := w.buildProblem(group, &opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prob.Run(opt.Mode)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recommendation{Stats: res.Stats, Period: period}
+	for _, is := range res.TopK {
+		rec.Items = append(rec.Items, ScoredItem{
+			Item:       items[is.Key],
+			Score:      is.LB,
+			UpperBound: is.UB,
+		})
+	}
+	return rec, nil
+}
+
+// BuildProblem exposes the assembled core problem for benchmarks and
+// experiments that need direct control over Run modes. items maps the
+// problem's item indexes back to dataset IDs.
+func (w *World) BuildProblem(group []dataset.UserID, opt Options) (*core.Problem, []dataset.ItemID, error) {
+	prob, items, _, err := w.buildProblem(group, &opt)
+	return prob, items, err
+}
+
+func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Problem, []dataset.ItemID, int, error) {
+	opt.fill()
+	if len(group) < 1 {
+		return nil, nil, 0, fmt.Errorf("repro: empty group")
+	}
+	seen := make(map[dataset.UserID]bool, len(group))
+	for _, u := range group {
+		if seen[u] {
+			return nil, nil, 0, fmt.Errorf("repro: duplicate group member %d", u)
+		}
+		seen[u] = true
+	}
+
+	last := w.model.Timeline.NumPeriods() - 1
+	period := last
+	if opt.Period != 0 {
+		if opt.Period < 1 || opt.Period > last+1 {
+			return nil, nil, 0, fmt.Errorf("repro: period %d outside [1,%d]", opt.Period, last+1)
+		}
+		period = opt.Period - 1
+	}
+
+	items := opt.Items
+	if items == nil {
+		items = w.CandidateItems(group, opt.NumItems)
+	}
+	if len(items) == 0 {
+		return nil, nil, 0, fmt.Errorf("repro: no candidate items for group")
+	}
+	if opt.K > len(items) {
+		return nil, nil, 0, fmt.Errorf("repro: K=%d exceeds candidate count %d", opt.K, len(items))
+	}
+
+	g := len(group)
+	in := core.Input{
+		Spec:              opt.Consensus,
+		K:                 opt.K,
+		PartitionAffinity: !opt.MonolithicAffinityLists,
+		CheckInterval:     opt.CheckInterval,
+		LooseBounds:       opt.LooseBounds,
+	}
+
+	// Absolute preferences: CF predictions normalized to [0,1].
+	in.Apref = make([][]float64, g)
+	for ui, u := range group {
+		row := make([]float64, len(items))
+		for ii, it := range items {
+			row[ii] = w.apref(u, it) / 5
+		}
+		in.Apref[ui] = row
+	}
+
+	// Affinity components per the selected time model.
+	switch opt.TimeModel {
+	case AffinityAgnostic:
+		in.Agg = core.NoAffinityAggregator{}
+	case TimeAgnostic:
+		in.Agg = core.StaticAggregator{}
+		in.Static = w.staticPairs(group)
+	case Continuous:
+		in.Agg = core.ContinuousAggregator{Periods: period + 1, Rate: affinity.ContinuousRate}
+		in.Static = w.staticPairs(group)
+		in.Drift = w.driftPairs(group, period)
+	default: // Discrete
+		in.Agg = core.DiscreteAggregator{Periods: period + 1}
+		in.Static = w.staticPairs(group)
+		in.Drift = w.driftPairs(group, period)
+	}
+	if g < 2 {
+		// Single-member group degenerates to individual top-k.
+		in.Agg = core.NoAffinityAggregator{}
+		in.Static, in.Drift = nil, nil
+	}
+
+	prob, err := core.NewProblem(in)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("repro: building problem: %w", err)
+	}
+	return prob, items, period, nil
+}
+
+// staticPairs collects the normalized static affinities of all group
+// pairs in core.PairIndex order. Values are already normalized to
+// [0,1] over the population (§4.1.2 normalizes per group instead; a
+// population-wide scale is the same up to a per-group constant but
+// keeps affinities comparable across groups, which the scalability
+// sweeps rely on).
+func (w *World) staticPairs(group []dataset.UserID) []float64 {
+	g := len(group)
+	out := make([]float64, core.NumPairs(g))
+	for i := 0; i < g; i++ {
+		for j := i + 1; j < g; j++ {
+			out[core.PairIndex(g, i, j)] = w.model.StaticOf(group[i], group[j])
+		}
+	}
+	return out
+}
+
+// driftPairs collects the normalized periodic drifts for periods
+// 0..period, each row in core.PairIndex order.
+func (w *World) driftPairs(group []dataset.UserID, period int) [][]float64 {
+	g := len(group)
+	out := make([][]float64, period+1)
+	for t := 0; t <= period; t++ {
+		row := make([]float64, core.NumPairs(g))
+		for i := 0; i < g; i++ {
+			for j := i + 1; j < g; j++ {
+				row[core.PairIndex(g, i, j)] = w.model.DriftOf(group[i], group[j], t)
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// apref dispatches to the configured absolute-preference source.
+func (w *World) apref(u dataset.UserID, it dataset.ItemID) float64 {
+	switch {
+	case w.itemPred != nil:
+		return w.itemPred.Predict(u, it)
+	case w.twPred != nil:
+		return w.twPred.Predict(u, it)
+	default:
+		return w.pred.Predict(u, it)
+	}
+}
+
+// CandidateItems returns up to n of the most popular items that no
+// group member has rated — the paper's candidate pool with the
+// problem-definition exclusion applied.
+func (w *World) CandidateItems(group []dataset.UserID, n int) []dataset.ItemID {
+	ranked := w.ratings.ItemPopularity()
+	out := make([]dataset.ItemID, 0, n)
+	for _, it := range ranked {
+		rated := false
+		for _, u := range group {
+			if w.ratings.HasRated(u, it) {
+				rated = true
+				break
+			}
+		}
+		if !rated {
+			out = append(out, it)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PairAffinity returns the pairwise affinity of (u,v) under the given
+// time model at period index (use -1 for the latest period). It is the
+// exact value GRECA's lists are built from, before group-level static
+// re-normalization.
+func (w *World) PairAffinity(u, v dataset.UserID, tm TimeModel, period int) float64 {
+	last := w.model.Timeline.NumPeriods() - 1
+	if period < 0 || period > last {
+		period = last
+	}
+	switch tm {
+	case AffinityAgnostic:
+		return 0
+	case TimeAgnostic:
+		return w.model.TimeAgnostic(u, v)
+	case Continuous:
+		return w.model.Continuous(u, v, period)
+	default:
+		return w.model.Discrete(u, v, period)
+	}
+}

@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TestSmokeScalabilityScale exercises the paper's §4.2 default
+// workload once (group size 6, k=10, 3,900 items, 6 periods) and
+// checks the headline ≥75% saveup claim at full scale.
+func TestSmokeScalabilityScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Dataset = dataset.DefaultSynthConfig()
+	cfg.Dataset.Users = 600
+	cfg.Dataset.TargetRatings = 60_000
+
+	start := time.Now()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	t.Logf("world built in %v", time.Since(start))
+
+	group := w.Participants()[:6]
+	start = time.Now()
+	rec, err := w.Recommend(group, Options{K: 10, NumItems: 3900, CheckInterval: 2})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	t.Logf("recommend in %v; SA=%d/%d pctSA=%.2f stop=%v",
+		time.Since(start), rec.Stats.SequentialAccesses, rec.Stats.TotalEntries,
+		rec.Stats.PercentSA(), rec.Stats.Stop)
+	if rec.Stats.Saveup() < 60 {
+		t.Errorf("saveup %.1f%% below 60%% at paper scale", rec.Stats.Saveup())
+	}
+}

@@ -1,0 +1,37 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeRecommend exercises the full pipeline at scalability scale
+// and logs timing and access statistics; it guards the paper's
+// headline claim (≥75% access saveup) end to end.
+func TestSmokeRecommend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickConfig()
+	start := time.Now()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	t.Logf("world built in %v", time.Since(start))
+
+	group := w.Participants()[:6]
+	start = time.Now()
+	rec, err := w.Recommend(group, Options{K: 10, NumItems: 900})
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	t.Logf("recommend in %v; stats=%+v pctSA=%.2f stop=%v",
+		time.Since(start), rec.Stats, rec.Stats.PercentSA(), rec.Stats.Stop)
+	if len(rec.Items) != 10 {
+		t.Fatalf("got %d items, want 10", len(rec.Items))
+	}
+	if rec.Stats.Saveup() < 50 {
+		t.Errorf("saveup %.1f%% below 50%%", rec.Stats.Saveup())
+	}
+}

@@ -1,0 +1,281 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/affinity"
+	"repro/internal/cf"
+	"repro/internal/dataset"
+	"repro/internal/groups"
+	"repro/internal/social"
+)
+
+// Config assembles a World. Zero values are filled with defaults; use
+// QuickConfig or PaperConfig for ready-made setups.
+type Config struct {
+	// Dataset configures the synthetic rating generator. Ignored when
+	// RatingsReader is set.
+	Dataset dataset.SynthConfig
+	// RatingsReader, when non-nil, loads ratings in the MovieLens
+	// "UserID::MovieID::Rating::Timestamp" format instead of
+	// generating them.
+	RatingsReader io.Reader
+	// FriendshipsReader and PageLikesReader, when both non-nil, load
+	// the social network from the CSV formats datagen emits
+	// (user_a,user_b and user,category,timestamp) instead of
+	// generating it. Social.Users still sets the population size and
+	// Social.Start/End the observation window. A loaded network has no
+	// latent ground truth, so the quality study requires a generated
+	// one.
+	FriendshipsReader io.Reader
+	PageLikesReader   io.Reader
+	// Social configures the synthetic social network. Its Users count
+	// is the participant population (the paper recruited 72); these
+	// are mapped onto the first rating-store users.
+	Social social.SynthConfig
+	// Neighbors is the CF neighborhood size (cf.DefaultNeighbors if 0).
+	Neighbors int
+	// Similarity selects the user-user similarity for CF neighborhoods
+	// (cosine, the paper's §4 choice, by default).
+	Similarity cf.Similarity
+	// ItemBasedCF switches absolute preferences to the item-based
+	// predictor. The paper's formulation is agnostic to the apref
+	// source ("existing single-user recommendation algorithms ... could
+	// be used"); this exercises that claim.
+	ItemBasedCF bool
+	// TimeWeightedCF applies the related-work temporal baseline ([8],
+	// Ding & Li's time-weight CF) to the user-based predictor: neighbor
+	// ratings decay exponentially with age. Mutually exclusive with
+	// ItemBasedCF.
+	TimeWeightedCF bool
+	// CFHalfLife is the rating-age half-life in seconds for
+	// TimeWeightedCF (cf.DefaultHalfLife if 0).
+	CFHalfLife int64
+	// Granularity segments the observation window into affinity
+	// periods; the paper settles on two-month periods (Figure 4).
+	Granularity affinity.Granularity
+	// InitialPeriods, when positive and smaller than the window's
+	// period count, builds the affinity model over only the first N
+	// periods; the rest arrive later via AppendNextPeriod. This is the
+	// paper's index-maintenance scenario ("as affinity between users
+	// evolves over time, GRECA does not need to recalculate any of the
+	// previously calculated affinities and just augments the index").
+	InitialPeriods int
+}
+
+// QuickConfig is a small, fast setup for examples and tests: a
+// laptop-scale synthetic rating store and the 72-participant study
+// network with two-month periods.
+func QuickConfig() Config {
+	ds := dataset.DefaultSynthConfig()
+	ds.Users = 300
+	ds.TargetRatings = 30_000
+	ds.Items = 1200
+	return Config{
+		Dataset:     ds,
+		Social:      social.DefaultSynthConfig(),
+		Granularity: affinity.TwoMonth,
+	}
+}
+
+// PaperConfig mirrors the paper's evaluation scale: a MovieLens-1M
+// shaped rating store (Table 5) with the 72-participant study network.
+func PaperConfig() Config {
+	return Config{
+		Dataset:     dataset.MovieLens1MConfig(),
+		Social:      social.DefaultSynthConfig(),
+		Granularity: affinity.TwoMonth,
+	}
+}
+
+// World is the assembled reproduction substrate. It is immutable after
+// NewWorld and safe for concurrent Recommend calls (each call builds
+// its own problem instance), except that the underlying CF caches are
+// internally synchronized.
+type World struct {
+	ratings *dataset.Store
+	synth   *dataset.Synth // nil when ratings were loaded from disk
+	// network holds the generated network's latent structure; nil when
+	// the network was loaded from CSV.
+	network *social.SynthNetwork
+	// socialNet is the observable network (always set).
+	socialNet *social.Network
+	pred      *cf.Predictor
+	// itemPred is the alternative apref source (ItemBasedCF mode).
+	itemPred *cf.ItemPredictor
+	// twPred is the time-weighted apref source (TimeWeightedCF mode).
+	twPred   *cf.TimeWeightedPredictor
+	model    *affinity.Model
+	timeline affinity.Timeline
+	cfg      Config
+	// pending are the not-yet-indexed periods of the full window
+	// (index-maintenance mode; empty otherwise).
+	pending []affinity.Period
+	// participants are the users present in both the rating store and
+	// the social network (the study population).
+	participants []dataset.UserID
+}
+
+// NewWorld builds every substrate: ratings (loaded or generated), the
+// social network, the CF predictor, and the temporal affinity model
+// over the configured granularity.
+func NewWorld(cfg Config) (*World, error) {
+	w := &World{cfg: cfg}
+
+	scfg := cfg.Social
+	if scfg.Users == 0 {
+		scfg = social.DefaultSynthConfig()
+	}
+
+	if cfg.RatingsReader != nil {
+		store, err := dataset.LoadMovieLensRatings(cfg.RatingsReader)
+		if err != nil {
+			return nil, fmt.Errorf("repro: loading ratings: %w", err)
+		}
+		w.ratings = store
+	} else {
+		dcfg := cfg.Dataset
+		if dcfg.Users == 0 {
+			dcfg = dataset.DefaultSynthConfig()
+		}
+		if dcfg.ParticipantUsers == 0 {
+			// Study participants rate ~30-60 movies drawn from a
+			// shared 75-item pool, like the paper's recruits who
+			// rated the pre-computed popular/diversity movie sets.
+			dcfg.ParticipantUsers = scfg.Users
+			dcfg.ParticipantMinRatings = 30
+			dcfg.ParticipantMaxRatings = 60
+			dcfg.ParticipantPoolSize = 75
+			dcfg.ParticipantExtraMean = 100
+		}
+		sy, err := dataset.Generate(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: generating ratings: %w", err)
+		}
+		w.synth = sy
+		w.ratings = sy.Store
+	}
+	if nUsers := len(w.ratings.Users()); scfg.Users > nUsers {
+		return nil, fmt.Errorf("repro: social population %d exceeds rating users %d", scfg.Users, nUsers)
+	}
+	if (cfg.FriendshipsReader == nil) != (cfg.PageLikesReader == nil) {
+		return nil, fmt.Errorf("repro: FriendshipsReader and PageLikesReader must be set together")
+	}
+	if cfg.FriendshipsReader != nil {
+		nw, err := social.LoadNetwork(scfg.Users, cfg.FriendshipsReader, cfg.PageLikesReader)
+		if err != nil {
+			return nil, fmt.Errorf("repro: loading social network: %w", err)
+		}
+		w.socialNet = nw
+	} else {
+		net, err := social.GenerateNetwork(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: generating social network: %w", err)
+		}
+		w.network = net
+		w.socialNet = net.Network
+	}
+
+	pred, err := cf.NewPredictorSim(w.ratings, cfg.Neighbors, cfg.Similarity)
+	if err != nil {
+		return nil, fmt.Errorf("repro: building CF predictor: %w", err)
+	}
+	w.pred = pred
+	if cfg.ItemBasedCF && cfg.TimeWeightedCF {
+		return nil, fmt.Errorf("repro: ItemBasedCF and TimeWeightedCF are mutually exclusive")
+	}
+	if cfg.ItemBasedCF {
+		ip, err := cf.NewItemPredictor(w.ratings, cfg.Neighbors)
+		if err != nil {
+			return nil, fmt.Errorf("repro: building item-based predictor: %w", err)
+		}
+		w.itemPred = ip
+	}
+	if cfg.TimeWeightedCF {
+		tw, err := cf.NewTimeWeightedPredictor(pred, cfg.CFHalfLife)
+		if err != nil {
+			return nil, fmt.Errorf("repro: building time-weighted predictor: %w", err)
+		}
+		w.twPred = tw
+	}
+
+	// Participants: social users 0..Users-1 mapped onto the rating
+	// store's first users (both populations use dense IDs from 0).
+	allUsers := w.ratings.Users()
+	w.participants = make([]dataset.UserID, scfg.Users)
+	copy(w.participants, allUsers[:scfg.Users])
+
+	full := affinity.Segment(scfg.Start, scfg.End, cfg.Granularity)
+	w.timeline = full
+	if n := cfg.InitialPeriods; n > 0 && n < full.NumPeriods() {
+		w.timeline = affinity.Timeline{
+			Start:   full.Start,
+			End:     full.Periods[n-1].End,
+			Periods: append([]affinity.Period(nil), full.Periods[:n]...),
+		}
+		w.pending = append([]affinity.Period(nil), full.Periods[n:]...)
+	}
+	src := affinity.NetworkSource{Network: w.socialNet}
+	model, err := affinity.BuildModel(w.participants, w.timeline, src, src)
+	if err != nil {
+		return nil, fmt.Errorf("repro: building affinity model: %w", err)
+	}
+	w.model = model
+	return w, nil
+}
+
+// AppendNextPeriod indexes the next pending period of the observation
+// window (index-maintenance mode; see Config.InitialPeriods). Only the
+// new period's affinities are computed — everything previously indexed
+// is untouched. It returns false when no periods remain.
+func (w *World) AppendNextPeriod() (bool, error) {
+	if len(w.pending) == 0 {
+		return false, nil
+	}
+	p := w.pending[0]
+	if err := w.model.AppendPeriod(p); err != nil {
+		return false, fmt.Errorf("repro: appending period: %w", err)
+	}
+	w.pending = w.pending[1:]
+	w.timeline = w.model.Timeline
+	return true, nil
+}
+
+// PendingPeriods returns how many window periods are not yet indexed.
+func (w *World) PendingPeriods() int { return len(w.pending) }
+
+// Ratings returns the frozen rating store.
+func (w *World) Ratings() *dataset.Store { return w.ratings }
+
+// SynthRatings returns the synthetic-generation latent structure, or
+// nil when ratings were loaded from a file.
+func (w *World) SynthRatings() *dataset.Synth { return w.synth }
+
+// Network returns the generated social network with its latent
+// structure, or nil when the network was loaded from CSV.
+func (w *World) Network() *social.SynthNetwork { return w.network }
+
+// SocialNetwork returns the observable social network (friendships and
+// page-likes), whether generated or loaded.
+func (w *World) SocialNetwork() *social.Network { return w.socialNet }
+
+// Predictor returns the collaborative filtering predictor.
+func (w *World) Predictor() *cf.Predictor { return w.pred }
+
+// AffinityModel returns the temporal affinity model.
+func (w *World) AffinityModel() *affinity.Model { return w.model }
+
+// Timeline returns the period segmentation.
+func (w *World) Timeline() affinity.Timeline { return w.timeline }
+
+// Participants returns the study population (users with both ratings
+// and social presence). Callers must not modify the slice.
+func (w *World) Participants() []dataset.UserID { return w.participants }
+
+// Former returns a group former over the participant pool, seeded
+// deterministically by seed.
+func (w *World) Former(seed int64) *groups.Former {
+	return groups.NewFormer(w.pred, w.model, rand.New(rand.NewSource(seed)))
+}
