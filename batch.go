@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Request is one unit of a RecommendBatch call: a group plus its
+// options.
+type Request struct {
+	Group   []dataset.UserID
+	Options Options
+}
+
+// Result pairs one Request's outcome with its error. Exactly one of
+// Recommendation and Err is set.
+type Result struct {
+	Recommendation *Recommendation
+	Err            error
+}
+
+// RecommendBatch runs many Recommend calls concurrently — the shape of
+// the paper's Figure 6 sweep, where hundreds of groups are scored in
+// one pass. Results are positionally aligned with reqs.
+//
+// Beyond running requests in parallel over GOMAXPROCS workers, the
+// batch shares assembly work across requests: candidate pools are
+// computed once per distinct (group, NumItems) pair, and because
+// identical candidate slices fingerprint identically, every member
+// shared by two requests hits the same prediction row in the CF row
+// cache instead of re-resolving its neighborhood.
+func (w *World) RecommendBatch(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+
+	// Candidate pools, deduplicated across the batch. Each distinct
+	// key computes once (the first worker to claim it does the work;
+	// others wait on its Once).
+	type candEntry struct {
+		once  sync.Once
+		items []dataset.ItemID
+	}
+	var candMu sync.Mutex
+	cands := make(map[string]*candEntry)
+	candidatesFor := func(group []dataset.UserID, n int) []dataset.ItemID {
+		key := candidateKey(group, n)
+		candMu.Lock()
+		e, ok := cands[key]
+		if !ok {
+			e = &candEntry{}
+			cands[key] = e
+		}
+		candMu.Unlock()
+		e.once.Do(func() { e.items = w.CandidateItems(group, n) })
+		return e.items
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := reqs[i]
+				opt := req.Options
+				// fill applies the same defaulting Recommend will use;
+				// on validation errors skip sharing and let Recommend
+				// produce the error itself.
+				if err := opt.fill(); err == nil && opt.Items == nil && len(req.Group) > 0 {
+					opt.Items = candidatesFor(req.Group, opt.NumItems)
+				}
+				rec, err := w.Recommend(req.Group, opt)
+				out[i] = Result{Recommendation: rec, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// candidateKey canonicalizes a group (order-insensitively — the
+// candidate pool is a set property) plus the candidate count.
+func candidateKey(group []dataset.UserID, n int) string {
+	ids := make([]int, len(group))
+	for i, u := range group {
+		ids[i] = int(u)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", n)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}

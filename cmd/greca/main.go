@@ -9,9 +9,14 @@
 //	      [-model discrete|continuous|static|none] [-period N]
 //	      [-ratings ratings.dat] [-mode greca|threshold|fullscan] [-seed N]
 //
+// Several groups may be given separated by ";" — they are then scored
+// concurrently through World.RecommendBatch, sharing candidate pools
+// and cached prediction rows across groups.
+//
 // Examples:
 //
 //	greca -group 1,5,9
+//	greca -group "1,5,9;2,3,4;1,5,9,11"
 //	greca -group 0,1,2,3,4,5 -consensus PD1 -model continuous -k 5
 //	greca -group 2,7 -ratings ml-1m/ratings.dat
 package main
@@ -52,7 +57,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	group, err := parseGroup(*groupFlag)
+	groupSets, err := parseGroups(*groupFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,43 +94,65 @@ func main() {
 		fmt.Printf("world: %d users, %d items, %d ratings, %d participants, %d periods\n",
 			st.Users, st.Items, st.Ratings, len(world.Participants()), world.Timeline().NumPeriods())
 	}
-	for _, u := range group {
-		found := false
-		for _, p := range world.Participants() {
-			if p == u {
-				found = true
-				break
+	for _, group := range groupSets {
+		for _, u := range group {
+			found := false
+			for _, p := range world.Participants() {
+				if p == u {
+					found = true
+					break
+				}
 			}
-		}
-		if !found {
-			log.Fatalf("user %d is not a study participant (ids 0..%d)", u, len(world.Participants())-1)
+			if !found {
+				log.Fatalf("user %d is not a study participant (ids 0..%d)", u, len(world.Participants())-1)
+			}
 		}
 	}
 
-	rec, err := world.Recommend(group, repro.Options{
+	opt := repro.Options{
 		K:         *k,
 		NumItems:  *items,
 		Consensus: spec,
 		TimeModel: tm,
 		Period:    *period,
 		Mode:      mode,
-	})
-	if err != nil {
-		log.Fatalf("recommending: %v", err)
 	}
+	reqs := make([]repro.Request, len(groupSets))
+	for i, group := range groupSets {
+		reqs[i] = repro.Request{Group: group, Options: opt}
+	}
+	results := world.RecommendBatch(reqs)
 
-	fmt.Printf("top-%d for group %v (%v consensus, %v model, period %d):\n",
-		*k, group, spec, tm, rec.Period+1)
-	for i, item := range rec.Items {
-		fmt.Printf("  %2d. item %-6d score=%.4f", i+1, item.Item, item.Score)
-		if item.UpperBound > item.Score {
-			fmt.Printf(" (ub %.4f)", item.UpperBound)
+	for gi, res := range results {
+		if res.Err != nil {
+			log.Fatalf("recommending for group %v: %v", groupSets[gi], res.Err)
 		}
-		fmt.Println()
+		rec := res.Recommendation
+		fmt.Printf("top-%d for group %v (%v consensus, %v model, period %d):\n",
+			*k, groupSets[gi], spec, tm, rec.Period+1)
+		for i, item := range rec.Items {
+			fmt.Printf("  %2d. item %-6d score=%.4f", i+1, item.Item, item.Score)
+			if item.UpperBound > item.Score {
+				fmt.Printf(" (ub %.4f)", item.UpperBound)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("accesses: %d/%d (%.1f%%, %.1f%% saved), stop=%v\n",
+			rec.Stats.SequentialAccesses, rec.Stats.TotalEntries,
+			rec.Stats.PercentSA(), rec.Stats.Saveup(), rec.Stats.Stop)
 	}
-	fmt.Printf("accesses: %d/%d (%.1f%%, %.1f%% saved), stop=%v\n",
-		rec.Stats.SequentialAccesses, rec.Stats.TotalEntries,
-		rec.Stats.PercentSA(), rec.Stats.Saveup(), rec.Stats.Stop)
+}
+
+func parseGroups(s string) ([][]dataset.UserID, error) {
+	var out [][]dataset.UserID
+	for _, part := range strings.Split(s, ";") {
+		g, err := parseGroup(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
 }
 
 func parseGroup(s string) ([]dataset.UserID, error) {

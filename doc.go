@@ -17,7 +17,12 @@
 //     NRA-style top-k algorithm with its novel buffer termination
 //     condition — for any ad-hoc group, under any of the paper's
 //     consensus functions (AP, MO, PD) and time models (discrete,
-//     continuous, time-agnostic, affinity-agnostic).
+//     continuous, time-agnostic, affinity-agnostic). Problem assembly
+//     is batched, cached, and parallel (see DESIGN.md's engine
+//     layering), and a World serves any number of concurrent callers.
+//   - World.RecommendBatch scores many groups in one call — the shape
+//     of the paper's Figure 6 sweep — sharing candidate pools and
+//     cached prediction rows across requests.
 //
 // A minimal session:
 //

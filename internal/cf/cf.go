@@ -1,8 +1,11 @@
-// Package cf implements the user-based collaborative filtering
-// predictor the paper uses as its absolute-preference source (§4):
-// user similarity is the cosine of the two users' rating vectors and
-// the predicted rating of u for i is the similarity-weighted average
-// of the ratings of u's nearest neighbors who rated i.
+// Package cf implements the collaborative filtering predictors the
+// reproduction uses as absolute-preference sources (§4): user-based
+// (the paper's choice — cosine user similarity, k-NN weighted
+// average), item-based (adjusted cosine), and time-weighted (Ding &
+// Li's related-work baseline). All three implement the Source
+// interface consumed by the assembly layer, and their lazy caches are
+// sharded so concurrent recommendation traffic does not serialize on a
+// single lock.
 package cf
 
 import (
@@ -17,27 +20,47 @@ import (
 // DefaultNeighbors is the neighborhood size used when none is given.
 const DefaultNeighbors = 50
 
+// numShards is the lock-shard count for the lazy per-user caches. 64
+// keeps contention negligible for any realistic GOMAXPROCS while the
+// per-shard overhead (two maps and an RWMutex) stays trivial.
+const numShards = 64
+
 // Neighbor pairs a user with its cosine similarity to the query user.
 type Neighbor struct {
 	User dataset.UserID
 	Sim  float64
 }
 
+// userShard is one lock shard of the predictor's lazy caches.
+type userShard struct {
+	mu        sync.RWMutex
+	neighbors map[dataset.UserID][]Neighbor
+	norms     map[dataset.UserID]float64
+}
+
+// shardIndex maps a user or item ID onto a lock shard. IDs are dense
+// small integers; a multiplicative mix keeps adjacent IDs on
+// different shards even so.
+func shardIndex(id uint64) int {
+	return int(id * 0x9E3779B97F4A7C15 >> 58)
+}
+
 // Predictor computes user-user similarities and k-NN rating
-// predictions over a frozen dataset.Store. Neighborhoods are computed
-// lazily per user and cached; the cache is safe for concurrent use.
+// predictions over a frozen dataset.Store. Neighborhoods and vector
+// norms are computed lazily per user and cached in lock-sharded maps,
+// so concurrent readers of distinct users never contend and readers of
+// the same user share an RLock.
 type Predictor struct {
 	store   *dataset.Store
 	k       int
 	measure Similarity
 
-	mu        sync.Mutex
-	neighbors map[dataset.UserID][]Neighbor
-	norms     map[dataset.UserID]float64
+	shards [numShards]userShard
 	// globalMean is the dataset mean rating, the last-resort fallback
 	// prediction when an item has no neighbor coverage.
 	globalMean float64
 	// itemMean caches per-item mean ratings for the first fallback.
+	// Read-only after construction.
 	itemMean map[dataset.ItemID]float64
 }
 
@@ -58,12 +81,14 @@ func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (
 		kNeighbors = DefaultNeighbors
 	}
 	p := &Predictor{
-		store:     store,
-		k:         kNeighbors,
-		measure:   measure,
-		neighbors: make(map[dataset.UserID][]Neighbor),
-		norms:     make(map[dataset.UserID]float64),
-		itemMean:  make(map[dataset.ItemID]float64),
+		store:    store,
+		k:        kNeighbors,
+		measure:  measure,
+		itemMean: make(map[dataset.ItemID]float64),
+	}
+	for i := range p.shards {
+		p.shards[i].neighbors = make(map[dataset.UserID][]Neighbor)
+		p.shards[i].norms = make(map[dataset.UserID]float64)
 	}
 	var sum float64
 	n := 0
@@ -126,9 +151,10 @@ func (p *Predictor) dot(u, v dataset.UserID) float64 {
 }
 
 func (p *Predictor) norm(u dataset.UserID) float64 {
-	p.mu.Lock()
-	n, ok := p.norms[u]
-	p.mu.Unlock()
+	sh := &p.shards[shardIndex(uint64(u))]
+	sh.mu.RLock()
+	n, ok := sh.norms[u]
+	sh.mu.RUnlock()
 	if ok {
 		return n
 	}
@@ -137,22 +163,26 @@ func (p *Predictor) norm(u dataset.UserID) float64 {
 		ss += r.Value * r.Value
 	}
 	n = math.Sqrt(ss)
-	p.mu.Lock()
-	p.norms[u] = n
-	p.mu.Unlock()
+	sh.mu.Lock()
+	sh.norms[u] = n
+	sh.mu.Unlock()
 	return n
 }
 
-// Neighbors returns u's k most cosine-similar users (excluding u and
+// Neighbors returns u's k most similar users (excluding u and
 // zero-similarity users), sorted by descending similarity. The result
-// is cached; callers must not modify it.
+// is cached; callers must not modify it. Concurrent first calls for
+// the same user may compute the neighborhood twice; both computations
+// yield the identical slice and one wins the cache, so the race is
+// benign and never holds a lock during the O(users) scan.
 func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
-	p.mu.Lock()
-	if ns, ok := p.neighbors[u]; ok {
-		p.mu.Unlock()
+	sh := &p.shards[shardIndex(uint64(u))]
+	sh.mu.RLock()
+	ns, ok := sh.neighbors[u]
+	sh.mu.RUnlock()
+	if ok {
 		return ns
 	}
-	p.mu.Unlock()
 
 	all := make([]Neighbor, 0, 64)
 	for _, v := range p.store.Users() {
@@ -172,10 +202,14 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 	if len(all) > p.k {
 		all = all[:p.k]
 	}
-	ns := append([]Neighbor(nil), all...)
-	p.mu.Lock()
-	p.neighbors[u] = ns
-	p.mu.Unlock()
+	ns = append([]Neighbor(nil), all...)
+	sh.mu.Lock()
+	if cached, ok := sh.neighbors[u]; ok {
+		ns = cached // a concurrent computation won; keep one canonical slice
+	} else {
+		sh.neighbors[u] = ns
+	}
+	sh.mu.Unlock()
 	return ns
 }
 
@@ -203,13 +237,78 @@ func (p *Predictor) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 	return p.globalMean
 }
 
-// PredictAll returns predictions of u for each item in items.
-func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float64 {
+// PredictBatch returns predictions of u for each item in items. The
+// user's neighborhood is resolved exactly once; each neighbor's
+// item-sorted rating list is then streamed a single time, accumulating
+// weighted sums per candidate slot — O(k·|neighbor ratings| + m)
+// instead of the per-item O(m·k·log) of repeated Predict calls.
+// Accumulation order per item matches Predict's neighbor order, so the
+// results are bit-identical to the sequential path.
+func (p *Predictor) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
 	out := make([]float64, len(items))
-	for i, it := range items {
-		out[i] = p.Predict(u, it)
-	}
+	p.PredictBatchInto(u, items, out)
 	return out
+}
+
+// PredictBatchInto is PredictBatch writing into dst (len(items)).
+func (p *Predictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
+	p.batchInto(u, items, dst, func(nb Neighbor, _ dataset.Rating) float64 { return nb.Sim })
+}
+
+// batchInto is the shared slot-accumulation core of the user-based and
+// time-weighted batch paths: weight supplies each rating's
+// contribution factor (similarity alone, or similarity × age decay).
+// It preserves Predict's per-item accumulation order, first-duplicate
+// -wins rating semantics, own-rating override, and fallback ladder —
+// the invariants that keep batch results bit-identical to sequential.
+func (p *Predictor) batchInto(u dataset.UserID, items []dataset.ItemID, dst []float64, weight func(Neighbor, dataset.Rating) float64) {
+	bs := newBatchSlots(items)
+	nSlots := len(bs.slotItem)
+	num := make([]float64, nSlots)
+	den := make([]float64, nSlots)
+	for _, nb := range p.Neighbors(u) {
+		rs := p.store.ByUser(nb.User)
+		for ri, r := range rs {
+			if ri > 0 && rs[ri-1].Item == r.Item {
+				continue // duplicate rating; the sequential lookup sees only the first
+			}
+			if s, ok := bs.index[r.Item]; ok {
+				w := weight(nb, r)
+				num[s] += w * r.Value
+				den[s] += w
+			}
+		}
+	}
+	// Own ratings override neighbor evidence, as in Predict.
+	own := make([]float64, nSlots)
+	ownSet := make([]bool, nSlots)
+	for _, r := range p.store.ByUser(u) {
+		if s, ok := bs.index[r.Item]; ok && !ownSet[s] {
+			own[s] = r.Value
+			ownSet[s] = true
+		}
+	}
+	for i := range items {
+		s := bs.slotOf[i]
+		switch {
+		case ownSet[s]:
+			dst[i] = own[s]
+		case den[s] > 0:
+			dst[i] = clampRating(num[s] / den[s])
+		default:
+			if m, ok := p.itemMean[bs.slotItem[s]]; ok {
+				dst[i] = m
+			} else {
+				dst[i] = p.globalMean
+			}
+		}
+	}
+}
+
+// PredictAll returns predictions of u for each item in items. It is
+// the historical name of PredictBatch and delegates to it.
+func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float64 {
+	return p.PredictBatch(u, items)
 }
 
 // GlobalMean returns the dataset mean rating.

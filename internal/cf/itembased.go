@@ -20,14 +20,20 @@ type ItemPredictor struct {
 	store *dataset.Store
 	k     int
 
-	mu sync.Mutex
-	// neighbors[i] caches item i's top-k similar items.
-	neighbors map[dataset.ItemID][]itemNeighbor
+	// shards hold the lazy item-neighborhood cache under sharded
+	// locks, mirroring Predictor's per-user sharding.
+	shards [numShards]itemShard
 	// userMean caches each user's mean rating for the adjusted-cosine
-	// centering.
+	// centering. Read-only after construction.
 	userMean   map[dataset.UserID]float64
 	itemMean   map[dataset.ItemID]float64
 	globalMean float64
+}
+
+type itemShard struct {
+	mu sync.RWMutex
+	// neighbors[i] caches item i's top-k similar items.
+	neighbors map[dataset.ItemID][]itemNeighbor
 }
 
 type itemNeighbor struct {
@@ -44,11 +50,13 @@ func NewItemPredictor(store *dataset.Store, kNeighbors int) (*ItemPredictor, err
 		kNeighbors = DefaultNeighbors
 	}
 	p := &ItemPredictor{
-		store:     store,
-		k:         kNeighbors,
-		neighbors: make(map[dataset.ItemID][]itemNeighbor),
-		userMean:  make(map[dataset.UserID]float64),
-		itemMean:  make(map[dataset.ItemID]float64),
+		store:    store,
+		k:        kNeighbors,
+		userMean: make(map[dataset.UserID]float64),
+		itemMean: make(map[dataset.ItemID]float64),
+	}
+	for i := range p.shards {
+		p.shards[i].neighbors = make(map[dataset.ItemID][]itemNeighbor)
 	}
 	var sum float64
 	n := 0
@@ -114,13 +122,15 @@ func (p *ItemPredictor) AdjustedCosine(a, b dataset.ItemID) float64 {
 }
 
 // itemNeighborsOf returns item it's top-k positively similar items.
+// Concurrent first calls may compute twice; one result wins the cache.
 func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
-	p.mu.Lock()
-	if ns, ok := p.neighbors[it]; ok {
-		p.mu.Unlock()
+	sh := &p.shards[shardIndex(uint64(it))]
+	sh.mu.RLock()
+	ns, ok := sh.neighbors[it]
+	sh.mu.RUnlock()
+	if ok {
 		return ns
 	}
-	p.mu.Unlock()
 
 	all := make([]itemNeighbor, 0, 64)
 	for _, other := range p.store.Items() {
@@ -140,10 +150,14 @@ func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
 	if len(all) > p.k {
 		all = all[:p.k]
 	}
-	ns := append([]itemNeighbor(nil), all...)
-	p.mu.Lock()
-	p.neighbors[it] = ns
-	p.mu.Unlock()
+	ns = append([]itemNeighbor(nil), all...)
+	sh.mu.Lock()
+	if cached, ok := sh.neighbors[it]; ok {
+		ns = cached
+	} else {
+		sh.neighbors[it] = ns
+	}
+	sh.mu.Unlock()
 	return ns
 }
 
@@ -167,6 +181,54 @@ func (p *ItemPredictor) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 		return m
 	}
 	return p.globalMean
+}
+
+// PredictBatch returns predictions of u for each item in items. The
+// user's own rating vector — the item-based analog of a user
+// neighborhood — is resolved into a lookup map exactly once; each
+// candidate then streams its cached item neighborhood against it.
+// Per-item accumulation order matches Predict, so results are
+// bit-identical to the sequential path.
+func (p *ItemPredictor) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
+	out := make([]float64, len(items))
+	p.PredictBatchInto(u, items, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into dst (len(items)).
+func (p *ItemPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
+	ru := p.store.ByUser(u)
+	rated := make(map[dataset.ItemID]float64, len(ru))
+	for _, r := range ru {
+		if _, ok := rated[r.Item]; !ok {
+			rated[r.Item] = r.Value // first record wins, matching Value's lookup
+		}
+	}
+	// Duplicate candidates recompute via the neighbor cache, which is
+	// hot after the first occurrence; no slot table is needed here.
+	for i, it := range items {
+		if v, ok := rated[it]; ok {
+			dst[i] = v
+			continue
+		}
+		var num, den float64
+		for _, nb := range p.itemNeighborsOf(it) {
+			if v, ok := rated[nb.item]; ok {
+				num += nb.sim * v
+				den += nb.sim
+			}
+		}
+		switch {
+		case den > 0:
+			dst[i] = clampRating(num / den)
+		default:
+			if m, ok := p.itemMean[it]; ok {
+				dst[i] = m
+			} else {
+				dst[i] = p.globalMean
+			}
+		}
+	}
 }
 
 // GlobalMean returns the dataset mean rating.

@@ -1,0 +1,144 @@
+package cf
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// DefaultRowCacheCap is the default bound on cached prediction rows.
+// A row for the paper's default candidate pool (3900 items) is ~31KB,
+// so 1024 rows cap the cache near 32MB worst-case.
+const DefaultRowCacheCap = 1024
+
+// rowCacheShards spreads row-cache traffic; fewer than the predictor
+// shard count because each hit copies kilobytes and amortizes the lock.
+const rowCacheShards = 16
+
+// rowKey identifies one cached prediction row: a user plus the
+// fingerprint of the candidate set the row was computed over.
+type rowKey struct {
+	user dataset.UserID
+	fp   uint64
+	n    int
+}
+
+type rowShard struct {
+	mu   sync.Mutex
+	rows map[rowKey][]float64
+}
+
+// CachedSource wraps any Source with a bounded per-user prediction-row
+// cache keyed by candidate-set fingerprint. Recommendation traffic is
+// heavily repetitive in its candidate sets — the same group (and the
+// popularity-ranked pool of any group with similar history) asks for
+// the same (user, items) row over and over — so whole rows are the
+// natural memoization unit, the tabling idea applied to the preference
+// layer.
+//
+// Eviction is random-replacement per shard: when a shard exceeds its
+// bound, arbitrary entries are dropped until it is half full. That is
+// deliberately simpler than LRU — rows are cheap to recompute and the
+// cache exists to absorb bursts of identical queries, not to model
+// long-term popularity.
+type CachedSource struct {
+	src    Source
+	into   BatchInto // src's in-place path, when it has one
+	perCap int       // per-shard entry bound
+	shards [rowCacheShards]rowShard
+}
+
+// NewCachedSource wraps src with a row cache bounded at cap entries
+// (DefaultRowCacheCap if cap <= 0).
+func NewCachedSource(src Source, cap int) *CachedSource {
+	if cap <= 0 {
+		cap = DefaultRowCacheCap
+	}
+	perCap := cap / rowCacheShards
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &CachedSource{src: src, perCap: perCap}
+	c.into, _ = src.(BatchInto)
+	for i := range c.shards {
+		c.shards[i].rows = make(map[rowKey][]float64)
+	}
+	return c
+}
+
+// Predict delegates to the wrapped source; single predictions are not
+// worth caching.
+func (c *CachedSource) Predict(u dataset.UserID, it dataset.ItemID) float64 {
+	return c.src.Predict(u, it)
+}
+
+// PredictBatch returns the cached row for (u, fingerprint(items)),
+// computing and caching it on miss. The returned slice is shared and
+// read-only; callers that need to mutate must copy (or use
+// PredictBatchInto, which copies for them).
+func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
+	key := rowKey{user: u, fp: fingerprintItems(items), n: len(items)}
+	sh := &c.shards[(key.fp^uint64(u))%rowCacheShards]
+	sh.mu.Lock()
+	row, ok := sh.rows[key]
+	sh.mu.Unlock()
+	if ok {
+		return row
+	}
+	row = c.src.PredictBatch(u, items)
+	sh.mu.Lock()
+	if cached, ok := sh.rows[key]; ok {
+		row = cached // concurrent fill won; keep one canonical row
+	} else {
+		if len(sh.rows) >= c.perCap {
+			for k := range sh.rows {
+				delete(sh.rows, k)
+				if len(sh.rows) <= c.perCap/2 {
+					break
+				}
+			}
+		}
+		sh.rows[key] = row
+	}
+	sh.mu.Unlock()
+	return row
+}
+
+// PredictBatchInto fills dst from the cached row (copying, so dst is
+// caller-owned even on a hit).
+func (c *CachedSource) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
+	copy(dst, c.PredictBatch(u, items))
+}
+
+// Len reports the number of cached rows (for tests and metrics).
+func (c *CachedSource) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.rows)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// fingerprintItems hashes a candidate slice with FNV-1a over the raw
+// item IDs. Together with the slice length in rowKey, collisions would
+// need two same-length candidate sets hashing identically — vanishing
+// for the popularity-derived sets this cache sees.
+func fingerprintItems(items []dataset.ItemID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, it := range items {
+		v := uint64(it)
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,76 @@
+package cf
+
+import "repro/internal/dataset"
+
+// Source is the absolute-preference abstraction of the engine's
+// preference layer: anything that can predict a user's rating for one
+// item or for a whole candidate slice at once. The paper's formulation
+// is agnostic to the apref producer ("existing single-user
+// recommendation algorithms ... could be used"); Source is where that
+// agnosticism lives in code. All three predictors in this package
+// implement it, as does the CachedSource row-cache wrapper, so the
+// assembly layer never dispatches on concrete predictor types.
+//
+// PredictBatch must be equivalent to calling Predict per item — same
+// values, computed once per (user, item) — but is free to resolve
+// shared work (the user's neighborhood, the user's own rating vector)
+// a single time for the whole slice. Implementations must be safe for
+// concurrent use.
+type Source interface {
+	// Predict returns the predicted rating of u for item it on the
+	// 1..5 scale. Predictions are total: implementations fall back to
+	// item and global means when coverage is missing.
+	Predict(u dataset.UserID, it dataset.ItemID) float64
+	// PredictBatch returns predictions of u for every item in items,
+	// in order. The returned slice is owned by the caller unless the
+	// implementation documents otherwise (CachedSource returns shared
+	// read-only rows).
+	PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64
+}
+
+// BatchInto is an optional Source extension that writes predictions
+// into a caller-provided buffer, letting the assembly layer reuse
+// pooled rows without an intermediate allocation. dst must have
+// len(items) capacity available; implementations fill dst[:len(items)].
+type BatchInto interface {
+	PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64)
+}
+
+// Compile-time checks: every predictor is a full batch-capable Source.
+var (
+	_ Source    = (*Predictor)(nil)
+	_ Source    = (*ItemPredictor)(nil)
+	_ Source    = (*TimeWeightedPredictor)(nil)
+	_ Source    = (*CachedSource)(nil)
+	_ BatchInto = (*Predictor)(nil)
+	_ BatchInto = (*ItemPredictor)(nil)
+	_ BatchInto = (*TimeWeightedPredictor)(nil)
+	_ BatchInto = (*CachedSource)(nil)
+)
+
+// batchSlots maps each position of items to an accumulation slot, one
+// slot per distinct item, so batch prediction tolerates duplicate
+// candidates. slotOf[i] is the slot of items[i]; slotItem[s] is the
+// item of slot s.
+type batchSlots struct {
+	slotOf   []int
+	slotItem []dataset.ItemID
+	index    map[dataset.ItemID]int
+}
+
+func newBatchSlots(items []dataset.ItemID) *batchSlots {
+	bs := &batchSlots{
+		slotOf: make([]int, len(items)),
+		index:  make(map[dataset.ItemID]int, len(items)),
+	}
+	for i, it := range items {
+		s, ok := bs.index[it]
+		if !ok {
+			s = len(bs.slotItem)
+			bs.index[it] = s
+			bs.slotItem = append(bs.slotItem, it)
+		}
+		bs.slotOf[i] = s
+	}
+	return bs
+}

@@ -1,0 +1,210 @@
+package cf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// randomStore builds a deterministic pseudo-random store with
+// timestamps, so the batch-equivalence tests exercise all fallback
+// paths (own rating, neighbor coverage, item mean, global mean).
+func randomStore(t *testing.T, users, items, ratings int, seed int64) *dataset.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.NewStore()
+	seen := make(map[[2]int]bool)
+	for n := 0; n < ratings; n++ {
+		u, it := rng.Intn(users), rng.Intn(items)
+		if seen[[2]int{u, it}] {
+			continue
+		}
+		seen[[2]int{u, it}] = true
+		err := s.Add(dataset.Rating{
+			User:  dataset.UserID(u),
+			Item:  dataset.ItemID(it),
+			Value: float64(1 + rng.Intn(5)),
+			Time:  rng.Int63n(1_000_000),
+		})
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.Freeze()
+	return s
+}
+
+// checkBatchMatchesSequential asserts PredictBatch is bit-identical to
+// per-item Predict for every user over the given candidate slice.
+func checkBatchMatchesSequential(t *testing.T, src Source, users []dataset.UserID, items []dataset.ItemID) {
+	t.Helper()
+	for _, u := range users {
+		batch := src.PredictBatch(u, items)
+		if len(batch) != len(items) {
+			t.Fatalf("user %d: batch length %d, want %d", u, len(batch), len(items))
+		}
+		for i, it := range items {
+			if want := src.Predict(u, it); batch[i] != want {
+				t.Errorf("user %d item %d: batch %v, sequential %v", u, it, batch[i], want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	s := randomStore(t, 40, 60, 600, 1)
+	// Candidates include unrated items, heavily rated items, an item
+	// nobody rated (fallback to global mean), and a duplicate.
+	items := []dataset.ItemID{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 59, 3}
+	base, err := NewPredictor(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewItemPredictor(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := s.Users()
+	t.Run("user-based", func(t *testing.T) { checkBatchMatchesSequential(t, base, users, items) })
+	t.Run("item-based", func(t *testing.T) { checkBatchMatchesSequential(t, ip, users, items) })
+	t.Run("time-weighted", func(t *testing.T) { checkBatchMatchesSequential(t, tw, users, items) })
+	t.Run("cached", func(t *testing.T) {
+		checkBatchMatchesSequential(t, NewCachedSource(base, 8), users, items)
+	})
+}
+
+func TestPredictBatchEmptyAndMissingUser(t *testing.T) {
+	s := randomStore(t, 10, 10, 50, 2)
+	p, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PredictBatch(0, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d values", len(got))
+	}
+	// A user absent from the store gets fallback predictions, same as
+	// Predict.
+	ghost := dataset.UserID(999)
+	items := []dataset.ItemID{0, 1, 2}
+	batch := p.PredictBatch(ghost, items)
+	for i, it := range items {
+		if want := p.Predict(ghost, it); batch[i] != want {
+			t.Errorf("ghost user item %d: batch %v, sequential %v", it, batch[i], want)
+		}
+	}
+}
+
+func TestCachedSourceReturnsCanonicalRows(t *testing.T) {
+	s := randomStore(t, 20, 30, 200, 3)
+	p, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCachedSource(p, 64)
+	items := []dataset.ItemID{1, 2, 3, 4}
+	r1 := c.PredictBatch(3, items)
+	r2 := c.PredictBatch(3, items)
+	if &r1[0] != &r2[0] {
+		t.Errorf("repeated batch did not return the cached row")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d rows, want 1", c.Len())
+	}
+	// A different candidate set for the same user is a distinct row.
+	r3 := c.PredictBatch(3, []dataset.ItemID{1, 2, 3, 5})
+	if &r3[0] == &r1[0] {
+		t.Errorf("different candidate set shared a row")
+	}
+	// Same IDs, different order: distinct fingerprint, distinct row.
+	r4 := c.PredictBatch(3, []dataset.ItemID{4, 3, 2, 1})
+	if &r4[0] == &r1[0] {
+		t.Errorf("reordered candidate set shared a row")
+	}
+}
+
+func TestCachedSourceBounded(t *testing.T) {
+	s := randomStore(t, 30, 40, 300, 4)
+	p, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 32
+	c := NewCachedSource(p, bound)
+	for n := 0; n < 10*bound; n++ {
+		items := []dataset.ItemID{dataset.ItemID(n % 40), dataset.ItemID((n + 1) % 40)}
+		c.PredictBatch(dataset.UserID(n%30), items)
+	}
+	if got := c.Len(); got > bound {
+		t.Errorf("cache grew to %d rows, bound %d", got, bound)
+	}
+	if c.Len() == 0 {
+		t.Errorf("cache empty after traffic")
+	}
+}
+
+func TestCachedSourceBatchIntoCopies(t *testing.T) {
+	s := randomStore(t, 10, 10, 60, 5)
+	p, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCachedSource(p, 8)
+	items := []dataset.ItemID{0, 1, 2}
+	dst := make([]float64, len(items))
+	c.PredictBatchInto(4, items, dst)
+	row := c.PredictBatch(4, items)
+	if &dst[0] == &row[0] {
+		t.Fatalf("PredictBatchInto aliased the cached row")
+	}
+	for i := range dst {
+		if dst[i] != row[i] {
+			t.Errorf("dst[%d] = %v, cached %v", i, dst[i], row[i])
+		}
+	}
+}
+
+// TestConcurrentPredictors hammers all three predictors and the cache
+// from many goroutines; run under -race this is the preference-layer
+// data-race check.
+func TestConcurrentPredictors(t *testing.T) {
+	s := randomStore(t, 30, 40, 400, 6)
+	base, err := NewPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewItemPredictor(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTimeWeightedPredictor(base, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []Source{base, ip, tw, NewCachedSource(base, 16)}
+	items := []dataset.ItemID{0, 3, 7, 11, 19, 23, 31, 39}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := sources[g%len(sources)]
+			for n := 0; n < 50; n++ {
+				u := dataset.UserID((g*7 + n) % 30)
+				batch := src.PredictBatch(u, items)
+				for i, it := range items {
+					if want := src.Predict(u, it); batch[i] != want {
+						t.Errorf("concurrent mismatch user %d item %d", u, it)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -83,6 +83,26 @@ func (p *TimeWeightedPredictor) Predict(u dataset.UserID, it dataset.ItemID) flo
 	return p.base.globalMean
 }
 
+// PredictBatch returns time-weighted predictions of u for each item in
+// items. The base neighborhood is resolved exactly once; each
+// neighbor's rating list is streamed a single time with the decay
+// weight applied per rating. Accumulation order per item matches
+// Predict, so results are bit-identical to the sequential path.
+func (p *TimeWeightedPredictor) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
+	out := make([]float64, len(items))
+	p.PredictBatchInto(u, items, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into dst (len(items)). It
+// delegates to the base predictor's shared accumulation core with the
+// decay factor folded into each rating's weight.
+func (p *TimeWeightedPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
+	p.base.batchInto(u, items, dst, func(nb Neighbor, r dataset.Rating) float64 {
+		return nb.Sim * p.weight(r.Time)
+	})
+}
+
 // ratingOf finds v's full rating record for item it.
 func (p *TimeWeightedPredictor) ratingOf(v dataset.UserID, it dataset.ItemID) (dataset.Rating, bool) {
 	for _, r := range p.base.store.ByUser(v) {

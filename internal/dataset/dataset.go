@@ -53,6 +53,60 @@ type Store struct {
 	nRatings int
 	sumVal   float64
 	frozen   bool
+	// popRanked is the popularity ranking, precomputed at Freeze so
+	// hot-path candidate selection never re-sorts the catalog.
+	popRanked []ItemID
+	// rated[u] marks u's rated items as a bitset indexed by ItemID.
+	// Built at Freeze when IDs are dense enough (see bitsetEligible);
+	// nil otherwise, in which case callers fall back to Value lookups.
+	rated     map[UserID]Bitset
+	maskWords int
+}
+
+// Bitset is a fixed-size item-indexed bit vector. The zero value (nil)
+// reports no items.
+type Bitset []uint64
+
+// Has reports whether item it is set. Out-of-range (including
+// negative) IDs report false.
+func (b Bitset) Has(it ItemID) bool {
+	if it < 0 {
+		return false
+	}
+	w := int(it >> 6)
+	return w < len(b) && b[w]>>(uint(it)&63)&1 == 1
+}
+
+// set marks item it; the caller guarantees it is in range.
+func (b Bitset) set(it ItemID) { b[it>>6] |= 1 << (uint(it) & 63) }
+
+// or merges o into b (same length).
+func (b Bitset) or(o Bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// bitsetMemoryBound caps the total memory spent on per-user rated
+// bitsets (64MB). Dense MovieLens-scale stores (6040 users × ~4000
+// items ≈ 3MB) are far under it; adversarial loader input with huge or
+// negative item IDs disables bitsets instead of exploding.
+const bitsetMemoryBound = 64 << 20
+
+// bitsetEligible decides at Freeze whether per-user bitsets are built.
+func (s *Store) bitsetEligible() (words int, ok bool) {
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	minItem, maxItem := s.items[0], s.items[len(s.items)-1]
+	if minItem < 0 {
+		return 0, false
+	}
+	words = int(maxItem>>6) + 1
+	if int64(words)*8*int64(len(s.users)) > bitsetMemoryBound {
+		return 0, false
+	}
+	return words, true
 }
 
 // NewStore returns an empty store.
@@ -100,7 +154,52 @@ func (s *Store) Freeze() {
 		s.items = append(s.items, it)
 	}
 	sort.Slice(s.items, func(i, j int) bool { return s.items[i] < s.items[j] })
+
+	// Popularity ranking, computed once: descending rating count with
+	// ascending-ID ties (the paper's "popular set" order).
+	s.popRanked = make([]ItemID, len(s.items))
+	copy(s.popRanked, s.items)
+	sort.Slice(s.popRanked, func(i, j int) bool {
+		ci, cj := len(s.byItem[s.popRanked[i]]), len(s.byItem[s.popRanked[j]])
+		if ci != cj {
+			return ci > cj
+		}
+		return s.popRanked[i] < s.popRanked[j]
+	})
+
+	// Per-user rated-item bitsets, so candidate selection tests
+	// membership in O(1) word ops instead of per-item binary searches.
+	if words, ok := s.bitsetEligible(); ok {
+		s.maskWords = words
+		s.rated = make(map[UserID]Bitset, len(s.byUser))
+		backing := make([]uint64, words*len(s.users))
+		for i, u := range s.users {
+			b := Bitset(backing[i*words : (i+1)*words])
+			for _, r := range s.byUser[u] {
+				b.set(r.Item)
+			}
+			s.rated[u] = b
+		}
+	}
 	s.frozen = true
+}
+
+// GroupRatedMask returns the union of the rated-item bitsets of the
+// given users, or nil when bitsets are unavailable (unfrozen store, or
+// item IDs too sparse/negative — see bitsetEligible). Users absent
+// from the store contribute nothing. The result is freshly allocated;
+// the caller owns it.
+func (s *Store) GroupRatedMask(users []UserID) Bitset {
+	if s.rated == nil {
+		return nil
+	}
+	mask := make(Bitset, s.maskWords)
+	for _, u := range users {
+		if b, ok := s.rated[u]; ok {
+			mask.or(b)
+		}
+	}
+	return mask
 }
 
 // Frozen reports whether Freeze has been called.
@@ -153,6 +252,9 @@ func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
 
 // HasRated reports whether user u has rated item it.
 func (s *Store) HasRated(u UserID, it ItemID) bool {
+	if s.rated != nil {
+		return s.rated[u].Has(it)
+	}
 	_, ok := s.Value(u, it)
 	return ok
 }
@@ -179,18 +281,20 @@ func (s *Store) Stats() Stats {
 
 // ItemPopularity returns items sorted by descending rating count — the
 // paper's "popular set" selection (top-50 by popularity) uses this.
+// The ranking is precomputed at Freeze; this returns a fresh copy the
+// caller may reorder.
 func (s *Store) ItemPopularity() []ItemID {
 	s.mustFrozen("ItemPopularity")
-	out := make([]ItemID, len(s.items))
-	copy(out, s.items)
-	sort.Slice(out, func(i, j int) bool {
-		ci, cj := len(s.byItem[out[i]]), len(s.byItem[out[j]])
-		if ci != cj {
-			return ci > cj
-		}
-		return out[i] < out[j]
-	})
+	out := make([]ItemID, len(s.popRanked))
+	copy(out, s.popRanked)
 	return out
+}
+
+// PopularityRanked returns the precomputed popularity ranking as a
+// shared slice for hot paths. Callers must not modify it.
+func (s *Store) PopularityRanked() []ItemID {
+	s.mustFrozen("PopularityRanked")
+	return s.popRanked
 }
 
 // ItemRatingVariance returns the population variance of the ratings of

@@ -322,3 +322,93 @@ func TestAdjustCounts(t *testing.T) {
 		t.Errorf("saturated adjust changed counts: %v", capped)
 	}
 }
+
+func TestRatedBitsetsMatchValueLookups(t *testing.T) {
+	s := NewStore()
+	ratings := []Rating{
+		{User: 0, Item: 0, Value: 5},
+		{User: 0, Item: 63, Value: 4}, // word boundary
+		{User: 0, Item: 64, Value: 3},
+		{User: 1, Item: 2, Value: 2},
+		{User: 2, Item: 200, Value: 1},
+	}
+	for _, r := range ratings {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.Freeze()
+	for u := UserID(0); u < 4; u++ {
+		for it := ItemID(-1); it <= 201; it++ {
+			_, want := s.Value(u, it)
+			if got := s.HasRated(u, it); got != want {
+				t.Errorf("HasRated(%d,%d) = %v, Value says %v", u, it, got, want)
+			}
+		}
+	}
+	mask := s.GroupRatedMask([]UserID{0, 2})
+	if mask == nil {
+		t.Fatal("bitsets unexpectedly disabled for a dense store")
+	}
+	for it := ItemID(-1); it <= 201; it++ {
+		_, r0 := s.Value(0, it)
+		_, r2 := s.Value(2, it)
+		if got := mask.Has(it); got != (r0 || r2) {
+			t.Errorf("mask.Has(%d) = %v, want %v", it, got, r0 || r2)
+		}
+	}
+	// Absent users contribute nothing; unknown users are fine.
+	if got := s.GroupRatedMask([]UserID{99}); got == nil || got.Has(0) {
+		t.Errorf("ghost-user mask should be empty, got %v", got)
+	}
+}
+
+func TestBitsetsDisabledForAdversarialIDs(t *testing.T) {
+	neg := NewStore()
+	if err := neg.Add(Rating{User: 0, Item: -5, Value: 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	neg.Freeze()
+	if neg.GroupRatedMask([]UserID{0}) != nil {
+		t.Errorf("negative item IDs should disable bitsets")
+	}
+	if !neg.HasRated(0, -5) {
+		t.Errorf("fallback HasRated lost the negative-ID rating")
+	}
+
+	huge := NewStore()
+	if err := huge.Add(Rating{User: 0, Item: 1 << 40, Value: 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	huge.Freeze()
+	if huge.GroupRatedMask([]UserID{0}) != nil {
+		t.Errorf("huge item IDs should disable bitsets")
+	}
+	if !huge.HasRated(0, 1<<40) {
+		t.Errorf("fallback HasRated lost the huge-ID rating")
+	}
+}
+
+func TestPopularityRankedSharedAndStable(t *testing.T) {
+	s := NewStore()
+	for i, n := range []int{1, 3, 2} { // item 1 most popular, then 2, then 0
+		for u := 0; u < n; u++ {
+			if err := s.Add(Rating{User: UserID(u), Item: ItemID(i), Value: 4}); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+	}
+	s.Freeze()
+	want := []ItemID{1, 2, 0}
+	shared := s.PopularityRanked()
+	copied := s.ItemPopularity()
+	for i := range want {
+		if shared[i] != want[i] || copied[i] != want[i] {
+			t.Fatalf("popularity = %v / %v, want %v", shared, copied, want)
+		}
+	}
+	copied[0] = 99 // mutating the copy must not corrupt the shared ranking
+	if s.PopularityRanked()[0] != 1 {
+		t.Errorf("ItemPopularity copy aliased the shared ranking")
+	}
+}

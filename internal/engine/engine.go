@@ -1,0 +1,125 @@
+// Package engine is the assembly layer of the recommendation pipeline:
+// it turns (group, candidate items) into the dense absolute-preference
+// rows the GRECA core consumes, filling the g rows concurrently over a
+// worker pool and recycling row buffers through a sync.Pool. It sits
+// between the preference layer (cf.Source, possibly wrapped in a
+// cf.CachedSource) and the core problem builder; see DESIGN.md.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cf"
+	"repro/internal/dataset"
+)
+
+// Assembler fills preference matrices from a cf.Source. It is
+// immutable after New and safe for concurrent use; a single Assembler
+// is meant to be shared by all traffic against one World.
+type Assembler struct {
+	src     cf.Source
+	into    cf.BatchInto // src's in-place path, when it has one
+	workers int
+	rows    sync.Pool // *[]float64, capacity grows to the largest row seen
+}
+
+// New builds an Assembler over src with the given per-call worker
+// bound (GOMAXPROCS if workers <= 0). workers = 1 forces sequential
+// assembly — the baseline the parallel benchmarks compare against.
+func New(src cf.Source, workers int) *Assembler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := &Assembler{src: src, workers: workers}
+	a.into, _ = src.(cf.BatchInto)
+	a.rows.New = func() any { s := make([]float64, 0); return &s }
+	return a
+}
+
+// Workers returns the per-call worker bound.
+func (a *Assembler) Workers() int { return a.workers }
+
+// Source returns the preference source the assembler reads.
+func (a *Assembler) Source() cf.Source { return a.src }
+
+// AprefRows returns the g×m matrix of predicted ratings divided by
+// divisor (the engine passes 5 to map the 1..5 scale onto [0,1]).
+// Rows are filled concurrently, one member per task, over at most
+// min(workers, g) goroutines; each fill resolves that member's
+// neighborhood exactly once via the source's batch path.
+//
+// Row buffers come from an internal pool. Callers that drop the matrix
+// after a bounded lifetime (run the problem, copy the result out)
+// should hand it back via Release; callers that expose the matrix
+// beyond their control must simply not Release it, and the pool
+// re-allocates.
+func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, divisor float64) [][]float64 {
+	g := len(group)
+	out := make([][]float64, g)
+	if g == 0 {
+		return out
+	}
+	fill := func(ui int) {
+		row := a.getRow(len(items))
+		if a.into != nil {
+			a.into.PredictBatchInto(group[ui], items, row)
+		} else {
+			copy(row, a.src.PredictBatch(group[ui], items))
+		}
+		for i := range row {
+			row[i] /= divisor
+		}
+		out[ui] = row
+	}
+	w := a.workers
+	if w > g {
+		w = g
+	}
+	if w <= 1 {
+		for ui := range group {
+			fill(ui)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for n := 0; n < w; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ui := range next {
+				fill(ui)
+			}
+		}()
+	}
+	for ui := range group {
+		next <- ui
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Release returns AprefRows buffers to the pool. The caller must hold
+// the only remaining references: nothing may read the rows after this.
+func (a *Assembler) Release(rows [][]float64) {
+	for i, row := range rows {
+		if row == nil {
+			continue
+		}
+		r := row[:0]
+		a.rows.Put(&r)
+		rows[i] = nil
+	}
+}
+
+func (a *Assembler) getRow(n int) []float64 {
+	p := a.rows.Get().(*[]float64)
+	if cap(*p) < n {
+		return make([]float64, n)
+	}
+	// No zeroing: Source predictions are total, so every element is
+	// overwritten before the row is read.
+	return (*p)[:n]
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cf"
+	"repro/internal/dataset"
+)
+
+func testSubstrate(t *testing.T) (*dataset.Store, *cf.Predictor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	s := dataset.NewStore()
+	seen := make(map[[2]int]bool)
+	for n := 0; n < 500; n++ {
+		u, it := rng.Intn(30), rng.Intn(40)
+		if seen[[2]int{u, it}] {
+			continue
+		}
+		seen[[2]int{u, it}] = true
+		if err := s.Add(dataset.Rating{
+			User:  dataset.UserID(u),
+			Item:  dataset.ItemID(it),
+			Value: float64(1 + rng.Intn(5)),
+		}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.Freeze()
+	p, err := cf.NewPredictor(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+func TestAprefRowsMatchesSequentialFill(t *testing.T) {
+	_, pred := testSubstrate(t)
+	group := []dataset.UserID{0, 3, 7, 12, 25}
+	items := []dataset.ItemID{0, 1, 5, 9, 17, 33, 39}
+
+	sequential := New(pred, 1)
+	parallel := New(pred, 8)
+	want := sequential.AprefRows(group, items, 5)
+	got := parallel.AprefRows(group, items, 5)
+	if len(got) != len(want) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for ui := range want {
+		for i := range want[ui] {
+			if got[ui][i] != want[ui][i] {
+				t.Errorf("row %d[%d]: parallel %v, sequential %v", ui, i, got[ui][i], want[ui][i])
+			}
+		}
+	}
+	// Values are predictions on [1,5] divided by 5 → within [0.2, 1].
+	for ui, row := range want {
+		for i, v := range row {
+			if v < 0.2 || v > 1 {
+				t.Errorf("row %d[%d] = %v outside [0.2,1]", ui, i, v)
+			}
+		}
+	}
+}
+
+func TestAprefRowsReleaseRecyclesBuffers(t *testing.T) {
+	_, pred := testSubstrate(t)
+	a := New(pred, 1)
+	group := []dataset.UserID{1, 2}
+	items := []dataset.ItemID{0, 1, 2, 3}
+
+	rows := a.AprefRows(group, items, 5)
+	first := &rows[0][0]
+	a.Release(rows)
+	for _, row := range rows {
+		if row != nil {
+			t.Fatalf("Release left a live row reference")
+		}
+	}
+	// The next fill of the same shape should be able to reuse a pooled
+	// buffer. sync.Pool gives no hard guarantee, so only check when the
+	// pool did return one — the point is that reuse produces correct
+	// values, which AprefRowsMatchesSequentialFill already pins.
+	again := a.AprefRows(group, items, 5)
+	reused := false
+	for _, row := range again {
+		if &row[0] == first {
+			reused = true
+		}
+	}
+	_ = reused // informational; no assertion (pool behavior is advisory)
+	seq := New(pred, 1).AprefRows(group, items, 5)
+	for ui := range seq {
+		for i := range seq[ui] {
+			if again[ui][i] != seq[ui][i] {
+				t.Errorf("post-release row %d[%d] = %v, want %v", ui, i, again[ui][i], seq[ui][i])
+			}
+		}
+	}
+}
+
+func TestAprefRowsEmptyGroup(t *testing.T) {
+	_, pred := testSubstrate(t)
+	a := New(pred, 4)
+	if rows := a.AprefRows(nil, []dataset.ItemID{1, 2}, 5); len(rows) != 0 {
+		t.Errorf("empty group produced %d rows", len(rows))
+	}
+}
+
+func TestWorkersDefaultsAndClamp(t *testing.T) {
+	_, pred := testSubstrate(t)
+	if w := New(pred, 0).Workers(); w < 1 {
+		t.Errorf("default workers %d < 1", w)
+	}
+	if w := New(pred, 3).Workers(); w != 3 {
+		t.Errorf("explicit workers = %d, want 3", w)
+	}
+	if New(pred, 3).Source() == nil {
+		t.Errorf("Source accessor returned nil")
+	}
+}

@@ -84,7 +84,17 @@ const (
 	DefaultNumItems = 3900
 )
 
-func (o *Options) fill() {
+// fill applies the paper's defaults to zero-valued fields and rejects
+// values that are nonsensical rather than defaulted — negative K or
+// NumItems would otherwise flow downstream as silently shrunken slices
+// or allocation panics.
+func (o *Options) fill() error {
+	if o.K < 0 {
+		return fmt.Errorf("repro: negative K %d", o.K)
+	}
+	if o.NumItems < 0 {
+		return fmt.Errorf("repro: negative NumItems %d", o.NumItems)
+	}
 	if o.K == 0 {
 		o.K = DefaultK
 	}
@@ -95,6 +105,7 @@ func (o *Options) fill() {
 	if o.NumItems == 0 {
 		o.NumItems = DefaultNumItems
 	}
+	return nil
 }
 
 // ScoredItem is one recommended item. Score is the guaranteed lower
@@ -117,10 +128,11 @@ type Recommendation struct {
 
 // Recommend computes the top-k itemset for the ad-hoc group under opt.
 func (w *World) Recommend(group []dataset.UserID, opt Options) (*Recommendation, error) {
-	prob, items, period, err := w.buildProblem(group, &opt)
+	prob, items, period, release, err := w.buildProblem(group, &opt)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	res, err := prob.Run(opt.Mode)
 	if err != nil {
 		return nil, err
@@ -138,21 +150,30 @@ func (w *World) Recommend(group []dataset.UserID, opt Options) (*Recommendation,
 
 // BuildProblem exposes the assembled core problem for benchmarks and
 // experiments that need direct control over Run modes. items maps the
-// problem's item indexes back to dataset IDs.
+// problem's item indexes back to dataset IDs. The problem escapes the
+// facade here, so its preference rows are not pooled.
 func (w *World) BuildProblem(group []dataset.UserID, opt Options) (*core.Problem, []dataset.ItemID, error) {
-	prob, items, _, err := w.buildProblem(group, &opt)
+	prob, items, _, _, err := w.buildProblem(group, &opt)
 	return prob, items, err
 }
 
-func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Problem, []dataset.ItemID, int, error) {
-	opt.fill()
+// buildProblem assembles the core problem. The returned release hands
+// the problem's preference rows back to the assembler pool; callers
+// must invoke it only once nothing can read the problem anymore, and
+// exactly once (Recommend defers it; BuildProblem drops it so escaped
+// problems keep their rows).
+func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Problem, []dataset.ItemID, int, func(), error) {
+	noRelease := func() {}
+	if err := opt.fill(); err != nil {
+		return nil, nil, 0, noRelease, err
+	}
 	if len(group) < 1 {
-		return nil, nil, 0, fmt.Errorf("repro: empty group")
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: empty group")
 	}
 	seen := make(map[dataset.UserID]bool, len(group))
 	for _, u := range group {
 		if seen[u] {
-			return nil, nil, 0, fmt.Errorf("repro: duplicate group member %d", u)
+			return nil, nil, 0, noRelease, fmt.Errorf("repro: duplicate group member %d", u)
 		}
 		seen[u] = true
 	}
@@ -161,7 +182,7 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	period := last
 	if opt.Period != 0 {
 		if opt.Period < 1 || opt.Period > last+1 {
-			return nil, nil, 0, fmt.Errorf("repro: period %d outside [1,%d]", opt.Period, last+1)
+			return nil, nil, 0, noRelease, fmt.Errorf("repro: period %d outside [1,%d]", opt.Period, last+1)
 		}
 		period = opt.Period - 1
 	}
@@ -171,10 +192,10 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		items = w.CandidateItems(group, opt.NumItems)
 	}
 	if len(items) == 0 {
-		return nil, nil, 0, fmt.Errorf("repro: no candidate items for group")
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: no candidate items for group")
 	}
 	if opt.K > len(items) {
-		return nil, nil, 0, fmt.Errorf("repro: K=%d exceeds candidate count %d", opt.K, len(items))
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: K=%d exceeds candidate count %d", opt.K, len(items))
 	}
 
 	g := len(group)
@@ -186,15 +207,10 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		LooseBounds:       opt.LooseBounds,
 	}
 
-	// Absolute preferences: CF predictions normalized to [0,1].
-	in.Apref = make([][]float64, g)
-	for ui, u := range group {
-		row := make([]float64, len(items))
-		for ii, it := range items {
-			row[ii] = w.apref(u, it) / 5
-		}
-		in.Apref[ui] = row
-	}
+	// Absolute preferences: CF predictions normalized to [0,1], rows
+	// filled in parallel by the assembly layer (one batch-predicted
+	// row per member, neighborhoods resolved once each).
+	in.Apref = w.asm.AprefRows(group, items, 5)
 
 	// Affinity components per the selected time model.
 	switch opt.TimeModel {
@@ -220,9 +236,11 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 
 	prob, err := core.NewProblem(in)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("repro: building problem: %w", err)
+		w.asm.Release(in.Apref)
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: building problem: %w", err)
 	}
-	return prob, items, period, nil
+	release := func() { w.asm.Release(in.Apref) }
+	return prob, items, period, release, nil
 }
 
 // staticPairs collects the normalized static affinities of all group
@@ -259,37 +277,43 @@ func (w *World) driftPairs(group []dataset.UserID, period int) [][]float64 {
 	return out
 }
 
-// apref dispatches to the configured absolute-preference source.
-func (w *World) apref(u dataset.UserID, it dataset.ItemID) float64 {
-	switch {
-	case w.itemPred != nil:
-		return w.itemPred.Predict(u, it)
-	case w.twPred != nil:
-		return w.twPred.Predict(u, it)
-	default:
-		return w.pred.Predict(u, it)
-	}
-}
-
 // CandidateItems returns up to n of the most popular items that no
 // group member has rated — the paper's candidate pool with the
-// problem-definition exclusion applied.
+// problem-definition exclusion applied. n <= 0 returns every unrated
+// item. The popularity ranking is precomputed at store freeze and the
+// group's rated items are OR-ed into one bitset up front, so the scan
+// is O(candidates) single-word tests instead of per-item, per-member
+// rating lookups.
 func (w *World) CandidateItems(group []dataset.UserID, n int) []dataset.ItemID {
-	ranked := w.ratings.ItemPopularity()
-	out := make([]dataset.ItemID, 0, n)
+	ranked := w.ratings.PopularityRanked()
+	capHint := n
+	if capHint <= 0 || capHint > len(ranked) {
+		capHint = len(ranked)
+	}
+	out := make([]dataset.ItemID, 0, capHint)
+	mask := w.ratings.GroupRatedMask(group)
 	for _, it := range ranked {
-		rated := false
-		for _, u := range group {
-			if w.ratings.HasRated(u, it) {
-				rated = true
-				break
+		if mask != nil {
+			if mask.Has(it) {
+				continue
+			}
+		} else {
+			// Sparse or adversarial item IDs disabled bitsets; fall
+			// back to per-member lookups.
+			rated := false
+			for _, u := range group {
+				if w.ratings.HasRated(u, it) {
+					rated = true
+					break
+				}
+			}
+			if rated {
+				continue
 			}
 		}
-		if !rated {
-			out = append(out, it)
-			if len(out) == n {
-				break
-			}
+		out = append(out, it)
+		if len(out) == n {
+			break
 		}
 	}
 	return out

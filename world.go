@@ -8,6 +8,7 @@ import (
 	"repro/internal/affinity"
 	"repro/internal/cf"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/social"
 )
@@ -63,6 +64,14 @@ type Config struct {
 	// evolves over time, GRECA does not need to recalculate any of the
 	// previously calculated affinities and just augments the index").
 	InitialPeriods int
+	// AssemblyWorkers bounds the per-call goroutines used to fill a
+	// group's preference rows during problem assembly (GOMAXPROCS if
+	// 0, 1 forces fully sequential assembly).
+	AssemblyWorkers int
+	// RowCacheSize bounds the prediction-row cache shared by all
+	// Recommend traffic (cf.DefaultRowCacheCap if 0, negative
+	// disables the cache entirely).
+	RowCacheSize int
 }
 
 // QuickConfig is a small, fast setup for examples and tests: a
@@ -106,7 +115,13 @@ type World struct {
 	// itemPred is the alternative apref source (ItemBasedCF mode).
 	itemPred *cf.ItemPredictor
 	// twPred is the time-weighted apref source (TimeWeightedCF mode).
-	twPred   *cf.TimeWeightedPredictor
+	twPred *cf.TimeWeightedPredictor
+	// source is the active absolute-preference source: the configured
+	// predictor, wrapped in the row cache unless disabled.
+	source cf.Source
+	// asm is the assembly layer filling preference matrices from
+	// source with a bounded worker pool.
+	asm      *engine.Assembler
 	model    *affinity.Model
 	timeline affinity.Timeline
 	cfg      Config
@@ -201,6 +216,21 @@ func NewWorld(cfg Config) (*World, error) {
 		w.twPred = tw
 	}
 
+	// Preference layer: the active predictor behind the Source
+	// interface, wrapped in the bounded row cache unless disabled.
+	var base cf.Source = w.pred
+	switch {
+	case w.itemPred != nil:
+		base = w.itemPred
+	case w.twPred != nil:
+		base = w.twPred
+	}
+	w.source = base
+	if cfg.RowCacheSize >= 0 {
+		w.source = cf.NewCachedSource(base, cfg.RowCacheSize)
+	}
+	w.asm = engine.New(w.source, cfg.AssemblyWorkers)
+
 	// Participants: social users 0..Users-1 mapped onto the rating
 	// store's first users (both populations use dense IDs from 0).
 	allUsers := w.ratings.Users()
@@ -263,6 +293,11 @@ func (w *World) SocialNetwork() *social.Network { return w.socialNet }
 
 // Predictor returns the collaborative filtering predictor.
 func (w *World) Predictor() *cf.Predictor { return w.pred }
+
+// Source returns the active absolute-preference source — the
+// configured predictor behind the cf.Source interface, wrapped in the
+// prediction-row cache unless Config.RowCacheSize disabled it.
+func (w *World) Source() cf.Source { return w.source }
 
 // AffinityModel returns the temporal affinity model.
 func (w *World) AffinityModel() *affinity.Model { return w.model }
