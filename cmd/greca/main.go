@@ -61,11 +61,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec, err := parseConsensus(*consFlag)
+	spec, err := consensus.Parse(*consFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tm, err := parseModel(*modelFlag)
+	tm, err := repro.ParseTimeModel(*modelFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -168,38 +168,6 @@ func parseGroup(s string) ([]dataset.UserID, error) {
 		return nil, fmt.Errorf("empty group")
 	}
 	return out, nil
-}
-
-func parseConsensus(s string) (consensus.Spec, error) {
-	switch strings.ToUpper(s) {
-	case "AP", "AR":
-		return consensus.AP(), nil
-	case "MO":
-		return consensus.MO(), nil
-	case "PD", "PD1":
-		return consensus.PD(0.8), nil
-	case "PD2":
-		return consensus.PD(0.2), nil
-	case "VD":
-		return consensus.VD(0.5), nil
-	default:
-		return consensus.Spec{}, fmt.Errorf("unknown consensus %q (want AP, MO, PD1, PD2, VD)", s)
-	}
-}
-
-func parseModel(s string) (repro.TimeModel, error) {
-	switch strings.ToLower(s) {
-	case "discrete":
-		return repro.Discrete, nil
-	case "continuous":
-		return repro.Continuous, nil
-	case "static", "time-agnostic":
-		return repro.TimeAgnostic, nil
-	case "none", "affinity-agnostic":
-		return repro.AffinityAgnostic, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q (want discrete, continuous, static, none)", s)
-	}
 }
 
 func parseMode(s string) (core.Mode, error) {

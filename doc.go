@@ -23,6 +23,11 @@
 //   - World.RecommendBatch scores many groups in one call — the shape
 //     of the paper's Figure 6 sweep — sharing candidate pools and
 //     cached prediction rows across requests.
+//   - internal/server (exposed as cmd/greca-serve) serves live HTTP
+//     traffic by coalescing concurrent single-group requests into
+//     RecommendBatch windows under a latency budget, with cache and
+//     coalescer counters (World.CacheStats) on /stats and graceful
+//     drain on shutdown.
 //
 // A minimal session:
 //

@@ -56,6 +56,9 @@ type Predictor struct {
 	measure Similarity
 
 	shards [numShards]userShard
+	// counters track neighborhood-cache hits and misses (evictions are
+	// impossible: the lazy caches only grow). See Stats.
+	counters cacheCounters
 	// globalMean is the dataset mean rating, the last-resort fallback
 	// prediction when an item has no neighbor coverage.
 	globalMean float64
@@ -181,8 +184,10 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 	ns, ok := sh.neighbors[u]
 	sh.mu.RUnlock()
 	if ok {
+		p.counters.hit()
 		return ns
 	}
+	p.counters.miss()
 
 	all := make([]Neighbor, 0, 64)
 	for _, v := range p.store.Users() {
@@ -313,6 +318,22 @@ func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float
 
 // GlobalMean returns the dataset mean rating.
 func (p *Predictor) GlobalMean() float64 { return p.globalMean }
+
+// Stats snapshots the lazy neighborhood cache's counters: a hit is a
+// Neighbors call answered from a shard, a miss one that had to scan
+// the user population. Size is the number of cached neighborhoods;
+// Evictions is always zero (the cache only grows, bounded by the user
+// count).
+func (p *Predictor) Stats() CacheStats {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		n += len(sh.neighbors)
+		sh.mu.RUnlock()
+	}
+	return p.counters.snapshot(n)
+}
 
 // PairwiseSimilaritySum returns the sum of pairwise cosine
 // similarities within the given user set — the objective the paper

@@ -23,6 +23,8 @@ type ItemPredictor struct {
 	// shards hold the lazy item-neighborhood cache under sharded
 	// locks, mirroring Predictor's per-user sharding.
 	shards [numShards]itemShard
+	// counters track item-neighborhood cache hits and misses; see Stats.
+	counters cacheCounters
 	// userMean caches each user's mean rating for the adjusted-cosine
 	// centering. Read-only after construction.
 	userMean   map[dataset.UserID]float64
@@ -129,8 +131,10 @@ func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
 	ns, ok := sh.neighbors[it]
 	sh.mu.RUnlock()
 	if ok {
+		p.counters.hit()
 		return ns
 	}
+	p.counters.miss()
 
 	all := make([]itemNeighbor, 0, 64)
 	for _, other := range p.store.Items() {
@@ -233,3 +237,16 @@ func (p *ItemPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemI
 
 // GlobalMean returns the dataset mean rating.
 func (p *ItemPredictor) GlobalMean() float64 { return p.globalMean }
+
+// Stats snapshots the lazy item-neighborhood cache's counters. Size is
+// the number of cached item neighborhoods; Evictions is always zero.
+func (p *ItemPredictor) Stats() CacheStats {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		n += len(sh.neighbors)
+		sh.mu.RUnlock()
+	}
+	return p.counters.snapshot(n)
+}

@@ -46,6 +46,8 @@ type CachedSource struct {
 	into   BatchInto // src's in-place path, when it has one
 	perCap int       // per-shard entry bound
 	shards [rowCacheShards]rowShard
+	// counters track row hits, misses, and capacity evictions; see Stats.
+	counters cacheCounters
 }
 
 // NewCachedSource wraps src with a row cache bounded at cap entries
@@ -83,20 +85,25 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 	row, ok := sh.rows[key]
 	sh.mu.Unlock()
 	if ok {
+		c.counters.hit()
 		return row
 	}
+	c.counters.miss()
 	row = c.src.PredictBatch(u, items)
 	sh.mu.Lock()
 	if cached, ok := sh.rows[key]; ok {
 		row = cached // concurrent fill won; keep one canonical row
 	} else {
 		if len(sh.rows) >= c.perCap {
+			evicted := 0
 			for k := range sh.rows {
 				delete(sh.rows, k)
+				evicted++
 				if len(sh.rows) <= c.perCap/2 {
 					break
 				}
 			}
+			c.counters.evict(evicted)
 		}
 		sh.rows[key] = row
 	}
@@ -108,6 +115,15 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 // caller-owned even on a hit).
 func (c *CachedSource) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
 	copy(dst, c.PredictBatch(u, items))
+}
+
+// Stats snapshots the row cache's counters: a hit is a PredictBatch
+// answered from a shard, a miss one that fell through to the wrapped
+// source, and an eviction one row dropped by capacity pressure. A
+// concurrent fill that loses the install race still counts as a miss —
+// the prediction work was done either way.
+func (c *CachedSource) Stats() CacheStats {
+	return c.counters.snapshot(c.Len())
 }
 
 // Len reports the number of cached rows (for tests and metrics).

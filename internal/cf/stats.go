@@ -1,0 +1,69 @@
+package cf
+
+import "sync/atomic"
+
+// CacheStats is a point-in-time snapshot of one cache's counters — the
+// observability surface the serving layer's /stats endpoint exposes.
+// Hits and Misses count lookups; Evictions counts entries dropped by
+// capacity pressure (always zero for the predictors' lazy caches,
+// which only grow); Size is the current entry count.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// StatsSource is implemented by every cache in this package that
+// exposes counters: the three predictors (their lazy neighborhood
+// caches) and CachedSource (the prediction-row cache). The serving
+// layer discovers counters through this interface instead of
+// dispatching on concrete types.
+type StatsSource interface {
+	Stats() CacheStats
+}
+
+var (
+	_ StatsSource = (*Predictor)(nil)
+	_ StatsSource = (*ItemPredictor)(nil)
+	_ StatsSource = (*TimeWeightedPredictor)(nil)
+	_ StatsSource = (*CachedSource)(nil)
+)
+
+// cacheCounters is the atomic backing shared by every cache in this
+// package. Counter updates sit on hot prediction paths, so they must
+// never take a lock; snapshots are read individually and need only be
+// eventually consistent with each other.
+type cacheCounters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func (c *cacheCounters) hit()  { c.hits.Add(1) }
+func (c *cacheCounters) miss() { c.misses.Add(1) }
+
+func (c *cacheCounters) evict(n int) {
+	if n > 0 {
+		c.evictions.Add(uint64(n))
+	}
+}
+
+// snapshot pairs the counters with the current entry count.
+func (c *cacheCounters) snapshot(size int) CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+	}
+}

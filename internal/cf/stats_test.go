@@ -1,0 +1,222 @@
+package cf
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// statsStore builds a small frozen store shared by the counter tests.
+func statsStore(t testing.TB) *dataset.Store {
+	t.Helper()
+	cfg := dataset.DefaultSynthConfig()
+	cfg.Users = 40
+	cfg.Items = 60
+	cfg.TargetRatings = 1200
+	sy, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generating store: %v", err)
+	}
+	return sy.Store
+}
+
+// TestCachedSourceCounters drives a deterministic hit/miss sequence
+// through the row cache and asserts the exact counter values at every
+// step.
+func TestCachedSourceCounters(t *testing.T) {
+	store := statsStore(t)
+	pred, err := NewPredictor(store, 10)
+	if err != nil {
+		t.Fatalf("building predictor: %v", err)
+	}
+	cs := NewCachedSource(pred, 64)
+
+	users := store.Users()
+	items := store.Items()
+	itemsA := items[:20]
+	itemsB := items[20:40]
+
+	check := func(step string, hits, misses, evictions uint64, size int) {
+		t.Helper()
+		got := cs.Stats()
+		want := CacheStats{Hits: hits, Misses: misses, Evictions: evictions, Size: size}
+		if got != want {
+			t.Fatalf("%s: stats = %+v, want %+v", step, got, want)
+		}
+	}
+
+	check("initial", 0, 0, 0, 0)
+
+	cs.PredictBatch(users[0], itemsA)
+	check("first row", 0, 1, 0, 1)
+
+	cs.PredictBatch(users[0], itemsA)
+	cs.PredictBatch(users[0], itemsA)
+	check("two hits on same row", 2, 1, 0, 1)
+
+	cs.PredictBatch(users[0], itemsB) // same user, new candidate set
+	check("new candidate set misses", 2, 2, 0, 2)
+
+	cs.PredictBatch(users[1], itemsA) // new user, old candidate set
+	check("new user misses", 2, 3, 0, 3)
+
+	cs.PredictBatch(users[1], itemsA)
+	cs.PredictBatch(users[0], itemsB)
+	check("both rows hit", 4, 3, 0, 3)
+
+	if hr := cs.Stats().HitRate(); hr != 4.0/7.0 {
+		t.Errorf("hit rate = %v, want %v", hr, 4.0/7.0)
+	}
+}
+
+// TestCachedSourceEvictionCounters fills a tiny cache past its bound
+// and asserts evictions are counted and the size stays bounded.
+func TestCachedSourceEvictionCounters(t *testing.T) {
+	store := statsStore(t)
+	pred, err := NewPredictor(store, 10)
+	if err != nil {
+		t.Fatalf("building predictor: %v", err)
+	}
+	// cap 16 spread over 16 shards = 1 row per shard: every second
+	// insert into the same shard evicts.
+	cs := NewCachedSource(pred, 16)
+
+	users := store.Users()
+	items := store.Items()
+	const n = 40
+	for i := 0; i < n; i++ {
+		// Distinct candidate sets so every call is a miss.
+		cs.PredictBatch(users[i%len(users)], items[i%20:i%20+10])
+	}
+	st := cs.Stats()
+	if st.Misses != n {
+		t.Errorf("misses = %d, want %d (every candidate set distinct)", st.Misses, n)
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits = %d, want 0", st.Hits)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions counted despite cap pressure")
+	}
+	if st.Size > 16 {
+		t.Errorf("size %d exceeds cap 16", st.Size)
+	}
+	// Conservation: every miss either still resides in the cache or
+	// was evicted.
+	if st.Misses != uint64(st.Size)+st.Evictions {
+		t.Errorf("misses %d != size %d + evictions %d", st.Misses, st.Size, st.Evictions)
+	}
+}
+
+// TestPredictorCounters asserts the user-based neighborhood cache
+// counts exactly one miss per distinct user and hits thereafter, and
+// that the time-weighted wrapper reports the same (shared) cache.
+func TestPredictorCounters(t *testing.T) {
+	store := statsStore(t)
+	pred, err := NewPredictor(store, 10)
+	if err != nil {
+		t.Fatalf("building predictor: %v", err)
+	}
+	users := store.Users()
+
+	pred.Neighbors(users[0])
+	pred.Neighbors(users[0])
+	pred.Neighbors(users[1])
+	pred.Neighbors(users[0])
+
+	got := pred.Stats()
+	want := CacheStats{Hits: 2, Misses: 2, Evictions: 0, Size: 2}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+
+	tw, err := NewTimeWeightedPredictor(pred, 0)
+	if err != nil {
+		t.Fatalf("building time-weighted predictor: %v", err)
+	}
+	if tw.Stats() != pred.Stats() {
+		t.Errorf("time-weighted stats %+v diverge from base %+v", tw.Stats(), pred.Stats())
+	}
+}
+
+// TestItemPredictorCounters asserts the item-neighborhood cache counts
+// per distinct item.
+func TestItemPredictorCounters(t *testing.T) {
+	store := statsStore(t)
+	ip, err := NewItemPredictor(store, 10)
+	if err != nil {
+		t.Fatalf("building item predictor: %v", err)
+	}
+	users := store.Users()
+	items := store.Items()
+
+	// A batch over 5 candidates resolves each unrated candidate's
+	// neighborhood once (rated candidates short-circuit); a second
+	// identical batch hits for every neighborhood the first resolved.
+	ip.PredictBatch(users[0], items[:5])
+	first := ip.Stats()
+	if first.Hits != 0 {
+		t.Fatalf("hits after first batch = %d, want 0", first.Hits)
+	}
+	if first.Misses != uint64(first.Size) {
+		t.Fatalf("misses %d != cached neighborhoods %d", first.Misses, first.Size)
+	}
+	ip.PredictBatch(users[0], items[:5])
+	second := ip.Stats()
+	if second.Misses != first.Misses {
+		t.Errorf("second identical batch added misses: %d -> %d", first.Misses, second.Misses)
+	}
+	if second.Hits != first.Misses {
+		t.Errorf("second batch hits = %d, want %d", second.Hits, first.Misses)
+	}
+}
+
+// TestCacheCountersRace hammers a small cache from many goroutines;
+// with -race this proves the counters are data-race free, and the
+// totals must still conserve (hits + misses == lookups).
+func TestCacheCountersRace(t *testing.T) {
+	store := statsStore(t)
+	pred, err := NewPredictor(store, 10)
+	if err != nil {
+		t.Fatalf("building predictor: %v", err)
+	}
+	cs := NewCachedSource(pred, 8) // tiny: constant eviction churn
+	users := store.Users()
+	items := store.Items()
+
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				u := users[(w+r)%len(users)]
+				off := (w * r) % 30
+				cs.PredictBatch(u, items[off:off+8])
+				pred.Neighbors(u)
+				_ = cs.Stats()
+				_ = pred.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := cs.Stats()
+	if st.Hits+st.Misses != workers*rounds {
+		t.Errorf("row cache lookups %d != %d submitted", st.Hits+st.Misses, workers*rounds)
+	}
+	ps := pred.Stats()
+	if ps.Hits+ps.Misses < workers*rounds {
+		// PredictBatch also resolves neighborhoods on row misses, so
+		// the total is at least the explicit Neighbors calls.
+		t.Errorf("neighborhood lookups %d < %d explicit calls", ps.Hits+ps.Misses, workers*rounds)
+	}
+	if ps.Size > len(users) {
+		t.Errorf("neighborhood cache size %d exceeds population %d", ps.Size, len(users))
+	}
+}

@@ -118,3 +118,8 @@ func (p *TimeWeightedPredictor) ratingOf(v dataset.UserID, it dataset.ItemID) (d
 
 // Now returns the reference timestamp.
 func (p *TimeWeightedPredictor) Now() int64 { return p.now }
+
+// Stats snapshots the base predictor's neighborhood-cache counters —
+// the time-weighted path shares the base neighborhoods, so they are
+// the same cache.
+func (p *TimeWeightedPredictor) Stats() CacheStats { return p.base.Stats() }

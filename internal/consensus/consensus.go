@@ -13,6 +13,7 @@ package consensus
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/stats"
 )
@@ -94,6 +95,27 @@ func PD(w1 float64) Spec {
 // VD is the variance-disagreement consensus with preference weight w1.
 func VD(w1 float64) Spec {
 	return Spec{Pref: Average, Dis: VarianceDisagreement, W1: w1, W2: 1 - w1}
+}
+
+// Parse resolves a consensus name as the CLIs and the HTTP API spell
+// them: AP (or AR), MO, PD/PD1 (w1=0.8), PD2 (w1=0.2), VD (w1=0.5),
+// case-insensitively. The empty string selects the paper's default,
+// AP.
+func Parse(name string) (Spec, error) {
+	switch strings.ToUpper(name) {
+	case "", "AP", "AR":
+		return AP(), nil
+	case "MO":
+		return MO(), nil
+	case "PD", "PD1":
+		return PD(0.8), nil
+	case "PD2":
+		return PD(0.2), nil
+	case "VD":
+		return VD(0.5), nil
+	default:
+		return Spec{}, fmt.Errorf("consensus: unknown consensus %q (want AP, MO, PD1, PD2, VD)", name)
+	}
 }
 
 // Validate checks the weight constraint and enum ranges.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// benchParallelism simulates concurrent client load even on a 1-CPU
+// container: RunParallel spawns GOMAXPROCS × this many goroutines.
+const benchParallelism = 8
+
+// BenchmarkServeCoalesced measures request throughput through the
+// coalescer: concurrent submitters fill windows that dispatch through
+// World.RecommendBatch, sharing candidate pools and cached prediction
+// rows within every window.
+func BenchmarkServeCoalesced(b *testing.B) {
+	w := testWorld(b)
+	co := NewCoalescer(w.RecommendBatch, time.Millisecond, benchParallelism)
+	defer co.Close()
+	benchSubmit(b, w, func(req repro.Request) error {
+		res, err := co.Submit(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		return res.Err
+	})
+}
+
+// BenchmarkServeUncoalesced is the same load with coalescing disabled
+// (batch bound 1): every request pays its own dispatch, the baseline
+// the coalescer is measured against.
+func BenchmarkServeUncoalesced(b *testing.B) {
+	w := testWorld(b)
+	co := NewCoalescer(w.RecommendBatch, time.Millisecond, 1)
+	defer co.Close()
+	benchSubmit(b, w, func(req repro.Request) error {
+		res, err := co.Submit(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		return res.Err
+	})
+}
+
+// BenchmarkServeDirect bypasses the serving layer entirely — raw
+// World.Recommend calls from the same goroutine pool — isolating the
+// coalescer's own overhead from the engine's cost.
+func BenchmarkServeDirect(b *testing.B) {
+	w := testWorld(b)
+	benchSubmit(b, w, func(req repro.Request) error {
+		_, err := w.Recommend(req.Group, req.Options)
+		return err
+	})
+}
+
+// benchSubmit drives the serving-shaped load: each goroutine submits
+// single-group requests drawn round-robin from a small set of groups,
+// the interactive pattern the coalescer exists for.
+func benchSubmit(b *testing.B, w *repro.World, submit func(repro.Request) error) {
+	parts := w.Participants()
+	groups := [][]int{{0, 1, 2}, {2, 3}, {4, 5, 6}, {0, 3, 5}}
+	reqs := make([]repro.Request, len(groups))
+	for i, g := range groups {
+		group := make([]int, len(g))
+		copy(group, g)
+		r := repro.Request{Options: repro.Options{K: 3, NumItems: 200}}
+		for _, idx := range group {
+			r.Group = append(r.Group, parts[idx])
+		}
+		reqs[i] = r
+	}
+	// Warm the caches so the benchmark measures steady-state serving.
+	for _, r := range reqs {
+		if err := submit(r); err != nil {
+			b.Fatalf("warmup: %v", err)
+		}
+	}
+	b.SetParallelism(benchParallelism)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := submit(reqs[i%len(reqs)]); err != nil {
+				b.Errorf("submit: %v", err)
+				return
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// testWorld lazily builds one small shared world for the whole
+// package; the engine layers are all exercised but the -race run stays
+// fast.
+var (
+	worldOnce sync.Once
+	world     *repro.World
+	worldErr  error
+)
+
+func testWorld(tb testing.TB) *repro.World {
+	tb.Helper()
+	worldOnce.Do(func() {
+		cfg := repro.QuickConfig()
+		cfg.Dataset.Users = 150
+		cfg.Dataset.TargetRatings = 10_000
+		cfg.Dataset.Items = 500
+		world, worldErr = repro.NewWorld(cfg)
+	})
+	if worldErr != nil {
+		tb.Fatalf("building test world: %v", worldErr)
+	}
+	return world
+}
+
+// markerDispatcher is a fake Dispatcher that records every window it
+// receives and answers each request with a result encoding the
+// request's K option, so callers can verify positional alignment
+// without a world.
+type markerDispatcher struct {
+	mu      sync.Mutex
+	windows [][]repro.Request
+	delay   time.Duration
+}
+
+func (d *markerDispatcher) dispatch(reqs []repro.Request) []repro.Result {
+	d.mu.Lock()
+	cp := make([]repro.Request, len(reqs))
+	copy(cp, reqs)
+	d.windows = append(d.windows, cp)
+	d.mu.Unlock()
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	out := make([]repro.Result, len(reqs))
+	for i, r := range reqs {
+		out[i] = repro.Result{Recommendation: &repro.Recommendation{Period: r.Options.K}}
+	}
+	return out
+}
+
+func (d *markerDispatcher) snapshot() [][]repro.Request {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([][]repro.Request(nil), d.windows...)
+}
+
+// TestCoalescerPositionalFanout submits N concurrent requests through
+// a small-window coalescer and asserts (a) every caller receives the
+// result for exactly its own request, (b) no dispatched window exceeds
+// the batch bound, and (c) counters conserve: every request is
+// dispatched in exactly one window. Run with -race this is the
+// coalescer's core concurrency test.
+func TestCoalescerPositionalFanout(t *testing.T) {
+	const (
+		n        = 200
+		maxBatch = 16
+	)
+	d := &markerDispatcher{}
+	c := NewCoalescer(d.dispatch, time.Millisecond, maxBatch)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// K marks the request; the fake dispatcher echoes it back
+			// as the result's Period.
+			res, err := c.Submit(context.Background(), repro.Request{Options: repro.Options{K: i + 1}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := res.Recommendation.Period; got != i+1 {
+				t.Errorf("caller %d received result for request %d", i+1, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("submit: %v", err)
+	}
+	c.Close()
+
+	windows := d.snapshot()
+	total := 0
+	for wi, win := range windows {
+		if len(win) > maxBatch {
+			t.Errorf("window %d has %d requests, exceeding max batch %d", wi, len(win), maxBatch)
+		}
+		if len(win) == 0 {
+			t.Errorf("window %d is empty", wi)
+		}
+		total += len(win)
+	}
+	if total != n {
+		t.Errorf("windows carried %d requests, want %d", total, n)
+	}
+
+	st := c.Stats()
+	if st.Requests != n {
+		t.Errorf("stats.Requests = %d, want %d", st.Requests, n)
+	}
+	if st.Windows != uint64(len(windows)) {
+		t.Errorf("stats.Windows = %d, dispatcher saw %d", st.Windows, len(windows))
+	}
+	if st.Windows != st.SizeCloses+st.TimerCloses+st.DrainCloses {
+		t.Errorf("window close attribution does not add up: %+v", st)
+	}
+	if st.MaxWindowSize > maxBatch {
+		t.Errorf("stats.MaxWindowSize = %d exceeds max batch %d", st.MaxWindowSize, maxBatch)
+	}
+	if st.Pending != 0 {
+		t.Errorf("stats.Pending = %d after drain", st.Pending)
+	}
+}
+
+// TestCoalescerSizeClose fills exactly one window to the batch bound
+// with a long budget and asserts it dispatches by size, not timer.
+func TestCoalescerSizeClose(t *testing.T) {
+	const maxBatch = 8
+	d := &markerDispatcher{}
+	c := NewCoalescer(d.dispatch, time.Hour, maxBatch)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < maxBatch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Submit(context.Background(), repro.Request{Options: repro.Options{K: i + 1}}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.SizeCloses != 1 || st.TimerCloses != 0 {
+		t.Errorf("expected one size close and no timer closes, got %+v", st)
+	}
+	if st.MaxWindowSize != maxBatch {
+		t.Errorf("MaxWindowSize = %d, want %d", st.MaxWindowSize, maxBatch)
+	}
+}
+
+// TestCoalescerMatchesDirect pins coalesced serving to the direct
+// path: N goroutines submit real single-group requests and every
+// result must be bit-identical to a sequential World.Recommend of the
+// same request.
+func TestCoalescerMatchesDirect(t *testing.T) {
+	w := testWorld(t)
+	parts := w.Participants()
+	c := NewCoalescer(w.RecommendBatch, 2*time.Millisecond, 8)
+	defer c.Close()
+
+	reqs := []repro.Request{
+		{Group: parts[:1], Options: repro.Options{K: 3, NumItems: 100}},
+		{Group: parts[2:4], Options: repro.Options{K: 3, NumItems: 100}},
+		{Group: parts[1:4], Options: repro.Options{K: 4, NumItems: 120, TimeModel: repro.Continuous}},
+		{Group: parts[3:8], Options: repro.Options{K: 2, NumItems: 80, TimeModel: repro.TimeAgnostic}},
+		{Group: parts[0:6], Options: repro.Options{K: 5, NumItems: 150}},
+	}
+	// Sequential ground truth first; a second pass pins cache
+	// determinism before the concurrent phase relies on it.
+	want := make([]*repro.Recommendation, len(reqs))
+	for i, req := range reqs {
+		rec, err := w.Recommend(req.Group, req.Options)
+		if err != nil {
+			t.Fatalf("sequential request %d: %v", i, err)
+		}
+		want[i] = rec
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(i int, req repro.Request) {
+				defer wg.Done()
+				res, err := c.Submit(context.Background(), req)
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				if res.Err != nil {
+					t.Errorf("request %d: %v", i, res.Err)
+					return
+				}
+				if !reflect.DeepEqual(res.Recommendation, want[i]) {
+					t.Errorf("request %d: coalesced result diverged from direct Recommend", i)
+				}
+			}(i, req)
+		}
+	}
+	wg.Wait()
+
+	if st := c.Stats(); st.Requests != rounds*uint64(len(reqs)) {
+		t.Errorf("stats.Requests = %d, want %d", st.Requests, rounds*len(reqs))
+	}
+}
+
+// TestCoalescerCloseDrains proves Close flushes the open window — all
+// parked callers get real results — and that later submits fail fast.
+func TestCoalescerCloseDrains(t *testing.T) {
+	const n = 5
+	d := &markerDispatcher{delay: 5 * time.Millisecond}
+	// A large budget and batch bound: nothing but Close can cut the
+	// window.
+	c := NewCoalescer(d.dispatch, time.Hour, 64)
+
+	var wg sync.WaitGroup
+	got := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Submit(context.Background(), repro.Request{Options: repro.Options{K: i + 1}})
+			if err != nil {
+				t.Errorf("parked submit %d: %v", i, err)
+				return
+			}
+			got[i] = res.Recommendation.Period
+		}(i)
+	}
+	// Wait until all n are parked in the window, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.Stats(); st.Pending == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked requests never reached %d: %+v", n, c.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	c.Close()
+	wg.Wait()
+
+	for i, g := range got {
+		if g != i+1 {
+			t.Errorf("caller %d drained with result %d", i+1, g)
+		}
+	}
+	st := c.Stats()
+	if st.DrainCloses != 1 {
+		t.Errorf("DrainCloses = %d, want 1 (%+v)", st.DrainCloses, st)
+	}
+	if _, err := c.Submit(context.Background(), repro.Request{}); err != ErrClosed {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerContextCancel proves an abandoning caller gets its
+// context error while the request still dispatches harmlessly.
+func TestCoalescerContextCancel(t *testing.T) {
+	d := &markerDispatcher{}
+	c := NewCoalescer(d.dispatch, 50*time.Millisecond, 64)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Submit(ctx, repro.Request{Options: repro.Options{K: 1}}); err != context.Canceled {
+		t.Errorf("submit with canceled context: err = %v, want context.Canceled", err)
+	}
+	c.Close() // flushes the abandoned request's window
+	windows := d.snapshot()
+	if len(windows) != 1 || len(windows[0]) != 1 {
+		t.Errorf("abandoned request was not dispatched exactly once: %d windows", len(windows))
+	}
+}

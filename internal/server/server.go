@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/consensus"
+	"repro/internal/dataset"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload
+// (a full batch of large groups) is a few hundred KB.
+const maxBodyBytes = 1 << 20
+
+// Config parameterizes a Server. Zero values select the coalescer
+// defaults.
+type Config struct {
+	// Window is the coalescing latency budget (DefaultWindow if 0).
+	Window time.Duration
+	// MaxBatch is the coalescing batch bound (DefaultMaxBatch if 0).
+	MaxBatch int
+}
+
+// Server exposes a World over HTTP:
+//
+//	POST /recommend        one group; coalesced into batch windows
+//	POST /recommend/batch  many groups; dispatched as its own batch
+//	GET  /healthz          liveness
+//	GET  /stats            coalescer, batch, and engine-cache counters
+//
+// Client-shaped failures (malformed JSON, unknown users, negative K)
+// map to 400s; only transport-level surprises produce 5xx.
+type Server struct {
+	world *repro.World
+	co    *Coalescer
+	mux   *http.ServeMux
+	start time.Time
+	// participant membership for request validation.
+	participants map[dataset.UserID]bool
+
+	// batchCalls / batchRequests count POST /recommend/batch traffic,
+	// which bypasses the coalescer (it is already a batch).
+	batchCalls    atomic.Uint64
+	batchRequests atomic.Uint64
+}
+
+// New builds a Server over world. The caller owns shutdown ordering:
+// stop accepting HTTP traffic first, then Close to drain the
+// coalescer.
+func New(world *repro.World, cfg Config) *Server {
+	s := &Server{
+		world:        world,
+		co:           NewCoalescer(world.RecommendBatch, cfg.Window, cfg.MaxBatch),
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		participants: make(map[dataset.UserID]bool, len(world.Participants())),
+	}
+	for _, u := range world.Participants() {
+		s.participants[u] = true
+	}
+	s.mux.HandleFunc("/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/recommend/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler for use with any http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Coalescer returns the serving coalescer (tests and stats).
+func (s *Server) Coalescer() *Coalescer { return s.co }
+
+// Close drains the coalescer. Call only after the HTTP listener has
+// stopped delivering new requests (http.Server.Shutdown).
+func (s *Server) Close() { s.co.Close() }
+
+// recommendRequest is the wire form of one group's query. Unknown
+// fields are rejected so client typos fail loudly instead of silently
+// running defaults.
+type recommendRequest struct {
+	Group     []int  `json:"group"`
+	K         int    `json:"k,omitempty"`
+	NumItems  int    `json:"num_items,omitempty"`
+	Consensus string `json:"consensus,omitempty"`
+	Model     string `json:"model,omitempty"`
+	Period    int    `json:"period,omitempty"`
+}
+
+// batchRequest is the wire form of POST /recommend/batch.
+type batchRequest struct {
+	Requests []recommendRequest `json:"requests"`
+}
+
+// scoredItem and recommendResponse are the wire forms of a result.
+type scoredItem struct {
+	Item       int     `json:"item"`
+	Score      float64 `json:"score"`
+	UpperBound float64 `json:"upper_bound,omitempty"`
+}
+
+type recommendResponse struct {
+	Items []scoredItem `json:"items"`
+	// Period is the resolved 1-based "now" period.
+	Period int `json:"period"`
+	// Accesses and TotalEntries summarize GRECA's work (the paper's
+	// %SA metric is Accesses/TotalEntries).
+	Accesses     int    `json:"accesses"`
+	TotalEntries int    `json:"total_entries"`
+	Stop         string `json:"stop"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+// batchResult carries one request's response or its error; exactly one
+// field is set.
+type batchResult struct {
+	Response *recommendResponse `json:"response,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeRecommendRequest parses and validates one wire request into an
+// engine request. It is a pure function of its input (no world access)
+// so it can be fuzzed in isolation; membership validation happens in
+// validateGroup. The decoder is strict: unknown fields, trailing
+// garbage, and fractional numbers are all rejected.
+func decodeRecommendRequest(data []byte) (repro.Request, error) {
+	var wire recommendRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return repro.Request{}, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return repro.Request{}, fmt.Errorf("trailing data after request object")
+	}
+	return wireToRequest(wire)
+}
+
+// wireToRequest validates a decoded wire request and maps it onto the
+// engine's Request.
+func wireToRequest(wire recommendRequest) (repro.Request, error) {
+	if len(wire.Group) == 0 {
+		return repro.Request{}, fmt.Errorf("empty group")
+	}
+	if wire.K < 0 {
+		return repro.Request{}, fmt.Errorf("negative k %d", wire.K)
+	}
+	if wire.NumItems < 0 {
+		return repro.Request{}, fmt.Errorf("negative num_items %d", wire.NumItems)
+	}
+	if wire.Period < 0 {
+		return repro.Request{}, fmt.Errorf("negative period %d", wire.Period)
+	}
+	spec, err := consensus.Parse(wire.Consensus)
+	if err != nil {
+		return repro.Request{}, err
+	}
+	model, err := repro.ParseTimeModel(wire.Model)
+	if err != nil {
+		return repro.Request{}, err
+	}
+	group := make([]dataset.UserID, len(wire.Group))
+	for i, id := range wire.Group {
+		if id < 0 {
+			return repro.Request{}, fmt.Errorf("negative user id %d", id)
+		}
+		group[i] = dataset.UserID(id)
+	}
+	return repro.Request{
+		Group: group,
+		Options: repro.Options{
+			K:         wire.K,
+			NumItems:  wire.NumItems,
+			Consensus: spec,
+			TimeModel: model,
+			Period:    wire.Period,
+		},
+	}, nil
+}
+
+// validateGroup rejects users outside the study population (they have
+// no affinity entries) and duplicate members before the request
+// reaches the engine, so both map to 400s.
+func (s *Server) validateGroup(group []dataset.UserID) error {
+	seen := make(map[dataset.UserID]bool, len(group))
+	for _, u := range group {
+		if !s.participants[u] {
+			return fmt.Errorf("unknown user %d (participants are 0..%d)", u, len(s.participants)-1)
+		}
+		if seen[u] {
+			return fmt.Errorf("duplicate group member %d", u)
+		}
+		seen[u] = true
+	}
+	return nil
+}
+
+// toResponse maps an engine recommendation onto the wire form.
+func toResponse(rec *repro.Recommendation) *recommendResponse {
+	resp := &recommendResponse{
+		Items:        make([]scoredItem, 0, len(rec.Items)),
+		Period:       rec.Period + 1,
+		Accesses:     rec.Stats.SequentialAccesses,
+		TotalEntries: rec.Stats.TotalEntries,
+		Stop:         rec.Stats.Stop.String(),
+	}
+	for _, it := range rec.Items {
+		resp.Items = append(resp.Items, scoredItem{
+			Item:       int(it.Item),
+			Score:      it.Score,
+			UpperBound: it.UpperBound,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		return // readBody already wrote the response
+	}
+	req, err := decodeRecommendRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.validateGroup(req.Group); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.co.Submit(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case err != nil: // caller's context expired
+		writeError(w, http.StatusRequestTimeout, err.Error())
+		return
+	case errors.Is(res.Err, ErrDispatch):
+		// A broken dispatcher is a server fault, not a client one.
+		writeError(w, http.StatusInternalServerError, res.Err.Error())
+		return
+	case res.Err != nil:
+		// Everything else the engine rejects at this point is input-
+		// shaped (period out of range, K exceeding the pool, ...).
+		writeError(w, http.StatusBadRequest, res.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res.Recommendation))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		return // readBody already wrote the response
+	}
+	var wire batchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: "+err.Error())
+		return
+	}
+	if len(wire.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	// Per-request validation failures become per-result errors, not a
+	// whole-batch rejection; valid requests still dispatch together.
+	results := make([]batchResult, len(wire.Requests))
+	reqs := make([]repro.Request, 0, len(wire.Requests))
+	slots := make([]int, 0, len(wire.Requests))
+	for i, wr := range wire.Requests {
+		req, err := wireToRequest(wr)
+		if err == nil {
+			err = s.validateGroup(req.Group)
+		}
+		if err != nil {
+			results[i] = batchResult{Error: err.Error()}
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
+	}
+	if len(reqs) > 0 {
+		s.batchCalls.Add(1)
+		s.batchRequests.Add(uint64(len(reqs)))
+		for j, res := range s.world.RecommendBatch(reqs) {
+			if res.Err != nil {
+				results[slots[j]] = batchResult{Error: res.Err.Error()}
+			} else {
+				results[slots[j]] = batchResult{Response: toResponse(res.Recommendation)}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// statsResponse is the wire form of GET /stats.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Coalescer     CoalescerStats   `json:"coalescer"`
+	Batch         batchStats       `json:"batch"`
+	Caches        repro.CacheStats `json:"caches"`
+	World         worldStats       `json:"world"`
+}
+
+type batchStats struct {
+	Calls    uint64 `json:"calls"`
+	Requests uint64 `json:"requests"`
+}
+
+type worldStats struct {
+	Users        int `json:"users"`
+	Items        int `json:"items"`
+	Ratings      int `json:"ratings"`
+	Participants int `json:"participants"`
+	Periods      int `json:"periods"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ds := s.world.Ratings().Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Coalescer:     s.co.Stats(),
+		Batch: batchStats{
+			Calls:    s.batchCalls.Load(),
+			Requests: s.batchRequests.Load(),
+		},
+		Caches: s.world.CacheStats(),
+		World: worldStats{
+			Users:        ds.Users,
+			Items:        ds.Items,
+			Ratings:      ds.Ratings,
+			Participants: len(s.world.Participants()),
+			Periods:      s.world.Timeline().NumPeriods(),
+		},
+	})
+}
+
+// readBody reads the request body under the size bound, writing the
+// error response itself on failure: an over-limit body is the client's
+// fault but not a 400 (413), and MaxBytesReader keeps the connection
+// handling correct where a silent truncation would not.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

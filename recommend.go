@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/affinity"
 	"repro/internal/consensus"
@@ -26,6 +27,25 @@ const (
 	// consensus aggregates absolute preferences alone.
 	AffinityAgnostic
 )
+
+// ParseTimeModel resolves a time-model name as the CLIs and the HTTP
+// API spell them: discrete, continuous, static (or time-agnostic),
+// none (or affinity-agnostic), case-insensitively. The empty string
+// selects the paper's default, Discrete.
+func ParseTimeModel(name string) (TimeModel, error) {
+	switch strings.ToLower(name) {
+	case "", "discrete":
+		return Discrete, nil
+	case "continuous":
+		return Continuous, nil
+	case "static", "time-agnostic":
+		return TimeAgnostic, nil
+	case "none", "affinity-agnostic":
+		return AffinityAgnostic, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown time model %q (want discrete, continuous, static, none)", name)
+	}
+}
 
 // String names the time model as in the paper's figures.
 func (t TimeModel) String() string {

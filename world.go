@@ -119,6 +119,9 @@ type World struct {
 	// source is the active absolute-preference source: the configured
 	// predictor, wrapped in the row cache unless disabled.
 	source cf.Source
+	// rowCache is the typed handle on source's row-cache wrapper; nil
+	// when Config.RowCacheSize disabled it.
+	rowCache *cf.CachedSource
 	// asm is the assembly layer filling preference matrices from
 	// source with a bounded worker pool.
 	asm      *engine.Assembler
@@ -227,7 +230,8 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.source = base
 	if cfg.RowCacheSize >= 0 {
-		w.source = cf.NewCachedSource(base, cfg.RowCacheSize)
+		w.rowCache = cf.NewCachedSource(base, cfg.RowCacheSize)
+		w.source = w.rowCache
 	}
 	w.asm = engine.New(w.source, cfg.AssemblyWorkers)
 
@@ -298,6 +302,42 @@ func (w *World) Predictor() *cf.Predictor { return w.pred }
 // configured predictor behind the cf.Source interface, wrapped in the
 // prediction-row cache unless Config.RowCacheSize disabled it.
 func (w *World) Source() cf.Source { return w.source }
+
+// CacheStats aggregates the engine's cache counters — the prediction-
+// row cache and the active predictor's lazy neighborhood cache — for
+// the serving layer's /stats endpoint and any other observability
+// consumer.
+type CacheStats struct {
+	// RowCacheEnabled reports whether the prediction-row cache is on
+	// (Config.RowCacheSize >= 0). RowCache is zero when it is not.
+	RowCacheEnabled bool `json:"row_cache_enabled"`
+	// RowCache counts the cf.CachedSource prediction-row cache.
+	RowCache cf.CacheStats `json:"row_cache"`
+	// Neighborhoods counts the active predictor's lazy neighborhood
+	// cache (user neighborhoods for the user-based and time-weighted
+	// predictors, item neighborhoods for the item-based one).
+	Neighborhoods cf.CacheStats `json:"neighborhoods"`
+}
+
+// CacheStats snapshots the engine's cache counters. Safe for
+// concurrent use with recommendation traffic; the counters are atomic
+// and only eventually consistent with each other.
+func (w *World) CacheStats() CacheStats {
+	var st CacheStats
+	if w.rowCache != nil {
+		st.RowCacheEnabled = true
+		st.RowCache = w.rowCache.Stats()
+	}
+	switch {
+	case w.itemPred != nil:
+		st.Neighborhoods = w.itemPred.Stats()
+	case w.twPred != nil:
+		st.Neighborhoods = w.twPred.Stats()
+	default:
+		st.Neighborhoods = w.pred.Stats()
+	}
+	return st
+}
 
 // AffinityModel returns the temporal affinity model.
 func (w *World) AffinityModel() *affinity.Model { return w.model }
