@@ -32,8 +32,10 @@ type Result struct {
 // batch shares assembly work across requests: candidate pools are
 // computed once per distinct (group, NumItems) pair, and because
 // identical candidate slices fingerprint identically, every member
-// shared by two requests hits the same prediction row in the CF row
-// cache instead of re-resolving its neighborhood.
+// shared by two requests reuses the same materialized sorted-list
+// store view (and pool→candidate mapping) — or, on the dense fallback
+// path, the same prediction row in the CF row cache — instead of
+// re-scoring and re-sorting.
 func (w *World) RecommendBatch(reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64]
+//	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
-//	            [-workers N] [-v]
+//	            [-liststore 1024] [-workers N] [-v]
 //
 // Endpoints:
 //
@@ -48,14 +48,16 @@ func main() {
 	log.SetPrefix("greca-serve: ")
 
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		window   = flag.Duration("window", server.DefaultWindow, "coalescing latency budget")
-		maxBatch = flag.Int("maxbatch", server.DefaultMaxBatch, "coalescing batch bound")
-		ratings  = flag.String("ratings", "", "optional MovieLens-format ratings file (UserID::MovieID::Rating::Timestamp)")
-		seed     = flag.Int64("seed", 1, "synthetic world seed")
-		rowCache = flag.Int("rowcache", 0, "prediction-row cache size (0 = default, negative disables)")
-		workers  = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
-		verbose  = flag.Bool("v", false, "print substrate statistics")
+		addr       = flag.String("addr", ":8080", "listen address")
+		window     = flag.Duration("window", server.DefaultWindow, "coalescing latency budget")
+		maxBatch   = flag.Int("maxbatch", server.DefaultMaxBatch, "coalescing batch bound")
+		maxPending = flag.Int("maxpending", 0, "parked-caller bound; beyond it requests are shed with 429 (0 = unbounded)")
+		ratings    = flag.String("ratings", "", "optional MovieLens-format ratings file (UserID::MovieID::Rating::Timestamp)")
+		seed       = flag.Int64("seed", 1, "synthetic world seed")
+		rowCache   = flag.Int("rowcache", 0, "prediction-row cache size (0 = default, negative disables)")
+		listStore  = flag.Int("liststore", 0, "sorted-list store user-view bound (0 = default, negative disables)")
+		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "print substrate statistics")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 	cfg.Dataset.Seed = *seed
 	cfg.Social.Seed = *seed + 1
 	cfg.RowCacheSize = *rowCache
+	cfg.ListStoreSize = *listStore
 	cfg.AssemblyWorkers = *workers
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
@@ -84,7 +87,7 @@ func main() {
 			st.Users, st.Items, st.Ratings, len(world.Participants()), world.Timeline().NumPeriods())
 	}
 
-	srv := server.New(world, server.Config{Window: *window, MaxBatch: *maxBatch})
+	srv := server.New(world, server.Config{Window: *window, MaxBatch: *maxBatch, MaxPending: *maxPending})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,7 @@
 //	greca -group 1,5,9 [-k 10] [-items 3900] [-consensus AP|MO|PD1|PD2|VD]
 //	      [-model discrete|continuous|static|none] [-period N]
 //	      [-ratings ratings.dat] [-mode greca|threshold|fullscan] [-seed N]
+//	      [-liststore 1024]
 //
 // Several groups may be given separated by ";" — they are then scored
 // concurrently through World.RecommendBatch, sharing candidate pools
@@ -49,6 +50,7 @@ func main() {
 		ratings   = flag.String("ratings", "", "optional MovieLens-format ratings file (UserID::MovieID::Rating::Timestamp)")
 		modeFlag  = flag.String("mode", "greca", "executor: greca, threshold, fullscan")
 		seed      = flag.Int64("seed", 1, "synthetic world seed")
+		listStore = flag.Int("liststore", 0, "sorted-list store user-view bound (0 = default, negative disables)")
 		verbose   = flag.Bool("v", false, "print substrate statistics")
 	)
 	flag.Parse()
@@ -77,6 +79,7 @@ func main() {
 	cfg := repro.QuickConfig()
 	cfg.Dataset.Seed = *seed
 	cfg.Social.Seed = *seed + 1
+	cfg.ListStoreSize = *listStore
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
 		if err != nil {

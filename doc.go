@@ -21,13 +21,21 @@
 //     is batched, cached, and parallel (see DESIGN.md's engine
 //     layering), and a World serves any number of concurrent callers.
 //   - World.RecommendBatch scores many groups in one call — the shape
-//     of the paper's Figure 6 sweep — sharing candidate pools and
-//     cached prediction rows across requests.
+//     of the paper's Figure 6 sweep — sharing candidate pools,
+//     sorted-list store views, and cached prediction rows across
+//     requests.
+//   - internal/liststore precomputes per-user descending-sorted
+//     preference views over the popularity pool, so problems assemble
+//     by merge-and-patch (core.NewProblemFromViews) instead of
+//     per-request re-sorting — bit-identical output, a fraction of
+//     the construction cost. World owns its lifecycle
+//     (Config.ListStoreSize, World.InvalidateUserViews).
 //   - internal/server (exposed as cmd/greca-serve) serves live HTTP
 //     traffic by coalescing concurrent single-group requests into
-//     RecommendBatch windows under a latency budget, with cache and
-//     coalescer counters (World.CacheStats) on /stats and graceful
-//     drain on shutdown.
+//     RecommendBatch windows under a latency budget — per-request
+//     max_wait_ms caps a caller's delay, -maxpending sheds overload
+//     with 429s — with cache and coalescer counters
+//     (World.CacheStats) on /stats and graceful drain on shutdown.
 //
 // A minimal session:
 //

@@ -23,9 +23,83 @@ type rowKey struct {
 	n    int
 }
 
+// rowEntry is one cached row plus its CLOCK reference bit.
+type rowEntry struct {
+	row []float64
+	ref bool
+}
+
 type rowShard struct {
 	mu   sync.Mutex
-	rows map[rowKey][]float64
+	rows map[rowKey]*rowEntry
+	// ring and hand implement the CLOCK sweep over resident keys.
+	ring []rowKey
+	hand int
+}
+
+// get returns the cached row for key, granting it a second chance.
+func (sh *rowShard) get(key rowKey) ([]float64, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.rows[key]
+	if !ok {
+		return nil, false
+	}
+	e.ref = true
+	return e.row, true
+}
+
+// put installs row under key, evicting via CLOCK when the shard is at
+// perCap. If a concurrent fill already installed the key, the resident
+// row wins (one canonical row per key). New rows enter referenced, so
+// a just-computed row is never the next sweep's first victim. Returns
+// the canonical row and the number of evictions.
+func (sh *rowShard) put(key rowKey, row []float64, perCap int) ([]float64, int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cached, ok := sh.rows[key]; ok {
+		return cached.row, 0
+	}
+	evicted := 0
+	for len(sh.ring) >= perCap {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		k := sh.ring[sh.hand]
+		if e := sh.rows[k]; e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		delete(sh.rows, k)
+		sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
+		evicted++
+	}
+	sh.rows[key] = &rowEntry{row: row, ref: true}
+	sh.ring = append(sh.ring, key)
+	return row, evicted
+}
+
+// invalidateUser drops every row of user u from the shard, returning
+// the count. The hand rewinds to keep the sweep order valid.
+func (sh *rowShard) invalidateUser(u dataset.UserID) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	kept := sh.ring[:0]
+	removed := 0
+	for _, k := range sh.ring {
+		if k.user == u {
+			delete(sh.rows, k)
+			removed++
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	if removed > 0 {
+		sh.ring = kept
+		sh.hand = 0
+	}
+	return removed
 }
 
 // CachedSource wraps any Source with a bounded per-user prediction-row
@@ -36,11 +110,12 @@ type rowShard struct {
 // natural memoization unit, the tabling idea applied to the preference
 // layer.
 //
-// Eviction is random-replacement per shard: when a shard exceeds its
-// bound, arbitrary entries are dropped until it is half full. That is
-// deliberately simpler than LRU — rows are cheap to recompute and the
-// cache exists to absorb bursts of identical queries, not to model
-// long-term popularity.
+// Eviction is a per-shard CLOCK (second-chance) policy: every hit sets
+// the row's reference bit, and an insert at capacity sweeps the shard's
+// ring, clearing bits until it finds an unreferenced row to drop. Rows
+// that sweep traffic keeps re-reading survive churn from one-off
+// candidate sets — the pathological case random replacement hit — at
+// the cost of one bit and one ring slot per row.
 type CachedSource struct {
 	src    Source
 	into   BatchInto // src's in-place path, when it has one
@@ -63,7 +138,7 @@ func NewCachedSource(src Source, cap int) *CachedSource {
 	c := &CachedSource{src: src, perCap: perCap}
 	c.into, _ = src.(BatchInto)
 	for i := range c.shards {
-		c.shards[i].rows = make(map[rowKey][]float64)
+		c.shards[i].rows = make(map[rowKey]*rowEntry)
 	}
 	return c
 }
@@ -79,36 +154,29 @@ func (c *CachedSource) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 // read-only; callers that need to mutate must copy (or use
 // PredictBatchInto, which copies for them).
 func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
-	key := rowKey{user: u, fp: fingerprintItems(items), n: len(items)}
+	key := rowKey{user: u, fp: FingerprintItems(items), n: len(items)}
 	sh := &c.shards[(key.fp^uint64(u))%rowCacheShards]
-	sh.mu.Lock()
-	row, ok := sh.rows[key]
-	sh.mu.Unlock()
-	if ok {
+	if row, ok := sh.get(key); ok {
 		c.counters.hit()
 		return row
 	}
 	c.counters.miss()
-	row = c.src.PredictBatch(u, items)
-	sh.mu.Lock()
-	if cached, ok := sh.rows[key]; ok {
-		row = cached // concurrent fill won; keep one canonical row
-	} else {
-		if len(sh.rows) >= c.perCap {
-			evicted := 0
-			for k := range sh.rows {
-				delete(sh.rows, k)
-				evicted++
-				if len(sh.rows) <= c.perCap/2 {
-					break
-				}
-			}
-			c.counters.evict(evicted)
-		}
-		sh.rows[key] = row
-	}
-	sh.mu.Unlock()
+	row, evicted := sh.put(key, c.src.PredictBatch(u, items), c.perCap)
+	c.counters.evict(evicted)
 	return row
+}
+
+// InvalidateUser drops every cached row of user u — the rating-ingest
+// hook: a user whose ratings changed must not be served pre-ingest
+// predictions from the row cache. Returns the number of rows dropped.
+// Invalidations are not evictions (no capacity pressure) and leave the
+// hit/miss/eviction counters untouched.
+func (c *CachedSource) InvalidateUser(u dataset.UserID) int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].invalidateUser(u)
+	}
+	return n
 }
 
 // PredictBatchInto fills dst from the cached row (copying, so dst is
@@ -138,11 +206,13 @@ func (c *CachedSource) Len() int {
 	return n
 }
 
-// fingerprintItems hashes a candidate slice with FNV-1a over the raw
-// item IDs. Together with the slice length in rowKey, collisions would
+// FingerprintItems hashes a candidate slice with FNV-1a over the raw
+// item IDs — the canonical candidate-set fingerprint of the engine,
+// shared by the row cache and the sorted-list store's mapping memo.
+// Together with the slice length in the cache key, collisions would
 // need two same-length candidate sets hashing identically — vanishing
-// for the popularity-derived sets this cache sees.
-func fingerprintItems(items []dataset.ItemID) uint64 {
+// for the popularity-derived sets these caches see.
+func FingerprintItems(items []dataset.ItemID) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

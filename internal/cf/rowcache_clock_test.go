@@ -1,0 +1,86 @@
+package cf
+
+import "testing"
+
+// shardKeys lists the resident keys of a shard (test helper).
+func shardKeys(sh *rowShard) map[rowKey]bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[rowKey]bool, len(sh.rows))
+	for k := range sh.rows {
+		out[k] = true
+	}
+	return out
+}
+
+// TestRowShardClockSecondChance pins the CLOCK policy deterministically
+// on one shard: a row the traffic keeps hitting survives the sweep, the
+// untouched one is evicted first.
+func TestRowShardClockSecondChance(t *testing.T) {
+	sh := &rowShard{rows: make(map[rowKey]*rowEntry)}
+	const cap = 3
+	key := func(i int) rowKey { return rowKey{user: 1, fp: uint64(i), n: 10} }
+	row := []float64{1}
+
+	for i := 0; i < cap; i++ {
+		if _, evicted := sh.put(key(i), row, cap); evicted != 0 {
+			t.Fatalf("insert %d below capacity evicted %d rows", i, evicted)
+		}
+	}
+	// Rows enter referenced, so the first insert at capacity strips
+	// every bit on its lap and evicts the oldest (key 0) — bounded, no
+	// livelock.
+	if _, evicted := sh.put(key(3), row, cap); evicted != 1 {
+		t.Fatal("insert at capacity did not evict exactly one row")
+	}
+	if keys := shardKeys(sh); keys[key(0)] || !keys[key(1)] || !keys[key(2)] || !keys[key(3)] {
+		t.Fatalf("first sweep should evict the oldest row; resident: %v", keys)
+	}
+
+	// Hit key 2: its refreshed bit must carry it past the next sweep,
+	// which evicts the untouched key 1 instead.
+	if _, ok := sh.get(key(2)); !ok {
+		t.Fatal("resident key 2 missed")
+	}
+	if _, evicted := sh.put(key(4), row, cap); evicted != 1 {
+		t.Fatal("insert at capacity did not evict exactly one row")
+	}
+	keys := shardKeys(sh)
+	if !keys[key(2)] {
+		t.Errorf("recently hit key 2 was evicted despite its second chance; resident: %v", keys)
+	}
+	if keys[key(1)] {
+		t.Errorf("unreferenced key 1 survived the sweep; resident: %v", keys)
+	}
+	if got := len(shardKeys(sh)); got != cap {
+		t.Errorf("shard holds %d rows, want %d", got, cap)
+	}
+
+	// Invalidation: dropping one user's rows leaves the others resident
+	// and counts no evictions (the caller asserts counters elsewhere).
+	other := rowKey{user: 2, fp: 77, n: 10}
+	sh.put(other, row, cap+1)
+	if removed := sh.invalidateUser(1); removed != cap {
+		t.Errorf("invalidateUser dropped %d rows, want %d", removed, cap)
+	}
+	if keys := shardKeys(sh); len(keys) != 1 || !keys[other] {
+		t.Errorf("invalidation touched other users' rows; resident: %v", keys)
+	}
+	if removed := sh.invalidateUser(99); removed != 0 {
+		t.Errorf("invalidating an absent user dropped %d rows", removed)
+	}
+
+	// Re-inserting an existing key keeps the canonical resident row and
+	// evicts nothing (the shard is below capacity after invalidation).
+	canonical := []float64{42}
+	if _, evicted := sh.put(key(9), canonical, cap); evicted != 0 {
+		t.Errorf("insert below capacity evicted %d rows, want 0", evicted)
+	}
+	second, evicted := sh.put(key(9), []float64{7}, cap)
+	if evicted != 0 {
+		t.Errorf("duplicate put evicted %d rows, want 0", evicted)
+	}
+	if &second[0] != &canonical[0] {
+		t.Error("duplicate put replaced the canonical row")
+	}
+}

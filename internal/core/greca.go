@@ -140,6 +140,9 @@ func itemKeyed(k ListKind) bool { return k == PrefList || k == AgreementList }
 // are rewound first, so Run may be called repeatedly (not
 // concurrently).
 func (p *Problem) Run(mode Mode) (Result, error) {
+	if p.released {
+		return Result{}, fmt.Errorf("core: Run on a Problem whose buffers were Released")
+	}
 	p.reset()
 	switch mode {
 	case ModeGRECA:

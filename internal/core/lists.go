@@ -77,14 +77,31 @@ type List struct {
 	pos int // number of entries consumed
 }
 
-// newList sorts entries descending and fills metadata.
-func newList(kind ListKind, owner, period int, entries []Entry) *List {
+// SortCanonical orders entries by descending Value with ascending-Key
+// ties — the canonical order of every list in this package, and the
+// order SortedView entries and MemberView patches must arrive in.
+func SortCanonical(entries []Entry) {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Value != entries[j].Value {
 			return entries[i].Value > entries[j].Value
 		}
 		return entries[i].Key < entries[j].Key
 	})
+}
+
+// sortEntries is the internal alias of SortCanonical.
+func sortEntries(entries []Entry) { SortCanonical(entries) }
+
+// newList sorts entries descending and fills metadata.
+func newList(kind ListKind, owner, period int, entries []Entry) *List {
+	sortEntries(entries)
+	return presortedList(kind, owner, period, entries)
+}
+
+// presortedList wraps entries already in canonical order (descending
+// Value, ascending-Key ties) without re-sorting — the merge path's
+// constructor.
+func presortedList(kind ListKind, owner, period int, entries []Entry) *List {
 	l := &List{Kind: kind, Owner: owner, Period: period, Entries: entries}
 	if len(entries) > 0 {
 		l.MinValue = entries[len(entries)-1].Value

@@ -121,30 +121,46 @@ type Problem struct {
 	totalEntries int
 	useAffinity  bool
 	useAgreement bool
+	// pooled tracks entry buffers borrowed from the package pool by
+	// NewProblemFromViews; Release hands them back. Empty for problems
+	// built by NewProblem, whose buffers are ordinary garbage.
+	pooled []*[]Entry
+	// released marks a problem whose pooled buffers were returned; any
+	// further Run is an error (the entries may be recycled already).
+	released bool
 }
 
-// NewProblem validates in and builds the sorted lists.
-func NewProblem(in Input) (*Problem, error) {
+// newShell validates in and builds the problem skeleton shared by both
+// constructors: dimensions, pair count, and the affinity switch.
+func newShell(in Input) (*Problem, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	g := len(in.Apref)
-	m := len(in.Apref[0])
 	p := &Problem{
 		in:     in,
 		g:      g,
-		m:      m,
+		m:      len(in.Apref[0]),
 		nPairs: NumPairs(g),
 	}
 	if _, ok := in.Agg.(NoAffinityAggregator); !ok && g >= 2 {
 		p.useAffinity = true
 	}
+	return p, nil
+}
+
+// NewProblem validates in and builds the sorted lists.
+func NewProblem(in Input) (*Problem, error) {
+	p, err := newShell(in)
+	if err != nil {
+		return nil, err
+	}
 
 	// Preference lists: one per member, all m items.
-	p.prefList = make([]*List, g)
-	for u := 0; u < g; u++ {
-		entries := make([]Entry, m)
-		for i := 0; i < m; i++ {
+	p.prefList = make([]*List, p.g)
+	for u := 0; u < p.g; u++ {
+		entries := make([]Entry, p.m)
+		for i := 0; i < p.m; i++ {
 			entries[i] = Entry{Key: i, Value: in.Apref[u][i]}
 		}
 		l := newList(PrefList, u, -1, entries)
@@ -152,46 +168,70 @@ func NewProblem(in Input) (*Problem, error) {
 		p.lists = append(p.lists, l)
 	}
 
-	if p.useAffinity {
-		p.pairStatic = make([]*List, p.nPairs)
-		p.buildAffinityLists(StaticList, -1, in.Static, p.pairStatic)
-		T := in.Agg.NumPeriods()
-		p.pairDrift = make([][]*List, T)
-		for t := 0; t < T; t++ {
-			p.pairDrift[t] = make([]*List, p.nPairs)
-			p.buildAffinityLists(DriftList, t, in.Drift[t], p.pairDrift[t])
-		}
-	}
+	p.buildAffinity()
+	p.buildAgreementLists(func(n int) ([]Entry, *[]Entry) {
+		return make([]Entry, 0, n), nil
+	})
+	p.finishTotals()
+	return p, nil
+}
 
-	// Pairwise disagreement consensus reads the paper's per-pair
-	// disagreement lists, stored as descending agreement
-	// 1 − |apref_u − apref_v| so the cursor bounds unseen agreement
-	// from above (i.e. unseen disagreement from below).
-	if in.Spec.Dis == consensus.PairwiseDisagreement && g >= 2 {
-		p.useAgreement = true
-		p.pairAgreement = make([]*List, p.nPairs)
-		for i := 0; i < g; i++ {
-			for j := i + 1; j < g; j++ {
-				pairIdx := PairIndex(g, i, j)
-				entries := make([]Entry, m)
-				for it := 0; it < m; it++ {
-					d := in.Apref[i][it] - in.Apref[j][it]
-					if d < 0 {
-						d = -d
-					}
-					entries[it] = Entry{Key: it, Value: 1 - d}
+// buildAffinity constructs the static and per-period drift lists.
+func (p *Problem) buildAffinity() {
+	if !p.useAffinity {
+		return
+	}
+	p.pairStatic = make([]*List, p.nPairs)
+	p.buildAffinityLists(StaticList, -1, p.in.Static, p.pairStatic)
+	T := p.in.Agg.NumPeriods()
+	p.pairDrift = make([][]*List, T)
+	for t := 0; t < T; t++ {
+		p.pairDrift[t] = make([]*List, p.nPairs)
+		p.buildAffinityLists(DriftList, t, p.in.Drift[t], p.pairDrift[t])
+	}
+}
+
+// buildAgreementLists constructs the pairwise-disagreement agreement
+// lists when the consensus needs them. Pairwise disagreement consensus
+// reads the paper's per-pair disagreement lists, stored as descending
+// agreement 1 − |apref_u − apref_v| so the cursor bounds unseen
+// agreement from above (i.e. unseen disagreement from below). alloc
+// supplies each list's entry buffer (capacity m) plus its pool handle
+// (nil for plainly allocated buffers).
+func (p *Problem) buildAgreementLists(alloc func(n int) ([]Entry, *[]Entry)) {
+	if p.in.Spec.Dis != consensus.PairwiseDisagreement || p.g < 2 {
+		return
+	}
+	p.useAgreement = true
+	p.pairAgreement = make([]*List, p.nPairs)
+	for i := 0; i < p.g; i++ {
+		for j := i + 1; j < p.g; j++ {
+			pairIdx := PairIndex(p.g, i, j)
+			entries, handle := alloc(p.m)
+			for it := 0; it < p.m; it++ {
+				d := p.in.Apref[i][it] - p.in.Apref[j][it]
+				if d < 0 {
+					d = -d
 				}
-				l := newList(AgreementList, pairIdx, -1, entries)
-				p.pairAgreement[pairIdx] = l
-				p.lists = append(p.lists, l)
+				entries = append(entries, Entry{Key: it, Value: 1 - d})
 			}
+			if handle != nil {
+				*handle = entries
+				p.pooled = append(p.pooled, handle)
+			}
+			l := newList(AgreementList, pairIdx, -1, entries)
+			p.pairAgreement[pairIdx] = l
+			p.lists = append(p.lists, l)
 		}
 	}
+}
 
+// finishTotals computes the full-scan access count.
+func (p *Problem) finishTotals() {
+	p.totalEntries = 0
 	for _, l := range p.lists {
 		p.totalEntries += l.Len()
 	}
-	return p, nil
 }
 
 // buildAffinityLists creates either per-owner partitions (owner u

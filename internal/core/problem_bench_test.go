@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// benchProblemInput is a paper-shaped instance: a mid-size group over a
+// large candidate pool, AP consensus under the discrete model.
+func benchProblemInput(g, m int) Input {
+	rng := rand.New(rand.NewSource(42))
+	return randomViewInput(rng, g, m, 10, consensus.AP(), DiscreteAggregator{Periods: 2}, false)
+}
+
+// benchViewSet is the repeated-group sweep shape: the per-member sorted
+// views are precomputed once (the list store's amortized work) and
+// every per-request construction merges them with an empty patch over
+// the identity mapping.
+func benchViewSet(in Input) ViewSet {
+	g := len(in.Apref)
+	m := len(in.Apref[0])
+	localOf := make([]int32, m)
+	for p := range localOf {
+		localOf[p] = int32(p)
+	}
+	vs := ViewSet{LocalOf: localOf, Members: make([]MemberView, g)}
+	for u := 0; u < g; u++ {
+		entries := make([]Entry, m)
+		for i := 0; i < m; i++ {
+			entries[i] = Entry{Key: i, Value: in.Apref[u][i]}
+		}
+		sortEntries(entries)
+		vs.Members[u] = MemberView{View: &SortedView{Entries: entries}}
+	}
+	return vs
+}
+
+// BenchmarkNewProblem measures the re-sorting constructor on a
+// repeated-group sweep — the per-request O(g·m log m) the list store
+// exists to amortize away.
+func BenchmarkNewProblem(b *testing.B) {
+	in := benchProblemInput(5, 3900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewProblem(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProblemFromViews measures the merge/patch constructor over
+// precomputed views with pooled entry buffers — same instance, same
+// output, amortized sort.
+func BenchmarkProblemFromViews(b *testing.B) {
+	in := benchProblemInput(5, 3900)
+	vs := benchViewSet(in)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewProblemFromViews(in, vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Release()
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SortedView is an immutable, descending-sorted preference list over a
+// base pool of items — the unit the precomputed list store persists per
+// user. Entry keys are *pool positions* (indexes into whatever pool the
+// view was built over), values are normalized preferences in [0,1], and
+// entries follow the canonical order (descending Value, ascending-Key
+// ties). A view is shared by every problem built from it and must never
+// be mutated.
+type SortedView struct {
+	Entries []Entry
+}
+
+// MemberView is one member's input to NewProblemFromViews: a shared
+// pre-sorted view plus the member's patch set.
+//
+// Patch carries the entries of every item of this problem that the view
+// does not cover (its local index never appears in ViewSet.LocalOf) or
+// whose score differs from the stored view. Patch keys are *local* item
+// indexes (0..m-1), values the authoritative scores, and entries must
+// be in canonical order. A nil View means the member is not view-served;
+// its list is then sorted from the dense Apref row (Patch must be empty).
+type MemberView struct {
+	View  *SortedView
+	Patch []Entry
+}
+
+// ViewSet couples the group-level pool→problem mapping with the
+// per-member views. LocalOf[p] is the local item index of pool position
+// p in this problem, or a negative value when pool position p is not a
+// candidate of this problem (rated by a member, truncated, or
+// overridden by a patch entry). Every local index 0..m-1 must be
+// produced exactly once across the LocalOf mapping and each member's
+// patch; NewProblemFromViews verifies this per member.
+//
+// LocalOf must preserve pool order: if p < q are both mapped then
+// LocalOf[p] < LocalOf[q]. This is what lets the merge inherit the
+// view's tie order (ties sort by ascending pool position, which then
+// coincides with ascending local key). Candidate slices derived by
+// scanning the pool in order — the engine's only shape — satisfy it by
+// construction; a non-monotone mapping with tied scores fails
+// verification instead of mis-sorting.
+type ViewSet struct {
+	LocalOf []int32
+	Members []MemberView
+}
+
+// entryPool recycles list entry buffers across view-built problems —
+// the allocator hot spot of per-request problem construction.
+var entryPool = sync.Pool{New: func() any { s := make([]Entry, 0); return &s }}
+
+// getPooledEntries returns an empty entry buffer with at least n
+// capacity plus its pool handle for Release.
+func getPooledEntries(n int) ([]Entry, *[]Entry) {
+	bp := entryPool.Get().(*[]Entry)
+	if cap(*bp) < n {
+		*bp = make([]Entry, 0, n)
+	}
+	return (*bp)[:0], bp
+}
+
+// NewProblemFromViews builds the same validated, list-built instance as
+// NewProblem, but constructs each member's preference list by merging
+// that member's pre-sorted view (filtered through vs.LocalOf) with its
+// patch set instead of re-sorting all m entries — O(B + m + p log p)
+// per member against NewProblem's O(m log m) — and draws entry buffers
+// from a pool that Release refills.
+//
+// in.Apref must still carry the dense rows (exact scoring, agreement
+// lists, and validation read them) and must agree with the views: after
+// merging, every member's list is verified to be exactly the canonical
+// sort of its Apref row, so a Problem returned by this constructor is
+// bit-identical in behavior to NewProblem(in). Any inconsistency
+// between views and rows is an error, never a silently different
+// ranking.
+//
+// Callers that drop the problem after a bounded lifetime (run it, copy
+// the result out) should hand its buffers back via Release; problems
+// that escape simply skip Release and the pool re-allocates.
+func NewProblemFromViews(in Input, vs ViewSet) (*Problem, error) {
+	p, err := newShell(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs.Members) != p.g {
+		return nil, fmt.Errorf("core: ViewSet has %d members, want %d", len(vs.Members), p.g)
+	}
+
+	// seen is the per-member duplicate-key scratch, stamped with u+1 so
+	// it never needs clearing between members.
+	seen := make([]int, p.m)
+	p.prefList = make([]*List, p.g)
+	for u := 0; u < p.g; u++ {
+		mv := vs.Members[u]
+		entries, handle := getPooledEntries(p.m)
+		if mv.View != nil {
+			entries = mergeViewPatch(mv, vs.LocalOf, entries)
+		} else {
+			if len(mv.Patch) != 0 {
+				p.Release()
+				return nil, fmt.Errorf("core: member %d has a patch but no view", u)
+			}
+			for i := 0; i < p.m; i++ {
+				entries = append(entries, Entry{Key: i, Value: in.Apref[u][i]})
+			}
+			sortEntries(entries)
+		}
+		*handle = entries
+		p.pooled = append(p.pooled, handle)
+		if err := verifyCanonical(in.Apref[u], entries, seen, u+1); err != nil {
+			p.Release()
+			return nil, fmt.Errorf("core: member %d view/patch inconsistent with Apref: %w", u, err)
+		}
+		l := presortedList(PrefList, u, -1, entries)
+		p.prefList[u] = l
+		p.lists = append(p.lists, l)
+	}
+
+	p.buildAffinity()
+	p.buildAgreementLists(getPooledEntries)
+	p.finishTotals()
+	return p, nil
+}
+
+// mergeViewPatch produces the member's preference list in canonical
+// order: the view's entries, filtered and remapped through localOf, are
+// merged with the (already canonical) patch stream. The comparator is
+// the canonical order itself — higher value first, lower local key on
+// ties — so the result is exactly what sorting the dense row would
+// yield, for any interleaving of patch keys.
+func mergeViewPatch(mv MemberView, localOf []int32, out []Entry) []Entry {
+	view := mv.View.Entries
+	patch := mv.Patch
+	vi, pi := 0, 0
+
+	// head is the next included view entry, remapped to local keys.
+	var head Entry
+	headOK := false
+	advance := func() {
+		headOK = false
+		for vi < len(view) {
+			e := view[vi]
+			vi++
+			if e.Key < 0 || e.Key >= len(localOf) {
+				continue // outside the mapped pool: not a candidate
+			}
+			if l := localOf[e.Key]; l >= 0 {
+				head = Entry{Key: int(l), Value: e.Value}
+				headOK = true
+				return
+			}
+		}
+	}
+	advance()
+	for headOK && pi < len(patch) {
+		pe := patch[pi]
+		if head.Value > pe.Value || (head.Value == pe.Value && head.Key < pe.Key) {
+			out = append(out, head)
+			advance()
+		} else {
+			out = append(out, pe)
+			pi++
+		}
+	}
+	for headOK {
+		out = append(out, head)
+		advance()
+	}
+	out = append(out, patch[pi:]...)
+	return out
+}
+
+// verifyCanonical proves entries is exactly the canonical sort of row:
+// every key appears once, every value matches the row, and the order is
+// descending with ascending-key ties. Together these force the unique
+// canonical permutation, which is what makes NewProblemFromViews
+// bit-identical to NewProblem by construction. seen is caller-provided
+// scratch stamped with stamp (avoids clearing).
+func verifyCanonical(row []float64, entries []Entry, seen []int, stamp int) error {
+	if len(entries) != len(row) {
+		return fmt.Errorf("merged list has %d entries, want %d", len(entries), len(row))
+	}
+	prevKey := -1
+	prevValue := 0.0
+	for i, e := range entries {
+		if e.Key < 0 || e.Key >= len(row) {
+			return fmt.Errorf("entry %d key %d outside [0,%d)", i, e.Key, len(row))
+		}
+		if seen[e.Key] == stamp {
+			return fmt.Errorf("duplicate key %d", e.Key)
+		}
+		seen[e.Key] = stamp
+		if e.Value != row[e.Key] {
+			return fmt.Errorf("entry %d: value %g differs from Apref[%d]=%g", i, e.Value, e.Key, row[e.Key])
+		}
+		if i > 0 && (e.Value > prevValue || (e.Value == prevValue && e.Key < prevKey)) {
+			return fmt.Errorf("entry %d (key %d, value %g) out of canonical order", i, e.Key, e.Value)
+		}
+		prevKey, prevValue = e.Key, e.Value
+	}
+	return nil
+}
+
+// Release returns the problem's pooled entry buffers (view-built
+// problems only; a no-op for NewProblem-built ones). The caller must
+// hold the only remaining references: nothing may Run or read the
+// problem afterwards, and Run reports an error if tried. Release is
+// idempotent.
+func (p *Problem) Release() {
+	if len(p.pooled) == 0 {
+		return
+	}
+	for _, handle := range p.pooled {
+		*handle = (*handle)[:0]
+		entryPool.Put(handle)
+	}
+	p.pooled = nil
+	p.released = true
+}

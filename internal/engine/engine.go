@@ -1,9 +1,12 @@
 // Package engine is the assembly layer of the recommendation pipeline:
-// it turns (group, candidate items) into the dense absolute-preference
-// rows the GRECA core consumes, filling the g rows concurrently over a
-// worker pool and recycling row buffers through a sync.Pool. It sits
-// between the preference layer (cf.Source, possibly wrapped in a
-// cf.CachedSource) and the core problem builder; see DESIGN.md.
+// it turns (group, candidate items) into the inputs the GRECA core
+// consumes — dense absolute-preference rows, and, when the sorted-list
+// store can serve the group, pre-sorted view/patch sets that let the
+// core merge instead of re-sort. Rows fill concurrently over a worker
+// pool and recycle through a sync.Pool. The assembler sits between the
+// preference layer (cf.Source, possibly wrapped in a cf.CachedSource,
+// beside the liststore.Store) and the core problem builders; see
+// DESIGN.md.
 package engine
 
 import (
@@ -11,17 +14,23 @@ import (
 	"sync"
 
 	"repro/internal/cf"
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/liststore"
 )
 
 // Assembler fills preference matrices from a cf.Source. It is
-// immutable after New and safe for concurrent use; a single Assembler
-// is meant to be shared by all traffic against one World.
+// immutable after New (and AttachListStore) and safe for concurrent
+// use; a single Assembler is meant to be shared by all traffic against
+// one World.
 type Assembler struct {
 	src     cf.Source
 	into    cf.BatchInto // src's in-place path, when it has one
 	workers int
 	rows    sync.Pool // *[]float64, capacity grows to the largest row seen
+	// lists is the optional sorted-list store; nil disables the
+	// view-served path.
+	lists *liststore.Store
 }
 
 // New builds an Assembler over src with the given per-call worker
@@ -36,6 +45,14 @@ func New(src cf.Source, workers int) *Assembler {
 	a.rows.New = func() any { s := make([]float64, 0); return &s }
 	return a
 }
+
+// AttachListStore wires the sorted-list store into the assembler,
+// enabling AprefViews. Call before the assembler starts serving
+// traffic (it is not synchronized).
+func (a *Assembler) AttachListStore(lists *liststore.Store) { a.lists = lists }
+
+// ListStore returns the attached sorted-list store, or nil.
+func (a *Assembler) ListStore() *liststore.Store { return a.lists }
 
 // Workers returns the per-call worker bound.
 func (a *Assembler) Workers() int { return a.workers }
@@ -60,7 +77,7 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 	if g == 0 {
 		return out
 	}
-	fill := func(ui int) {
+	a.forEachMember(g, func(ui int) {
 		row := a.getRow(len(items))
 		if a.into != nil {
 			a.into.PredictBatchInto(group[ui], items, row)
@@ -71,16 +88,22 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 			row[i] /= divisor
 		}
 		out[ui] = row
-	}
+	})
+	return out
+}
+
+// forEachMember runs fill(ui) for ui in [0,g) over at most
+// min(workers, g) goroutines.
+func (a *Assembler) forEachMember(g int, fill func(int)) {
 	w := a.workers
 	if w > g {
 		w = g
 	}
 	if w <= 1 {
-		for ui := range group {
+		for ui := 0; ui < g; ui++ {
 			fill(ui)
 		}
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -93,12 +116,73 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 			}
 		}()
 	}
-	for ui := range group {
+	for ui := 0; ui < g; ui++ {
 		next <- ui
 	}
 	close(next)
 	wg.Wait()
-	return out
+}
+
+// ViewAssembly is the product of a store-served assembly: the dense
+// rows core.Input requires (pooled; hand back via Release) plus the
+// view set NewProblemFromViews merges. Rows and views carry the same
+// values, so a problem built from them is bit-identical to the dense
+// path.
+type ViewAssembly struct {
+	Rows  [][]float64
+	Views core.ViewSet
+}
+
+// AprefViews assembles the group's preference inputs through the
+// sorted-list store: each member's dense row is copied out of the
+// member's materialized view through the pool→candidate mapping, and
+// only the uncovered remainder of the candidate slice (the patch set)
+// goes through the predictor — no per-request re-scoring, no
+// re-sorting. ok is false when the store is absent, the divisor
+// disagrees with the store's, or the mapping covers less than half the
+// slice (a candidate set foreign to the popularity pool assembles
+// faster densely); callers then fall back to AprefRows + NewProblem.
+func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, divisor float64) (ViewAssembly, bool) {
+	if a.lists == nil || a.lists.Divisor() != divisor || len(group) == 0 || len(items) == 0 {
+		return ViewAssembly{}, false
+	}
+	mapping := a.lists.MapCandidates(items)
+	if mapping.Matched*2 < len(items) {
+		return ViewAssembly{}, false
+	}
+	patch := items[mapping.Matched:]
+	g := len(group)
+	va := ViewAssembly{
+		Rows: make([][]float64, g),
+		Views: core.ViewSet{
+			LocalOf: mapping.LocalOf,
+			Members: make([]core.MemberView, g),
+		},
+	}
+	a.forEachMember(g, func(ui int) {
+		v := a.lists.Acquire(group[ui])
+		row := a.getRow(len(items))
+		for p, l := range mapping.LocalOf {
+			if l >= 0 {
+				row[l] = v.Scores[p]
+			}
+		}
+		mv := core.MemberView{View: v.Sorted}
+		if len(patch) > 0 {
+			pv := a.src.PredictBatch(group[ui], patch)
+			pe := make([]core.Entry, len(patch))
+			for i := range patch {
+				val := pv[i] / divisor
+				row[mapping.Matched+i] = val
+				pe[i] = core.Entry{Key: mapping.Matched + i, Value: val}
+			}
+			core.SortCanonical(pe)
+			mv.Patch = pe
+		}
+		va.Rows[ui] = row
+		va.Views.Members[ui] = mv
+	})
+	return va, true
 }
 
 // Release returns AprefRows buffers to the pool. The caller must hold

@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/cf"
+	"repro/internal/consensus"
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/liststore"
 )
 
 func testSubstrate(t *testing.T) (*dataset.Store, *cf.Predictor) {
@@ -105,6 +108,81 @@ func TestAprefRowsEmptyGroup(t *testing.T) {
 	a := New(pred, 4)
 	if rows := a.AprefRows(nil, []dataset.ItemID{1, 2}, 5); len(rows) != 0 {
 		t.Errorf("empty group produced %d rows", len(rows))
+	}
+}
+
+// storePool returns the popularity ranking the liststore views cover.
+func storePool(s *dataset.Store) []dataset.ItemID { return s.PopularityRanked() }
+
+// TestAprefViewsMatchesDenseRows is the assembly-layer differential:
+// rows copied out of list-store views (plus patch predictions) must be
+// bit-identical to the dense batch-predicted rows, and the view set
+// must build a problem whose lists verify against those rows.
+func TestAprefViewsMatchesDenseRows(t *testing.T) {
+	store, pred := testSubstrate(t)
+	group := []dataset.UserID{0, 3, 7}
+	pool := storePool(store)
+
+	dense := New(pred, 1)
+	served := New(pred, 4)
+	served.AttachListStore(liststore.New(pred, pool, 16, 5))
+
+	// Candidate slices: a pool prefix, a filtered subsequence (every
+	// other item), and a slice with a beyond-pool patch tail.
+	foreign := dataset.ItemID(10_000) // unknown item: predictors fall back to means
+	slices := map[string][]dataset.ItemID{
+		"prefix":   pool[:10],
+		"filtered": {pool[0], pool[2], pool[4], pool[6], pool[8]},
+		"patched":  {pool[1], pool[3], pool[5], foreign},
+	}
+	for name, items := range slices {
+		want := dense.AprefRows(group, items, 5)
+		va, ok := served.AprefViews(group, items, 5)
+		if !ok {
+			t.Fatalf("%s: store did not serve", name)
+		}
+		for ui := range want {
+			for i := range want[ui] {
+				if va.Rows[ui][i] != want[ui][i] {
+					t.Errorf("%s: row %d[%d]: served %v, dense %v", name, ui, i, va.Rows[ui][i], want[ui][i])
+				}
+			}
+		}
+		// The views must verify against the rows: NewProblemFromViews
+		// re-proves canonical order per member and errors otherwise.
+		in := core.Input{Apref: va.Rows, Spec: consensus.AP(), Agg: core.NoAffinityAggregator{}, K: 1}
+		p, err := core.NewProblemFromViews(in, va.Views)
+		if err != nil {
+			t.Fatalf("%s: views inconsistent with rows: %v", name, err)
+		}
+		p.Release()
+	}
+}
+
+// TestAprefViewsFallsBack pins the conditions under which assembly
+// declines the store: no store attached, divisor mismatch, and
+// candidate slices mostly foreign to the pool.
+func TestAprefViewsFallsBack(t *testing.T) {
+	store, pred := testSubstrate(t)
+	pool := storePool(store)
+	group := []dataset.UserID{1, 2}
+
+	bare := New(pred, 1)
+	if _, ok := bare.AprefViews(group, pool[:4], 5); ok {
+		t.Error("assembler without a store served views")
+	}
+
+	a := New(pred, 1)
+	a.AttachListStore(liststore.New(pred, pool, 16, 5))
+	if _, ok := a.AprefViews(group, pool[:4], 4); ok {
+		t.Error("divisor mismatch served views")
+	}
+	foreign := []dataset.ItemID{9001, 9002, 9003, pool[0]}
+	if _, ok := a.AprefViews(group, foreign, 5); ok {
+		t.Error("mostly-foreign candidate slice served views")
+	}
+	if _, ok := a.AprefViews(nil, pool[:4], 5); ok {
+		t.Error("empty group served views")
 	}
 }
 

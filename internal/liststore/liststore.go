@@ -1,0 +1,325 @@
+// Package liststore is the precomputed sorted-list store of the
+// recommendation engine: per user, it materializes a descending-sorted
+// preference view over the popularity candidate pool — the lists
+// GRECA's instance-optimal scan consumes — so problem assembly merges
+// and patches instead of re-sorting every list on every request. The
+// classic sorted-access precomputation trade-off: pay one batch
+// prediction and one sort per user at ingest, amortize them across the
+// sweep traffic.
+//
+// A Store sits beside the cf row cache in the preference layer: the
+// engine asks it for (view, pool→candidate mapping) pairs, falls back
+// to dense assembly when the store is disabled, and routes only the
+// uncovered remainder of a candidate slice (the patch set) through the
+// predictor. Views are immutable once built; rating ingest must
+// Invalidate the affected users, which drops their views for rebuild on
+// next use. See DESIGN.md's "Sorted-list store" section.
+package liststore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cf"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// DefaultMaxUsers bounds materialized per-user views. A view over a
+// MovieLens-scale pool (~4000 items) is ~96KB (dense scores + sorted
+// entries), so 1024 users cap the store near 100MB worst-case.
+const DefaultMaxUsers = 1024
+
+// mapCacheCap bounds the memoized pool→candidate mappings. Sweep
+// traffic reuses a handful of candidate slices, so a small bound
+// suffices; overflow drops the whole map (mappings are cheap to
+// recompute).
+const mapCacheCap = 128
+
+// View is one user's materialized preference state over the store
+// pool: the dense normalized scores in pool order (problem rows are
+// filled from it) and the canonical descending-sorted view (problem
+// lists are merged from it). Both are immutable and shared; callers
+// must never mutate them.
+type View struct {
+	// Scores[p] is the normalized score of pool position p.
+	Scores []float64
+	// Sorted holds the same scores in canonical order (descending
+	// value, ascending pool position on ties).
+	Sorted *core.SortedView
+}
+
+// Mapping is a memoized pool→candidate-slice mapping. LocalOf[p] is
+// the index of pool position p within the candidate slice, or -1.
+// Matched counts the covered prefix of the slice: items[:Matched] are
+// served by the view, items[Matched:] are the patch set. Shared and
+// immutable.
+type Mapping struct {
+	LocalOf []int32
+	Matched int
+}
+
+// Stats is the store's observability surface for /stats: view traffic
+// (hits vs builds, rebuilds after invalidation), lifecycle counters,
+// patch volume, and the mapping cache.
+type Stats struct {
+	// ViewHits counts Acquire calls answered by a materialized view;
+	// ViewBuilds counts materializations (first use or after eviction);
+	// Rebuilds is the subset of builds that followed an Invalidate.
+	ViewHits   uint64 `json:"view_hits"`
+	ViewBuilds uint64 `json:"view_builds"`
+	Rebuilds   uint64 `json:"rebuilds"`
+	// Invalidations counts Invalidate calls that dropped a view;
+	// Evictions counts views dropped by capacity pressure.
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+	// PatchItems is the total number of candidate items served through
+	// patch sets instead of views (uncovered remainder of a slice).
+	PatchItems uint64 `json:"patch_items"`
+	// MapHits / MapMisses count the memoized pool→candidate mappings.
+	MapHits   uint64 `json:"map_hits"`
+	MapMisses uint64 `json:"map_misses"`
+	// Size is the number of materialized views; PoolSize the length of
+	// the base pool the views cover.
+	Size     int `json:"size"`
+	PoolSize int `json:"pool_size"`
+}
+
+// userEntry tracks one user's view slot: a once so concurrent first
+// acquirers build a view exactly once, and a CLOCK reference bit.
+type userEntry struct {
+	once sync.Once
+	view *View
+	ref  atomic.Bool
+}
+
+// Store materializes and serves per-user sorted preference views over a
+// fixed base pool. Views build lazily on first Acquire, are bounded by
+// a CLOCK (second-chance) policy over users, and drop on Invalidate.
+// Safe for concurrent use.
+type Store struct {
+	src      cf.Source
+	pool     []dataset.ItemID
+	divisor  float64
+	maxUsers int
+
+	mu      sync.Mutex
+	entries map[dataset.UserID]*userEntry
+	ring    []dataset.UserID // CLOCK ring over resident users
+	hand    int
+	// invalidated marks users whose next build is a rebuild.
+	invalidated map[dataset.UserID]bool
+	// maps memoizes candidate-slice mappings by fingerprint.
+	maps map[mapKey]*Mapping
+
+	viewHits      atomic.Uint64
+	viewBuilds    atomic.Uint64
+	rebuilds      atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
+	patchItems    atomic.Uint64
+	mapHits       atomic.Uint64
+	mapMisses     atomic.Uint64
+}
+
+type mapKey struct {
+	fp uint64
+	n  int
+}
+
+// New builds a store over src and pool (the popularity-ranked candidate
+// base; the slice is retained and must not change). maxUsers bounds
+// materialized views (DefaultMaxUsers if <= 0). divisor is the
+// normalization the engine applies to predictions (5 maps the 1..5
+// rating scale onto [0,1]); stored scores are pre-divided so views
+// feed problems directly. Returns nil for an empty pool — a store over
+// nothing serves nothing.
+func New(src cf.Source, pool []dataset.ItemID, maxUsers int, divisor float64) *Store {
+	if len(pool) == 0 || src == nil || divisor == 0 {
+		return nil
+	}
+	if maxUsers <= 0 {
+		maxUsers = DefaultMaxUsers
+	}
+	return &Store{
+		src:         src,
+		pool:        pool,
+		divisor:     divisor,
+		maxUsers:    maxUsers,
+		entries:     make(map[dataset.UserID]*userEntry),
+		invalidated: make(map[dataset.UserID]bool),
+		maps:        make(map[mapKey]*Mapping),
+	}
+}
+
+// Pool returns the base pool the views cover (shared, read-only).
+func (s *Store) Pool() []dataset.ItemID { return s.pool }
+
+// Divisor returns the normalization the stored scores carry.
+func (s *Store) Divisor() float64 { return s.divisor }
+
+// Acquire returns u's view, materializing it on first use. The
+// returned view is immutable and remains valid even if the store
+// evicts or invalidates u afterwards (callers keep a reference; the
+// store just forgets it).
+//
+// Every path funnels through the entry's once with the same build
+// closure: whichever acquirer gets there first builds, everyone else
+// blocks until the view exists. (A hit-path no-op Do would race the
+// creator — if it won, the view would stay nil forever.)
+func (s *Store) Acquire(u dataset.UserID) *View {
+	s.mu.Lock()
+	e, ok := s.entries[u]
+	if ok {
+		e.ref.Store(true)
+		s.mu.Unlock()
+		e.once.Do(func() { e.view = s.build(u) })
+		s.viewHits.Add(1)
+		return e.view
+	}
+	e = &userEntry{}
+	e.ref.Store(true) // enter referenced: a just-built view is never the next sweep's first victim
+	s.evictLocked()
+	s.entries[u] = e
+	s.ring = append(s.ring, u)
+	rebuilt := s.invalidated[u]
+	delete(s.invalidated, u)
+	s.mu.Unlock()
+
+	e.once.Do(func() { e.view = s.build(u) })
+	s.viewBuilds.Add(1)
+	if rebuilt {
+		s.rebuilds.Add(1)
+	}
+	return e.view
+}
+
+// evictLocked makes room for one more view via CLOCK: sweep the ring,
+// give referenced entries a second chance, evict the first
+// unreferenced one. Callers hold mu.
+func (s *Store) evictLocked() {
+	for len(s.ring) >= s.maxUsers {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		u := s.ring[s.hand]
+		e := s.entries[u]
+		if e.ref.CompareAndSwap(true, false) {
+			s.hand++
+			continue
+		}
+		delete(s.entries, u)
+		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+		s.evictions.Add(1)
+	}
+}
+
+// build materializes one user's view: one batch prediction over the
+// pool, normalized, plus one canonical sort — the pay-once cost the
+// store amortizes.
+func (s *Store) build(u dataset.UserID) *View {
+	raw := s.src.PredictBatch(u, s.pool)
+	scores := make([]float64, len(raw))
+	for i, v := range raw {
+		scores[i] = v / s.divisor
+	}
+	entries := make([]core.Entry, len(scores))
+	for p, v := range scores {
+		entries[p] = core.Entry{Key: p, Value: v}
+	}
+	core.SortCanonical(entries)
+	return &View{Scores: scores, Sorted: &core.SortedView{Entries: entries}}
+}
+
+// Invalidate drops u's view (rating ingest must call this for every
+// user whose preferences changed; the next Acquire rebuilds). It
+// reports whether a view was actually dropped.
+func (s *Store) Invalidate(u dataset.UserID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[u]; !ok {
+		return false
+	}
+	delete(s.entries, u)
+	for i, ru := range s.ring {
+		if ru == u {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if s.hand > i {
+				s.hand--
+			}
+			break
+		}
+	}
+	s.invalidated[u] = true
+	s.invalidations.Add(1)
+	return true
+}
+
+// MapCandidates returns the memoized mapping of a candidate slice onto
+// the pool. The walk consumes items in order against the pool in
+// order, so the mapping is monotone — exactly the shape
+// core.ViewSet.LocalOf requires — and anything unmatched (items beyond
+// the pool, out of popularity order, or duplicated) lands in the patch
+// suffix items[Matched:], keeping the served problem correct for any
+// candidate slice.
+func (s *Store) MapCandidates(items []dataset.ItemID) *Mapping {
+	key := mapKey{fp: cf.FingerprintItems(items), n: len(items)}
+	s.mu.Lock()
+	m, ok := s.maps[key]
+	s.mu.Unlock()
+	if ok {
+		s.mapHits.Add(1)
+		s.patchItems.Add(uint64(len(items) - m.Matched))
+		return m
+	}
+	s.mapMisses.Add(1)
+
+	localOf := make([]int32, len(s.pool))
+	j := 0
+	for p, it := range s.pool {
+		if j < len(items) && it == items[j] {
+			localOf[p] = int32(j)
+			j++
+		} else {
+			localOf[p] = -1
+		}
+	}
+	m = &Mapping{LocalOf: localOf, Matched: j}
+	s.patchItems.Add(uint64(len(items) - j))
+
+	s.mu.Lock()
+	if cached, ok := s.maps[key]; ok {
+		m = cached // concurrent fill won
+	} else {
+		if len(s.maps) >= mapCacheCap {
+			s.maps = make(map[mapKey]*Mapping, mapCacheCap)
+		}
+		s.maps[key] = m
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// Len reports the number of materialized views.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats snapshots the store's counters. The counters are atomic and
+// only eventually consistent with each other.
+func (s *Store) Stats() Stats {
+	return Stats{
+		ViewHits:      s.viewHits.Load(),
+		ViewBuilds:    s.viewBuilds.Load(),
+		Rebuilds:      s.rebuilds.Load(),
+		Invalidations: s.invalidations.Load(),
+		Evictions:     s.evictions.Load(),
+		PatchItems:    s.patchItems.Load(),
+		MapHits:       s.mapHits.Load(),
+		MapMisses:     s.mapMisses.Load(),
+		Size:          s.Len(),
+		PoolSize:      len(s.pool),
+	}
+}

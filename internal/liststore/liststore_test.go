@@ -1,0 +1,238 @@
+package liststore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// stubSource is a deterministic cf.Source whose batch-call count proves
+// when the store recomputes.
+type stubSource struct {
+	batchCalls atomic.Int64
+}
+
+func (s *stubSource) Predict(u dataset.UserID, it dataset.ItemID) float64 {
+	return 1 + float64((int(u)*7+int(it)*13)%401)/100
+}
+
+func (s *stubSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
+	s.batchCalls.Add(1)
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = s.Predict(u, it)
+	}
+	return out
+}
+
+func testPool(n int) []dataset.ItemID {
+	pool := make([]dataset.ItemID, n)
+	for i := range pool {
+		pool[i] = dataset.ItemID(10 * (i + 1)) // 10, 20, 30, ... (gaps on purpose)
+	}
+	return pool
+}
+
+func TestNewRejectsDegenerateInputs(t *testing.T) {
+	src := &stubSource{}
+	if s := New(src, nil, 4, 5); s != nil {
+		t.Error("store over an empty pool should be nil")
+	}
+	if s := New(nil, testPool(3), 4, 5); s != nil {
+		t.Error("store over a nil source should be nil")
+	}
+	if s := New(src, testPool(3), 4, 0); s != nil {
+		t.Error("store with zero divisor should be nil")
+	}
+}
+
+// TestAcquireBuildsCanonicalView pins the view contents: normalized
+// dense scores in pool order and the canonical sort of those scores.
+func TestAcquireBuildsCanonicalView(t *testing.T) {
+	src := &stubSource{}
+	pool := testPool(8)
+	s := New(src, pool, 4, 5)
+
+	v := s.Acquire(3)
+	if len(v.Scores) != len(pool) || len(v.Sorted.Entries) != len(pool) {
+		t.Fatalf("view sizes %d/%d, want %d", len(v.Scores), len(v.Sorted.Entries), len(pool))
+	}
+	for p, it := range pool {
+		want := src.Predict(3, it) / 5
+		if v.Scores[p] != want {
+			t.Errorf("Scores[%d] = %g, want %g", p, v.Scores[p], want)
+		}
+	}
+	for i := 1; i < len(v.Sorted.Entries); i++ {
+		a, b := v.Sorted.Entries[i-1], v.Sorted.Entries[i]
+		if b.Value > a.Value || (b.Value == a.Value && b.Key < a.Key) {
+			t.Fatalf("entries %d,%d out of canonical order: %+v %+v", i-1, i, a, b)
+		}
+	}
+	for _, e := range v.Sorted.Entries {
+		if v.Scores[e.Key] != e.Value {
+			t.Errorf("sorted entry key %d value %g disagrees with dense score %g", e.Key, e.Value, v.Scores[e.Key])
+		}
+	}
+}
+
+func TestAcquireHitsAndCounters(t *testing.T) {
+	src := &stubSource{}
+	s := New(src, testPool(5), 4, 5)
+
+	first := s.Acquire(1)
+	second := s.Acquire(1)
+	if first != second {
+		t.Error("second Acquire returned a different view")
+	}
+	if got := src.batchCalls.Load(); got != 1 {
+		t.Errorf("source batch calls = %d, want 1 (one build)", got)
+	}
+	st := s.Stats()
+	if st.ViewHits != 1 || st.ViewBuilds != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 build / size 1", st)
+	}
+	if st.PoolSize != 5 {
+		t.Errorf("pool size = %d, want 5", st.PoolSize)
+	}
+}
+
+// TestClockEviction pins the second-chance policy: views enter
+// referenced (a fresh build is never the next victim), a view hit
+// since the last sweep survives, and the untouched one is evicted.
+func TestClockEviction(t *testing.T) {
+	src := &stubSource{}
+	s := New(src, testPool(5), 3, 5)
+
+	s.Acquire(1)
+	s.Acquire(2)
+	s.Acquire(3)
+	// First insert at capacity: the sweep strips every insert-time
+	// reference bit on its lap and evicts the oldest (user 1).
+	s.Acquire(4)
+	if st := s.Stats(); st.Evictions != 1 || st.Size != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction at size 3", st)
+	}
+
+	s.Acquire(2) // re-referenced: must survive the next sweep
+	s.Acquire(5) // sweep: 2 gets its second chance, untouched 3 is evicted
+
+	before := s.Stats().ViewBuilds
+	s.Acquire(2) // still resident → hit, no build
+	if got := s.Stats().ViewBuilds; got != before {
+		t.Errorf("recently hit user 2 was evicted despite its second chance (builds %d -> %d)", before, got)
+	}
+	s.Acquire(3) // was evicted: rebuild
+	if got := s.Stats().ViewBuilds; got != before+1 {
+		t.Errorf("untouched user 3 should have been the victim (builds %d -> %d)", before, got)
+	}
+}
+
+func TestInvalidateRebuilds(t *testing.T) {
+	src := &stubSource{}
+	s := New(src, testPool(5), 4, 5)
+
+	if s.Invalidate(7) {
+		t.Error("invalidating an unknown user reported a drop")
+	}
+	s.Acquire(7)
+	if !s.Invalidate(7) {
+		t.Error("invalidating a resident user reported no drop")
+	}
+	s.Acquire(7)
+	st := s.Stats()
+	if st.Invalidations != 1 || st.Rebuilds != 1 || st.ViewBuilds != 2 {
+		t.Errorf("stats = %+v, want 1 invalidation, 1 rebuild, 2 builds", st)
+	}
+}
+
+// TestMapCandidates pins the mapping shape: candidate slices that
+// filter the pool in order map monotonically, everything else lands in
+// the patch suffix.
+func TestMapCandidates(t *testing.T) {
+	src := &stubSource{}
+	pool := testPool(5) // 10 20 30 40 50
+	s := New(src, pool, 4, 5)
+
+	items := []dataset.ItemID{10, 30, 60} // 60 is outside the pool
+	m := s.MapCandidates(items)
+	wantLocal := []int32{0, -1, 1, -1, -1}
+	if m.Matched != 2 {
+		t.Errorf("matched = %d, want 2", m.Matched)
+	}
+	for p, want := range wantLocal {
+		if m.LocalOf[p] != want {
+			t.Errorf("LocalOf[%d] = %d, want %d", p, m.LocalOf[p], want)
+		}
+	}
+
+	// Memoized on the second call; patch volume still counted.
+	if again := s.MapCandidates(items); again != m {
+		t.Error("second MapCandidates did not memoize")
+	}
+	st := s.Stats()
+	if st.MapHits != 1 || st.MapMisses != 1 {
+		t.Errorf("map counters = %d hits / %d misses, want 1/1", st.MapHits, st.MapMisses)
+	}
+	if st.PatchItems != 2 {
+		t.Errorf("patch items = %d, want 2 (one per mapping of the same slice)", st.PatchItems)
+	}
+
+	// An out-of-order slice still maps: the stragglers become patch.
+	m2 := s.MapCandidates([]dataset.ItemID{30, 10})
+	if m2.Matched != 1 || m2.LocalOf[2] != 0 {
+		t.Errorf("out-of-order mapping = %+v, want item 30 matched at local 0", m2)
+	}
+
+	// Overflowing the memo cap resets the cache instead of growing.
+	for i := 0; i < mapCacheCap+10; i++ {
+		s.MapCandidates([]dataset.ItemID{dataset.ItemID(i), dataset.ItemID(i + 1)})
+	}
+	s.mu.Lock()
+	n := len(s.maps)
+	s.mu.Unlock()
+	if n > mapCacheCap {
+		t.Errorf("map cache grew to %d, cap %d", n, mapCacheCap)
+	}
+}
+
+// TestAcquireConcurrent hammers the store from many goroutines (run
+// with -race); every view of one user must be identical and the
+// build count conserved against hits.
+func TestAcquireConcurrent(t *testing.T) {
+	src := &stubSource{}
+	s := New(src, testPool(30), 8, 5)
+
+	const workers = 8
+	const rounds = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				u := dataset.UserID((w + r) % 12)
+				v := s.Acquire(u)
+				if len(v.Scores) != 30 {
+					panic("short view")
+				}
+				if r%10 == 0 {
+					s.Invalidate(u)
+				}
+				s.MapCandidates([]dataset.ItemID{10, 20, 30})
+				_ = s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.ViewHits+st.ViewBuilds != workers*rounds {
+		t.Errorf("hits %d + builds %d != %d acquires", st.ViewHits, st.ViewBuilds, workers*rounds)
+	}
+	if st.Size > 8 {
+		t.Errorf("size %d exceeds bound 8", st.Size)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -25,6 +26,11 @@ type Dispatcher func([]repro.Request) []repro.Result
 
 // ErrClosed is returned by Submit after Close has begun draining.
 var ErrClosed = errors.New("server: coalescer closed")
+
+// ErrOverloaded is returned by Submit when the number of parked
+// callers has reached the LimitPending bound — the load-shedding
+// signal the HTTP layer maps to 429 with a Retry-After.
+var ErrOverloaded = errors.New("server: too many pending requests")
 
 // ErrDispatch marks a dispatcher that broke the positional-alignment
 // contract (fewer results than requests). It is a server fault, not a
@@ -66,6 +72,11 @@ type CoalescerStats struct {
 	MeanWindowSize float64 `json:"mean_window_size"`
 	// Pending is the size of the currently open window.
 	Pending int `json:"pending"`
+	// Parked counts callers still awaiting a result — the open window
+	// plus in-flight dispatches. It is the load-shedding signal.
+	Parked int `json:"parked"`
+	// Shed counts Submits rejected with ErrOverloaded.
+	Shed uint64 `json:"shed"`
 }
 
 // Coalescer buffers concurrent single-request traffic into dispatch
@@ -80,23 +91,33 @@ type Coalescer struct {
 	dispatch Dispatcher
 	window   time.Duration
 	maxBatch int
+	// maxPending bounds parked callers (0 = unbounded); see
+	// LimitPending.
+	maxPending int
 
 	mu      sync.Mutex
 	pending []waiter
 	// gen identifies the open window; a timer that fires after its
 	// window was already cut (by size or drain) sees a newer gen and
 	// does nothing.
-	gen    uint64
-	timer  *time.Timer
-	closed bool
+	gen   uint64
+	timer *time.Timer
+	// deadline is when the open window's timer fires; a caller with a
+	// tighter per-request budget pulls it earlier.
+	deadline time.Time
+	closed   bool
 	// inflight tracks dispatch goroutines so Close can drain them.
 	inflight sync.WaitGroup
+	// parked counts callers awaiting results; decremented by dispatch
+	// goroutines, hence atomic.
+	parked atomic.Int64
 
 	// Counters, guarded by mu (every transition already holds it).
 	requests    uint64
 	sizeCloses  uint64
 	timerCloses uint64
 	drainCloses uint64
+	shed        uint64
 	dispatched  uint64
 	maxWindow   int
 }
@@ -121,26 +142,66 @@ func (c *Coalescer) Window() time.Duration { return c.window }
 // MaxBatch returns the batch bound.
 func (c *Coalescer) MaxBatch() int { return c.maxBatch }
 
+// LimitPending bounds the number of parked callers (open window plus
+// in-flight dispatches); Submits beyond the bound fail fast with
+// ErrOverloaded instead of queueing unboundedly. n <= 0 removes the
+// bound. Call before the coalescer starts serving traffic (it is not
+// synchronized against concurrent Submits).
+func (c *Coalescer) LimitPending(n int) { c.maxPending = n }
+
+// MaxPending returns the parked-caller bound (0 = unbounded).
+func (c *Coalescer) MaxPending() int { return c.maxPending }
+
 // Submit parks req in the open window and returns its result once the
-// window is dispatched. It returns ErrClosed if Close has begun, or
-// ctx's error if the caller gives up first — the request itself is
-// still dispatched and its result discarded.
+// window is dispatched. It returns ErrClosed if Close has begun,
+// ErrOverloaded if the parked-caller bound is reached, or ctx's error
+// if the caller gives up first — the request itself is still
+// dispatched and its result discarded.
 func (c *Coalescer) Submit(ctx context.Context, req repro.Request) (repro.Result, error) {
+	return c.SubmitWithin(ctx, req, 0)
+}
+
+// SubmitWithin is Submit with a per-caller coalescing budget: when
+// maxWait is positive and smaller than the remaining window, the open
+// window's deadline is pulled forward so this caller waits at most
+// maxWait before its window dispatches. maxWait is clamped to the
+// configured window (a caller can trade batching for freshness, not
+// extend another caller's delay); 0 or negative means the full window.
+func (c *Coalescer) SubmitWithin(ctx context.Context, req repro.Request, maxWait time.Duration) (repro.Result, error) {
 	w := waiter{req: req, ch: make(chan repro.Result, 1)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return repro.Result{}, ErrClosed
 	}
+	if c.maxPending > 0 && int(c.parked.Load()) >= c.maxPending {
+		c.shed++
+		c.mu.Unlock()
+		return repro.Result{}, ErrOverloaded
+	}
 	c.requests++
+	c.parked.Add(1)
 	c.pending = append(c.pending, w)
+	if maxWait <= 0 || maxWait > c.window {
+		maxWait = c.window
+	}
 	switch {
 	case len(c.pending) >= c.maxBatch:
 		c.sizeCloses++
 		c.cutLocked()
 	case len(c.pending) == 1:
 		gen := c.gen
-		c.timer = time.AfterFunc(c.window, func() { c.timerFire(gen) })
+		c.deadline = time.Now().Add(maxWait)
+		c.timer = time.AfterFunc(maxWait, func() { c.timerFire(gen) })
+	default:
+		// Joining an open window: honor this caller's tighter budget
+		// by re-arming the window timer to the earlier deadline.
+		if want := time.Now().Add(maxWait); c.timer != nil && want.Before(c.deadline) {
+			c.timer.Stop()
+			gen := c.gen
+			c.deadline = want
+			c.timer = time.AfterFunc(maxWait, func() { c.timerFire(gen) })
+		}
 	}
 	c.mu.Unlock()
 
@@ -199,6 +260,7 @@ func (c *Coalescer) run(batch []waiter) {
 		} else {
 			w.ch <- repro.Result{Err: fmt.Errorf("%w: %d results for %d requests", ErrDispatch, len(results), len(reqs))}
 		}
+		c.parked.Add(-1)
 	}
 }
 
@@ -230,6 +292,8 @@ func (c *Coalescer) Stats() CoalescerStats {
 		DrainCloses:   c.drainCloses,
 		MaxWindowSize: c.maxWindow,
 		Pending:       len(c.pending),
+		Parked:        int(c.parked.Load()),
+		Shed:          c.shed,
 	}
 	st.Windows = st.SizeCloses + st.TimerCloses + st.DrainCloses
 	if st.Windows > 0 {

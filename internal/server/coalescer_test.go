@@ -66,6 +66,130 @@ func (d *markerDispatcher) snapshot() [][]repro.Request {
 	return append([][]repro.Request(nil), d.windows...)
 }
 
+// TestSubmitWithinCapsWait pins the per-request latency budget: with a
+// window far beyond test patience, a caller's max-wait must close the
+// window early; and the cap is clamped, never extending the window.
+func TestSubmitWithinCapsWait(t *testing.T) {
+	d := &markerDispatcher{}
+
+	// A tight cap inside a huge window releases the caller quickly.
+	c := NewCoalescer(d.dispatch, time.Hour, 64)
+	start := time.Now()
+	if _, err := c.SubmitWithin(context.Background(), repro.Request{Options: repro.Options{K: 1}}, 20*time.Millisecond); err != nil {
+		t.Fatalf("SubmitWithin: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("capped caller waited %v inside an hour-long window", elapsed)
+	}
+	if st := c.Stats(); st.TimerCloses != 1 {
+		t.Errorf("stats = %+v, want one timer close from the capped deadline", st)
+	}
+	c.Close()
+
+	// A cap beyond the window clamps to the window (the caller cannot
+	// extend anyone's delay); the window still dispatches on time.
+	c2 := NewCoalescer(d.dispatch, 20*time.Millisecond, 64)
+	start = time.Now()
+	if _, err := c2.SubmitWithin(context.Background(), repro.Request{Options: repro.Options{K: 1}}, time.Hour); err != nil {
+		t.Fatalf("SubmitWithin: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("clamped caller waited %v past a 20ms window", elapsed)
+	}
+	c2.Close()
+}
+
+// TestSubmitWithinTightensOpenWindow checks a late joiner's budget
+// pulls an already-open window's deadline forward: both callers are
+// released in one early dispatch.
+func TestSubmitWithinTightensOpenWindow(t *testing.T) {
+	d := &markerDispatcher{}
+	c := NewCoalescer(d.dispatch, time.Hour, 64)
+	defer c.Close()
+
+	results := make(chan error, 2)
+	go func() {
+		_, err := c.Submit(context.Background(), repro.Request{Options: repro.Options{K: 1}})
+		results <- err
+	}()
+	// Wait until the first caller has opened the window.
+	for c.Stats().Pending != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, err := c.SubmitWithin(context.Background(), repro.Request{Options: repro.Options{K: 2}}, 20*time.Millisecond)
+		results <- err
+	}()
+
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("caller %d: %v", i, err)
+			}
+		case <-deadline:
+			t.Fatal("callers still parked: the tighter budget did not pull the window forward")
+		}
+	}
+	st := c.Stats()
+	if st.Windows != 1 || st.MaxWindowSize != 2 {
+		t.Errorf("stats = %+v, want both callers released by one window", st)
+	}
+}
+
+// TestCoalescerShedsBeyondMaxPending pins load shedding: with the
+// parked-caller bound reached, Submit fails fast with ErrOverloaded
+// and the shed counter moves; parked callers still complete.
+func TestCoalescerShedsBeyondMaxPending(t *testing.T) {
+	block := make(chan struct{})
+	dispatch := func(reqs []repro.Request) []repro.Result {
+		<-block
+		out := make([]repro.Result, len(reqs))
+		for i := range out {
+			out[i] = repro.Result{Recommendation: &repro.Recommendation{}}
+		}
+		return out
+	}
+	// maxBatch 1: every submit dispatches immediately and parks in the
+	// blocked dispatcher.
+	c := NewCoalescer(dispatch, time.Hour, 1)
+	c.LimitPending(2)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Submit(context.Background(), repro.Request{})
+		}(i)
+	}
+	for c.Stats().Parked != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := c.Submit(context.Background(), repro.Request{}); err != ErrOverloaded {
+		t.Fatalf("submit beyond the bound returned %v, want ErrOverloaded", err)
+	}
+	st := c.Stats()
+	if st.Shed != 1 || st.Parked != 2 {
+		t.Errorf("stats = %+v, want shed 1 at parked 2", st)
+	}
+
+	close(block)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("parked caller %d failed: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Parked != 0 {
+		t.Errorf("parked = %d after completion, want 0", st.Parked)
+	}
+	c.Close()
+}
+
 // TestCoalescerPositionalFanout submits N concurrent requests through
 // a small-window coalescer and asserts (a) every caller receives the
 // result for exactly its own request, (b) no dispatched window exceeds

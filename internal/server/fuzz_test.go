@@ -32,8 +32,13 @@ func FuzzDecodeRecommendRequest(f *testing.F) {
 	f.Add(`{"group":[` + strings.Repeat("1,", 100) + `1]}`)
 	f.Add(`{"group":[1],"k":"3"}`)
 	f.Add("{\"group\":[1],\x00\"k\":1}")
+	f.Add(`{"group":[1],"max_wait_ms":3}`)
+	f.Add(`{"group":[1],"max_wait_ms":0}`)
+	f.Add(`{"group":[1],"max_wait_ms":-2}`)
+	f.Add(`{"group":[1],"max_wait_ms":2.5}`)
+	f.Add(`{"group":[1],"max_wait_ms":9223372036854775807}`)
 	f.Fuzz(func(t *testing.T, input string) {
-		req, err := decodeRecommendRequest([]byte(input))
+		req, maxWait, err := decodeRecommendRequest([]byte(input))
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
@@ -48,13 +53,16 @@ func FuzzDecodeRecommendRequest(f *testing.F) {
 		if req.Options.K < 0 || req.Options.NumItems < 0 || req.Options.Period < 0 {
 			t.Fatalf("accepted negative options %+v: %q", req.Options, input)
 		}
+		if maxWait < 0 {
+			t.Fatalf("accepted negative max wait %v: %q", maxWait, input)
+		}
 		// Determinism: decoding the same bytes twice yields the same
 		// request (the decoder holds no state).
-		again, err := decodeRecommendRequest([]byte(input))
+		again, againWait, err := decodeRecommendRequest([]byte(input))
 		if err != nil {
 			t.Fatalf("second decode of accepted input failed: %v (%q)", err, input)
 		}
-		if !reflect.DeepEqual(again, req) {
+		if !reflect.DeepEqual(again, req) || againWait != maxWait {
 			t.Fatalf("decode is not deterministic for %q", input)
 		}
 	})

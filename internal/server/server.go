@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +20,10 @@ import (
 // (a full batch of large groups) is a few hundred KB.
 const maxBodyBytes = 1 << 20
 
+// maxWaitBoundMS bounds the per-request max_wait_ms field (one hour);
+// the effective wait is further clamped to the server's window.
+const maxWaitBoundMS = 60 * 60 * 1000
+
 // Config parameterizes a Server. Zero values select the coalescer
 // defaults.
 type Config struct {
@@ -26,6 +31,10 @@ type Config struct {
 	Window time.Duration
 	// MaxBatch is the coalescing batch bound (DefaultMaxBatch if 0).
 	MaxBatch int
+	// MaxPending bounds parked /recommend callers; beyond it requests
+	// are shed with 429 + Retry-After instead of queueing (0 =
+	// unbounded).
+	MaxPending int
 }
 
 // Server exposes a World over HTTP:
@@ -62,6 +71,7 @@ func New(world *repro.World, cfg Config) *Server {
 		start:        time.Now(),
 		participants: make(map[dataset.UserID]bool, len(world.Participants())),
 	}
+	s.co.LimitPending(cfg.MaxPending)
 	for _, u := range world.Participants() {
 		s.participants[u] = true
 	}
@@ -92,6 +102,10 @@ type recommendRequest struct {
 	Consensus string `json:"consensus,omitempty"`
 	Model     string `json:"model,omitempty"`
 	Period    int    `json:"period,omitempty"`
+	// MaxWaitMS caps this caller's coalescing delay in milliseconds,
+	// clamped to the server's window (0 = the full window). Callers
+	// trade batch amortization for freshness per request.
+	MaxWaitMS int `json:"max_wait_ms,omitempty"`
 }
 
 // batchRequest is the wire form of POST /recommend/batch.
@@ -133,50 +147,60 @@ type errorResponse struct {
 }
 
 // decodeRecommendRequest parses and validates one wire request into an
-// engine request. It is a pure function of its input (no world access)
-// so it can be fuzzed in isolation; membership validation happens in
+// engine request plus the caller's coalescing budget (0 = the full
+// window). It is a pure function of its input (no world access) so it
+// can be fuzzed in isolation; membership validation happens in
 // validateGroup. The decoder is strict: unknown fields, trailing
 // garbage, and fractional numbers are all rejected.
-func decodeRecommendRequest(data []byte) (repro.Request, error) {
+func decodeRecommendRequest(data []byte) (repro.Request, time.Duration, error) {
 	var wire recommendRequest
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&wire); err != nil {
-		return repro.Request{}, fmt.Errorf("decoding request: %w", err)
+		return repro.Request{}, 0, fmt.Errorf("decoding request: %w", err)
 	}
 	if dec.More() {
-		return repro.Request{}, fmt.Errorf("trailing data after request object")
+		return repro.Request{}, 0, fmt.Errorf("trailing data after request object")
 	}
 	return wireToRequest(wire)
 }
 
 // wireToRequest validates a decoded wire request and maps it onto the
-// engine's Request.
-func wireToRequest(wire recommendRequest) (repro.Request, error) {
+// engine's Request and the caller's max coalescing wait.
+func wireToRequest(wire recommendRequest) (repro.Request, time.Duration, error) {
 	if len(wire.Group) == 0 {
-		return repro.Request{}, fmt.Errorf("empty group")
+		return repro.Request{}, 0, fmt.Errorf("empty group")
 	}
 	if wire.K < 0 {
-		return repro.Request{}, fmt.Errorf("negative k %d", wire.K)
+		return repro.Request{}, 0, fmt.Errorf("negative k %d", wire.K)
 	}
 	if wire.NumItems < 0 {
-		return repro.Request{}, fmt.Errorf("negative num_items %d", wire.NumItems)
+		return repro.Request{}, 0, fmt.Errorf("negative num_items %d", wire.NumItems)
 	}
 	if wire.Period < 0 {
-		return repro.Request{}, fmt.Errorf("negative period %d", wire.Period)
+		return repro.Request{}, 0, fmt.Errorf("negative period %d", wire.Period)
+	}
+	if wire.MaxWaitMS < 0 {
+		return repro.Request{}, 0, fmt.Errorf("negative max_wait_ms %d", wire.MaxWaitMS)
+	}
+	if wire.MaxWaitMS > maxWaitBoundMS {
+		// Clamping happens against the server window anyway; anything
+		// past an hour is a client bug, and unbounded values would
+		// overflow the duration conversion.
+		return repro.Request{}, 0, fmt.Errorf("max_wait_ms %d exceeds bound %d", wire.MaxWaitMS, maxWaitBoundMS)
 	}
 	spec, err := consensus.Parse(wire.Consensus)
 	if err != nil {
-		return repro.Request{}, err
+		return repro.Request{}, 0, err
 	}
 	model, err := repro.ParseTimeModel(wire.Model)
 	if err != nil {
-		return repro.Request{}, err
+		return repro.Request{}, 0, err
 	}
 	group := make([]dataset.UserID, len(wire.Group))
 	for i, id := range wire.Group {
 		if id < 0 {
-			return repro.Request{}, fmt.Errorf("negative user id %d", id)
+			return repro.Request{}, 0, fmt.Errorf("negative user id %d", id)
 		}
 		group[i] = dataset.UserID(id)
 	}
@@ -189,7 +213,7 @@ func wireToRequest(wire recommendRequest) (repro.Request, error) {
 			TimeModel: model,
 			Period:    wire.Period,
 		},
-	}, nil
+	}, time.Duration(wire.MaxWaitMS) * time.Millisecond, nil
 }
 
 // validateGroup rejects users outside the study population (they have
@@ -237,7 +261,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // readBody already wrote the response
 	}
-	req, err := decodeRecommendRequest(body)
+	req, maxWait, err := decodeRecommendRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -246,10 +270,16 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.co.Submit(r.Context(), req)
+	res, err := s.co.SubmitWithin(r.Context(), req, maxWait)
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case errors.Is(err, ErrOverloaded):
+		// Shed load before it queues: tell the client when the current
+		// backlog has had a window's worth of time to clear.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.co.Window())))
+		writeError(w, http.StatusTooManyRequests, "too many pending requests")
 		return
 	case err != nil: // caller's context expired
 		writeError(w, http.StatusRequestTimeout, err.Error())
@@ -294,7 +324,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	reqs := make([]repro.Request, 0, len(wire.Requests))
 	slots := make([]int, 0, len(wire.Requests))
 	for i, wr := range wire.Requests {
-		req, err := wireToRequest(wr)
+		// max_wait_ms is accepted but moot here: a batch dispatches
+		// immediately, so every caller's coalescing delay is zero.
+		req, _, err := wireToRequest(wr)
 		if err == nil {
 			err = s.validateGroup(req.Group)
 		}
@@ -393,6 +425,16 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 		return nil, err
 	}
 	return body, nil
+}
+
+// retryAfterSeconds rounds the coalescing window up to whole seconds
+// (minimum 1), the granularity Retry-After speaks.
+func retryAfterSeconds(window time.Duration) int {
+	s := int((window + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

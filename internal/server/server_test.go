@@ -251,10 +251,18 @@ func TestServeStats(t *testing.T) {
 	if !st.Caches.RowCacheEnabled {
 		t.Error("row cache should be enabled in the default config")
 	}
-	// Identical repeated requests must hit the row cache: 2 rows
-	// (group of 2) computed once, then reused.
-	if st.Caches.RowCache.Hits == 0 {
-		t.Errorf("row cache hits = 0 after repeated identical traffic: %+v", st.Caches.RowCache)
+	if !st.Caches.ListStoreEnabled {
+		t.Error("sorted-list store should be enabled in the default config")
+	}
+	// Identical repeated requests are served from the sorted-list
+	// store: views materialize once per member, then merge into every
+	// subsequent problem. (The world is shared across the package's
+	// tests, so only presence is asserted, not exact counts.)
+	if st.Caches.ListStore.ViewBuilds == 0 {
+		t.Errorf("no views built after traffic: %+v", st.Caches.ListStore)
+	}
+	if st.Caches.ListStore.ViewHits == 0 {
+		t.Errorf("list store hits = 0 after repeated identical traffic: %+v", st.Caches.ListStore)
 	}
 	if st.Caches.Neighborhoods.Size == 0 {
 		t.Errorf("no neighborhoods cached after traffic: %+v", st.Caches.Neighborhoods)
@@ -322,6 +330,83 @@ func TestServeBurstCoalesces(t *testing.T) {
 	}
 	if st.Coalescer.MaxWindowSize < 2 {
 		t.Errorf("max window size %d: no two requests ever shared a window", st.Coalescer.MaxWindowSize)
+	}
+}
+
+// TestServeMaxWait is the end-to-end per-request latency budget test:
+// inside a window far beyond test patience, a request carrying
+// max_wait_ms must come back quickly with a full result.
+func TestServeMaxWait(t *testing.T) {
+	w := testWorld(t)
+	_, ts := newTestServer(t, Config{Window: time.Hour})
+	group := w.Participants()[:2]
+	body := fmt.Sprintf(`{"group":[%d,%d],"k":3,"num_items":100,"max_wait_ms":25}`, group[0], group[1])
+
+	start := time.Now()
+	status, data := postJSON(t, ts.URL+"/recommend", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, data)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("capped request took %v inside an hour-long window", elapsed)
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(resp.Items) != 3 {
+		t.Errorf("items = %d, want 3", len(resp.Items))
+	}
+
+	// A negative budget is a client error.
+	status, _ = postJSON(t, ts.URL+"/recommend",
+		fmt.Sprintf(`{"group":[%d],"max_wait_ms":-1}`, group[0]))
+	if status != http.StatusBadRequest {
+		t.Errorf("negative max_wait_ms: status = %d, want 400", status)
+	}
+}
+
+// TestServeShedsWith429 is the end-to-end load-shedding test: with one
+// caller parked and MaxPending 1, the next request is shed with 429
+// and a Retry-After derived from the window.
+func TestServeShedsWith429(t *testing.T) {
+	w := testWorld(t)
+	s, ts := newTestServer(t, Config{Window: 600 * time.Millisecond, MaxPending: 1})
+	group := w.Participants()[:2]
+	body := fmt.Sprintf(`{"group":[%d,%d],"k":3,"num_items":100}`, group[0], group[1])
+
+	parked := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, ts.URL+"/recommend", body)
+		parked <- status
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.co.Stats().Parked != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/recommend", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("shed POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q (600ms window rounded up)", got, "1")
+	}
+	if st := s.co.Stats(); st.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Shed)
+	}
+
+	// The parked caller is unaffected: it completes when its window
+	// fires.
+	if status := <-parked; status != http.StatusOK {
+		t.Errorf("parked request finished with %d, want 200", status)
 	}
 }
 

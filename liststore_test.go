@@ -1,0 +1,153 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/dataset"
+)
+
+// TestRecommendListStoreDifferential is the facade-level acceptance
+// test of the sorted-list store: a world with the store enabled must
+// produce byte-identical recommendations to one with it disabled,
+// across consensus functions, time models, group sizes, and candidate
+// shapes — while actually serving from views.
+func TestRecommendListStoreDifferential(t *testing.T) {
+	cfg := tinyConfig()
+	served, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld(served): %v", err)
+	}
+	if served.ListStore() == nil {
+		t.Fatal("default config did not enable the list store")
+	}
+	cfg.ListStoreSize = -1
+	dense, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld(dense): %v", err)
+	}
+	if dense.ListStore() != nil {
+		t.Fatal("negative ListStoreSize did not disable the store")
+	}
+
+	participants := served.Participants()
+	groups := [][]dataset.UserID{
+		participants[:1], // single member: no pairs
+		participants[2:4],
+		participants[5:9],
+	}
+	opts := []Options{
+		{K: 5, NumItems: 120},
+		{K: 3, NumItems: 80, Consensus: consensus.PD(0.8)},
+		{K: 4, NumItems: 100, TimeModel: TimeAgnostic},
+		{K: 2, NumItems: 60, TimeModel: AffinityAgnostic, Consensus: consensus.MO()},
+	}
+	for gi, group := range groups {
+		for oi, opt := range opts {
+			want, err1 := dense.Recommend(group, opt)
+			got, err2 := served.Recommend(group, opt)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("group %d opt %d: errors %v / %v", gi, oi, err1, err2)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("group %d opt %d: store-served result diverges\ndense:  %+v\nserved: %+v", gi, oi, want, got)
+			}
+		}
+	}
+	st := served.ListStore().Stats()
+	if st.ViewBuilds == 0 {
+		t.Errorf("differential traffic never built a view: %+v", st)
+	}
+	if st.ViewHits == 0 {
+		t.Errorf("differential traffic never hit a view: %+v", st)
+	}
+
+	// Caller-fixed candidate slices (not popularity-derived) must agree
+	// too, whichever path serves them.
+	items := served.CandidateItems(groups[1], 90)
+	custom := append([]dataset.ItemID(nil), items[:50]...)
+	opt := Options{K: 3, Items: custom}
+	want, err1 := dense.Recommend(groups[1], opt)
+	got, err2 := served.Recommend(groups[1], opt)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("custom items: errors %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("custom items diverge:\ndense:  %+v\nserved: %+v", want, got)
+	}
+}
+
+// TestInvalidateUserViews pins the store lifecycle the World owns:
+// invalidation drops the view, the next request rebuilds it, and the
+// recommendation is unchanged (the substrate is immutable, so a
+// rebuild must reproduce the same view).
+func TestInvalidateUserViews(t *testing.T) {
+	w := tinyWorld(t)
+	group := w.Participants()[:2]
+	opt := Options{K: 3, NumItems: 80}
+
+	before, err := w.Recommend(group, opt)
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	// Prime a cached prediction row for the user (view-served requests
+	// bypass the row cache, so put one there directly) and assert
+	// invalidation drops it along with the view — a rebuild reading a
+	// stale cached row would reproduce pre-ingest preferences.
+	items := w.CandidateItems(group, 40)
+	w.Source().PredictBatch(group[0], items)
+	rowsBefore := w.CacheStats().RowCache.Size
+	if w.InvalidateUserViews(group[0]) != true {
+		t.Error("invalidating a materialized view reported no drop")
+	}
+	if rowsAfter := w.CacheStats().RowCache.Size; rowsAfter != rowsBefore-1 {
+		t.Errorf("row cache size %d -> %d: invalidation should drop the user's cached row", rowsBefore, rowsAfter)
+	}
+	if w.InvalidateUserViews(group[0]) != false {
+		t.Error("double invalidation reported a drop")
+	}
+	builds := w.ListStore().Stats().ViewBuilds
+	after, err := w.Recommend(group, opt)
+	if err != nil {
+		t.Fatalf("recommend after invalidation: %v", err)
+	}
+	st := w.ListStore().Stats()
+	if st.ViewBuilds != builds+1 || st.Rebuilds == 0 {
+		t.Errorf("invalidated view was not rebuilt: %+v", st)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("rebuild changed the recommendation:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+}
+
+// TestRecommendBatchSharesViews pins the sweep-sharing property: the
+// groups of one batch reuse both the memoized candidate mapping and
+// each member's materialized view.
+func TestRecommendBatchSharesViews(t *testing.T) {
+	w := tinyWorld(t)
+	p := w.Participants()
+	opt := Options{K: 3, NumItems: 80}
+	reqs := []Request{
+		{Group: []dataset.UserID{p[0], p[1]}, Options: opt},
+		{Group: []dataset.UserID{p[1], p[2]}, Options: opt}, // p[1] shared
+		{Group: []dataset.UserID{p[0], p[1]}, Options: opt}, // identical group
+	}
+	for i, res := range w.RecommendBatch(reqs) {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	st := w.ListStore().Stats()
+	// Three distinct members → exactly three builds; the shared member
+	// and the repeated group produce hits, not rebuilds.
+	if st.ViewBuilds != 3 {
+		t.Errorf("view builds = %d, want 3 (one per distinct member): %+v", st.ViewBuilds, st)
+	}
+	if st.ViewHits == 0 {
+		t.Errorf("no view sharing across the batch: %+v", st)
+	}
+	if st.MapHits == 0 {
+		t.Errorf("no mapping sharing across the batch: %+v", st)
+	}
+}

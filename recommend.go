@@ -104,6 +104,11 @@ const (
 	DefaultNumItems = 3900
 )
 
+// prefDivisor maps the 1..5 rating scale onto the [0,1] absolute
+// preferences GRECA consumes. The sorted-list store normalizes with
+// the same constant at build time so its views feed problems directly.
+const prefDivisor = 5
+
 // fill applies the paper's defaults to zero-valued fields and rejects
 // values that are nonsensical rather than defaulted — negative K or
 // NumItems would otherwise flow downstream as silently shrunken slices
@@ -227,10 +232,19 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		LooseBounds:       opt.LooseBounds,
 	}
 
-	// Absolute preferences: CF predictions normalized to [0,1], rows
-	// filled in parallel by the assembly layer (one batch-predicted
-	// row per member, neighborhoods resolved once each).
-	in.Apref = w.asm.AprefRows(group, items, 5)
+	// Absolute preferences: served from the sorted-list store when its
+	// views cover this candidate slice (rows copied out of the
+	// materialized views, only the patch remainder re-predicted), with
+	// a dense fallback that batch-predicts and normalizes every row in
+	// parallel. Both paths produce identical values; the served one
+	// additionally carries the pre-sorted views so problem
+	// construction merges instead of re-sorting.
+	va, served := w.asm.AprefViews(group, items, prefDivisor)
+	if served {
+		in.Apref = va.Rows
+	} else {
+		in.Apref = w.asm.AprefRows(group, items, prefDivisor)
+	}
 
 	// Affinity components per the selected time model.
 	switch opt.TimeModel {
@@ -254,12 +268,21 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		in.Static, in.Drift = nil, nil
 	}
 
-	prob, err := core.NewProblem(in)
+	var prob *core.Problem
+	var err error
+	if served {
+		prob, err = core.NewProblemFromViews(in, va.Views)
+	} else {
+		prob, err = core.NewProblem(in)
+	}
 	if err != nil {
 		w.asm.Release(in.Apref)
 		return nil, nil, 0, noRelease, fmt.Errorf("repro: building problem: %w", err)
 	}
-	release := func() { w.asm.Release(in.Apref) }
+	release := func() {
+		w.asm.Release(in.Apref)
+		prob.Release()
+	}
 	return prob, items, period, release, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/groups"
+	"repro/internal/liststore"
 	"repro/internal/social"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// Recommend traffic (cf.DefaultRowCacheCap if 0, negative
 	// disables the cache entirely).
 	RowCacheSize int
+	// ListStoreSize bounds the sorted-list store's materialized
+	// per-user preference views (liststore.DefaultMaxUsers if 0,
+	// negative disables the store: every problem then re-sorts its
+	// lists in core.NewProblem).
+	ListStoreSize int
 }
 
 // QuickConfig is a small, fast setup for examples and tests: a
@@ -122,6 +128,9 @@ type World struct {
 	// rowCache is the typed handle on source's row-cache wrapper; nil
 	// when Config.RowCacheSize disabled it.
 	rowCache *cf.CachedSource
+	// lists is the precomputed sorted-list store over the popularity
+	// pool; nil when Config.ListStoreSize disabled it.
+	lists *liststore.Store
 	// asm is the assembly layer filling preference matrices from
 	// source with a bounded worker pool.
 	asm      *engine.Assembler
@@ -235,6 +244,21 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.asm = engine.New(w.source, cfg.AssemblyWorkers)
 
+	// Sorted-list store: built at load over the frozen popularity
+	// ranking (views materialize lazily per user, bounded by a CLOCK
+	// policy). Views build straight from the base predictor, not the
+	// row cache — a full-pool row would otherwise be installed per
+	// user under a fingerprint request traffic never asks for again,
+	// evicting hot request rows. The World owns the store lifecycle —
+	// rating ingest must route through InvalidateUserViews so stale
+	// views are rebuilt.
+	if cfg.ListStoreSize >= 0 {
+		w.lists = liststore.New(base, w.ratings.PopularityRanked(), cfg.ListStoreSize, prefDivisor)
+		if w.lists != nil {
+			w.asm.AttachListStore(w.lists)
+		}
+	}
+
 	// Participants: social users 0..Users-1 mapped onto the rating
 	// store's first users (both populations use dense IDs from 0).
 	allUsers := w.ratings.Users()
@@ -303,16 +327,50 @@ func (w *World) Predictor() *cf.Predictor { return w.pred }
 // prediction-row cache unless Config.RowCacheSize disabled it.
 func (w *World) Source() cf.Source { return w.source }
 
+// ListStore returns the sorted-list store, or nil when
+// Config.ListStoreSize disabled it.
+func (w *World) ListStore() *liststore.Store { return w.lists }
+
+// InvalidateUserViews drops u's materialized sorted-preference view
+// AND u's cached prediction rows, so u's next request re-predicts and
+// rebuilds rather than reading a stale cached row. It reports whether
+// a view was actually dropped and is a no-op when the store is
+// disabled.
+//
+// Scope: this invalidates *this user's* derived state only. A real
+// rating-ingest path (none exists yet; see ROADMAP) owes more than
+// this call delivers — the predictors' neighborhood caches still hold
+// pre-ingest state, and other users whose neighborhoods contain u
+// keep serving predictions derived from u's old ratings. Ingest must
+// pair this call with predictor-level invalidation (or a re-freeze)
+// to be fully coherent; on today's frozen stores the call is exercised
+// by tests and always rebuilds an identical view.
+func (w *World) InvalidateUserViews(u dataset.UserID) bool {
+	if w.rowCache != nil {
+		w.rowCache.InvalidateUser(u)
+	}
+	if w.lists == nil {
+		return false
+	}
+	return w.lists.Invalidate(u)
+}
+
 // CacheStats aggregates the engine's cache counters — the prediction-
-// row cache and the active predictor's lazy neighborhood cache — for
-// the serving layer's /stats endpoint and any other observability
-// consumer.
+// row cache, the sorted-list store, and the active predictor's lazy
+// neighborhood cache — for the serving layer's /stats endpoint and any
+// other observability consumer.
 type CacheStats struct {
 	// RowCacheEnabled reports whether the prediction-row cache is on
 	// (Config.RowCacheSize >= 0). RowCache is zero when it is not.
 	RowCacheEnabled bool `json:"row_cache_enabled"`
 	// RowCache counts the cf.CachedSource prediction-row cache.
 	RowCache cf.CacheStats `json:"row_cache"`
+	// ListStoreEnabled reports whether the sorted-list store is on
+	// (Config.ListStoreSize >= 0). ListStore is zero when it is not.
+	ListStoreEnabled bool `json:"list_store_enabled"`
+	// ListStore counts the sorted-list store's view, patch, and
+	// lifecycle traffic.
+	ListStore liststore.Stats `json:"list_store"`
 	// Neighborhoods counts the active predictor's lazy neighborhood
 	// cache (user neighborhoods for the user-based and time-weighted
 	// predictors, item neighborhoods for the item-based one).
@@ -327,6 +385,10 @@ func (w *World) CacheStats() CacheStats {
 	if w.rowCache != nil {
 		st.RowCacheEnabled = true
 		st.RowCache = w.rowCache.Stats()
+	}
+	if w.lists != nil {
+		st.ListStoreEnabled = true
+		st.ListStore = w.lists.Stats()
 	}
 	switch {
 	case w.itemPred != nil:
