@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -26,7 +27,19 @@ type Result struct {
 
 // RecommendBatch runs many Recommend calls concurrently — the shape of
 // the paper's Figure 6 sweep, where hundreds of groups are scored in
-// one pass. Results are positionally aligned with reqs.
+// one pass. Results are positionally aligned with reqs. It is
+// RecommendBatchContext under a background context.
+func (w *World) RecommendBatch(reqs []Request) []Result {
+	return w.RecommendBatchContext(context.Background(), reqs)
+}
+
+// RecommendBatchContext runs many Recommend calls concurrently under
+// one caller context: every worker threads ctx through
+// RecommendContext, so a single cancel (or deadline expiry) stops the
+// whole sweep — in-flight requests stop within one check interval,
+// not-yet-started ones are skipped. Interrupted slots carry ctx's
+// error (a Result holds either a Recommendation or an Err, never
+// both); completed slots keep their results.
 //
 // Beyond running requests in parallel over GOMAXPROCS workers, the
 // batch shares assembly work across requests: candidate pools are
@@ -36,7 +49,7 @@ type Result struct {
 // store view (and pool→candidate mapping) — or, on the dense fallback
 // path, the same prediction row in the CF row cache — instead of
 // re-scoring and re-sorting.
-func (w *World) RecommendBatch(reqs []Request) []Result {
+func (w *World) RecommendBatchContext(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
 		return out
@@ -75,6 +88,12 @@ func (w *World) RecommendBatch(reqs []Request) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					// One cancel stops the whole sweep: drain the
+					// remaining slots without starting their runs.
+					out[i] = Result{Err: err}
+					continue
+				}
 				req := reqs[i]
 				opt := req.Options
 				// fill applies the same defaulting Recommend will use;
@@ -83,7 +102,13 @@ func (w *World) RecommendBatch(reqs []Request) []Result {
 				if err := opt.fill(); err == nil && opt.Items == nil && len(req.Group) > 0 {
 					opt.Items = candidatesFor(req.Group, opt.NumItems)
 				}
-				rec, err := w.Recommend(req.Group, opt)
+				rec, err := w.RecommendContext(ctx, req.Group, opt)
+				if err != nil {
+					// Keep the exactly-one-field Result contract: a
+					// cancelled run's partial recommendation is a
+					// single-request (RecommendContext) affordance.
+					rec = nil
+				}
 				out[i] = Result{Recommendation: rec, Err: err}
 			}
 		}()

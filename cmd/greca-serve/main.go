@@ -9,13 +9,26 @@
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
 //	            [-liststore 1024] [-workers N] [-v]
 //
-// Endpoints:
+// Endpoints (API v1; the unversioned routes are compatibility
+// aliases):
 //
-//	POST /recommend        {"group":[1,5,9],"k":10,"num_items":3900,
-//	                        "consensus":"AP","model":"discrete","period":0}
-//	POST /recommend/batch  {"requests":[{...},{...}]}
-//	GET  /healthz          liveness
-//	GET  /stats            coalescer + engine-cache counters
+//	POST /v1/recommend         {"group":[1,5,9],"k":10,"num_items":3900,
+//	                            "consensus":"AP","model":"discrete","period":0,
+//	                            "max_wait_ms":0}
+//	POST /v1/recommend/batch   {"requests":[{...},{...}]}
+//	POST /v1/recommend/stream  same body (+ optional "progress_every": N);
+//	                           answers Server-Sent Events: "progress"
+//	                           frames with the partial top-k and its
+//	                           converging bounds, then one "result"
+//	                           frame. Disconnecting cancels the run
+//	                           within one stopping-check interval.
+//	GET  /v1/healthz           liveness
+//	GET  /v1/stats             coalescer, batch, stream + cache counters
+//
+// Client errors carry a machine-readable "code" ("empty_group",
+// "duplicate_member", "period_out_of_range", "k_exceeds_candidates",
+// "unknown_user", ...) beside the message; unknown methods on known
+// routes answer 405 with an Allow header.
 //
 // On SIGINT/SIGTERM the listener stops accepting, in-flight requests
 // finish, and the coalescer drains its open window before exit.
@@ -23,8 +36,9 @@
 // Examples:
 //
 //	greca-serve -addr :8080 -window 5ms -maxbatch 64
-//	curl -s localhost:8080/recommend -d '{"group":[1,5,9],"k":5,"num_items":200}'
-//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/v1/recommend -d '{"group":[1,5,9],"k":5,"num_items":200}'
+//	curl -sN localhost:8080/v1/recommend/stream -d '{"group":[1,5,9],"k":5,"num_items":400}'
+//	curl -s localhost:8080/v1/stats
 package main
 
 import (

@@ -8,21 +8,32 @@
 //	greca -group 1,5,9 [-k 10] [-items 3900] [-consensus AP|MO|PD1|PD2|VD]
 //	      [-model discrete|continuous|static|none] [-period N]
 //	      [-ratings ratings.dat] [-mode greca|threshold|fullscan] [-seed N]
-//	      [-liststore 1024]
+//	      [-liststore 1024] [-deadline 500ms] [-stream]
 //
 // Several groups may be given separated by ";" — they are then scored
 // concurrently through World.RecommendBatch, sharing candidate pools
 // and cached prediction rows across groups.
 //
+// -deadline bounds the whole computation: when it expires, in-flight
+// runs stop within one stopping-check interval; groups already scored
+// still print their results, expired ones report the deadline.
+// -stream switches to the anytime API, printing one line of
+// progressively tightening bounds per stopping check before the final
+// list — with a deadline, an interrupted stream prints the partial
+// top-k it reached, marked "partial".
+//
 // Examples:
 //
 //	greca -group 1,5,9
-//	greca -group "1,5,9;2,3,4;1,5,9,11"
+//	greca -group "1,5,9;2,3,4;1,5,9,11" -deadline 2s
 //	greca -group 0,1,2,3,4,5 -consensus PD1 -model continuous -k 5
+//	greca -group 1,5,9 -stream
 //	greca -group 2,7 -ratings ml-1m/ratings.dat
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +62,8 @@ func main() {
 		modeFlag  = flag.String("mode", "greca", "executor: greca, threshold, fullscan")
 		seed      = flag.Int64("seed", 1, "synthetic world seed")
 		listStore = flag.Int("liststore", 0, "sorted-list store user-view bound (0 = default, negative disables)")
+		deadline  = flag.Duration("deadline", 0, "overall computation deadline (0 = none); expired runs return partial results")
+		stream    = flag.Bool("stream", false, "stream progressively tightening bounds per stopping check (anytime API)")
 		verbose   = flag.Bool("v", false, "print substrate statistics")
 	)
 	flag.Parse()
@@ -120,30 +133,94 @@ func main() {
 		Period:    *period,
 		Mode:      mode,
 	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	if *stream {
+		// The anytime path: one group at a time, progress per check.
+		for _, group := range groupSets {
+			rec, err := world.RecommendStream(ctx, group, opt, func(p repro.Progress) bool {
+				fmt.Printf("  [check %4d, round %4d] accesses %d/%d  gap=%.4f  top=%s\n",
+					p.Stats.Checks, p.Round, p.Stats.SequentialAccesses,
+					p.Stats.TotalEntries, p.BoundGap(), topLine(p.Items, 3))
+				return true
+			})
+			if err != nil && rec == nil {
+				log.Fatalf("streaming for group %v: %v", group, err)
+			}
+			if err != nil {
+				fmt.Printf("deadline expired for group %v; partial result:\n", group)
+			}
+			printRecommendation(group, rec, *k, spec, tm)
+		}
+		return
+	}
+
 	reqs := make([]repro.Request, len(groupSets))
 	for i, group := range groupSets {
 		reqs[i] = repro.Request{Group: group, Options: opt}
 	}
-	results := world.RecommendBatch(reqs)
+	results := world.RecommendBatchContext(ctx, reqs)
 
+	expired := 0
 	for gi, res := range results {
-		if res.Err != nil {
+		switch {
+		case res.Err != nil && ctx.Err() != nil && errors.Is(res.Err, ctx.Err()):
+			// Deadline hit mid-sweep: completed groups still print
+			// below; this one didn't make the cut.
+			fmt.Printf("group %v: no result before the deadline (%v)\n", groupSets[gi], res.Err)
+			expired++
+		case res.Err != nil:
 			log.Fatalf("recommending for group %v: %v", groupSets[gi], res.Err)
+		default:
+			printRecommendation(groupSets[gi], res.Recommendation, *k, spec, tm)
 		}
-		rec := res.Recommendation
-		fmt.Printf("top-%d for group %v (%v consensus, %v model, period %d):\n",
-			*k, groupSets[gi], spec, tm, rec.Period+1)
-		for i, item := range rec.Items {
-			fmt.Printf("  %2d. item %-6d score=%.4f", i+1, item.Item, item.Score)
-			if item.UpperBound > item.Score {
-				fmt.Printf(" (ub %.4f)", item.UpperBound)
-			}
-			fmt.Println()
-		}
-		fmt.Printf("accesses: %d/%d (%.1f%%, %.1f%% saved), stop=%v\n",
-			rec.Stats.SequentialAccesses, rec.Stats.TotalEntries,
-			rec.Stats.PercentSA(), rec.Stats.Saveup(), rec.Stats.Stop)
 	}
+	if expired > 0 {
+		fmt.Printf("%d of %d groups expired; re-run with -stream for partial results or raise -deadline\n",
+			expired, len(results))
+	}
+}
+
+// printRecommendation renders one group's (possibly partial) result.
+func printRecommendation(group []dataset.UserID, rec *repro.Recommendation, k int, spec consensus.Spec, tm repro.TimeModel) {
+	label := fmt.Sprintf("top-%d", k)
+	if rec.Partial {
+		label = fmt.Sprintf("partial top-%d (run interrupted)", len(rec.Items))
+	}
+	fmt.Printf("%s for group %v (%v consensus, %v model, period %d):\n",
+		label, group, spec, tm, rec.Period+1)
+	for i, item := range rec.Items {
+		fmt.Printf("  %2d. item %-6d score=%.4f", i+1, item.Item, item.Score)
+		if item.UpperBound > item.Score {
+			fmt.Printf(" (ub %.4f)", item.UpperBound)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("accesses: %d/%d (%.1f%%, %.1f%% saved), stop=%v\n",
+		rec.Stats.SequentialAccesses, rec.Stats.TotalEntries,
+		rec.Stats.PercentSA(), rec.Stats.Saveup(), rec.Stats.Stop)
+}
+
+// topLine compactly renders the first n items of a progress snapshot.
+func topLine(items []repro.ProgressItem, n int) string {
+	if n > len(items) {
+		n = len(items)
+	}
+	var b strings.Builder
+	b.WriteString("[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d:%.3f..%.3f", items[i].Item, items[i].Score, items[i].UpperBound)
+	}
+	b.WriteString("]")
+	return b.String()
 }
 
 func parseGroups(s string) ([][]dataset.UserID, error) {

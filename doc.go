@@ -20,10 +20,21 @@
 //     continuous, time-agnostic, affinity-agnostic). Problem assembly
 //     is batched, cached, and parallel (see DESIGN.md's engine
 //     layering), and a World serves any number of concurrent callers.
+//   - World.RecommendContext / World.RecommendStream are the anytime
+//     forms (API v2): GRECA's round loop runs on a resumable
+//     core.Runner that checks the caller's context between stopping
+//     checks, so deadlines and cancellation stop a run within one
+//     check interval and return the partial top-k with its guaranteed
+//     bounds; RecommendStream additionally delivers a Progress frame
+//     (monotonically tightening bounds, access stats, bound gap) after
+//     every check. Typed sentinel errors (ErrEmptyGroup,
+//     ErrDuplicateMember, ErrPeriodOutOfRange, ErrKExceedsCandidates)
+//     classify client-shaped failures.
 //   - World.RecommendBatch scores many groups in one call — the shape
 //     of the paper's Figure 6 sweep — sharing candidate pools,
 //     sorted-list store views, and cached prediction rows across
-//     requests.
+//     requests; RecommendBatchContext threads one context through the
+//     whole sweep, so a single cancel stops every in-flight run.
 //   - internal/liststore precomputes per-user descending-sorted
 //     preference views over the popularity pool, so problems assemble
 //     by merge-and-patch (core.NewProblemFromViews) instead of
@@ -31,11 +42,14 @@
 //     the construction cost. World owns its lifecycle
 //     (Config.ListStoreSize, World.InvalidateUserViews).
 //   - internal/server (exposed as cmd/greca-serve) serves live HTTP
-//     traffic by coalescing concurrent single-group requests into
-//     RecommendBatch windows under a latency budget — per-request
-//     max_wait_ms caps a caller's delay, -maxpending sheds overload
-//     with 429s — with cache and coalescer counters
-//     (World.CacheStats) on /stats and graceful drain on shutdown.
+//     traffic on a versioned surface (/v1/recommend, /v1/recommend/
+//     batch, /v1/recommend/stream; legacy routes aliased) by
+//     coalescing concurrent single-group requests into RecommendBatch
+//     windows under a latency budget — per-request max_wait_ms caps a
+//     caller's delay, -maxpending sheds overload with 429s — with the
+//     stream route emitting SSE progress frames, machine-readable
+//     error codes on every 4xx, cache/coalescer/stream counters
+//     (World.CacheStats) on /stats, and graceful drain on shutdown.
 //
 // A minimal session:
 //
@@ -48,6 +62,20 @@
 //		fmt.Println(it.Item, it.Score)
 //	}
 //	fmt.Printf("accesses saved: %.1f%%\n", rec.Stats.Saveup())
+//
+// The same query under a deadline, consuming progressive snapshots:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	rec, err = w.RecommendStream(ctx, group, repro.Options{K: 5},
+//		func(p repro.Progress) bool {
+//			fmt.Printf("check %d: gap %.3f\n", p.Stats.Checks, p.BoundGap())
+//			return true // false stops early with the partial result
+//		})
+//	if err != nil && rec != nil {
+//		// Deadline hit: rec is the partial top-k known so far
+//		// (rec.Partial is true, bounds still guaranteed).
+//	}
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for
 // the paper-versus-measured record of every table and figure.

@@ -1,0 +1,20 @@
+package repro
+
+import "errors"
+
+// Typed sentinel errors for client-shaped request failures. Every
+// facade entry point (Recommend, RecommendContext, RecommendStream,
+// RecommendBatch) wraps these with request detail, so callers — the
+// HTTP layer in particular — branch with errors.Is instead of matching
+// message strings, and map each to a machine-readable error code.
+var (
+	// ErrEmptyGroup: the request named no group members.
+	ErrEmptyGroup = errors.New("empty group")
+	// ErrDuplicateMember: the same user appears twice in the group.
+	ErrDuplicateMember = errors.New("duplicate group member")
+	// ErrPeriodOutOfRange: Options.Period is outside [1, NumPeriods].
+	ErrPeriodOutOfRange = errors.New("period out of range")
+	// ErrKExceedsCandidates: Options.K exceeds the candidate pool the
+	// group's exclusions leave available.
+	ErrKExceedsCandidates = errors.New("k exceeds candidate count")
+)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,4 +56,34 @@ func main() {
 	for i, item := range plain.Items {
 		fmt.Printf("  %d. item %-5d score=%.4f\n", i+1, item.Item, item.Score)
 	}
+
+	// The anytime API: RecommendStream delivers a progressively
+	// tightening top-k after every stopping check — each frame's
+	// score..upper_bound intervals only shrink — and the consumer may
+	// stop whenever the bounds are good enough.
+	fmt.Println("\nstreaming the same query (first 3 frames):")
+	frames := 0
+	partial, err := world.RecommendStream(context.Background(), group,
+		repro.Options{K: 5, NumItems: 800},
+		func(p repro.Progress) bool {
+			frames++
+			fmt.Printf("  check %d: %d accesses, bound gap %.4f\n",
+				p.Stats.Checks, p.Stats.SequentialAccesses, p.BoundGap())
+			return frames < 3 // stop early: the partial result is returned
+		})
+	if err != nil {
+		log.Fatalf("streaming: %v", err)
+	}
+	fmt.Printf("stopped after %d frames (partial=%v, %d items so far)\n",
+		frames, partial.Partial, len(partial.Items))
+
+	// Cancellation: every facade call has a context form. A deadline
+	// (or an explicit cancel) stops the run within one stopping-check
+	// interval and returns the partial top-k computed so far alongside
+	// the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel immediately: the run stops before its first check
+	cut, err := world.RecommendContext(ctx, group, repro.Options{K: 5, NumItems: 800})
+	fmt.Printf("\ncancelled run: err=%v, partial=%v, stop=%v\n",
+		err, cut.Partial, cut.Stats.Stop)
 }

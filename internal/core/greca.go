@@ -64,6 +64,10 @@ const (
 	StopBuffer
 	// StopExhausted: every list was scanned to the end (no saveup).
 	StopExhausted
+	// StopCancelled: the run was abandoned mid-flight (context
+	// cancellation or a streaming consumer that stopped). Only partial
+	// snapshots carry this reason; a completed Run never does.
+	StopCancelled
 )
 
 // String names the reason.
@@ -75,6 +79,8 @@ func (r StopReason) String() string {
 		return "buffer"
 	case StopExhausted:
 		return "exhausted"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}
@@ -138,24 +144,16 @@ func itemKeyed(k ListKind) bool { return k == PrefList || k == AgreementList }
 
 // Run executes the problem in the given mode. The problem's cursors
 // are rewound first, so Run may be called repeatedly (not
-// concurrently).
+// concurrently). Run is the blocking closed loop over Runner — the
+// anytime form callers use to step, snapshot, and cancel mid-run.
 func (p *Problem) Run(mode Mode) (Result, error) {
-	if p.released {
-		return Result{}, fmt.Errorf("core: Run on a Problem whose buffers were Released")
+	r, err := p.Runner(mode)
+	if err != nil {
+		return Result{}, err
 	}
-	p.reset()
-	switch mode {
-	case ModeGRECA:
-		return p.runGRECA()
-	case ModeThresholdExact:
-		return p.runThresholdExact()
-	case ModeFullScan:
-		return p.runFullScan()
-	case ModeTA:
-		return p.runTA()
-	default:
-		return Result{}, fmt.Errorf("core: unknown mode %d", int(mode))
+	for !r.Step(1) {
 	}
+	return r.Result()
 }
 
 // RAPerItem is the number of random accesses the naive TA adaptation
@@ -169,60 +167,6 @@ func RAPerItem(g, T int) int {
 		return 1
 	}
 	return g + g*(g-1)*(1+T)
-}
-
-// runTA adapts the classic Threshold Algorithm: round-robin sorted
-// accesses over the preference lists only; every newly encountered
-// item is fully resolved via random accesses; stop when k exact
-// scores dominate the cursor-based threshold.
-func (p *Problem) runTA() (Result, error) {
-	ev := newEvaluator(p)
-	st := AccessStats{TotalEntries: p.totalEntries}
-	T := 0
-	if p.useAffinity {
-		T = p.in.Agg.NumPeriods()
-	}
-	raCost := RAPerItem(p.g, T)
-	if p.useAgreement {
-		raCost += p.nPairs // one agreement fetch per pair
-	}
-
-	exact := make(map[int]float64, 256)
-	for {
-		progressed := false
-		for _, l := range p.prefList {
-			e, ok := l.Next()
-			if !ok {
-				continue
-			}
-			progressed = true
-			st.SequentialAccesses++
-			ev.observe(l, e)
-			if _, done := exact[e.Key]; !done {
-				st.RandomAccesses += raCost
-				exact[e.Key] = ev.exactScore(e.Key)
-			}
-		}
-		st.Rounds++
-		st.Checks++
-		if len(exact) >= p.in.K {
-			topK := topKFromMap(exact, p.in.K)
-			kth := topK[p.in.K-1].LB
-			// TA threshold: the best score an unseen item could have
-			// given the preference cursors. Affinities are known
-			// exactly (random accesses fetched them), so the interval
-			// threshold is evaluated with point affinities.
-			ev.refreshAffinityExact()
-			if th := ev.threshold(); th <= kth {
-				st.Stop = StopThreshold
-				return Result{TopK: topK, Stats: st}, nil
-			}
-		}
-		if !progressed {
-			st.Stop = StopExhausted
-			return Result{TopK: topKFromMap(exact, p.in.K), Stats: st}, nil
-		}
-	}
 }
 
 func topKFromMap(exact map[int]float64, k int) []ItemScore {
@@ -240,24 +184,6 @@ func topKFromMap(exact map[int]float64, k int) []ItemScore {
 		k = len(all)
 	}
 	return all[:k]
-}
-
-func (p *Problem) runFullScan() (Result, error) {
-	ev := newEvaluator(p)
-	stats := AccessStats{TotalEntries: p.totalEntries, Stop: StopExhausted}
-	for _, l := range p.lists {
-		for {
-			e, ok := l.Next()
-			if !ok {
-				break
-			}
-			stats.SequentialAccesses++
-			ev.observe(l, e)
-		}
-	}
-	scores := ev.exactAll()
-	top := topKExact(scores, p.in.K)
-	return Result{TopK: top, Stats: stats}, nil
 }
 
 func topKExact(scores []float64, k int) []ItemScore {
@@ -279,189 +205,6 @@ func topKExact(scores []float64, k int) []ItemScore {
 		out[i] = ItemScore{Key: idx[i], LB: scores[idx[i]], UB: scores[idx[i]]}
 	}
 	return out
-}
-
-// runGRECA is Algorithm 1 with the incremental buffer strategy: after
-// each check round, candidates whose upper bound cannot beat the k-th
-// lower bound are pruned (the buffer condition applied continuously);
-// the run stops when only k candidates remain and the global threshold
-// cannot resurrect an unseen item.
-func (p *Problem) runGRECA() (Result, error) {
-	ev := newEvaluator(p)
-	st := AccessStats{TotalEntries: p.totalEntries}
-
-	cands := make([]*candidate, p.m) // indexed by item key; nil until seen
-	var alive []*candidate
-	checkEvery := p.in.CheckInterval
-	if checkEvery <= 0 {
-		checkEvery = 1
-	}
-	prunedToK := false // whether the buffer condition did any pruning
-
-	for {
-		progressed := false
-		for _, l := range p.lists {
-			e, ok := l.Next()
-			if !ok {
-				continue
-			}
-			progressed = true
-			st.SequentialAccesses++
-			ev.observe(l, e)
-			// Every item-keyed list entry makes the item a buffered
-			// candidate: once any of its components has been read the
-			// global threshold (which assumes cursor bounds for every
-			// component) no longer covers it, so it must carry its own
-			// bounds. Preference and agreement lists are item-keyed;
-			// affinity lists are pair-keyed.
-			if itemKeyed(l.Kind) && cands[e.Key] == nil {
-				c := &candidate{key: e.Key, alive: true}
-				cands[e.Key] = c
-				alive = append(alive, c)
-			}
-		}
-		if !progressed {
-			// All lists exhausted: every bound is now exact.
-			st.Rounds++
-			st.Checks++
-			st.Stop = StopExhausted
-			ev.refreshAffinity()
-			refreshBounds(ev, alive)
-			return Result{TopK: finalTopK(alive, p.in.K), Stats: st}, nil
-		}
-		st.Rounds++
-		if st.Rounds%checkEvery != 0 {
-			continue
-		}
-		st.Checks++
-
-		ev.refreshAffinity()
-		refreshBounds(ev, alive)
-		if len(alive) < p.in.K {
-			continue // not enough candidates yet
-		}
-		kthLB := kthLowerBound(alive, p.in.K)
-		th := ev.threshold()
-
-		// Buffer condition, applied incrementally: prune candidates
-		// whose UB is strictly below the k-th LB. Bounds only tighten
-		// as cursors advance, so a pruned item can never re-qualify.
-		pruned := prune(alive, kthLB, p.in.K)
-		if len(pruned) < len(alive) {
-			prunedToK = true
-		}
-		alive = pruned
-
-		// Termination. The threshold condition guards unseen items
-		// (they are not in the buffer); the buffer condition holds
-		// when the k-th LB is at least the UB of every candidate
-		// outside the k selected by lower bound. Non-strict
-		// comparison keeps exact score ties from forcing a full scan:
-		// an item tied with the k-th at ub == lb == kthLB cannot
-		// *exceed* any returned item, so the returned set is still a
-		// correct top-k itemset (the paper's partial-order result).
-		if th > kthLB {
-			continue
-		}
-		sorted := sortByLB(alive)
-		met := true
-		for _, c := range sorted[p.in.K:] {
-			if c.ub > kthLB {
-				met = false
-				break
-			}
-		}
-		if met {
-			if len(alive) > p.in.K || prunedToK {
-				st.Stop = StopBuffer
-			} else {
-				st.Stop = StopThreshold
-			}
-			return Result{TopK: toItemScores(sorted[:p.in.K]), Stats: st}, nil
-		}
-	}
-}
-
-// runThresholdExact is the conservative baseline: it only trusts fully
-// known (exact) scores, stopping when k items are fully resolved and
-// the k-th exact score dominates the threshold.
-func (p *Problem) runThresholdExact() (Result, error) {
-	ev := newEvaluator(p)
-	st := AccessStats{TotalEntries: p.totalEntries}
-
-	seen := make(map[int]struct{}, 256)
-	checkEvery := p.in.CheckInterval
-	if checkEvery <= 0 {
-		checkEvery = 1
-	}
-	for {
-		progressed := false
-		for _, l := range p.lists {
-			e, ok := l.Next()
-			if !ok {
-				continue
-			}
-			progressed = true
-			st.SequentialAccesses++
-			ev.observe(l, e)
-			if itemKeyed(l.Kind) {
-				seen[e.Key] = struct{}{}
-			}
-		}
-		if !progressed {
-			st.Rounds++
-			st.Checks++
-			st.Stop = StopExhausted
-			scores := ev.exactAll()
-			return Result{TopK: topKExact(scores, p.in.K), Stats: st}, nil
-		}
-		st.Rounds++
-		if st.Rounds%checkEvery != 0 {
-			continue
-		}
-		st.Checks++
-
-		ev.refreshAffinity()
-		if !ev.affinityFullyKnown() {
-			continue
-		}
-		exact := make([]ItemScore, 0, len(seen))
-		for key := range seen {
-			if !ev.fullyKnown(key) {
-				continue
-			}
-			iv := ev.scoreItem(key)
-			exact = append(exact, ItemScore{Key: key, LB: iv.Lo, UB: iv.Hi})
-		}
-		if len(exact) < p.in.K {
-			continue
-		}
-		sort.Slice(exact, func(a, b int) bool {
-			if exact[a].LB != exact[b].LB {
-				return exact[a].LB > exact[b].LB
-			}
-			return exact[a].Key < exact[b].Key
-		})
-		kth := exact[p.in.K-1].LB
-		if th := ev.threshold(); th <= kth {
-			// Unseen items cannot beat the k-th exact score; partially
-			// seen items might, so also require their UBs dominated.
-			ok := true
-			for key := range seen {
-				if ev.fullyKnown(key) {
-					continue
-				}
-				if iv := ev.scoreItem(key); iv.Hi > kth {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				st.Stop = StopThreshold
-				return Result{TopK: exact[:p.in.K], Stats: st}, nil
-			}
-		}
-	}
 }
 
 func refreshBounds(ev *evaluator, alive []*candidate) {

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SnapshotItem is one entry of a partial top-k: the item's current
+// guaranteed bounds and whether they have converged to an exact score.
+type SnapshotItem struct {
+	Key    int
+	LB, UB float64
+	// Resolved reports LB == UB: the score is exact, no further
+	// stepping can move this item's bounds.
+	Resolved bool
+}
+
+// Snapshot is a bounds-consistent view of a Runner between steps: the
+// current top-k ordered by descending lower bound, the work done so
+// far, and the state of the stopping conditions. Snapshots are
+// monotone across steps — an item's LB never decreases and its UB
+// never increases — because GRECA's cursor bounds only tighten as
+// lists are consumed.
+type Snapshot struct {
+	// TopK is the current top-k by lower bound (fewer than k items
+	// until k candidates have been buffered). For an unfinished run it
+	// is the best currently guaranteed itemset, not necessarily the
+	// final one.
+	TopK []SnapshotItem
+	// Stats is the work done so far; Stats.Stop is meaningful only
+	// when Done.
+	Stats AccessStats
+	// Threshold is the best score an unseen item could still reach, as
+	// of the last stopping check (0 before the first check).
+	Threshold float64
+	// KthLB is the k-th largest candidate lower bound at the last
+	// stopping check (0 until k candidates exist).
+	KthLB float64
+	// Evaluated reports whether Threshold and KthLB have actually been
+	// computed yet. GRECA evaluates them at every check, but the
+	// baseline modes reach their first threshold evaluation later
+	// (threshold-exact needs all affinities plus K exact items, TA
+	// needs K resolved items, full-scan never evaluates them) — until
+	// then the zero values would be indistinguishable from a converged
+	// run.
+	Evaluated bool
+	// Done reports whether the run has terminated.
+	Done bool
+}
+
+// BoundGap is Threshold − KthLB clamped at 0: how far the global
+// threshold still exceeds the k-th lower bound. It shrinks toward 0 as
+// the run converges (0 once the run is Done) and is +Inf while the
+// bounds have not yet been Evaluated, so "stop when the gap is small
+// enough" consumers never mistake an early frame for convergence.
+func (s Snapshot) BoundGap() float64 {
+	if s.Done {
+		return 0
+	}
+	if !s.Evaluated {
+		return math.Inf(1)
+	}
+	gap := s.Threshold - s.KthLB
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// stepper is one mode's resumable execution state. step advances one
+// unit of work (one stopping check for the round-based modes) and
+// reports termination; snapshot and result read the current state.
+type stepper interface {
+	step() bool
+	snapshot() Snapshot
+	result() Result
+}
+
+// Runner is a resumable execution of a Problem: the anytime form of
+// Run. Callers alternate Step with Snapshot to consume progressively
+// tightening partial top-k results, and may simply stop stepping to
+// cancel — the Problem and its buffers stay intact (Release still
+// applies when the caller owns pooled rows).
+//
+// One step is one stopping-check interval (CheckInterval round-robin
+// sweeps) for ModeGRECA and ModeThresholdExact, one sweep for ModeTA,
+// and one full list for ModeFullScan. Like Run, a Runner is not safe
+// for concurrent use, and only one Runner (or Run) may be active per
+// Problem at a time; creating a Runner rewinds the cursors.
+type Runner struct {
+	s    stepper
+	done bool
+}
+
+// Runner builds a resumable execution of p in the given mode. Run is
+// equivalent to Runner followed by stepping to completion, and is
+// implemented exactly that way, so the two cannot diverge.
+func (p *Problem) Runner(mode Mode) (*Runner, error) {
+	if p.released {
+		return nil, fmt.Errorf("core: Runner on a Problem whose buffers were Released")
+	}
+	p.reset()
+	var s stepper
+	switch mode {
+	case ModeGRECA:
+		s = newGrecaState(p)
+	case ModeThresholdExact:
+		s = newThresholdExactState(p)
+	case ModeFullScan:
+		s = newFullScanState(p)
+	case ModeTA:
+		s = newTAState(p)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", int(mode))
+	}
+	return &Runner{s: s}, nil
+}
+
+// Step advances the run by up to n steps, stopping early on
+// termination, and reports whether the run is done. n <= 0 is a no-op.
+func (r *Runner) Step(n int) bool {
+	for i := 0; i < n && !r.done; i++ {
+		r.done = r.s.step()
+	}
+	return r.done
+}
+
+// Done reports whether the run has terminated.
+func (r *Runner) Done() bool { return r.done }
+
+// Snapshot returns the current bounds-consistent partial top-k. After
+// the final step it describes the final result.
+func (r *Runner) Snapshot() Snapshot { return r.s.snapshot() }
+
+// Result returns the final result. It errors until Done.
+func (r *Runner) Result() (Result, error) {
+	if !r.done {
+		return Result{}, fmt.Errorf("core: Result on a Runner that is not Done")
+	}
+	return r.s.result(), nil
+}
+
+// trace installs a TracePoint observer (ModeGRECA runners only; a
+// no-op otherwise). Used by RunTraced.
+func (r *Runner) trace(observe func(TracePoint)) {
+	if gs, ok := r.s.(*grecaState); ok {
+		gs.observe = observe
+	}
+}
+
+// snapshotFromScores converts final ItemScores to snapshot items.
+func snapshotFromScores(topK []ItemScore) []SnapshotItem {
+	out := make([]SnapshotItem, len(topK))
+	for i, is := range topK {
+		out[i] = SnapshotItem{Key: is.Key, LB: is.LB, UB: is.UB, Resolved: is.LB == is.UB}
+	}
+	return out
+}
+
+// grecaState is the resumable form of Algorithm 1 with the incremental
+// buffer strategy (see the package comment on runGRECA semantics in
+// greca.go). One step runs round-robin sweeps up to and including the
+// next stopping check.
+type grecaState struct {
+	p          *Problem
+	ev         *evaluator
+	st         AccessStats
+	cands      []*candidate // indexed by item key; nil until seen
+	alive      []*candidate
+	checkEvery int
+	prunedToK  bool
+	// lastTh / lastKth are the stopping-check values as of the last
+	// check, for snapshots and trace points; evaluated marks that they
+	// have been computed at least once.
+	lastTh, lastKth float64
+	evaluated       bool
+	observe         func(TracePoint)
+	done            bool
+	res             Result
+}
+
+func newGrecaState(p *Problem) *grecaState {
+	checkEvery := p.in.CheckInterval
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	return &grecaState{
+		p:          p,
+		ev:         newEvaluator(p),
+		st:         AccessStats{TotalEntries: p.totalEntries},
+		cands:      make([]*candidate, p.m),
+		checkEvery: checkEvery,
+	}
+}
+
+func (s *grecaState) emit() {
+	if s.observe == nil {
+		return
+	}
+	s.observe(TracePoint{
+		Round:              s.st.Rounds,
+		SequentialAccesses: s.st.SequentialAccesses,
+		Threshold:          s.lastTh,
+		KthLB:              s.lastKth,
+		Alive:              len(s.alive),
+	})
+}
+
+func (s *grecaState) step() bool {
+	if s.done {
+		return true
+	}
+	for {
+		progressed := false
+		for _, l := range s.p.lists {
+			e, ok := l.Next()
+			if !ok {
+				continue
+			}
+			progressed = true
+			s.st.SequentialAccesses++
+			s.ev.observe(l, e)
+			// Every item-keyed list entry makes the item a buffered
+			// candidate: once any of its components has been read the
+			// global threshold (which assumes cursor bounds for every
+			// component) no longer covers it, so it must carry its own
+			// bounds. Preference and agreement lists are item-keyed;
+			// affinity lists are pair-keyed.
+			if itemKeyed(l.Kind) && s.cands[e.Key] == nil {
+				c := &candidate{key: e.Key, alive: true}
+				s.cands[e.Key] = c
+				s.alive = append(s.alive, c)
+			}
+		}
+		if !progressed {
+			// All lists exhausted: every bound is now exact.
+			s.st.Rounds++
+			s.st.Checks++
+			s.st.Stop = StopExhausted
+			s.ev.refreshAffinity()
+			refreshBounds(s.ev, s.alive)
+			s.lastTh = s.ev.threshold()
+			s.lastKth = kthLowerBound(s.alive, min(s.p.in.K, len(s.alive)))
+			s.evaluated = true
+			s.emit()
+			s.res = Result{TopK: finalTopK(s.alive, s.p.in.K), Stats: s.st}
+			s.done = true
+			return true
+		}
+		s.st.Rounds++
+		if s.st.Rounds%s.checkEvery != 0 {
+			continue
+		}
+		s.st.Checks++
+
+		s.ev.refreshAffinity()
+		refreshBounds(s.ev, s.alive)
+		if len(s.alive) < s.p.in.K {
+			s.lastTh, s.lastKth = s.ev.threshold(), 0
+			s.evaluated = true
+			s.emit()
+			return false // not enough candidates yet
+		}
+		kthLB := kthLowerBound(s.alive, s.p.in.K)
+		th := s.ev.threshold()
+
+		// Buffer condition, applied incrementally: prune candidates
+		// whose UB is strictly below the k-th LB. Bounds only tighten
+		// as cursors advance, so a pruned item can never re-qualify.
+		pruned := prune(s.alive, kthLB, s.p.in.K)
+		if len(pruned) < len(s.alive) {
+			s.prunedToK = true
+		}
+		s.alive = pruned
+		s.lastTh, s.lastKth = th, kthLB
+		s.evaluated = true
+		s.emit()
+
+		// Termination. The threshold condition guards unseen items
+		// (they are not in the buffer); the buffer condition holds
+		// when the k-th LB is at least the UB of every candidate
+		// outside the k selected by lower bound. Non-strict
+		// comparison keeps exact score ties from forcing a full scan:
+		// an item tied with the k-th at ub == lb == kthLB cannot
+		// *exceed* any returned item, so the returned set is still a
+		// correct top-k itemset (the paper's partial-order result).
+		if th > kthLB {
+			return false
+		}
+		sorted := sortByLB(s.alive)
+		met := true
+		for _, c := range sorted[s.p.in.K:] {
+			if c.ub > kthLB {
+				met = false
+				break
+			}
+		}
+		if !met {
+			return false
+		}
+		if len(s.alive) > s.p.in.K || s.prunedToK {
+			s.st.Stop = StopBuffer
+		} else {
+			s.st.Stop = StopThreshold
+		}
+		s.res = Result{TopK: toItemScores(sorted[:s.p.in.K]), Stats: s.st}
+		s.done = true
+		return true
+	}
+}
+
+func (s *grecaState) snapshot() Snapshot {
+	snap := Snapshot{
+		Stats:     s.st,
+		Threshold: s.lastTh,
+		KthLB:     s.lastKth,
+		Evaluated: s.evaluated,
+		Done:      s.done,
+	}
+	if s.done {
+		snap.TopK = snapshotFromScores(s.res.TopK)
+		return snap
+	}
+	// Candidate bounds were refreshed at the last stopping check —
+	// exactly where step returns — so the alive set is consistent.
+	sorted := sortByLB(s.alive)
+	k := s.p.in.K
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	snap.TopK = make([]SnapshotItem, k)
+	for i, c := range sorted[:k] {
+		snap.TopK[i] = SnapshotItem{Key: c.key, LB: c.lb, UB: c.ub, Resolved: c.lb == c.ub}
+	}
+	return snap
+}
+
+func (s *grecaState) result() Result { return s.res }
+
+// thresholdExactState is the resumable conservative baseline: it only
+// trusts fully known (exact) scores, stopping when k items are fully
+// resolved and the k-th exact score dominates the threshold. One step
+// advances through the next stopping check.
+type thresholdExactState struct {
+	p          *Problem
+	ev         *evaluator
+	st         AccessStats
+	seen       map[int]struct{}
+	checkEvery int
+	lastTh     float64
+	evaluated  bool
+	done       bool
+	res        Result
+}
+
+func newThresholdExactState(p *Problem) *thresholdExactState {
+	checkEvery := p.in.CheckInterval
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	return &thresholdExactState{
+		p:          p,
+		ev:         newEvaluator(p),
+		st:         AccessStats{TotalEntries: p.totalEntries},
+		seen:       make(map[int]struct{}, 256),
+		checkEvery: checkEvery,
+	}
+}
+
+func (s *thresholdExactState) step() bool {
+	if s.done {
+		return true
+	}
+	for {
+		progressed := false
+		for _, l := range s.p.lists {
+			e, ok := l.Next()
+			if !ok {
+				continue
+			}
+			progressed = true
+			s.st.SequentialAccesses++
+			s.ev.observe(l, e)
+			if itemKeyed(l.Kind) {
+				s.seen[e.Key] = struct{}{}
+			}
+		}
+		if !progressed {
+			s.st.Rounds++
+			s.st.Checks++
+			s.st.Stop = StopExhausted
+			scores := s.ev.exactAll()
+			s.res = Result{TopK: topKExact(scores, s.p.in.K), Stats: s.st}
+			s.done = true
+			return true
+		}
+		s.st.Rounds++
+		if s.st.Rounds%s.checkEvery != 0 {
+			continue
+		}
+		s.st.Checks++
+
+		s.ev.refreshAffinity()
+		if !s.ev.affinityFullyKnown() {
+			return false
+		}
+		exact := s.exactSeen()
+		if len(exact) < s.p.in.K {
+			return false
+		}
+		kth := exact[s.p.in.K-1].LB
+		th := s.ev.threshold()
+		s.lastTh = th
+		s.evaluated = true
+		if th <= kth {
+			// Unseen items cannot beat the k-th exact score; partially
+			// seen items might, so also require their UBs dominated.
+			ok := true
+			for key := range s.seen {
+				if s.ev.fullyKnown(key) {
+					continue
+				}
+				if iv := s.ev.scoreItem(key); iv.Hi > kth {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				s.st.Stop = StopThreshold
+				s.res = Result{TopK: exact[:s.p.in.K], Stats: s.st}
+				s.done = true
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// exactSeen collects the fully known seen items, sorted descending by
+// exact score (ties by ascending key).
+func (s *thresholdExactState) exactSeen() []ItemScore {
+	exact := make([]ItemScore, 0, len(s.seen))
+	for key := range s.seen {
+		if !s.ev.fullyKnown(key) {
+			continue
+		}
+		iv := s.ev.scoreItem(key)
+		exact = append(exact, ItemScore{Key: key, LB: iv.Lo, UB: iv.Hi})
+	}
+	sort.Slice(exact, func(a, b int) bool {
+		if exact[a].LB != exact[b].LB {
+			return exact[a].LB > exact[b].LB
+		}
+		return exact[a].Key < exact[b].Key
+	})
+	return exact
+}
+
+func (s *thresholdExactState) snapshot() Snapshot {
+	snap := Snapshot{Stats: s.st, Threshold: s.lastTh, Evaluated: s.evaluated, Done: s.done}
+	if s.done {
+		snap.TopK = snapshotFromScores(s.res.TopK)
+		return snap
+	}
+	// This baseline only ever trusts exact scores, so its partial
+	// top-k is the best fully resolved items so far (empty until the
+	// affinity components are all known).
+	if !s.ev.affinityFullyKnown() {
+		return snap
+	}
+	exact := s.exactSeen()
+	k := s.p.in.K
+	if k > len(exact) {
+		k = len(exact)
+	}
+	snap.TopK = snapshotFromScores(exact[:k])
+	if len(exact) >= s.p.in.K {
+		snap.KthLB = exact[s.p.in.K-1].LB
+	}
+	return snap
+}
+
+func (s *thresholdExactState) result() Result { return s.res }
+
+// fullScanState reads every entry of every list and ranks by exact
+// score. One step drains one list; the final step computes the
+// ranking. Its snapshots carry no partial top-k: exact scores exist
+// only once every component is known.
+type fullScanState struct {
+	p    *Problem
+	ev   *evaluator
+	st   AccessStats
+	next int // index of the next list to drain
+	done bool
+	res  Result
+}
+
+func newFullScanState(p *Problem) *fullScanState {
+	return &fullScanState{
+		p:  p,
+		ev: newEvaluator(p),
+		st: AccessStats{TotalEntries: p.totalEntries, Stop: StopExhausted},
+	}
+}
+
+func (s *fullScanState) step() bool {
+	if s.done {
+		return true
+	}
+	l := s.p.lists[s.next]
+	for {
+		e, ok := l.Next()
+		if !ok {
+			break
+		}
+		s.st.SequentialAccesses++
+		s.ev.observe(l, e)
+	}
+	s.next++
+	if s.next < len(s.p.lists) {
+		return false
+	}
+	scores := s.ev.exactAll()
+	s.res = Result{TopK: topKExact(scores, s.p.in.K), Stats: s.st}
+	s.done = true
+	return true
+}
+
+func (s *fullScanState) snapshot() Snapshot {
+	snap := Snapshot{Stats: s.st, Done: s.done}
+	if s.done {
+		snap.TopK = snapshotFromScores(s.res.TopK)
+	}
+	return snap
+}
+
+func (s *fullScanState) result() Result { return s.res }
+
+// taState is the resumable naive Threshold Algorithm adaptation:
+// round-robin sorted accesses over the preference lists only, with
+// every newly encountered item fully resolved via random accesses. One
+// step is one sweep (every sweep checks the stopping condition).
+type taState struct {
+	p      *Problem
+	ev     *evaluator
+	st     AccessStats
+	raCost int
+	exact  map[int]float64
+	lastTh float64
+	evald  bool
+	done   bool
+	res    Result
+}
+
+func newTAState(p *Problem) *taState {
+	T := 0
+	if p.useAffinity {
+		T = p.in.Agg.NumPeriods()
+	}
+	raCost := RAPerItem(p.g, T)
+	if p.useAgreement {
+		raCost += p.nPairs // one agreement fetch per pair
+	}
+	return &taState{
+		p:      p,
+		ev:     newEvaluator(p),
+		st:     AccessStats{TotalEntries: p.totalEntries},
+		raCost: raCost,
+		exact:  make(map[int]float64, 256),
+	}
+}
+
+func (s *taState) step() bool {
+	if s.done {
+		return true
+	}
+	progressed := false
+	for _, l := range s.p.prefList {
+		e, ok := l.Next()
+		if !ok {
+			continue
+		}
+		progressed = true
+		s.st.SequentialAccesses++
+		s.ev.observe(l, e)
+		if _, done := s.exact[e.Key]; !done {
+			s.st.RandomAccesses += s.raCost
+			s.exact[e.Key] = s.ev.exactScore(e.Key)
+		}
+	}
+	s.st.Rounds++
+	s.st.Checks++
+	if len(s.exact) >= s.p.in.K {
+		topK := topKFromMap(s.exact, s.p.in.K)
+		kth := topK[s.p.in.K-1].LB
+		// TA threshold: the best score an unseen item could have
+		// given the preference cursors. Affinities are known
+		// exactly (random accesses fetched them), so the interval
+		// threshold is evaluated with point affinities.
+		s.ev.refreshAffinityExact()
+		th := s.ev.threshold()
+		s.lastTh = th
+		s.evald = true
+		if th <= kth {
+			s.st.Stop = StopThreshold
+			s.res = Result{TopK: topK, Stats: s.st}
+			s.done = true
+			return true
+		}
+	}
+	if !progressed {
+		s.st.Stop = StopExhausted
+		s.res = Result{TopK: topKFromMap(s.exact, s.p.in.K), Stats: s.st}
+		s.done = true
+		return true
+	}
+	return false
+}
+
+func (s *taState) snapshot() Snapshot {
+	snap := Snapshot{Stats: s.st, Threshold: s.lastTh, Evaluated: s.evald, Done: s.done}
+	if s.done {
+		snap.TopK = snapshotFromScores(s.res.TopK)
+		return snap
+	}
+	k := s.p.in.K
+	if k > len(s.exact) {
+		k = len(s.exact)
+	}
+	if k > 0 {
+		snap.TopK = snapshotFromScores(topKFromMap(s.exact, k))
+		if len(s.exact) >= s.p.in.K {
+			snap.KthLB = snap.TopK[s.p.in.K-1].LB
+		}
+	}
+	return snap
+}
+
+func (s *taState) result() Result { return s.res }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

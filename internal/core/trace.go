@@ -19,111 +19,19 @@ type TracePoint struct {
 
 // RunTraced executes GRECA like Run(ModeGRECA) while streaming a
 // TracePoint to observe at every stopping check. observe must not
-// retain its argument across calls.
+// retain its argument across calls. It runs on the same stepper state
+// machine as Run and Runner (the observer hooks into the GRECA
+// stepper), so the three cannot diverge.
 func (p *Problem) RunTraced(observe func(TracePoint)) (Result, error) {
 	if observe == nil {
 		return p.Run(ModeGRECA)
 	}
-	p.reset()
-	return p.runGRECATraced(observe)
-}
-
-// runGRECATraced mirrors runGRECA with instrumentation. The two are
-// kept in sync by TestRunTracedMatchesRun.
-func (p *Problem) runGRECATraced(observe func(TracePoint)) (Result, error) {
-	ev := newEvaluator(p)
-	st := AccessStats{TotalEntries: p.totalEntries}
-
-	cands := make([]*candidate, p.m)
-	var alive []*candidate
-	checkEvery := p.in.CheckInterval
-	if checkEvery <= 0 {
-		checkEvery = 1
+	r, err := p.Runner(ModeGRECA)
+	if err != nil {
+		return Result{}, err
 	}
-	prunedToK := false
-
-	emit := func(th, kth float64) {
-		observe(TracePoint{
-			Round:              st.Rounds,
-			SequentialAccesses: st.SequentialAccesses,
-			Threshold:          th,
-			KthLB:              kth,
-			Alive:              len(alive),
-		})
+	r.trace(observe)
+	for !r.Step(1) {
 	}
-
-	for {
-		progressed := false
-		for _, l := range p.lists {
-			e, ok := l.Next()
-			if !ok {
-				continue
-			}
-			progressed = true
-			st.SequentialAccesses++
-			ev.observe(l, e)
-			if itemKeyed(l.Kind) && cands[e.Key] == nil {
-				c := &candidate{key: e.Key, alive: true}
-				cands[e.Key] = c
-				alive = append(alive, c)
-			}
-		}
-		if !progressed {
-			st.Rounds++
-			st.Checks++
-			st.Stop = StopExhausted
-			ev.refreshAffinity()
-			refreshBounds(ev, alive)
-			emit(ev.threshold(), kthLowerBound(alive, min(p.in.K, len(alive))))
-			return Result{TopK: finalTopK(alive, p.in.K), Stats: st}, nil
-		}
-		st.Rounds++
-		if st.Rounds%checkEvery != 0 {
-			continue
-		}
-		st.Checks++
-
-		ev.refreshAffinity()
-		refreshBounds(ev, alive)
-		if len(alive) < p.in.K {
-			emit(ev.threshold(), 0)
-			continue
-		}
-		kthLB := kthLowerBound(alive, p.in.K)
-		th := ev.threshold()
-
-		pruned := prune(alive, kthLB, p.in.K)
-		if len(pruned) < len(alive) {
-			prunedToK = true
-		}
-		alive = pruned
-		emit(th, kthLB)
-
-		if th > kthLB {
-			continue
-		}
-		sorted := sortByLB(alive)
-		met := true
-		for _, c := range sorted[p.in.K:] {
-			if c.ub > kthLB {
-				met = false
-				break
-			}
-		}
-		if met {
-			if len(alive) > p.in.K || prunedToK {
-				st.Stop = StopBuffer
-			} else {
-				st.Stop = StopThreshold
-			}
-			return Result{TopK: toItemScores(sorted[:p.in.K]), Stats: st}, nil
-		}
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return r.Result()
 }

@@ -168,6 +168,12 @@ func (c *Coalescer) Submit(ctx context.Context, req repro.Request) (repro.Result
 // configured window (a caller can trade batching for freshness, not
 // extend another caller's delay); 0 or negative means the full window.
 func (c *Coalescer) SubmitWithin(ctx context.Context, req repro.Request, maxWait time.Duration) (repro.Result, error) {
+	// A caller that is already cancelled must not occupy a window
+	// slot: its result would be discarded, but the dispatch (and any
+	// LimitPending budget it consumed) would still happen.
+	if err := ctx.Err(); err != nil {
+		return repro.Result{}, err
+	}
 	w := waiter{req: req, ch: make(chan repro.Result, 1)}
 	c.mu.Lock()
 	if c.closed {

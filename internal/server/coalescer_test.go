@@ -399,16 +399,42 @@ func TestCoalescerCloseDrains(t *testing.T) {
 	}
 }
 
-// TestCoalescerContextCancel proves an abandoning caller gets its
-// context error while the request still dispatches harmlessly.
+// TestCoalescerContextCancel proves the per-caller context contract:
+// an already-cancelled caller fails fast without occupying a window
+// slot, while a caller that abandons after parking gets its context
+// error and the request still dispatches harmlessly.
 func TestCoalescerContextCancel(t *testing.T) {
 	d := &markerDispatcher{}
 	c := NewCoalescer(d.dispatch, 50*time.Millisecond, 64)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := c.Submit(ctx, repro.Request{Options: repro.Options{K: 1}}); err != context.Canceled {
+	// Pre-cancelled: rejected before parking — no window opens.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := c.Submit(pre, repro.Request{Options: repro.Options{K: 1}}); err != context.Canceled {
 		t.Errorf("submit with canceled context: err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Requests != 0 || st.Pending != 0 {
+		t.Errorf("pre-cancelled submit was parked: %+v", st)
+	}
+
+	// Abandoned mid-window: the caller unblocks with ctx.Err() but the
+	// parked request is still dispatched when the window cuts.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(ctx, repro.Request{Options: repro.Options{K: 2}})
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Pending == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Errorf("abandoning submit: err = %v, want context.Canceled", err)
 	}
 	c.Close() // flushes the abandoned request's window
 	windows := d.snapshot()

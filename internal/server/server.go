@@ -31,21 +31,28 @@ type Config struct {
 	Window time.Duration
 	// MaxBatch is the coalescing batch bound (DefaultMaxBatch if 0).
 	MaxBatch int
-	// MaxPending bounds parked /recommend callers; beyond it requests
-	// are shed with 429 + Retry-After instead of queueing (0 =
-	// unbounded).
+	// MaxPending bounds parked /recommend callers and, independently,
+	// concurrent /recommend/stream runs; beyond it requests are shed
+	// with 429 + Retry-After instead of queueing (0 = unbounded).
 	MaxPending int
 }
 
-// Server exposes a World over HTTP:
+// Server exposes a World over a versioned HTTP surface:
 //
-//	POST /recommend        one group; coalesced into batch windows
-//	POST /recommend/batch  many groups; dispatched as its own batch
-//	GET  /healthz          liveness
-//	GET  /stats            coalescer, batch, and engine-cache counters
+//	POST /v1/recommend         one group; coalesced into batch windows
+//	POST /v1/recommend/batch   many groups; dispatched as its own batch
+//	POST /v1/recommend/stream  SSE: progress frames, then a terminal frame
+//	GET  /v1/healthz           liveness
+//	GET  /v1/stats             coalescer, batch, stream, and cache counters
+//
+// The legacy unversioned routes (/recommend, /recommend/batch,
+// /healthz, /stats) are aliases of their /v1 forms and serve identical
+// responses.
 //
 // Client-shaped failures (malformed JSON, unknown users, negative K)
-// map to 400s; only transport-level surprises produce 5xx.
+// map to 400s with a machine-readable "code" field; unknown methods on
+// known routes map to 405 with an Allow header; only transport-level
+// surprises produce 5xx.
 type Server struct {
 	world *repro.World
 	co    *Coalescer
@@ -58,6 +65,22 @@ type Server struct {
 	// which bypasses the coalescer (it is already a batch).
 	batchCalls    atomic.Uint64
 	batchRequests atomic.Uint64
+	// streamCalls / streamFrames / streamCancels count the SSE
+	// endpoint, which bypasses the coalescer too (a stream is pinned
+	// to its own runner for its whole life).
+	streamCalls   atomic.Uint64
+	streamFrames  atomic.Uint64
+	streamCancels atomic.Uint64
+	// maxStreams bounds concurrent SSE streams (Config.MaxPending; 0 =
+	// unbounded): streams bypass the coalescer and its LimitPending
+	// shedding, so they carry their own. activeStreams counts the
+	// in-flight ones.
+	maxStreams    int
+	activeStreams atomic.Int64
+	// streamFrameDelay paces SSE frame emission so tests can pin
+	// mid-flight cancellation deterministically; always zero in
+	// production (set before serving, never mutated concurrently).
+	streamFrameDelay time.Duration
 }
 
 // New builds a Server over world. The caller owns shutdown ordering:
@@ -70,15 +93,21 @@ func New(world *repro.World, cfg Config) *Server {
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
 		participants: make(map[dataset.UserID]bool, len(world.Participants())),
+		maxStreams:   cfg.MaxPending,
 	}
 	s.co.LimitPending(cfg.MaxPending)
 	for _, u := range world.Participants() {
 		s.participants[u] = true
 	}
-	s.mux.HandleFunc("/recommend", s.handleRecommend)
-	s.mux.HandleFunc("/recommend/batch", s.handleBatch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	// The /v1 routes are the API; the unversioned forms are
+	// compatibility aliases for pre-v1 clients.
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc(prefix+"/recommend", s.handleRecommend)
+		s.mux.HandleFunc(prefix+"/recommend/batch", s.handleBatch)
+		s.mux.HandleFunc(prefix+"/recommend/stream", s.handleStream)
+		s.mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
+		s.mux.HandleFunc(prefix+"/stats", s.handleStats)
+	}
 	return s
 }
 
@@ -106,6 +135,10 @@ type recommendRequest struct {
 	// clamped to the server's window (0 = the full window). Callers
 	// trade batch amortization for freshness per request.
 	MaxWaitMS int `json:"max_wait_ms,omitempty"`
+	// ProgressEvery thins the stream endpoint's progress frames to
+	// every N-th stopping check (0 = every check). Accepted but moot
+	// on the non-streaming routes, like max_wait_ms on batch.
+	ProgressEvery int `json:"progress_every,omitempty"`
 }
 
 // batchRequest is the wire form of POST /recommend/batch.
@@ -135,32 +168,81 @@ type batchResponse struct {
 	Results []batchResult `json:"results"`
 }
 
-// batchResult carries one request's response or its error; exactly one
-// field is set.
+// batchResult carries one request's response or its error (with its
+// machine-readable code); exactly one of Response and Error is set.
 type batchResult struct {
 	Response *recommendResponse `json:"response,omitempty"`
 	Error    string             `json:"error,omitempty"`
+	Code     string             `json:"code,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class (e.g. "empty_group",
+	// "method_not_allowed"); see errorCode for the client-fault set.
+	Code string `json:"code,omitempty"`
+}
+
+// errUnknownUser marks group members outside the study population;
+// wrapped with the offending id by validateGroup.
+var errUnknownUser = errors.New("unknown user")
+
+// errorCode maps a client-shaped failure onto its wire code. The
+// facade's typed sentinels cover engine-side validation; the rest are
+// the server's own decode/validation failures.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, repro.ErrEmptyGroup):
+		return "empty_group"
+	case errors.Is(err, repro.ErrDuplicateMember):
+		return "duplicate_member"
+	case errors.Is(err, repro.ErrPeriodOutOfRange):
+		return "period_out_of_range"
+	case errors.Is(err, repro.ErrKExceedsCandidates):
+		return "k_exceeds_candidates"
+	case errors.Is(err, errUnknownUser):
+		return "unknown_user"
+	default:
+		return "bad_request"
+	}
+}
+
+// allowMethod guards a route's HTTP method: a mismatch answers 405
+// with the Allow header (never falling through to the decoder as a
+// 400) and reports false.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", method+" required")
+	return false
+}
+
+// decodeWire strictly parses the raw body into the wire form: unknown
+// fields, trailing garbage, and fractional numbers are all rejected.
+func decodeWire(data []byte) (recommendRequest, error) {
+	var wire recommendRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return recommendRequest{}, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return recommendRequest{}, fmt.Errorf("trailing data after request object")
+	}
+	return wire, nil
 }
 
 // decodeRecommendRequest parses and validates one wire request into an
 // engine request plus the caller's coalescing budget (0 = the full
 // window). It is a pure function of its input (no world access) so it
 // can be fuzzed in isolation; membership validation happens in
-// validateGroup. The decoder is strict: unknown fields, trailing
-// garbage, and fractional numbers are all rejected.
+// validateGroup.
 func decodeRecommendRequest(data []byte) (repro.Request, time.Duration, error) {
-	var wire recommendRequest
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&wire); err != nil {
-		return repro.Request{}, 0, fmt.Errorf("decoding request: %w", err)
-	}
-	if dec.More() {
-		return repro.Request{}, 0, fmt.Errorf("trailing data after request object")
+	wire, err := decodeWire(data)
+	if err != nil {
+		return repro.Request{}, 0, err
 	}
 	return wireToRequest(wire)
 }
@@ -169,7 +251,7 @@ func decodeRecommendRequest(data []byte) (repro.Request, time.Duration, error) {
 // engine's Request and the caller's max coalescing wait.
 func wireToRequest(wire recommendRequest) (repro.Request, time.Duration, error) {
 	if len(wire.Group) == 0 {
-		return repro.Request{}, 0, fmt.Errorf("empty group")
+		return repro.Request{}, 0, repro.ErrEmptyGroup
 	}
 	if wire.K < 0 {
 		return repro.Request{}, 0, fmt.Errorf("negative k %d", wire.K)
@@ -188,6 +270,9 @@ func wireToRequest(wire recommendRequest) (repro.Request, time.Duration, error) 
 		// past an hour is a client bug, and unbounded values would
 		// overflow the duration conversion.
 		return repro.Request{}, 0, fmt.Errorf("max_wait_ms %d exceeds bound %d", wire.MaxWaitMS, maxWaitBoundMS)
+	}
+	if wire.ProgressEvery < 0 {
+		return repro.Request{}, 0, fmt.Errorf("negative progress_every %d", wire.ProgressEvery)
 	}
 	spec, err := consensus.Parse(wire.Consensus)
 	if err != nil {
@@ -223,10 +308,10 @@ func (s *Server) validateGroup(group []dataset.UserID) error {
 	seen := make(map[dataset.UserID]bool, len(group))
 	for _, u := range group {
 		if !s.participants[u] {
-			return fmt.Errorf("unknown user %d (participants are 0..%d)", u, len(s.participants)-1)
+			return fmt.Errorf("%w %d (participants are 0..%d)", errUnknownUser, u, len(s.participants)-1)
 		}
 		if seen[u] {
-			return fmt.Errorf("duplicate group member %d", u)
+			return fmt.Errorf("%w %d", repro.ErrDuplicateMember, u)
 		}
 		seen[u] = true
 	}
@@ -253,8 +338,7 @@ func toResponse(rec *repro.Recommendation) *recommendResponse {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	body, err := readBody(w, r)
@@ -263,43 +347,42 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	req, maxWait, err := decodeRecommendRequest(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, errorCode(err), err.Error())
 		return
 	}
 	if err := s.validateGroup(req.Group); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, errorCode(err), err.Error())
 		return
 	}
 	res, err := s.co.SubmitWithin(r.Context(), req, maxWait)
 	switch {
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, "draining", "server draining")
 		return
 	case errors.Is(err, ErrOverloaded):
 		// Shed load before it queues: tell the client when the current
 		// backlog has had a window's worth of time to clear.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.co.Window())))
-		writeError(w, http.StatusTooManyRequests, "too many pending requests")
+		writeError(w, http.StatusTooManyRequests, "overloaded", "too many pending requests")
 		return
 	case err != nil: // caller's context expired
-		writeError(w, http.StatusRequestTimeout, err.Error())
+		writeError(w, http.StatusRequestTimeout, "timeout", err.Error())
 		return
 	case errors.Is(res.Err, ErrDispatch):
 		// A broken dispatcher is a server fault, not a client one.
-		writeError(w, http.StatusInternalServerError, res.Err.Error())
+		writeError(w, http.StatusInternalServerError, "dispatch_failed", res.Err.Error())
 		return
 	case res.Err != nil:
 		// Everything else the engine rejects at this point is input-
 		// shaped (period out of range, K exceeding the pool, ...).
-		writeError(w, http.StatusBadRequest, res.Err.Error())
+		writeError(w, http.StatusBadRequest, errorCode(res.Err), res.Err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(res.Recommendation))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	body, err := readBody(w, r)
@@ -310,11 +393,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&wire); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding batch: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding batch: "+err.Error())
 		return
 	}
 	if len(wire.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, "empty_batch", "empty batch")
 		return
 	}
 
@@ -331,7 +414,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			err = s.validateGroup(req.Group)
 		}
 		if err != nil {
-			results[i] = batchResult{Error: err.Error()}
+			results[i] = batchResult{Error: err.Error(), Code: errorCode(err)}
 			continue
 		}
 		reqs = append(reqs, req)
@@ -340,9 +423,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(reqs) > 0 {
 		s.batchCalls.Add(1)
 		s.batchRequests.Add(uint64(len(reqs)))
-		for j, res := range s.world.RecommendBatch(reqs) {
+		// The caller's context threads through the whole sweep: one
+		// client disconnect cancels every in-flight run of its batch.
+		for j, res := range s.world.RecommendBatchContext(r.Context(), reqs) {
 			if res.Err != nil {
-				results[slots[j]] = batchResult{Error: res.Err.Error()}
+				results[slots[j]] = batchResult{Error: res.Err.Error(), Code: errorCode(res.Err)}
 			} else {
 				results[slots[j]] = batchResult{Response: toResponse(res.Recommendation)}
 			}
@@ -352,8 +437,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -367,6 +451,7 @@ type statsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Coalescer     CoalescerStats   `json:"coalescer"`
 	Batch         batchStats       `json:"batch"`
+	Stream        streamStats      `json:"stream"`
 	Caches        repro.CacheStats `json:"caches"`
 	World         worldStats       `json:"world"`
 }
@@ -374,6 +459,14 @@ type statsResponse struct {
 type batchStats struct {
 	Calls    uint64 `json:"calls"`
 	Requests uint64 `json:"requests"`
+}
+
+// streamStats counts the SSE endpoint: accepted streams, progress
+// frames written, and streams abandoned by the client mid-flight.
+type streamStats struct {
+	Calls   uint64 `json:"calls"`
+	Frames  uint64 `json:"frames"`
+	Cancels uint64 `json:"cancels"`
 }
 
 type worldStats struct {
@@ -385,8 +478,7 @@ type worldStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	ds := s.world.Ratings().Stats()
@@ -396,6 +488,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batch: batchStats{
 			Calls:    s.batchCalls.Load(),
 			Requests: s.batchRequests.Load(),
+		},
+		Stream: streamStats{
+			Calls:   s.streamCalls.Load(),
+			Frames:  s.streamFrames.Load(),
+			Cancels: s.streamCancels.Load(),
 		},
 		Caches: s.world.CacheStats(),
 		World: worldStats{
@@ -417,10 +514,10 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 		} else {
-			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
 		}
 		return nil, err
 	}
@@ -443,6 +540,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }

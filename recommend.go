@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -90,6 +91,11 @@ type Options struct {
 	// CheckInterval is GRECA's stopping-check cadence in rounds
 	// (1 = every round).
 	CheckInterval int
+	// ProgressEvery thins RecommendStream's progress frames to every
+	// N-th stopping check (0 or 1 = every check). The terminal frame
+	// is never thinned. Skipped checks build no snapshot, so large
+	// values make streaming nearly as cheap as RecommendContext.
+	ProgressEvery int
 	// MonolithicAffinityLists disables the paper's per-user
 	// partitioning of affinity lists (ablation).
 	MonolithicAffinityLists bool
@@ -149,28 +155,19 @@ type Recommendation struct {
 	Stats core.AccessStats
 	// Period is the resolved "now" period index.
 	Period int
+	// Partial marks a recommendation cut short before the stopping
+	// conditions were met — a cancelled context or a streaming
+	// consumer that stopped. Items then carry the best bounds known at
+	// interruption (possibly fewer than K of them) and Stats.Stop is
+	// core.StopCancelled. Completed runs always have Partial false.
+	Partial bool
 }
 
 // Recommend computes the top-k itemset for the ad-hoc group under opt.
+// It is RecommendContext under a background context — a blocking,
+// uncancellable call kept for compatibility.
 func (w *World) Recommend(group []dataset.UserID, opt Options) (*Recommendation, error) {
-	prob, items, period, release, err := w.buildProblem(group, &opt)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	res, err := prob.Run(opt.Mode)
-	if err != nil {
-		return nil, err
-	}
-	rec := &Recommendation{Stats: res.Stats, Period: period}
-	for _, is := range res.TopK {
-		rec.Items = append(rec.Items, ScoredItem{
-			Item:       items[is.Key],
-			Score:      is.LB,
-			UpperBound: is.UB,
-		})
-	}
-	return rec, nil
+	return w.RecommendContext(context.Background(), group, opt)
 }
 
 // BuildProblem exposes the assembled core problem for benchmarks and
@@ -193,12 +190,12 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		return nil, nil, 0, noRelease, err
 	}
 	if len(group) < 1 {
-		return nil, nil, 0, noRelease, fmt.Errorf("repro: empty group")
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: %w", ErrEmptyGroup)
 	}
 	seen := make(map[dataset.UserID]bool, len(group))
 	for _, u := range group {
 		if seen[u] {
-			return nil, nil, 0, noRelease, fmt.Errorf("repro: duplicate group member %d", u)
+			return nil, nil, 0, noRelease, fmt.Errorf("repro: %w %d", ErrDuplicateMember, u)
 		}
 		seen[u] = true
 	}
@@ -207,7 +204,7 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	period := last
 	if opt.Period != 0 {
 		if opt.Period < 1 || opt.Period > last+1 {
-			return nil, nil, 0, noRelease, fmt.Errorf("repro: period %d outside [1,%d]", opt.Period, last+1)
+			return nil, nil, 0, noRelease, fmt.Errorf("repro: %w: period %d outside [1,%d]", ErrPeriodOutOfRange, opt.Period, last+1)
 		}
 		period = opt.Period - 1
 	}
@@ -220,7 +217,7 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		return nil, nil, 0, noRelease, fmt.Errorf("repro: no candidate items for group")
 	}
 	if opt.K > len(items) {
-		return nil, nil, 0, noRelease, fmt.Errorf("repro: K=%d exceeds candidate count %d", opt.K, len(items))
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: %w: K=%d exceeds candidate count %d", ErrKExceedsCandidates, opt.K, len(items))
 	}
 
 	g := len(group)
