@@ -7,14 +7,25 @@
 //
 //	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
-//	            [-liststore 1024] [-workers N] [-v]
+//	            [-liststore 1024] [-shards 1] [-workers N] [-v]
+//
+// -shards partitions every per-user structure (rating arenas, CF
+// caches, sorted-list sub-stores, affinity pair tables) N ways by
+// hashing on UserID; recommendations are identical for every shard
+// count. -rowcache, -liststore, and -shards must be positive — a
+// zero or negative size is a usage error, not a silent clamp.
 //
 // Endpoints (API v1; the unversioned routes are compatibility
 // aliases):
 //
 //	POST /v1/recommend         {"group":[1,5,9],"k":10,"num_items":3900,
 //	                            "consensus":"AP","model":"discrete","period":0,
-//	                            "max_wait_ms":0}
+//	                            "max_wait_ms":0,"epsilon":0}
+//	                           epsilon > 0 enables bound-gap ε stopping:
+//	                           the run ends once the threshold/kth-LB
+//	                           gap sinks below ε, answering with the
+//	                           ε-approximate top-k ("stop":"epsilon",
+//	                           "partial":true).
 //	POST /v1/recommend/batch   {"requests":[{...},{...}]}
 //	POST /v1/recommend/stream  same body (+ optional "progress_every": N);
 //	                           answers Server-Sent Events: "progress"
@@ -23,7 +34,9 @@
 //	                           frame. Disconnecting cancels the run
 //	                           within one stopping-check interval.
 //	GET  /v1/healthz           liveness
-//	GET  /v1/stats             coalescer, batch, stream + cache counters
+//	GET  /v1/stats             coalescer, batch, stream + cache counters,
+//	                           with a per-shard cache breakdown whose
+//	                           entries sum exactly to the aggregates
 //
 // Client errors carry a machine-readable "code" ("empty_group",
 // "duplicate_member", "period_out_of_range", "k_exceeds_candidates",
@@ -54,8 +67,20 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cf"
+	"repro/internal/liststore"
 	"repro/internal/server"
 )
+
+// requirePositive rejects non-positive size flags with a clean usage
+// error (exit 2, like flag's own failures).
+func requirePositive(name string, v int) {
+	if v <= 0 {
+		fmt.Fprintf(os.Stderr, "greca-serve: %s must be positive, got %d\n", name, v)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -68,18 +93,27 @@ func main() {
 		maxPending = flag.Int("maxpending", 0, "parked-caller bound; beyond it requests are shed with 429 (0 = unbounded)")
 		ratings    = flag.String("ratings", "", "optional MovieLens-format ratings file (UserID::MovieID::Rating::Timestamp)")
 		seed       = flag.Int64("seed", 1, "synthetic world seed")
-		rowCache   = flag.Int("rowcache", 0, "prediction-row cache size (0 = default, negative disables)")
-		listStore  = flag.Int("liststore", 0, "sorted-list store user-view bound (0 = default, negative disables)")
+		rowCache   = flag.Int("rowcache", cf.DefaultRowCacheCap, "prediction-row cache size (must be positive)")
+		listStore  = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
+		shards     = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
 		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print substrate statistics")
 	)
 	flag.Parse()
+
+	// Size flags must be positive: a zero or negative cache, store, or
+	// shard count is a configuration mistake, answered with usage
+	// instead of a silently clamped default.
+	requirePositive("-rowcache", *rowCache)
+	requirePositive("-liststore", *listStore)
+	requirePositive("-shards", *shards)
 
 	cfg := repro.QuickConfig()
 	cfg.Dataset.Seed = *seed
 	cfg.Social.Seed = *seed + 1
 	cfg.RowCacheSize = *rowCache
 	cfg.ListStoreSize = *listStore
+	cfg.Shards = *shards
 	cfg.AssemblyWorkers = *workers
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
@@ -109,7 +143,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (window %v, max batch %d)", *addr, *window, *maxBatch)
+	log.Printf("serving on %s (window %v, max batch %d, %d shards)", *addr, *window, *maxBatch, world.Shards())
 
 	select {
 	case err := <-errc:

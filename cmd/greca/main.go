@@ -8,7 +8,12 @@
 //	greca -group 1,5,9 [-k 10] [-items 3900] [-consensus AP|MO|PD1|PD2|VD]
 //	      [-model discrete|continuous|static|none] [-period N]
 //	      [-ratings ratings.dat] [-mode greca|threshold|fullscan] [-seed N]
-//	      [-liststore 1024] [-deadline 500ms] [-stream]
+//	      [-liststore 1024] [-shards 1] [-deadline 500ms] [-stream]
+//
+// -shards partitions the world's per-user state N ways by hashing on
+// UserID; results are identical for every shard count. -liststore and
+// -shards must be positive — a zero or negative value is a usage
+// error, not a silent clamp.
 //
 // Several groups may be given separated by ";" — they are then scored
 // concurrently through World.RecommendBatch, sharing candidate pools
@@ -45,7 +50,18 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/liststore"
 )
+
+// requirePositive rejects non-positive size flags with a clean usage
+// error (exit 2, like flag's own failures).
+func requirePositive(name string, v int) {
+	if v <= 0 {
+		fmt.Fprintf(os.Stderr, "greca: %s must be positive, got %d\n", name, v)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -61,7 +77,8 @@ func main() {
 		ratings   = flag.String("ratings", "", "optional MovieLens-format ratings file (UserID::MovieID::Rating::Timestamp)")
 		modeFlag  = flag.String("mode", "greca", "executor: greca, threshold, fullscan")
 		seed      = flag.Int64("seed", 1, "synthetic world seed")
-		listStore = flag.Int("liststore", 0, "sorted-list store user-view bound (0 = default, negative disables)")
+		listStore = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
+		shards    = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
 		deadline  = flag.Duration("deadline", 0, "overall computation deadline (0 = none); expired runs return partial results")
 		stream    = flag.Bool("stream", false, "stream progressively tightening bounds per stopping check (anytime API)")
 		verbose   = flag.Bool("v", false, "print substrate statistics")
@@ -72,6 +89,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Size flags must be positive: zero or negative values are usage
+	// errors, not silently clamped defaults.
+	requirePositive("-liststore", *listStore)
+	requirePositive("-shards", *shards)
 	groupSets, err := parseGroups(*groupFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -93,6 +114,7 @@ func main() {
 	cfg.Dataset.Seed = *seed
 	cfg.Social.Seed = *seed + 1
 	cfg.ListStoreSize = *listStore
+	cfg.Shards = *shards
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
 		if err != nil {

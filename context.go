@@ -60,7 +60,11 @@ func (p Progress) BoundGap() float64 { return p.gap }
 // recommendation assembled from the bounds known so far — Partial set,
 // Stats.Stop = core.StopCancelled — alongside ctx's error, so anytime
 // consumers still get the best guaranteed itemset of the work already
-// done. A nil-error return is always a complete run.
+// done. A nil-error return is a complete run unless Options.Epsilon
+// requested an approximate one — epsilon stops return nil errors with
+// Partial set and Stats.Stop = core.StopEpsilon, so epsilon callers
+// must read Partial, not the error, to distinguish exact from
+// approximate.
 func (w *World) RecommendContext(ctx context.Context, group []dataset.UserID, opt Options) (*Recommendation, error) {
 	return w.RecommendStream(ctx, group, opt, nil)
 }
@@ -73,6 +77,14 @@ func (w *World) RecommendContext(ctx context.Context, group []dataset.UserID, op
 // with a nil error — the consumer's own choice is not a failure. fn
 // must not retain the frame's Items slice. A nil fn degenerates to
 // RecommendContext.
+//
+// Options.Epsilon adds bound-gap stopping on top: the first check
+// certifying an ε-approximate top-k (core.Runner.EpsilonReached — the
+// exact threshold + buffer conditions relaxed by ε) ends the run with
+// a Partial recommendation (Stats.Stop = core.StopEpsilon) and a nil
+// error. The epsilon consumer sees the converging frames like any
+// other; the terminal Done frame is not emitted, since the run never
+// terminates exactly.
 func (w *World) RecommendStream(ctx context.Context, group []dataset.UserID, opt Options, fn func(Progress) bool) (*Recommendation, error) {
 	prob, items, period, release, err := w.buildProblem(group, &opt)
 	if err != nil {
@@ -90,15 +102,24 @@ func (w *World) RecommendStream(ctx context.Context, group []dataset.UserID, opt
 	steps := 0
 	for {
 		if err := ctx.Err(); err != nil {
-			return w.partialRecommendation(r.Snapshot(), items, period), err
+			return w.partialRecommendation(r.Snapshot(), items, period, core.StopCancelled), err
 		}
 		done := r.Step(1)
 		steps++
 		if fn != nil && (done || steps%every == 0) {
 			snap := r.Snapshot()
 			if !fn(progressFrom(snap, items)) && !done {
-				return w.partialRecommendation(snap, items, period), nil
+				return w.partialRecommendation(snap, items, period, core.StopCancelled), nil
 			}
+		}
+		// The ε certificate is the exact stopping condition relaxed by
+		// ε — threshold AND buffered upper bounds within ε of the k-th
+		// lower bound — so the guarantee covers seen candidates too,
+		// not just unseen items. EpsilonReached is a cheap scalar
+		// compare until the run nears the stop; no snapshot is built
+		// on checks that neither emit a frame nor stop.
+		if r.EpsilonReached(opt.Epsilon) {
+			return w.partialRecommendation(r.Snapshot(), items, period, core.StopEpsilon), nil
 		}
 		if done {
 			break
@@ -120,10 +141,12 @@ func (w *World) RecommendStream(ctx context.Context, group []dataset.UserID, opt
 }
 
 // partialRecommendation maps an interrupted runner snapshot onto the
-// facade result type.
-func (w *World) partialRecommendation(snap core.Snapshot, items []dataset.ItemID, period int) *Recommendation {
+// facade result type, stamping why the run was cut short
+// (StopCancelled for context/consumer interruption, StopEpsilon for
+// the bound-gap policy).
+func (w *World) partialRecommendation(snap core.Snapshot, items []dataset.ItemID, period int, stop core.StopReason) *Recommendation {
 	rec := &Recommendation{Stats: snap.Stats, Period: period, Partial: true}
-	rec.Stats.Stop = core.StopCancelled
+	rec.Stats.Stop = stop
 	for _, si := range snap.TopK {
 		rec.Items = append(rec.Items, ScoredItem{
 			Item:       items[si.Key],

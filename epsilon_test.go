@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestEpsilonStopping pins the bound-gap ε policy: a generous epsilon
+// must stop the run early with a Partial result carrying the distinct
+// StopEpsilon reason and a nil error, doing no more work than the
+// exact run.
+func TestEpsilonStopping(t *testing.T) {
+	w := tinyWorld(t)
+	group := w.Participants()[:4]
+
+	exact, err := w.Recommend(group, Options{K: 5, NumItems: 120})
+	if err != nil {
+		t.Fatalf("exact recommend: %v", err)
+	}
+	approx, err := w.Recommend(group, Options{K: 5, NumItems: 120, Epsilon: 1.0})
+	if err != nil {
+		t.Fatalf("epsilon recommend: %v", err)
+	}
+	if !approx.Partial {
+		t.Error("epsilon-stopped run not marked Partial")
+	}
+	if approx.Stats.Stop != core.StopEpsilon {
+		t.Errorf("stop = %v, want %v", approx.Stats.Stop, core.StopEpsilon)
+	}
+	if approx.Stats.SequentialAccesses > exact.Stats.SequentialAccesses {
+		t.Errorf("epsilon run did more work than exact: %d > %d accesses",
+			approx.Stats.SequentialAccesses, exact.Stats.SequentialAccesses)
+	}
+	// An ε stop is still a top-K: the certificate requires K buffered
+	// candidates, so the partial result always carries the full K.
+	if len(approx.Items) != 5 {
+		t.Fatalf("epsilon run returned %d items, want K=5", len(approx.Items))
+	}
+	for _, it := range approx.Items {
+		if it.UpperBound < it.Score {
+			t.Errorf("item %d: UB %.4f < LB %.4f", it.Item, it.UpperBound, it.Score)
+		}
+	}
+
+	// Epsilon zero (the default) keeps runs exact and non-partial.
+	again, err := w.Recommend(group, Options{K: 5, NumItems: 120})
+	if err != nil {
+		t.Fatalf("second exact recommend: %v", err)
+	}
+	if !reflect.DeepEqual(exact, again) {
+		t.Error("exact runs diverged across epsilon-enabled traffic")
+	}
+
+	// Negative epsilon is rejected up front.
+	if _, err := w.Recommend(group, Options{K: 3, NumItems: 60, Epsilon: -0.5}); err == nil {
+		t.Error("negative epsilon accepted")
+	} else if !strings.Contains(err.Error(), "Epsilon") {
+		t.Errorf("negative-epsilon error does not name the field: %v", err)
+	}
+}
+
+// TestEpsilonGuarantee is the property test of the ε-approximation:
+// for every item NOT in an epsilon-stopped result, the item's true
+// exact consensus score must sit within ε of the returned k-th lower
+// bound — including candidates GRECA had already buffered when it
+// stopped. Exact scores come from a full scan over the same problem
+// with K = |items|.
+func TestEpsilonGuarantee(t *testing.T) {
+	w := tinyWorld(t)
+	group := w.Participants()[:4]
+	items := w.CandidateItems(group, 100)
+
+	prob, probItems, err := w.BuildProblem(group, Options{K: len(items), Items: items})
+	if err != nil {
+		t.Fatalf("BuildProblem: %v", err)
+	}
+	res, err := prob.Run(core.ModeFullScan)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	exact := make(map[dataset.ItemID]float64, len(res.TopK))
+	for _, is := range res.TopK {
+		exact[probItems[is.Key]] = is.LB // full scan: LB == UB == exact
+	}
+
+	for _, eps := range []float64{0.02, 0.05, 0.15} {
+		rec, err := w.Recommend(group, Options{K: 5, Items: items, Epsilon: eps})
+		if err != nil {
+			t.Fatalf("eps=%g: %v", eps, err)
+		}
+		if !rec.Partial || rec.Stats.Stop != core.StopEpsilon {
+			// Tight epsilons may simply run to exact completion first;
+			// that is a valid outcome, not a guarantee violation.
+			continue
+		}
+		if len(rec.Items) == 0 {
+			t.Fatalf("eps=%g: epsilon stop with no items", eps)
+		}
+		kth := rec.Items[len(rec.Items)-1].Score
+		returned := map[dataset.ItemID]bool{}
+		for _, it := range rec.Items {
+			returned[it.Item] = true
+		}
+		for it, score := range exact {
+			if returned[it] {
+				continue
+			}
+			if score > kth+eps {
+				t.Errorf("eps=%g: unreturned item %d scores %.4f > returned kth %.4f + eps",
+					eps, it, score, kth)
+			}
+		}
+	}
+}
+
+// TestEpsilonStreamConsumer pins the streaming shape of an ε stop: the
+// consumer sees converging progress frames but never a Done frame (the
+// run ends approximately, not exactly), and the returned partial result
+// matches the last frame's guarantees.
+func TestEpsilonStreamConsumer(t *testing.T) {
+	w := tinyWorld(t)
+	group := w.Participants()[:3]
+	frames := 0
+	sawDone := false
+	rec, err := w.RecommendStream(context.Background(), group, Options{K: 4, NumItems: 100, Epsilon: 0.8}, func(p Progress) bool {
+		frames++
+		if p.Done {
+			sawDone = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if frames == 0 {
+		t.Error("epsilon stream emitted no progress frames")
+	}
+	if sawDone {
+		t.Error("epsilon-stopped stream emitted a Done frame")
+	}
+	if !rec.Partial || rec.Stats.Stop != core.StopEpsilon {
+		t.Errorf("stream result partial=%v stop=%v, want partial epsilon", rec.Partial, rec.Stats.Stop)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/shard"
 	"repro/internal/social"
 )
 
@@ -158,6 +159,68 @@ func MakePair(u, v dataset.UserID) Pair {
 	return Pair{u, v}
 }
 
+// PairTable is a pair-keyed affinity table partitioned by the lower
+// user of each pair (Pair.U, since pairs are canonically U < V) under
+// a shard.Map. Each shard holds its own map, so a sharded world's
+// affinity lookups for a group only read the parts the group's lower
+// pair members hash to, and a future per-shard ingest path can
+// rebuild one part without touching the others. The table is built
+// once and read-only afterwards — no locks.
+type PairTable struct {
+	sm    shard.Map
+	parts []map[Pair]float64
+}
+
+// NewPairTable returns an empty table over m (nil = single shard)
+// with capacity hints spread across the parts.
+func NewPairTable(m shard.Map, capHint int) *PairTable {
+	sm := shard.Normalize(m)
+	t := &PairTable{sm: sm, parts: make([]map[Pair]float64, sm.N())}
+	per := capHint / sm.N()
+	for i := range t.parts {
+		t.parts[i] = make(map[Pair]float64, per)
+	}
+	return t
+}
+
+// part returns the shard map holding p.
+func (t *PairTable) part(p Pair) map[Pair]float64 {
+	return t.parts[shard.PairOf(t.sm, int64(p.U), int64(p.V))]
+}
+
+// Get returns the value of pair p (0 when absent, matching map reads).
+func (t *PairTable) Get(p Pair) float64 { return t.part(p)[p] }
+
+// Set stores v under p.
+func (t *PairTable) Set(p Pair, v float64) { t.part(p)[p] = v }
+
+// Len returns the number of stored pairs.
+func (t *PairTable) Len() int {
+	n := 0
+	for _, m := range t.parts {
+		n += len(m)
+	}
+	return n
+}
+
+// Scale multiplies every stored value by f.
+func (t *PairTable) Scale(f float64) {
+	for _, m := range t.parts {
+		for p, v := range m {
+			m[p] = v * f
+		}
+	}
+}
+
+// Update rewrites every stored value through fn.
+func (t *PairTable) Update(fn func(Pair, float64) float64) {
+	for _, m := range t.parts {
+		for p, v := range m {
+			m[p] = fn(p, v)
+		}
+	}
+}
+
 // StaticSource yields the raw (unnormalized) static affinity of a pair
 // — common Facebook friends in the paper's study.
 type StaticSource interface {
@@ -201,13 +264,14 @@ type Model struct {
 	Timeline Timeline
 	// Users is the population over which averages were computed.
 	Users []dataset.UserID
-	// Static[pair] is affS normalized to [0,1] over the population
-	// (divide by the max pairwise value, as in §4.1.2).
-	Static map[Pair]float64
-	// Drift[k][pair] is the normalized periodic drift for period k:
+	// Static holds affS per pair, normalized to [0,1] over the
+	// population (divide by the max pairwise value, as in §4.1.2),
+	// sharded by the lower user of each pair.
+	Static *PairTable
+	// Drift[k] holds the normalized periodic drift for period k:
 	// (affP(u,v,p_k) − AvgaffP(p_k)) scaled into [-1, 1] by the
-	// population's max absolute drift across all periods.
-	Drift []map[Pair]float64
+	// period's max absolute drift, sharded like Static.
+	Drift []*PairTable
 	// AvgPeriodic[k] is AvgaffP(p_k), the population mean of the raw
 	// periodic affinity (Equation 1's subtrahend), kept for
 	// diagnostics and tests.
@@ -215,32 +279,46 @@ type Model struct {
 
 	static   StaticSource
 	periodic PeriodicSource
+	// sm partitions the pair tables (by lower user); Single unless
+	// BuildModelSharded installed a wider one.
+	sm shard.Map
 	// driftScale is the 1/maxAbs factor applied to raw drifts.
 	driftScale float64
 	// staticScale is the 1/max factor applied to raw static values.
 	staticScale float64
 }
 
-// BuildModel precomputes a Model for the given users and timeline.
-// Both static and periodic sources are evaluated for every unordered
-// pair, so cost is O(|users|² · periods) — this mirrors the paper's
-// precomputed T · n(n−1)/2 affinity entries.
+// BuildModel precomputes an unsharded Model; see BuildModelSharded.
 func BuildModel(users []dataset.UserID, tl Timeline, st StaticSource, per PeriodicSource) (*Model, error) {
+	return BuildModelSharded(users, tl, st, per, nil)
+}
+
+// BuildModelSharded precomputes a Model for the given users and
+// timeline, partitioning its pair tables by the lower user of each
+// pair under sm (nil = one part). Both static and periodic sources
+// are evaluated for every unordered pair, so cost is
+// O(|users|² · periods) — this mirrors the paper's precomputed
+// T · n(n−1)/2 affinity entries. Sharding only changes which part a
+// pair is stored in, never its value, so every lookup answers
+// identically for any shard count.
+func BuildModelSharded(users []dataset.UserID, tl Timeline, st StaticSource, per PeriodicSource, sm shard.Map) (*Model, error) {
 	if len(users) < 2 {
 		return nil, fmt.Errorf("affinity: BuildModel needs at least 2 users, got %d", len(users))
 	}
 	if tl.NumPeriods() == 0 {
 		return nil, fmt.Errorf("affinity: BuildModel needs a non-empty timeline")
 	}
+	nPairsInt := len(users) * (len(users) - 1) / 2
 	m := &Model{
 		Timeline:    tl,
 		Users:       append([]dataset.UserID(nil), users...),
-		Static:      make(map[Pair]float64, len(users)*(len(users)-1)/2),
-		Drift:       make([]map[Pair]float64, tl.NumPeriods()),
+		sm:          shard.Normalize(sm),
 		AvgPeriodic: make([]float64, tl.NumPeriods()),
 		static:      st,
 		periodic:    per,
 	}
+	m.Static = NewPairTable(m.sm, nPairsInt)
+	m.Drift = make([]*PairTable, tl.NumPeriods())
 
 	// Static: raw values then population max normalization.
 	var maxStatic float64
@@ -250,7 +328,7 @@ func BuildModel(users []dataset.UserID, tl Timeline, st StaticSource, per Period
 			if raw < 0 {
 				return nil, fmt.Errorf("affinity: negative static affinity %g for pair (%d,%d)", raw, u, v)
 			}
-			m.Static[MakePair(u, v)] = raw
+			m.Static.Set(MakePair(u, v), raw)
 			if raw > maxStatic {
 				maxStatic = raw
 			}
@@ -259,9 +337,7 @@ func BuildModel(users []dataset.UserID, tl Timeline, st StaticSource, per Period
 	m.staticScale = 1.0
 	if maxStatic > 0 {
 		m.staticScale = 1 / maxStatic
-		for p := range m.Static {
-			m.Static[p] *= m.staticScale
-		}
+		m.Static.Scale(m.staticScale)
 	}
 
 	// Periodic: raw affP per pair per period, population average per
@@ -271,9 +347,9 @@ func BuildModel(users []dataset.UserID, tl Timeline, st StaticSource, per Period
 	// [0,1] (§4.1.2); per-period scaling keeps the dynamic component
 	// commensurate with the static one instead of being drowned by a
 	// single outlier period.
-	nPairs := float64(len(users)*(len(users)-1)) / 2
+	nPairs := float64(nPairsInt)
 	for k, p := range tl.Periods {
-		drifts := make(map[Pair]float64, int(nPairs))
+		drifts := NewPairTable(m.sm, nPairsInt)
 		var sum float64
 		for i, u := range users {
 			for _, v := range users[i+1:] {
@@ -281,23 +357,21 @@ func BuildModel(users []dataset.UserID, tl Timeline, st StaticSource, per Period
 				if a < 0 {
 					return nil, fmt.Errorf("affinity: negative periodic affinity %g for pair (%d,%d) period %d", a, u, v, k)
 				}
-				drifts[MakePair(u, v)] = a
+				drifts.Set(MakePair(u, v), a)
 				sum += a
 			}
 		}
 		m.AvgPeriodic[k] = sum / nPairs
 		var maxAbs float64
-		for pair, a := range drifts {
+		drifts.Update(func(_ Pair, a float64) float64 {
 			d := a - m.AvgPeriodic[k]
-			drifts[pair] = d
 			if ab := math.Abs(d); ab > maxAbs {
 				maxAbs = ab
 			}
-		}
+			return d
+		})
 		if maxAbs > 0 {
-			for pair, d := range drifts {
-				drifts[pair] = d / maxAbs
-			}
+			drifts.Scale(1 / maxAbs)
 		}
 		m.Drift[k] = drifts
 	}
@@ -314,8 +388,8 @@ func (m *Model) AppendPeriod(p Period) error {
 	if n := m.Timeline.NumPeriods(); n > 0 && p.Start < m.Timeline.Periods[n-1].End {
 		return fmt.Errorf("affinity: AppendPeriod %v overlaps existing timeline", p)
 	}
-	nPairs := float64(len(m.Users)*(len(m.Users)-1)) / 2
-	rawVals := make(map[Pair]float64, int(nPairs))
+	nPairsInt := len(m.Users) * (len(m.Users) - 1) / 2
+	drifts := NewPairTable(m.sm, nPairsInt)
 	var sum float64
 	for i, u := range m.Users {
 		for _, v := range m.Users[i+1:] {
@@ -323,24 +397,21 @@ func (m *Model) AppendPeriod(p Period) error {
 			if a < 0 {
 				return fmt.Errorf("affinity: negative periodic affinity %g for pair (%d,%d)", a, u, v)
 			}
-			rawVals[MakePair(u, v)] = a
+			drifts.Set(MakePair(u, v), a)
 			sum += a
 		}
 	}
-	avg := sum / nPairs
-	drifts := make(map[Pair]float64, len(rawVals))
+	avg := sum / float64(nPairsInt)
 	var maxAbs float64
-	for pair, a := range rawVals {
+	drifts.Update(func(_ Pair, a float64) float64 {
 		d := a - avg
-		drifts[pair] = d
 		if ab := math.Abs(d); ab > maxAbs {
 			maxAbs = ab
 		}
-	}
+		return d
+	})
 	if maxAbs > 0 {
-		for pair, d := range drifts {
-			drifts[pair] = d / maxAbs
-		}
+		drifts.Scale(1 / maxAbs)
 	}
 	m.Timeline.Periods = append(m.Timeline.Periods, p)
 	if p.End > m.Timeline.End {
@@ -353,12 +424,12 @@ func (m *Model) AppendPeriod(p Period) error {
 
 // StaticOf returns the normalized static affinity of (u,v).
 func (m *Model) StaticOf(u, v dataset.UserID) float64 {
-	return m.Static[MakePair(u, v)]
+	return m.Static.Get(MakePair(u, v))
 }
 
 // DriftOf returns the normalized drift of (u,v) in period k.
 func (m *Model) DriftOf(u, v dataset.UserID, k int) float64 {
-	return m.Drift[k][MakePair(u, v)]
+	return m.Drift[k].Get(MakePair(u, v))
 }
 
 // AffV implements Equation 1 for the discrete model: the mean of the
@@ -369,7 +440,7 @@ func (m *Model) AffV(u, v dataset.UserID, upTo int) float64 {
 	pair := MakePair(u, v)
 	var s float64
 	for k := 0; k <= upTo; k++ {
-		s += m.Drift[k][pair]
+		s += m.Drift[k].Get(pair)
 	}
 	return s / float64(upTo+1)
 }
@@ -393,7 +464,7 @@ func (m *Model) Continuous(u, v dataset.UserID, upTo int) float64 {
 	pair := MakePair(u, v)
 	var s float64
 	for k := 0; k <= upTo; k++ {
-		s += m.Drift[k][pair]
+		s += m.Drift[k].Get(pair)
 	}
 	return clamp01(m.StaticOf(u, v) * math.Exp(ContinuousRate*s))
 }

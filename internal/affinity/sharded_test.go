@@ -1,0 +1,95 @@
+package affinity
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+// TestBuildModelShardedIdentical: partitioning the pair tables by
+// lower user changes where entries live, never any affinity value —
+// every model read answers identically for any shard count, including
+// after incremental AppendPeriod maintenance.
+func TestBuildModelShardedIdentical(t *testing.T) {
+	users := make([]dataset.UserID, 10)
+	for i := range users {
+		users[i] = dataset.UserID(i)
+	}
+	tl := SegmentUniform(0, 400, 4)
+	src := stubSource{
+		static: func(u, v dataset.UserID) float64 { return float64(u*3 + v) },
+		periodic: func(u, v dataset.UserID, p Period) float64 {
+			return float64(int(u+v)%5) + float64(p.Start)/400
+		},
+	}
+	baseline, err := BuildModel(users, tl, src, src)
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	for _, n := range []int{1, 4, 16} {
+		m, _ := shard.New(n)
+		sharded, err := BuildModelSharded(users, tl, src, src, m)
+		if err != nil {
+			t.Fatalf("BuildModelSharded(%d): %v", n, err)
+		}
+		// Exercise the incremental-maintenance path on both models.
+		next := Period{Start: 400, End: 500}
+		if err := baseline.AppendPeriod(next); err != nil {
+			t.Fatalf("baseline AppendPeriod: %v", err)
+		}
+		if err := sharded.AppendPeriod(next); err != nil {
+			t.Fatalf("sharded AppendPeriod: %v", err)
+		}
+		last := sharded.Timeline.NumPeriods() - 1
+		for i, u := range users {
+			for _, v := range users[i+1:] {
+				if baseline.StaticOf(u, v) != sharded.StaticOf(u, v) {
+					t.Errorf("n=%d: StaticOf(%d,%d) diverges", n, u, v)
+				}
+				for k := 0; k <= last; k++ {
+					if baseline.DriftOf(u, v, k) != sharded.DriftOf(u, v, k) {
+						t.Errorf("n=%d: DriftOf(%d,%d,%d) diverges", n, u, v, k)
+					}
+				}
+				if baseline.Discrete(u, v, last) != sharded.Discrete(u, v, last) {
+					t.Errorf("n=%d: Discrete(%d,%d) diverges", n, u, v)
+				}
+				if baseline.Continuous(u, v, last) != sharded.Continuous(u, v, last) {
+					t.Errorf("n=%d: Continuous(%d,%d) diverges", n, u, v)
+				}
+			}
+		}
+		if baseline.Static.Len() != sharded.Static.Len() {
+			t.Errorf("n=%d: static table sizes diverge (%d vs %d)", n, baseline.Static.Len(), sharded.Static.Len())
+		}
+		// Reset the baseline for the next shard count (AppendPeriod
+		// mutated it).
+		baseline, err = BuildModel(users, tl, src, src)
+		if err != nil {
+			t.Fatalf("rebuilding baseline: %v", err)
+		}
+	}
+}
+
+// TestPairTableShardsByLowerUser pins the routing contract: a pair's
+// entry lives in the part of its lower member's shard.
+func TestPairTableShardsByLowerUser(t *testing.T) {
+	m, _ := shard.New(4)
+	tab := NewPairTable(m, 8)
+	p := MakePair(9, 2) // canonical order: U=2, V=9
+	tab.Set(p, 0.5)
+	want := m.Of(2)
+	for i, part := range tab.parts {
+		_, ok := part[p]
+		if ok != (i == want) {
+			t.Errorf("pair stored in part %d, want only part %d", i, want)
+		}
+	}
+	if tab.Get(p) != 0.5 {
+		t.Errorf("Get = %v, want 0.5", tab.Get(p))
+	}
+	if tab.Get(MakePair(0, 1)) != 0 {
+		t.Error("absent pair should read 0")
+	}
+}

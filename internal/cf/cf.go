@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/shard"
 )
 
 // DefaultNeighbors is the neighborhood size used when none is given.
@@ -50,21 +51,44 @@ func shardIndex(id uint64) int {
 // norms are computed lazily per user and cached in lock-sharded maps,
 // so concurrent readers of distinct users never contend and readers of
 // the same user share an RLock.
+//
+// The lazy caches are partitioned by a shard.Map into per-shard
+// instances (predictorPart), each with its own lock stripes and
+// counters — a user's cached neighborhood lives on the shard the
+// world's map routes it to, so a sharded world's cache traffic (and a
+// future per-shard invalidation) never crosses shard boundaries.
 type Predictor struct {
 	store   *dataset.Store
 	k       int
 	measure Similarity
 
-	shards [numShards]userShard
-	// counters track neighborhood-cache hits and misses (evictions are
-	// impossible: the lazy caches only grow). See Stats.
-	counters cacheCounters
+	// sm routes users onto parts; Single unless SetSharding widened it.
+	sm    shard.Map
+	parts []*predictorPart
 	// globalMean is the dataset mean rating, the last-resort fallback
 	// prediction when an item has no neighbor coverage.
 	globalMean float64
 	// itemMean caches per-item mean ratings for the first fallback.
 	// Read-only after construction.
 	itemMean map[dataset.ItemID]float64
+}
+
+// predictorPart is one shard's instance of the lazy neighborhood
+// cache: its own lock stripes and its own counters.
+type predictorPart struct {
+	shards [numShards]userShard
+	// counters track neighborhood-cache hits and misses (evictions are
+	// impossible: the lazy caches only grow). See Stats.
+	counters cacheCounters
+}
+
+func newPredictorPart() *predictorPart {
+	p := &predictorPart{}
+	for i := range p.shards {
+		p.shards[i].neighbors = make(map[dataset.UserID][]Neighbor)
+		p.shards[i].norms = make(map[dataset.UserID]float64)
+	}
+	return p
 }
 
 // NewPredictor builds a predictor over store with neighborhoods of
@@ -87,11 +111,9 @@ func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (
 		store:    store,
 		k:        kNeighbors,
 		measure:  measure,
+		sm:       shard.Single,
+		parts:    []*predictorPart{newPredictorPart()},
 		itemMean: make(map[dataset.ItemID]float64),
-	}
-	for i := range p.shards {
-		p.shards[i].neighbors = make(map[dataset.UserID][]Neighbor)
-		p.shards[i].norms = make(map[dataset.UserID]float64)
 	}
 	var sum float64
 	n := 0
@@ -153,8 +175,29 @@ func (p *Predictor) dot(u, v dataset.UserID) float64 {
 	return dot
 }
 
+// SetSharding repartitions the lazy caches into one instance per
+// shard of m (nil reverts to a single instance). Call during setup,
+// before the predictor serves traffic — it replaces the cache parts,
+// dropping anything already cached (cached values are pure functions
+// of the frozen store, so a drop only costs recomputation).
+func (p *Predictor) SetSharding(m shard.Map) {
+	p.sm = shard.Normalize(m)
+	p.parts = make([]*predictorPart, p.sm.N())
+	for i := range p.parts {
+		p.parts[i] = newPredictorPart()
+	}
+}
+
+// Sharding returns the shard map routing users onto cache parts.
+func (p *Predictor) Sharding() shard.Map { return p.sm }
+
+// part returns the cache instance of u's shard.
+func (p *Predictor) part(u dataset.UserID) *predictorPart {
+	return p.parts[p.sm.Of(int64(u))]
+}
+
 func (p *Predictor) norm(u dataset.UserID) float64 {
-	sh := &p.shards[shardIndex(uint64(u))]
+	sh := &p.part(u).shards[shardIndex(uint64(u))]
 	sh.mu.RLock()
 	n, ok := sh.norms[u]
 	sh.mu.RUnlock()
@@ -179,15 +222,16 @@ func (p *Predictor) norm(u dataset.UserID) float64 {
 // yield the identical slice and one wins the cache, so the race is
 // benign and never holds a lock during the O(users) scan.
 func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
-	sh := &p.shards[shardIndex(uint64(u))]
+	pp := p.part(u)
+	sh := &pp.shards[shardIndex(uint64(u))]
 	sh.mu.RLock()
 	ns, ok := sh.neighbors[u]
 	sh.mu.RUnlock()
 	if ok {
-		p.counters.hit()
+		pp.counters.hit()
 		return ns
 	}
-	p.counters.miss()
+	pp.counters.miss()
 
 	all := make([]Neighbor, 0, 64)
 	for _, v := range p.store.Users() {
@@ -319,20 +363,30 @@ func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float
 // GlobalMean returns the dataset mean rating.
 func (p *Predictor) GlobalMean() float64 { return p.globalMean }
 
-// Stats snapshots the lazy neighborhood cache's counters: a hit is a
-// Neighbors call answered from a shard, a miss one that had to scan
-// the user population. Size is the number of cached neighborhoods;
-// Evictions is always zero (the cache only grows, bounded by the user
-// count).
+// Stats snapshots the lazy neighborhood cache's counters, aggregated
+// across all shard parts: a hit is a Neighbors call answered from a
+// cache, a miss one that had to scan the user population. Size is the
+// number of cached neighborhoods; Evictions is always zero (the cache
+// only grows, bounded by the user count).
 func (p *Predictor) Stats() CacheStats {
-	n := 0
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.RLock()
-		n += len(sh.neighbors)
-		sh.mu.RUnlock()
+	return sumStats(p.StatsByShard())
+}
+
+// StatsByShard snapshots each shard part's counters separately (the
+// /stats per-shard breakdown); the entries sum exactly to Stats.
+func (p *Predictor) StatsByShard() []CacheStats {
+	out := make([]CacheStats, len(p.parts))
+	for pi, pp := range p.parts {
+		n := 0
+		for i := range pp.shards {
+			sh := &pp.shards[i]
+			sh.mu.RLock()
+			n += len(sh.neighbors)
+			sh.mu.RUnlock()
+		}
+		out[pi] = pp.counters.snapshot(n)
 	}
-	return p.counters.snapshot(n)
+	return out
 }
 
 // PairwiseSimilaritySum returns the sum of pairwise cosine

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/shard"
 )
 
 // ItemPredictor is an item-based collaborative filtering predictor:
@@ -20,16 +21,35 @@ type ItemPredictor struct {
 	store *dataset.Store
 	k     int
 
-	// shards hold the lazy item-neighborhood cache under sharded
-	// locks, mirroring Predictor's per-user sharding.
-	shards [numShards]itemShard
-	// counters track item-neighborhood cache hits and misses; see Stats.
-	counters cacheCounters
+	// sm partitions the item-neighborhood cache into per-shard
+	// instances. The cache is item-keyed, so it hashes item IDs
+	// through the same map the world routes users with — the
+	// consistent hash-on-ID layout, just on the item axis.
+	sm    shard.Map
+	parts []*itemPredictorPart
 	// userMean caches each user's mean rating for the adjusted-cosine
 	// centering. Read-only after construction.
 	userMean   map[dataset.UserID]float64
 	itemMean   map[dataset.ItemID]float64
 	globalMean float64
+}
+
+// itemPredictorPart is one shard's instance of the lazy
+// item-neighborhood cache: lock stripes plus counters.
+type itemPredictorPart struct {
+	// shards hold the lazy item-neighborhood cache under sharded
+	// locks, mirroring Predictor's per-user lock striping.
+	shards [numShards]itemShard
+	// counters track item-neighborhood cache hits and misses; see Stats.
+	counters cacheCounters
+}
+
+func newItemPredictorPart() *itemPredictorPart {
+	p := &itemPredictorPart{}
+	for i := range p.shards {
+		p.shards[i].neighbors = make(map[dataset.ItemID][]itemNeighbor)
+	}
+	return p
 }
 
 type itemShard struct {
@@ -54,11 +74,10 @@ func NewItemPredictor(store *dataset.Store, kNeighbors int) (*ItemPredictor, err
 	p := &ItemPredictor{
 		store:    store,
 		k:        kNeighbors,
+		sm:       shard.Single,
+		parts:    []*itemPredictorPart{newItemPredictorPart()},
 		userMean: make(map[dataset.UserID]float64),
 		itemMean: make(map[dataset.ItemID]float64),
-	}
-	for i := range p.shards {
-		p.shards[i].neighbors = make(map[dataset.ItemID][]itemNeighbor)
 	}
 	var sum float64
 	n := 0
@@ -123,18 +142,35 @@ func (p *ItemPredictor) AdjustedCosine(a, b dataset.ItemID) float64 {
 	return dot / math.Sqrt(na*nb)
 }
 
+// SetSharding repartitions the lazy item-neighborhood cache into one
+// instance per shard of m (nil reverts to a single instance). Call
+// during setup, before traffic; cached neighborhoods are dropped.
+func (p *ItemPredictor) SetSharding(m shard.Map) {
+	p.sm = shard.Normalize(m)
+	p.parts = make([]*itemPredictorPart, p.sm.N())
+	for i := range p.parts {
+		p.parts[i] = newItemPredictorPart()
+	}
+}
+
+// part returns the cache instance of item it's shard.
+func (p *ItemPredictor) part(it dataset.ItemID) *itemPredictorPart {
+	return p.parts[p.sm.Of(int64(it))]
+}
+
 // itemNeighborsOf returns item it's top-k positively similar items.
 // Concurrent first calls may compute twice; one result wins the cache.
 func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
-	sh := &p.shards[shardIndex(uint64(it))]
+	pp := p.part(it)
+	sh := &pp.shards[shardIndex(uint64(it))]
 	sh.mu.RLock()
 	ns, ok := sh.neighbors[it]
 	sh.mu.RUnlock()
 	if ok {
-		p.counters.hit()
+		pp.counters.hit()
 		return ns
 	}
-	p.counters.miss()
+	pp.counters.miss()
 
 	all := make([]itemNeighbor, 0, 64)
 	for _, other := range p.store.Items() {
@@ -238,15 +274,26 @@ func (p *ItemPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemI
 // GlobalMean returns the dataset mean rating.
 func (p *ItemPredictor) GlobalMean() float64 { return p.globalMean }
 
-// Stats snapshots the lazy item-neighborhood cache's counters. Size is
-// the number of cached item neighborhoods; Evictions is always zero.
+// Stats snapshots the lazy item-neighborhood cache's counters,
+// aggregated across all shard parts. Size is the number of cached item
+// neighborhoods; Evictions is always zero.
 func (p *ItemPredictor) Stats() CacheStats {
-	n := 0
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.RLock()
-		n += len(sh.neighbors)
-		sh.mu.RUnlock()
+	return sumStats(p.StatsByShard())
+}
+
+// StatsByShard snapshots each shard part's counters separately; the
+// entries sum exactly to Stats.
+func (p *ItemPredictor) StatsByShard() []CacheStats {
+	out := make([]CacheStats, len(p.parts))
+	for pi, pp := range p.parts {
+		n := 0
+		for i := range pp.shards {
+			sh := &pp.shards[i]
+			sh.mu.RLock()
+			n += len(sh.neighbors)
+			sh.mu.RUnlock()
+		}
+		out[pi] = pp.counters.snapshot(n)
 	}
-	return p.counters.snapshot(n)
+	return out
 }

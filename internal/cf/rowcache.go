@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/shard"
 )
 
 // DefaultRowCacheCap is the default bound on cached prediction rows.
@@ -110,35 +111,67 @@ func (sh *rowShard) invalidateUser(u dataset.UserID) int {
 // natural memoization unit, the tabling idea applied to the preference
 // layer.
 //
-// Eviction is a per-shard CLOCK (second-chance) policy: every hit sets
-// the row's reference bit, and an insert at capacity sweeps the shard's
-// ring, clearing bits until it finds an unreferenced row to drop. Rows
-// that sweep traffic keeps re-reading survive churn from one-off
-// candidate sets — the pathological case random replacement hit — at
-// the cost of one bit and one ring slot per row.
+// The cache is partitioned by a shard.Map into per-shard instances
+// (rowCachePart): a user's rows live on the world shard the user
+// hashes to, each part keeps its own CLOCK budget and counters, and
+// invalidating a user touches exactly one part. Within a part,
+// eviction is a per-lock-stripe CLOCK (second-chance) policy: every
+// hit sets the row's reference bit, and an insert at capacity sweeps
+// the stripe's ring, clearing bits until it finds an unreferenced row
+// to drop. Rows that sweep traffic keeps re-reading survive churn from
+// one-off candidate sets — the pathological case random replacement
+// hit — at the cost of one bit and one ring slot per row.
 type CachedSource struct {
-	src    Source
-	into   BatchInto // src's in-place path, when it has one
-	perCap int       // per-shard entry bound
+	src   Source
+	into  BatchInto // src's in-place path, when it has one
+	sm    shard.Map
+	parts []*rowCachePart
+}
+
+// rowCachePart is one world shard's row-cache instance: its share of
+// the entry budget, its lock stripes with their CLOCK rings, and its
+// own counters.
+type rowCachePart struct {
+	perCap int // per-stripe entry bound
 	shards [rowCacheShards]rowShard
 	// counters track row hits, misses, and capacity evictions; see Stats.
 	counters cacheCounters
 }
 
-// NewCachedSource wraps src with a row cache bounded at cap entries
-// (DefaultRowCacheCap if cap <= 0).
-func NewCachedSource(src Source, cap int) *CachedSource {
-	if cap <= 0 {
-		cap = DefaultRowCacheCap
-	}
-	perCap := cap / rowCacheShards
+func newRowCachePart(budget int) *rowCachePart {
+	perCap := budget / rowCacheShards
 	if perCap < 1 {
 		perCap = 1
 	}
-	c := &CachedSource{src: src, perCap: perCap}
+	p := &rowCachePart{perCap: perCap}
+	for i := range p.shards {
+		p.shards[i].rows = make(map[rowKey]*rowEntry)
+	}
+	return p
+}
+
+// NewCachedSource wraps src with a row cache bounded at cap entries
+// (DefaultRowCacheCap if cap <= 0), unsharded.
+func NewCachedSource(src Source, cap int) *CachedSource {
+	return NewCachedSourceSharded(src, cap, nil)
+}
+
+// NewCachedSourceSharded wraps src with a row cache whose entry budget
+// is split across one part per shard of m (nil = single part, the
+// unsharded layout). With m = Single the split hands the whole budget
+// to the one part, so the degenerate case is bit-identical to the
+// historical cache.
+func NewCachedSourceSharded(src Source, cap int, m shard.Map) *CachedSource {
+	if cap <= 0 {
+		cap = DefaultRowCacheCap
+	}
+	sm := shard.Normalize(m)
+	c := &CachedSource{src: src, sm: sm}
 	c.into, _ = src.(BatchInto)
-	for i := range c.shards {
-		c.shards[i].rows = make(map[rowKey]*rowEntry)
+	budgets := shard.Split(sm, cap)
+	c.parts = make([]*rowCachePart, sm.N())
+	for i := range c.parts {
+		c.parts[i] = newRowCachePart(budgets[i])
 	}
 	return c
 }
@@ -155,26 +188,30 @@ func (c *CachedSource) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 // PredictBatchInto, which copies for them).
 func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []float64 {
 	key := rowKey{user: u, fp: FingerprintItems(items), n: len(items)}
-	sh := &c.shards[(key.fp^uint64(u))%rowCacheShards]
+	p := c.parts[c.sm.Of(int64(u))]
+	sh := &p.shards[(key.fp^uint64(u))%rowCacheShards]
 	if row, ok := sh.get(key); ok {
-		c.counters.hit()
+		p.counters.hit()
 		return row
 	}
-	c.counters.miss()
-	row, evicted := sh.put(key, c.src.PredictBatch(u, items), c.perCap)
-	c.counters.evict(evicted)
+	p.counters.miss()
+	row, evicted := sh.put(key, c.src.PredictBatch(u, items), p.perCap)
+	p.counters.evict(evicted)
 	return row
 }
 
 // InvalidateUser drops every cached row of user u — the rating-ingest
 // hook: a user whose ratings changed must not be served pre-ingest
-// predictions from the row cache. Returns the number of rows dropped.
-// Invalidations are not evictions (no capacity pressure) and leave the
-// hit/miss/eviction counters untouched.
+// predictions from the row cache. Only u's shard part is touched, so
+// invalidation traffic on one shard never takes another shard's
+// locks. Returns the number of rows dropped. Invalidations are not
+// evictions (no capacity pressure) and leave the hit/miss/eviction
+// counters untouched.
 func (c *CachedSource) InvalidateUser(u dataset.UserID) int {
+	p := c.parts[c.sm.Of(int64(u))]
 	n := 0
-	for i := range c.shards {
-		n += c.shards[i].invalidateUser(u)
+	for i := range p.shards {
+		n += p.shards[i].invalidateUser(u)
 	}
 	return n
 }
@@ -185,23 +222,38 @@ func (c *CachedSource) PredictBatchInto(u dataset.UserID, items []dataset.ItemID
 	copy(dst, c.PredictBatch(u, items))
 }
 
-// Stats snapshots the row cache's counters: a hit is a PredictBatch
-// answered from a shard, a miss one that fell through to the wrapped
-// source, and an eviction one row dropped by capacity pressure. A
-// concurrent fill that loses the install race still counts as a miss —
-// the prediction work was done either way.
+// Stats snapshots the row cache's counters, aggregated across shard
+// parts: a hit is a PredictBatch answered from a cache, a miss one
+// that fell through to the wrapped source, and an eviction one row
+// dropped by capacity pressure. A concurrent fill that loses the
+// install race still counts as a miss — the prediction work was done
+// either way.
 func (c *CachedSource) Stats() CacheStats {
-	return c.counters.snapshot(c.Len())
+	return sumStats(c.StatsByShard())
+}
+
+// StatsByShard snapshots each shard part's counters separately; the
+// entries sum exactly to Stats.
+func (c *CachedSource) StatsByShard() []CacheStats {
+	out := make([]CacheStats, len(c.parts))
+	for pi, p := range c.parts {
+		n := 0
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.mu.Lock()
+			n += len(sh.rows)
+			sh.mu.Unlock()
+		}
+		out[pi] = p.counters.snapshot(n)
+	}
+	return out
 }
 
 // Len reports the number of cached rows (for tests and metrics).
 func (c *CachedSource) Len() int {
 	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		n += len(sh.rows)
-		sh.mu.Unlock()
+	for _, s := range c.StatsByShard() {
+		n += s.Size
 	}
 	return n
 }

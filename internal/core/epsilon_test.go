@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// epsilonTestProblem builds a small GRECA-shaped problem reused by the
+// EpsilonReached tests (AP consensus, no affinity — the pure
+// preference shape keeps exact scores easy to reason about).
+func epsilonTestProblem(t *testing.T, k int) *Problem {
+	t.Helper()
+	apref := [][]float64{
+		{0.9, 0.1, 0.5, 0.3, 0.7, 0.2, 0.6, 0.4},
+		{0.8, 0.2, 0.4, 0.6, 0.1, 0.9, 0.3, 0.5},
+		{0.7, 0.3, 0.6, 0.2, 0.5, 0.4, 0.8, 0.1},
+	}
+	p, err := NewProblem(Input{Spec: consensus.AP(), Apref: apref, K: k, Agg: NoAffinityAggregator{}})
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+// TestEpsilonReachedSemantics pins the certificate's contract across
+// the run's lifecycle: never before bounds are evaluated, never for
+// eps <= 0, monotone in eps, and false once Done.
+func TestEpsilonReachedSemantics(t *testing.T) {
+	p := epsilonTestProblem(t, 3)
+	r, err := p.Runner(ModeGRECA)
+	if err != nil {
+		t.Fatalf("Runner: %v", err)
+	}
+	if r.EpsilonReached(1000) {
+		t.Error("certificate before any step")
+	}
+	r.Step(1)
+	if !r.Done() && !r.EpsilonReached(1000) {
+		t.Error("huge eps not certified after an evaluated check")
+	}
+	if r.EpsilonReached(0) {
+		t.Error("eps = 0 certified (exactness is not an approximation)")
+	}
+	if r.EpsilonReached(-1) {
+		t.Error("negative eps certified")
+	}
+	for !r.Step(1) {
+	}
+	if r.EpsilonReached(1000) {
+		t.Error("certificate on a Done runner")
+	}
+
+	// Full scan tracks no bounds: never certifies.
+	r2, err := p.Runner(ModeFullScan)
+	if err != nil {
+		t.Fatalf("Runner(full-scan): %v", err)
+	}
+	r2.Step(1)
+	if r2.EpsilonReached(1000) {
+		t.Error("full scan certified an approximation")
+	}
+}
+
+// TestEpsilonReachedCoversBufferedCandidates is the soundness test:
+// when the certificate fires, every item outside the current top-k —
+// including buffered candidates whose upper bounds exceed the
+// threshold — must have a true exact score within eps of the returned
+// k-th lower bound. Verified against the full-scan exact ranking on
+// the same problem, for every eps at which the certificate first
+// fires during a step-by-step run.
+func TestEpsilonReachedCoversBufferedCandidates(t *testing.T) {
+	exactProb := epsilonTestProblem(t, 3)
+	exactRes, err := exactProb.Run(ModeFullScan)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	// Full scan with K = m would give all scores; with K = 3 it gives
+	// the top 3 exact — enough: any unreturned item scores at most the
+	// 3rd exact score, and we check the returned set against it.
+	for _, eps := range []float64{0.05, 0.1, 0.3, 0.6} {
+		p := epsilonTestProblem(t, 3)
+		r, err := p.Runner(ModeGRECA)
+		if err != nil {
+			t.Fatalf("Runner: %v", err)
+		}
+		for !r.Done() {
+			if r.Step(1) {
+				break
+			}
+			if r.EpsilonReached(eps) {
+				snap := r.Snapshot()
+				if len(snap.TopK) == 0 {
+					t.Fatalf("eps=%g: certificate with empty top-k", eps)
+				}
+				kth := snap.TopK[len(snap.TopK)-1].LB
+				// Every exact score outside the returned keys must sit
+				// within eps of the returned k-th lower bound.
+				returned := map[int]bool{}
+				for _, si := range snap.TopK {
+					returned[si.Key] = true
+				}
+				for _, is := range exactRes.TopK {
+					if returned[is.Key] {
+						continue
+					}
+					if is.LB > kth+eps {
+						t.Errorf("eps=%g: unreturned item %d scores %.4f > kth %.4f + eps",
+							eps, is.Key, is.LB, kth)
+					}
+				}
+				break
+			}
+		}
+	}
+}

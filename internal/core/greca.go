@@ -68,6 +68,13 @@ const (
 	// cancellation or a streaming consumer that stopped). Only partial
 	// snapshots carry this reason; a completed Run never does.
 	StopCancelled
+	// StopEpsilon: the run was cut short by a bound-gap ε policy —
+	// Runner.EpsilonReached certified that both exact stopping
+	// conditions hold within the caller's epsilon, so the returned
+	// itemset is an ε-approximate top-k: every item outside it, seen
+	// or unseen, is guaranteed within ε of the returned k-th lower
+	// bound. Like StopCancelled, only partial results carry it.
+	StopEpsilon
 )
 
 // String names the reason.
@@ -81,6 +88,8 @@ func (r StopReason) String() string {
 		return "exhausted"
 	case StopCancelled:
 		return "cancelled"
+	case StopEpsilon:
+		return "epsilon"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}

@@ -129,6 +129,37 @@ func (r *Runner) Step(n int) bool {
 // Done reports whether the run has terminated.
 func (r *Runner) Done() bool { return r.done }
 
+// epsilonStepper is implemented by the modes that can certify an
+// ε-approximate top-k mid-run.
+type epsilonStepper interface {
+	epsilonReached(eps float64) bool
+}
+
+// EpsilonReached reports whether the run's current state certifies an
+// ε-approximate top-K: K candidates are buffered, and every item NOT
+// among the top K — unseen (bounded by the global threshold) or
+// buffered outside the top-k (bounded by its own upper bound) — is
+// guaranteed to score less than eps above the k-th best lower bound.
+// This is the exact termination condition (threshold + buffer)
+// relaxed by eps, so eps = 0 recovers exactness and the certificate
+// is sound for any buffered candidate state — unlike the bare
+// Snapshot.BoundGap, which ignores buffered candidates' upper bounds.
+//
+// It returns false before the bounds are first evaluated, while fewer
+// than K candidates exist, for non-positive eps, once the run is Done
+// (the final result is exact; no approximation applies), and for
+// modes without bound tracking (full scan). Cost: for GRECA, one
+// float compare per check until the threshold gap is inside eps; the
+// baseline modes re-derive their exact-seen ranking, mirroring what
+// their own stopping checks already compute each sweep.
+func (r *Runner) EpsilonReached(eps float64) bool {
+	if r.done || eps <= 0 {
+		return false
+	}
+	es, ok := r.s.(epsilonStepper)
+	return ok && es.epsilonReached(eps)
+}
+
 // Snapshot returns the current bounds-consistent partial top-k. After
 // the final step it describes the final result.
 func (r *Runner) Snapshot() Snapshot { return r.s.snapshot() }
@@ -310,6 +341,33 @@ func (s *grecaState) step() bool {
 	}
 }
 
+// epsilonReached mirrors the exact stopping conditions with an eps
+// slack: K buffered candidates must exist (an ε-approximate top-k is
+// still a top-K; certifying on a short buffer would return fewer
+// items than every other mode requires), and the threshold condition
+// (unseen items) and buffer condition (candidates outside the
+// lower-bound top-k) must both hold within eps of the k-th lower
+// bound. The cheap threshold comparison runs first, so the per-check
+// cost of an ε-enabled run is one float compare until the run is
+// actually near the stop.
+func (s *grecaState) epsilonReached(eps float64) bool {
+	if !s.evaluated || len(s.alive) < s.p.in.K {
+		return false
+	}
+	// State is consistent here: step only returns at stopping checks,
+	// where bounds were just refreshed and lastTh/lastKth recorded.
+	if s.lastTh-s.lastKth >= eps {
+		return false
+	}
+	sorted := sortByLB(s.alive)
+	for _, c := range sorted[s.p.in.K:] {
+		if c.ub-s.lastKth >= eps {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *grecaState) snapshot() Snapshot {
 	snap := Snapshot{
 		Stats:     s.st,
@@ -455,6 +513,32 @@ func (s *thresholdExactState) exactSeen() []ItemScore {
 		return exact[a].Key < exact[b].Key
 	})
 	return exact
+}
+
+// epsilonReached relaxes this baseline's exact stop by eps: k fully
+// resolved items whose k-th exact score is within eps of both the
+// unseen-item threshold and every partially seen item's upper bound.
+func (s *thresholdExactState) epsilonReached(eps float64) bool {
+	if !s.evaluated {
+		return false
+	}
+	exact := s.exactSeen()
+	if len(exact) < s.p.in.K {
+		return false
+	}
+	kth := exact[s.p.in.K-1].LB
+	if s.lastTh-kth >= eps {
+		return false
+	}
+	for key := range s.seen {
+		if s.ev.fullyKnown(key) {
+			continue
+		}
+		if s.ev.scoreItem(key).Hi-kth >= eps {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *thresholdExactState) snapshot() Snapshot {
@@ -616,6 +700,18 @@ func (s *taState) step() bool {
 		return true
 	}
 	return false
+}
+
+// epsilonReached relaxes TA's stop by eps. Every seen item is fully
+// resolved on sight (random accesses), so items beyond the top-k in
+// the exact map already score at most the k-th — only the unseen-item
+// threshold can exceed it.
+func (s *taState) epsilonReached(eps float64) bool {
+	if !s.evald || len(s.exact) < s.p.in.K {
+		return false
+	}
+	topK := topKFromMap(s.exact, s.p.in.K)
+	return s.lastTh-topK[s.p.in.K-1].LB < eps
 }
 
 func (s *taState) snapshot() Snapshot {

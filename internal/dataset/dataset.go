@@ -9,6 +9,8 @@ package dataset
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/shard"
 )
 
 // UserID identifies a user. IDs are dense small integers starting at 0
@@ -45,7 +47,18 @@ type Stats struct {
 // Store is an in-memory collaborative rating database with both
 // user-major and item-major access paths. It is immutable after
 // Freeze; all query methods are then safe for concurrent use.
+//
+// Per-user state — the rating rows and the rated-item bitsets — lives
+// in per-shard arenas after Freeze, partitioned by a shard.Map
+// (Single unless Reshard installs a wider one): every user-keyed
+// lookup routes through the map to its shard's arena, so a sharded
+// world reads only the arenas its group members hash to. Item-major
+// state (the catalog, popularity ranking, per-item rating lists) is
+// shared: it is a property of the catalog, not of any user range.
 type Store struct {
+	// byUser is the ingest-side accumulation; Freeze partitions it
+	// into parts and clears it, so post-freeze reads have one source
+	// of truth.
 	byUser   map[UserID][]Rating
 	byItem   map[ItemID][]Rating
 	users    []UserID
@@ -56,11 +69,25 @@ type Store struct {
 	// popRanked is the popularity ranking, precomputed at Freeze so
 	// hot-path candidate selection never re-sorts the catalog.
 	popRanked []ItemID
-	// rated[u] marks u's rated items as a bitset indexed by ItemID.
-	// Built at Freeze when IDs are dense enough (see bitsetEligible);
-	// nil otherwise, in which case callers fall back to Value lookups.
-	rated     map[UserID]Bitset
+	// sm partitions per-user state; parts are its arenas (one per
+	// shard, built at Freeze).
+	sm    shard.Map
+	parts []storePart
+	// maskWords is the bitset length in words, 0 when bitsets are
+	// unavailable (item IDs too sparse or negative — see
+	// bitsetEligible).
 	maskWords int
+}
+
+// storePart is one shard's arena of per-user state: the rating rows
+// and rated-item bitsets of exactly the users hashing to this shard.
+// Bitsets share one backing array per arena, so a shard's per-user
+// masks are contiguous in memory.
+type storePart struct {
+	byUser map[UserID][]Rating
+	// rated[u] marks u's rated items as a bitset indexed by ItemID;
+	// nil map when bitsets are unavailable.
+	rated map[UserID]Bitset
 }
 
 // Bitset is a fixed-size item-indexed bit vector. The zero value (nil)
@@ -109,11 +136,13 @@ func (s *Store) bitsetEligible() (words int, ok bool) {
 	return words, true
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store partitioned 1-way (use Reshard
+// after Freeze to widen).
 func NewStore() *Store {
 	return &Store{
 		byUser: make(map[UserID][]Rating),
 		byItem: make(map[ItemID][]Rating),
+		sm:     shard.Single,
 	}
 }
 
@@ -167,21 +196,77 @@ func (s *Store) Freeze() {
 		return s.popRanked[i] < s.popRanked[j]
 	})
 
-	// Per-user rated-item bitsets, so candidate selection tests
-	// membership in O(1) word ops instead of per-item binary searches.
-	if words, ok := s.bitsetEligible(); ok {
+	// Partition per-user state into the shard arenas; the ingest map
+	// is cleared so post-freeze reads have one source of truth.
+	s.partition(s.byUser)
+	s.byUser = nil
+	s.frozen = true
+}
+
+// partition builds the per-shard arenas from a user-keyed rating map:
+// each shard gets its own rating-row map and, when item IDs are dense
+// enough, a contiguous bitset arena covering exactly its users.
+func (s *Store) partition(byUser map[UserID][]Rating) {
+	n := s.sm.N()
+	s.parts = make([]storePart, n)
+	perShard := make([][]UserID, n)
+	for _, u := range s.users {
+		si := s.sm.Of(int64(u))
+		perShard[si] = append(perShard[si], u)
+	}
+	words, bitsets := s.bitsetEligible()
+	if bitsets {
 		s.maskWords = words
-		s.rated = make(map[UserID]Bitset, len(s.byUser))
-		backing := make([]uint64, words*len(s.users))
-		for i, u := range s.users {
-			b := Bitset(backing[i*words : (i+1)*words])
-			for _, r := range s.byUser[u] {
-				b.set(r.Item)
+	} else {
+		s.maskWords = 0
+	}
+	for si := range s.parts {
+		p := &s.parts[si]
+		p.byUser = make(map[UserID][]Rating, len(perShard[si]))
+		for _, u := range perShard[si] {
+			p.byUser[u] = byUser[u]
+		}
+		if bitsets {
+			p.rated = make(map[UserID]Bitset, len(perShard[si]))
+			backing := make([]uint64, words*len(perShard[si]))
+			for i, u := range perShard[si] {
+				b := Bitset(backing[i*words : (i+1)*words])
+				for _, r := range p.byUser[u] {
+					b.set(r.Item)
+				}
+				p.rated[u] = b
 			}
-			s.rated[u] = b
 		}
 	}
-	s.frozen = true
+}
+
+// Reshard re-partitions the per-user arenas under a new shard map (nil
+// reverts to the single-shard layout). The store must be frozen; the
+// rating data itself is untouched — only the arena a user's rows and
+// bitset live in changes — so every query answers identically before
+// and after. This is how the World applies Config.Shards to a store
+// the loaders froze 1-way. Cost is one partition pass (map moves plus
+// a bitset refill); Freeze's sorting — the expensive part of loading —
+// is never repeated, so resharding at startup is cheap relative to
+// the load itself.
+func (s *Store) Reshard(m shard.Map) {
+	s.mustFrozen("Reshard")
+	merged := make(map[UserID][]Rating, len(s.users))
+	for pi := range s.parts {
+		for u, rs := range s.parts[pi].byUser {
+			merged[u] = rs
+		}
+	}
+	s.sm = shard.Normalize(m)
+	s.partition(merged)
+}
+
+// Sharding returns the shard map partitioning the per-user arenas.
+func (s *Store) Sharding() shard.Map { return s.sm }
+
+// part returns the arena holding u's per-user state.
+func (s *Store) part(u UserID) *storePart {
+	return &s.parts[s.sm.Of(int64(u))]
 }
 
 // GroupRatedMask returns the union of the rated-item bitsets of the
@@ -190,12 +275,12 @@ func (s *Store) Freeze() {
 // from the store contribute nothing. The result is freshly allocated;
 // the caller owns it.
 func (s *Store) GroupRatedMask(users []UserID) Bitset {
-	if s.rated == nil {
+	if !s.frozen || s.maskWords == 0 {
 		return nil
 	}
 	mask := make(Bitset, s.maskWords)
 	for _, u := range users {
-		if b, ok := s.rated[u]; ok {
+		if b, ok := s.part(u).rated[u]; ok {
 			mask.or(b)
 		}
 	}
@@ -219,10 +304,11 @@ func (s *Store) Items() []ItemID {
 }
 
 // ByUser returns the ratings of u sorted by item (shared slice; may be
-// nil if u rated nothing).
+// nil if u rated nothing). The lookup routes through the shard map to
+// u's arena.
 func (s *Store) ByUser(u UserID) []Rating {
 	s.mustFrozen("ByUser")
-	return s.byUser[u]
+	return s.part(u).byUser[u]
 }
 
 // ByItem returns the ratings of item it sorted by user (shared slice).
@@ -233,18 +319,17 @@ func (s *Store) ByItem(it ItemID) []Rating {
 
 // Value returns the rating of u for it and whether it exists.
 func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
-	rs := s.byUser[u]
-	lo, hi := 0, len(rs)
 	if s.frozen {
+		rs := s.part(u).byUser[u]
 		i := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= it })
 		if i < len(rs) && rs[i].Item == it {
 			return rs[i].Value, true
 		}
 		return 0, false
 	}
-	for i := lo; i < hi; i++ {
-		if rs[i].Item == it {
-			return rs[i].Value, true
+	for _, r := range s.byUser[u] {
+		if r.Item == it {
+			return r.Value, true
 		}
 	}
 	return 0, false
@@ -252,8 +337,8 @@ func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
 
 // HasRated reports whether user u has rated item it.
 func (s *Store) HasRated(u UserID, it ItemID) bool {
-	if s.rated != nil {
-		return s.rated[u].Has(it)
+	if s.frozen && s.maskWords > 0 {
+		return s.part(u).rated[u].Has(it)
 	}
 	_, ok := s.Value(u, it)
 	return ok

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// TestReshardPreservesQueries pins the per-shard arena refactor: after
+// re-partitioning a frozen store under any shard count, every query
+// answers identically — only the arena a user's rows and bitset live
+// in changes.
+func TestReshardPreservesQueries(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		for u := 0; u < 12; u++ {
+			for it := 0; it <= u%5; it++ {
+				mustAdd(t, s, Rating{User: UserID(u), Item: ItemID(it * 10), Value: float64(1 + (u+it)%5), Time: int64(u*100 + it)})
+			}
+		}
+		s.Freeze()
+		return s
+	}
+	baseline := build()
+	users := baseline.Users()
+	groups := [][]UserID{users[:1], users[2:5], users}
+
+	for _, n := range []int{1, 3, 4, 16} {
+		s := build()
+		m, err := shard.New(n)
+		if err != nil {
+			t.Fatalf("shard.New(%d): %v", n, err)
+		}
+		s.Reshard(m)
+		if s.Sharding().N() != n {
+			t.Fatalf("Sharding().N() = %d, want %d", s.Sharding().N(), n)
+		}
+		for _, u := range users {
+			if !reflect.DeepEqual(baseline.ByUser(u), s.ByUser(u)) {
+				t.Errorf("n=%d: ByUser(%d) diverges", n, u)
+			}
+			for _, it := range baseline.Items() {
+				bv, bok := baseline.Value(u, it)
+				gv, gok := s.Value(u, it)
+				if bv != gv || bok != gok {
+					t.Errorf("n=%d: Value(%d,%d) = %v,%v want %v,%v", n, u, it, gv, gok, bv, bok)
+				}
+				if baseline.HasRated(u, it) != s.HasRated(u, it) {
+					t.Errorf("n=%d: HasRated(%d,%d) diverges", n, u, it)
+				}
+			}
+		}
+		for gi, g := range groups {
+			if !reflect.DeepEqual(baseline.GroupRatedMask(g), s.GroupRatedMask(g)) {
+				t.Errorf("n=%d: GroupRatedMask(group %d) diverges", n, gi)
+			}
+		}
+		if !reflect.DeepEqual(baseline.Stats(), s.Stats()) {
+			t.Errorf("n=%d: Stats diverge", n)
+		}
+		if !reflect.DeepEqual(baseline.PopularityRanked(), s.PopularityRanked()) {
+			t.Errorf("n=%d: popularity ranking diverges", n)
+		}
+	}
+}
+
+// TestReshardNilRevertsToSingle: Reshard(nil) is the 1-way layout.
+func TestReshardNilRevertsToSingle(t *testing.T) {
+	s := smallStore(t)
+	m, _ := shard.New(4)
+	s.Reshard(m)
+	s.Reshard(nil)
+	if s.Sharding().N() != 1 {
+		t.Errorf("Reshard(nil) left %d shards", s.Sharding().N())
+	}
+	if v, ok := s.Value(1, 20); !ok || v != 3 {
+		t.Errorf("Value(1,20) = %v,%v after reshard round-trip", v, ok)
+	}
+}
+
+// TestReshardRequiresFrozen: resharding an unfrozen store is a
+// programming error.
+func TestReshardRequiresFrozen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Reshard on an unfrozen store did not panic")
+		}
+	}()
+	NewStore().Reshard(shard.Single)
+}

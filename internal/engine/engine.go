@@ -17,12 +17,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/liststore"
+	"repro/internal/shard"
 )
 
 // Assembler fills preference matrices from a cf.Source. It is
-// immutable after New (and AttachListStore) and safe for concurrent
-// use; a single Assembler is meant to be shared by all traffic against
-// one World.
+// immutable after New (and AttachListStore / AttachShards) and safe
+// for concurrent use; a single Assembler is meant to be shared by all
+// traffic against one World.
 type Assembler struct {
 	src     cf.Source
 	into    cf.BatchInto // src's in-place path, when it has one
@@ -31,6 +32,13 @@ type Assembler struct {
 	// lists is the optional sorted-list store; nil disables the
 	// view-served path.
 	lists *liststore.Store
+	// sm is the world's user-range partitioning. The assembler routes
+	// each member's view acquisition through it (mixed-shard groups
+	// resolve each member against its own shard's sub-store, so
+	// assembly never takes a cross-shard lock) and interleaves the
+	// fill order across shards so concurrent workers start on distinct
+	// shards instead of convoying on one sub-store's mutex.
+	sm shard.Map
 }
 
 // New builds an Assembler over src with the given per-call worker
@@ -40,7 +48,7 @@ func New(src cf.Source, workers int) *Assembler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	a := &Assembler{src: src, workers: workers}
+	a := &Assembler{src: src, workers: workers, sm: shard.Single}
 	a.into, _ = src.(cf.BatchInto)
 	a.rows.New = func() any { s := make([]float64, 0); return &s }
 	return a
@@ -50,6 +58,10 @@ func New(src cf.Source, workers int) *Assembler {
 // enabling AprefViews. Call before the assembler starts serving
 // traffic (it is not synchronized).
 func (a *Assembler) AttachListStore(lists *liststore.Store) { a.lists = lists }
+
+// AttachShards installs the world's shard map (nil reverts to the
+// 1-way layout). Call before the assembler starts serving traffic.
+func (a *Assembler) AttachShards(m shard.Map) { a.sm = shard.Normalize(m) }
 
 // ListStore returns the attached sorted-list store, or nil.
 func (a *Assembler) ListStore() *liststore.Store { return a.lists }
@@ -95,12 +107,22 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 // forEachMember runs fill(ui) for ui in [0,g) over at most
 // min(workers, g) goroutines.
 func (a *Assembler) forEachMember(g int, fill func(int)) {
+	a.forEachMemberOrdered(identityOrder(g), fill)
+}
+
+// forEachMemberOrdered runs fill(ui) for every ui in order, handing
+// indexes to at most min(workers, len(order)) goroutines in the given
+// sequence. Each fill writes only its own member's slot, so the order
+// never changes the assembled output — only which locks concurrent
+// workers contend on first.
+func (a *Assembler) forEachMemberOrdered(order []int, fill func(int)) {
+	g := len(order)
 	w := a.workers
 	if w > g {
 		w = g
 	}
 	if w <= 1 {
-		for ui := 0; ui < g; ui++ {
+		for _, ui := range order {
 			fill(ui)
 		}
 		return
@@ -116,11 +138,49 @@ func (a *Assembler) forEachMember(g int, fill func(int)) {
 			}
 		}()
 	}
-	for ui := 0; ui < g; ui++ {
+	for _, ui := range order {
 		next <- ui
 	}
 	close(next)
 	wg.Wait()
+}
+
+func identityOrder(g int) []int {
+	order := make([]int, g)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// shardInterleavedOrder buckets the group's member indexes by shard
+// and deals them out round-robin, so the first w indexes handed to w
+// concurrent workers land on w distinct sub-stores whenever the group
+// spans that many shards. For a 1-way map (or a single-shard group)
+// the order is the identity.
+func (a *Assembler) shardInterleavedOrder(group []dataset.UserID) []int {
+	if a.sm.N() == 1 {
+		return identityOrder(len(group))
+	}
+	buckets := make(map[int][]int)
+	var shards []int
+	for ui, u := range group {
+		s := a.sm.Of(int64(u))
+		if _, ok := buckets[s]; !ok {
+			shards = append(shards, s)
+		}
+		buckets[s] = append(buckets[s], ui)
+	}
+	order := make([]int, 0, len(group))
+	for len(order) < len(group) {
+		for _, s := range shards {
+			if b := buckets[s]; len(b) > 0 {
+				order = append(order, b[0])
+				buckets[s] = b[1:]
+			}
+		}
+	}
+	return order
 }
 
 // ViewAssembly is the product of a store-served assembly: the dense
@@ -142,6 +202,12 @@ type ViewAssembly struct {
 // disagrees with the store's, or the mapping covers less than half the
 // slice (a candidate set foreign to the popularity pool assembles
 // faster densely); callers then fall back to AprefRows + NewProblem.
+//
+// Views resolve through the world's shard map: each member's Acquire
+// routes to its own shard's sub-store, so a mixed-shard group
+// assembles without any cross-shard lock, and the fill order is
+// interleaved across shards so concurrent workers spread over the
+// sub-stores instead of queueing on one.
 func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, divisor float64) (ViewAssembly, bool) {
 	if a.lists == nil || a.lists.Divisor() != divisor || len(group) == 0 || len(items) == 0 {
 		return ViewAssembly{}, false
@@ -159,7 +225,7 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 			Members: make([]core.MemberView, g),
 		},
 	}
-	a.forEachMember(g, func(ui int) {
+	a.forEachMemberOrdered(a.shardInterleavedOrder(group), func(ui int) {
 		v := a.lists.Acquire(group[ui])
 		row := a.getRow(len(items))
 		for p, l := range mapping.LocalOf {

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/liststore"
+	"repro/internal/shard"
+)
+
+// TestAprefViewsShardedIdentical: an assembler over a 4-way-sharded
+// list store (with the matching shard map attached, so member fills
+// interleave across sub-stores) produces byte-identical view
+// assemblies to the unsharded one — rows, sorted views, and patches —
+// for mixed-shard groups, in both sequential and parallel fills.
+func TestAprefViewsShardedIdentical(t *testing.T) {
+	store, pred := testSubstrate(t)
+	pool := store.PopularityRanked()
+	m, _ := shard.New(4)
+
+	for _, workers := range []int{1, 8} {
+		plain := New(pred, workers)
+		plain.AttachListStore(liststore.New(pred, pool, 64, 5))
+		sharded := New(pred, workers)
+		sharded.AttachListStore(liststore.NewSharded(pred, pool, 64, 5, m))
+		sharded.AttachShards(m)
+
+		group := []dataset.UserID{0, 3, 7, 12, 25, 4}
+		// Guarantee the group genuinely mixes shards.
+		seen := make(map[int]bool)
+		for _, u := range group {
+			seen[m.Of(int64(u))] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("test group spans %d shards, want >= 2", len(seen))
+		}
+		items := append(append([]dataset.ItemID{}, pool[:10]...), 999) // 999: patch item
+		want, ok1 := plain.AprefViews(group, items, 5)
+		got, ok2 := sharded.AprefViews(group, items, 5)
+		if !ok1 || !ok2 {
+			t.Fatalf("workers=%d: view assembly declined (plain %v, sharded %v)", workers, ok1, ok2)
+		}
+		if !reflect.DeepEqual(want.Rows, got.Rows) {
+			t.Errorf("workers=%d: rows diverge", workers)
+		}
+		if !reflect.DeepEqual(want.Views.LocalOf, got.Views.LocalOf) {
+			t.Errorf("workers=%d: mappings diverge", workers)
+		}
+		for ui := range want.Views.Members {
+			w, g := want.Views.Members[ui], got.Views.Members[ui]
+			if !reflect.DeepEqual(w.View.Entries, g.View.Entries) {
+				t.Errorf("workers=%d member %d: sorted views diverge", workers, ui)
+			}
+			if !reflect.DeepEqual(w.Patch, g.Patch) {
+				t.Errorf("workers=%d member %d: patches diverge", workers, ui)
+			}
+		}
+		plain.Release(want.Rows)
+		sharded.Release(got.Rows)
+	}
+}
+
+// TestShardInterleavedOrder pins the fill-order contract: every member
+// index appears exactly once, consecutive positions rotate across the
+// group's shards, and a 1-way map keeps the identity order (the
+// bit-identical degenerate case).
+func TestShardInterleavedOrder(t *testing.T) {
+	m, _ := shard.New(4)
+	a := New(nil, 1)
+	a.AttachShards(m)
+	group := []dataset.UserID{0, 1, 2, 3, 4, 5, 6, 7}
+	order := a.shardInterleavedOrder(group)
+	if len(order) != len(group) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(group))
+	}
+	seen := make([]bool, len(group))
+	for _, ui := range order {
+		if ui < 0 || ui >= len(group) || seen[ui] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[ui] = true
+	}
+	// The first positions cover as many distinct shards as the group
+	// spans (round-robin dealing).
+	shards := make(map[int]bool)
+	for _, u := range group {
+		shards[m.Of(int64(u))] = true
+	}
+	prefix := make(map[int]bool)
+	for _, ui := range order[:len(shards)] {
+		prefix[m.Of(int64(group[ui]))] = true
+	}
+	if len(prefix) != len(shards) {
+		t.Errorf("first %d fills cover %d shards, want %d (order %v)", len(shards), len(prefix), len(shards), order)
+	}
+
+	single := New(nil, 1)
+	if got := single.shardInterleavedOrder(group); !reflect.DeepEqual(got, identityOrder(len(group))) {
+		t.Errorf("1-way order = %v, want identity", got)
+	}
+}

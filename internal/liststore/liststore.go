@@ -14,6 +14,14 @@
 // predictor. Views are immutable once built; rating ingest must
 // Invalidate the affected users, which drops their views for rebuild on
 // next use. See DESIGN.md's "Sorted-list store" section.
+//
+// The Store is a thin fan-out over per-shard sub-stores: a shard.Map
+// routes each user to the part holding its view slot, and every part
+// keeps its own mutex, CLOCK ring, capacity budget, and counters.
+// Acquiring or invalidating a view therefore locks exactly one shard —
+// invalidation traffic on one shard never blocks view serving on
+// another. Candidate mappings are pool-indexed (user-independent), so
+// the mapping memo stays at the fan-out level, shared by all shards.
 package liststore
 
 import (
@@ -23,6 +31,7 @@ import (
 	"repro/internal/cf"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/shard"
 )
 
 // DefaultMaxUsers bounds materialized per-user views. A view over a
@@ -61,7 +70,10 @@ type Mapping struct {
 
 // Stats is the store's observability surface for /stats: view traffic
 // (hits vs builds, rebuilds after invalidation), lifecycle counters,
-// patch volume, and the mapping cache.
+// patch volume, and the mapping cache. The per-user counters aggregate
+// across shards (they are exactly the sum of StatsByShard); the
+// mapping and patch counters are store-global, since mappings are a
+// pool property shared by every shard.
 type Stats struct {
 	// ViewHits counts Acquire calls answered by a materialized view;
 	// ViewBuilds counts materializations (first use or after eviction);
@@ -85,6 +97,20 @@ type Stats struct {
 	PoolSize int `json:"pool_size"`
 }
 
+// ShardStats is one shard part's slice of the per-user counters — the
+// /stats per-shard breakdown. The fields sum exactly to the matching
+// aggregate Stats fields. MaxUsers is the part's CLOCK budget (the
+// store budget split across shards).
+type ShardStats struct {
+	ViewHits      uint64 `json:"view_hits"`
+	ViewBuilds    uint64 `json:"view_builds"`
+	Rebuilds      uint64 `json:"rebuilds"`
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+	Size          int    `json:"size"`
+	MaxUsers      int    `json:"max_users"`
+}
+
 // userEntry tracks one user's view slot: a once so concurrent first
 // acquirers build a view exactly once, and a CLOCK reference bit.
 type userEntry struct {
@@ -93,14 +119,10 @@ type userEntry struct {
 	ref  atomic.Bool
 }
 
-// Store materializes and serves per-user sorted preference views over a
-// fixed base pool. Views build lazily on first Acquire, are bounded by
-// a CLOCK (second-chance) policy over users, and drop on Invalidate.
-// Safe for concurrent use.
-type Store struct {
-	src      cf.Source
-	pool     []dataset.ItemID
-	divisor  float64
+// storePart is one shard's sub-store: the view slots of exactly the
+// users hashing to this shard, under their own mutex, CLOCK ring, and
+// capacity budget.
+type storePart struct {
 	maxUsers int
 
 	mu      sync.Mutex
@@ -109,17 +131,42 @@ type Store struct {
 	hand    int
 	// invalidated marks users whose next build is a rebuild.
 	invalidated map[dataset.UserID]bool
-	// maps memoizes candidate-slice mappings by fingerprint.
-	maps map[mapKey]*Mapping
 
 	viewHits      atomic.Uint64
 	viewBuilds    atomic.Uint64
 	rebuilds      atomic.Uint64
 	invalidations atomic.Uint64
 	evictions     atomic.Uint64
-	patchItems    atomic.Uint64
-	mapHits       atomic.Uint64
-	mapMisses     atomic.Uint64
+}
+
+func newStorePart(maxUsers int) *storePart {
+	return &storePart{
+		maxUsers:    maxUsers,
+		entries:     make(map[dataset.UserID]*userEntry),
+		invalidated: make(map[dataset.UserID]bool),
+	}
+}
+
+// Store materializes and serves per-user sorted preference views over a
+// fixed base pool, fanned out over per-shard sub-stores. Views build
+// lazily on first Acquire, are bounded per shard by a CLOCK
+// (second-chance) policy over that shard's users, and drop on
+// Invalidate. Safe for concurrent use.
+type Store struct {
+	src     cf.Source
+	pool    []dataset.ItemID
+	divisor float64
+	sm      shard.Map
+	parts   []*storePart
+
+	// mapMu guards the pool→candidate mapping memo, which is shared by
+	// all shards (mappings do not depend on users).
+	mapMu sync.Mutex
+	maps  map[mapKey]*Mapping
+
+	patchItems atomic.Uint64
+	mapHits    atomic.Uint64
+	mapMisses  atomic.Uint64
 }
 
 type mapKey struct {
@@ -127,29 +174,43 @@ type mapKey struct {
 	n  int
 }
 
-// New builds a store over src and pool (the popularity-ranked candidate
-// base; the slice is retained and must not change). maxUsers bounds
-// materialized views (DefaultMaxUsers if <= 0). divisor is the
-// normalization the engine applies to predictions (5 maps the 1..5
-// rating scale onto [0,1]); stored scores are pre-divided so views
-// feed problems directly. Returns nil for an empty pool — a store over
-// nothing serves nothing.
+// New builds an unsharded store over src and pool; see NewSharded.
 func New(src cf.Source, pool []dataset.ItemID, maxUsers int, divisor float64) *Store {
+	return NewSharded(src, pool, maxUsers, divisor, nil)
+}
+
+// NewSharded builds a store over src and pool (the popularity-ranked
+// candidate base; the slice is retained and must not change),
+// partitioned into one sub-store per shard of m (nil = one part, the
+// unsharded layout). maxUsers bounds materialized views across the
+// whole store (DefaultMaxUsers if <= 0) and is split across the parts,
+// each getting at least one slot; with m = Single the one part keeps
+// the whole budget, so the degenerate case matches the historical
+// layout exactly. divisor is the normalization the engine applies to
+// predictions (5 maps the 1..5 rating scale onto [0,1]); stored scores
+// are pre-divided so views feed problems directly. Returns nil for an
+// empty pool — a store over nothing serves nothing.
+func NewSharded(src cf.Source, pool []dataset.ItemID, maxUsers int, divisor float64, m shard.Map) *Store {
 	if len(pool) == 0 || src == nil || divisor == 0 {
 		return nil
 	}
 	if maxUsers <= 0 {
 		maxUsers = DefaultMaxUsers
 	}
-	return &Store{
-		src:         src,
-		pool:        pool,
-		divisor:     divisor,
-		maxUsers:    maxUsers,
-		entries:     make(map[dataset.UserID]*userEntry),
-		invalidated: make(map[dataset.UserID]bool),
-		maps:        make(map[mapKey]*Mapping),
+	sm := shard.Normalize(m)
+	s := &Store{
+		src:     src,
+		pool:    pool,
+		divisor: divisor,
+		sm:      sm,
+		maps:    make(map[mapKey]*Mapping),
 	}
+	budgets := shard.Split(sm, maxUsers)
+	s.parts = make([]*storePart, sm.N())
+	for i := range s.parts {
+		s.parts[i] = newStorePart(budgets[i])
+	}
+	return s
 }
 
 // Pool returns the base pool the views cover (shared, read-only).
@@ -158,59 +219,69 @@ func (s *Store) Pool() []dataset.ItemID { return s.pool }
 // Divisor returns the normalization the stored scores carry.
 func (s *Store) Divisor() float64 { return s.divisor }
 
+// Sharding returns the shard map routing users onto sub-stores.
+func (s *Store) Sharding() shard.Map { return s.sm }
+
+// part returns the sub-store holding u's view slot.
+func (s *Store) part(u dataset.UserID) *storePart {
+	return s.parts[s.sm.Of(int64(u))]
+}
+
 // Acquire returns u's view, materializing it on first use. The
 // returned view is immutable and remains valid even if the store
 // evicts or invalidates u afterwards (callers keep a reference; the
-// store just forgets it).
+// store just forgets it). Only u's shard part is locked, so acquirers
+// on different shards never contend.
 //
 // Every path funnels through the entry's once with the same build
 // closure: whichever acquirer gets there first builds, everyone else
 // blocks until the view exists. (A hit-path no-op Do would race the
 // creator — if it won, the view would stay nil forever.)
 func (s *Store) Acquire(u dataset.UserID) *View {
-	s.mu.Lock()
-	e, ok := s.entries[u]
+	p := s.part(u)
+	p.mu.Lock()
+	e, ok := p.entries[u]
 	if ok {
 		e.ref.Store(true)
-		s.mu.Unlock()
+		p.mu.Unlock()
 		e.once.Do(func() { e.view = s.build(u) })
-		s.viewHits.Add(1)
+		p.viewHits.Add(1)
 		return e.view
 	}
 	e = &userEntry{}
 	e.ref.Store(true) // enter referenced: a just-built view is never the next sweep's first victim
-	s.evictLocked()
-	s.entries[u] = e
-	s.ring = append(s.ring, u)
-	rebuilt := s.invalidated[u]
-	delete(s.invalidated, u)
-	s.mu.Unlock()
+	p.evictLocked()
+	p.entries[u] = e
+	p.ring = append(p.ring, u)
+	rebuilt := p.invalidated[u]
+	delete(p.invalidated, u)
+	p.mu.Unlock()
 
 	e.once.Do(func() { e.view = s.build(u) })
-	s.viewBuilds.Add(1)
+	p.viewBuilds.Add(1)
 	if rebuilt {
-		s.rebuilds.Add(1)
+		p.rebuilds.Add(1)
 	}
 	return e.view
 }
 
 // evictLocked makes room for one more view via CLOCK: sweep the ring,
 // give referenced entries a second chance, evict the first
-// unreferenced one. Callers hold mu.
-func (s *Store) evictLocked() {
-	for len(s.ring) >= s.maxUsers {
-		if s.hand >= len(s.ring) {
-			s.hand = 0
+// unreferenced one. Callers hold the part's mu.
+func (p *storePart) evictLocked() {
+	for len(p.ring) >= p.maxUsers {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
 		}
-		u := s.ring[s.hand]
-		e := s.entries[u]
+		u := p.ring[p.hand]
+		e := p.entries[u]
 		if e.ref.CompareAndSwap(true, false) {
-			s.hand++
+			p.hand++
 			continue
 		}
-		delete(s.entries, u)
-		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
-		s.evictions.Add(1)
+		delete(p.entries, u)
+		p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+		p.evictions.Add(1)
 	}
 }
 
@@ -232,26 +303,28 @@ func (s *Store) build(u dataset.UserID) *View {
 }
 
 // Invalidate drops u's view (rating ingest must call this for every
-// user whose preferences changed; the next Acquire rebuilds). It
-// reports whether a view was actually dropped.
+// user whose preferences changed; the next Acquire rebuilds). Only u's
+// shard part is locked. It reports whether a view was actually
+// dropped.
 func (s *Store) Invalidate(u dataset.UserID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[u]; !ok {
+	p := s.part(u)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[u]; !ok {
 		return false
 	}
-	delete(s.entries, u)
-	for i, ru := range s.ring {
+	delete(p.entries, u)
+	for i, ru := range p.ring {
 		if ru == u {
-			s.ring = append(s.ring[:i], s.ring[i+1:]...)
-			if s.hand > i {
-				s.hand--
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
 			}
 			break
 		}
 	}
-	s.invalidated[u] = true
-	s.invalidations.Add(1)
+	p.invalidated[u] = true
+	p.invalidations.Add(1)
 	return true
 }
 
@@ -264,9 +337,9 @@ func (s *Store) Invalidate(u dataset.UserID) bool {
 // candidate slice.
 func (s *Store) MapCandidates(items []dataset.ItemID) *Mapping {
 	key := mapKey{fp: cf.FingerprintItems(items), n: len(items)}
-	s.mu.Lock()
+	s.mapMu.Lock()
 	m, ok := s.maps[key]
-	s.mu.Unlock()
+	s.mapMu.Unlock()
 	if ok {
 		s.mapHits.Add(1)
 		s.patchItems.Add(uint64(len(items) - m.Matched))
@@ -287,7 +360,7 @@ func (s *Store) MapCandidates(items []dataset.ItemID) *Mapping {
 	m = &Mapping{LocalOf: localOf, Matched: j}
 	s.patchItems.Add(uint64(len(items) - j))
 
-	s.mu.Lock()
+	s.mapMu.Lock()
 	if cached, ok := s.maps[key]; ok {
 		m = cached // concurrent fill won
 	} else {
@@ -296,30 +369,74 @@ func (s *Store) MapCandidates(items []dataset.ItemID) *Mapping {
 		}
 		s.maps[key] = m
 	}
-	s.mu.Unlock()
+	s.mapMu.Unlock()
 	return m
 }
 
-// Len reports the number of materialized views.
+// Len reports the number of materialized views across all shards.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := 0
+	for _, p := range s.parts {
+		p.mu.Lock()
+		n += len(p.entries)
+		p.mu.Unlock()
+	}
+	return n
 }
 
-// Stats snapshots the store's counters. The counters are atomic and
-// only eventually consistent with each other.
-func (s *Store) Stats() Stats {
-	return Stats{
-		ViewHits:      s.viewHits.Load(),
-		ViewBuilds:    s.viewBuilds.Load(),
-		Rebuilds:      s.rebuilds.Load(),
-		Invalidations: s.invalidations.Load(),
-		Evictions:     s.evictions.Load(),
-		PatchItems:    s.patchItems.Load(),
-		MapHits:       s.mapHits.Load(),
-		MapMisses:     s.mapMisses.Load(),
-		Size:          s.Len(),
-		PoolSize:      len(s.pool),
+// statsOf snapshots one part's counters.
+func (p *storePart) statsOf() ShardStats {
+	p.mu.Lock()
+	size := len(p.entries)
+	p.mu.Unlock()
+	return ShardStats{
+		ViewHits:      p.viewHits.Load(),
+		ViewBuilds:    p.viewBuilds.Load(),
+		Rebuilds:      p.rebuilds.Load(),
+		Invalidations: p.invalidations.Load(),
+		Evictions:     p.evictions.Load(),
+		Size:          size,
+		MaxUsers:      p.maxUsers,
 	}
+}
+
+// StatsByShard snapshots each sub-store's per-user counters separately
+// (the /stats per-shard breakdown); the entries sum exactly to the
+// matching fields of Stats.
+func (s *Store) StatsByShard() []ShardStats {
+	out := make([]ShardStats, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.statsOf()
+	}
+	return out
+}
+
+// Stats snapshots the store's counters: the per-user counters summed
+// across shards plus the store-global mapping and patch counters. The
+// counters are atomic and only eventually consistent with each other.
+func (s *Store) Stats() Stats {
+	return s.StatsFrom(s.StatsByShard())
+}
+
+// StatsFrom builds the aggregate Stats from an existing per-shard
+// snapshot (as returned by StatsByShard) plus the store-global
+// mapping and patch counters. Callers that need both the breakdown
+// and the aggregate take one snapshot and derive both from it, so the
+// two levels agree exactly and every part's lock is taken once.
+func (s *Store) StatsFrom(parts []ShardStats) Stats {
+	st := Stats{
+		PatchItems: s.patchItems.Load(),
+		MapHits:    s.mapHits.Load(),
+		MapMisses:  s.mapMisses.Load(),
+		PoolSize:   len(s.pool),
+	}
+	for _, ss := range parts {
+		st.ViewHits += ss.ViewHits
+		st.ViewBuilds += ss.ViewBuilds
+		st.Rebuilds += ss.Rebuilds
+		st.Invalidations += ss.Invalidations
+		st.Evictions += ss.Evictions
+		st.Size += ss.Size
+	}
+	return st
 }

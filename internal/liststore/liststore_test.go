@@ -190,9 +190,9 @@ func TestMapCandidates(t *testing.T) {
 	for i := 0; i < mapCacheCap+10; i++ {
 		s.MapCandidates([]dataset.ItemID{dataset.ItemID(i), dataset.ItemID(i + 1)})
 	}
-	s.mu.Lock()
+	s.mapMu.Lock()
 	n := len(s.maps)
-	s.mu.Unlock()
+	s.mapMu.Unlock()
 	if n > mapCacheCap {
 		t.Errorf("map cache grew to %d, cap %d", n, mapCacheCap)
 	}

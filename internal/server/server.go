@@ -139,6 +139,11 @@ type recommendRequest struct {
 	// every N-th stopping check (0 = every check). Accepted but moot
 	// on the non-streaming routes, like max_wait_ms on batch.
 	ProgressEvery int `json:"progress_every,omitempty"`
+	// Epsilon enables bound-gap ε stopping: the run ends at the first
+	// stopping check whose threshold/kth-LB gap sinks below epsilon,
+	// answering with the ε-approximate top-k (stop = "epsilon").
+	// 0 keeps runs exact; negative values are rejected.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // batchRequest is the wire form of POST /recommend/batch.
@@ -162,6 +167,10 @@ type recommendResponse struct {
 	Accesses     int    `json:"accesses"`
 	TotalEntries int    `json:"total_entries"`
 	Stop         string `json:"stop"`
+	// Partial marks a run cut short before exact termination — today
+	// that is the bound-gap ε policy (stop "epsilon"); the items then
+	// carry the best guaranteed bounds at the stop.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type batchResponse struct {
@@ -274,6 +283,9 @@ func wireToRequest(wire recommendRequest) (repro.Request, time.Duration, error) 
 	if wire.ProgressEvery < 0 {
 		return repro.Request{}, 0, fmt.Errorf("negative progress_every %d", wire.ProgressEvery)
 	}
+	if wire.Epsilon < 0 {
+		return repro.Request{}, 0, fmt.Errorf("negative epsilon %g", wire.Epsilon)
+	}
 	spec, err := consensus.Parse(wire.Consensus)
 	if err != nil {
 		return repro.Request{}, 0, err
@@ -297,6 +309,7 @@ func wireToRequest(wire recommendRequest) (repro.Request, time.Duration, error) 
 			Consensus: spec,
 			TimeModel: model,
 			Period:    wire.Period,
+			Epsilon:   wire.Epsilon,
 		},
 	}, time.Duration(wire.MaxWaitMS) * time.Millisecond, nil
 }
@@ -326,6 +339,7 @@ func toResponse(rec *repro.Recommendation) *recommendResponse {
 		Accesses:     rec.Stats.SequentialAccesses,
 		TotalEntries: rec.Stats.TotalEntries,
 		Stop:         rec.Stats.Stop.String(),
+		Partial:      rec.Partial,
 	}
 	for _, it := range rec.Items {
 		resp.Items = append(resp.Items, scoredItem{

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if m, err := New(n); err == nil {
+			t.Errorf("New(%d) = %v, want error", n, m)
+		}
+	}
+	m, err := New(1)
+	if err != nil || m.N() != 1 {
+		t.Fatalf("New(1) = %v, %v", m, err)
+	}
+}
+
+func TestSingleDegeneratesToShardZero(t *testing.T) {
+	if Single.N() != 1 {
+		t.Fatalf("Single.N() = %d, want 1", Single.N())
+	}
+	for _, id := range []int64{0, 1, 71, 6039, -5, 1 << 40} {
+		if s := Single.Of(id); s != 0 {
+			t.Errorf("Single.Of(%d) = %d, want 0", id, s)
+		}
+	}
+}
+
+func TestOfRangeAndDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16, 64} {
+		m, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		for id := int64(0); id < 10_000; id++ {
+			s := m.Of(id)
+			if s < 0 || s >= n {
+				t.Fatalf("Of(%d) = %d outside [0,%d)", id, s, n)
+			}
+			if s2 := m.Of(id); s2 != s {
+				t.Fatalf("Of(%d) unstable: %d then %d", id, s, s2)
+			}
+		}
+	}
+}
+
+// TestOfSpreadsDenseIDs guards the point of the finalizer: dense
+// sequential user IDs must not pile onto a few shards.
+func TestOfSpreadsDenseIDs(t *testing.T) {
+	const n, ids = 16, 16_000
+	m, _ := New(n)
+	counts := make([]int, n)
+	for id := int64(0); id < ids; id++ {
+		counts[m.Of(id)]++
+	}
+	want := ids / n
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d holds %d of %d IDs (expected near %d)", s, c, ids, want)
+		}
+	}
+}
+
+func TestPairOfRoutesByLowerID(t *testing.T) {
+	m, _ := New(8)
+	for u := int64(0); u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			want := m.Of(u)
+			if got := PairOf(m, u, v); got != want {
+				t.Fatalf("PairOf(%d,%d) = %d, want lower-ID shard %d", u, v, got, want)
+			}
+			if got := PairOf(m, v, u); got != want {
+				t.Fatalf("PairOf(%d,%d) (swapped) = %d, want %d", v, u, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(nil) != Single {
+		t.Error("Normalize(nil) is not Single")
+	}
+	m, _ := New(4)
+	if Normalize(m) != Map(m) {
+		t.Error("Normalize(m) rewrote a non-nil map")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, total int
+		want     []int
+	}{
+		{1, 1024, []int{1024}}, // 1-way keeps the whole budget
+		{4, 1024, []int{256, 256, 256, 256}},
+		{4, 10, []int{3, 3, 2, 2}}, // remainder to the low shards
+		{4, 2, []int{1, 1, 1, 1}},  // never below 1 per shard
+		{3, 0, []int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		m, _ := New(c.n)
+		got := Split(m, c.total)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d-way, %d) = %v, want %v", c.n, c.total, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Split(%d-way, %d) = %v, want %v", c.n, c.total, got, c.want)
+			}
+			sum += got[i]
+		}
+		if c.total >= c.n && sum != c.total {
+			t.Errorf("Split(%d-way, %d) sums to %d, want exact total", c.n, c.total, sum)
+		}
+	}
+}
+
+// TestOfConcurrent exercises Of under the race detector: the map is
+// immutable, so concurrent routing must be safe by construction.
+func TestOfConcurrent(t *testing.T) {
+	m, _ := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for id := seed; id < seed+5_000; id++ {
+				if s := m.Of(id); s < 0 || s >= 16 {
+					panic("shard out of range")
+				}
+			}
+		}(int64(g) * 1_000)
+	}
+	wg.Wait()
+}

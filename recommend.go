@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/affinity"
@@ -96,6 +97,18 @@ type Options struct {
 	// is never thinned. Skipped checks build no snapshot, so large
 	// values make streaming nearly as cheap as RecommendContext.
 	ProgressEvery int
+	// Epsilon, when positive, enables bound-gap ε stopping (NRA-style
+	// ε-approximation): the run stops at the first stopping check
+	// certifying that every item outside the current top-k — unseen
+	// (bounded by the global threshold) or buffered (bounded by its
+	// own upper bound) — scores less than Epsilon above the k-th best
+	// guaranteed lower bound (core.Runner.EpsilonReached: the exact
+	// threshold + buffer stopping conditions relaxed by ε). The
+	// current top-k is returned as a Partial recommendation with
+	// Stats.Stop = core.StopEpsilon — approximate exactness traded
+	// for latency. 0 (the default) keeps runs exact; negative values
+	// are rejected.
+	Epsilon float64
 	// MonolithicAffinityLists disables the paper's per-user
 	// partitioning of affinity lists (ablation).
 	MonolithicAffinityLists bool
@@ -126,6 +139,9 @@ func (o *Options) fill() error {
 	if o.NumItems < 0 {
 		return fmt.Errorf("repro: negative NumItems %d", o.NumItems)
 	}
+	if o.Epsilon < 0 || math.IsNaN(o.Epsilon) {
+		return fmt.Errorf("repro: invalid Epsilon %v (want >= 0)", o.Epsilon)
+	}
 	if o.K == 0 {
 		o.K = DefaultK
 	}
@@ -155,11 +171,12 @@ type Recommendation struct {
 	Stats core.AccessStats
 	// Period is the resolved "now" period index.
 	Period int
-	// Partial marks a recommendation cut short before the stopping
-	// conditions were met — a cancelled context or a streaming
-	// consumer that stopped. Items then carry the best bounds known at
-	// interruption (possibly fewer than K of them) and Stats.Stop is
-	// core.StopCancelled. Completed runs always have Partial false.
+	// Partial marks a recommendation cut short before the exact
+	// stopping conditions were met — a cancelled context, a streaming
+	// consumer that stopped (both Stats.Stop = core.StopCancelled), or
+	// the bound-gap ε policy firing (Stats.Stop = core.StopEpsilon).
+	// Items then carry the best bounds known at interruption (possibly
+	// fewer than K of them). Completed runs always have Partial false.
 	Partial bool
 }
 

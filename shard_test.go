@@ -1,0 +1,301 @@
+package repro
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// shardedWorld builds a tinyConfig world with the given shard count.
+func shardedWorld(t *testing.T, shards int) *World {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.Shards = shards
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("NewWorld(shards=%d): %v", shards, err)
+	}
+	if got := w.Shards(); got != maxInt(shards, 1) {
+		t.Fatalf("world shards = %d, want %d", got, shards)
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mixedShardGroup picks one participant per distinct shard until size
+// is reached, guaranteeing the group spans at least min(size, shards)
+// shards — the mixed-shard case the sharded assembly must serve
+// without cross-shard coordination.
+func mixedShardGroup(t *testing.T, w *World, size int) []dataset.UserID {
+	t.Helper()
+	group := make([]dataset.UserID, 0, size)
+	seen := make(map[int]bool)
+	for _, u := range w.Participants() {
+		if s := w.ShardOf(u); !seen[s] {
+			seen[s] = true
+			group = append(group, u)
+			if len(group) == size {
+				break
+			}
+		}
+	}
+	// Smaller shard counts may not offer `size` distinct shards; top
+	// up with remaining participants.
+	for _, u := range w.Participants() {
+		if len(group) == size {
+			break
+		}
+		dup := false
+		for _, g := range group {
+			if g == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			group = append(group, u)
+		}
+	}
+	if len(seen) < 2 && w.Shards() > 1 {
+		t.Fatalf("mixed-shard group spans %d shards, want >= 2", len(seen))
+	}
+	return group
+}
+
+// TestRecommendShardedDifferential is the facade-level acceptance test
+// of the sharded world: Config.Shards ∈ {1, 4, 16} must produce
+// byte-identical recommendations to the unsharded seed path — across
+// consensus functions, time models, group shapes (single member,
+// mixed-shard groups), and candidate sizes. Sharding only moves state
+// between arenas; it must never move a score or a tie order.
+func TestRecommendShardedDifferential(t *testing.T) {
+	baseline := tinyWorld(t) // Config.Shards zero: the unsharded seed path
+	participants := baseline.Participants()
+	opts := []Options{
+		{K: 5, NumItems: 120},
+		{K: 3, NumItems: 80, Consensus: consensus.PD(0.8)},
+		{K: 4, NumItems: 100, TimeModel: TimeAgnostic},
+		{K: 2, NumItems: 60, TimeModel: AffinityAgnostic, Consensus: consensus.MO()},
+		{K: 3, NumItems: 90, Consensus: consensus.MO(), TimeModel: Continuous},
+	}
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w := shardedWorld(t, shards)
+			groups := [][]dataset.UserID{
+				participants[:1], // single member: no pairs, no affinity
+				participants[2:4],
+				mixedShardGroup(t, w, 5),
+			}
+			for gi, group := range groups {
+				for oi, opt := range opts {
+					want, err1 := baseline.Recommend(group, opt)
+					got, err2 := w.Recommend(group, opt)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("group %d opt %d: errors %v / %v", gi, oi, err1, err2)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("group %d opt %d: sharded result diverges\nunsharded: %+v\nsharded:   %+v", gi, oi, want, got)
+					}
+				}
+			}
+			// Post-invalidation rebuilds: dropping every member's views
+			// and cached rows must rebuild the identical state.
+			group := mixedShardGroup(t, w, 4)
+			opt := Options{K: 4, NumItems: 100}
+			want, err := baseline.Recommend(group, opt)
+			if err != nil {
+				t.Fatalf("baseline recommend: %v", err)
+			}
+			if _, err := w.Recommend(group, opt); err != nil {
+				t.Fatalf("priming recommend: %v", err)
+			}
+			for _, u := range group {
+				w.InvalidateUserViews(u)
+			}
+			got, err := w.Recommend(group, opt)
+			if err != nil {
+				t.Fatalf("post-invalidation recommend: %v", err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("post-invalidation rebuild diverges\nunsharded: %+v\nsharded:   %+v", want, got)
+			}
+			if st := w.ListStore().Stats(); st.Rebuilds == 0 {
+				t.Errorf("invalidation produced no rebuilds: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRunnerShardedDifferential pins the core and engine levels: the
+// problems a sharded world assembles (views resolved per shard,
+// preference rows filled through sharded caches) must drive every
+// execution mode to the same result as the unsharded world's problems
+// — same top-k, same bounds, same access counts, same stop reason.
+func TestRunnerShardedDifferential(t *testing.T) {
+	baseline := tinyWorld(t)
+	group := baseline.Participants()[3:7]
+	opt := Options{K: 4, NumItems: 90}
+	modes := []core.Mode{core.ModeGRECA, core.ModeThresholdExact, core.ModeFullScan, core.ModeTA}
+	for _, shards := range []int{1, 4, 16} {
+		w := shardedWorld(t, shards)
+		for _, mode := range modes {
+			wantProb, wantItems, err := baseline.BuildProblem(group, opt)
+			if err != nil {
+				t.Fatalf("baseline BuildProblem: %v", err)
+			}
+			gotProb, gotItems, err := w.BuildProblem(group, opt)
+			if err != nil {
+				t.Fatalf("sharded BuildProblem (shards=%d): %v", shards, err)
+			}
+			if !reflect.DeepEqual(wantItems, gotItems) {
+				t.Fatalf("shards=%d: candidate slices diverge", shards)
+			}
+			want, err1 := wantProb.Run(mode)
+			got, err2 := gotProb.Run(mode)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("shards=%d mode=%v: run errors %v / %v", shards, mode, err1, err2)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("shards=%d mode=%v: results diverge\nunsharded: %+v\nsharded:   %+v", shards, mode, want, got)
+			}
+		}
+	}
+}
+
+// TestCacheStatsPerShardSumsToAggregate pins the /stats contract: the
+// aggregate cache counters are exactly the sums of the per-shard
+// breakdown (measured quiescent, after a burst of traffic).
+func TestCacheStatsPerShardSumsToAggregate(t *testing.T) {
+	w := shardedWorld(t, 4)
+	group := mixedShardGroup(t, w, 5)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Recommend(group, Options{K: 3, NumItems: 80}); err != nil {
+			t.Fatalf("recommend: %v", err)
+		}
+	}
+	w.InvalidateUserViews(group[0])
+	if _, err := w.Recommend(group, Options{K: 3, NumItems: 80}); err != nil {
+		t.Fatalf("recommend after invalidation: %v", err)
+	}
+
+	st := w.CacheStats()
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats shards = %d (%d entries), want 4", st.Shards, len(st.PerShard))
+	}
+	var row, nbhd struct{ hits, misses, evictions, size uint64 }
+	var views struct{ hits, builds, rebuilds, invalidations, evictions, size uint64 }
+	for i, ps := range st.PerShard {
+		if ps.Shard != i {
+			t.Errorf("per-shard entry %d labeled %d", i, ps.Shard)
+		}
+		row.hits += ps.RowCache.Hits
+		row.misses += ps.RowCache.Misses
+		row.evictions += ps.RowCache.Evictions
+		row.size += uint64(ps.RowCache.Size)
+		nbhd.hits += ps.Neighborhoods.Hits
+		nbhd.misses += ps.Neighborhoods.Misses
+		nbhd.evictions += ps.Neighborhoods.Evictions
+		nbhd.size += uint64(ps.Neighborhoods.Size)
+		views.hits += ps.ListStore.ViewHits
+		views.builds += ps.ListStore.ViewBuilds
+		views.rebuilds += ps.ListStore.Rebuilds
+		views.invalidations += ps.ListStore.Invalidations
+		views.evictions += ps.ListStore.Evictions
+		views.size += uint64(ps.ListStore.Size)
+	}
+	if row.hits != st.RowCache.Hits || row.misses != st.RowCache.Misses ||
+		row.evictions != st.RowCache.Evictions || row.size != uint64(st.RowCache.Size) {
+		t.Errorf("row-cache per-shard sum %+v != aggregate %+v", row, st.RowCache)
+	}
+	if nbhd.hits != st.Neighborhoods.Hits || nbhd.misses != st.Neighborhoods.Misses ||
+		nbhd.evictions != st.Neighborhoods.Evictions || nbhd.size != uint64(st.Neighborhoods.Size) {
+		t.Errorf("neighborhood per-shard sum %+v != aggregate %+v", nbhd, st.Neighborhoods)
+	}
+	ls := st.ListStore
+	if views.hits != ls.ViewHits || views.builds != ls.ViewBuilds || views.rebuilds != ls.Rebuilds ||
+		views.invalidations != ls.Invalidations || views.evictions != ls.Evictions || views.size != uint64(ls.Size) {
+		t.Errorf("list-store per-shard sum %+v != aggregate %+v", views, ls)
+	}
+	// The neighborhood cache saw real traffic in this test, so the
+	// breakdown is not vacuously zero.
+	if nbhd.hits+nbhd.misses == 0 {
+		t.Error("per-shard neighborhood counters are all zero; the sum check proved nothing")
+	}
+}
+
+// TestInvalidateConcurrentWithServing exercises the satellite
+// requirement under -race: a storm of InvalidateUserViews against
+// users on one set of shards must not corrupt (or block) RecommendBatch
+// traffic whose groups live on other shards. The world spans >= 2
+// shards; served results must stay byte-identical to the quiescent
+// baseline throughout.
+func TestInvalidateConcurrentWithServing(t *testing.T) {
+	w := shardedWorld(t, 4)
+	// Split participants: serving group drawn from shards != victim's.
+	var victim dataset.UserID
+	victimSet := false
+	var group []dataset.UserID
+	for _, u := range w.Participants() {
+		switch s := w.ShardOf(u); {
+		case !victimSet:
+			victim, victimSet = u, true
+		case s != w.ShardOf(victim) && len(group) < 4:
+			group = append(group, u)
+		}
+	}
+	if !victimSet || len(group) < 2 {
+		t.Fatalf("could not split participants across shards (group %v)", group)
+	}
+	opt := Options{K: 3, NumItems: 80}
+	want, err := w.Recommend(group, opt)
+	if err != nil {
+		t.Fatalf("baseline recommend: %v", err)
+	}
+
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	wg.Add(1)
+	go func() { // invalidation storm on the victim's shard
+		defer wg.Done()
+		for i := 0; i < rounds*4; i++ {
+			w.InvalidateUserViews(victim)
+			w.ListStore().Acquire(victim) // immediately rebuild, keeping the slot churning
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := []Request{{Group: group, Options: opt}}
+			for i := 0; i < rounds; i++ {
+				for _, res := range w.RecommendBatch(reqs) {
+					if res.Err != nil {
+						errs <- res.Err
+						return
+					}
+					if !reflect.DeepEqual(want, res.Recommendation) {
+						errs <- fmt.Errorf("round %d: served result diverged under concurrent invalidation", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/liststore"
+	"repro/internal/shard"
 	"repro/internal/social"
 )
 
@@ -78,6 +79,16 @@ type Config struct {
 	// negative disables the store: every problem then re-sorts its
 	// lists in core.NewProblem).
 	ListStoreSize int
+	// Shards partitions every per-user data structure — rating rows
+	// and rated-item bitsets, the predictors' neighborhood caches, the
+	// prediction-row cache, the sorted-list store, and the affinity
+	// model's pair tables — N ways by hashing on UserID (0 or 1 keeps
+	// today's single-shard layout, bit-identically; negative is an
+	// error). Sharding only changes where state lives and which locks
+	// traffic takes, never any computed value, so recommendations are
+	// identical for every shard count. Capacity budgets (RowCacheSize,
+	// ListStoreSize) are split across the shards.
+	Shards int
 }
 
 // QuickConfig is a small, fast setup for examples and tests: a
@@ -143,6 +154,9 @@ type World struct {
 	// participants are the users present in both the rating store and
 	// the social network (the study population).
 	participants []dataset.UserID
+	// sm is the user-range partitioning every per-user structure
+	// routes through (shard.Single when Config.Shards <= 1).
+	sm shard.Map
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -150,6 +164,22 @@ type World struct {
 // over the configured granularity.
 func NewWorld(cfg Config) (*World, error) {
 	w := &World{cfg: cfg}
+
+	// User-range partitioning: every per-user structure below routes
+	// through this one map, so a user's rating rows, cached rows,
+	// views, and pair entries all live on the same shard.
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("repro: negative Shards %d", cfg.Shards)
+	}
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = 1
+	}
+	sm, err := shard.New(nShards)
+	if err != nil {
+		return nil, fmt.Errorf("repro: building shard map: %w", err)
+	}
+	w.sm = sm
 
 	scfg := cfg.Social
 	if scfg.Users == 0 {
@@ -184,6 +214,12 @@ func NewWorld(cfg Config) (*World, error) {
 		w.synth = sy
 		w.ratings = sy.Store
 	}
+	// The loaders freeze stores 1-way; re-partition the per-user
+	// arenas under the world's map (already the right layout when the
+	// world itself is 1-way).
+	if w.sm.N() > 1 {
+		w.ratings.Reshard(w.sm)
+	}
 	if nUsers := len(w.ratings.Users()); scfg.Users > nUsers {
 		return nil, fmt.Errorf("repro: social population %d exceeds rating users %d", scfg.Users, nUsers)
 	}
@@ -209,6 +245,7 @@ func NewWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: building CF predictor: %w", err)
 	}
+	pred.SetSharding(w.sm)
 	w.pred = pred
 	if cfg.ItemBasedCF && cfg.TimeWeightedCF {
 		return nil, fmt.Errorf("repro: ItemBasedCF and TimeWeightedCF are mutually exclusive")
@@ -218,6 +255,7 @@ func NewWorld(cfg Config) (*World, error) {
 		if err != nil {
 			return nil, fmt.Errorf("repro: building item-based predictor: %w", err)
 		}
+		ip.SetSharding(w.sm)
 		w.itemPred = ip
 	}
 	if cfg.TimeWeightedCF {
@@ -239,10 +277,11 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.source = base
 	if cfg.RowCacheSize >= 0 {
-		w.rowCache = cf.NewCachedSource(base, cfg.RowCacheSize)
+		w.rowCache = cf.NewCachedSourceSharded(base, cfg.RowCacheSize, w.sm)
 		w.source = w.rowCache
 	}
 	w.asm = engine.New(w.source, cfg.AssemblyWorkers)
+	w.asm.AttachShards(w.sm)
 
 	// Sorted-list store: built at load over the frozen popularity
 	// ranking (views materialize lazily per user, bounded by a CLOCK
@@ -253,7 +292,7 @@ func NewWorld(cfg Config) (*World, error) {
 	// rating ingest must route through InvalidateUserViews so stale
 	// views are rebuilt.
 	if cfg.ListStoreSize >= 0 {
-		w.lists = liststore.New(base, w.ratings.PopularityRanked(), cfg.ListStoreSize, prefDivisor)
+		w.lists = liststore.NewSharded(base, w.ratings.PopularityRanked(), cfg.ListStoreSize, prefDivisor, w.sm)
 		if w.lists != nil {
 			w.asm.AttachListStore(w.lists)
 		}
@@ -276,7 +315,7 @@ func NewWorld(cfg Config) (*World, error) {
 		w.pending = append([]affinity.Period(nil), full.Periods[n:]...)
 	}
 	src := affinity.NetworkSource{Network: w.socialNet}
-	model, err := affinity.BuildModel(w.participants, w.timeline, src, src)
+	model, err := affinity.BuildModelSharded(w.participants, w.timeline, src, src, w.sm)
 	if err != nil {
 		return nil, fmt.Errorf("repro: building affinity model: %w", err)
 	}
@@ -331,11 +370,28 @@ func (w *World) Source() cf.Source { return w.source }
 // Config.ListStoreSize disabled it.
 func (w *World) ListStore() *liststore.Store { return w.lists }
 
+// Shards returns the world's shard count (1 when unsharded).
+func (w *World) Shards() int { return w.sm.N() }
+
+// ShardOf returns the shard index holding u's per-user state — the
+// routing every layer of the world agrees on (rating arena, cached
+// rows, sorted-list view, and the pair tables of pairs where u is the
+// lower member).
+func (w *World) ShardOf(u dataset.UserID) int { return w.sm.Of(int64(u)) }
+
+// Sharding returns the world's shard map.
+func (w *World) Sharding() shard.Map { return w.sm }
+
 // InvalidateUserViews drops u's materialized sorted-preference view
 // AND u's cached prediction rows, so u's next request re-predicts and
 // rebuilds rather than reading a stale cached row. It reports whether
 // a view was actually dropped and is a no-op when the store is
 // disabled.
+//
+// The call is shard-aware: both drops route through the world's shard
+// map and lock only u's shard — the row-cache part and list-store
+// sub-store of ShardOf(u) — so an invalidation storm against one
+// shard never blocks requests serving entirely from the others.
 //
 // Scope: this invalidates *this user's* derived state only. A real
 // rating-ingest path (none exists yet; see ROADMAP) owes more than
@@ -358,7 +414,9 @@ func (w *World) InvalidateUserViews(u dataset.UserID) bool {
 // CacheStats aggregates the engine's cache counters — the prediction-
 // row cache, the sorted-list store, and the active predictor's lazy
 // neighborhood cache — for the serving layer's /stats endpoint and any
-// other observability consumer.
+// other observability consumer. The aggregate fields are exactly the
+// sums of the PerShard breakdown (the counters are per-shard at the
+// source; the aggregate is computed from them).
 type CacheStats struct {
 	// RowCacheEnabled reports whether the prediction-row cache is on
 	// (Config.RowCacheSize >= 0). RowCache is zero when it is not.
@@ -375,28 +433,75 @@ type CacheStats struct {
 	// cache (user neighborhoods for the user-based and time-weighted
 	// predictors, item neighborhoods for the item-based one).
 	Neighborhoods cf.CacheStats `json:"neighborhoods"`
+	// Shards is the world's shard count; PerShard breaks every cache's
+	// counters down by shard (one entry per shard, in shard order).
+	Shards   int               `json:"shards"`
+	PerShard []ShardCacheStats `json:"per_shard"`
 }
 
-// CacheStats snapshots the engine's cache counters. Safe for
-// concurrent use with recommendation traffic; the counters are atomic
-// and only eventually consistent with each other.
+// ShardCacheStats is one shard's slice of the cache counters: the
+// shard's row-cache part, list-store sub-store, and neighborhood-cache
+// instance. Disabled caches report zero values, mirroring the
+// aggregate struct's convention.
+type ShardCacheStats struct {
+	Shard         int                  `json:"shard"`
+	RowCache      cf.CacheStats        `json:"row_cache"`
+	ListStore     liststore.ShardStats `json:"list_store"`
+	Neighborhoods cf.CacheStats        `json:"neighborhoods"`
+}
+
+// CacheStats snapshots the engine's cache counters, aggregated and
+// per shard. Safe for concurrent use with recommendation traffic; the
+// counters are atomic and only eventually consistent with each other.
+// Every aggregate is derived from the same per-shard snapshot the
+// PerShard breakdown reports, so the two levels sum exactly even
+// mid-flight.
 func (w *World) CacheStats() CacheStats {
-	var st CacheStats
+	st := CacheStats{Shards: w.sm.N()}
+	st.PerShard = make([]ShardCacheStats, st.Shards)
+	for i := range st.PerShard {
+		st.PerShard[i].Shard = i
+	}
 	if w.rowCache != nil {
 		st.RowCacheEnabled = true
-		st.RowCache = w.rowCache.Stats()
+		for i, s := range w.rowCache.StatsByShard() {
+			st.PerShard[i].RowCache = s
+		}
 	}
 	if w.lists != nil {
 		st.ListStoreEnabled = true
-		st.ListStore = w.lists.Stats()
+		// One per-shard snapshot feeds both levels: the breakdown
+		// reports it and the aggregate is derived from it, so the sums
+		// match exactly even mid-flight.
+		parts := w.lists.StatsByShard()
+		for i, s := range parts {
+			st.PerShard[i].ListStore = s
+		}
+		st.ListStore = w.lists.StatsFrom(parts)
 	}
+	var nbhd cf.ShardStatsSource
 	switch {
 	case w.itemPred != nil:
-		st.Neighborhoods = w.itemPred.Stats()
+		nbhd = w.itemPred
 	case w.twPred != nil:
-		st.Neighborhoods = w.twPred.Stats()
+		nbhd = w.twPred
 	default:
-		st.Neighborhoods = w.pred.Stats()
+		nbhd = w.pred
+	}
+	for i, s := range nbhd.StatsByShard() {
+		st.PerShard[i].Neighborhoods = s
+	}
+	// Aggregates are the sums of the per-shard snapshots, so the two
+	// levels can never disagree.
+	for _, ps := range st.PerShard {
+		st.RowCache.Hits += ps.RowCache.Hits
+		st.RowCache.Misses += ps.RowCache.Misses
+		st.RowCache.Evictions += ps.RowCache.Evictions
+		st.RowCache.Size += ps.RowCache.Size
+		st.Neighborhoods.Hits += ps.Neighborhoods.Hits
+		st.Neighborhoods.Misses += ps.Neighborhoods.Misses
+		st.Neighborhoods.Evictions += ps.Neighborhoods.Evictions
+		st.Neighborhoods.Size += ps.Neighborhoods.Size
 	}
 	return st
 }
