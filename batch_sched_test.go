@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/dataset"
+)
+
+// batchSchedConfig is a small world so the shard × consensus matrix
+// stays fast under -race.
+func batchSchedConfig(shards int) Config {
+	cfg := QuickConfig()
+	cfg.Dataset.Users = 150
+	cfg.Dataset.TargetRatings = 10_000
+	cfg.Dataset.Items = 500
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestBatchShardAwareDifferential pins the shard-aware scheduler to
+// the degenerate single-queue path (the old round-robin dispatch) and
+// to the sequential facade, across shards ∈ {1,4,16} with AP, MO, and
+// PD consensus in the same batch. Scheduling moves requests between
+// workers but must never change a result byte.
+func TestBatchShardAwareDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w, err := NewWorld(batchSchedConfig(shards))
+			if err != nil {
+				t.Fatalf("building world: %v", err)
+			}
+			parts := w.Participants()
+
+			// sameShard picks members from one shard when the world is
+			// sharded, so the per-shard queues actually get traffic.
+			sameShard := func(n int) []dataset.UserID {
+				want := w.ShardOf(parts[0])
+				var g []dataset.UserID
+				for _, u := range parts {
+					if w.ShardOf(u) == want {
+						g = append(g, u)
+						if len(g) == n {
+							break
+						}
+					}
+				}
+				return g
+			}
+
+			reqs := []Request{
+				// Contiguous participant slices are usually mixed-shard:
+				// the residual queue's traffic.
+				{Group: parts[:3], Options: Options{K: 4, NumItems: 150}},
+				{Group: parts[4:6], Options: Options{K: 4, NumItems: 150, Consensus: consensus.MO()}},
+				{Group: parts[2:7], Options: Options{K: 3, NumItems: 120, Consensus: consensus.PD(0.8)}},
+				// Single-shard groups: the per-shard queues' traffic.
+				{Group: sameShard(2), Options: Options{K: 4, NumItems: 150}},
+				{Group: sameShard(3), Options: Options{K: 3, NumItems: 120, Consensus: consensus.PD(0.8)}},
+				{Group: sameShard(1), Options: Options{K: 2, NumItems: 100, Consensus: consensus.MO()}},
+				// Duplicate of the first request (shares its candidate
+				// pool) and an invalid one (error slot).
+				{Group: parts[:3], Options: Options{K: 4, NumItems: 150}},
+				{Group: nil, Options: Options{K: 4}},
+			}
+
+			aware := w.RecommendBatch(reqs)
+
+			batchShardAware = false
+			roundRobin := w.RecommendBatch(reqs)
+			batchShardAware = true
+
+			if !reflect.DeepEqual(aware, roundRobin) {
+				t.Fatalf("shard-aware schedule diverged from round-robin schedule")
+			}
+			for i, req := range reqs {
+				if len(req.Group) == 0 {
+					if aware[i].Err == nil {
+						t.Errorf("request %d: empty group did not error", i)
+					}
+					continue
+				}
+				want, err := w.Recommend(req.Group, req.Options)
+				if err != nil {
+					t.Fatalf("sequential request %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(aware[i].Recommendation, want) {
+					t.Errorf("request %d: shard-aware batch result diverged from sequential", i)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchShardClassification pins the scheduler's bucketing: a group
+// is keyed to a shard exactly when every member routes there, and the
+// residual bucket takes mixed and empty groups.
+func TestBatchShardClassification(t *testing.T) {
+	w, err := NewWorld(batchSchedConfig(4))
+	if err != nil {
+		t.Fatalf("building world: %v", err)
+	}
+	parts := w.Participants()
+	if got := w.batchShardOf(nil); got != -1 {
+		t.Errorf("empty group classified to shard %d, want -1", got)
+	}
+	for _, u := range parts[:8] {
+		if got, want := w.batchShardOf([]dataset.UserID{u}), w.ShardOf(u); got != want {
+			t.Errorf("singleton %d classified to %d, want %d", u, got, want)
+		}
+	}
+	// Find a mixed pair; with 4 shards over 150 users one must exist.
+	for _, u := range parts {
+		if w.ShardOf(u) != w.ShardOf(parts[0]) {
+			if got := w.batchShardOf([]dataset.UserID{parts[0], u}); got != -1 {
+				t.Errorf("mixed pair classified to shard %d, want -1", got)
+			}
+			return
+		}
+	}
+	t.Fatal("no mixed-shard pair found")
+}
+
+// TestCandidateKeyFormat pins the allocation-free key builder to the
+// historical fmt-based format ("n|id1,id2,") and its order
+// insensitivity, and checks that scratch reuse across calls cannot
+// leak state between keys.
+func TestCandidateKeyFormat(t *testing.T) {
+	cases := []struct {
+		group []dataset.UserID
+		n     int
+		want  string
+	}{
+		{nil, 7, "7|"},
+		{[]dataset.UserID{5}, 10, "10|5,"},
+		{[]dataset.UserID{30, 4, 17}, 600, "600|4,17,30,"},
+		{[]dataset.UserID{4, 17, 30}, 600, "600|4,17,30,"},
+	}
+	var scratch candKeyScratch
+	for _, c := range cases {
+		if got := candidateKey(c.group, c.n); got != c.want {
+			t.Errorf("candidateKey(%v, %d) = %q, want %q", c.group, c.n, got, c.want)
+		}
+		if got := string(scratch.appendKey(c.group, c.n)); got != c.want {
+			t.Errorf("appendKey(%v, %d) = %q, want %q", c.group, c.n, got, c.want)
+		}
+	}
+	// Longer key first, shorter after: the shorter must not see the
+	// longer's tail through the reused buffer.
+	scratch.appendKey([]dataset.UserID{100000, 200000, 300000}, 999999)
+	if got := string(scratch.appendKey([]dataset.UserID{1}, 2)); got != "2|1," {
+		t.Errorf("reused scratch produced %q, want %q", got, "2|1,")
+	}
+}
+
+// TestCandidateKeyScratchAllocs verifies the hot-path promise: key
+// construction with a warm scratch performs zero allocations.
+func TestCandidateKeyScratchAllocs(t *testing.T) {
+	group := []dataset.UserID{30, 4, 17, 255, 9}
+	var scratch candKeyScratch
+	scratch.appendKey(group, 600) // warm the buffers
+	avg := testing.AllocsPerRun(100, func() {
+		scratch.appendKey(group, 600)
+	})
+	if avg != 0 {
+		t.Errorf("appendKey allocates %.1f times per call with warm scratch, want 0", avg)
+	}
+}

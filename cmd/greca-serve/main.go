@@ -7,7 +7,14 @@
 //
 //	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
-//	            [-liststore 1024] [-shards 1] [-workers N] [-v]
+//	            [-liststore 1024] [-shards 1] [-workers N]
+//	            [-pprof localhost:6060] [-v]
+//
+// -pprof binds net/http/pprof's debug routes to a separate listener on
+// the given address (off by default; the service handler never carries
+// them), for profiling live traffic:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/allocs
 //
 // -shards partitions every per-user structure (rating arenas, CF
 // caches, sorted-list sub-stores, affinity pair tables) N ways by
@@ -61,6 +68,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // debug routes, exposed only via the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -97,6 +105,7 @@ func main() {
 		listStore  = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
 		shards     = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
 		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		verbose    = flag.Bool("v", false, "print substrate statistics")
 	)
 	flag.Parse()
@@ -144,6 +153,19 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (window %v, max batch %d, %d shards)", *addr, *window, *maxBatch, world.Shards())
+
+	// Profiling stays off the service handler: the pprof routes live on
+	// their own listener, bound only when -pprof names an address, so
+	// the public surface never exposes them by accident. The profiling
+	// listener is not part of the drain path — it dies with the process.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

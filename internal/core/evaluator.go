@@ -126,13 +126,9 @@ func (ev *evaluator) componentInterval(seen float64, l *List) stats.Interval {
 		return stats.Point(seen)
 	}
 	if ev.p.in.LooseBounds {
-		hi := 0.0
-		if l.Len() > 0 {
-			hi = l.Entries[0].Value
-		}
-		return stats.Interval{Lo: l.MinValue, Hi: hi}
+		return stats.Interval{Lo: l.Min(), Hi: l.Top()}
 	}
-	return stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+	return stats.Interval{Lo: l.Min(), Hi: l.CursorValue()}
 }
 
 // scoreItem computes the consensus score interval for item key under
@@ -155,7 +151,7 @@ func (ev *evaluator) threshold() float64 {
 	p := ev.p
 	for u := 0; u < p.g; u++ {
 		l := p.prefList[u]
-		ev.aprefIv[u] = stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+		ev.aprefIv[u] = stats.Interval{Lo: l.Min(), Hi: l.CursorValue()}
 	}
 	return ev.scoreFromAprefs(-1).Hi
 }
@@ -196,7 +192,7 @@ func (ev *evaluator) scoreFromAprefs(key int) stats.Interval {
 		if key >= 0 {
 			iv = ev.componentInterval(ev.agreementSeen[pr][key], l)
 		} else {
-			iv = stats.Interval{Lo: l.MinValue, Hi: l.CursorValue()}
+			iv = stats.Interval{Lo: l.Min(), Hi: l.CursorValue()}
 		}
 		agLo += iv.Lo
 		agHi += iv.Hi

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -223,36 +224,51 @@ func refreshBounds(ev *evaluator, alive []*candidate) {
 	}
 }
 
-// lbHeap is a min-heap over candidate lower bounds, used to select the
-// k-th largest LB in O(n log k) — the paper's heap-backed buffer.
-type lbHeap []*candidate
-
-func (h lbHeap) Len() int            { return len(h) }
-func (h lbHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
-func (h lbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lbHeap) Push(x interface{}) { *h = append(*h, x.(*candidate)) }
-func (h *lbHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
-}
-
-// kthLowerBound returns the k-th largest lower bound among alive
-// candidates (len(alive) >= k).
-func kthLowerBound(alive []*candidate, k int) float64 {
-	h := make(lbHeap, 0, k)
-	heap.Init(&h)
+// kthLowerBoundInto returns the k-th largest lower bound among alive
+// candidates (len(alive) >= k >= 1) — an O(n log k) selection over a
+// size-k min-heap, the paper's heap-backed buffer. buf backs the heap
+// and is returned (possibly grown) so the per-check selection
+// allocates nothing in steady state. The heap is hand-rolled rather
+// than container/heap because the interface indirection both allocates
+// and dominates the compare cost at this call frequency. Only the
+// selected VALUE is observable; heap tie order never is, so the result
+// is identical to any other correct selection.
+func kthLowerBoundInto(buf, alive []*candidate, k int) (float64, []*candidate) {
+	h := buf[:0]
 	for _, c := range alive {
 		if len(h) < k {
-			heap.Push(&h, c)
+			// Sift up from the new leaf.
+			h = append(h, c)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if h[p].lb <= h[i].lb {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
 		} else if c.lb > h[0].lb {
+			// Replace the minimum and sift down.
 			h[0] = c
-			heap.Fix(&h, 0)
+			i := 0
+			for {
+				l := 2*i + 1
+				if l >= len(h) {
+					break
+				}
+				m := l
+				if r := l + 1; r < len(h) && h[r].lb < h[l].lb {
+					m = r
+				}
+				if h[i].lb <= h[m].lb {
+					break
+				}
+				h[i], h[m] = h[m], h[i]
+				i = m
+			}
 		}
 	}
-	return h[0].lb
+	return h[0].lb, h
 }
 
 // prune drops candidates whose upper bound cannot exceed kthLB while
@@ -275,15 +291,21 @@ func prune(alive []*candidate, kthLB float64, k int) []*candidate {
 	return out
 }
 
-// sortByLB returns the candidates ordered by descending lower bound
-// (ties by ascending key for determinism).
-func sortByLB(alive []*candidate) []*candidate {
-	sorted := append([]*candidate(nil), alive...)
-	sort.Slice(sorted, func(a, b int) bool {
-		if sorted[a].lb != sorted[b].lb {
-			return sorted[a].lb > sorted[b].lb
+// sortByLBInto returns the candidates ordered by descending lower
+// bound (ties by ascending key — keys are unique, so the order is
+// total and independent of the sort algorithm). buf backs the copy and
+// is reused across calls; the result aliases it and is only valid
+// until the next call with the same buffer.
+func sortByLBInto(buf, alive []*candidate) []*candidate {
+	sorted := append(buf[:0], alive...)
+	slices.SortFunc(sorted, func(a, b *candidate) int {
+		if a.lb != b.lb {
+			if a.lb > b.lb {
+				return -1
+			}
+			return 1
 		}
-		return sorted[a].key < sorted[b].key
+		return cmp.Compare(a.key, b.key)
 	})
 	return sorted
 }
@@ -296,9 +318,9 @@ func toItemScores(cands []*candidate) []ItemScore {
 	return out
 }
 
-// finalTopK selects the k candidates with the highest lower bounds.
-func finalTopK(alive []*candidate, k int) []ItemScore {
-	sorted := sortByLB(alive)
+// finalTopK selects the k best candidates from an already LB-sorted
+// slice (see sortByLBInto).
+func finalTopK(sorted []*candidate, k int) []ItemScore {
 	if k > len(sorted) {
 		k = len(sorted)
 	}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// forceMaterialize builds every lazy list of p up front, turning it
+// into the eager problem the pre-lazy constructor produced.
+func forceMaterialize(p *Problem) {
+	for _, l := range p.lists {
+		l.materialize()
+	}
+}
+
+// TestLazyAgreementConstructionDefersSort pins the laziness contract:
+// building a PD problem installs closures only, bound metadata resolves
+// without sorting, and the first consumed entry materializes exactly
+// the canonical list the eager build produced.
+func TestLazyAgreementConstructionDefersSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInput(rng, 6, 120, 2, 5, consensus.PD(0.5), DiscreteAggregator{Periods: 2})
+	p, err := NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.pairAgreement) != NumPairs(6) {
+		t.Fatalf("pairAgreement has %d lists, want %d", len(p.pairAgreement), NumPairs(6))
+	}
+	for pr, l := range p.pairAgreement {
+		if l.lazy == nil {
+			t.Fatalf("pair %d built eagerly at construction", pr)
+		}
+		if l.Len() != 120 {
+			t.Fatalf("pair %d Len = %d before materialization, want 120", pr, l.Len())
+		}
+		// Bound metadata must not force the sort.
+		lo, hi := l.Min(), l.Top()
+		if l.lazy == nil || l.Entries != nil {
+			t.Fatalf("pair %d sorted by a Min/Top read", pr)
+		}
+		if cv := l.CursorValue(); cv != hi {
+			t.Fatalf("pair %d pre-read CursorValue %g != Top %g", pr, cv, hi)
+		}
+		// First consumption materializes the canonical list; metadata
+		// must agree with it exactly.
+		e, ok := l.Next()
+		if !ok || l.lazy != nil {
+			t.Fatalf("pair %d Next did not materialize (ok=%v)", pr, ok)
+		}
+		if got := l.Entries[0].Value; got != hi || e.Value != hi {
+			t.Fatalf("pair %d Top %g != materialized max %g", pr, hi, got)
+		}
+		if got := l.Entries[len(l.Entries)-1].Value; got != lo || l.MinValue != lo {
+			t.Fatalf("pair %d Min %g != materialized min %g (MinValue %g)", pr, lo, got, l.MinValue)
+		}
+		for i := 1; i < len(l.Entries); i++ {
+			a, b := l.Entries[i-1], l.Entries[i]
+			if a.Value < b.Value || (a.Value == b.Value && a.Key > b.Key) {
+				t.Fatalf("pair %d entry %d out of canonical order", pr, i)
+			}
+		}
+	}
+}
+
+// TestLazyAgreementBitIdenticalToEager runs the same PD instance twice
+// per mode — once with the agreement lists force-materialized up front
+// (the former eager layout) and once lazily — and requires identical
+// results and access statistics.
+func TestLazyAgreementBitIdenticalToEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range []int{2, 5, 8} {
+		for _, w1 := range []float64{0.8, 0.2} {
+			in := randomInput(rng, g, 150, 2, 5, consensus.PD(w1), DiscreteAggregator{Periods: 2})
+			for _, mode := range []Mode{ModeGRECA, ModeThresholdExact, ModeFullScan, ModeTA} {
+				eager, err := NewProblem(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				forceMaterialize(eager)
+				lazy, err := NewProblem(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := eager.Run(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := lazy.Run(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("g=%d w1=%g mode=%v: lazy result diverges\neager: %+v\nlazy:  %+v", g, w1, mode, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyAgreementTANeverSorts pins the structural win: TA's sweep
+// reads preference lists only (agreement values resolve via random
+// accesses straight from the dense rows), so a complete TA run must
+// leave every agreement list unbuilt — the O(g²·m log m) sort never
+// happens, only the O(g²·m) bound scans.
+func TestLazyAgreementTANeverSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInput(rng, 6, 200, 2, 5, consensus.PD(0.8), DiscreteAggregator{Periods: 2})
+	p, err := NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(ModeTA); err != nil {
+		t.Fatal(err)
+	}
+	for pr, l := range p.pairAgreement {
+		if l.lazy == nil {
+			t.Fatalf("pair %d was sorted during a TA run", pr)
+		}
+		if !l.lazy.scanned {
+			t.Fatalf("pair %d bounds never scanned — TA's threshold should have read them", pr)
+		}
+	}
+}
+
+// TestLazyAgreementAbandonedRunSkipsBuild pins the cancel win: a
+// problem whose runner is abandoned before any step never fills or
+// sorts a single agreement list.
+func TestLazyAgreementAbandonedRunSkipsBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInput(rng, 5, 100, 2, 4, consensus.PD(0.5), DiscreteAggregator{Periods: 2})
+	p, err := NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Runner(ModeGRECA); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without stepping.
+	for pr, l := range p.pairAgreement {
+		if l.lazy == nil {
+			t.Fatalf("pair %d built for a run that never stepped", pr)
+		}
+	}
+	if p.TotalEntries() == 0 {
+		t.Fatal("TotalEntries must count unbuilt lists")
+	}
+	p.Release() // no pooled buffers were taken; must be a clean no-op
+}
+
+// TestLazyAgreementPooledBuffersReleased checks that lazily built
+// agreement lists draw from the entry pool on the view path and that
+// Release hands exactly the materialized buffers back.
+func TestLazyAgreementPooledBuffersReleased(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := randomInput(rng, 4, 80, 2, 3, consensus.PD(0.2), DiscreteAggregator{Periods: 2})
+	in.PartitionAffinity = true
+	p, err := NewProblem(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.pooled); got != 0 {
+		t.Fatalf("constructor took %d pooled buffers before any run", got)
+	}
+	if _, err := p.Run(ModeGRECA); err != nil {
+		t.Fatal(err)
+	}
+	// GRECA's sweep consumes every list from round one, so all pairs
+	// materialized; NewProblem's alloc is plain make, so nothing pooled.
+	if got := len(p.pooled); got != 0 {
+		t.Fatalf("NewProblem run pooled %d buffers, want 0 (plain alloc)", got)
+	}
+	for pr, l := range p.pairAgreement {
+		if l.lazy != nil {
+			t.Fatalf("pair %d still lazy after a GRECA run", pr)
+		}
+	}
+}

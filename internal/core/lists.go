@@ -60,6 +60,14 @@ type Entry struct {
 // cursor. MinValue and the first entry's value are list metadata
 // (available without accesses, like any precomputed index statistic);
 // everything else costs one sequential access per entry.
+//
+// A list may be constructed lazily (agreement lists are — see
+// Problem.buildAgreementLists): its entries are then built and sorted
+// only when the run first consumes one, and its min/max metadata is
+// computed by a cheap linear scan when a bound first reads it. Readers
+// inside this package go through Min, Top, and CursorValue, which
+// resolve laziness; the Entries and MinValue fields are populated once
+// the list materializes (and from construction for eager lists).
 type List struct {
 	Kind ListKind
 	// Owner is the group-member index the list belongs to (the
@@ -68,13 +76,79 @@ type List struct {
 	// Period is the period index for DriftList (-1 otherwise).
 	Period int
 	// Entries are sorted by descending Value (ties by ascending Key
-	// for determinism).
+	// for determinism). Empty until materialization for lazy lists.
 	Entries []Entry
 	// MinValue is the smallest value in the list, used as the lower
-	// bound for unseen entries.
+	// bound for unseen entries. For lazy lists read Min instead.
 	MinValue float64
 
-	pos int // number of entries consumed
+	pos  int // number of entries consumed
+	lazy *lazyList
+}
+
+// lazyList is the deferred-construction state of a List: the length is
+// known up front, min/max are computed by scan on first bound read, and
+// build fills + canonically sorts the entries on first consumption.
+// Both closures run at most once, on the single goroutine driving the
+// run (problems are not safe for concurrent runs).
+type lazyList struct {
+	n        int
+	min, max float64
+	scanned  bool
+	scan     func() (min, max float64)
+	build    func() []Entry
+}
+
+// newLazyList defers a list's construction: n is the entry count, scan
+// yields the value range without sorting, build produces the entries in
+// canonical order.
+func newLazyList(kind ListKind, owner, period, n int, scan func() (float64, float64), build func() []Entry) *List {
+	return &List{Kind: kind, Owner: owner, Period: period, lazy: &lazyList{n: n, scan: scan, build: build}}
+}
+
+// materialize builds a lazy list's entries; a no-op for eager or
+// already-built lists.
+func (l *List) materialize() {
+	if l.lazy == nil {
+		return
+	}
+	l.Entries = l.lazy.build()
+	if len(l.Entries) > 0 {
+		l.MinValue = l.Entries[len(l.Entries)-1].Value
+	}
+	l.lazy = nil
+}
+
+// ensureStats resolves a lazy list's min/max without sorting.
+func (l *List) ensureStats() {
+	if !l.lazy.scanned {
+		l.lazy.min, l.lazy.max = l.lazy.scan()
+		l.lazy.scanned = true
+	}
+}
+
+// Min is the smallest value in the list — the lower bound for unseen
+// entries. Unlike the MinValue field it is lazy-aware: an unbuilt list
+// answers from a linear scan, never forcing the sort.
+func (l *List) Min() float64 {
+	if l.lazy != nil {
+		l.ensureStats()
+		return l.lazy.min
+	}
+	return l.MinValue
+}
+
+// Top is the largest value in the list (0 when empty) — the cursor
+// bound before the first read. Lazy-aware like Min.
+func (l *List) Top() float64 {
+	if l.lazy != nil {
+		l.ensureStats()
+		return l.lazy.max
+	}
+	if len(l.Entries) == 0 {
+		return 0
+	}
+	return l.Entries[0].Value
 }
 
 // SortCanonical orders entries by descending Value with ascending-Key
@@ -110,14 +184,16 @@ func presortedList(kind ListKind, owner, period int, entries []Entry) *List {
 }
 
 // Exhausted reports whether every entry has been consumed.
-func (l *List) Exhausted() bool { return l.pos >= len(l.Entries) }
+func (l *List) Exhausted() bool { return l.pos >= l.Len() }
 
 // Next consumes and returns the next entry; ok is false when the list
-// is exhausted. Each successful Next is one sequential access.
+// is exhausted. Each successful Next is one sequential access. The
+// first Next on a lazy list builds and sorts its entries.
 func (l *List) Next() (Entry, bool) {
 	if l.Exhausted() {
 		return Entry{}, false
 	}
+	l.materialize()
 	e := l.Entries[l.pos]
 	l.pos++
 	return e, true
@@ -125,19 +201,22 @@ func (l *List) Next() (Entry, bool) {
 
 // CursorValue is the upper bound for any unseen entry in the list: the
 // value of the most recently read entry, or the list maximum before
-// the first read (sorted-list metadata).
+// the first read (sorted-list metadata). Reading it before the first
+// Next never forces a lazy list's sort — the maximum comes from Top.
 func (l *List) CursorValue() float64 {
-	if len(l.Entries) == 0 {
-		return 0
-	}
 	if l.pos == 0 {
-		return l.Entries[0].Value
+		return l.Top()
 	}
 	return l.Entries[l.pos-1].Value
 }
 
-// Len returns the number of entries.
-func (l *List) Len() int { return len(l.Entries) }
+// Len returns the number of entries (known without materializing).
+func (l *List) Len() int {
+	if l.lazy != nil {
+		return l.lazy.n
+	}
+	return len(l.Entries)
+}
 
 // Pos returns the number of consumed entries.
 func (l *List) Pos() int { return l.pos }

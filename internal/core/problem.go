@@ -198,6 +198,17 @@ func (p *Problem) buildAffinity() {
 // agreement from above (i.e. unseen disagreement from below). alloc
 // supplies each list's entry buffer (capacity m) plus its pool handle
 // (nil for plainly allocated buffers).
+//
+// The lists are built lazily: constructing the problem only installs
+// closures, collapsing the O(g²·m log m) prework that dominated PD
+// problem construction for large groups. A pair's value range (the
+// Min/Top bounds) resolves with one O(m) scan the first time the
+// evaluator touches the pair, and the full fill + canonical sort runs
+// only when the sweep first consumes one of its entries — so a run
+// that stops (or is cancelled) before reading a pair never sorts it,
+// and TA mode, whose sweep reads preference lists only, never sorts
+// any of them. Materialization produces exactly the entries the eager
+// build produced, so results stay bit-identical.
 func (p *Problem) buildAgreementLists(alloc func(n int) ([]Entry, *[]Entry)) {
 	if p.in.Spec.Dis != consensus.PairwiseDisagreement || p.g < 2 {
 		return
@@ -207,19 +218,41 @@ func (p *Problem) buildAgreementLists(alloc func(n int) ([]Entry, *[]Entry)) {
 	for i := 0; i < p.g; i++ {
 		for j := i + 1; j < p.g; j++ {
 			pairIdx := PairIndex(p.g, i, j)
-			entries, handle := alloc(p.m)
-			for it := 0; it < p.m; it++ {
-				d := p.in.Apref[i][it] - p.in.Apref[j][it]
-				if d < 0 {
-					d = -d
+			rowI, rowJ := p.in.Apref[i], p.in.Apref[j]
+			scan := func() (float64, float64) {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for it := 0; it < p.m; it++ {
+					d := rowI[it] - rowJ[it]
+					if d < 0 {
+						d = -d
+					}
+					v := 1 - d
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
 				}
-				entries = append(entries, Entry{Key: it, Value: 1 - d})
+				return lo, hi
 			}
-			if handle != nil {
-				*handle = entries
-				p.pooled = append(p.pooled, handle)
+			build := func() []Entry {
+				entries, handle := alloc(p.m)
+				for it := 0; it < p.m; it++ {
+					d := rowI[it] - rowJ[it]
+					if d < 0 {
+						d = -d
+					}
+					entries = append(entries, Entry{Key: it, Value: 1 - d})
+				}
+				sortEntries(entries)
+				if handle != nil {
+					*handle = entries
+					p.pooled = append(p.pooled, handle)
+				}
+				return entries
 			}
-			l := newList(AgreementList, pairIdx, -1, entries)
+			l := newLazyList(AgreementList, pairIdx, -1, p.m, scan, build)
 			p.pairAgreement[pairIdx] = l
 			p.lists = append(p.lists, l)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/consensus"
@@ -66,4 +67,57 @@ func BenchmarkProblemFromViews(b *testing.B) {
 		}
 		p.Release()
 	}
+}
+
+// benchPDInput is the pairwise-disagreement shape where agreement-list
+// prework dominates: g(g-1)/2 pair lists over the full item pool.
+func benchPDInput(g, m int) Input {
+	rng := rand.New(rand.NewSource(42))
+	in := randomInput(rng, g, m, 2, 10, consensus.PD(0.8), DiscreteAggregator{Periods: 2})
+	in.PartitionAffinity = true
+	return in
+}
+
+// BenchmarkPDLazyLists measures PD problem construction with the lazy
+// agreement lists: building the problem installs closures only, so the
+// former O(g²·m log m) fill-and-sort prework vanishes from this path.
+// Compare against BenchmarkPDEagerLists, which forces the old eager
+// materialization inside the same constructor.
+func BenchmarkPDLazyLists(b *testing.B) {
+	for _, g := range []int{5, 10} {
+		b.Run(benchName("g", g), func(b *testing.B) {
+			in := benchPDInput(g, 3900)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewProblem(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPDEagerLists is the pre-lazy baseline: the same construction
+// with every agreement list force-built, i.e. what every PD request
+// paid before laziness.
+func BenchmarkPDEagerLists(b *testing.B) {
+	for _, g := range []int{5, 10} {
+		b.Run(benchName("g", g), func(b *testing.B) {
+			in := benchPDInput(g, 3900)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := NewProblem(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				forceMaterialize(p)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
 }

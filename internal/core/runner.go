@@ -209,6 +209,41 @@ type grecaState struct {
 	observe         func(TracePoint)
 	done            bool
 	res             Result
+	// slab backs candidate records in chunks (pointer-stable: full
+	// chunks are replaced, never grown); sortBuf and kthBuf are the
+	// per-check scratch for sortByLBInto / kthLowerBoundInto. Together
+	// they keep the stepper's hot loop allocation-free in steady state.
+	slab    []candidate
+	slabPos int
+	sortBuf []*candidate
+	kthBuf  []*candidate
+}
+
+// newCandidate carves a candidate record out of the chunked slab.
+func (s *grecaState) newCandidate(key int) *candidate {
+	if s.slabPos == len(s.slab) {
+		s.slab = make([]candidate, 128)
+		s.slabPos = 0
+	}
+	c := &s.slab[s.slabPos]
+	s.slabPos++
+	*c = candidate{key: key, alive: true}
+	return c
+}
+
+// sortedByLB returns the alive set ordered by descending lower bound,
+// in state-owned scratch: valid only until the next call.
+func (s *grecaState) sortedByLB() []*candidate {
+	s.sortBuf = sortByLBInto(s.sortBuf, s.alive)
+	return s.sortBuf
+}
+
+// kthLB returns the k-th largest alive lower bound via state-owned
+// scratch.
+func (s *grecaState) kthLB(k int) float64 {
+	v, buf := kthLowerBoundInto(s.kthBuf, s.alive, k)
+	s.kthBuf = buf
+	return v
 }
 
 func newGrecaState(p *Problem) *grecaState {
@@ -259,7 +294,7 @@ func (s *grecaState) step() bool {
 			// bounds. Preference and agreement lists are item-keyed;
 			// affinity lists are pair-keyed.
 			if itemKeyed(l.Kind) && s.cands[e.Key] == nil {
-				c := &candidate{key: e.Key, alive: true}
+				c := s.newCandidate(e.Key)
 				s.cands[e.Key] = c
 				s.alive = append(s.alive, c)
 			}
@@ -272,10 +307,10 @@ func (s *grecaState) step() bool {
 			s.ev.refreshAffinity()
 			refreshBounds(s.ev, s.alive)
 			s.lastTh = s.ev.threshold()
-			s.lastKth = kthLowerBound(s.alive, min(s.p.in.K, len(s.alive)))
+			s.lastKth = s.kthLB(min(s.p.in.K, len(s.alive)))
 			s.evaluated = true
 			s.emit()
-			s.res = Result{TopK: finalTopK(s.alive, s.p.in.K), Stats: s.st}
+			s.res = Result{TopK: finalTopK(s.sortedByLB(), s.p.in.K), Stats: s.st}
 			s.done = true
 			return true
 		}
@@ -293,7 +328,7 @@ func (s *grecaState) step() bool {
 			s.emit()
 			return false // not enough candidates yet
 		}
-		kthLB := kthLowerBound(s.alive, s.p.in.K)
+		kthLB := s.kthLB(s.p.in.K)
 		th := s.ev.threshold()
 
 		// Buffer condition, applied incrementally: prune candidates
@@ -319,7 +354,7 @@ func (s *grecaState) step() bool {
 		if th > kthLB {
 			return false
 		}
-		sorted := sortByLB(s.alive)
+		sorted := s.sortedByLB()
 		met := true
 		for _, c := range sorted[s.p.in.K:] {
 			if c.ub > kthLB {
@@ -359,7 +394,7 @@ func (s *grecaState) epsilonReached(eps float64) bool {
 	if s.lastTh-s.lastKth >= eps {
 		return false
 	}
-	sorted := sortByLB(s.alive)
+	sorted := s.sortedByLB()
 	for _, c := range sorted[s.p.in.K:] {
 		if c.ub-s.lastKth >= eps {
 			return false
@@ -382,7 +417,7 @@ func (s *grecaState) snapshot() Snapshot {
 	}
 	// Candidate bounds were refreshed at the last stopping check —
 	// exactly where step returns — so the alive set is consistent.
-	sorted := sortByLB(s.alive)
+	sorted := s.sortedByLB()
 	k := s.p.in.K
 	if k > len(sorted) {
 		k = len(sorted)

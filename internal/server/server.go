@@ -466,6 +466,7 @@ type statsResponse struct {
 	Coalescer     CoalescerStats   `json:"coalescer"`
 	Batch         batchStats       `json:"batch"`
 	Stream        streamStats      `json:"stream"`
+	Mux           repro.MuxStats   `json:"mux"`
 	Caches        repro.CacheStats `json:"caches"`
 	World         worldStats       `json:"world"`
 }
@@ -508,6 +509,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Frames:  s.streamFrames.Load(),
 			Cancels: s.streamCancels.Load(),
 		},
+		Mux:    s.world.MuxStats(),
 		Caches: s.world.CacheStats(),
 		World: worldStats{
 			Users:        ds.Users,

@@ -131,8 +131,10 @@ func TestRecommendBatchSharesViews(t *testing.T) {
 	reqs := []Request{
 		{Group: []dataset.UserID{p[0], p[1]}, Options: opt},
 		{Group: []dataset.UserID{p[1], p[2]}, Options: opt}, // p[1] shared
-		{Group: []dataset.UserID{p[0], p[1]}, Options: opt}, // identical group
+		{Group: []dataset.UserID{p[0], p[1]}, Options: opt}, // identical request: deduplicated, no second run
+		{Group: []dataset.UserID{p[0], p[1]}, Options: Options{K: 2, NumItems: 80}}, // same pool, distinct run
 	}
+	shared := w.MuxStats().Shared
 	for i, res := range w.RecommendBatch(reqs) {
 		if res.Err != nil {
 			t.Fatalf("request %d: %v", i, res.Err)
@@ -140,7 +142,7 @@ func TestRecommendBatchSharesViews(t *testing.T) {
 	}
 	st := w.ListStore().Stats()
 	// Three distinct members → exactly three builds; the shared member
-	// and the repeated group produce hits, not rebuilds.
+	// and the same-pool K=2 request produce hits, not rebuilds.
 	if st.ViewBuilds != 3 {
 		t.Errorf("view builds = %d, want 3 (one per distinct member): %+v", st.ViewBuilds, st)
 	}
@@ -149,5 +151,10 @@ func TestRecommendBatchSharesViews(t *testing.T) {
 	}
 	if st.MapHits == 0 {
 		t.Errorf("no mapping sharing across the batch: %+v", st)
+	}
+	// The fully identical request never ran: it reused the first
+	// request's result through the batch singleflight.
+	if got := w.MuxStats().Shared - shared; got != 1 {
+		t.Errorf("batch dedup shared = %d, want 1: %+v", got, w.MuxStats())
 	}
 }

@@ -209,12 +209,25 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	if len(group) < 1 {
 		return nil, nil, 0, noRelease, fmt.Errorf("repro: %w", ErrEmptyGroup)
 	}
-	seen := make(map[dataset.UserID]bool, len(group))
-	for _, u := range group {
-		if seen[u] {
-			return nil, nil, 0, noRelease, fmt.Errorf("repro: %w %d", ErrDuplicateMember, u)
+	// Duplicate-member check: quadratic scan for realistic group sizes
+	// (this is on every request's hot path and a map would be its only
+	// allocation), map for absurdly large groups.
+	if len(group) <= 64 {
+		for i, u := range group {
+			for _, v := range group[:i] {
+				if u == v {
+					return nil, nil, 0, noRelease, fmt.Errorf("repro: %w %d", ErrDuplicateMember, u)
+				}
+			}
 		}
-		seen[u] = true
+	} else {
+		seen := make(map[dataset.UserID]bool, len(group))
+		for _, u := range group {
+			if seen[u] {
+				return nil, nil, 0, noRelease, fmt.Errorf("repro: %w %d", ErrDuplicateMember, u)
+			}
+			seen[u] = true
+		}
 	}
 
 	last := w.model.Timeline.NumPeriods() - 1

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark report the perf gate consumes. One JSON
+// object comes out: the environment that produced the numbers plus one
+// entry per benchmark line with ns/op, B/op, and allocs/op. Extra
+// custom metrics (ops/sec etc.) are preserved under "extra".
+//
+// Usage:
+//
+//	go test -run=NONE -bench ... -benchmem ./... | go run ./scripts/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Report is the emitted document. GOMAXPROCS is recorded both here
+// (the converting process inherits the benchmark environment) and in
+// each benchmark's name suffix, which the gate normalizes away.
+type Report struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoOS       string  `json:"goos,omitempty"`
+	GoArch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark result line.
+type Bench struct {
+	// Name is the full benchmark path including the -N procs suffix,
+	// e.g. "BenchmarkBatchShardAware/shards=4-4".
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror -benchmem's three
+	// standard columns. BytesPerOp/AllocsPerOp are -1 when the line
+	// carried no -benchmem columns.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds any custom b.ReportMetric units on the line.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-4  100  123 ns/op  456 B/op  7 allocs/op  9.9 ops/sec
+func parseBenchLine(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: f[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, true
+}

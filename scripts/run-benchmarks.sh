@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# run-benchmarks.sh — run the pinned hot-path benchmarks and emit the
+# machine-readable report (see BENCHMARKS.md).
+#
+# Usage:
+#   scripts/run-benchmarks.sh [-benchtime 5x] [-out BENCH_pr6.json]
+#
+# Environment:
+#   GOMAXPROCS   pinned to 4 unless already set — alloc counts depend
+#                on worker counts, so the gate needs one fixed value
+#                across machines (the CI perf job uses the same pin).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="5x"
+OUT="BENCH_pr6.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -benchtime) BENCHTIME="$2"; shift 2 ;;
+    -out)       OUT="$2";       shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+export GOMAXPROCS="${GOMAXPROCS:-4}"
+
+# The pinned set: the three pre-existing hot-path benchmarks plus the
+# two added by the scheduling/laziness pass. Sub-benchmarks (shards=N,
+# g=N) ride along via the path match.
+PINNED='^(BenchmarkRecommendParallel|BenchmarkServeCoalesced|BenchmarkRecommendSharded|BenchmarkBatchShardAware|BenchmarkPDLazyLists|BenchmarkPDEagerLists)$'
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+go test -run='^$' -bench "$PINNED" -benchtime "$BENCHTIME" -benchmem ./... | tee "$TMP"
+go run ./scripts/benchjson < "$TMP" > "$OUT"
+echo "wrote $OUT (GOMAXPROCS=$GOMAXPROCS, benchtime=$BENCHTIME)"

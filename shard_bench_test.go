@@ -69,6 +69,35 @@ func shardBenchWorld(b *testing.B, shards int) (*repro.World, [][]dataset.UserID
 	return w, shardBenchGroups
 }
 
+// BenchmarkBatchShardAware measures the batch facade's shard-aware
+// scheduler on the warmed group mix: one RecommendBatch call per
+// iteration over all 16 groups, against worlds partitioned 1, 4, and
+// 16 ways. The 1-shard run exercises the degenerate single-queue path
+// (identical to the old round-robin dispatch); the sharded runs bucket
+// the groups so each worker sweeps one shard's lock stripes at a time.
+func BenchmarkBatchShardAware(b *testing.B) {
+	opt := repro.Options{K: 10, NumItems: 600}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w, groups := shardBenchWorld(b, shards)
+			reqs := make([]repro.Request, len(groups))
+			for i, g := range groups {
+				reqs[i] = repro.Request{Group: g, Options: opt}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := w.RecommendBatch(reqs)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRecommendSharded measures steady-state Recommend throughput
 // at NumCPU concurrent callers against worlds sharded 1, 4, and 16
 // ways, with a background goroutine continuously invalidating one

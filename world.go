@@ -89,6 +89,13 @@ type Config struct {
 	// identical for every shard count. Capacity budgets (RowCacheSize,
 	// ListStoreSize) are split across the shards.
 	Shards int
+	// DisableRunSharing turns off the shared-runner multiplexer:
+	// identical concurrent RecommendContext/RecommendStream calls then
+	// each drive their own core.Runner instead of riding one shared
+	// run. Sharing never changes any result byte (runs are
+	// deterministic), so this is an escape hatch for differential
+	// testing and workloads that want strict per-call isolation.
+	DisableRunSharing bool
 }
 
 // QuickConfig is a small, fast setup for examples and tests: a
@@ -157,6 +164,9 @@ type World struct {
 	// sm is the user-range partitioning every per-user structure
 	// routes through (shard.Single when Config.Shards <= 1).
 	sm shard.Map
+	// mux is the shared-runner multiplexer deduplicating identical
+	// concurrent runs; nil when Config.DisableRunSharing is set.
+	mux *runMux
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -320,6 +330,9 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("repro: building affinity model: %w", err)
 	}
 	w.model = model
+	if !cfg.DisableRunSharing {
+		w.mux = newRunMux()
+	}
 	return w, nil
 }
 
