@@ -8,7 +8,22 @@
 //	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
 //	            [-liststore 1024] [-shards 1] [-workers N]
-//	            [-pprof localhost:6060] [-v]
+//	            [-snapshot dir] [-refreeze 0] [-pprof localhost:6060] [-v]
+//
+// -snapshot names a persistence directory: on boot the world is
+// rebuilt from its snapshot when one matches the configuration (a
+// warm restart that also restores the sorted-list views and CF
+// neighborhoods, skipping the rebuild scans), ratings journaled since
+// that snapshot are replayed from the per-shard write-ahead log, and
+// every rating accepted by POST /v1/ratings is journaled before the
+// request is acknowledged. On SIGTERM, after the listener drains, a
+// fresh snapshot is written and the log truncated, so the next boot
+// replays nothing. A snapshot from a different configuration (or a
+// corrupted one) is discarded and the world boots cold — restarts are
+// always safe, at worst slow. -refreeze folds pending ingested
+// ratings into the frozen base at the given interval (0 folds only at
+// snapshot time); folding never changes recommendations, it only
+// bounds the delta overlay's lookup cost.
 //
 // -pprof binds net/http/pprof's debug routes to a separate listener on
 // the given address (off by default; the service handler never carries
@@ -34,6 +49,12 @@
 //	                           ε-approximate top-k ("stop":"epsilon",
 //	                           "partial":true).
 //	POST /v1/recommend/batch   {"requests":[{...},{...}]}
+//	POST /v1/ratings           {"user":1,"item":42,"value":4.5,"time":978300000}
+//	                           ingests one rating into the live world:
+//	                           applied to the delta overlay, journaled,
+//	                           and every affected cache invalidated, so
+//	                           the next recommendation reflects it
+//	                           exactly as a cold rebuild would.
 //	POST /v1/recommend/stream  same body (+ optional "progress_every": N);
 //	                           answers Server-Sent Events: "progress"
 //	                           frames with the partial top-k and its
@@ -43,15 +64,19 @@
 //	GET  /v1/healthz           liveness
 //	GET  /v1/stats             coalescer, batch, stream + cache counters,
 //	                           with a per-shard cache breakdown whose
-//	                           entries sum exactly to the aggregates
+//	                           entries sum exactly to the aggregates,
+//	                           plus ingest counters and (under
+//	                           -snapshot) the boot's persistence report
 //
 // Client errors carry a machine-readable "code" ("empty_group",
 // "duplicate_member", "period_out_of_range", "k_exceeds_candidates",
-// "unknown_user", ...) beside the message; unknown methods on known
-// routes answer 405 with an Allow header.
+// "unknown_user", "unknown_item", "bad_rating", ...) beside the
+// message; unknown methods on known routes answer 405 with an Allow
+// header.
 //
 // On SIGINT/SIGTERM the listener stops accepting, in-flight requests
-// finish, and the coalescer drains its open window before exit.
+// finish, the coalescer drains its open window, and (under -snapshot)
+// a final snapshot is written before exit.
 //
 // Examples:
 //
@@ -105,6 +130,8 @@ func main() {
 		listStore  = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
 		shards     = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
 		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
+		snapshot   = flag.String("snapshot", "", "persistence directory: warm-restart snapshot + rating WAL (empty = no persistence)")
+		refreeze   = flag.Duration("refreeze", 0, "fold pending ingested ratings every interval (0 = fold only at snapshot time)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		verbose    = flag.Bool("v", false, "print substrate statistics")
 	)
@@ -134,9 +161,19 @@ func main() {
 	}
 
 	log.Printf("building world (seed %d)...", *seed)
-	world, err := repro.NewWorld(cfg)
+	world, open, err := repro.OpenWorld(cfg, *snapshot)
 	if err != nil {
 		log.Fatalf("building world: %v", err)
+	}
+	var openStats *repro.OpenStats
+	if *snapshot != "" {
+		openStats = &open
+		if open.Warm {
+			log.Printf("warm restart from %s: %d views, %d neighborhoods restored, %d ratings replayed",
+				*snapshot, open.WarmViews, open.WarmNeighborhoods, open.ReplayedRatings)
+		} else {
+			log.Printf("cold start (no usable snapshot in %s): %d ratings replayed", *snapshot, open.ReplayedRatings)
+		}
 	}
 	if *verbose {
 		st := world.Ratings().Stats()
@@ -144,11 +181,30 @@ func main() {
 			st.Users, st.Items, st.Ratings, len(world.Participants()), world.Timeline().NumPeriods())
 	}
 
-	srv := server.New(world, server.Config{Window: *window, MaxBatch: *maxBatch, MaxPending: *maxPending})
+	srv := server.New(world, server.Config{Window: *window, MaxBatch: *maxBatch, MaxPending: *maxPending, OpenStats: openStats})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background fold: bound the delta overlay's lookup cost under
+	// sustained ingest. ReFreeze is a no-op when nothing is pending.
+	if *refreeze > 0 {
+		go func() {
+			tick := time.NewTicker(*refreeze)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n := world.ReFreeze(); n > 0 && *verbose {
+						log.Printf("refreeze folded %d ratings", n)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -182,6 +238,19 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	srv.Close()
+	if *snapshot != "" {
+		// Final snapshot after the listener has drained: no handler can
+		// race an AddRating in, so the dump, the caches, and the log
+		// reset describe the same world.
+		if err := repro.SaveWorldSnapshot(world, *snapshot); err != nil {
+			log.Printf("saving snapshot: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s", *snapshot)
+		}
+		if err := world.ClosePersistence(); err != nil {
+			log.Printf("closing rating log: %v", err)
+		}
+	}
 	st := srv.Coalescer().Stats()
 	log.Printf("served %d requests in %d windows (mean %.1f/window)",
 		st.Requests, st.Windows, st.MeanWindowSize)

@@ -8,12 +8,19 @@
 //	greca -group 1,5,9 [-k 10] [-items 3900] [-consensus AP|MO|PD1|PD2|VD]
 //	      [-model discrete|continuous|static|none] [-period N]
 //	      [-ratings ratings.dat] [-mode greca|threshold|fullscan] [-seed N]
-//	      [-liststore 1024] [-shards 1] [-deadline 500ms] [-stream]
+//	      [-liststore 1024] [-shards 1] [-snapshot dir] [-deadline 500ms]
+//	      [-stream]
 //
 // -shards partitions the world's per-user state N ways by hashing on
 // UserID; results are identical for every shard count. -liststore and
 // -shards must be positive — a zero or negative value is a usage
 // error, not a silent clamp.
+//
+// -snapshot reuses (or creates) a greca-serve persistence directory:
+// the world is rebuilt from its snapshot when one matches the
+// configuration, and journaled ratings are replayed, so a one-shot
+// query sees exactly what the server saw — including live-ingested
+// ratings — without re-reading the source dataset.
 //
 // Several groups may be given separated by ";" — they are then scored
 // concurrently through World.RecommendBatch, sharing candidate pools
@@ -79,6 +86,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "synthetic world seed")
 		listStore = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
 		shards    = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
+		snapshot  = flag.String("snapshot", "", "persistence directory: rebuild the world from its snapshot + rating WAL when present")
 		deadline  = flag.Duration("deadline", 0, "overall computation deadline (0 = none); expired runs return partial results")
 		stream    = flag.Bool("stream", false, "stream progressively tightening bounds per stopping check (anytime API)")
 		verbose   = flag.Bool("v", false, "print substrate statistics")
@@ -123,14 +131,19 @@ func main() {
 		defer f.Close()
 		cfg.RatingsReader = f
 	}
-	world, err := repro.NewWorld(cfg)
+	world, open, err := repro.OpenWorld(cfg, *snapshot)
 	if err != nil {
 		log.Fatalf("building world: %v", err)
 	}
+	defer world.ClosePersistence()
 	if *verbose {
 		st := world.Ratings().Stats()
 		fmt.Printf("world: %d users, %d items, %d ratings, %d participants, %d periods\n",
 			st.Users, st.Items, st.Ratings, len(world.Participants()), world.Timeline().NumPeriods())
+		if *snapshot != "" {
+			fmt.Printf("persistence: warm=%t, %d ratings replayed, %d views + %d neighborhoods restored\n",
+				open.Warm, open.ReplayedRatings, open.WarmViews, open.WarmNeighborhoods)
+		}
 	}
 	for _, group := range groupSets {
 		for _, u := range group {

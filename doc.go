@@ -41,6 +41,17 @@
 //     per-request re-sorting — bit-identical output, a fraction of
 //     the construction cost. World owns its lifecycle
 //     (Config.ListStoreSize, World.InvalidateUserViews).
+//   - World.AddRating ingests a rating into the frozen world while it
+//     serves: the rating lands in a per-shard delta overlay on the
+//     rating store, and every derived structure that could now be
+//     stale — prediction-row cache, sorted-list views, CF
+//     neighborhood and similarity caches — is invalidated coherently,
+//     so the next recommendation is bit-identical to a world rebuilt
+//     from scratch with that rating in place. World.ReFreeze folds
+//     accumulated deltas into the base (never changing results, only
+//     lookup cost); OpenWorld / SaveWorldSnapshot add durability: a
+//     checksummed snapshot plus a per-shard write-ahead log give
+//     warm restarts that skip the view/neighborhood rebuild scans.
 //   - internal/server (exposed as cmd/greca-serve) serves live HTTP
 //     traffic on a versioned surface (/v1/recommend, /v1/recommend/
 //     batch, /v1/recommend/stream; legacy routes aliased) by
@@ -76,6 +87,20 @@
 //		// Deadline hit: rec is the partial top-k known so far
 //		// (rec.Partial is true, bounds still guaranteed).
 //	}
+//
+// A live, durable world — ratings ingested under traffic, a snapshot
+// on the way out, a warm restart on the way back in:
+//
+//	w, boot, err := repro.OpenWorld(cfg, "/var/lib/greca")
+//	if err != nil { ... }
+//	// boot.Warm, boot.ReplayedRatings say how the world came up.
+//	err = w.AddRating(dataset.Rating{User: u, Item: i, Value: 4.5, Time: now})
+//	// The rating is journaled and every stale cache dropped; the next
+//	// Recommend reflects it exactly as a cold rebuild would.
+//	rec, err = w.Recommend(group, repro.Options{K: 5})
+//	...
+//	repro.SaveWorldSnapshot(w, "/var/lib/greca") // folds deltas, resets the log
+//	w.ClosePersistence()
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for
 // the paper-versus-measured record of every table and figure.

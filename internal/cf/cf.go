@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/shard"
@@ -65,12 +66,48 @@ type Predictor struct {
 	// sm routes users onto parts; Single unless SetSharding widened it.
 	sm    shard.Map
 	parts []*predictorPart
+	// means holds the fallback means (per-item and global) as one
+	// immutable snapshot: NoteIngest recomputes and swaps it, so hot
+	// paths read a coherent pair with a single atomic load.
+	means atomic.Pointer[predictorMeans]
+}
+
+// predictorMeans is one immutable snapshot of the fallback means.
+type predictorMeans struct {
+	// itemMean caches per-item mean ratings for the first fallback.
+	itemMean map[dataset.ItemID]float64
 	// globalMean is the dataset mean rating, the last-resort fallback
 	// prediction when an item has no neighbor coverage.
 	globalMean float64
-	// itemMean caches per-item mean ratings for the first fallback.
-	// Read-only after construction.
-	itemMean map[dataset.ItemID]float64
+}
+
+// computePredictorMeans derives the fallback means from the store. The
+// accumulation order (items ascending, each item's ratings in list
+// order) is the bit-identicality contract: NoteIngest's recomputation
+// over the delta-overlaid store runs this exact loop, so a live world
+// and a cold rebuild agree to the last bit.
+func computePredictorMeans(store *dataset.Store) *predictorMeans {
+	m := &predictorMeans{itemMean: make(map[dataset.ItemID]float64)}
+	var sum float64
+	n := 0
+	for _, it := range store.Items() {
+		rs := store.ByItem(it)
+		var s float64
+		for _, r := range rs {
+			s += r.Value
+		}
+		if len(rs) > 0 {
+			m.itemMean[it] = s / float64(len(rs))
+		}
+		sum += s
+		n += len(rs)
+	}
+	if n > 0 {
+		m.globalMean = sum / float64(n)
+	} else {
+		m.globalMean = 3 // middle of the 1..5 scale
+	}
+	return m
 }
 
 // predictorPart is one shard's instance of the lazy neighborhood
@@ -80,6 +117,11 @@ type predictorPart struct {
 	// counters track neighborhood-cache hits and misses (evictions are
 	// impossible: the lazy caches only grow). See Stats.
 	counters cacheCounters
+	// epoch fences lazy fills against invalidation: a fill records the
+	// epoch before its scan and installs only if it is unchanged, so a
+	// computation that straddles a NoteIngest can never re-populate a
+	// just-cleared cache with pre-ingest state.
+	epoch atomic.Uint64
 }
 
 func newPredictorPart() *predictorPart {
@@ -108,32 +150,13 @@ func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (
 		kNeighbors = DefaultNeighbors
 	}
 	p := &Predictor{
-		store:    store,
-		k:        kNeighbors,
-		measure:  measure,
-		sm:       shard.Single,
-		parts:    []*predictorPart{newPredictorPart()},
-		itemMean: make(map[dataset.ItemID]float64),
+		store:   store,
+		k:       kNeighbors,
+		measure: measure,
+		sm:      shard.Single,
+		parts:   []*predictorPart{newPredictorPart()},
 	}
-	var sum float64
-	n := 0
-	for _, it := range store.Items() {
-		rs := store.ByItem(it)
-		var s float64
-		for _, r := range rs {
-			s += r.Value
-		}
-		if len(rs) > 0 {
-			p.itemMean[it] = s / float64(len(rs))
-		}
-		sum += s
-		n += len(rs)
-	}
-	if n > 0 {
-		p.globalMean = sum / float64(n)
-	} else {
-		p.globalMean = 3 // middle of the 1..5 scale
-	}
+	p.means.Store(computePredictorMeans(store))
 	return p, nil
 }
 
@@ -197,20 +220,24 @@ func (p *Predictor) part(u dataset.UserID) *predictorPart {
 }
 
 func (p *Predictor) norm(u dataset.UserID) float64 {
-	sh := &p.part(u).shards[shardIndex(uint64(u))]
+	pp := p.part(u)
+	sh := &pp.shards[shardIndex(uint64(u))]
 	sh.mu.RLock()
 	n, ok := sh.norms[u]
 	sh.mu.RUnlock()
 	if ok {
 		return n
 	}
+	epoch := pp.epoch.Load()
 	var ss float64
 	for _, r := range p.store.ByUser(u) {
 		ss += r.Value * r.Value
 	}
 	n = math.Sqrt(ss)
 	sh.mu.Lock()
-	sh.norms[u] = n
+	if pp.epoch.Load() == epoch {
+		sh.norms[u] = n
+	}
 	sh.mu.Unlock()
 	return n
 }
@@ -233,6 +260,7 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 	}
 	pp.counters.miss()
 
+	epoch := pp.epoch.Load()
 	all := make([]Neighbor, 0, 64)
 	for _, v := range p.store.Users() {
 		if v == u {
@@ -255,7 +283,7 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 	sh.mu.Lock()
 	if cached, ok := sh.neighbors[u]; ok {
 		ns = cached // a concurrent computation won; keep one canonical slice
-	} else {
+	} else if pp.epoch.Load() == epoch {
 		sh.neighbors[u] = ns
 	}
 	sh.mu.Unlock()
@@ -280,10 +308,11 @@ func (p *Predictor) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 	if den > 0 {
 		return clampRating(num / den)
 	}
-	if m, ok := p.itemMean[it]; ok {
+	means := p.means.Load()
+	if m, ok := means.itemMean[it]; ok {
 		return m
 	}
-	return p.globalMean
+	return means.globalMean
 }
 
 // PredictBatch returns predictions of u for each item in items. The
@@ -337,6 +366,7 @@ func (p *Predictor) batchInto(u dataset.UserID, items []dataset.ItemID, dst []fl
 			ownSet[s] = true
 		}
 	}
+	means := p.means.Load()
 	for i := range items {
 		s := bs.slotOf[i]
 		switch {
@@ -345,10 +375,10 @@ func (p *Predictor) batchInto(u dataset.UserID, items []dataset.ItemID, dst []fl
 		case den[s] > 0:
 			dst[i] = clampRating(num[s] / den[s])
 		default:
-			if m, ok := p.itemMean[bs.slotItem[s]]; ok {
+			if m, ok := means.itemMean[bs.slotItem[s]]; ok {
 				dst[i] = m
 			} else {
-				dst[i] = p.globalMean
+				dst[i] = means.globalMean
 			}
 		}
 	}
@@ -361,7 +391,7 @@ func (p *Predictor) PredictAll(u dataset.UserID, items []dataset.ItemID) []float
 }
 
 // GlobalMean returns the dataset mean rating.
-func (p *Predictor) GlobalMean() float64 { return p.globalMean }
+func (p *Predictor) GlobalMean() float64 { return p.means.Load().globalMean }
 
 // Stats snapshots the lazy neighborhood cache's counters, aggregated
 // across all shard parts: a hit is a Neighbors call answered from a

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/shard"
@@ -27,11 +28,61 @@ type ItemPredictor struct {
 	// consistent hash-on-ID layout, just on the item axis.
 	sm    shard.Map
 	parts []*itemPredictorPart
+	// means holds the per-user (adjusted-cosine centering), per-item,
+	// and global means as one immutable snapshot; NoteIngest recomputes
+	// and swaps it.
+	means atomic.Pointer[itemPredictorMeans]
+}
+
+// itemPredictorMeans is one immutable snapshot of the item predictor's
+// mean tables.
+type itemPredictorMeans struct {
 	// userMean caches each user's mean rating for the adjusted-cosine
-	// centering. Read-only after construction.
+	// centering.
 	userMean   map[dataset.UserID]float64
 	itemMean   map[dataset.ItemID]float64
 	globalMean float64
+}
+
+// computeItemPredictorMeans derives the mean tables from the store,
+// with the same accumulation order as a cold construction (users
+// ascending, then items ascending) so live recomputation is
+// bit-identical to a rebuild.
+func computeItemPredictorMeans(store *dataset.Store) *itemPredictorMeans {
+	m := &itemPredictorMeans{
+		userMean: make(map[dataset.UserID]float64),
+		itemMean: make(map[dataset.ItemID]float64),
+	}
+	var sum float64
+	n := 0
+	for _, u := range store.Users() {
+		rs := store.ByUser(u)
+		var s float64
+		for _, r := range rs {
+			s += r.Value
+		}
+		if len(rs) > 0 {
+			m.userMean[u] = s / float64(len(rs))
+		}
+		sum += s
+		n += len(rs)
+	}
+	for _, it := range store.Items() {
+		rs := store.ByItem(it)
+		var s float64
+		for _, r := range rs {
+			s += r.Value
+		}
+		if len(rs) > 0 {
+			m.itemMean[it] = s / float64(len(rs))
+		}
+	}
+	if n > 0 {
+		m.globalMean = sum / float64(n)
+	} else {
+		m.globalMean = 3
+	}
+	return m
 }
 
 // itemPredictorPart is one shard's instance of the lazy
@@ -42,6 +93,9 @@ type itemPredictorPart struct {
 	shards [numShards]itemShard
 	// counters track item-neighborhood cache hits and misses; see Stats.
 	counters cacheCounters
+	// epoch fences lazy fills against invalidation (see
+	// predictorPart.epoch).
+	epoch atomic.Uint64
 }
 
 func newItemPredictorPart() *itemPredictorPart {
@@ -72,42 +126,12 @@ func NewItemPredictor(store *dataset.Store, kNeighbors int) (*ItemPredictor, err
 		kNeighbors = DefaultNeighbors
 	}
 	p := &ItemPredictor{
-		store:    store,
-		k:        kNeighbors,
-		sm:       shard.Single,
-		parts:    []*itemPredictorPart{newItemPredictorPart()},
-		userMean: make(map[dataset.UserID]float64),
-		itemMean: make(map[dataset.ItemID]float64),
+		store: store,
+		k:     kNeighbors,
+		sm:    shard.Single,
+		parts: []*itemPredictorPart{newItemPredictorPart()},
 	}
-	var sum float64
-	n := 0
-	for _, u := range store.Users() {
-		rs := store.ByUser(u)
-		var s float64
-		for _, r := range rs {
-			s += r.Value
-		}
-		if len(rs) > 0 {
-			p.userMean[u] = s / float64(len(rs))
-		}
-		sum += s
-		n += len(rs)
-	}
-	for _, it := range store.Items() {
-		rs := store.ByItem(it)
-		var s float64
-		for _, r := range rs {
-			s += r.Value
-		}
-		if len(rs) > 0 {
-			p.itemMean[it] = s / float64(len(rs))
-		}
-	}
-	if n > 0 {
-		p.globalMean = sum / float64(n)
-	} else {
-		p.globalMean = 3
-	}
+	p.means.Store(computeItemPredictorMeans(store))
 	return p, nil
 }
 
@@ -118,6 +142,7 @@ func (p *ItemPredictor) AdjustedCosine(a, b dataset.ItemID) float64 {
 		return 1
 	}
 	ra, rb := p.store.ByItem(a), p.store.ByItem(b)
+	userMean := p.means.Load().userMean
 	var dot, na, nb float64
 	i, j := 0, 0
 	for i < len(ra) && j < len(rb) {
@@ -127,7 +152,7 @@ func (p *ItemPredictor) AdjustedCosine(a, b dataset.ItemID) float64 {
 		case ra[i].User > rb[j].User:
 			j++
 		default:
-			m := p.userMean[ra[i].User]
+			m := userMean[ra[i].User]
 			x, y := ra[i].Value-m, rb[j].Value-m
 			dot += x * y
 			na += x * x
@@ -172,6 +197,7 @@ func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
 	}
 	pp.counters.miss()
 
+	epoch := pp.epoch.Load()
 	all := make([]itemNeighbor, 0, 64)
 	for _, other := range p.store.Items() {
 		if other == it {
@@ -194,7 +220,7 @@ func (p *ItemPredictor) itemNeighborsOf(it dataset.ItemID) []itemNeighbor {
 	sh.mu.Lock()
 	if cached, ok := sh.neighbors[it]; ok {
 		ns = cached
-	} else {
+	} else if pp.epoch.Load() == epoch {
 		sh.neighbors[it] = ns
 	}
 	sh.mu.Unlock()
@@ -217,10 +243,11 @@ func (p *ItemPredictor) Predict(u dataset.UserID, it dataset.ItemID) float64 {
 	if den > 0 {
 		return clampRating(num / den)
 	}
-	if m, ok := p.itemMean[it]; ok {
+	means := p.means.Load()
+	if m, ok := means.itemMean[it]; ok {
 		return m
 	}
-	return p.globalMean
+	return means.globalMean
 }
 
 // PredictBatch returns predictions of u for each item in items. The
@@ -246,6 +273,7 @@ func (p *ItemPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemI
 	}
 	// Duplicate candidates recompute via the neighbor cache, which is
 	// hot after the first occurrence; no slot table is needed here.
+	means := p.means.Load()
 	for i, it := range items {
 		if v, ok := rated[it]; ok {
 			dst[i] = v
@@ -262,17 +290,17 @@ func (p *ItemPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemI
 		case den > 0:
 			dst[i] = clampRating(num / den)
 		default:
-			if m, ok := p.itemMean[it]; ok {
+			if m, ok := means.itemMean[it]; ok {
 				dst[i] = m
 			} else {
-				dst[i] = p.globalMean
+				dst[i] = means.globalMean
 			}
 		}
 	}
 }
 
 // GlobalMean returns the dataset mean rating.
-func (p *ItemPredictor) GlobalMean() float64 { return p.globalMean }
+func (p *ItemPredictor) GlobalMean() float64 { return p.means.Load().globalMean }
 
 // Stats snapshots the lazy item-neighborhood cache's counters,
 // aggregated across all shard parts. Size is the number of cached item

@@ -1,0 +1,149 @@
+package cf
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// This file is the live-world side of the cf package: the hooks that
+// keep every derived structure coherent after a rating is applied to
+// the delta overlay, and the export/restore pair the snapshot layer
+// uses to warm-start the neighborhood caches.
+//
+// Coherence model: one new rating by user u changes u's vector, and
+// therefore sim(v, u) for EVERY other user v — so every cached
+// neighborhood (not just u's) is stale, as are the fallback means.
+// NoteIngest recomputes the means with the exact construction loops
+// (same accumulation order, so the swap is bit-identical to a cold
+// rebuild) and drops every neighborhood; only u's cached norm is
+// dropped, because a norm depends solely on its own user's vector.
+//
+// The epoch counters close the fill/invalidate race: a lazy fill that
+// started before NoteIngest — computed from pre-ingest state — fails
+// the epoch check at install time and is never cached, so a cleared
+// cache cannot be re-populated with stale entries by an in-flight
+// scan. Callers serialize NoteIngest invocations (the World's ingest
+// lock); reads need no coordination.
+
+// NoteIngest makes the predictor's derived state coherent with a
+// rating just applied for user u: the fallback means are recomputed
+// from the (delta-overlaid) store and swapped, every cached
+// neighborhood is dropped, and u's cached norm is dropped.
+func (p *Predictor) NoteIngest(u dataset.UserID) {
+	// Order matters: swap means first, then bump epochs, then clear.
+	// Any fill that read the old means started before the bump and is
+	// fenced; fills starting after the bump see the new means.
+	p.means.Store(computePredictorMeans(p.store))
+	for _, pp := range p.parts {
+		pp.epoch.Add(1)
+	}
+	for _, pp := range p.parts {
+		for i := range pp.shards {
+			sh := &pp.shards[i]
+			sh.mu.Lock()
+			if len(sh.neighbors) > 0 {
+				sh.neighbors = make(map[dataset.UserID][]Neighbor)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	sh := &p.part(u).shards[shardIndex(uint64(u))]
+	sh.mu.Lock()
+	delete(sh.norms, u)
+	sh.mu.Unlock()
+}
+
+// NoteIngest makes the item predictor coherent with an ingested
+// rating: the mean tables (user, item, global) are recomputed and
+// swapped, and every cached item neighborhood is dropped — the
+// ingesting user's mean shifts, which re-centers the adjusted cosine
+// of every item pair they co-rated.
+func (p *ItemPredictor) NoteIngest() {
+	p.means.Store(computeItemPredictorMeans(p.store))
+	for _, pp := range p.parts {
+		pp.epoch.Add(1)
+	}
+	for _, pp := range p.parts {
+		for i := range pp.shards {
+			sh := &pp.shards[i]
+			sh.mu.Lock()
+			if len(sh.neighbors) > 0 {
+				sh.neighbors = make(map[dataset.ItemID][]itemNeighbor)
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// UserNeighbors is one user's cached neighborhood in export form — the
+// unit the snapshot layer persists so a warm restart skips the
+// O(users) neighborhood scans.
+type UserNeighbors struct {
+	User      dataset.UserID
+	Neighbors []Neighbor
+}
+
+// ExportNeighborhoods snapshots every cached neighborhood, sorted by
+// user for deterministic output. The neighbor slices are copies; the
+// caller owns them.
+func (p *Predictor) ExportNeighborhoods() []UserNeighbors {
+	var out []UserNeighbors
+	for _, pp := range p.parts {
+		for i := range pp.shards {
+			sh := &pp.shards[i]
+			sh.mu.RLock()
+			for u, ns := range sh.neighbors {
+				out = append(out, UserNeighbors{User: u, Neighbors: append([]Neighbor(nil), ns...)})
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// RestoreNeighborhoods seeds the cache with previously exported
+// neighborhoods, returning how many were installed. Entries for users
+// already cached are skipped (the resident entry is canonical). The
+// caller guarantees the snapshot matches the store — the persistence
+// layer's config fingerprint gates that.
+func (p *Predictor) RestoreNeighborhoods(ns []UserNeighbors) int {
+	restored := 0
+	for _, un := range ns {
+		pp := p.part(un.User)
+		sh := &pp.shards[shardIndex(uint64(un.User))]
+		sh.mu.Lock()
+		if _, ok := sh.neighbors[un.User]; !ok {
+			sh.neighbors[un.User] = append([]Neighbor(nil), un.Neighbors...)
+			restored++
+		}
+		sh.mu.Unlock()
+	}
+	return restored
+}
+
+// CachedNeighborhoods reports the number of cached neighborhoods
+// (across all shard parts) — the warm-start observability hook.
+func (p *Predictor) CachedNeighborhoods() int {
+	n := 0
+	for _, s := range p.StatsByShard() {
+		n += s.Size
+	}
+	return n
+}
+
+// InvalidateAll drops every cached prediction row — the coherent
+// counterpart of InvalidateUser for events that change every user's
+// predictions at once (a rating ingest shifts every neighborhood and
+// the fallback means). Returns the number of rows dropped.
+func (c *CachedSource) InvalidateAll() int {
+	n := 0
+	for _, p := range c.parts {
+		p.epoch.Add(1)
+		for i := range p.shards {
+			n += p.shards[i].clear()
+		}
+	}
+	return n
+}

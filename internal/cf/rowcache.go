@@ -2,6 +2,7 @@ package cf
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/shard"
@@ -53,13 +54,19 @@ func (sh *rowShard) get(key rowKey) ([]float64, bool) {
 // put installs row under key, evicting via CLOCK when the shard is at
 // perCap. If a concurrent fill already installed the key, the resident
 // row wins (one canonical row per key). New rows enter referenced, so
-// a just-computed row is never the next sweep's first victim. Returns
-// the canonical row and the number of evictions.
-func (sh *rowShard) put(key rowKey, row []float64, perCap int) ([]float64, int) {
+// a just-computed row is never the next sweep's first victim. The fill
+// is fenced by the part epoch: if an invalidation ran since the caller
+// recorded want, the row — computed from possibly pre-invalidation
+// state — is returned to the caller but never cached. Returns the
+// canonical row and the number of evictions.
+func (sh *rowShard) put(key rowKey, row []float64, perCap int, epoch *atomic.Uint64, want uint64) ([]float64, int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if cached, ok := sh.rows[key]; ok {
 		return cached.row, 0
+	}
+	if epoch.Load() != want {
+		return row, 0
 	}
 	evicted := 0
 	for len(sh.ring) >= perCap {
@@ -103,6 +110,19 @@ func (sh *rowShard) invalidateUser(u dataset.UserID) int {
 	return removed
 }
 
+// clear drops every row in the shard, returning the count.
+func (sh *rowShard) clear() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := len(sh.rows)
+	if n > 0 {
+		sh.rows = make(map[rowKey]*rowEntry)
+		sh.ring = sh.ring[:0]
+		sh.hand = 0
+	}
+	return n
+}
+
 // CachedSource wraps any Source with a bounded per-user prediction-row
 // cache keyed by candidate-set fingerprint. Recommendation traffic is
 // heavily repetitive in its candidate sets — the same group (and the
@@ -136,6 +156,11 @@ type rowCachePart struct {
 	shards [rowCacheShards]rowShard
 	// counters track row hits, misses, and capacity evictions; see Stats.
 	counters cacheCounters
+	// epoch fences in-flight fills against invalidation: a fill records
+	// it before computing and put refuses the install if it moved, so a
+	// row computed from pre-invalidation state never re-enters a
+	// just-invalidated cache.
+	epoch atomic.Uint64
 }
 
 func newRowCachePart(budget int) *rowCachePart {
@@ -195,7 +220,8 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 		return row
 	}
 	p.counters.miss()
-	row, evicted := sh.put(key, c.src.PredictBatch(u, items), p.perCap)
+	epoch := p.epoch.Load()
+	row, evicted := sh.put(key, c.src.PredictBatch(u, items), p.perCap, &p.epoch, epoch)
 	p.counters.evict(evicted)
 	return row
 }
@@ -209,6 +235,7 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 // counters untouched.
 func (c *CachedSource) InvalidateUser(u dataset.UserID) int {
 	p := c.parts[c.sm.Of(int64(u))]
+	p.epoch.Add(1)
 	n := 0
 	for i := range p.shards {
 		n += p.shards[i].invalidateUser(u)

@@ -1,6 +1,9 @@
 package cf
 
-import "testing"
+import (
+	"sync/atomic"
+	"testing"
+)
 
 // shardKeys lists the resident keys of a shard (test helper).
 func shardKeys(sh *rowShard) map[rowKey]bool {
@@ -21,16 +24,17 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	const cap = 3
 	key := func(i int) rowKey { return rowKey{user: 1, fp: uint64(i), n: 10} }
 	row := []float64{1}
+	var epoch atomic.Uint64
 
 	for i := 0; i < cap; i++ {
-		if _, evicted := sh.put(key(i), row, cap); evicted != 0 {
+		if _, evicted := sh.put(key(i), row, cap, &epoch, 0); evicted != 0 {
 			t.Fatalf("insert %d below capacity evicted %d rows", i, evicted)
 		}
 	}
 	// Rows enter referenced, so the first insert at capacity strips
 	// every bit on its lap and evicts the oldest (key 0) — bounded, no
 	// livelock.
-	if _, evicted := sh.put(key(3), row, cap); evicted != 1 {
+	if _, evicted := sh.put(key(3), row, cap, &epoch, 0); evicted != 1 {
 		t.Fatal("insert at capacity did not evict exactly one row")
 	}
 	if keys := shardKeys(sh); keys[key(0)] || !keys[key(1)] || !keys[key(2)] || !keys[key(3)] {
@@ -42,7 +46,7 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	if _, ok := sh.get(key(2)); !ok {
 		t.Fatal("resident key 2 missed")
 	}
-	if _, evicted := sh.put(key(4), row, cap); evicted != 1 {
+	if _, evicted := sh.put(key(4), row, cap, &epoch, 0); evicted != 1 {
 		t.Fatal("insert at capacity did not evict exactly one row")
 	}
 	keys := shardKeys(sh)
@@ -59,7 +63,7 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	// Invalidation: dropping one user's rows leaves the others resident
 	// and counts no evictions (the caller asserts counters elsewhere).
 	other := rowKey{user: 2, fp: 77, n: 10}
-	sh.put(other, row, cap+1)
+	sh.put(other, row, cap+1, &epoch, 0)
 	if removed := sh.invalidateUser(1); removed != cap {
 		t.Errorf("invalidateUser dropped %d rows, want %d", removed, cap)
 	}
@@ -73,10 +77,10 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	// Re-inserting an existing key keeps the canonical resident row and
 	// evicts nothing (the shard is below capacity after invalidation).
 	canonical := []float64{42}
-	if _, evicted := sh.put(key(9), canonical, cap); evicted != 0 {
+	if _, evicted := sh.put(key(9), canonical, cap, &epoch, 0); evicted != 0 {
 		t.Errorf("insert below capacity evicted %d rows, want 0", evicted)
 	}
-	second, evicted := sh.put(key(9), []float64{7}, cap)
+	second, evicted := sh.put(key(9), []float64{7}, cap, &epoch, 0)
 	if evicted != 0 {
 		t.Errorf("duplicate put evicted %d rows, want 0", evicted)
 	}

@@ -3,6 +3,7 @@ package cf
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
@@ -19,8 +20,10 @@ type TimeWeightedPredictor struct {
 	// HalfLife is the rating age, in seconds, at which a rating's
 	// weight drops to one half.
 	HalfLife int64
-	// now is the reference timestamp (the newest rating in the store).
-	now int64
+	// now is the reference timestamp (the newest rating in the store);
+	// atomic because live ingest can advance it (Refresh) while
+	// predictions read it.
+	now atomic.Int64
 }
 
 // DefaultHalfLife is 180 days — mid-range of the decay settings the
@@ -36,20 +39,43 @@ func NewTimeWeightedPredictor(base *Predictor, halfLife int64) (*TimeWeightedPre
 	if halfLife <= 0 {
 		halfLife = DefaultHalfLife
 	}
+	p := &TimeWeightedPredictor{base: base, HalfLife: halfLife}
+	p.now.Store(maxRatingTime(base.store))
+	return p, nil
+}
+
+// maxRatingTime returns the newest rating timestamp in the store (0
+// for an empty store).
+func maxRatingTime(store *dataset.Store) int64 {
 	var now int64
-	for _, u := range base.store.Users() {
-		for _, r := range base.store.ByUser(u) {
+	for _, u := range store.Users() {
+		for _, r := range store.ByUser(u) {
 			if r.Time > now {
 				now = r.Time
 			}
 		}
 	}
-	return &TimeWeightedPredictor{base: base, HalfLife: halfLife, now: now}, nil
+	return now
 }
 
-// weight returns the decay factor of a rating stamped at t.
+// Refresh re-derives the reference timestamp from the store — the
+// live-ingest hook: a newly applied rating may be newer than every
+// rating the construction scan saw, which shifts every decay weight.
+func (p *TimeWeightedPredictor) Refresh() {
+	p.now.Store(maxRatingTime(p.base.store))
+}
+
+// weight returns the decay factor of a rating stamped at t relative to
+// the current reference timestamp. Hot loops use weightAt with a
+// single load instead.
 func (p *TimeWeightedPredictor) weight(t int64) float64 {
-	age := p.now - t
+	return p.weightAt(p.now.Load(), t)
+}
+
+// weightAt returns the decay factor of a rating stamped at t, relative
+// to the reference timestamp now.
+func (p *TimeWeightedPredictor) weightAt(now, t int64) float64 {
+	age := now - t
 	if age <= 0 {
 		return 1
 	}
@@ -64,23 +90,25 @@ func (p *TimeWeightedPredictor) Predict(u dataset.UserID, it dataset.ItemID) flo
 	if v, ok := p.base.store.Value(u, it); ok {
 		return v
 	}
+	now := p.now.Load()
 	var num, den float64
 	for _, nb := range p.base.Neighbors(u) {
 		rating, ok := p.ratingOf(nb.User, it)
 		if !ok {
 			continue
 		}
-		w := nb.Sim * p.weight(rating.Time)
+		w := nb.Sim * p.weightAt(now, rating.Time)
 		num += w * rating.Value
 		den += w
 	}
 	if den > 0 {
 		return clampRating(num / den)
 	}
-	if m, ok := p.base.itemMean[it]; ok {
+	means := p.base.means.Load()
+	if m, ok := means.itemMean[it]; ok {
 		return m
 	}
-	return p.base.globalMean
+	return means.globalMean
 }
 
 // PredictBatch returns time-weighted predictions of u for each item in
@@ -98,8 +126,9 @@ func (p *TimeWeightedPredictor) PredictBatch(u dataset.UserID, items []dataset.I
 // delegates to the base predictor's shared accumulation core with the
 // decay factor folded into each rating's weight.
 func (p *TimeWeightedPredictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, dst []float64) {
+	now := p.now.Load()
 	p.base.batchInto(u, items, dst, func(nb Neighbor, r dataset.Rating) float64 {
-		return nb.Sim * p.weight(r.Time)
+		return nb.Sim * p.weightAt(now, r.Time)
 	})
 }
 
@@ -117,7 +146,7 @@ func (p *TimeWeightedPredictor) ratingOf(v dataset.UserID, it dataset.ItemID) (d
 }
 
 // Now returns the reference timestamp.
-func (p *TimeWeightedPredictor) Now() int64 { return p.now }
+func (p *TimeWeightedPredictor) Now() int64 { return p.now.Load() }
 
 // Stats snapshots the base predictor's neighborhood-cache counters —
 // the time-weighted path shares the base neighborhoods, so they are

@@ -7,8 +7,10 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/shard"
 )
@@ -44,9 +46,28 @@ type Stats struct {
 	MeanRatingsPerUser float64
 }
 
+// Ingest errors, matchable with errors.Is so callers (the HTTP ratings
+// endpoint) can map each rejection to a machine-readable code.
+var (
+	// ErrNotFrozen is returned by Apply before Freeze: live ingest
+	// overlays a frozen base, it does not replace the loader path.
+	ErrNotFrozen = errors.New("store not frozen")
+	// ErrUnknownUser rejects ratings by users outside the frozen user
+	// set (the overlay cannot grow the user domain — every derived
+	// structure, from shard arenas to CF neighborhoods, is sized to it).
+	ErrUnknownUser = errors.New("unknown user")
+	// ErrUnknownItem rejects ratings of items outside the catalog.
+	ErrUnknownItem = errors.New("unknown item")
+	// ErrBadValue rejects values outside the paper's 1..5 scale.
+	ErrBadValue = errors.New("rating value outside [1,5]")
+)
+
 // Store is an in-memory collaborative rating database with both
-// user-major and item-major access paths. It is immutable after
-// Freeze; all query methods are then safe for concurrent use.
+// user-major and item-major access paths. After Freeze the base matrix
+// is immutable, and all query methods are safe for concurrent use; live
+// writes go through Apply, which appends to a per-shard delta log that
+// every read path overlays until ReFreeze folds the deltas back into
+// the frozen arenas.
 //
 // Per-user state — the rating rows and the rated-item bitsets — lives
 // in per-shard arenas after Freeze, partitioned by a shard.Map
@@ -55,22 +76,41 @@ type Stats struct {
 // world reads only the arenas its group members hash to. Item-major
 // state (the catalog, popularity ranking, per-item rating lists) is
 // shared: it is a property of the catalog, not of any user range.
+//
+// Concurrency model: the frozen state lives behind one atomic pointer
+// and is never mutated in place — ReFreeze builds a successor and
+// swaps. Overlay reads take their user's delta-shard read lock (or the
+// item-side read lock) and load the state pointer inside it; ReFreeze
+// swaps while holding every delta write lock, so a reader always sees
+// a (state, delta) pair that composes to the full matrix. When no
+// deltas are pending — the steady state — reads are lock-free.
 type Store struct {
-	// byUser is the ingest-side accumulation; Freeze partitions it
-	// into parts and clears it, so post-freeze reads have one source
-	// of truth.
+	// byUser/byItem are the ingest-side accumulation, populated by Add
+	// and consumed by Freeze; nil afterwards.
 	byUser   map[UserID][]Rating
+	byItem   map[ItemID][]Rating
+	nRatings int
+	sumVal   float64
+	frozen   bool
+	// state is the frozen base matrix; ReFreeze swaps in successors.
+	state atomic.Pointer[storeState]
+	// deltas is the live-write overlay, created at Freeze.
+	deltas *DeltaLog
+}
+
+// storeState is one immutable snapshot of the frozen matrix. All fields
+// are read-only after construction; ReFreeze replaces the whole value.
+type storeState struct {
 	byItem   map[ItemID][]Rating
 	users    []UserID
 	items    []ItemID
 	nRatings int
 	sumVal   float64
-	frozen   bool
-	// popRanked is the popularity ranking, precomputed at Freeze so
-	// hot-path candidate selection never re-sorts the catalog.
+	// popRanked is the popularity ranking, precomputed so hot-path
+	// candidate selection never re-sorts the catalog.
 	popRanked []ItemID
 	// sm partitions per-user state; parts are its arenas (one per
-	// shard, built at Freeze).
+	// shard).
 	sm    shard.Map
 	parts []storePart
 	// maskWords is the bitset length in words, 0 when bitsets are
@@ -120,17 +160,18 @@ func (b Bitset) or(o Bitset) {
 // negative item IDs disables bitsets instead of exploding.
 const bitsetMemoryBound = 64 << 20
 
-// bitsetEligible decides at Freeze whether per-user bitsets are built.
-func (s *Store) bitsetEligible() (words int, ok bool) {
-	if len(s.items) == 0 {
+// bitsetEligible decides whether per-user bitsets are built for the
+// given user and item domains.
+func bitsetEligible(users []UserID, items []ItemID) (words int, ok bool) {
+	if len(items) == 0 {
 		return 0, false
 	}
-	minItem, maxItem := s.items[0], s.items[len(s.items)-1]
+	minItem, maxItem := items[0], items[len(items)-1]
 	if minItem < 0 {
 		return 0, false
 	}
 	words = int(maxItem>>6) + 1
-	if int64(words)*8*int64(len(s.users)) > bitsetMemoryBound {
+	if int64(words)*8*int64(len(users)) > bitsetMemoryBound {
 		return 0, false
 	}
 	return words, true
@@ -142,20 +183,19 @@ func NewStore() *Store {
 	return &Store{
 		byUser: make(map[UserID][]Rating),
 		byItem: make(map[ItemID][]Rating),
-		sm:     shard.Single,
 	}
 }
 
 // Add appends one rating. It panics if the store is frozen (adding to a
-// frozen store is a programming error in this codebase, never a data
-// condition) and returns an error for out-of-domain values so that
+// frozen store is a programming error in this codebase — live writes go
+// through Apply) and returns an error for out-of-domain values so that
 // loaders can surface malformed input lines.
 func (s *Store) Add(r Rating) error {
 	if s.frozen {
 		panic("dataset: Add on frozen Store")
 	}
 	if r.Value < 1 || r.Value > 5 {
-		return fmt.Errorf("dataset: rating value %.2f for user %d item %d outside [1,5]", r.Value, r.User, r.Item)
+		return fmt.Errorf("dataset: %w: %.2f for user %d item %d", ErrBadValue, r.Value, r.User, r.Item)
 	}
 	s.byUser[r.User] = append(s.byUser[r.User], r)
 	s.byItem[r.Item] = append(s.byItem[r.Item], r)
@@ -164,64 +204,110 @@ func (s *Store) Add(r Rating) error {
 	return nil
 }
 
-// Freeze sorts the internal indexes and makes the store read-only.
+// FromRatings builds a frozen store from a rating slice, applied in
+// order — the snapshot-restore constructor. Feeding back the slice
+// DumpRatings produced reproduces the dumped store's reads
+// bit-identically.
+func FromRatings(recs []Rating) (*Store, error) {
+	s := NewStore()
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	s.Freeze()
+	return s, nil
+}
+
+// DumpRatings returns every rating — frozen rows and any delta
+// overlay — in the canonical frozen order: users ascending, each row
+// in its stored (item-sorted, ingest-stable) order. The order is a
+// fixed point of dump→rebuild→dump, which keeps repeated
+// snapshot/restart cycles byte-stable.
+func (s *Store) DumpRatings() []Rating {
+	var out []Rating
+	for _, u := range s.Users() {
+		out = append(out, s.ByUser(u)...)
+	}
+	return out
+}
+
+// Freeze sorts the internal indexes and makes the base store read-only.
 // User lists are sorted by item, item lists by user, which gives
 // deterministic iteration and enables merge-style similarity scans.
+// The sorts are stable so that duplicate (user, item) observations keep
+// their ingest order — the property that makes a delta overlay
+// bit-identical to a cold rebuild of the same rating sequence.
 func (s *Store) Freeze() {
 	if s.frozen {
 		return
 	}
-	s.users = s.users[:0]
+	st := &storeState{
+		byItem:   s.byItem,
+		nRatings: s.nRatings,
+		sumVal:   s.sumVal,
+		sm:       shard.Single,
+	}
 	for u, rs := range s.byUser {
-		sort.Slice(rs, func(i, j int) bool { return rs[i].Item < rs[j].Item })
-		s.users = append(s.users, u)
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Item < rs[j].Item })
+		st.users = append(st.users, u)
 	}
-	sort.Slice(s.users, func(i, j int) bool { return s.users[i] < s.users[j] })
-	s.items = s.items[:0]
+	sort.Slice(st.users, func(i, j int) bool { return st.users[i] < st.users[j] })
 	for it, rs := range s.byItem {
-		sort.Slice(rs, func(i, j int) bool { return rs[i].User < rs[j].User })
-		s.items = append(s.items, it)
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].User < rs[j].User })
+		st.items = append(st.items, it)
 	}
-	sort.Slice(s.items, func(i, j int) bool { return s.items[i] < s.items[j] })
+	sort.Slice(st.items, func(i, j int) bool { return st.items[i] < st.items[j] })
 
 	// Popularity ranking, computed once: descending rating count with
 	// ascending-ID ties (the paper's "popular set" order).
-	s.popRanked = make([]ItemID, len(s.items))
-	copy(s.popRanked, s.items)
-	sort.Slice(s.popRanked, func(i, j int) bool {
-		ci, cj := len(s.byItem[s.popRanked[i]]), len(s.byItem[s.popRanked[j]])
+	st.popRanked = rankByPopularity(st.items, func(it ItemID) int { return len(st.byItem[it]) })
+
+	// Partition per-user state into the shard arenas; the ingest maps
+	// are cleared so post-freeze reads have one source of truth.
+	st.partition(s.byUser)
+	s.byUser = nil
+	s.byItem = nil
+	s.state.Store(st)
+	s.deltas = newDeltaLog(st.sm)
+	s.frozen = true
+}
+
+// rankByPopularity sorts a copy of items by descending count with
+// ascending-ID ties. Freeze, the delta overlay, and ReFreeze all rank
+// through this one function so the three orderings can never diverge.
+func rankByPopularity(items []ItemID, count func(ItemID) int) []ItemID {
+	ranked := make([]ItemID, len(items))
+	copy(ranked, items)
+	sort.Slice(ranked, func(i, j int) bool {
+		ci, cj := count(ranked[i]), count(ranked[j])
 		if ci != cj {
 			return ci > cj
 		}
-		return s.popRanked[i] < s.popRanked[j]
+		return ranked[i] < ranked[j]
 	})
-
-	// Partition per-user state into the shard arenas; the ingest map
-	// is cleared so post-freeze reads have one source of truth.
-	s.partition(s.byUser)
-	s.byUser = nil
-	s.frozen = true
+	return ranked
 }
 
 // partition builds the per-shard arenas from a user-keyed rating map:
 // each shard gets its own rating-row map and, when item IDs are dense
 // enough, a contiguous bitset arena covering exactly its users.
-func (s *Store) partition(byUser map[UserID][]Rating) {
-	n := s.sm.N()
-	s.parts = make([]storePart, n)
+func (st *storeState) partition(byUser map[UserID][]Rating) {
+	n := st.sm.N()
+	st.parts = make([]storePart, n)
 	perShard := make([][]UserID, n)
-	for _, u := range s.users {
-		si := s.sm.Of(int64(u))
+	for _, u := range st.users {
+		si := st.sm.Of(int64(u))
 		perShard[si] = append(perShard[si], u)
 	}
-	words, bitsets := s.bitsetEligible()
+	words, bitsets := bitsetEligible(st.users, st.items)
 	if bitsets {
-		s.maskWords = words
+		st.maskWords = words
 	} else {
-		s.maskWords = 0
+		st.maskWords = 0
 	}
-	for si := range s.parts {
-		p := &s.parts[si]
+	for si := range st.parts {
+		p := &st.parts[si]
 		p.byUser = make(map[UserID][]Rating, len(perShard[si]))
 		for _, u := range perShard[si] {
 			p.byUser[u] = byUser[u]
@@ -241,48 +327,88 @@ func (s *Store) partition(byUser map[UserID][]Rating) {
 }
 
 // Reshard re-partitions the per-user arenas under a new shard map (nil
-// reverts to the single-shard layout). The store must be frozen; the
-// rating data itself is untouched — only the arena a user's rows and
-// bitset live in changes — so every query answers identically before
-// and after. This is how the World applies Config.Shards to a store
-// the loaders froze 1-way. Cost is one partition pass (map moves plus
-// a bitset refill); Freeze's sorting — the expensive part of loading —
-// is never repeated, so resharding at startup is cheap relative to
-// the load itself.
+// reverts to the single-shard layout). The store must be frozen; any
+// pending deltas are folded first, so the rebuilt arenas are the single
+// source of truth. The rating data itself is untouched — only the arena
+// a user's rows and bitset live in changes — so every query answers
+// identically before and after. This is how the World applies
+// Config.Shards to a store the loaders froze 1-way. Reshard is a
+// setup-time operation: it must not race Apply or overlay reads.
 func (s *Store) Reshard(m shard.Map) {
 	s.mustFrozen("Reshard")
-	merged := make(map[UserID][]Rating, len(s.users))
-	for pi := range s.parts {
-		for u, rs := range s.parts[pi].byUser {
+	s.ReFreeze()
+	st := s.state.Load()
+	merged := make(map[UserID][]Rating, len(st.users))
+	for pi := range st.parts {
+		for u, rs := range st.parts[pi].byUser {
 			merged[u] = rs
 		}
 	}
-	s.sm = shard.Normalize(m)
-	s.partition(merged)
+	ns := &storeState{
+		byItem:    st.byItem,
+		users:     st.users,
+		items:     st.items,
+		nRatings:  st.nRatings,
+		sumVal:    st.sumVal,
+		popRanked: st.popRanked,
+		sm:        shard.Normalize(m),
+	}
+	ns.partition(merged)
+	s.state.Store(ns)
+	s.deltas = newDeltaLog(ns.sm)
 }
 
 // Sharding returns the shard map partitioning the per-user arenas.
-func (s *Store) Sharding() shard.Map { return s.sm }
+func (s *Store) Sharding() shard.Map {
+	s.mustFrozen("Sharding")
+	return s.state.Load().sm
+}
 
 // part returns the arena holding u's per-user state.
-func (s *Store) part(u UserID) *storePart {
-	return &s.parts[s.sm.Of(int64(u))]
+func (st *storeState) part(u UserID) *storePart {
+	return &st.parts[st.sm.Of(int64(u))]
 }
 
 // GroupRatedMask returns the union of the rated-item bitsets of the
 // given users, or nil when bitsets are unavailable (unfrozen store, or
 // item IDs too sparse/negative — see bitsetEligible). Users absent
-// from the store contribute nothing. The result is freshly allocated;
-// the caller owns it.
+// from the store contribute nothing. Pending delta ratings are
+// included. The result is freshly allocated; the caller owns it.
 func (s *Store) GroupRatedMask(users []UserID) Bitset {
-	if !s.frozen || s.maskWords == 0 {
+	if !s.frozen {
 		return nil
 	}
-	mask := make(Bitset, s.maskWords)
+	if s.deltas.count.Load() == 0 {
+		st := s.state.Load()
+		if st.maskWords == 0 {
+			return nil
+		}
+		mask := make(Bitset, st.maskWords)
+		for _, u := range users {
+			if b, ok := st.part(u).rated[u]; ok {
+				mask.or(b)
+			}
+		}
+		return mask
+	}
+	// maskWords is a property of the (fixed) user and item domains, so
+	// it is identical across every state snapshot — safe to size the
+	// mask before taking any delta lock.
+	if s.state.Load().maskWords == 0 {
+		return nil
+	}
+	mask := make(Bitset, s.state.Load().maskWords)
 	for _, u := range users {
-		if b, ok := s.part(u).rated[u]; ok {
+		d := s.deltas.userShard(u)
+		d.mu.RLock()
+		st := s.state.Load()
+		if b, ok := st.part(u).rated[u]; ok {
 			mask.or(b)
 		}
+		for _, r := range d.byUser[u] {
+			mask.set(r.Item)
+		}
+		d.mu.RUnlock()
 	}
 	return mask
 }
@@ -294,40 +420,79 @@ func (s *Store) Frozen() bool { return s.frozen }
 // frozen. The returned slice is shared; callers must not modify it.
 func (s *Store) Users() []UserID {
 	s.mustFrozen("Users")
-	return s.users
+	return s.state.Load().users
 }
 
 // Items returns all item IDs in ascending order (shared slice).
 func (s *Store) Items() []ItemID {
 	s.mustFrozen("Items")
-	return s.items
+	return s.state.Load().items
 }
 
-// ByUser returns the ratings of u sorted by item (shared slice; may be
-// nil if u rated nothing). The lookup routes through the shard map to
-// u's arena.
+// ByUser returns the ratings of u sorted by item (may be nil if u rated
+// nothing). The lookup routes through the shard map to u's arena. With
+// no pending deltas the returned slice is shared with the store; with
+// deltas it is a freshly merged copy — either way callers must not
+// modify it.
 func (s *Store) ByUser(u UserID) []Rating {
 	s.mustFrozen("ByUser")
-	return s.part(u).byUser[u]
+	if s.deltas.count.Load() == 0 {
+		st := s.state.Load()
+		return st.part(u).byUser[u]
+	}
+	d := s.deltas.userShard(u)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st := s.state.Load()
+	base := st.part(u).byUser[u]
+	rows := d.byUser[u]
+	if len(rows) == 0 {
+		return base
+	}
+	return mergeByItem(base, rows)
 }
 
-// ByItem returns the ratings of item it sorted by user (shared slice).
+// ByItem returns the ratings of item it sorted by user (shared unless
+// deltas are pending, then freshly merged; callers must not modify).
 func (s *Store) ByItem(it ItemID) []Rating {
 	s.mustFrozen("ByItem")
-	return s.byItem[it]
+	if s.deltas.count.Load() == 0 {
+		return s.state.Load().byItem[it]
+	}
+	dl := s.deltas
+	dl.itemMu.RLock()
+	defer dl.itemMu.RUnlock()
+	base := s.state.Load().byItem[it]
+	drs := dl.byItem[it]
+	if len(drs) == 0 {
+		return base
+	}
+	return mergeByUser(base, drs)
 }
 
-// Value returns the rating of u for it and whether it exists.
+// Value returns the rating of u for it and whether it exists. When the
+// log holds several observations of the same (user, item) pair the
+// first one wins — the same leftmost-entry rule a cold rebuild's
+// stable sort produces.
 func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
-	if s.frozen {
-		rs := s.part(u).byUser[u]
-		i := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= it })
-		if i < len(rs) && rs[i].Item == it {
-			return rs[i].Value, true
+	if !s.frozen {
+		for _, r := range s.byUser[u] {
+			if r.Item == it {
+				return r.Value, true
+			}
 		}
 		return 0, false
 	}
-	for _, r := range s.byUser[u] {
+	if s.deltas.count.Load() == 0 {
+		return s.state.Load().baseValue(u, it)
+	}
+	d := s.deltas.userShard(u)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v, ok := s.state.Load().baseValue(u, it); ok {
+		return v, true
+	}
+	for _, r := range d.byUser[u] {
 		if r.Item == it {
 			return r.Value, true
 		}
@@ -335,58 +500,104 @@ func (s *Store) Value(u UserID, it ItemID) (float64, bool) {
 	return 0, false
 }
 
+func (st *storeState) baseValue(u UserID, it ItemID) (float64, bool) {
+	rs := st.part(u).byUser[u]
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= it })
+	if i < len(rs) && rs[i].Item == it {
+		return rs[i].Value, true
+	}
+	return 0, false
+}
+
 // HasRated reports whether user u has rated item it.
 func (s *Store) HasRated(u UserID, it ItemID) bool {
-	if s.frozen && s.maskWords > 0 {
-		return s.part(u).rated[u].Has(it)
+	if s.frozen && s.deltas.count.Load() == 0 {
+		if st := s.state.Load(); st.maskWords > 0 {
+			return st.part(u).rated[u].Has(it)
+		}
 	}
 	_, ok := s.Value(u, it)
 	return ok
 }
 
-// NumRatings returns the number of ratings stored.
-func (s *Store) NumRatings() int { return s.nRatings }
+// NumRatings returns the number of ratings stored, including pending
+// deltas.
+func (s *Store) NumRatings() int {
+	if !s.frozen {
+		return s.nRatings
+	}
+	if s.deltas.count.Load() == 0 {
+		return s.state.Load().nRatings
+	}
+	dl := s.deltas
+	dl.itemMu.RLock()
+	defer dl.itemMu.RUnlock()
+	return s.state.Load().nRatings + len(dl.recs)
+}
 
-// Stats computes the Table-5 style summary.
+// Stats computes the Table-5 style summary, including pending deltas.
+// The mean accumulates base-then-delta in append order, the same float
+// summation order a cold rebuild of the full log uses.
 func (s *Store) Stats() Stats {
 	s.mustFrozen("Stats")
-	st := Stats{
-		Users:   len(s.users),
-		Items:   len(s.items),
-		Ratings: s.nRatings,
+	dl := s.deltas
+	dl.itemMu.RLock()
+	st := s.state.Load()
+	n := st.nRatings + len(dl.recs)
+	sum := st.sumVal
+	for _, r := range dl.recs {
+		sum += r.Value
 	}
-	if s.nRatings > 0 {
-		st.MeanRating = s.sumVal / float64(s.nRatings)
+	dl.itemMu.RUnlock()
+	stats := Stats{
+		Users:   len(st.users),
+		Items:   len(st.items),
+		Ratings: n,
 	}
-	if st.Users > 0 {
-		st.MeanRatingsPerUser = float64(st.Ratings) / float64(st.Users)
+	if n > 0 {
+		stats.MeanRating = sum / float64(n)
 	}
-	return st
+	if stats.Users > 0 {
+		stats.MeanRatingsPerUser = float64(stats.Ratings) / float64(stats.Users)
+	}
+	return stats
 }
 
 // ItemPopularity returns items sorted by descending rating count — the
 // paper's "popular set" selection (top-50 by popularity) uses this.
-// The ranking is precomputed at Freeze; this returns a fresh copy the
-// caller may reorder.
+// The ranking is precomputed (and kept current by the delta overlay);
+// this returns a fresh copy the caller may reorder.
 func (s *Store) ItemPopularity() []ItemID {
 	s.mustFrozen("ItemPopularity")
-	out := make([]ItemID, len(s.popRanked))
-	copy(out, s.popRanked)
+	ranked := s.PopularityRanked()
+	out := make([]ItemID, len(ranked))
+	copy(out, ranked)
 	return out
 }
 
 // PopularityRanked returns the precomputed popularity ranking as a
-// shared slice for hot paths. Callers must not modify it.
+// shared slice for hot paths. Callers must not modify it. With pending
+// deltas the overlay ranking (recomputed at each Apply) is returned;
+// it matches what a cold rebuild of base+deltas would precompute.
 func (s *Store) PopularityRanked() []ItemID {
 	s.mustFrozen("PopularityRanked")
-	return s.popRanked
+	if s.deltas.count.Load() == 0 {
+		return s.state.Load().popRanked
+	}
+	dl := s.deltas
+	dl.itemMu.RLock()
+	defer dl.itemMu.RUnlock()
+	if dl.popRanked != nil {
+		return dl.popRanked
+	}
+	return s.state.Load().popRanked
 }
 
 // ItemRatingVariance returns the population variance of the ratings of
 // item it — the paper's "diversity set" picks the 25 highest-variance
 // items among the top-200 popular ones.
 func (s *Store) ItemRatingVariance(it ItemID) float64 {
-	rs := s.byItem[it]
+	rs := s.ByItem(it)
 	n := len(rs)
 	if n == 0 {
 		return 0

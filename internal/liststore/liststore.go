@@ -25,6 +25,7 @@
 package liststore
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -85,6 +86,9 @@ type Stats struct {
 	// Evictions counts views dropped by capacity pressure.
 	Invalidations uint64 `json:"invalidations"`
 	Evictions     uint64 `json:"evictions"`
+	// WarmLoads counts views installed from a snapshot restore instead
+	// of built — the warm-restart observability hook.
+	WarmLoads uint64 `json:"warm_loads"`
 	// PatchItems is the total number of candidate items served through
 	// patch sets instead of views (uncovered remainder of a slice).
 	PatchItems uint64 `json:"patch_items"`
@@ -107,6 +111,7 @@ type ShardStats struct {
 	Rebuilds      uint64 `json:"rebuilds"`
 	Invalidations uint64 `json:"invalidations"`
 	Evictions     uint64 `json:"evictions"`
+	WarmLoads     uint64 `json:"warm_loads"`
 	Size          int    `json:"size"`
 	MaxUsers      int    `json:"max_users"`
 }
@@ -137,6 +142,7 @@ type storePart struct {
 	rebuilds      atomic.Uint64
 	invalidations atomic.Uint64
 	evictions     atomic.Uint64
+	warmLoads     atomic.Uint64
 }
 
 func newStorePart(maxUsers int) *storePart {
@@ -294,6 +300,15 @@ func (s *Store) build(u dataset.UserID) *View {
 	for i, v := range raw {
 		scores[i] = v / s.divisor
 	}
+	return viewFromScores(scores)
+}
+
+// viewFromScores derives the canonical sorted side of a view from its
+// dense normalized scores. Build and the snapshot-restore path share
+// it, so a restored view is bit-identical to one built in place: the
+// sort is deterministic given the scores, which is why snapshots only
+// persist the score vectors.
+func viewFromScores(scores []float64) *View {
 	entries := make([]core.Entry, len(scores))
 	for p, v := range scores {
 		entries[p] = core.Entry{Key: p, Value: v}
@@ -326,6 +341,93 @@ func (s *Store) Invalidate(u dataset.UserID) bool {
 	p.invalidated[u] = true
 	p.invalidations.Add(1)
 	return true
+}
+
+// InvalidateAll drops every materialized view — the coherent ingest
+// hook for events that change every user's preferences at once (any
+// rating ingest shifts every user's neighborhood and therefore every
+// view). Subsequent Acquires rebuild, counted as rebuilds. Returns the
+// number of views dropped. In-flight builds are unaffected: their
+// entry objects are unlinked here, so whatever they finish computing
+// is returned to their callers but never served again.
+func (s *Store) InvalidateAll() int {
+	n := 0
+	for _, p := range s.parts {
+		p.mu.Lock()
+		dropped := len(p.entries)
+		for u := range p.entries {
+			delete(p.entries, u)
+			p.invalidated[u] = true
+		}
+		p.ring = p.ring[:0]
+		p.hand = 0
+		p.mu.Unlock()
+		p.invalidations.Add(uint64(dropped))
+		n += dropped
+	}
+	return n
+}
+
+// UserView is one user's view in export form: only the dense score
+// vector — the sorted side is a deterministic function of it and is
+// re-derived on restore.
+type UserView struct {
+	User   dataset.UserID
+	Scores []float64
+}
+
+// ExportViews snapshots every materialized view, sorted by user for
+// deterministic output. Score slices are shared with the live views
+// (views are immutable); callers must not mutate them.
+func (s *Store) ExportViews() []UserView {
+	var out []UserView
+	for _, p := range s.parts {
+		p.mu.Lock()
+		for u, e := range p.entries {
+			// Only settled views export: an entry mid-build has a nil
+			// view and will be rebuilt on next start anyway.
+			if v := e.view; v != nil {
+				out = append(out, UserView{User: u, Scores: v.Scores})
+			}
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// RestoreViews installs previously exported views, returning how many
+// were installed. Each restored entry's build-once is consumed, so the
+// next Acquire is a hit, not a build — restores count as WarmLoads,
+// never ViewBuilds, which is how tests and operators verify a warm
+// restart skipped the rebuild. Views with a score length that does not
+// match the pool are skipped (a snapshot/config mismatch the caller's
+// fingerprint should have caught), as are users already resident and
+// users beyond a part's capacity budget.
+func (s *Store) RestoreViews(views []UserView) int {
+	restored := 0
+	for _, uv := range views {
+		if len(uv.Scores) != len(s.pool) {
+			continue
+		}
+		p := s.part(uv.User)
+		p.mu.Lock()
+		if _, ok := p.entries[uv.User]; ok || len(p.ring) >= p.maxUsers {
+			p.mu.Unlock()
+			continue
+		}
+		e := &userEntry{}
+		e.ref.Store(true)
+		v := viewFromScores(uv.Scores)
+		e.once.Do(func() { e.view = v })
+		p.entries[uv.User] = e
+		p.ring = append(p.ring, uv.User)
+		delete(p.invalidated, uv.User)
+		p.mu.Unlock()
+		p.warmLoads.Add(1)
+		restored++
+	}
+	return restored
 }
 
 // MapCandidates returns the memoized mapping of a candidate slice onto
@@ -395,6 +497,7 @@ func (p *storePart) statsOf() ShardStats {
 		Rebuilds:      p.rebuilds.Load(),
 		Invalidations: p.invalidations.Load(),
 		Evictions:     p.evictions.Load(),
+		WarmLoads:     p.warmLoads.Load(),
 		Size:          size,
 		MaxUsers:      p.maxUsers,
 	}
@@ -436,6 +539,7 @@ func (s *Store) StatsFrom(parts []ShardStats) Stats {
 		st.Rebuilds += ss.Rebuilds
 		st.Invalidations += ss.Invalidations
 		st.Evictions += ss.Evictions
+		st.WarmLoads += ss.WarmLoads
 		st.Size += ss.Size
 	}
 	return st

@@ -236,3 +236,94 @@ func TestAcquireConcurrent(t *testing.T) {
 		t.Errorf("size %d exceeds bound 8", st.Size)
 	}
 }
+
+// TestExportRestoreRoundTrip pins the warm-restart contract: restored
+// views are bit-identical to built ones, served as hits without any
+// source call, and counted as warm loads rather than builds.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	src := &stubSource{}
+	pool := testPool(8)
+	s := New(src, pool, 16, 5)
+	for u := dataset.UserID(1); u <= 6; u++ {
+		s.Acquire(u)
+	}
+
+	views := s.ExportViews()
+	if len(views) != 6 {
+		t.Fatalf("exported %d views, want 6", len(views))
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i-1].User >= views[i].User {
+			t.Fatalf("export not sorted by user: %d before %d", views[i-1].User, views[i].User)
+		}
+	}
+
+	src2 := &stubSource{}
+	s2 := New(src2, pool, 16, 5)
+	if got := s2.RestoreViews(views); got != 6 {
+		t.Fatalf("restored %d views, want 6", got)
+	}
+	for u := dataset.UserID(1); u <= 6; u++ {
+		want, got := s.Acquire(u), s2.Acquire(u)
+		if len(want.Scores) != len(got.Scores) {
+			t.Fatalf("user %d: restored view size %d, want %d", u, len(got.Scores), len(want.Scores))
+		}
+		for i := range want.Scores {
+			if want.Scores[i] != got.Scores[i] {
+				t.Fatalf("user %d: restored score[%d] = %v, want %v", u, i, got.Scores[i], want.Scores[i])
+			}
+		}
+		for i := range want.Sorted.Entries {
+			if want.Sorted.Entries[i] != got.Sorted.Entries[i] {
+				t.Fatalf("user %d: restored sorted entry %d = %+v, want %+v", u, i, got.Sorted.Entries[i], want.Sorted.Entries[i])
+			}
+		}
+	}
+	if calls := src2.batchCalls.Load(); calls != 0 {
+		t.Errorf("restored store called its source %d times, want 0", calls)
+	}
+	st := s2.Stats()
+	if st.ViewBuilds != 0 || st.WarmLoads != 6 || st.ViewHits != 6 {
+		t.Errorf("restored stats = %+v, want 0 builds / 6 warm loads / 6 hits", st)
+	}
+
+	// A second restore over resident users is a no-op, as is a view
+	// whose score length does not match the pool.
+	if got := s2.RestoreViews(views); got != 0 {
+		t.Errorf("re-restore installed %d views, want 0", got)
+	}
+	if got := s2.RestoreViews([]UserView{{User: 99, Scores: []float64{1}}}); got != 0 {
+		t.Errorf("mismatched-length restore installed %d views, want 0", got)
+	}
+}
+
+// TestInvalidateAll pins the ingest hook: every view drops, the next
+// Acquire rebuilds (counted as a rebuild), and counters account for
+// the drops as invalidations.
+func TestInvalidateAll(t *testing.T) {
+	src := &stubSource{}
+	s := New(src, testPool(5), 16, 5)
+	before := make(map[dataset.UserID]*View)
+	for u := dataset.UserID(1); u <= 4; u++ {
+		before[u] = s.Acquire(u)
+	}
+
+	if got := s.InvalidateAll(); got != 4 {
+		t.Fatalf("InvalidateAll dropped %d views, want 4", got)
+	}
+	if st := s.Stats(); st.Size != 0 || st.Invalidations != 4 {
+		t.Fatalf("post-invalidate stats = %+v, want size 0 / 4 invalidations", st)
+	}
+	for u := dataset.UserID(1); u <= 4; u++ {
+		if s.Acquire(u) == before[u] {
+			t.Errorf("user %d still served the pre-invalidation view", u)
+		}
+	}
+	st := s.Stats()
+	if st.Rebuilds != 4 {
+		t.Errorf("rebuilds = %d, want 4", st.Rebuilds)
+	}
+	if got := src.batchCalls.Load(); got != 8 {
+		t.Errorf("source batch calls = %d, want 8 (4 builds + 4 rebuilds)", got)
+	}
+}

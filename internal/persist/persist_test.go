@@ -1,0 +1,322 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+type snapPayload struct {
+	Ratings []dataset.Rating
+	Note    string
+}
+
+func testPayload() snapPayload {
+	return snapPayload{
+		Ratings: []dataset.Rating{
+			{User: 1, Item: 10, Value: 4.5, Time: 100},
+			{User: 2, Item: 20, Value: 2, Time: 200},
+		},
+		Note: "hello",
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	want := testPayload()
+	if err := SaveSnapshot(path, 0xbeef, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got snapPayload
+	if err := LoadSnapshot(path, 0xbeef, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestSnapshotMissingIsErrNoSnapshot(t *testing.T) {
+	var got snapPayload
+	err := LoadSnapshot(filepath.Join(t.TempDir(), "absent.bin"), 1, &got)
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("missing snapshot = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestSnapshotRejectsMismatches corrupts the file along every framing
+// axis and checks each is ErrBadSnapshot — the cold-rebuild fallback
+// signal — never a silent wrong decode.
+func TestSnapshotRejectsMismatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.bin")
+	payload := testPayload()
+	if err := SaveSnapshot(path, 7, &payload); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte, fp uint64) {
+		t.Helper()
+		raw := append([]byte(nil), good...)
+		raw = mutate(raw)
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got snapPayload
+		if err := LoadSnapshot(p, fp, &got); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+
+	check("fingerprint", func(b []byte) []byte { return b }, 8)
+	check("magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, 7)
+	check("version", func(b []byte) []byte { b[8] ^= 0xff; return b }, 7)
+	check("checksum", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, 7)
+	check("truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }, 7)
+	check("truncated-header", func(b []byte) []byte { return b[:10] }, 7)
+}
+
+// TestSnapshotSaveIsAtomic overwrites an existing snapshot and checks
+// the new content replaced the old completely.
+func TestSnapshotSaveIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	first := testPayload()
+	if err := SaveSnapshot(path, 3, &first); err != nil {
+		t.Fatal(err)
+	}
+	second := testPayload()
+	second.Note = "replaced"
+	if err := SaveSnapshot(path, 3, &second); err != nil {
+		t.Fatal(err)
+	}
+	var got snapPayload
+	if err := LoadSnapshot(path, 3, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "replaced" {
+		t.Errorf("note = %q, want %q", got.Note, "replaced")
+	}
+}
+
+func walRatings(n int) []dataset.Rating {
+	out := make([]dataset.Rating, n)
+	for i := range out {
+		out[i] = dataset.Rating{
+			User:  dataset.UserID(i * 3),
+			Item:  dataset.ItemID(100 + i),
+			Value: 1 + float64(i%5),
+			Time:  int64(1000 + i),
+		}
+	}
+	return out
+}
+
+func mustShardMap(t *testing.T, n int) shard.Map {
+	t.Helper()
+	sm, err := shard.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// TestWALRoundTrip appends across shard files, reopens, and checks the
+// replay order matches the append order exactly — the property the
+// fold's bit-identicality rests on.
+func TestWALRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		sm := mustShardMap(t, shards)
+		w, replayed, err := OpenWAL(dir, sm, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replayed) != 0 {
+			t.Fatalf("shards=%d: fresh WAL replayed %d records", shards, len(replayed))
+		}
+		want := walRatings(17)
+		for _, r := range want {
+			if err := w.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		w2, got, err := OpenWAL(dir, sm, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w2.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: replay = %v, want %v", shards, got, want)
+		}
+
+		// Appends after reopen continue the sequence.
+		extra := dataset.Rating{User: 99, Item: 999, Value: 3, Time: 5000}
+		if err := w2.Append(extra); err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		_, got3, err := OpenWAL(dir, sm, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got3) != 18 || !reflect.DeepEqual(got3[17], extra) {
+			t.Errorf("shards=%d: post-reopen append lost: %v", shards, got3)
+		}
+	}
+}
+
+// TestWALTruncatedTailDiscarded simulates a torn final write: the last
+// record's bytes are cut short, replay must keep every intact record
+// and drop the tail, and the file must be usable for appends again.
+func TestWALTruncatedTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	sm := mustShardMap(t, 1)
+	w, _, err := OpenWAL(dir, sm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := walRatings(5)
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	path := filepath.Join(dir, "wal-000.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, err := OpenWAL(dir, sm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[:4]) {
+		t.Errorf("replay after torn tail = %v, want first 4 records", got)
+	}
+	// The torn bytes are gone from disk, and new appends land cleanly.
+	if err := w2.Append(want[4]); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, got2, err := OpenWAL(dir, sm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("replay after repair append = %v, want %v", got2, want)
+	}
+}
+
+// TestWALCorruptMiddleDiscardsFromThere flips a byte mid-file: the
+// scan stops at the corrupt record, keeping only the prefix.
+func TestWALCorruptMiddleDiscardsFromThere(t *testing.T) {
+	dir := t.TempDir()
+	sm := mustShardMap(t, 1)
+	w, _, err := OpenWAL(dir, sm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := walRatings(5)
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	path := filepath.Join(dir, "wal-000.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[walHeaderLen+2*walRecordLen+5] ^= 0xff // inside record 2
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, got, err := OpenWAL(dir, sm, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Errorf("replay after mid-file corruption = %v, want first 2 records", got)
+	}
+}
+
+// TestWALFingerprintMismatchResets pins the fail-safe for config skew:
+// a WAL journaled under another world configuration is discarded, not
+// replayed into a world it does not describe.
+func TestWALFingerprintMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	sm := mustShardMap(t, 2)
+	w, _, err := OpenWAL(dir, sm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range walRatings(6) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w2, got, err := OpenWAL(dir, sm, 2) // different fingerprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 0 {
+		t.Errorf("fingerprint mismatch replayed %d records, want 0", len(got))
+	}
+}
+
+// TestWALReset empties the log after a snapshot: reopening replays
+// nothing and sequence numbering restarts.
+func TestWALReset(t *testing.T) {
+	dir := t.TempDir()
+	sm := mustShardMap(t, 4)
+	w, _, err := OpenWAL(dir, sm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range walRatings(10) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(5); err != nil {
+		t.Fatal(err)
+	}
+	after := dataset.Rating{User: 7, Item: 70, Value: 5, Time: 1}
+	if err := w.Append(after); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, got, err := OpenWAL(dir, sm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], after) {
+		t.Errorf("post-reset replay = %v, want just %v", got, after)
+	}
+}

@@ -35,6 +35,9 @@ type Config struct {
 	// concurrent /recommend/stream runs; beyond it requests are shed
 	// with 429 + Retry-After instead of queueing (0 = unbounded).
 	MaxPending int
+	// OpenStats, when set, reports how the world came up (warm
+	// snapshot restore, WAL replay) under /stats "persistence".
+	OpenStats *repro.OpenStats
 }
 
 // Server exposes a World over a versioned HTTP surface:
@@ -42,8 +45,9 @@ type Config struct {
 //	POST /v1/recommend         one group; coalesced into batch windows
 //	POST /v1/recommend/batch   many groups; dispatched as its own batch
 //	POST /v1/recommend/stream  SSE: progress frames, then a terminal frame
+//	POST /v1/ratings           ingest one rating into the live world
 //	GET  /v1/healthz           liveness
-//	GET  /v1/stats             coalescer, batch, stream, and cache counters
+//	GET  /v1/stats             coalescer, batch, stream, ingest, and cache counters
 //
 // The legacy unversioned routes (/recommend, /recommend/batch,
 // /healthz, /stats) are aliases of their /v1 forms and serve identical
@@ -81,6 +85,14 @@ type Server struct {
 	// mid-flight cancellation deterministically; always zero in
 	// production (set before serving, never mutated concurrently).
 	streamFrameDelay time.Duration
+
+	// ratingPosts / ratingRejects count POST /ratings traffic: ratings
+	// applied to the live world vs. refused (decode or validation).
+	ratingPosts   atomic.Uint64
+	ratingRejects atomic.Uint64
+	// openStats is the boot report surfaced under /stats (nil when the
+	// process runs without persistence).
+	openStats *repro.OpenStats
 }
 
 // New builds a Server over world. The caller owns shutdown ordering:
@@ -94,6 +106,7 @@ func New(world *repro.World, cfg Config) *Server {
 		start:        time.Now(),
 		participants: make(map[dataset.UserID]bool, len(world.Participants())),
 		maxStreams:   cfg.MaxPending,
+		openStats:    cfg.OpenStats,
 	}
 	s.co.LimitPending(cfg.MaxPending)
 	for _, u := range world.Participants() {
@@ -105,6 +118,7 @@ func New(world *repro.World, cfg Config) *Server {
 		s.mux.HandleFunc(prefix+"/recommend", s.handleRecommend)
 		s.mux.HandleFunc(prefix+"/recommend/batch", s.handleBatch)
 		s.mux.HandleFunc(prefix+"/recommend/stream", s.handleStream)
+		s.mux.HandleFunc(prefix+"/ratings", s.handleRatings)
 		s.mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
 		s.mux.HandleFunc(prefix+"/stats", s.handleStats)
 	}
@@ -450,6 +464,83 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }
 
+// ratingRequest is the wire form of POST /ratings: one rating to
+// ingest into the live world. Unknown fields are rejected like every
+// other route.
+type ratingRequest struct {
+	User  int     `json:"user"`
+	Item  int     `json:"item"`
+	Value float64 `json:"value"`
+	// Time is the rating's unix timestamp (0 = untimed; the rating
+	// still folds, it just carries no temporal weight).
+	Time int64 `json:"time,omitempty"`
+}
+
+// ratingResponse acknowledges an applied rating. Pending is the
+// world's current count of ratings applied but not yet folded into
+// the frozen base (a snapshot or refreeze folds them).
+type ratingResponse struct {
+	Applied bool `json:"applied"`
+	Pending int  `json:"pending"`
+}
+
+func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		return // readBody already wrote the response
+	}
+	reject := func(status int, code, msg string) {
+		s.ratingRejects.Add(1)
+		writeError(w, status, code, msg)
+	}
+	var wire ratingRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		reject(http.StatusBadRequest, "bad_rating", "decoding rating: "+err.Error())
+		return
+	}
+	if dec.More() {
+		reject(http.StatusBadRequest, "bad_rating", "trailing data after rating object")
+		return
+	}
+	if wire.User < 0 || wire.Item < 0 {
+		reject(http.StatusBadRequest, "bad_rating", fmt.Sprintf("negative user %d or item %d", wire.User, wire.Item))
+		return
+	}
+	err = s.world.AddRating(dataset.Rating{
+		User:  dataset.UserID(wire.User),
+		Item:  dataset.ItemID(wire.Item),
+		Value: wire.Value,
+		Time:  wire.Time,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, dataset.ErrUnknownUser):
+		reject(http.StatusBadRequest, "unknown_user", err.Error())
+		return
+	case errors.Is(err, dataset.ErrUnknownItem):
+		reject(http.StatusBadRequest, "unknown_item", err.Error())
+		return
+	case errors.Is(err, dataset.ErrBadValue):
+		reject(http.StatusBadRequest, "bad_rating", err.Error())
+		return
+	default:
+		// The rating may have applied but failed to journal — a server
+		// fault (disk trouble), never the client's.
+		writeError(w, http.StatusInternalServerError, "ingest_failed", err.Error())
+		return
+	}
+	s.ratingPosts.Add(1)
+	writeJSON(w, http.StatusOK, ratingResponse{
+		Applied: true,
+		Pending: s.world.IngestStats().Pending,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
@@ -469,6 +560,10 @@ type statsResponse struct {
 	Mux           repro.MuxStats   `json:"mux"`
 	Caches        repro.CacheStats `json:"caches"`
 	World         worldStats       `json:"world"`
+	Ingest        ingestStats      `json:"ingest"`
+	// Persistence reports the boot path (warm restore, WAL replay);
+	// absent when the process runs without a snapshot directory.
+	Persistence *repro.OpenStats `json:"persistence,omitempty"`
 }
 
 type batchStats struct {
@@ -482,6 +577,14 @@ type streamStats struct {
 	Calls   uint64 `json:"calls"`
 	Frames  uint64 `json:"frames"`
 	Cancels uint64 `json:"cancels"`
+}
+
+// ingestStats counts live rating ingest: the HTTP traffic (posts
+// applied, rejects) and the store's own delta counters.
+type ingestStats struct {
+	Posts   uint64             `json:"posts"`
+	Rejects uint64             `json:"rejects"`
+	Store   dataset.DeltaStats `json:"store"`
 }
 
 type worldStats struct {
@@ -518,6 +621,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Participants: len(s.world.Participants()),
 			Periods:      s.world.Timeline().NumPeriods(),
 		},
+		Ingest: ingestStats{
+			Posts:   s.ratingPosts.Load(),
+			Rejects: s.ratingRejects.Load(),
+			Store:   s.world.IngestStats(),
+		},
+		Persistence: s.openStats,
 	})
 }
 

@@ -1,0 +1,321 @@
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/dataset"
+)
+
+// liveBaseRatings renders a deterministic base dataset in the
+// MovieLens text format by generating the muxTestConfig synthetic
+// store once and dumping it — both the live and the cold world in the
+// differential tests load from this same text.
+func liveBaseRatings(t *testing.T) string {
+	t.Helper()
+	w, err := NewWorld(muxTestConfig())
+	if err != nil {
+		t.Fatalf("building seed world: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteMovieLensRatings(&buf, w.Ratings()); err != nil {
+		t.Fatalf("dumping ratings: %v", err)
+	}
+	return buf.String()
+}
+
+// liveWorld builds a world over the given ratings text at the given
+// shard count, with everything else at the muxTestConfig defaults.
+func liveWorld(t *testing.T, ratings string, shards int, spec consensus.Spec) *World {
+	t.Helper()
+	cfg := muxTestConfig()
+	cfg.RatingsReader = strings.NewReader(ratings)
+	cfg.Shards = shards
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("building world (shards=%d): %v", shards, err)
+	}
+	_ = spec
+	return w
+}
+
+// liveExtraRatings picks deterministic new ratings for the first few
+// participants: for each, the most popular item the member has not yet
+// rated (so the ingest changes both predictions and the candidate
+// exclusion), stamped inside the observation window.
+func liveExtraRatings(w *World, n int) []dataset.Rating {
+	ranked := w.Ratings().PopularityRanked()
+	var out []dataset.Rating
+	for _, u := range w.Participants() {
+		if len(out) == n {
+			break
+		}
+		for _, it := range ranked {
+			if !w.Ratings().HasRated(u, it) {
+				out = append(out, dataset.Rating{User: u, Item: it, Value: 5, Time: 978300000 + int64(len(out))})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// appendRatingsText appends extra ratings to a MovieLens-format dump,
+// preserving the delta semantics: deltas come after every base record.
+func appendRatingsText(base string, extra []dataset.Rating) string {
+	var b strings.Builder
+	b.WriteString(base)
+	for _, r := range extra {
+		fmt.Fprintf(&b, "%d::%d::%g::%d\n", r.User, r.Item, r.Value, r.Time)
+	}
+	return b.String()
+}
+
+// TestAddRatingMatchesColdRebuild is the tentpole differential: after
+// AddRating, a live world — whose caches were deliberately warmed with
+// pre-ingest state — must produce recommendations bit-identical to a
+// cold world rebuilt from the extended dataset, at every shard count
+// and consensus function, both before and after the deltas are folded.
+func TestAddRatingMatchesColdRebuild(t *testing.T) {
+	base := liveBaseRatings(t)
+	specs := map[string]consensus.Spec{"AP": consensus.AP(), "MO": consensus.MO(), "PD": consensus.PD(0.6)}
+	for _, shards := range []int{1, 4, 16} {
+		live := liveWorld(t, base, shards, consensus.AP())
+		extra := liveExtraRatings(live, 4)
+		if len(extra) != 4 {
+			t.Fatalf("shards=%d: found %d extra ratings, want 4", shards, len(extra))
+		}
+		group := live.Participants()[:3]
+		opt := Options{K: 5}
+
+		// Warm every cache with pre-ingest state: the differential then
+		// proves the invalidation is coherent, not merely that cold
+		// caches recompute correctly.
+		if _, err := live.Recommend(group, opt); err != nil {
+			t.Fatalf("shards=%d: warming recommend: %v", shards, err)
+		}
+		for _, r := range extra {
+			if err := live.AddRating(r); err != nil {
+				t.Fatalf("shards=%d: AddRating(%+v): %v", shards, r, err)
+			}
+		}
+		if st := live.IngestStats(); st.Pending != 4 || st.Applied != 4 {
+			t.Fatalf("shards=%d: ingest stats %+v, want 4 pending / 4 applied", shards, st)
+		}
+
+		cold := liveWorld(t, appendRatingsText(base, extra), shards, consensus.AP())
+		for name, spec := range specs {
+			o := opt
+			o.Consensus = spec
+			want, err := cold.Recommend(group, o)
+			if err != nil {
+				t.Fatalf("shards=%d %s: cold recommend: %v", shards, name, err)
+			}
+			got, err := live.Recommend(group, o)
+			if err != nil {
+				t.Fatalf("shards=%d %s: live recommend: %v", shards, name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d %s: overlay recommendation diverged from cold rebuild\n got %+v\nwant %+v", shards, name, got, want)
+			}
+		}
+
+		// Folding the deltas must not change a byte either.
+		if folded := live.ReFreeze(); folded != 4 {
+			t.Fatalf("shards=%d: ReFreeze folded %d, want 4", shards, folded)
+		}
+		if st := live.IngestStats(); st.Pending != 0 || st.Folded != 4 || st.Folds != 1 {
+			t.Fatalf("shards=%d: post-fold ingest stats %+v", shards, st)
+		}
+		for name, spec := range specs {
+			o := opt
+			o.Consensus = spec
+			want, err := cold.Recommend(group, o)
+			if err != nil {
+				t.Fatalf("shards=%d %s: cold recommend: %v", shards, name, err)
+			}
+			got, err := live.Recommend(group, o)
+			if err != nil {
+				t.Fatalf("shards=%d %s: post-fold recommend: %v", shards, name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d %s: post-fold recommendation diverged from cold rebuild", shards, name)
+			}
+		}
+	}
+}
+
+// TestAddRatingRejections pins the typed-error surface and that a
+// rejected rating leaves the world untouched.
+func TestAddRatingRejections(t *testing.T) {
+	w, err := NewWorld(muxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.Participants()[0]
+	it := w.Ratings().Items()[0]
+	cases := []struct {
+		r    dataset.Rating
+		want error
+	}{
+		{dataset.Rating{User: 1 << 30, Item: it, Value: 4}, dataset.ErrUnknownUser},
+		{dataset.Rating{User: u, Item: 1 << 30, Value: 4}, dataset.ErrUnknownItem},
+		{dataset.Rating{User: u, Item: it, Value: 9}, dataset.ErrBadValue},
+	}
+	for _, c := range cases {
+		err := w.AddRating(c.r)
+		if err == nil {
+			t.Fatalf("AddRating(%+v) succeeded, want %v", c.r, c.want)
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("AddRating(%+v) = %v, want errors.Is %v", c.r, err, c.want)
+		}
+	}
+	if st := w.IngestStats(); st.Pending != 0 || st.Applied != 0 {
+		t.Errorf("rejected ratings left ingest stats %+v", st)
+	}
+}
+
+// TestInvalidateUserViewsReportsAnyDrop is the regression for the
+// return-value hole: with the list store disabled, dropping cached
+// prediction rows must still report true — the old code answered for
+// the list store alone.
+func TestInvalidateUserViewsReportsAnyDrop(t *testing.T) {
+	cfg := muxTestConfig()
+	cfg.ListStoreSize = -1 // row cache only
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := w.Participants()[:3]
+	if _, err := w.Recommend(group, Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.InvalidateUserViews(group[0]) {
+		t.Errorf("dropping cached rows with the list store disabled reported false")
+	}
+	if w.InvalidateUserViews(group[0]) {
+		t.Errorf("second invalidation with nothing cached reported true")
+	}
+
+	cfg = muxTestConfig()
+	cfg.ListStoreSize = -1
+	cfg.RowCacheSize = -1 // nothing to drop, ever
+	bare, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Recommend(group, Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if bare.InvalidateUserViews(group[0]) {
+		t.Errorf("world with both caches disabled reported a drop")
+	}
+}
+
+// TestAppendNextPeriodWhileServing hammers the index-maintenance write
+// path from one goroutine while others serve recommendations and read
+// the timeline — the -race regression for the unsynchronized
+// pending/timeline mutation.
+func TestAppendNextPeriodWhileServing(t *testing.T) {
+	cfg := muxTestConfig()
+	cfg.InitialPeriods = 2
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PendingPeriods() == 0 {
+		t.Fatal("no pending periods — test misconfigured")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			group := w.Participants()[i : i+3]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Recommend(group, Options{K: 3, TimeModel: Continuous}); err != nil {
+					t.Errorf("serving during append: %v", err)
+					return
+				}
+				_ = w.PairAffinity(group[0], group[1], Discrete, -1)
+				_ = w.Timeline().NumPeriods()
+				_ = w.PendingPeriods()
+			}
+		}(i)
+	}
+	for {
+		more, err := w.AppendNextPeriod()
+		if err != nil {
+			t.Errorf("AppendNextPeriod: %v", err)
+			break
+		}
+		if !more {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := w.PendingPeriods(); n != 0 {
+		t.Errorf("%d periods still pending after draining", n)
+	}
+}
+
+// TestItemsMutationAfterSubmitIsSafe pins the defensive copy: a caller
+// that scrambles its candidate slice the moment its call returns must
+// not corrupt a concurrent content-equal call riding the same shared
+// run (-race catches the unsynchronized write; the result comparison
+// catches silent corruption).
+func TestItemsMutationAfterSubmitIsSafe(t *testing.T) {
+	w, err := NewWorld(muxTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := w.Participants()[:3]
+	items := w.CandidateItems(group, 120)
+	ref, err := w.Recommend(group, Options{K: 5, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 25; iter++ {
+		a := append([]dataset.ItemID(nil), items...)
+		b := append([]dataset.ItemID(nil), items...)
+		var wg sync.WaitGroup
+		var got *Recommendation
+		var gotErr error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Recommend(group, Options{K: 5, Items: a}); err != nil {
+				t.Errorf("mutating caller: %v", err)
+				return
+			}
+			for i := range a {
+				a[i] = 1 // post-return scramble; the shared run may still be serving b
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			got, gotErr = w.Recommend(group, Options{K: 5, Items: b})
+		}()
+		wg.Wait()
+		if gotErr != nil {
+			t.Fatal(gotErr)
+		}
+		if !reflect.DeepEqual(got.Items, ref.Items) {
+			t.Fatalf("iter %d: concurrent caller's result diverged after peer mutated its slice", iter)
+		}
+	}
+}

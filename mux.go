@@ -3,11 +3,11 @@ package repro
 import (
 	"context"
 	"math"
-	"reflect"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cf"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -299,14 +299,28 @@ func (ru *muxRun) failAll(err error) {
 // whose results may differ in the last bit — sharing them would break
 // the bit-identicality contract. The per-subscriber fields
 // (ProgressEvery, Epsilon) are excluded; everything else that shapes
-// the run participates. A non-nil Items slice is keyed by identity
-// (data pointer + length), never content: two calls share only when
-// they literally pass the same slice, and since the run's canonical
-// options keep that slice live for the run's whole lifetime, its
-// address cannot be recycled while the key is in the map.
+// the run participates. A non-nil Items slice is keyed by CONTENT —
+// two independent hashes plus the length — never by slice identity:
+// a run's result depends only on the candidate values, callers'
+// slices are defensively copied at submission (Options.fill), and
+// identity keys would both under-share equal-content slices and
+// mis-share a reused backing array whose contents changed.
 func runFingerprint(group []dataset.UserID, o *Options) string {
 	var arr [128]byte
 	return string(appendRunFingerprint(arr[:0], group, o))
+}
+
+// itemsHash2 is the second, independent hash over a candidate slice
+// (the first is cf.FingerprintItems' FNV-1a): a polynomial rolling
+// hash with a distinct modulus-free multiplier. Colliding on both
+// hashes AND the length simultaneously is what a false share would
+// require.
+func itemsHash2(items []dataset.ItemID) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, it := range items {
+		h = h*0x9E3779B97F4A7C15 + uint64(it) + 1
+	}
+	return h
 }
 
 // appendRunFingerprint appends the canonical fingerprint to b — the
@@ -336,7 +350,9 @@ func appendRunFingerprint(b []byte, group []dataset.UserID, o *Options) []byte {
 	if o.Items == nil {
 		b = append(b, 'n')
 	} else {
-		b = strconv.AppendUint(b, uint64(reflect.ValueOf(o.Items).Pointer()), 16)
+		b = strconv.AppendUint(b, cf.FingerprintItems(o.Items), 16)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, itemsHash2(o.Items), 16)
 		b = append(b, ':')
 		b = strconv.AppendInt(b, int64(len(o.Items)), 10)
 	}

@@ -288,11 +288,12 @@ func TestMuxIndependentCancellation(t *testing.T) {
 	}
 }
 
-// TestMuxFingerprintSeparatesRuns checks the key's salient negatives:
-// different member order, different options, and content-equal but
-// distinct Items slices must NOT share (float summation is
-// order-sensitive; slices are keyed by identity), while ProgressEvery
-// and Epsilon differences must share.
+// TestMuxFingerprintSeparatesRuns checks the key's salient cases:
+// different member order and different run-shaping options must NOT
+// share (float summation is order-sensitive), while ProgressEvery and
+// Epsilon differences must. Items slices are keyed by content, so
+// content-equal but distinct slices share and same-length different
+// contents do not.
 func TestMuxFingerprintSeparatesRuns(t *testing.T) {
 	g1 := []dataset.UserID{10, 20, 30}
 	g2 := []dataset.UserID{20, 10, 30}
@@ -320,13 +321,18 @@ func TestMuxFingerprintSeparatesRuns(t *testing.T) {
 	optX, optY := optA, optA
 	optX.Items, optY.Items = itemsX, itemsY
 	fx := runFingerprint(g1, &optX)
-	if fy := runFingerprint(g1, &optY); fy == fx {
-		t.Errorf("content-equal distinct Items slices shared a fingerprint — identity keying violated")
+	if fy := runFingerprint(g1, &optY); fy != fx {
+		t.Errorf("content-equal distinct Items slices did not share a fingerprint — content keying violated")
 	}
-	optX2 := optA
-	optX2.Items = itemsX
-	if got := runFingerprint(g1, &optX2); got != fx {
-		t.Errorf("the same Items slice fingerprinted differently across calls")
+	optZ := optA
+	optZ.Items = []dataset.ItemID{7, 8, 10}
+	if fz := runFingerprint(g1, &optZ); fz == fx {
+		t.Errorf("same-length different Items contents shared a fingerprint")
+	}
+	optN := optA
+	optN.Items = []dataset.ItemID{}
+	if fn := runFingerprint(g1, &optN); fn == base {
+		t.Errorf("empty non-nil Items fingerprinted like nil Items — they select different candidate paths")
 	}
 }
 

@@ -1,0 +1,266 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// persistTestConfig builds the config used by every persistence test:
+// a fixed ratings text loaded through a fresh reader each call (the
+// reader is consumed by NewWorld), everything else muxTestConfig.
+func persistTestConfig(ratings string) Config {
+	cfg := muxTestConfig()
+	cfg.RatingsReader = strings.NewReader(ratings)
+	cfg.Shards = 4
+	return cfg
+}
+
+// TestWarmRestartByteIdentical is the restart differential: a world
+// saved after live ingest and reopened must serve byte-identical
+// recommendations while skipping the view rebuild entirely — warm
+// loads, not view builds, proven via the list-store counters.
+func TestWarmRestartByteIdentical(t *testing.T) {
+	base := liveBaseRatings(t)
+	dir := t.TempDir()
+
+	w1, st1, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Warm || st1.ReplayedRatings != 0 {
+		t.Fatalf("first boot reported %+v, want cold", st1)
+	}
+	group := w1.Participants()[:3]
+	opt := Options{K: 5}
+	if _, err := w1.Recommend(group, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range liveExtraRatings(w1, 3) {
+		if err := w1.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := w1.Recommend(group, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWorldSnapshot(w1, dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := w1.IngestStats(); st.Pending != 0 {
+		t.Fatalf("snapshot left %d deltas pending", st.Pending)
+	}
+	if err := w1.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st2, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.ClosePersistence()
+	if !st2.Warm || st2.ReplayedRatings != 0 {
+		t.Fatalf("restart reported %+v, want warm with no replay", st2)
+	}
+	if st2.WarmViews == 0 || st2.WarmNeighborhoods == 0 {
+		t.Fatalf("restart restored %d views / %d neighborhoods, want both > 0", st2.WarmViews, st2.WarmNeighborhoods)
+	}
+	got, err := w2.Recommend(group, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("warm restart diverged\n got %+v\nwant %+v", got, want)
+	}
+	ls := w2.CacheStats().ListStore
+	if ls.ViewBuilds != 0 {
+		t.Errorf("warm restart built %d views, want 0 (restored views must serve)", ls.ViewBuilds)
+	}
+	if ls.WarmLoads == 0 || ls.ViewHits == 0 {
+		t.Errorf("warm counters = %d loads / %d hits, want both > 0", ls.WarmLoads, ls.ViewHits)
+	}
+}
+
+// TestIngestThenRestartMatchesNeverRestarting pins WAL replay: ingest
+// without ever snapshotting, drop the process, reopen — the replayed
+// world must match a world that ingested the same ratings and never
+// restarted. Then snapshot, ingest more, drop again: the reopen
+// replays only the post-snapshot records and skips the warm caches.
+func TestIngestThenRestartMatchesNeverRestarting(t *testing.T) {
+	base := liveBaseRatings(t)
+	dir := t.TempDir()
+
+	w1, _, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := liveExtraRatings(w1, 4)
+	for _, r := range extra[:2] {
+		if err := w1.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.ClosePersistence(); err != nil { // no snapshot: simulate a crash with a journal
+		t.Fatal(err)
+	}
+
+	never, err := NewWorld(persistTestConfig(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra[:2] {
+		if err := never.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	group := never.Participants()[:3]
+	want, err := never.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st2, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Warm || st2.ReplayedRatings != 2 {
+		t.Fatalf("crash recovery reported %+v, want cold with 2 replayed", st2)
+	}
+	got, err := w2.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed world diverged from never-restarted world")
+	}
+
+	// Snapshot now, ingest two more, crash again: only the
+	// post-snapshot records replay, and warm caches are skipped
+	// because replay made them stale.
+	if err := SaveWorldSnapshot(w2, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra[2:] {
+		if err := w2.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra[2:] {
+		if err := never.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err = never.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, st3, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.ClosePersistence()
+	if !st3.Warm || st3.ReplayedRatings != 2 {
+		t.Fatalf("second recovery reported %+v, want warm store with 2 replayed", st3)
+	}
+	if st3.WarmViews != 0 || st3.WarmNeighborhoods != 0 {
+		t.Errorf("replay restored stale caches: %d views / %d neighborhoods", st3.WarmViews, st3.WarmNeighborhoods)
+	}
+	got, err = w3.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot+replay world diverged from never-restarted world")
+	}
+}
+
+// TestSnapshotMismatchFallsBackCold pins the fail-safe: a snapshot
+// from a different configuration, or a corrupted snapshot file, is
+// ignored and the world boots cold — never a crash, never a world
+// built from untrusted bytes.
+func TestSnapshotMismatchFallsBackCold(t *testing.T) {
+	base := liveBaseRatings(t)
+	dir := t.TempDir()
+	w1, _, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWorldSnapshot(w1, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := persistTestConfig(base)
+	other.Neighbors = 7 // different world shape
+	w2, st2, err := OpenWorld(other, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Warm {
+		t.Errorf("config mismatch still booted warm")
+	}
+	if err := w2.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the snapshot payload; checksum must catch it.
+	path := filepath.Join(dir, "snapshot.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w3, st3, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.ClosePersistence()
+	if st3.Warm {
+		t.Errorf("corrupted snapshot still booted warm")
+	}
+	if _, err := w3.Recommend(w3.Participants()[:3], Options{K: 5}); err != nil {
+		t.Errorf("cold fallback world cannot serve: %v", err)
+	}
+}
+
+// TestAddRatingJournalsThroughLog checks the wiring: with persistence
+// attached, every AddRating lands in the WAL (visible on reopen), and
+// rejected ratings never do.
+func TestAddRatingJournalsThroughLog(t *testing.T) {
+	base := liveBaseRatings(t)
+	dir := t.TempDir()
+	w1, _, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := liveExtraRatings(w1, 1)[0]
+	if err := w1.AddRating(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.AddRating(dataset.Rating{User: good.User, Item: good.Item, Value: 99}); err == nil {
+		t.Fatal("out-of-range rating accepted")
+	}
+	if err := w1.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := OpenWorld(persistTestConfig(base), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplayedRatings != 1 {
+		t.Errorf("journal replayed %d ratings, want exactly the accepted one", st.ReplayedRatings)
+	}
+}

@@ -82,7 +82,8 @@ type Options struct {
 	// Items optionally fixes the candidate item set. When nil, the
 	// NumItems most popular items not rated by any group member are
 	// used (the paper's problem definition excludes items already
-	// consumed by a member).
+	// consumed by a member). The slice is copied at submission, so the
+	// caller may reuse or mutate it as soon as the call is made.
 	Items []dataset.ItemID
 	// NumItems is the candidate count when Items is nil (3900 if
 	// zero — the paper's default).
@@ -151,6 +152,14 @@ func (o *Options) fill() error {
 	}
 	if o.NumItems == 0 {
 		o.NumItems = DefaultNumItems
+	}
+	// Defensive copy: runs retain their candidate slice for their whole
+	// lifetime (shared runs across several subscribers), so a caller
+	// mutating its slice after submission must not reach them. The copy
+	// of an empty slice stays non-nil — nil selects candidate
+	// generation, empty is a (rejected) explicit choice.
+	if o.Items != nil {
+		o.Items = append(make([]dataset.ItemID, 0, len(o.Items)), o.Items...)
 	}
 	return nil
 }
@@ -230,7 +239,7 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 		}
 	}
 
-	last := w.model.Timeline.NumPeriods() - 1
+	last := w.lastPeriod()
 	period := last
 	if opt.Period != 0 {
 		if opt.Period < 1 || opt.Period > last+1 {
@@ -313,6 +322,16 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	return prob, items, period, release, nil
 }
 
+// lastPeriod resolves the index of the newest indexed period under the
+// period lock: AppendNextPeriod may be extending the timeline while
+// requests resolve against it. A period index resolved here stays
+// valid forever — periods only accrete, never move.
+func (w *World) lastPeriod() int {
+	w.periodMu.RLock()
+	defer w.periodMu.RUnlock()
+	return w.model.Timeline.NumPeriods() - 1
+}
+
 // staticPairs collects the normalized static affinities of all group
 // pairs in core.PairIndex order. Values are already normalized to
 // [0,1] over the population (§4.1.2 normalizes per group instead; a
@@ -331,8 +350,13 @@ func (w *World) staticPairs(group []dataset.UserID) []float64 {
 }
 
 // driftPairs collects the normalized periodic drifts for periods
-// 0..period, each row in core.PairIndex order.
+// 0..period, each row in core.PairIndex order. The period lock covers
+// the reads: an indexed period's drift table is immutable, but the
+// model's per-period slice headers move when AppendNextPeriod extends
+// the index.
 func (w *World) driftPairs(group []dataset.UserID, period int) [][]float64 {
+	w.periodMu.RLock()
+	defer w.periodMu.RUnlock()
 	g := len(group)
 	out := make([][]float64, period+1)
 	for t := 0; t <= period; t++ {
@@ -394,6 +418,8 @@ func (w *World) CandidateItems(group []dataset.UserID, n int) []dataset.ItemID {
 // exact value GRECA's lists are built from, before group-level static
 // re-normalization.
 func (w *World) PairAffinity(u, v dataset.UserID, tm TimeModel, period int) float64 {
+	w.periodMu.RLock()
+	defer w.periodMu.RUnlock()
 	last := w.model.Timeline.NumPeriods() - 1
 	if period < 0 || period > last {
 		period = last

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/affinity"
 	"repro/internal/cf"
@@ -96,6 +97,10 @@ type Config struct {
 	// deterministic), so this is an escape hatch for differential
 	// testing and workloads that want strict per-call isolation.
 	DisableRunSharing bool
+	// snapshotRatings, when set by the persistence layer (OpenWorld),
+	// rebuilds the rating store from a snapshot's canonical dump
+	// instead of reading RatingsReader or generating synthetically.
+	snapshotRatings []dataset.Rating
 }
 
 // QuickConfig is a small, fast setup for examples and tests: a
@@ -123,10 +128,12 @@ func PaperConfig() Config {
 	}
 }
 
-// World is the assembled reproduction substrate. It is immutable after
-// NewWorld and safe for concurrent Recommend calls (each call builds
-// its own problem instance), except that the underlying CF caches are
-// internally synchronized.
+// World is the assembled reproduction substrate. It is safe for
+// concurrent Recommend calls (each call builds its own problem
+// instance; the underlying CF caches are internally synchronized), and
+// mutates only through two serialized write paths: AddRating ingests
+// live ratings into the store's delta overlay, and AppendNextPeriod
+// extends the affinity index — both safe to run while serving.
 type World struct {
 	ratings *dataset.Store
 	synth   *dataset.Synth // nil when ratings were loaded from disk
@@ -167,6 +174,19 @@ type World struct {
 	// mux is the shared-runner multiplexer deduplicating identical
 	// concurrent runs; nil when Config.DisableRunSharing is set.
 	mux *runMux
+	// periodMu guards the index-maintenance state — pending, timeline,
+	// and the affinity model's per-period tables — so AppendNextPeriod
+	// can extend the index while requests resolve periods and read
+	// drifts (readers take it shared; see buildProblem).
+	periodMu sync.RWMutex
+	// ingestMu serializes the rating write path (AddRating, ReFreeze):
+	// one ingest at a time keeps the store mutation and the cache
+	// invalidations it triggers a single atomic event from any other
+	// writer's point of view. Readers never take it.
+	ingestMu sync.Mutex
+	// wal, when set, is notified of every applied rating for
+	// durability; see SetRatingLog.
+	wal RatingLog
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -196,7 +216,13 @@ func NewWorld(cfg Config) (*World, error) {
 		scfg = social.DefaultSynthConfig()
 	}
 
-	if cfg.RatingsReader != nil {
+	if cfg.snapshotRatings != nil {
+		store, err := dataset.FromRatings(cfg.snapshotRatings)
+		if err != nil {
+			return nil, fmt.Errorf("repro: rebuilding ratings from snapshot: %w", err)
+		}
+		w.ratings = store
+	} else if cfg.RatingsReader != nil {
 		store, err := dataset.LoadMovieLensRatings(cfg.RatingsReader)
 		if err != nil {
 			return nil, fmt.Errorf("repro: loading ratings: %w", err)
@@ -339,8 +365,13 @@ func NewWorld(cfg Config) (*World, error) {
 // AppendNextPeriod indexes the next pending period of the observation
 // window (index-maintenance mode; see Config.InitialPeriods). Only the
 // new period's affinities are computed — everything previously indexed
-// is untouched. It returns false when no periods remain.
+// is untouched. It returns false when no periods remain. Safe to call
+// while requests are being served, and from multiple goroutines: the
+// period lock serializes appends against each other and against
+// readers of the timeline and the model's period tables.
 func (w *World) AppendNextPeriod() (bool, error) {
+	w.periodMu.Lock()
+	defer w.periodMu.Unlock()
 	if len(w.pending) == 0 {
 		return false, nil
 	}
@@ -354,7 +385,11 @@ func (w *World) AppendNextPeriod() (bool, error) {
 }
 
 // PendingPeriods returns how many window periods are not yet indexed.
-func (w *World) PendingPeriods() int { return len(w.pending) }
+func (w *World) PendingPeriods() int {
+	w.periodMu.RLock()
+	defer w.periodMu.RUnlock()
+	return len(w.pending)
+}
 
 // Ratings returns the frozen rating store.
 func (w *World) Ratings() *dataset.Store { return w.ratings }
@@ -395,33 +430,126 @@ func (w *World) ShardOf(u dataset.UserID) int { return w.sm.Of(int64(u)) }
 // Sharding returns the world's shard map.
 func (w *World) Sharding() shard.Map { return w.sm }
 
+// RatingLog is the durability hook of the rating write path: AddRating
+// notifies it after every successfully applied rating, so appended
+// records replayed in order reproduce the live state exactly. The
+// persistence layer's write-ahead log implements it; see OpenWorld.
+type RatingLog interface {
+	Append(r dataset.Rating) error
+}
+
+// SetRatingLog attaches the durability hook. Call before serving
+// traffic; a nil log detaches it.
+func (w *World) SetRatingLog(l RatingLog) {
+	w.ingestMu.Lock()
+	defer w.ingestMu.Unlock()
+	w.wal = l
+}
+
+// AddRating ingests one rating into the live world: the rating lands
+// in the store's delta overlay (visible to every read path
+// immediately, bit-identically to a cold rebuild over the extended
+// dataset), every derived structure is invalidated coherently, and the
+// attached rating log — if any — journals it for crash recovery.
+//
+// Rejections (unfrozen store, out-of-range value, unknown user or
+// item) leave the world untouched and unwrap to the dataset package's
+// typed errors (dataset.ErrBadValue, dataset.ErrUnknownUser,
+// dataset.ErrUnknownItem).
+//
+// Coherence: one rating by user u shifts u's vector and therefore
+// sim(v, u) for every other user v — so ingest drops ALL cached
+// neighborhoods and prediction state, not just u's: the predictor's
+// fallback means are recomputed and swapped, every neighborhood cache
+// is cleared (epoch-fenced against in-flight fills re-installing
+// pre-ingest results), the time-weighted reference clock is refreshed,
+// and the row cache and sorted-list store are emptied. This closes the
+// coherence hole InvalidateUserViews documents: that call is the
+// single-user subset, sufficient only when one user's derived state is
+// suspect; ingest needs the global drop.
+func (w *World) AddRating(r dataset.Rating) error {
+	w.ingestMu.Lock()
+	defer w.ingestMu.Unlock()
+	if err := w.applyRating(r); err != nil {
+		return err
+	}
+	if w.wal != nil {
+		if err := w.wal.Append(r); err != nil {
+			return fmt.Errorf("repro: rating applied but not journaled: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRating is AddRating without the lock or the journal — the
+// shared core of live ingest and WAL replay (replayed records are
+// already journaled). Caller holds ingestMu.
+func (w *World) applyRating(r dataset.Rating) error {
+	if err := w.ratings.Apply(r); err != nil {
+		return fmt.Errorf("repro: applying rating: %w", err)
+	}
+	// Store first, then predictors (their recomputed means must see the
+	// new rating), then the caches layered over them.
+	w.pred.NoteIngest(r.User)
+	if w.itemPred != nil {
+		w.itemPred.NoteIngest()
+	}
+	if w.twPred != nil {
+		w.twPred.Refresh()
+	}
+	if w.rowCache != nil {
+		w.rowCache.InvalidateAll()
+	}
+	if w.lists != nil {
+		w.lists.InvalidateAll()
+	}
+	return nil
+}
+
+// ReFreeze folds the store's pending rating deltas into new frozen
+// arenas, returning how many were folded. Reads before, during, and
+// after observe identical values (the overlay and the folded state are
+// bit-identical), so no cache invalidation accompanies the fold — it
+// only moves data out of the overlay's locked maps and back onto the
+// lock-free fast path. Serve loops call it periodically; the snapshot
+// path calls it before persisting.
+func (w *World) ReFreeze() int {
+	w.ingestMu.Lock()
+	defer w.ingestMu.Unlock()
+	return w.ratings.ReFreeze()
+}
+
+// IngestStats snapshots the live-ingest counters: ratings applied
+// since start, deltas currently pending in the overlay, folds run, and
+// ratings folded.
+func (w *World) IngestStats() dataset.DeltaStats { return w.ratings.DeltaStats() }
+
 // InvalidateUserViews drops u's materialized sorted-preference view
 // AND u's cached prediction rows, so u's next request re-predicts and
 // rebuilds rather than reading a stale cached row. It reports whether
-// a view was actually dropped and is a no-op when the store is
-// disabled.
+// any derived state was actually dropped — a view, a cached row, or
+// both; with both caches disabled (or empty of u) it returns false.
 //
 // The call is shard-aware: both drops route through the world's shard
 // map and lock only u's shard — the row-cache part and list-store
 // sub-store of ShardOf(u) — so an invalidation storm against one
 // shard never blocks requests serving entirely from the others.
 //
-// Scope: this invalidates *this user's* derived state only. A real
-// rating-ingest path (none exists yet; see ROADMAP) owes more than
-// this call delivers — the predictors' neighborhood caches still hold
-// pre-ingest state, and other users whose neighborhoods contain u
-// keep serving predictions derived from u's old ratings. Ingest must
-// pair this call with predictor-level invalidation (or a re-freeze)
-// to be fully coherent; on today's frozen stores the call is exercised
-// by tests and always rebuilds an identical view.
+// Scope: this invalidates *this user's* derived state only — the
+// right tool when a single user's rows are suspect (tests, targeted
+// cache management). It is NOT the rating-ingest hook: ingest changes
+// sim(v, u) for every other user v, so the predictors' neighborhood
+// caches and every other user's rows go stale too. AddRating performs
+// that global drop; use it for anything that changes ratings.
 func (w *World) InvalidateUserViews(u dataset.UserID) bool {
-	if w.rowCache != nil {
-		w.rowCache.InvalidateUser(u)
+	dropped := false
+	if w.rowCache != nil && w.rowCache.InvalidateUser(u) > 0 {
+		dropped = true
 	}
-	if w.lists == nil {
-		return false
+	if w.lists != nil && w.lists.Invalidate(u) {
+		dropped = true
 	}
-	return w.lists.Invalidate(u)
+	return dropped
 }
 
 // CacheStats aggregates the engine's cache counters — the prediction-
@@ -523,7 +651,11 @@ func (w *World) CacheStats() CacheStats {
 func (w *World) AffinityModel() *affinity.Model { return w.model }
 
 // Timeline returns the period segmentation.
-func (w *World) Timeline() affinity.Timeline { return w.timeline }
+func (w *World) Timeline() affinity.Timeline {
+	w.periodMu.RLock()
+	defer w.periodMu.RUnlock()
+	return w.timeline
+}
 
 // Participants returns the study population (users with both ratings
 // and social presence). Callers must not modify the slice.
