@@ -38,6 +38,99 @@ type userShard struct {
 	mu        sync.RWMutex
 	neighbors map[dataset.UserID][]Neighbor
 	norms     map[dataset.UserID]float64
+	// coraters[u] is the forward side of the reverse dependency index:
+	// every user u co-rated at least one item with, recorded when u's
+	// neighborhood was filled. Dropping u's neighborhood walks this
+	// list to release u's entries in the reverse index, keeping the
+	// index exactly the dependencies of what is cached.
+	coraters map[dataset.UserID][]dataset.UserID
+}
+
+// depIndex is the reverse dependency index of the neighborhood cache:
+// deps[w] holds the users whose cached neighborhood depends on w — the
+// users that co-rated an item with w at their fill time. An ingest by
+// w reads deps[w] (plus the rated item's rater list, which covers
+// dependencies the ingest itself creates) as its candidate set; every
+// other cached neighborhood is provably untouched by the new rating.
+//
+// Values are reference counts, not booleans: a fill inserts its edges
+// before installing its neighborhood (so an ingest racing the install
+// can never miss a dependency) and decrements them again if the
+// install loses — either to the epoch fence or to a concurrent fill
+// that won the cache. Counted edges make that insert/rollback safe
+// against an overlapping fresh fill of the same user.
+type depIndex struct {
+	stripes [numShards]depStripe
+}
+
+type depStripe struct {
+	mu   sync.Mutex
+	deps map[dataset.UserID]map[dataset.UserID]int
+}
+
+func (d *depIndex) init() {
+	for i := range d.stripes {
+		d.stripes[i].deps = make(map[dataset.UserID]map[dataset.UserID]int)
+	}
+}
+
+// add records a dependency edge w → dependent for every w in coraters.
+func (d *depIndex) add(dependent dataset.UserID, coraters []dataset.UserID) {
+	for _, w := range coraters {
+		st := &d.stripes[shardIndex(uint64(w))]
+		st.mu.Lock()
+		m := st.deps[w]
+		if m == nil {
+			m = make(map[dataset.UserID]int)
+			st.deps[w] = m
+		}
+		m[dependent]++
+		st.mu.Unlock()
+	}
+}
+
+// remove releases the edges add recorded, deleting fully-released
+// entries so the index never outgrows the cached state it mirrors.
+func (d *depIndex) remove(dependent dataset.UserID, coraters []dataset.UserID) {
+	for _, w := range coraters {
+		st := &d.stripes[shardIndex(uint64(w))]
+		st.mu.Lock()
+		if m := st.deps[w]; m != nil {
+			if m[dependent]--; m[dependent] <= 0 {
+				delete(m, dependent)
+				if len(m) == 0 {
+					delete(st.deps, w)
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// dependentsOf snapshots the users currently depending on w.
+func (d *depIndex) dependentsOf(w dataset.UserID) []dataset.UserID {
+	st := &d.stripes[shardIndex(uint64(w))]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.deps[w]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]dataset.UserID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// reset wipes the index — the companion of a wholesale cache clear.
+func (d *depIndex) reset() {
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		st.deps = make(map[dataset.UserID]map[dataset.UserID]int)
+		st.mu.Unlock()
+	}
 }
 
 // shardIndex maps a user or item ID onto a lock shard. IDs are dense
@@ -66,6 +159,18 @@ type Predictor struct {
 	// sm routes users onto parts; Single unless SetSharding widened it.
 	sm    shard.Map
 	parts []*predictorPart
+	// deps is the reverse dependency index over all parts: rater →
+	// cached users whose neighborhood includes them as a co-rater. One
+	// striped instance (not per part) because an ingesting user's
+	// dependents can live on any shard.
+	deps depIndex
+	// restored tracks neighborhoods installed by RestoreNeighborhoods:
+	// snapshots carry no co-rater lists, so these entries are invisible
+	// to the reverse dependency index and a scoped ingest cannot prove
+	// them fresh. They serve warm reads until the first scoped ingest,
+	// which drops them all (see NoteIngestScoped).
+	restoredMu sync.Mutex
+	restored   map[dataset.UserID]struct{}
 	// means holds the fallback means (per-item and global) as one
 	// immutable snapshot: NoteIngest recomputes and swaps it, so hot
 	// paths read a coherent pair with a single atomic load.
@@ -129,6 +234,7 @@ func newPredictorPart() *predictorPart {
 	for i := range p.shards {
 		p.shards[i].neighbors = make(map[dataset.UserID][]Neighbor)
 		p.shards[i].norms = make(map[dataset.UserID]float64)
+		p.shards[i].coraters = make(map[dataset.UserID][]dataset.UserID)
 	}
 	return p
 }
@@ -156,6 +262,7 @@ func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (
 		sm:      shard.Single,
 		parts:   []*predictorPart{newPredictorPart()},
 	}
+	p.deps.init()
 	p.means.Store(computePredictorMeans(store))
 	return p, nil
 }
@@ -164,38 +271,8 @@ func NewPredictorSim(store *dataset.Store, kNeighbors int, measure Similarity) (
 // v: Σ r_u(i)·r_v(i) over common items, divided by the L2 norms of the
 // full vectors (the paper's vec(u) formulation).
 func (p *Predictor) Cosine(u, v dataset.UserID) float64 {
-	if u == v {
-		return 1
-	}
-	dot := p.dot(u, v)
-	if dot == 0 {
-		return 0
-	}
-	nu, nv := p.norm(u), p.norm(v)
-	if nu == 0 || nv == 0 {
-		return 0
-	}
-	return dot / (nu * nv)
-}
-
-// dot merges the two item-sorted rating slices.
-func (p *Predictor) dot(u, v dataset.UserID) float64 {
-	ru, rv := p.store.ByUser(u), p.store.ByUser(v)
-	var dot float64
-	i, j := 0, 0
-	for i < len(ru) && j < len(rv) {
-		switch {
-		case ru[i].Item < rv[j].Item:
-			i++
-		case ru[i].Item > rv[j].Item:
-			j++
-		default:
-			dot += ru[i].Value * rv[j].Value
-			i++
-			j++
-		}
-	}
-	return dot
+	s, _ := p.cosineCorated(u, v)
+	return s
 }
 
 // SetSharding repartitions the lazy caches into one instance per
@@ -209,6 +286,10 @@ func (p *Predictor) SetSharding(m shard.Map) {
 	for i := range p.parts {
 		p.parts[i] = newPredictorPart()
 	}
+	p.deps.reset()
+	p.restoredMu.Lock()
+	p.restored = nil
+	p.restoredMu.Unlock()
 }
 
 // Sharding returns the shard map routing users onto cache parts.
@@ -262,11 +343,16 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 
 	epoch := pp.epoch.Load()
 	all := make([]Neighbor, 0, 64)
+	coraters := make([]dataset.UserID, 0, 64)
 	for _, v := range p.store.Users() {
 		if v == u {
 			continue
 		}
-		if s := p.Sim(p.measure, u, v); s > 0 {
+		s, corated := p.simCorated(p.measure, u, v)
+		if corated {
+			coraters = append(coraters, v)
+		}
+		if s > 0 {
 			all = append(all, Neighbor{User: v, Sim: s})
 		}
 	}
@@ -280,13 +366,28 @@ func (p *Predictor) Neighbors(u dataset.UserID) []Neighbor {
 		all = all[:p.k]
 	}
 	ns = append([]Neighbor(nil), all...)
+	// Dependency edges go in BEFORE the neighborhood becomes visible:
+	// an ingest that lands between the two steps then sees the edges
+	// (and at worst rechecks a neighborhood that is not installed yet),
+	// never a cached neighborhood without its dependencies. If the
+	// install loses — the epoch fence tripped, or a concurrent fill won
+	// the cache — the edges are released again; the refcounts in the
+	// index keep that rollback from stripping an overlapping fill's
+	// identical edges.
+	p.deps.add(u, coraters)
+	installed := false
 	sh.mu.Lock()
 	if cached, ok := sh.neighbors[u]; ok {
 		ns = cached // a concurrent computation won; keep one canonical slice
 	} else if pp.epoch.Load() == epoch {
 		sh.neighbors[u] = ns
+		sh.coraters[u] = coraters
+		installed = true
 	}
 	sh.mu.Unlock()
+	if !installed {
+		p.deps.remove(u, coraters)
+	}
 	return ns
 }
 
@@ -340,6 +441,22 @@ func (p *Predictor) PredictBatchInto(u dataset.UserID, items []dataset.ItemID, d
 // -wins rating semantics, own-rating override, and fallback ladder —
 // the invariants that keep batch results bit-identical to sequential.
 func (p *Predictor) batchInto(u dataset.UserID, items []dataset.ItemID, dst []float64, weight func(Neighbor, dataset.Rating) float64) {
+	p.batchIntoDeps(u, items, dst, weight, nil)
+}
+
+// PredictBatchDeps is PredictBatch that also reports which entries fell
+// to the mean-fallback ladder (see DepsSource). The prediction values
+// are bit-identical to PredictBatch — the deps ride along on the same
+// pass.
+func (p *Predictor) PredictBatchDeps(u dataset.UserID, items []dataset.ItemID) ([]float64, RowDeps) {
+	out := make([]float64, len(items))
+	var deps RowDeps
+	p.batchIntoDeps(u, items, out, func(nb Neighbor, _ dataset.Rating) float64 { return nb.Sim }, &deps)
+	return out, deps
+}
+
+// batchIntoDeps is batchInto optionally recording fallback deps.
+func (p *Predictor) batchIntoDeps(u dataset.UserID, items []dataset.ItemID, dst []float64, weight func(Neighbor, dataset.Rating) float64, deps *RowDeps) {
 	bs := newBatchSlots(items)
 	nSlots := len(bs.slotItem)
 	num := make([]float64, nSlots)
@@ -375,13 +492,25 @@ func (p *Predictor) batchInto(u dataset.UserID, items []dataset.ItemID, dst []fl
 		case den[s] > 0:
 			dst[i] = clampRating(num[s] / den[s])
 		default:
-			if m, ok := means.itemMean[bs.slotItem[s]]; ok {
+			m, ok := means.itemMean[bs.slotItem[s]]
+			if ok {
 				dst[i] = m
 			} else {
 				dst[i] = means.globalMean
 			}
+			if deps != nil {
+				deps.fallback(bs.slotItem[s], i, !ok)
+			}
 		}
 	}
+}
+
+// ItemMean returns the current mean rating of item it, if it has any
+// ratings — the patch value scoped invalidation splices into fallback
+// entries of retained views after an ingest of it.
+func (p *Predictor) ItemMean(it dataset.ItemID) (float64, bool) {
+	m, ok := p.means.Load().itemMean[it]
+	return m, ok
 }
 
 // PredictAll returns predictions of u for each item in items. It is

@@ -11,25 +11,231 @@ import (
 // the delta overlay, and the export/restore pair the snapshot layer
 // uses to warm-start the neighborhood caches.
 //
-// Coherence model: one new rating by user u changes u's vector, and
-// therefore sim(v, u) for EVERY other user v — so every cached
-// neighborhood (not just u's) is stale, as are the fallback means.
-// NoteIngest recomputes the means with the exact construction loops
-// (same accumulation order, so the swap is bit-identical to a cold
-// rebuild) and drops every neighborhood; only u's cached norm is
-// dropped, because a norm depends solely on its own user's vector.
+// Coherence model: one new rating by user u changes u's vector — and
+// therefore sim(v, u) for exactly the users v that share an item with
+// u. Every other user's similarities, neighborhood, and predictions
+// are bit-for-bit unchanged, which is what the scoped path
+// (NoteIngestScoped) exploits: the reverse dependency index names the
+// cached users that co-rate with u, the rated item's rater list names
+// the users the ingest newly connects to u, and everyone else's cached
+// state is provably fresh and stays warm. Each dependent gets a
+// one-similarity recheck — if u neither sits in nor enters its cached
+// top-k, the neighborhood (whose floats are untouched, not recomputed)
+// is retained too.
+//
+// NoteIngest is the historical drop-everything path, kept for the
+// predictors whose dependency structure defeats scoping (a
+// time-weighted clock advance shifts every decay weight) and as the
+// explicitly configured baseline. Both paths recompute the fallback
+// means with the exact construction loops (same accumulation order, so
+// the swap is bit-identical to a cold rebuild).
 //
 // The epoch counters close the fill/invalidate race: a lazy fill that
-// started before NoteIngest — computed from pre-ingest state — fails
+// started before an ingest — computed from pre-ingest state — fails
 // the epoch check at install time and is never cached, so a cleared
 // cache cannot be re-populated with stale entries by an in-flight
-// scan. Callers serialize NoteIngest invocations (the World's ingest
-// lock); reads need no coordination.
+// scan. Callers serialize NoteIngest/NoteIngestScoped invocations (the
+// World's ingest lock); reads need no coordination.
 
-// NoteIngest makes the predictor's derived state coherent with a
-// rating just applied for user u: the fallback means are recomputed
-// from the (delta-overlaid) store and swapped, every cached
-// neighborhood is dropped, and u's cached norm is dropped.
+// IngestScope is the outcome of a scoped ingest: the users whose
+// derived state (neighborhood, cached rows, sorted view) the new
+// rating actually reaches, and how much cached state survived. The
+// caller feeds Stale to the row cache and the sorted-list store so
+// their scoped sweeps agree with the predictor's about who is
+// affected.
+type IngestScope struct {
+	// Stale holds the rater and every cached user whose neighborhood
+	// was dropped — the users whose cached rows and views must drop
+	// too.
+	Stale map[dataset.UserID]struct{}
+	// Retained and Dropped count cached neighborhoods kept vs dropped
+	// by this ingest (Dropped includes the rater's own, when cached).
+	Retained int
+	Dropped  int
+	// Rechecked counts the dependent neighborhoods that were verified
+	// by a fresh similarity computation (retained or not).
+	Rechecked int
+}
+
+// NoteIngestScoped makes the predictor coherent with a rating just
+// applied for user u on item it, dropping only the derived state the
+// rating can actually reach:
+//
+//   - the fallback means are recomputed and swapped (they shift on
+//     every ingest), and every part epoch is bumped so in-flight fills
+//     of pre-ingest state never install;
+//   - u's own neighborhood and norm are dropped (all of u's
+//     similarities changed);
+//   - every dependent v — reverse-index entries for u plus the raters
+//     of it — is rechecked with one fresh sim(v, u): if u already sat
+//     in v's cached top-k, or newly ranks into it under the canonical
+//     (sim desc, user asc) order, v's neighborhood drops; otherwise it
+//     is retained, its floats untouched;
+//   - every other cached neighborhood is retained without even a
+//     recheck: no similarity it was built from has changed.
+//
+// The returned scope lists the dropped users so the caches layered
+// above the predictor can scope their own sweeps identically.
+func (p *Predictor) NoteIngestScoped(u dataset.UserID, it dataset.ItemID) *IngestScope {
+	// Order matters: swap means first, then bump epochs, then drop.
+	// Any fill that read the old means started before the bump and is
+	// fenced; fills starting after the bump see the new means.
+	p.means.Store(computePredictorMeans(p.store))
+	for _, pp := range p.parts {
+		pp.epoch.Add(1)
+	}
+	sizes := make([]int, len(p.parts))
+	for pi, pp := range p.parts {
+		sizes[pi] = pp.cachedNeighborhoods()
+	}
+	dropped := make([]int, len(p.parts))
+
+	scope := &IngestScope{Stale: map[dataset.UserID]struct{}{u: {}}}
+	// The rater's own state always drops: the norm (one new squared
+	// term) and the neighborhood (every sim of u changed). Dropping
+	// the norm before any recheck matters — sim(v, u) below must read
+	// u's post-ingest norm, recomputed fresh at the new epoch.
+	p.dropNorm(u)
+	if p.dropNeighborhood(u) {
+		dropped[p.sm.Of(int64(u))]++
+	}
+
+	// Candidate dependents: cached users that co-rated with u at their
+	// fill time (the reverse index), plus the raters of it — the users
+	// the ingest itself newly connects to u. Everyone else's sims to u
+	// were zero before and after.
+	seen := map[dataset.UserID]struct{}{u: {}}
+	recheck := func(v dataset.UserID) {
+		if _, ok := seen[v]; ok {
+			return
+		}
+		seen[v] = struct{}{}
+		stale, wasCached := p.recheckNeighborhood(v, u)
+		if !wasCached {
+			return
+		}
+		scope.Rechecked++
+		if stale && p.dropNeighborhood(v) {
+			dropped[p.sm.Of(int64(v))]++
+			scope.Stale[v] = struct{}{}
+		}
+	}
+	for _, v := range p.deps.dependentsOf(u) {
+		recheck(v)
+	}
+	for _, r := range p.store.ByItem(it) {
+		recheck(r.User)
+	}
+
+	// Snapshot-restored neighborhoods carry no co-rater lists, so the
+	// reverse index cannot vouch for them: drop them all, once. (They
+	// bought warm reads from restart until the first ingest; from here
+	// on every cached entry is dependency-tracked.)
+	p.restoredMu.Lock()
+	restored := p.restored
+	p.restored = nil
+	p.restoredMu.Unlock()
+	for v := range restored {
+		// Dropped even if a recheck above retained it: a retained entry
+		// with no co-rater lists would stay invisible to the reverse
+		// index forever. dropNeighborhood is a no-op if a recheck (or
+		// the rater path) already removed it.
+		if p.dropNeighborhood(v) {
+			dropped[p.sm.Of(int64(v))]++
+			scope.Stale[v] = struct{}{}
+		}
+	}
+
+	for pi, pp := range p.parts {
+		pp.counters.invalidate(dropped[pi])
+		pp.counters.retain(sizes[pi] - dropped[pi])
+		scope.Dropped += dropped[pi]
+		scope.Retained += sizes[pi] - dropped[pi]
+	}
+	return scope
+}
+
+// recheckNeighborhood decides whether v's cached neighborhood survives
+// an ingest by u: it is stale iff u already sits in the cached top-k
+// (u's sim changed) or a fresh sim(v, u) ranks u into it under the
+// canonical order the fill sort uses. The similarity is computed in
+// the fill's argument order, so the verdict matches what a cold
+// rebuild's scan would decide bit for bit.
+func (p *Predictor) recheckNeighborhood(v, u dataset.UserID) (stale, wasCached bool) {
+	pp := p.part(v)
+	sh := &pp.shards[shardIndex(uint64(v))]
+	sh.mu.RLock()
+	ns, ok := sh.neighbors[v]
+	sh.mu.RUnlock()
+	if !ok {
+		return false, false
+	}
+	for _, nb := range ns {
+		if nb.User == u {
+			return true, true
+		}
+	}
+	s, _ := p.simCorated(p.measure, v, u)
+	if s <= 0 {
+		return false, true
+	}
+	if len(ns) < p.k {
+		return true, true // room in the top-k; any positive sim enters
+	}
+	kth := ns[len(ns)-1]
+	if s > kth.Sim || (s == kth.Sim && u < kth.User) {
+		return true, true
+	}
+	return false, true
+}
+
+// dropNeighborhood unlinks v's cached neighborhood and releases its
+// reverse-index edges, reporting whether anything was cached.
+func (p *Predictor) dropNeighborhood(v dataset.UserID) bool {
+	pp := p.part(v)
+	sh := &pp.shards[shardIndex(uint64(v))]
+	sh.mu.Lock()
+	_, ok := sh.neighbors[v]
+	var co []dataset.UserID
+	if ok {
+		co = sh.coraters[v]
+		delete(sh.neighbors, v)
+		delete(sh.coraters, v)
+	}
+	sh.mu.Unlock()
+	if ok {
+		p.deps.remove(v, co)
+	}
+	return ok
+}
+
+// dropNorm forgets u's cached vector norm (one new rating always
+// changes it).
+func (p *Predictor) dropNorm(u dataset.UserID) {
+	sh := &p.part(u).shards[shardIndex(uint64(u))]
+	sh.mu.Lock()
+	delete(sh.norms, u)
+	sh.mu.Unlock()
+}
+
+// cachedNeighborhoods counts the part's resident neighborhoods.
+func (pp *predictorPart) cachedNeighborhoods() int {
+	n := 0
+	for i := range pp.shards {
+		sh := &pp.shards[i]
+		sh.mu.RLock()
+		n += len(sh.neighbors)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NoteIngest is the drop-everything counterpart of NoteIngestScoped:
+// the fallback means are recomputed and swapped, every cached
+// neighborhood is dropped (with the reverse dependency index reset to
+// match), and u's cached norm is dropped. Kept as the explicitly
+// configured baseline and for callers that cannot bound the rating's
+// reach.
 func (p *Predictor) NoteIngest(u dataset.UserID) {
 	// Order matters: swap means first, then bump epochs, then clear.
 	// Any fill that read the old means started before the bump and is
@@ -39,40 +245,98 @@ func (p *Predictor) NoteIngest(u dataset.UserID) {
 		pp.epoch.Add(1)
 	}
 	for _, pp := range p.parts {
+		cleared := 0
 		for i := range pp.shards {
 			sh := &pp.shards[i]
 			sh.mu.Lock()
+			cleared += len(sh.neighbors)
 			if len(sh.neighbors) > 0 {
 				sh.neighbors = make(map[dataset.UserID][]Neighbor)
 			}
+			if len(sh.coraters) > 0 {
+				sh.coraters = make(map[dataset.UserID][]dataset.UserID)
+			}
 			sh.mu.Unlock()
 		}
+		pp.counters.invalidate(cleared)
 	}
-	sh := &p.part(u).shards[shardIndex(uint64(u))]
-	sh.mu.Lock()
-	delete(sh.norms, u)
-	sh.mu.Unlock()
+	p.deps.reset()
+	p.restoredMu.Lock()
+	p.restored = nil
+	p.restoredMu.Unlock()
+	p.dropNorm(u)
 }
 
-// NoteIngest makes the item predictor coherent with an ingested
-// rating: the mean tables (user, item, global) are recomputed and
-// swapped, and every cached item neighborhood is dropped — the
-// ingesting user's mean shifts, which re-centers the adjusted cosine
-// of every item pair they co-rated.
+// NoteIngestScoped makes the item predictor coherent with a rating
+// just applied by user u, dropping only the item neighborhoods the
+// rating reaches: an adjusted-cosine sim(a, b) reads u's mean only
+// when u co-rated a and b, so the stale neighborhoods are exactly the
+// cached items u has rated (including the newly rated one — its rater
+// list grew). Every other item's neighborhood is retained untouched.
+func (p *ItemPredictor) NoteIngestScoped(u dataset.UserID) {
+	p.means.Store(computeItemPredictorMeans(p.store))
+	for _, pp := range p.parts {
+		pp.epoch.Add(1)
+	}
+	sizes := make([]int, len(p.parts))
+	for pi, pp := range p.parts {
+		sizes[pi] = pp.cachedNeighborhoods()
+	}
+	dropped := make([]int, len(p.parts))
+	var last dataset.ItemID
+	first := true
+	for _, r := range p.store.ByUser(u) {
+		if !first && r.Item == last {
+			continue // duplicate rating of the same item
+		}
+		first, last = false, r.Item
+		pi := p.sm.Of(int64(r.Item))
+		sh := &p.parts[pi].shards[shardIndex(uint64(r.Item))]
+		sh.mu.Lock()
+		if _, ok := sh.neighbors[r.Item]; ok {
+			delete(sh.neighbors, r.Item)
+			dropped[pi]++
+		}
+		sh.mu.Unlock()
+	}
+	for pi, pp := range p.parts {
+		pp.counters.invalidate(dropped[pi])
+		pp.counters.retain(sizes[pi] - dropped[pi])
+	}
+}
+
+// cachedNeighborhoods counts the part's resident item neighborhoods.
+func (pp *itemPredictorPart) cachedNeighborhoods() int {
+	n := 0
+	for i := range pp.shards {
+		sh := &pp.shards[i]
+		sh.mu.RLock()
+		n += len(sh.neighbors)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NoteIngest is the item predictor's drop-everything path: the mean
+// tables (user, item, global) are recomputed and swapped, and every
+// cached item neighborhood is dropped.
 func (p *ItemPredictor) NoteIngest() {
 	p.means.Store(computeItemPredictorMeans(p.store))
 	for _, pp := range p.parts {
 		pp.epoch.Add(1)
 	}
 	for _, pp := range p.parts {
+		cleared := 0
 		for i := range pp.shards {
 			sh := &pp.shards[i]
 			sh.mu.Lock()
+			cleared += len(sh.neighbors)
 			if len(sh.neighbors) > 0 {
 				sh.neighbors = make(map[dataset.ItemID][]itemNeighbor)
 			}
 			sh.mu.Unlock()
 		}
+		pp.counters.invalidate(cleared)
 	}
 }
 
@@ -107,18 +371,33 @@ func (p *Predictor) ExportNeighborhoods() []UserNeighbors {
 // neighborhoods, returning how many were installed. Entries for users
 // already cached are skipped (the resident entry is canonical). The
 // caller guarantees the snapshot matches the store — the persistence
-// layer's config fingerprint gates that.
+// layer's config fingerprint gates that. Restored entries carry no
+// co-rater lists, so the reverse dependency index cannot vouch for
+// them; they are remembered in p.restored and the first scoped ingest
+// drops them wholesale (see NoteIngestScoped).
 func (p *Predictor) RestoreNeighborhoods(ns []UserNeighbors) int {
 	restored := 0
+	p.restoredMu.Lock()
+	if p.restored == nil {
+		p.restored = make(map[dataset.UserID]struct{}, len(ns))
+	}
+	p.restoredMu.Unlock()
 	for _, un := range ns {
 		pp := p.part(un.User)
 		sh := &pp.shards[shardIndex(uint64(un.User))]
 		sh.mu.Lock()
+		installed := false
 		if _, ok := sh.neighbors[un.User]; !ok {
 			sh.neighbors[un.User] = append([]Neighbor(nil), un.Neighbors...)
-			restored++
+			installed = true
 		}
 		sh.mu.Unlock()
+		if installed {
+			restored++
+			p.restoredMu.Lock()
+			p.restored[un.User] = struct{}{}
+			p.restoredMu.Unlock()
+		}
 	}
 	return restored
 }
@@ -135,15 +414,20 @@ func (p *Predictor) CachedNeighborhoods() int {
 
 // InvalidateAll drops every cached prediction row — the coherent
 // counterpart of InvalidateUser for events that change every user's
-// predictions at once (a rating ingest shifts every neighborhood and
-// the fallback means). Returns the number of rows dropped.
+// predictions at once (a clock-advancing time-weighted ingest shifts
+// every decay weight), and the drop-everything baseline the scoped
+// scheme is measured against. Every dropped row counts as
+// Invalidated. Returns the number of rows dropped.
 func (c *CachedSource) InvalidateAll() int {
 	n := 0
 	for _, p := range c.parts {
 		p.epoch.Add(1)
+		cleared := 0
 		for i := range p.shards {
-			n += p.shards[i].clear()
+			cleared += p.shards[i].clear()
 		}
+		p.counters.invalidate(cleared)
+		n += cleared
 	}
 	return n
 }

@@ -25,10 +25,16 @@ type rowKey struct {
 	n    int
 }
 
-// rowEntry is one cached row plus its CLOCK reference bit.
+// rowEntry is one cached row plus its CLOCK reference bit and the
+// fallback-dependency metadata scoped invalidation consults. depsKnown
+// is false when the wrapped source could not report dependencies (it
+// is not a DepsSource); such rows are conservatively dropped by every
+// scoped sweep.
 type rowEntry struct {
-	row []float64
-	ref bool
+	row       []float64
+	ref       bool
+	deps      RowDeps
+	depsKnown bool
 }
 
 type rowShard struct {
@@ -59,7 +65,7 @@ func (sh *rowShard) get(key rowKey) ([]float64, bool) {
 // recorded want, the row — computed from possibly pre-invalidation
 // state — is returned to the caller but never cached. Returns the
 // canonical row and the number of evictions.
-func (sh *rowShard) put(key rowKey, row []float64, perCap int, epoch *atomic.Uint64, want uint64) ([]float64, int) {
+func (sh *rowShard) put(key rowKey, row []float64, deps RowDeps, depsKnown bool, perCap int, epoch *atomic.Uint64, want uint64) ([]float64, int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if cached, ok := sh.rows[key]; ok {
@@ -83,7 +89,7 @@ func (sh *rowShard) put(key rowKey, row []float64, perCap int, epoch *atomic.Uin
 		sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
 		evicted++
 	}
-	sh.rows[key] = &rowEntry{row: row, ref: true}
+	sh.rows[key] = &rowEntry{row: row, ref: true, deps: deps, depsKnown: depsKnown}
 	sh.ring = append(sh.ring, key)
 	return row, evicted
 }
@@ -108,6 +114,53 @@ func (sh *rowShard) invalidateUser(u dataset.UserID) int {
 		sh.hand = 0
 	}
 	return removed
+}
+
+// sweepScoped walks the stripe's resident rows and drops exactly the
+// ones an ingest of (stale users, item it) can reach: rows of a stale
+// user, rows with unknown dependencies, rows that touched the global
+// mean (which shifts on every ingest), and — unless a patch value is
+// supplied — rows with an item-mean fallback entry for it. With a
+// patch value, that last class is repaired in place instead: a fresh
+// copy of the row with the new item mean spliced into the fallback
+// positions replaces the entry (copy, not mutation — returned rows
+// are shared read-only and in-flight readers keep the pre-ingest
+// version). Returns (dropped, patched, kept).
+func (sh *rowShard) sweepScoped(stale map[dataset.UserID]struct{}, it dataset.ItemID, patch float64, havePatch bool) (dropped, patched, kept int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keptRing := sh.ring[:0]
+	for _, k := range sh.ring {
+		e := sh.rows[k]
+		_, isStale := stale[k.user]
+		switch {
+		case isStale, !e.depsKnown, e.deps.UsedGlobal:
+			delete(sh.rows, k)
+			dropped++
+			continue
+		case e.deps.DependsOn(it):
+			if !havePatch {
+				delete(sh.rows, k)
+				dropped++
+				continue
+			}
+			nr := append([]float64(nil), e.row...)
+			for di, f := range e.deps.FallbackItems {
+				if f == it {
+					nr[e.deps.FallbackPos[di]] = patch
+				}
+			}
+			e.row = nr
+			patched++
+		}
+		keptRing = append(keptRing, k)
+		kept++
+	}
+	if dropped > 0 {
+		sh.ring = keptRing
+		sh.hand = 0
+	}
+	return dropped, patched, kept
 }
 
 // clear drops every row in the shard, returning the count.
@@ -143,7 +196,8 @@ func (sh *rowShard) clear() int {
 // hit — at the cost of one bit and one ring slot per row.
 type CachedSource struct {
 	src   Source
-	into  BatchInto // src's in-place path, when it has one
+	into  BatchInto  // src's in-place path, when it has one
+	deps  DepsSource // src's deps-reporting path, when it has one
 	sm    shard.Map
 	parts []*rowCachePart
 }
@@ -193,6 +247,7 @@ func NewCachedSourceSharded(src Source, cap int, m shard.Map) *CachedSource {
 	sm := shard.Normalize(m)
 	c := &CachedSource{src: src, sm: sm}
 	c.into, _ = src.(BatchInto)
+	c.deps, _ = src.(DepsSource)
 	budgets := shard.Split(sm, cap)
 	c.parts = make([]*rowCachePart, sm.N())
 	for i := range c.parts {
@@ -221,7 +276,18 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 	}
 	p.counters.miss()
 	epoch := p.epoch.Load()
-	row, evicted := sh.put(key, c.src.PredictBatch(u, items), p.perCap, &p.epoch, epoch)
+	var (
+		row       []float64
+		deps      RowDeps
+		depsKnown bool
+	)
+	if c.deps != nil {
+		row, deps = c.deps.PredictBatchDeps(u, items)
+		depsKnown = true
+	} else {
+		row = c.src.PredictBatch(u, items)
+	}
+	row, evicted := sh.put(key, row, deps, depsKnown, p.perCap, &p.epoch, epoch)
 	p.counters.evict(evicted)
 	return row
 }
@@ -231,14 +297,45 @@ func (c *CachedSource) PredictBatch(u dataset.UserID, items []dataset.ItemID) []
 // predictions from the row cache. Only u's shard part is touched, so
 // invalidation traffic on one shard never takes another shard's
 // locks. Returns the number of rows dropped. Invalidations are not
-// evictions (no capacity pressure) and leave the hit/miss/eviction
-// counters untouched.
+// evictions (no capacity pressure); dropped rows count toward the
+// Invalidated stat.
 func (c *CachedSource) InvalidateUser(u dataset.UserID) int {
 	p := c.parts[c.sm.Of(int64(u))]
 	p.epoch.Add(1)
 	n := 0
 	for i := range p.shards {
 		n += p.shards[i].invalidateUser(u)
+	}
+	p.counters.invalidate(n)
+	return n
+}
+
+// InvalidateScoped drops exactly the cached rows an ingest of item it
+// with the given stale-user set can reach (see rowShard.sweepScoped)
+// and retains — or patches in place — every other resident row. stale
+// must be the predictor's post-recheck verdict (IngestScope.Stale): a
+// retained row's user keeps an unchanged neighborhood, none of whose
+// neighbors is the rater, so every covered entry of the row is
+// bit-identical to a cold recompute and only item-mean fallback
+// entries for it itself need the patch splice. patch is the
+// post-ingest mean of it (always defined after an ingest of it;
+// havePatch false forces a drop instead, the conservative path).
+// Returns the number of rows dropped.
+func (c *CachedSource) InvalidateScoped(stale map[dataset.UserID]struct{}, it dataset.ItemID, patch float64, havePatch bool) int {
+	n := 0
+	for _, p := range c.parts {
+		p.epoch.Add(1)
+		dropped, patched, kept := 0, 0, 0
+		for i := range p.shards {
+			d, pa, ke := p.shards[i].sweepScoped(stale, it, patch, havePatch)
+			dropped += d
+			patched += pa
+			kept += ke
+		}
+		p.counters.invalidate(dropped)
+		p.counters.patch(patched)
+		p.counters.retain(kept)
+		n += dropped
 	}
 	return n
 }

@@ -27,14 +27,14 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	var epoch atomic.Uint64
 
 	for i := 0; i < cap; i++ {
-		if _, evicted := sh.put(key(i), row, cap, &epoch, 0); evicted != 0 {
+		if _, evicted := sh.put(key(i), row, RowDeps{}, false, cap, &epoch, 0); evicted != 0 {
 			t.Fatalf("insert %d below capacity evicted %d rows", i, evicted)
 		}
 	}
 	// Rows enter referenced, so the first insert at capacity strips
 	// every bit on its lap and evicts the oldest (key 0) — bounded, no
 	// livelock.
-	if _, evicted := sh.put(key(3), row, cap, &epoch, 0); evicted != 1 {
+	if _, evicted := sh.put(key(3), row, RowDeps{}, false, cap, &epoch, 0); evicted != 1 {
 		t.Fatal("insert at capacity did not evict exactly one row")
 	}
 	if keys := shardKeys(sh); keys[key(0)] || !keys[key(1)] || !keys[key(2)] || !keys[key(3)] {
@@ -46,7 +46,7 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	if _, ok := sh.get(key(2)); !ok {
 		t.Fatal("resident key 2 missed")
 	}
-	if _, evicted := sh.put(key(4), row, cap, &epoch, 0); evicted != 1 {
+	if _, evicted := sh.put(key(4), row, RowDeps{}, false, cap, &epoch, 0); evicted != 1 {
 		t.Fatal("insert at capacity did not evict exactly one row")
 	}
 	keys := shardKeys(sh)
@@ -63,7 +63,7 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	// Invalidation: dropping one user's rows leaves the others resident
 	// and counts no evictions (the caller asserts counters elsewhere).
 	other := rowKey{user: 2, fp: 77, n: 10}
-	sh.put(other, row, cap+1, &epoch, 0)
+	sh.put(other, row, RowDeps{}, false, cap+1, &epoch, 0)
 	if removed := sh.invalidateUser(1); removed != cap {
 		t.Errorf("invalidateUser dropped %d rows, want %d", removed, cap)
 	}
@@ -77,10 +77,10 @@ func TestRowShardClockSecondChance(t *testing.T) {
 	// Re-inserting an existing key keeps the canonical resident row and
 	// evicts nothing (the shard is below capacity after invalidation).
 	canonical := []float64{42}
-	if _, evicted := sh.put(key(9), canonical, cap, &epoch, 0); evicted != 0 {
+	if _, evicted := sh.put(key(9), canonical, RowDeps{}, false, cap, &epoch, 0); evicted != 0 {
 		t.Errorf("insert below capacity evicted %d rows, want 0", evicted)
 	}
-	second, evicted := sh.put(key(9), []float64{7}, cap, &epoch, 0)
+	second, evicted := sh.put(key(9), []float64{7}, RowDeps{}, false, cap, &epoch, 0)
 	if evicted != 0 {
 		t.Errorf("duplicate put evicted %d rows, want 0", evicted)
 	}

@@ -36,8 +36,73 @@ func (s Similarity) String() string {
 // over their co-rated items, in [-1, 1]. Fewer than two co-rated
 // items, or zero variance on either side, yields 0.
 func (p *Predictor) Pearson(u, v dataset.UserID) float64 {
+	s, _ := p.pearsonCorated(u, v)
+	return s
+}
+
+// Sim dispatches to the configured similarity measure.
+func (p *Predictor) Sim(measure Similarity, u, v dataset.UserID) float64 {
+	s, _ := p.simCorated(measure, u, v)
+	return s
+}
+
+// simCorated returns the similarity of u and v plus whether the two
+// users co-rated at least one item. The co-rating flag is the edge the
+// reverse dependency index records: an ingest by w can change sim(u, w)
+// only when the two share an item (or the ingest itself creates the
+// first shared item, which the rated item's rater list covers), so a
+// cached neighborhood is dependent on exactly its co-raters. The
+// similarity value is computed with the same branch structure and
+// accumulation order as the public Cosine/Pearson paths, so callers
+// mixing the two stay bit-identical.
+func (p *Predictor) simCorated(measure Similarity, u, v dataset.UserID) (float64, bool) {
+	switch measure {
+	case PearsonSim:
+		return p.pearsonCorated(u, v)
+	default:
+		return p.cosineCorated(u, v)
+	}
+}
+
+// cosineCorated is Cosine plus the co-rating flag, sharing one merge.
+func (p *Predictor) cosineCorated(u, v dataset.UserID) (float64, bool) {
 	if u == v {
-		return 1
+		return 1, true
+	}
+	ru, rv := p.store.ByUser(u), p.store.ByUser(v)
+	var dot float64
+	corated := false
+	i, j := 0, 0
+	for i < len(ru) && j < len(rv) {
+		switch {
+		case ru[i].Item < rv[j].Item:
+			i++
+		case ru[i].Item > rv[j].Item:
+			j++
+		default:
+			dot += ru[i].Value * rv[j].Value
+			corated = true
+			i++
+			j++
+		}
+	}
+	if dot == 0 {
+		return 0, corated
+	}
+	nu, nv := p.norm(u), p.norm(v)
+	if nu == 0 || nv == 0 {
+		return 0, corated
+	}
+	return dot / (nu * nv), corated
+}
+
+// pearsonCorated is Pearson plus the co-rating flag. Co-raters with
+// fewer than two shared items still score 0, but the flag is set — a
+// later ingest can lift the overlap past the threshold, which is why
+// the dependency edge must exist before the similarity does.
+func (p *Predictor) pearsonCorated(u, v dataset.UserID) (float64, bool) {
+	if u == v {
+		return 1, true
 	}
 	ru, rv := p.store.ByUser(u), p.store.ByUser(v)
 	var xs, ys []float64
@@ -57,7 +122,7 @@ func (p *Predictor) Pearson(u, v dataset.UserID) float64 {
 	}
 	n := len(xs)
 	if n < 2 {
-		return 0
+		return 0, n > 0
 	}
 	var mx, my float64
 	for k := 0; k < n; k++ {
@@ -74,17 +139,7 @@ func (p *Predictor) Pearson(u, v dataset.UserID) float64 {
 		vy += dy * dy
 	}
 	if vx == 0 || vy == 0 {
-		return 0
+		return 0, true
 	}
-	return cov / math.Sqrt(vx*vy)
-}
-
-// Sim dispatches to the configured similarity measure.
-func (p *Predictor) Sim(measure Similarity, u, v dataset.UserID) float64 {
-	switch measure {
-	case PearsonSim:
-		return p.Pearson(u, v)
-	default:
-		return p.Cosine(u, v)
-	}
+	return cov / math.Sqrt(vx*vy), true
 }

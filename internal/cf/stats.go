@@ -12,6 +12,17 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Size      int    `json:"size"`
+	// Invalidated, Retained, and Patched count scoped-invalidation
+	// outcomes per resident entry per ingest: Invalidated entries were
+	// dropped as dependent on the ingested rating, Retained entries
+	// were proven independent and kept warm, Patched entries had the
+	// new value spliced in place instead of being rebuilt. A
+	// drop-everything invalidation counts every resident entry as
+	// Invalidated, so the Retained/Invalidated ratio is the direct
+	// measure of how much cache heat ingest traffic preserves.
+	Invalidated uint64 `json:"invalidated"`
+	Retained    uint64 `json:"retained"`
+	Patched     uint64 `json:"patched"`
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -58,6 +69,9 @@ func sumStats(parts []CacheStats) CacheStats {
 		agg.Misses += s.Misses
 		agg.Evictions += s.Evictions
 		agg.Size += s.Size
+		agg.Invalidated += s.Invalidated
+		agg.Retained += s.Retained
+		agg.Patched += s.Patched
 	}
 	return agg
 }
@@ -67,9 +81,12 @@ func sumStats(parts []CacheStats) CacheStats {
 // never take a lock; snapshots are read individually and need only be
 // eventually consistent with each other.
 type cacheCounters struct {
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	invalidated atomic.Uint64
+	retained    atomic.Uint64
+	patched     atomic.Uint64
 }
 
 func (c *cacheCounters) hit()  { c.hits.Add(1) }
@@ -81,12 +98,33 @@ func (c *cacheCounters) evict(n int) {
 	}
 }
 
+func (c *cacheCounters) invalidate(n int) {
+	if n > 0 {
+		c.invalidated.Add(uint64(n))
+	}
+}
+
+func (c *cacheCounters) retain(n int) {
+	if n > 0 {
+		c.retained.Add(uint64(n))
+	}
+}
+
+func (c *cacheCounters) patch(n int) {
+	if n > 0 {
+		c.patched.Add(uint64(n))
+	}
+}
+
 // snapshot pairs the counters with the current entry count.
 func (c *cacheCounters) snapshot(size int) CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Size:      size,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Size:        size,
+		Invalidated: c.invalidated.Load(),
+		Retained:    c.retained.Load(),
+		Patched:     c.patched.Load(),
 	}
 }

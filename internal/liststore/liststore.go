@@ -86,6 +86,15 @@ type Stats struct {
 	// Evictions counts views dropped by capacity pressure.
 	Invalidations uint64 `json:"invalidations"`
 	Evictions     uint64 `json:"evictions"`
+	// Retained counts views a scoped invalidation proved independent of
+	// the ingested rating and kept warm; Patched is the subset of
+	// retained views that had the new item mean spliced into their
+	// fallback entries in place of a rebuild. A drop-everything
+	// invalidation retains and patches nothing, so Retained vs
+	// Invalidations measures how much view heat ingest traffic
+	// preserves.
+	Retained uint64 `json:"retained"`
+	Patched  uint64 `json:"patched"`
 	// WarmLoads counts views installed from a snapshot restore instead
 	// of built — the warm-restart observability hook.
 	WarmLoads uint64 `json:"warm_loads"`
@@ -111,17 +120,41 @@ type ShardStats struct {
 	Rebuilds      uint64 `json:"rebuilds"`
 	Invalidations uint64 `json:"invalidations"`
 	Evictions     uint64 `json:"evictions"`
+	Retained      uint64 `json:"retained"`
+	Patched       uint64 `json:"patched"`
 	WarmLoads     uint64 `json:"warm_loads"`
 	Size          int    `json:"size"`
 	MaxUsers      int    `json:"max_users"`
 }
 
+// builtView bundles a settled view with the dependency metadata its
+// build recorded: which pool positions fell to the mean-fallback
+// ladder. depsKnown is false when the source could not report deps (a
+// non-DepsSource, or a snapshot restore — snapshots persist scores
+// only); such views are conservatively dropped by scoped sweeps.
+type builtView struct {
+	view      *View
+	deps      cf.RowDeps
+	depsKnown bool
+}
+
 // userEntry tracks one user's view slot: a once so concurrent first
-// acquirers build a view exactly once, and a CLOCK reference bit.
+// acquirers build a view exactly once, and a CLOCK reference bit. The
+// built pointer is atomic because scoped invalidation reads (and
+// patches) it under the part lock while the build closure publishes it
+// without — an entry with a nil built is still mid-build.
 type userEntry struct {
-	once sync.Once
-	view *View
-	ref  atomic.Bool
+	once  sync.Once
+	built atomic.Pointer[builtView]
+	ref   atomic.Bool
+}
+
+// viewOf returns the entry's settled view (nil while mid-build).
+func (e *userEntry) viewOf() *View {
+	if b := e.built.Load(); b != nil {
+		return b.view
+	}
+	return nil
 }
 
 // storePart is one shard's sub-store: the view slots of exactly the
@@ -142,6 +175,8 @@ type storePart struct {
 	rebuilds      atomic.Uint64
 	invalidations atomic.Uint64
 	evictions     atomic.Uint64
+	retained      atomic.Uint64
+	patched       atomic.Uint64
 	warmLoads     atomic.Uint64
 }
 
@@ -160,6 +195,7 @@ func newStorePart(maxUsers int) *storePart {
 // Invalidate. Safe for concurrent use.
 type Store struct {
 	src     cf.Source
+	deps    cf.DepsSource // src's deps-reporting path, when it has one
 	pool    []dataset.ItemID
 	divisor float64
 	sm      shard.Map
@@ -211,6 +247,7 @@ func NewSharded(src cf.Source, pool []dataset.ItemID, maxUsers int, divisor floa
 		sm:      sm,
 		maps:    make(map[mapKey]*Mapping),
 	}
+	s.deps, _ = src.(cf.DepsSource)
 	budgets := shard.Split(sm, maxUsers)
 	s.parts = make([]*storePart, sm.N())
 	for i := range s.parts {
@@ -250,9 +287,9 @@ func (s *Store) Acquire(u dataset.UserID) *View {
 	if ok {
 		e.ref.Store(true)
 		p.mu.Unlock()
-		e.once.Do(func() { e.view = s.build(u) })
+		e.once.Do(func() { e.built.Store(s.build(u)) })
 		p.viewHits.Add(1)
-		return e.view
+		return e.viewOf()
 	}
 	e = &userEntry{}
 	e.ref.Store(true) // enter referenced: a just-built view is never the next sweep's first victim
@@ -263,12 +300,12 @@ func (s *Store) Acquire(u dataset.UserID) *View {
 	delete(p.invalidated, u)
 	p.mu.Unlock()
 
-	e.once.Do(func() { e.view = s.build(u) })
+	e.once.Do(func() { e.built.Store(s.build(u)) })
 	p.viewBuilds.Add(1)
 	if rebuilt {
 		p.rebuilds.Add(1)
 	}
-	return e.view
+	return e.viewOf()
 }
 
 // evictLocked makes room for one more view via CLOCK: sweep the ring,
@@ -293,14 +330,23 @@ func (p *storePart) evictLocked() {
 
 // build materializes one user's view: one batch prediction over the
 // pool, normalized, plus one canonical sort — the pay-once cost the
-// store amortizes.
-func (s *Store) build(u dataset.UserID) *View {
-	raw := s.src.PredictBatch(u, s.pool)
+// store amortizes. When the source reports dependencies, the view's
+// fallback metadata rides along for scoped invalidation.
+func (s *Store) build(u dataset.UserID) *builtView {
+	var (
+		raw  []float64
+		deps cf.RowDeps
+	)
+	if s.deps != nil {
+		raw, deps = s.deps.PredictBatchDeps(u, s.pool)
+	} else {
+		raw = s.src.PredictBatch(u, s.pool)
+	}
 	scores := make([]float64, len(raw))
 	for i, v := range raw {
 		scores[i] = v / s.divisor
 	}
-	return viewFromScores(scores)
+	return &builtView{view: viewFromScores(scores), deps: deps, depsKnown: s.deps != nil}
 }
 
 // viewFromScores derives the canonical sorted side of a view from its
@@ -368,6 +414,112 @@ func (s *Store) InvalidateAll() int {
 	return n
 }
 
+// InvalidateScoped drops exactly the materialized views an ingest of
+// item it with the given stale-user set can reach, retaining every
+// other view warm. A view drops when its user is stale (the
+// predictor's post-recheck verdict), when it is mid-build or carries
+// no dependency metadata (nothing can be proven about it), or when it
+// touched the global mean, which shifts on every ingest. A retained
+// view whose fallback entries cover it itself is patched in place: the
+// post-ingest item mean (patch, raw — the store applies its own
+// divisor, the same operation a rebuild would) is spliced into the
+// dense scores and moved within the sorted side by binary search under
+// the canonical order, which is total (value desc, pool position asc),
+// so the spliced sequence is bit-identical to a full re-sort. Returns
+// the number of views dropped.
+func (s *Store) InvalidateScoped(stale map[dataset.UserID]struct{}, it dataset.ItemID, patch float64, havePatch bool) int {
+	patchScore := patch / s.divisor
+	n := 0
+	for _, p := range s.parts {
+		p.mu.Lock()
+		dropped, patched := 0, 0
+		keptRing := p.ring[:0]
+		for _, u := range p.ring {
+			e := p.entries[u]
+			b := e.built.Load()
+			_, isStale := stale[u]
+			switch {
+			case isStale, b == nil, !b.depsKnown, b.deps.UsedGlobal:
+				delete(p.entries, u)
+				p.invalidated[u] = true
+				dropped++
+				continue
+			case b.deps.DependsOn(it):
+				if !havePatch {
+					delete(p.entries, u)
+					p.invalidated[u] = true
+					dropped++
+					continue
+				}
+				e.built.Store(&builtView{
+					view:      patchView(b.view, b.deps, it, patchScore),
+					deps:      b.deps, // positions still fall back, now to the new mean
+					depsKnown: true,
+				})
+				patched++
+			}
+			keptRing = append(keptRing, u)
+		}
+		if dropped > 0 {
+			p.ring = keptRing
+			p.hand = 0
+		}
+		kept := len(keptRing)
+		p.mu.Unlock()
+		p.invalidations.Add(uint64(dropped))
+		p.patched.Add(uint64(patched))
+		p.retained.Add(uint64(kept))
+		n += dropped
+	}
+	return n
+}
+
+// patchView returns a copy of v with patchScore spliced into every
+// fallback position of item it: the dense score is overwritten and the
+// matching sorted entry is moved to its new canonical slot by binary
+// search — two O(log n) searches and one memmove per changed entry
+// instead of an O(n log n) re-sort.
+func patchView(v *View, deps cf.RowDeps, it dataset.ItemID, patchScore float64) *View {
+	scores := append([]float64(nil), v.Scores...)
+	entries := append([]core.Entry(nil), v.Sorted.Entries...)
+	for di, f := range deps.FallbackItems {
+		if f != it {
+			continue
+		}
+		pos := int(deps.FallbackPos[di])
+		old := scores[pos]
+		if old == patchScore {
+			continue
+		}
+		scores[pos] = patchScore
+		i := searchCanonical(entries, old, pos)       // current slot of (old, pos)
+		j := searchCanonical(entries, patchScore, pos) // target slot of (new, pos)
+		moved := core.Entry{Key: pos, Value: patchScore}
+		if j > i {
+			copy(entries[i:], entries[i+1:j])
+			entries[j-1] = moved
+		} else {
+			copy(entries[j+1:i+1], entries[j:i])
+			entries[j] = moved
+		}
+	}
+	return &View{Scores: scores, Sorted: &core.SortedView{Entries: entries}}
+}
+
+// searchCanonical returns the index of (val, key) in a canonically
+// sorted entry slice — its current slot if present, its insertion
+// point otherwise. The canonical order (value descending, key
+// ascending on ties) is total over distinct keys, so the position is
+// unique.
+func searchCanonical(es []core.Entry, val float64, key int) int {
+	return sort.Search(len(es), func(i int) bool {
+		if es[i].Value != val {
+			return es[i].Value < val
+		}
+		return es[i].Key >= key
+	})
+}
+
 // UserView is one user's view in export form: only the dense score
 // vector — the sorted side is a deterministic function of it and is
 // re-derived on restore.
@@ -386,7 +538,7 @@ func (s *Store) ExportViews() []UserView {
 		for u, e := range p.entries {
 			// Only settled views export: an entry mid-build has a nil
 			// view and will be rebuilt on next start anyway.
-			if v := e.view; v != nil {
+			if v := e.viewOf(); v != nil {
 				out = append(out, UserView{User: u, Scores: v.Scores})
 			}
 		}
@@ -418,8 +570,11 @@ func (s *Store) RestoreViews(views []UserView) int {
 		}
 		e := &userEntry{}
 		e.ref.Store(true)
-		v := viewFromScores(uv.Scores)
-		e.once.Do(func() { e.view = v })
+		// Restored views carry no dependency metadata (snapshots persist
+		// scores only): depsKnown stays false, so the first scoped
+		// invalidation drops them rather than wrongly retaining them.
+		v := &builtView{view: viewFromScores(uv.Scores)}
+		e.once.Do(func() { e.built.Store(v) })
 		p.entries[uv.User] = e
 		p.ring = append(p.ring, uv.User)
 		delete(p.invalidated, uv.User)
@@ -497,6 +652,8 @@ func (p *storePart) statsOf() ShardStats {
 		Rebuilds:      p.rebuilds.Load(),
 		Invalidations: p.invalidations.Load(),
 		Evictions:     p.evictions.Load(),
+		Retained:      p.retained.Load(),
+		Patched:       p.patched.Load(),
 		WarmLoads:     p.warmLoads.Load(),
 		Size:          size,
 		MaxUsers:      p.maxUsers,
@@ -539,6 +696,8 @@ func (s *Store) StatsFrom(parts []ShardStats) Stats {
 		st.Rebuilds += ss.Rebuilds
 		st.Invalidations += ss.Invalidations
 		st.Evictions += ss.Evictions
+		st.Retained += ss.Retained
+		st.Patched += ss.Patched
 		st.WarmLoads += ss.WarmLoads
 		st.Size += ss.Size
 	}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// stormRatings picks one deterministic new rating per writer: distinct
+// (user, item) pairs, so the final store state is the same set however
+// the concurrent POSTs interleave — which is what lets the test demand
+// byte-identical responses from a cold rebuild afterwards.
+func stormRatings(tb testing.TB, w *repro.World, n int) []dataset.Rating {
+	tb.Helper()
+	ranked := w.Ratings().PopularityRanked()
+	users := w.Participants()
+	if len(users) < n {
+		tb.Fatalf("world has %d participants, storm needs %d", len(users), n)
+	}
+	out := make([]dataset.Rating, 0, n)
+	for _, u := range users {
+		if len(out) == n {
+			break
+		}
+		for _, it := range ranked {
+			if !w.Ratings().HasRated(u, it) {
+				out = append(out, dataset.Rating{User: u, Item: it, Value: 4, Time: 978300000 + int64(len(out))})
+				break
+			}
+		}
+	}
+	if len(out) != n {
+		tb.Fatalf("found %d storm ratings, want %d", len(out), n)
+	}
+	return out
+}
+
+// TestIngestStormServesColdIdenticalResponses is the CI smoke for the
+// scoped-invalidation scheme: sustained POST /v1/ratings against
+// concurrent POST /v1/recommend traffic (run under -race in CI), after
+// which (1) the cache counters prove state actually survived the storm
+// — non-zero retained — and (2) every recommendation response is
+// byte-identical to a server over a world rebuilt cold from the same
+// final rating set.
+func TestIngestStormServesColdIdenticalResponses(t *testing.T) {
+	w := freshWorld(t)
+	s := New(w, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	const writers = 8
+	extra := stormRatings(t, w, writers)
+	// Reader groups: disjoint triples that still have a candidate pool
+	// (the synthetic dataset has dense raters with nothing unrated).
+	users := w.Participants()
+	var groups []string
+	for i := 0; i+3 <= len(users) && len(groups) < 4; i += 3 {
+		grp := users[i : i+3]
+		if len(w.CandidateItems(grp, 60)) < 10 {
+			continue
+		}
+		groups = append(groups, fmt.Sprintf(`{"group":[%d,%d,%d],"k":5,"num_items":60}`, grp[0], grp[1], grp[2]))
+	}
+	if len(groups) < 4 {
+		t.Fatalf("only %d viable reader groups in the test world", len(groups))
+	}
+
+	// Warm the serving caches, then storm: each writer posts its rating
+	// while readers hammer the recommend groups.
+	for _, body := range groups {
+		if status, data := postJSON(t, ts.URL+"/v1/recommend", body); status != http.StatusOK {
+			t.Fatalf("warm recommend status = %d, body %s", status, data)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		r := extra[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"user":%d,"item":%d,"value":%g,"time":%d}`, r.User, r.Item, r.Value, r.Time)
+			if status, data := postJSON(t, ts.URL+"/v1/ratings", body); status != http.StatusOK {
+				t.Errorf("storm ingest status = %d, body %s", status, data)
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		body := groups[g]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if status, data := postJSON(t, ts.URL+"/v1/recommend", body); status != http.StatusOK {
+					t.Errorf("storm recommend status = %d, body %s", status, data)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The scheme's point, observable over the wire: the storm left
+	// cache state standing. (Drop-everything invalidation zeroes these.)
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Caches.Neighborhoods.Retained == 0 {
+		t.Errorf("storm retained no neighborhoods: %+v", st.Caches.Neighborhoods)
+	}
+	if st.Caches.ListStore.Retained == 0 {
+		t.Errorf("storm retained no sorted views: %+v", st.Caches.ListStore)
+	}
+	if st.Ingest.Store.Applied != writers {
+		t.Errorf("store applied %d ratings, want %d", st.Ingest.Store.Applied, writers)
+	}
+
+	// Cold control: a fresh world over the same config plus the same
+	// rating set (QuickConfig synthesis is deterministic), served by a
+	// fresh server. Every group's response must match byte for byte.
+	cold := freshWorld(t)
+	for _, r := range extra {
+		if err := cold.AddRating(r); err != nil {
+			t.Fatalf("cold AddRating(%+v): %v", r, err)
+		}
+	}
+	cs := New(cold, Config{})
+	cts := httptest.NewServer(cs.Handler())
+	t.Cleanup(func() { cts.Close(); cs.Close() })
+	for _, body := range groups {
+		status, want := postJSON(t, cts.URL+"/v1/recommend", body)
+		if status != http.StatusOK {
+			t.Fatalf("cold recommend status = %d, body %s", status, want)
+		}
+		status, got := postJSON(t, ts.URL+"/v1/recommend", body)
+		if status != http.StatusOK {
+			t.Fatalf("post-storm recommend status = %d, body %s", status, got)
+		}
+		if string(got) != string(want) {
+			t.Errorf("post-storm response diverged from cold rebuild\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// TestStatsExposesInvalidationCounters pins the wire names of the
+// scoped-invalidation counters: operators alert on these, so the JSON
+// keys are contract, not implementation detail.
+func TestStatsExposesInvalidationCounters(t *testing.T) {
+	w := freshWorld(t)
+	s := New(w, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	u := int(w.Participants()[0])
+	body := fmt.Sprintf(`{"group":[%d],"k":3,"num_items":40}`, u)
+	if status, data := postJSON(t, ts.URL+"/v1/recommend", body); status != http.StatusOK {
+		t.Fatalf("recommend status = %d, body %s", status, data)
+	}
+	if status, data := postJSON(t, ts.URL+"/v1/ratings",
+		fmt.Sprintf(`{"user":%d,"item":3,"value":4,"time":978300000}`, u)); status != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %s", status, data)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw struct {
+		Caches struct {
+			Neighborhoods map[string]json.RawMessage `json:"neighborhoods"`
+			RowCache      map[string]json.RawMessage `json:"row_cache"`
+			ListStore     map[string]json.RawMessage `json:"list_store"`
+		} `json:"caches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for field, m := range map[string]map[string]json.RawMessage{
+		"neighborhoods": raw.Caches.Neighborhoods,
+		"row_cache":     raw.Caches.RowCache,
+		"list_store":    raw.Caches.ListStore,
+	} {
+		for _, key := range []string{"invalidated", "retained", "patched"} {
+			if field == "list_store" && key == "invalidated" {
+				key = "invalidations" // the list store's historical name
+			}
+			if _, ok := m[key]; !ok {
+				t.Errorf("caches.%s lacks the %q counter; keys: %v", field, key, keysOf(m))
+			}
+		}
+	}
+	// The ingest by a group member invalidated its own neighborhood.
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Caches.Neighborhoods.Invalidated == 0 {
+		t.Errorf("rater's own neighborhood was not invalidated: %+v", st.Caches.Neighborhoods)
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

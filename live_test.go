@@ -319,3 +319,200 @@ func TestItemsMutationAfterSubmitIsSafe(t *testing.T) {
 		}
 	}
 }
+
+// liveWorldCfg is liveWorld with a config hook for the mode-specific
+// differentials (item-based, time-weighted, full invalidation).
+func liveWorldCfg(t *testing.T, ratings string, shards int, mutate func(*Config)) *World {
+	t.Helper()
+	cfg := muxTestConfig()
+	cfg.RatingsReader = strings.NewReader(ratings)
+	cfg.Shards = shards
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatalf("building world (shards=%d): %v", shards, err)
+	}
+	return w
+}
+
+// TestScopedIngestKeepsCachesWarm pins the point of the scoped scheme
+// at the world level: after a warmed world ingests ratings, the cache
+// counters must show retained neighborhoods, rows, and views — under
+// the legacy FullInvalidation flag the same traffic retains nothing.
+func TestScopedIngestKeepsCachesWarm(t *testing.T) {
+	base := liveBaseRatings(t)
+	run := func(full bool) CacheStats {
+		w := liveWorldCfg(t, base, 4, func(c *Config) { c.FullInvalidation = full })
+		// Warm broadly: views and neighborhoods through recommend traffic
+		// over disjoint groups, prediction rows directly through the
+		// cached source (the serving path only touches rows for
+		// candidates outside the list-store pool).
+		users := w.Ratings().Users()
+		rowItems := w.Ratings().Items()[:20]
+		for g := 0; g+3 <= 30; g += 3 {
+			if _, err := w.Recommend(users[g:g+3], Options{K: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, u := range users[:30] {
+			w.Source().PredictBatch(u, rowItems)
+		}
+		// One rating by one user on its least-popular unrated item — the
+		// smallest reach an ingest can have; most of the 30 warm users'
+		// state must survive it.
+		ranked := w.Ratings().PopularityRanked()
+		rater := users[0]
+		var r dataset.Rating
+		for i := len(ranked) - 1; i >= 0; i-- {
+			if !w.Ratings().HasRated(rater, ranked[i]) {
+				r = dataset.Rating{User: rater, Item: ranked[i], Value: 5, Time: 978300000}
+				break
+			}
+		}
+		if err := w.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+		return w.CacheStats()
+	}
+
+	scoped := run(false)
+	if scoped.Neighborhoods.Retained == 0 {
+		t.Errorf("scoped ingest retained no neighborhoods: %+v", scoped.Neighborhoods)
+	}
+	if scoped.Neighborhoods.Invalidated == 0 {
+		t.Errorf("scoped ingest invalidated no neighborhoods — the rater's own must always drop")
+	}
+	if scoped.RowCache.Retained == 0 {
+		t.Errorf("scoped ingest retained no prediction rows: %+v", scoped.RowCache)
+	}
+	if scoped.ListStore.Retained == 0 {
+		t.Errorf("scoped ingest retained no sorted views: %+v", scoped.ListStore)
+	}
+	// The aggregate counters are exactly the per-shard sums.
+	var nbR, rowR, listR uint64
+	for _, sh := range scoped.PerShard {
+		nbR += sh.Neighborhoods.Retained
+		rowR += sh.RowCache.Retained
+		listR += sh.ListStore.Retained
+	}
+	if nbR != scoped.Neighborhoods.Retained || rowR != scoped.RowCache.Retained || listR != scoped.ListStore.Retained {
+		t.Errorf("per-shard retained sums %d/%d/%d disagree with aggregates %d/%d/%d",
+			nbR, rowR, listR, scoped.Neighborhoods.Retained, scoped.RowCache.Retained, scoped.ListStore.Retained)
+	}
+
+	full := run(true)
+	if full.Neighborhoods.Retained != 0 || full.RowCache.Retained != 0 || full.ListStore.Retained != 0 {
+		t.Errorf("FullInvalidation retained cache state: %d neighborhoods / %d rows / %d views",
+			full.Neighborhoods.Retained, full.RowCache.Retained, full.ListStore.Retained)
+	}
+	if full.Neighborhoods.Invalidated == 0 {
+		t.Errorf("FullInvalidation ingest recorded no invalidations")
+	}
+}
+
+// TestFullInvalidationMatchesScoped is the scheme differential: the
+// drop-everything world and the scoped world must serve byte-identical
+// recommendations after the same ingest stream — the flag may only
+// change cache heat, never a result.
+func TestFullInvalidationMatchesScoped(t *testing.T) {
+	base := liveBaseRatings(t)
+	specs := map[string]consensus.Spec{"AP": consensus.AP(), "MO": consensus.MO(), "PD": consensus.PD(0.6)}
+	scoped := liveWorldCfg(t, base, 4, nil)
+	full := liveWorldCfg(t, base, 4, func(c *Config) { c.FullInvalidation = true })
+	group := scoped.Participants()[:3]
+	for _, w := range []*World{scoped, full} {
+		if _, err := w.Recommend(group, Options{K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range liveExtraRatings(scoped, 4) {
+		if err := scoped.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, spec := range specs {
+		o := Options{K: 5, Consensus: spec}
+		want, err := full.Recommend(group, o)
+		if err != nil {
+			t.Fatalf("%s: full recommend: %v", name, err)
+		}
+		got, err := scoped.Recommend(group, o)
+		if err != nil {
+			t.Fatalf("%s: scoped recommend: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: scoped result diverged from full invalidation\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestAddRatingItemBasedMatchesColdRebuild extends the tentpole
+// differential to the item-based apref source, whose rows and views
+// drop wholesale on ingest while the item-neighborhood cache sweeps
+// scoped — the blend must still be bit-identical to a cold rebuild.
+func TestAddRatingItemBasedMatchesColdRebuild(t *testing.T) {
+	base := liveBaseRatings(t)
+	itemBased := func(c *Config) { c.ItemBasedCF = true }
+	live := liveWorldCfg(t, base, 4, itemBased)
+	extra := liveExtraRatings(live, 3)
+	group := live.Participants()[:3]
+	if _, err := live.Recommend(group, Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra {
+		if err := live.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := liveWorldCfg(t, appendRatingsText(base, extra), 4, itemBased)
+	want, err := cold.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := live.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("item-based live result diverged from cold rebuild\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAddRatingTimeWeightedMatchesColdRebuild extends the tentpole
+// differential to the time-weighted source across both of its ingest
+// regimes: a back-dated rating (clock unmoved, scoped sweep) and a
+// newest rating (clock advance, full drop of rows and views).
+func TestAddRatingTimeWeightedMatchesColdRebuild(t *testing.T) {
+	base := liveBaseRatings(t)
+	timeWeighted := func(c *Config) { c.TimeWeightedCF = true }
+	live := liveWorldCfg(t, base, 4, timeWeighted)
+	extra := liveExtraRatings(live, 2)
+	extra[0].Time = 2                    // back-dated: decay clock stays put
+	extra[1].Time = 978300000 + 1_000_000 // newest: decay clock advances
+	group := live.Participants()[:3]
+	if _, err := live.Recommend(group, Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra {
+		if err := live.AddRating(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := liveWorldCfg(t, appendRatingsText(base, extra), 4, timeWeighted)
+	want, err := cold.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := live.Recommend(group, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("time-weighted live result diverged from cold rebuild\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -24,10 +24,11 @@ done
 
 export GOMAXPROCS="${GOMAXPROCS:-4}"
 
-# The pinned set: the three pre-existing hot-path benchmarks plus the
-# two added by the scheduling/laziness pass. Sub-benchmarks (shards=N,
-# g=N) ride along via the path match.
-PINNED='^(BenchmarkRecommendParallel|BenchmarkServeCoalesced|BenchmarkRecommendSharded|BenchmarkBatchShardAware|BenchmarkPDLazyLists|BenchmarkPDEagerLists)$'
+# The pinned set: the three pre-existing hot-path benchmarks, the two
+# added by the scheduling/laziness pass, and the ingest-mix pair added
+# with scoped invalidation (scoped vs full sub-benchmarks ride along
+# via the path match, like shards=N and g=N).
+PINNED='^(BenchmarkRecommendParallel|BenchmarkServeCoalesced|BenchmarkRecommendSharded|BenchmarkBatchShardAware|BenchmarkPDLazyLists|BenchmarkPDEagerLists|BenchmarkIngestMix|BenchmarkIngestOnly)$'
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT

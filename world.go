@@ -90,6 +90,15 @@ type Config struct {
 	// identical for every shard count. Capacity budgets (RowCacheSize,
 	// ListStoreSize) are split across the shards.
 	Shards int
+	// FullInvalidation reverts rating ingest to the drop-everything
+	// scheme: every cached neighborhood, prediction row, and sorted
+	// view is discarded on every AddRating, instead of the default
+	// dependency-scoped invalidation that drops only the entries the
+	// new rating can reach. Both schemes serve bit-identical results —
+	// scoping is a pure cache-retention optimization — so this is an
+	// escape hatch for differential testing and the baseline the
+	// ingest-mix benchmarks measure scoping against.
+	FullInvalidation bool
 	// DisableRunSharing turns off the shared-runner multiplexer:
 	// identical concurrent RecommendContext/RecommendStream calls then
 	// each drive their own core.Runner instead of riding one shared
@@ -458,15 +467,23 @@ func (w *World) SetRatingLog(l RatingLog) {
 // dataset.ErrUnknownItem).
 //
 // Coherence: one rating by user u shifts u's vector and therefore
-// sim(v, u) for every other user v — so ingest drops ALL cached
-// neighborhoods and prediction state, not just u's: the predictor's
-// fallback means are recomputed and swapped, every neighborhood cache
-// is cleared (epoch-fenced against in-flight fills re-installing
-// pre-ingest results), the time-weighted reference clock is refreshed,
-// and the row cache and sorted-list store are emptied. This closes the
-// coherence hole InvalidateUserViews documents: that call is the
-// single-user subset, sufficient only when one user's derived state is
-// suspect; ingest needs the global drop.
+// sim(v, u) — but only for the users v that share an item with u. The
+// default ingest exploits that: the predictor's reverse dependency
+// index names the cached users that co-rate with u, each gets a
+// one-similarity recheck, and only the neighborhoods the rating
+// actually reaches are dropped (epoch-fenced against in-flight fills
+// re-installing pre-ingest results). The row cache and sorted-list
+// store then sweep with the same stale set plus their own fallback
+// metadata: rows and views of unaffected users stay warm, and retained
+// views whose only dependence on the rated item is its mean fallback
+// are patched in place (the new item mean spliced into the canonical
+// sort) instead of rebuilt. Every retained or patched entry is
+// bit-identical to what a cold rebuild would produce — scoping never
+// changes a served byte, only how much cache heat survives.
+// Config.FullInvalidation restores the historical drop-everything
+// scheme, and ingests whose reach cannot be bounded (an item-based
+// apref source, a time-weighted clock advance) fall back to it for the
+// affected caches automatically.
 func (w *World) AddRating(r dataset.Rating) error {
 	w.ingestMu.Lock()
 	defer w.ingestMu.Unlock()
@@ -490,18 +507,71 @@ func (w *World) applyRating(r dataset.Rating) error {
 	}
 	// Store first, then predictors (their recomputed means must see the
 	// new rating), then the caches layered over them.
-	w.pred.NoteIngest(r.User)
-	if w.itemPred != nil {
-		w.itemPred.NoteIngest()
+	if w.cfg.FullInvalidation {
+		w.pred.NoteIngest(r.User)
+		if w.itemPred != nil {
+			w.itemPred.NoteIngest()
+		}
+		if w.twPred != nil {
+			w.twPred.Refresh()
+		}
+		if w.rowCache != nil {
+			w.rowCache.InvalidateAll()
+		}
+		if w.lists != nil {
+			w.lists.InvalidateAll()
+		}
+		return nil
 	}
-	if w.twPred != nil {
-		w.twPred.Refresh()
+
+	// Scoped path. The user-based predictor always updates scoped — it
+	// backs the default and time-weighted apref sources and serves
+	// similarity queries (group formation) in every mode, so its means,
+	// norms, and dependency-tracked neighborhoods must stay coherent
+	// regardless of which source the row cache wraps.
+	scope := w.pred.NoteIngestScoped(r.User, r.Item)
+	// scopedRows: whether the rows/views layered over the apref source
+	// can sweep scoped. True for the user-based source; false when the
+	// source's reach cannot be bounded by the user dependency set.
+	scopedRows := true
+	switch {
+	case w.itemPred != nil:
+		// Item-based aprefs: the stale item neighborhoods are exactly
+		// the items the rater has rated (scoped drop), but a changed
+		// item neighborhood shifts predictions for every user that
+		// rated a similar item — no per-user stale set bounds the rows
+		// and views, so they drop wholesale.
+		w.itemPred.NoteIngestScoped(r.User)
+		scopedRows = false
+	case w.twPred != nil:
+		// Time-weighted aprefs: if the new rating advanced the
+		// reference clock, every decay weight shifted and every row and
+		// view is stale. An unmoved clock leaves retained users'
+		// weights bit-identical, so the scoped sweep applies.
+		if w.twPred.RefreshScoped() {
+			scopedRows = false
+		}
 	}
+	if !scopedRows {
+		if w.rowCache != nil {
+			w.rowCache.InvalidateAll()
+		}
+		if w.lists != nil {
+			w.lists.InvalidateAll()
+		}
+		return nil
+	}
+	// The rated item's post-ingest mean is the splice value for
+	// retained entries that fell back to it (always defined: the item
+	// now has at least the just-applied rating). The time-weighted
+	// source shares the base predictor's mean tables, so the same patch
+	// value serves both modes.
+	patch, havePatch := w.pred.ItemMean(r.Item)
 	if w.rowCache != nil {
-		w.rowCache.InvalidateAll()
+		w.rowCache.InvalidateScoped(scope.Stale, r.Item, patch, havePatch)
 	}
 	if w.lists != nil {
-		w.lists.InvalidateAll()
+		w.lists.InvalidateScoped(scope.Stale, r.Item, patch, havePatch)
 	}
 	return nil
 }
@@ -639,10 +709,16 @@ func (w *World) CacheStats() CacheStats {
 		st.RowCache.Misses += ps.RowCache.Misses
 		st.RowCache.Evictions += ps.RowCache.Evictions
 		st.RowCache.Size += ps.RowCache.Size
+		st.RowCache.Invalidated += ps.RowCache.Invalidated
+		st.RowCache.Retained += ps.RowCache.Retained
+		st.RowCache.Patched += ps.RowCache.Patched
 		st.Neighborhoods.Hits += ps.Neighborhoods.Hits
 		st.Neighborhoods.Misses += ps.Neighborhoods.Misses
 		st.Neighborhoods.Evictions += ps.Neighborhoods.Evictions
 		st.Neighborhoods.Size += ps.Neighborhoods.Size
+		st.Neighborhoods.Invalidated += ps.Neighborhoods.Invalidated
+		st.Neighborhoods.Retained += ps.Neighborhoods.Retained
+		st.Neighborhoods.Patched += ps.Neighborhoods.Patched
 	}
 	return st
 }
