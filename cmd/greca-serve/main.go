@@ -7,8 +7,9 @@
 //
 //	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
-//	            [-liststore 1024] [-shards 1] [-workers N]
-//	            [-snapshot dir] [-refreeze 0] [-pprof localhost:6060] [-v]
+//	            [-liststore 1024] [-shards 1] [-shards-config topology.json]
+//	            [-workers N] [-recheck-workers N] [-snapshot dir]
+//	            [-refreeze 0] [-pprof localhost:6060] [-v]
 //
 // -snapshot names a persistence directory: on boot the world is
 // rebuilt from its snapshot when one matches the configuration (a
@@ -36,6 +37,21 @@
 // hashing on UserID; recommendations are identical for every shard
 // count. -rowcache, -liststore, and -shards must be positive — a
 // zero or negative size is a usage error, not a silent clamp.
+//
+// -shards-config switches the shards into worker processes: it names
+// a JSON topology file ({"shards": 4, "workers": [{"addr":
+// "127.0.0.1:9101", "owns": [0, 2]}, ...]}) mapping every shard to
+// exactly one greca-shard worker. The router then fetches each user's
+// view scores and predictions from the worker owning its shard, fans
+// every ingested rating out to all replicas, and reports the workers'
+// cache counters under /v1/stats — serving byte-identical responses
+// to the in-process world at the same shard count. Workers must be
+// started first (same world flags: -seed, -ratings, -rowcache,
+// -liststore, -shards) — the boot handshake refuses a worker built
+// from a different world. A worker dying degrades only the shards it
+// owns: requests touching them answer 503 ("shard_unavailable") with
+// Retry-After, or 504 ("shard_timeout") on deadline, while other
+// shards keep serving.
 //
 // Endpoints (API v1; the unversioned routes are compatibility
 // aliases):
@@ -102,6 +118,7 @@ import (
 	"repro"
 	"repro/internal/cf"
 	"repro/internal/liststore"
+	"repro/internal/remote"
 	"repro/internal/server"
 )
 
@@ -129,7 +146,9 @@ func main() {
 		rowCache   = flag.Int("rowcache", cf.DefaultRowCacheCap, "prediction-row cache size (must be positive)")
 		listStore  = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
 		shards     = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
+		shardsConf = flag.String("shards-config", "", "JSON topology file mapping shards to greca-shard workers (empty = in-process shards)")
 		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
+		recheck    = flag.Int("recheck-workers", 0, "scoped-invalidation recheck pool size (0 = min(4, GOMAXPROCS); negative = serial)")
 		snapshot   = flag.String("snapshot", "", "persistence directory: warm-restart snapshot + rating WAL (empty = no persistence)")
 		refreeze   = flag.Duration("refreeze", 0, "fold pending ingested ratings every interval (0 = fold only at snapshot time)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -151,6 +170,7 @@ func main() {
 	cfg.ListStoreSize = *listStore
 	cfg.Shards = *shards
 	cfg.AssemblyWorkers = *workers
+	cfg.RecheckWorkers = *recheck
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
 		if err != nil {
@@ -179,6 +199,26 @@ func main() {
 		st := world.Ratings().Stats()
 		fmt.Printf("world: %d users, %d items, %d ratings, %d participants, %d periods\n",
 			st.Users, st.Items, st.Ratings, len(world.Participants()), world.Timeline().NumPeriods())
+	}
+
+	// Distributed mode: resolve the topology, handshake every worker
+	// (config fingerprint + shard count must match this process), and
+	// route the per-shard data plane through them. A worker that cannot
+	// be reached or disagrees about the world is a boot failure — better
+	// to refuse than to serve a world that silently diverges.
+	if *shardsConf != "" {
+		top, err := remote.LoadTopology(*shardsConf)
+		if err != nil {
+			log.Fatalf("loading shard topology: %v", err)
+		}
+		set, err := remote.NewShardSet(top, remote.ClientConfig{})
+		if err != nil {
+			log.Fatalf("building shard set: %v", err)
+		}
+		if err := world.AttachRemote(set); err != nil {
+			log.Fatalf("attaching shard workers: %v", err)
+		}
+		log.Printf("distributed mode: %d shards on workers %v", top.Shards, set.Addrs())
 	}
 
 	srv := server.New(world, server.Config{Window: *window, MaxBatch: *maxBatch, MaxPending: *maxPending, OpenStats: openStats})

@@ -57,6 +57,16 @@
 //     lookup cost); OpenWorld / SaveWorldSnapshot add durability: a
 //     checksummed snapshot plus a per-shard write-ahead log give
 //     warm restarts that skip the view/neighborhood rebuild scans.
+//   - internal/remote distributes the shards across worker processes:
+//     cmd/greca-shard owns a subset of shards' data plane (views,
+//     predictions, rating state, per-shard stats) behind a small
+//     length-prefixed, checksummed RPC protocol, and greca-serve
+//     -shards-config attaches a remote.ShardSet that routes each
+//     user's reads to the owning worker through the same shard.Map
+//     assignment — byte-identical to the single-process world. Rating
+//     ingest fans out to every replica (owner ack wins); a dead
+//     worker degrades only its shards (503 + Retry-After), a slow one
+//     answers 504, and the survivors keep serving.
 //   - internal/server (exposed as cmd/greca-serve) serves live HTTP
 //     traffic on a versioned surface (/v1/recommend, /v1/recommend/
 //     batch, /v1/recommend/stream; legacy routes aliased) by

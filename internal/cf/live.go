@@ -2,6 +2,7 @@ package cf
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 )
@@ -103,28 +104,29 @@ func (p *Predictor) NoteIngestScoped(u dataset.UserID, it dataset.ItemID) *Inges
 	// Candidate dependents: cached users that co-rated with u at their
 	// fill time (the reverse index), plus the raters of it — the users
 	// the ingest itself newly connects to u. Everyone else's sims to u
-	// were zero before and after.
+	// were zero before and after. Deduplicate first (deterministic
+	// order: reverse index, then rater list), then recheck — on the
+	// per-shard pool when configured, serially otherwise; the verdicts
+	// are identical either way.
 	seen := map[dataset.UserID]struct{}{u: {}}
-	recheck := func(v dataset.UserID) {
-		if _, ok := seen[v]; ok {
-			return
-		}
-		seen[v] = struct{}{}
-		stale, wasCached := p.recheckNeighborhood(v, u)
-		if !wasCached {
-			return
-		}
-		scope.Rechecked++
-		if stale && p.dropNeighborhood(v) {
-			dropped[p.sm.Of(int64(v))]++
-			scope.Stale[v] = struct{}{}
-		}
-	}
+	var candidates []dataset.UserID
 	for _, v := range p.deps.dependentsOf(u) {
-		recheck(v)
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			candidates = append(candidates, v)
+		}
 	}
 	for _, r := range p.store.ByItem(it) {
-		recheck(r.User)
+		if _, ok := seen[r.User]; !ok {
+			seen[r.User] = struct{}{}
+			candidates = append(candidates, r.User)
+		}
+	}
+	rechecked, staleUsers := p.recheckCandidates(candidates, u)
+	scope.Rechecked = rechecked
+	for _, v := range staleUsers {
+		dropped[p.sm.Of(int64(v))]++
+		scope.Stale[v] = struct{}{}
 	}
 
 	// Snapshot-restored neighborhoods carry no co-rater lists, so the
@@ -153,6 +155,84 @@ func (p *Predictor) NoteIngestScoped(u dataset.UserID, it dataset.ItemID) *Inges
 		scope.Retained += sizes[pi] - dropped[pi]
 	}
 	return scope
+}
+
+// recheckCandidates verifies every candidate's cached neighborhood
+// against the ingesting user u, dropping the stale ones, and reports
+// how many were actually rechecked (cached) plus the dropped users in
+// candidate order. Candidates are independent — each verdict reads
+// only that user's cached neighborhood and one fresh sim(v, u), and a
+// drop touches only that user's part locks and the striped dependency
+// index — so they run on a bounded pool when one is configured,
+// bucketed by shard part (or cache stripe in a 1-part world) to keep
+// concurrent workers off each other's locks. Verdicts land in
+// per-candidate slots and are merged in candidate order, so counters,
+// the stale set, and every served byte are identical to the serial
+// path's.
+func (p *Predictor) recheckCandidates(candidates []dataset.UserID, u dataset.UserID) (rechecked int, staleUsers []dataset.UserID) {
+	if len(candidates) == 0 {
+		return 0, nil
+	}
+	type verdict struct{ rechecked, dropped bool }
+	verdicts := make([]verdict, len(candidates))
+	run := func(i int) {
+		v := candidates[i]
+		stale, wasCached := p.recheckNeighborhood(v, u)
+		if !wasCached {
+			return
+		}
+		verdicts[i].rechecked = true
+		if stale && p.dropNeighborhood(v) {
+			verdicts[i].dropped = true
+		}
+	}
+	workers := p.RecheckWorkers()
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		for i := range candidates {
+			run(i)
+		}
+	} else {
+		// Bucket by lock domain: the shard part in a sharded world, the
+		// inner cache stripe otherwise. A worker then drops only on its
+		// own buckets' locks instead of convoying with its peers.
+		domain := func(v dataset.UserID) int {
+			if p.sm.N() > 1 {
+				return p.sm.Of(int64(v))
+			}
+			return int(shardIndex(uint64(v)))
+		}
+		buckets := make([][]int, workers)
+		for i, v := range candidates {
+			b := domain(v) % workers
+			buckets[b] = append(buckets[b], i)
+		}
+		var wg sync.WaitGroup
+		for _, idxs := range buckets {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					run(i)
+				}
+			}(idxs)
+		}
+		wg.Wait()
+	}
+	for i, vd := range verdicts {
+		if vd.rechecked {
+			rechecked++
+		}
+		if vd.dropped {
+			staleUsers = append(staleUsers, candidates[i])
+		}
+	}
+	return rechecked, staleUsers
 }
 
 // recheckNeighborhood decides whether v's cached neighborhood survives

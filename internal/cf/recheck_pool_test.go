@@ -1,0 +1,112 @@
+package cf
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+// TestRecheckPoolMatchesSerial is the recheck-pool differential: a
+// predictor rechecking scoped-ingest candidates on a worker pool must
+// produce bit-identical results to the serial walk — same stale set,
+// same dropped/retained/rechecked counters, same per-part invalidation
+// stats, and same surviving neighborhoods — across shard counts and
+// a sustained ingest sequence. The pool only parallelizes the verdict
+// computation; the merge is serial in candidate order, so nothing
+// observable may move.
+func TestRecheckPoolMatchesSerial(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s := randomStore(t, 40, 30, 500, 11)
+		serial, err := NewPredictor(s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := NewPredictor(s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 {
+			m, _ := shard.New(shards)
+			serial.SetSharding(m)
+			pooled.SetSharding(m)
+		}
+		serial.SetRecheckWorkers(-1) // serial walk
+		pooled.SetRecheckWorkers(4)
+
+		users := s.Users()
+		items := s.Items()
+		for _, u := range users {
+			serial.Neighbors(u)
+			pooled.Neighbors(u)
+		}
+
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 40; i++ {
+			u := users[rng.Intn(len(users))]
+			it := items[rng.Intn(len(items))]
+			if err := s.Apply(dataset.Rating{User: u, Item: it, Value: float64(1 + rng.Intn(5)), Time: 1}); err != nil {
+				t.Fatal(err)
+			}
+			ss := serial.NoteIngestScoped(u, it)
+			ps := pooled.NoteIngestScoped(u, it)
+			if !reflect.DeepEqual(ss, ps) {
+				t.Fatalf("shards=%d ingest %d (u%d,i%d): scope diverged\nserial %+v\npooled %+v",
+					shards, i, u, it, ss, ps)
+			}
+			// Re-warm a prefix so later ingests find cached dependents.
+			for _, w := range users[:10] {
+				serial.Neighbors(w)
+				pooled.Neighbors(w)
+			}
+		}
+
+		sst, pst := serial.Stats(), pooled.Stats()
+		if sst.Invalidated != pst.Invalidated || sst.Retained != pst.Retained || sst.Size != pst.Size {
+			t.Errorf("shards=%d: stats diverged: serial %+v, pooled %+v", shards, sst, pst)
+		}
+		cold, err := NewPredictor(s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range users {
+			want := cold.Neighbors(u)
+			if got := pooled.Neighbors(u); !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d: pooled Neighbors(%d) diverged from cold", shards, u)
+			}
+			if got := serial.Neighbors(u); !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d: serial Neighbors(%d) diverged from cold", shards, u)
+			}
+		}
+	}
+}
+
+// TestRecheckWorkersResolution pins the pool-size knob: negative means
+// serial, zero defaults to min(4, GOMAXPROCS), positive is taken
+// verbatim — the value /v1/stats reports as recheck_pool.
+func TestRecheckWorkersResolution(t *testing.T) {
+	s := scopedStore(t)
+	p, err := NewPredictor(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDefault := runtime.GOMAXPROCS(0)
+	if wantDefault > 4 {
+		wantDefault = 4
+	}
+	cases := []struct{ set, want int }{
+		{-1, 1},
+		{0, wantDefault},
+		{1, 1},
+		{7, 7},
+	}
+	for _, c := range cases {
+		p.SetRecheckWorkers(c.set)
+		if got := p.RecheckWorkers(); got != c.want {
+			t.Errorf("SetRecheckWorkers(%d): RecheckWorkers() = %d, want %d", c.set, got, c.want)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -39,6 +40,26 @@ type Assembler struct {
 	// fill order across shards so concurrent workers start on distinct
 	// shards instead of convoying on one sub-store's mutex.
 	sm shard.Map
+	// remote, when attached, replaces the per-user data-plane reads
+	// (view scores, batch predictions) with fetches from the shard
+	// workers that own the users' hot state; the local lists store then
+	// only supplies the global pool mapping. Workers are full replicas
+	// built from the identical configuration, so every fetched value is
+	// bit-identical to what the local path would compute.
+	remote RemotePlane
+}
+
+// RemotePlane is the multi-process data plane the assembler scatters
+// per-member reads over when shards live in worker processes. Both
+// methods route to the worker owning the user's shard; implementations
+// must be safe for concurrent use and return the transport's typed
+// sentinels on failure (the assembler propagates them verbatim).
+type RemotePlane interface {
+	// ViewScores returns u's pool-order normalized preference scores
+	// (the dense side of the sorted-list view, length = pool size).
+	ViewScores(u dataset.UserID) ([]float64, error)
+	// PredictBatch returns raw (1..5 scale) predictions of u for items.
+	PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error)
 }
 
 // New builds an Assembler over src with the given per-call worker
@@ -63,6 +84,11 @@ func (a *Assembler) AttachListStore(lists *liststore.Store) { a.lists = lists }
 // 1-way layout). Call before the assembler starts serving traffic.
 func (a *Assembler) AttachShards(m shard.Map) { a.sm = shard.Normalize(m) }
 
+// AttachRemote routes the per-user data-plane reads through remote
+// shard workers (nil reverts to in-process reads). Call before the
+// assembler starts serving traffic.
+func (a *Assembler) AttachRemote(rp RemotePlane) { a.remote = rp }
+
 // ListStore returns the attached sorted-list store, or nil.
 func (a *Assembler) ListStore() *liststore.Store { return a.lists }
 
@@ -83,17 +109,32 @@ func (a *Assembler) Source() cf.Source { return a.src }
 // should hand it back via Release; callers that expose the matrix
 // beyond their control must simply not Release it, and the pool
 // re-allocates.
-func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, divisor float64) [][]float64 {
+//
+// The error is always nil for in-process reads; with a remote plane
+// attached, a member whose worker cannot serve fails the whole
+// assembly with the transport's typed error (first failing member in
+// group order), and every filled row is returned to the pool.
+func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, divisor float64) ([][]float64, error) {
 	g := len(group)
 	out := make([][]float64, g)
 	if g == 0 {
-		return out
+		return out, nil
 	}
+	errs := make([]error, g)
 	a.forEachMember(g, func(ui int) {
 		row := a.getRow(len(items))
-		if a.into != nil {
+		switch {
+		case a.remote != nil:
+			vals, err := a.remote.PredictBatch(group[ui], items)
+			if err != nil {
+				errs[ui] = err
+				a.putRow(row)
+				return
+			}
+			copy(row, vals)
+		case a.into != nil:
 			a.into.PredictBatchInto(group[ui], items, row)
-		} else {
+		default:
 			copy(row, a.src.PredictBatch(group[ui], items))
 		}
 		for i := range row {
@@ -101,7 +142,23 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 		}
 		out[ui] = row
 	})
-	return out
+	if err := firstError(errs); err != nil {
+		a.Release(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstError returns the first non-nil error in slot order, so a
+// multi-member failure reports deterministically regardless of which
+// concurrent fill failed first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // forEachMember runs fill(ui) for ui in [0,g) over at most
@@ -208,13 +265,20 @@ type ViewAssembly struct {
 // assembles without any cross-shard lock, and the fill order is
 // interleaved across shards so concurrent workers spread over the
 // sub-stores instead of queueing on one.
-func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, divisor float64) (ViewAssembly, bool) {
+// With a remote plane attached, each member's view scores and patch
+// predictions come from the worker owning its shard (the local store
+// still supplies the global pool mapping, and the sorted side is
+// reconstructed from the fetched scores by the same canonical sort a
+// snapshot restore uses — bit-identical to the in-process view). A
+// member whose worker cannot serve fails the assembly with the
+// transport's typed error.
+func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, divisor float64) (ViewAssembly, bool, error) {
 	if a.lists == nil || a.lists.Divisor() != divisor || len(group) == 0 || len(items) == 0 {
-		return ViewAssembly{}, false
+		return ViewAssembly{}, false, nil
 	}
 	mapping := a.lists.MapCandidates(items)
 	if mapping.Matched*2 < len(items) {
-		return ViewAssembly{}, false
+		return ViewAssembly{}, false, nil
 	}
 	patch := items[mapping.Matched:]
 	g := len(group)
@@ -225,8 +289,23 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 			Members: make([]core.MemberView, g),
 		},
 	}
+	errs := make([]error, g)
 	a.forEachMemberOrdered(a.shardInterleavedOrder(group), func(ui int) {
-		v := a.lists.Acquire(group[ui])
+		var v *liststore.View
+		if a.remote != nil {
+			scores, err := a.remote.ViewScores(group[ui])
+			if err == nil && len(scores) != len(mapping.LocalOf) {
+				err = fmt.Errorf("engine: remote view for user %d carries %d scores, pool has %d",
+					group[ui], len(scores), len(mapping.LocalOf))
+			}
+			if err != nil {
+				errs[ui] = err
+				return
+			}
+			v = liststore.ViewFromScores(scores)
+		} else {
+			v = a.lists.Acquire(group[ui])
+		}
 		row := a.getRow(len(items))
 		for p, l := range mapping.LocalOf {
 			if l >= 0 {
@@ -235,7 +314,18 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 		}
 		mv := core.MemberView{View: v.Sorted}
 		if len(patch) > 0 {
-			pv := a.src.PredictBatch(group[ui], patch)
+			var pv []float64
+			if a.remote != nil {
+				var err error
+				pv, err = a.remote.PredictBatch(group[ui], patch)
+				if err != nil {
+					errs[ui] = err
+					a.putRow(row)
+					return
+				}
+			} else {
+				pv = a.src.PredictBatch(group[ui], patch)
+			}
 			pe := make([]core.Entry, len(patch))
 			for i := range patch {
 				val := pv[i] / divisor
@@ -248,7 +338,11 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 		va.Rows[ui] = row
 		va.Views.Members[ui] = mv
 	})
-	return va, true
+	if err := firstError(errs); err != nil {
+		a.Release(va.Rows)
+		return ViewAssembly{}, false, err
+	}
+	return va, true, nil
 }
 
 // Release returns AprefRows buffers to the pool. The caller must hold
@@ -272,4 +366,11 @@ func (a *Assembler) getRow(n int) []float64 {
 	// No zeroing: Source predictions are total, so every element is
 	// overwritten before the row is read.
 	return (*p)[:n]
+}
+
+// putRow hands a single row back to the pool (failed fills that never
+// published their row into the output matrix).
+func (a *Assembler) putRow(row []float64) {
+	r := row[:0]
+	a.rows.Put(&r)
 }

@@ -38,6 +38,18 @@ func testSubstrate(t *testing.T) (*dataset.Store, *cf.Predictor) {
 	return s, p
 }
 
+// mustAprefRows unwraps the (rows, error) pair for the local-only
+// assemblers these tests build: without a remote plane attached,
+// AprefRows cannot fail.
+func mustAprefRows(t *testing.T, a *Assembler, group []dataset.UserID, items []dataset.ItemID) [][]float64 {
+	t.Helper()
+	rows, err := a.AprefRows(group, items, 5)
+	if err != nil {
+		t.Fatalf("AprefRows: %v", err)
+	}
+	return rows
+}
+
 func TestAprefRowsMatchesSequentialFill(t *testing.T) {
 	_, pred := testSubstrate(t)
 	group := []dataset.UserID{0, 3, 7, 12, 25}
@@ -45,8 +57,8 @@ func TestAprefRowsMatchesSequentialFill(t *testing.T) {
 
 	sequential := New(pred, 1)
 	parallel := New(pred, 8)
-	want := sequential.AprefRows(group, items, 5)
-	got := parallel.AprefRows(group, items, 5)
+	want := mustAprefRows(t, sequential, group, items)
+	got := mustAprefRows(t, parallel, group, items)
 	if len(got) != len(want) {
 		t.Fatalf("row count %d, want %d", len(got), len(want))
 	}
@@ -73,7 +85,7 @@ func TestAprefRowsReleaseRecyclesBuffers(t *testing.T) {
 	group := []dataset.UserID{1, 2}
 	items := []dataset.ItemID{0, 1, 2, 3}
 
-	rows := a.AprefRows(group, items, 5)
+	rows := mustAprefRows(t, a, group, items)
 	first := &rows[0][0]
 	a.Release(rows)
 	for _, row := range rows {
@@ -85,7 +97,7 @@ func TestAprefRowsReleaseRecyclesBuffers(t *testing.T) {
 	// buffer. sync.Pool gives no hard guarantee, so only check when the
 	// pool did return one — the point is that reuse produces correct
 	// values, which AprefRowsMatchesSequentialFill already pins.
-	again := a.AprefRows(group, items, 5)
+	again := mustAprefRows(t, a, group, items)
 	reused := false
 	for _, row := range again {
 		if &row[0] == first {
@@ -93,7 +105,7 @@ func TestAprefRowsReleaseRecyclesBuffers(t *testing.T) {
 		}
 	}
 	_ = reused // informational; no assertion (pool behavior is advisory)
-	seq := New(pred, 1).AprefRows(group, items, 5)
+	seq := mustAprefRows(t, New(pred, 1), group, items)
 	for ui := range seq {
 		for i := range seq[ui] {
 			if again[ui][i] != seq[ui][i] {
@@ -106,7 +118,11 @@ func TestAprefRowsReleaseRecyclesBuffers(t *testing.T) {
 func TestAprefRowsEmptyGroup(t *testing.T) {
 	_, pred := testSubstrate(t)
 	a := New(pred, 4)
-	if rows := a.AprefRows(nil, []dataset.ItemID{1, 2}, 5); len(rows) != 0 {
+	rows, err := a.AprefRows(nil, []dataset.ItemID{1, 2}, 5)
+	if err != nil {
+		t.Fatalf("AprefRows: %v", err)
+	}
+	if len(rows) != 0 {
 		t.Errorf("empty group produced %d rows", len(rows))
 	}
 }
@@ -136,8 +152,11 @@ func TestAprefViewsMatchesDenseRows(t *testing.T) {
 		"patched":  {pool[1], pool[3], pool[5], foreign},
 	}
 	for name, items := range slices {
-		want := dense.AprefRows(group, items, 5)
-		va, ok := served.AprefViews(group, items, 5)
+		want := mustAprefRows(t, dense, group, items)
+		va, ok, err := served.AprefViews(group, items, 5)
+		if err != nil {
+			t.Fatalf("%s: AprefViews: %v", name, err)
+		}
 		if !ok {
 			t.Fatalf("%s: store did not serve", name)
 		}
@@ -168,20 +187,20 @@ func TestAprefViewsFallsBack(t *testing.T) {
 	group := []dataset.UserID{1, 2}
 
 	bare := New(pred, 1)
-	if _, ok := bare.AprefViews(group, pool[:4], 5); ok {
+	if _, ok, _ := bare.AprefViews(group, pool[:4], 5); ok {
 		t.Error("assembler without a store served views")
 	}
 
 	a := New(pred, 1)
 	a.AttachListStore(liststore.New(pred, pool, 16, 5))
-	if _, ok := a.AprefViews(group, pool[:4], 4); ok {
+	if _, ok, _ := a.AprefViews(group, pool[:4], 4); ok {
 		t.Error("divisor mismatch served views")
 	}
 	foreign := []dataset.ItemID{9001, 9002, 9003, pool[0]}
-	if _, ok := a.AprefViews(group, foreign, 5); ok {
+	if _, ok, _ := a.AprefViews(group, foreign, 5); ok {
 		t.Error("mostly-foreign candidate slice served views")
 	}
-	if _, ok := a.AprefViews(nil, pool[:4], 5); ok {
+	if _, ok, _ := a.AprefViews(nil, pool[:4], 5); ok {
 		t.Error("empty group served views")
 	}
 }

@@ -36,8 +36,11 @@ func TestAprefViewsShardedIdentical(t *testing.T) {
 			t.Fatalf("test group spans %d shards, want >= 2", len(seen))
 		}
 		items := append(append([]dataset.ItemID{}, pool[:10]...), 999) // 999: patch item
-		want, ok1 := plain.AprefViews(group, items, 5)
-		got, ok2 := sharded.AprefViews(group, items, 5)
+		want, ok1, err1 := plain.AprefViews(group, items, 5)
+		got, ok2, err2 := sharded.AprefViews(group, items, 5)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("workers=%d: AprefViews errored (plain %v, sharded %v)", workers, err1, err2)
+		}
 		if !ok1 || !ok2 {
 			t.Fatalf("workers=%d: view assembly declined (plain %v, sharded %v)", workers, ok1, ok2)
 		}

@@ -363,6 +363,14 @@ func viewFromScores(scores []float64) *View {
 	return &View{Scores: scores, Sorted: &core.SortedView{Entries: entries}}
 }
 
+// ViewFromScores derives the canonical sorted side of a view from its
+// dense pool-order normalized scores — the same deterministic
+// construction Build and the snapshot-restore path share. The remote
+// data plane uses it to reconstruct a worker's view from the score
+// vector shipped over the wire, bit-identically to a view built in
+// place.
+func ViewFromScores(scores []float64) *View { return viewFromScores(scores) }
+
 // Invalidate drops u's view (rating ingest must call this for every
 // user whose preferences changed; the next Acquire rebuilds). Only u's
 // shard part is locked. It reports whether a view was actually

@@ -1,0 +1,564 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+// ClientConfig tunes the router side of the transport. The zero value
+// is usable; Fingerprint and Shards must be set before the first call
+// (the ShardSet's Handshake does).
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (1s if 0).
+	DialTimeout time.Duration
+	// CallTimeout bounds one whole call — write, every response frame,
+	// terminal frame (2s if 0). Expiry maps to ErrShardTimeout.
+	CallTimeout time.Duration
+	// Retries bounds re-dial attempts for idempotent reads after a
+	// transport failure (2 if 0, negative disables). Writes (rating
+	// apply) never retry: the transport is at-most-once for them.
+	Retries int
+	// Backoff is the base retry backoff, doubled per attempt (5ms if 0).
+	Backoff time.Duration
+	// PoolSize bounds idle pooled connections per worker (4 if 0).
+	PoolSize int
+	// Fingerprint and Shards identify the router's world; every fresh
+	// connection handshakes them against the worker.
+	Fingerprint uint64
+	Shards      int
+}
+
+func (c *ClientConfig) fill() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 5 * time.Millisecond
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 4
+	}
+}
+
+// Client speaks the shard protocol to one worker. Connections are
+// pooled and used in lockstep (one in-flight call per connection);
+// concurrent calls each take their own connection. Safe for
+// concurrent use.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient builds a client for the worker at addr. No connection is
+// made until the first call (or Ping).
+func NewClient(addr string, cfg ClientConfig) *Client {
+	cfg.fill()
+	return &Client{addr: addr, cfg: cfg}
+}
+
+// Addr returns the worker address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close severs the idle pool. In-flight calls fail on their own.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}
+
+// getConn returns a pooled connection or dials and handshakes a fresh
+// one. Handshake failures that are configuration-shaped surface as
+// ErrConfigMismatch; everything transport-shaped wraps
+// ErrShardUnavailable.
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client closed (worker %s)", ErrShardUnavailable, c.addr)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dialing worker %s: %v", ErrShardUnavailable, c.addr, err)
+	}
+	if err := c.handshake(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (c *Client) handshake(conn net.Conn) error {
+	deadline := time.Now().Add(c.cfg.CallTimeout)
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	seq := c.seq.Add(1)
+	h := hello{Fingerprint: c.cfg.Fingerprint, Shards: uint32(c.cfg.Shards)}
+	if err := writeFrame(conn, frame{kind: kindHello, seq: seq, payload: encodeHello(h)}); err != nil {
+		return c.transportErr("hello", err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return c.transportErr("hello", err)
+	}
+	switch f.kind {
+	case kindHelloAck:
+		return nil
+	case kindError:
+		return decodeAppError(f.payload)
+	default:
+		return fmt.Errorf("%w: hello answered by frame kind %d", ErrProtocol, f.kind)
+	}
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= c.cfg.PoolSize {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// transportErr classifies a low-level failure: deadline expiries are
+// ErrShardTimeout, everything else (reset, torn frame, corrupt frame)
+// is ErrShardUnavailable. Both carry the worker address.
+func (c *Client) transportErr(op string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %s to worker %s: %v", ErrShardTimeout, op, c.addr, err)
+	}
+	return fmt.Errorf("%w: %s to worker %s: %v", ErrShardUnavailable, op, c.addr, err)
+}
+
+// call runs one request/response exchange: write the request frame,
+// deliver every progress frame to onProgress (may be nil), return the
+// terminal result payload. Transport failures close the connection
+// and, for idempotent ops, retry on a fresh one with doubling backoff.
+func (c *Client) call(op uint8, payload []byte, idempotent bool, onProgress func([]byte) error) ([]byte, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.cfg.Retries
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Backoff << (attempt - 1))
+		}
+		var out []byte
+		out, err = c.callOnce(op, payload, onProgress)
+		if err == nil {
+			return out, nil
+		}
+		// Only transport-unavailable failures retry: an application
+		// error is a delivered answer, and a timeout already consumed
+		// the latency budget.
+		if !errors.Is(err, ErrShardUnavailable) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+func (c *Client) callOnce(op uint8, payload []byte, onProgress func([]byte) error) ([]byte, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.CallTimeout)
+	_ = conn.SetDeadline(deadline)
+	seq := c.seq.Add(1)
+	if err := writeFrame(conn, frame{kind: kindRequest, op: op, seq: seq, payload: payload}); err != nil {
+		conn.Close()
+		return nil, c.transportErr("request", err)
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, c.transportErr("response", err)
+		}
+		if f.seq != seq || f.op != op {
+			conn.Close()
+			return nil, fmt.Errorf("%w: response (seq %d, op %d) for request (seq %d, op %d)", ErrProtocol, f.seq, f.op, seq, op)
+		}
+		switch f.kind {
+		case kindProgress:
+			if onProgress != nil {
+				if err := onProgress(f.payload); err != nil {
+					conn.Close()
+					return nil, err
+				}
+			}
+		case kindResult:
+			_ = conn.SetDeadline(time.Time{})
+			c.putConn(conn)
+			return f.payload, nil
+		case kindError:
+			_ = conn.SetDeadline(time.Time{})
+			c.putConn(conn)
+			return nil, decodeAppError(f.payload)
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("%w: unexpected frame kind %d", ErrProtocol, f.kind)
+		}
+	}
+}
+
+// Ping dials (or reuses) a connection and verifies the handshake — the
+// eager liveness and configuration check AttachRemote runs per worker.
+func (c *Client) Ping() error {
+	conn, err := c.getConn()
+	if err != nil {
+		return err
+	}
+	c.putConn(conn)
+	return nil
+}
+
+// ViewScores fetches u's pool-order normalized view scores, gathering
+// the chunked progress frames into one dense slice.
+func (c *Client) ViewScores(u dataset.UserID) ([]float64, error) {
+	var scores []float64
+	gather := func(p []byte) error {
+		chunk, err := decodeViewChunk(p)
+		if err != nil {
+			return err
+		}
+		if scores == nil {
+			scores = make([]float64, chunk.Total)
+		}
+		if int(chunk.Offset)+len(chunk.Scores) > len(scores) {
+			return fmt.Errorf("%w: view chunk overflows total %d", ErrProtocol, len(scores))
+		}
+		copy(scores[chunk.Offset:], chunk.Scores)
+		return nil
+	}
+	last, err := c.call(opView, encodeUser(u), true, gather)
+	if err != nil {
+		return nil, err
+	}
+	if err := gather(last); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// PredictBatch fetches raw (1..5 scale) predictions of u for items.
+func (c *Client) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	out, err := c.call(opPredict, encodePredictReq(predictReq{User: u, Items: items}), true, nil)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := decodeF64s(out)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(items) {
+		return nil, fmt.Errorf("%w: %d predictions for %d items", ErrProtocol, len(vals), len(items))
+	}
+	return vals, nil
+}
+
+// Apply fans one rating into the worker's replica. Never retried: the
+// transport is at-most-once for writes.
+func (c *Client) Apply(r dataset.Rating) (ApplyAck, error) {
+	out, err := c.call(opApply, encodeRating(r), false, nil)
+	if err != nil {
+		return ApplyAck{}, err
+	}
+	return decodeApplyAck(out)
+}
+
+// InvalidateUser drops u's cached rows and view on the worker.
+func (c *Client) InvalidateUser(u dataset.UserID) (bool, error) {
+	out, err := c.call(opInvalidate, encodeUser(u), true, nil)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(out)
+}
+
+// ShardStats fetches the worker's per-owned-shard cache counters.
+func (c *Client) ShardStats() ([]ShardStats, error) {
+	out, err := c.call(opStats, nil, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStats(out)
+}
+
+// Topology is the static membership configuration: the world's shard
+// count and which worker serves which shards. Every shard must be
+// owned by exactly one worker.
+type Topology struct {
+	Shards  int      `json:"shards"`
+	Workers []Worker `json:"workers"`
+}
+
+// Worker is one worker process in the topology.
+type Worker struct {
+	Addr string `json:"addr"`
+	Owns []int  `json:"owns"`
+}
+
+// ParseTopology decodes and validates a topology: positive shard
+// count, every shard owned exactly once, no unknown fields.
+func ParseTopology(data []byte) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("remote: decoding topology: %w", err)
+	}
+	if t.Shards < 1 {
+		return Topology{}, fmt.Errorf("remote: topology shard count %d, want >= 1", t.Shards)
+	}
+	if len(t.Workers) == 0 {
+		return Topology{}, fmt.Errorf("remote: topology has no workers")
+	}
+	owner := make([]string, t.Shards)
+	for _, w := range t.Workers {
+		if w.Addr == "" {
+			return Topology{}, fmt.Errorf("remote: topology worker with empty addr")
+		}
+		if len(w.Owns) == 0 {
+			return Topology{}, fmt.Errorf("remote: worker %s owns no shards", w.Addr)
+		}
+		for _, s := range w.Owns {
+			if s < 0 || s >= t.Shards {
+				return Topology{}, fmt.Errorf("remote: worker %s owns shard %d outside [0,%d)", w.Addr, s, t.Shards)
+			}
+			if owner[s] != "" {
+				return Topology{}, fmt.Errorf("remote: shard %d owned by both %s and %s", s, owner[s], w.Addr)
+			}
+			owner[s] = w.Addr
+		}
+	}
+	for s, a := range owner {
+		if a == "" {
+			return Topology{}, fmt.Errorf("remote: shard %d has no owner", s)
+		}
+	}
+	return t, nil
+}
+
+// LoadTopology reads and validates a topology file (the router's
+// -shards-config flag).
+func LoadTopology(path string) (Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("remote: reading topology: %w", err)
+	}
+	return ParseTopology(data)
+}
+
+// ShardSet is the router's view of the worker fleet: one client per
+// worker, the shard→owner routing, and the scatter/gather data-plane
+// operations the world plugs in behind its shard.Map. Safe for
+// concurrent use.
+type ShardSet struct {
+	top     Topology
+	sm      shard.Map
+	owner   []*Client // per shard
+	clients []*Client // distinct, in worker order
+	// fanoutErrs counts non-owner apply deliveries that failed — those
+	// workers' shards are already degraded for reads, so the ingest
+	// proceeds, but the misses are observable.
+	fanoutErrs atomic.Uint64
+}
+
+// NewShardSet builds the client fleet for a topology. cfg.Fingerprint
+// and cfg.Shards are overwritten by Handshake; connections are dialed
+// lazily.
+func NewShardSet(top Topology, cfg ClientConfig) (*ShardSet, error) {
+	if len(top.Workers) == 0 {
+		return nil, fmt.Errorf("remote: empty topology")
+	}
+	sm := hashMapFor(top.Shards)
+	s := &ShardSet{top: top, sm: sm, owner: make([]*Client, top.Shards)}
+	for _, w := range top.Workers {
+		cl := NewClient(w.Addr, cfg)
+		s.clients = append(s.clients, cl)
+		for _, sh := range w.Owns {
+			if sh < 0 || sh >= top.Shards || s.owner[sh] != nil {
+				return nil, fmt.Errorf("remote: invalid topology: shard %d", sh)
+			}
+			s.owner[sh] = cl
+		}
+	}
+	for sh, cl := range s.owner {
+		if cl == nil {
+			return nil, fmt.Errorf("remote: shard %d has no owner", sh)
+		}
+	}
+	return s, nil
+}
+
+// hashMapFor returns the canonical n-way hash map (n validated by the
+// topology/world already).
+func hashMapFor(n int) shard.Map {
+	m, err := shard.New(n)
+	if err != nil {
+		panic(err) // unreachable: n >= 1 is validated upstream
+	}
+	return m
+}
+
+// Handshake pins the world identity every connection must present and
+// eagerly verifies every worker is reachable and agrees. Call once,
+// before serving.
+func (s *ShardSet) Handshake(fingerprint uint64, shards int) error {
+	if shards != s.top.Shards {
+		return fmt.Errorf("%w: world has %d shards, topology %d", ErrConfigMismatch, shards, s.top.Shards)
+	}
+	for _, cl := range s.clients {
+		cl.cfg.Fingerprint = fingerprint
+		cl.cfg.Shards = shards
+	}
+	for _, cl := range s.clients {
+		if err := cl.Ping(); err != nil {
+			return fmt.Errorf("worker %s: %w", cl.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Shards returns the topology's shard count.
+func (s *ShardSet) Shards() int { return s.top.Shards }
+
+// Owner returns the client owning shard sh.
+func (s *ShardSet) Owner(sh int) *Client { return s.owner[sh] }
+
+// ownerOf routes a user to its owning client.
+func (s *ShardSet) ownerOf(u dataset.UserID) *Client { return s.owner[s.sm.Of(int64(u))] }
+
+// ViewScores fetches u's view scores from its owning worker.
+func (s *ShardSet) ViewScores(u dataset.UserID) ([]float64, error) {
+	return s.ownerOf(u).ViewScores(u)
+}
+
+// PredictBatch fetches predictions from u's owning worker.
+func (s *ShardSet) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	return s.ownerOf(u).PredictBatch(u, items)
+}
+
+// Apply fans a rating out to every worker — each holds a full replica
+// of the rating store, and a worker's neighborhoods for its own users
+// depend on every user's vector, so every replica must ingest every
+// rating, in the same order (the router serializes applies under its
+// ingest lock). The owner's ack is returned; an unreachable owner
+// fails the call (its shards cannot ack the write). A non-owner
+// failure is tolerated and counted: that worker's shards are already
+// degraded for reads, and static membership means it never serves
+// again without a restart.
+func (s *ShardSet) Apply(r dataset.Rating) (ApplyAck, error) {
+	owner := s.ownerOf(r.User)
+	var ack ApplyAck
+	var ownerErr error
+	for _, cl := range s.clients {
+		a, err := cl.Apply(r)
+		if cl == owner {
+			ack, ownerErr = a, err
+		} else if err != nil {
+			s.fanoutErrs.Add(1)
+		}
+	}
+	if ownerErr != nil {
+		return ApplyAck{}, ownerErr
+	}
+	return ack, nil
+}
+
+// FanoutErrors reports non-owner apply deliveries that failed.
+func (s *ShardSet) FanoutErrors() uint64 { return s.fanoutErrs.Load() }
+
+// InvalidateUser drops u's derived state on its owning worker.
+func (s *ShardSet) InvalidateUser(u dataset.UserID) (bool, error) {
+	return s.ownerOf(u).InvalidateUser(u)
+}
+
+// StatsByShard gathers every worker's per-shard cache counters into
+// shard order. Unreachable workers leave zero-valued entries (their
+// shards are degraded, not absent); ok[sh] reports which entries are
+// live. The first error is returned alongside for logging.
+func (s *ShardSet) StatsByShard() ([]ShardStats, []bool, error) {
+	out := make([]ShardStats, s.top.Shards)
+	ok := make([]bool, s.top.Shards)
+	for i := range out {
+		out[i].Shard = i
+	}
+	var firstErr error
+	for _, cl := range s.clients {
+		ss, err := cl.ShardStats()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, st := range ss {
+			if st.Shard >= 0 && st.Shard < len(out) {
+				out[st.Shard] = st
+				ok[st.Shard] = true
+			}
+		}
+	}
+	return out, ok, firstErr
+}
+
+// Close severs every client's pool.
+func (s *ShardSet) Close() {
+	for _, cl := range s.clients {
+		cl.Close()
+	}
+}
+
+// Addrs lists the distinct worker addresses in topology order (logs
+// and tests).
+func (s *ShardSet) Addrs() []string {
+	addrs := make([]string, 0, len(s.clients))
+	for _, cl := range s.clients {
+		addrs = append(addrs, cl.Addr())
+	}
+	sort.Strings(addrs)
+	return addrs
+}

@@ -1,0 +1,187 @@
+// Package remote is the multi-process transport of the sharded world:
+// a length-prefixed binary RPC layer that puts shard workers in their
+// own processes behind the same shard.Map routing the in-process world
+// uses. A greca-shard worker owns the per-user hot state of the shards
+// assigned to it — rating arena replica, CF caches, sorted-list
+// sub-store — and serves the per-shard data-plane operations (view
+// fetch, batch predict, rating apply, invalidate, stats) to the
+// router, which scatters mixed-shard groups, gathers rows, and runs
+// the GRECA core locally. Sharding — local or remote — only moves
+// where state lives, never any computed value, so a router fronting N
+// worker processes serves byte-identical responses to the in-process
+// world at the same shard count.
+//
+// Framing shares the persistence layer's record style: every frame
+// carries a magic, a protocol version, a per-connection sequence
+// number (responses echo their request's — ordering matters on a
+// multiplexed connection), a length-prefixed payload, and its own
+// CRC32, so a torn stream or a flipped bit is detected per frame and
+// mapped to a typed error instead of silently decoding garbage.
+// Responses follow the anytime contract's transport-agnostic shape:
+// zero or more progress frames, then exactly one terminal frame
+// (result or error) — the same progress-then-terminal discipline the
+// SSE surface speaks, carried here by view fetches streaming their
+// score chunks.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout (little-endian), mirroring the persist record style:
+//
+//	magic   u32  "GRCA"
+//	version u16  protocol version
+//	kind    u8   frame kind (hello, request, progress, result, error)
+//	op      u8   operation (requests; echoed by every response frame)
+//	seq     u64  per-connection sequence, echoed by responses
+//	length  u32  payload byte count
+//	payload length bytes
+//	crc     u32  CRC32 (IEEE) over header + payload
+const (
+	frameMagic   = uint32(0x41435247) // "GRCA" little-endian
+	frameVersion = uint16(1)
+	frameHdrLen  = 4 + 2 + 1 + 1 + 8 + 4
+	frameCRCLen  = 4
+)
+
+// MaxPayload bounds a single frame's payload. The largest legitimate
+// payload — a view chunk or a batch-predict row over a full candidate
+// pool — is a few hundred KB; anything past the bound is a corrupt
+// length field or a misbehaving peer, rejected before allocation.
+const MaxPayload = 8 << 20
+
+// Frame kinds. A request is answered by zero or more kindProgress
+// frames followed by exactly one terminal frame (kindResult or
+// kindError) — the transport form of the anytime contract.
+const (
+	kindHello    = uint8(1) // connection handshake, router → worker
+	kindHelloAck = uint8(2) // handshake accept, worker → router
+	kindRequest  = uint8(3)
+	kindProgress = uint8(4) // non-terminal response frame
+	kindResult   = uint8(5) // terminal success
+	kindError    = uint8(6) // terminal failure (code + message payload)
+)
+
+// Operations of the per-shard data plane.
+const (
+	opView       = uint8(1) // user → pool-order normalized view scores
+	opPredict    = uint8(2) // (user, items) → raw predictions
+	opApply      = uint8(3) // rating → apply + scoped invalidation + ack
+	opInvalidate = uint8(4) // user → drop cached rows and view
+	opStats      = uint8(5) // () → per-owned-shard cache stats
+)
+
+// Typed framing and transport errors. The client maps everything
+// transport-shaped onto ErrShardUnavailable / ErrShardTimeout for the
+// serving layer; the finer-grained sentinels below are what the
+// framing tests pin and what diagnostics wrap.
+var (
+	// ErrTornFrame marks a stream that ended mid-frame — a crashed or
+	// killed peer, detected by a short read inside a frame.
+	ErrTornFrame = errors.New("remote: torn frame")
+	// ErrBadFrame marks a frame whose magic is wrong — the peer is not
+	// speaking this protocol (or the stream lost sync).
+	ErrBadFrame = errors.New("remote: bad frame magic")
+	// ErrVersionSkew marks a frame from a different protocol version;
+	// router and workers must be deployed from the same build.
+	ErrVersionSkew = errors.New("remote: protocol version skew")
+	// ErrFrameTooLarge marks a length field past MaxPayload.
+	ErrFrameTooLarge = errors.New("remote: frame exceeds payload bound")
+	// ErrCRCMismatch marks a frame whose checksum does not cover its
+	// bytes — corruption in transit.
+	ErrCRCMismatch = errors.New("remote: frame CRC mismatch")
+	// ErrConfigMismatch marks a worker built from a different world
+	// configuration (hello fingerprint or shard-count disagreement).
+	ErrConfigMismatch = errors.New("remote: world configuration mismatch")
+	// ErrProtocol marks a well-formed frame that violates the RPC
+	// discipline (wrong sequence, unexpected kind).
+	ErrProtocol = errors.New("remote: protocol violation")
+
+	// ErrShardUnavailable is the serving-layer verdict for a shard
+	// whose worker cannot be reached (dial failure, dead connection,
+	// mid-call disconnect) after the bounded retries. The HTTP surface
+	// maps it to 503 + Retry-After.
+	ErrShardUnavailable = errors.New("remote: shard unavailable")
+	// ErrShardTimeout is the serving-layer verdict for a call that
+	// exceeded its deadline while the worker stayed connected. The
+	// HTTP surface maps it to 504.
+	ErrShardTimeout = errors.New("remote: shard timeout")
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    uint8
+	op      uint8
+	seq     uint64
+	payload []byte
+}
+
+// writeFrame encodes and writes one frame. The payload is bounded by
+// MaxPayload on the write side too, so an oversized response is a
+// local error instead of a peer's decode failure.
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
+	}
+	buf := make([]byte, frameHdrLen+len(f.payload)+frameCRCLen)
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	binary.LittleEndian.PutUint16(buf[4:], frameVersion)
+	buf[6] = f.kind
+	buf[7] = f.op
+	binary.LittleEndian.PutUint64(buf[8:], f.seq)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(f.payload)))
+	copy(buf[frameHdrLen:], f.payload)
+	crc := crc32.ChecksumIEEE(buf[:frameHdrLen+len(f.payload)])
+	binary.LittleEndian.PutUint32(buf[frameHdrLen+len(f.payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame. A clean EOF at a frame
+// boundary returns io.EOF untouched (the peer closed between
+// requests); a short read inside a frame is a torn frame.
+func readFrame(r io.Reader) (frame, error) {
+	hdr := make([]byte, frameHdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return frame{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return frame{}, fmt.Errorf("%w: stream ended inside header", ErrTornFrame)
+		}
+		return frame{}, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return frame{}, ErrBadFrame
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != frameVersion {
+		return frame{}, fmt.Errorf("%w: got version %d, want %d", ErrVersionSkew, v, frameVersion)
+	}
+	length := binary.LittleEndian.Uint32(hdr[16:])
+	if length > MaxPayload {
+		return frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	body := make([]byte, int(length)+frameCRCLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return frame{}, fmt.Errorf("%w: stream ended inside payload", ErrTornFrame)
+		}
+		return frame{}, err
+	}
+	crc := crc32.ChecksumIEEE(hdr)
+	crc = crc32.Update(crc, crc32.IEEETable, body[:length])
+	if binary.LittleEndian.Uint32(body[length:]) != crc {
+		return frame{}, ErrCRCMismatch
+	}
+	return frame{
+		kind:    hdr[6],
+		op:      hdr[7],
+		seq:     binary.LittleEndian.Uint64(hdr[8:]),
+		payload: body[:length:length],
+	}, nil
+}

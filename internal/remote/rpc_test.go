@@ -1,0 +1,624 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// fakeBackend is a deterministic in-memory Backend: scores and
+// predictions are pure functions of their inputs, so the loopback
+// tests can assert exact values without a real world.
+type fakeBackend struct {
+	fp     uint64
+	shards int
+	owned  []int
+
+	mu       sync.Mutex
+	applied  []dataset.Rating
+	applyErr error
+	viewLen  int
+	delay    time.Duration
+}
+
+func (b *fakeBackend) Fingerprint() uint64 { return b.fp }
+func (b *fakeBackend) Shards() int         { return b.shards }
+func (b *fakeBackend) Owned() []int        { return b.owned }
+
+func (b *fakeBackend) ViewScores(u dataset.UserID) ([]float64, error) {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	n := b.viewLen
+	if n == 0 {
+		n = 10
+	}
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(u)*1000 + float64(i)
+	}
+	return scores, nil
+}
+
+func (b *fakeBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = float64(u) + float64(it)/100
+	}
+	return out, nil
+}
+
+func (b *fakeBackend) Apply(r dataset.Rating) (ApplyAck, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.applyErr != nil {
+		return ApplyAck{}, b.applyErr
+	}
+	b.applied = append(b.applied, r)
+	return ApplyAck{Pending: len(b.applied), Applied: int64(len(b.applied))}, nil
+}
+
+func (b *fakeBackend) InvalidateUser(u dataset.UserID) bool { return u%2 == 0 }
+
+func (b *fakeBackend) ShardStats() []ShardStats {
+	out := make([]ShardStats, 0, len(b.owned))
+	for _, sh := range b.owned {
+		st := ShardStats{Shard: sh}
+		st.RowCache.Hits = uint64(100 + sh)
+		out = append(out, st)
+	}
+	return out
+}
+
+// startWorker serves b on a loopback listener, cleaned up with the
+// test. Returns the worker address.
+func startWorker(t *testing.T, b Backend, tune func(*Server)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(b)
+	if tune != nil {
+		tune(srv)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(srv.Close)
+	return lis.Addr().String()
+}
+
+// testClientConfig keeps loopback tests fast: short deadlines, short
+// backoff, matching the fake world's identity.
+func testClientConfig(b *fakeBackend) ClientConfig {
+	return ClientConfig{
+		CallTimeout: 500 * time.Millisecond,
+		Backoff:     time.Millisecond,
+		Fingerprint: b.fp,
+		Shards:      b.shards,
+	}
+}
+
+// allOwned builds a backend owning every shard of a 1-shard world, so
+// any user routes to it.
+func allOwned() *fakeBackend {
+	return &fakeBackend{fp: 77, shards: 1, owned: []int{0}}
+}
+
+func TestClientViewScoresChunked(t *testing.T) {
+	b := allOwned()
+	b.viewLen = 10
+	// Chunk size 3 forces 3 progress frames + 1 terminal frame — the
+	// anytime contract on the wire, reassembled losslessly.
+	addr := startWorker(t, b, func(s *Server) { s.ChunkScores = 3 })
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	got, err := c.ViewScores(5)
+	if err != nil {
+		t.Fatalf("ViewScores: %v", err)
+	}
+	want, _ := b.ViewScores(5)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scores = %v, want %v", got, want)
+	}
+	// A second call reuses the pooled connection (same answer).
+	if again, err := c.ViewScores(5); err != nil || !reflect.DeepEqual(again, want) {
+		t.Errorf("pooled call: %v, %v", again, err)
+	}
+}
+
+func TestClientPredictApplyInvalidateStats(t *testing.T) {
+	b := allOwned()
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	items := []dataset.ItemID{3, 1, 9}
+	vals, err := c.PredictBatch(2, items)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	want, _ := b.PredictBatch(2, items)
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("predictions = %v, want %v", vals, want)
+	}
+
+	ack, err := c.Apply(dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ack.Pending != 1 || ack.Applied != 1 {
+		t.Errorf("ack = %+v, want pending/applied 1", ack)
+	}
+	if len(b.applied) != 1 || b.applied[0].Item != 2 {
+		t.Errorf("backend applied %v", b.applied)
+	}
+
+	for _, u := range []dataset.UserID{2, 3} {
+		dropped, err := c.InvalidateUser(u)
+		if err != nil {
+			t.Fatalf("InvalidateUser(%d): %v", u, err)
+		}
+		if dropped != (u%2 == 0) {
+			t.Errorf("InvalidateUser(%d) = %v", u, dropped)
+		}
+	}
+
+	ss, err := c.ShardStats()
+	if err != nil {
+		t.Fatalf("ShardStats: %v", err)
+	}
+	if len(ss) != 1 || ss[0].Shard != 0 || ss[0].RowCache.Hits != 100 {
+		t.Errorf("stats = %+v", ss)
+	}
+}
+
+// TestClientApplyAppErrors: the dataset rejections survive the hop as
+// the same sentinels the in-process ingest surface produces.
+func TestClientApplyAppErrors(t *testing.T) {
+	b := allOwned()
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	for _, want := range []error{dataset.ErrUnknownUser, dataset.ErrUnknownItem, dataset.ErrBadValue} {
+		b.mu.Lock()
+		b.applyErr = fmt.Errorf("refused: %w", want)
+		b.mu.Unlock()
+		if _, err := c.Apply(dataset.Rating{User: 1, Item: 1, Value: 1}); !errors.Is(err, want) {
+			t.Errorf("err = %v, want %v", err, want)
+		}
+	}
+}
+
+// TestClientWrongShard: a worker refuses users outside its owned
+// shards with the wrong_shard code — misrouting is loud, never silent.
+func TestClientWrongShard(t *testing.T) {
+	b := &fakeBackend{fp: 9, shards: 4, owned: []int{1}}
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	m := hashMapFor(4)
+	var outside dataset.UserID
+	for u := dataset.UserID(0); ; u++ {
+		if m.Of(int64(u)) != 1 {
+			outside = u
+			break
+		}
+	}
+	var ae *AppError
+	if _, err := c.ViewScores(outside); !errors.As(err, &ae) || ae.Code != codeWrongShard {
+		t.Errorf("ViewScores: err = %v, want wrong_shard", err)
+	}
+	if _, err := c.PredictBatch(outside, []dataset.ItemID{1}); !errors.As(err, &ae) || ae.Code != codeWrongShard {
+		t.Errorf("PredictBatch: err = %v, want wrong_shard", err)
+	}
+	if _, err := c.InvalidateUser(outside); !errors.As(err, &ae) || ae.Code != codeWrongShard {
+		t.Errorf("InvalidateUser: err = %v, want wrong_shard", err)
+	}
+}
+
+// TestHandshakeConfigMismatch: a router built from a different world
+// (fingerprint or shard count) is refused at the handshake.
+func TestHandshakeConfigMismatch(t *testing.T) {
+	b := allOwned()
+	addr := startWorker(t, b, nil)
+
+	cfg := testClientConfig(b)
+	cfg.Fingerprint = b.fp + 1
+	c := NewClient(addr, cfg)
+	defer c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("fingerprint skew: err = %v, want ErrConfigMismatch", err)
+	}
+
+	cfg = testClientConfig(b)
+	cfg.Shards = b.shards + 1
+	c2 := NewClient(addr, cfg)
+	defer c2.Close()
+	if err := c2.Ping(); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("shard-count skew: err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestClientDeadWorker: nothing listening → ErrShardUnavailable after
+// the bounded retries.
+func TestClientDeadWorker(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // the port is now dead
+
+	b := allOwned()
+	cfg := testClientConfig(b)
+	cfg.DialTimeout = 200 * time.Millisecond
+	c := NewClient(addr, cfg)
+	defer c.Close()
+	if _, err := c.ViewScores(1); !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestClientTimeout: a worker that stalls past the call deadline while
+// staying connected → ErrShardTimeout, not unavailable.
+func TestClientTimeout(t *testing.T) {
+	b := allOwned()
+	b.delay = 300 * time.Millisecond
+	addr := startWorker(t, b, nil)
+	cfg := testClientConfig(b)
+	cfg.CallTimeout = 50 * time.Millisecond
+	c := NewClient(addr, cfg)
+	defer c.Close()
+	if _, err := c.ViewScores(1); !errors.Is(err, ErrShardTimeout) {
+		t.Errorf("err = %v, want ErrShardTimeout", err)
+	}
+}
+
+// rawWorker accepts connections, answers the handshake, then hands the
+// connection to serve for scripted misbehavior.
+func rawWorker(t *testing.T, serve func(conn net.Conn, req frame)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				f, err := readFrame(conn)
+				if err != nil || f.kind != kindHello {
+					return
+				}
+				if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck([]int{0})}); err != nil {
+					return
+				}
+				req, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				serve(conn, req)
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestClientMidStreamDisconnect: a worker that dies between progress
+// frames (some chunks delivered, terminal frame never sent) surfaces
+// as ErrShardUnavailable — a half-gathered view is never returned.
+func TestClientMidStreamDisconnect(t *testing.T) {
+	addr := rawWorker(t, func(conn net.Conn, req frame) {
+		chunk := encodeViewChunk(viewChunk{Total: 100, Offset: 0, Scores: []float64{1, 2, 3}})
+		_ = writeFrame(conn, frame{kind: kindProgress, op: req.op, seq: req.seq, payload: chunk})
+		// Die before the terminal frame: the client sees a torn stream.
+	})
+	c := NewClient(addr, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
+	defer c.Close()
+	if _, err := c.ViewScores(1); !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestClientSeqMismatch: a response carrying the wrong sequence number
+// is a protocol violation — never matched to the wrong request.
+func TestClientSeqMismatch(t *testing.T) {
+	addr := rawWorker(t, func(conn net.Conn, req frame) {
+		_ = writeFrame(conn, frame{kind: kindResult, op: req.op, seq: req.seq + 99, payload: encodeBool(true)})
+	})
+	c := NewClient(addr, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
+	defer c.Close()
+	if _, err := c.InvalidateUser(1); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}
+
+// TestClientRetriesIdempotentReads: a connection severed before any
+// response retries on a fresh dial and succeeds — reads are
+// idempotent. The first connection's request is dropped on the floor.
+func TestClientRetriesIdempotentReads(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	addr := rawWorker(t, func(conn net.Conn, req frame) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			return // die without answering; deferred Close tears the conn
+		}
+		_ = writeFrame(conn, frame{kind: kindResult, op: req.op, seq: req.seq, payload: encodeBool(true)})
+	})
+	c := NewClient(addr, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
+	defer c.Close()
+	dropped, err := c.InvalidateUser(1)
+	if err != nil || !dropped {
+		t.Fatalf("retried read = %v, %v; want true, nil", dropped, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Errorf("worker saw %d requests, want 2 (one dropped, one retried)", calls)
+	}
+}
+
+// TestClientNeverRetriesApply: a write on a severed connection fails
+// without a second delivery — at-most-once for ratings.
+func TestClientNeverRetriesApply(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	addr := rawWorker(t, func(conn net.Conn, req frame) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		// Never answer: every attempt would count here.
+	})
+	c := NewClient(addr, ClientConfig{CallTimeout: 200 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
+	defer c.Close()
+	if _, err := c.Apply(dataset.Rating{User: 1, Item: 1, Value: 1}); err == nil {
+		t.Fatal("Apply on dead worker succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("worker saw %d apply deliveries, want exactly 1", calls)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	good := []byte(`{"shards": 4, "workers": [
+		{"addr": "a:1", "owns": [0, 2]},
+		{"addr": "b:1", "owns": [1, 3]}]}`)
+	top, err := ParseTopology(good)
+	if err != nil {
+		t.Fatalf("good topology: %v", err)
+	}
+	if top.Shards != 4 || len(top.Workers) != 2 {
+		t.Errorf("topology = %+v", top)
+	}
+
+	bad := map[string][]byte{
+		"not json":      []byte(`{`),
+		"unknown field": []byte(`{"shards": 1, "workers": [{"addr": "a:1", "owns": [0]}], "extra": 1}`),
+		"zero shards":   []byte(`{"shards": 0, "workers": [{"addr": "a:1", "owns": [0]}]}`),
+		"no workers":    []byte(`{"shards": 1, "workers": []}`),
+		"empty addr":    []byte(`{"shards": 1, "workers": [{"addr": "", "owns": [0]}]}`),
+		"owns nothing":  []byte(`{"shards": 2, "workers": [{"addr": "a:1", "owns": [0]}, {"addr": "b:1", "owns": []}]}`),
+		"out of range":  []byte(`{"shards": 2, "workers": [{"addr": "a:1", "owns": [0, 2]}]}`),
+		"double owner":  []byte(`{"shards": 2, "workers": [{"addr": "a:1", "owns": [0, 1]}, {"addr": "b:1", "owns": [1]}]}`),
+		"orphan shard":  []byte(`{"shards": 3, "workers": [{"addr": "a:1", "owns": [0, 1]}]}`),
+	}
+	for name, data := range bad {
+		if _, err := ParseTopology(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// twoWorkerSet builds a 2-shard world split across two loopback
+// workers and a handshaken ShardSet over them.
+func twoWorkerSet(t *testing.T) (*ShardSet, *fakeBackend, *fakeBackend) {
+	t.Helper()
+	b0 := &fakeBackend{fp: 5, shards: 2, owned: []int{0}}
+	b1 := &fakeBackend{fp: 5, shards: 2, owned: []int{1}}
+	a0 := startWorker(t, b0, nil)
+	a1 := startWorker(t, b1, nil)
+	top, err := ParseTopology([]byte(fmt.Sprintf(
+		`{"shards": 2, "workers": [{"addr": %q, "owns": [0]}, {"addr": %q, "owns": [1]}]}`, a0, a1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewShardSet(top, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(set.Close)
+	if err := set.Handshake(5, 2); err != nil {
+		t.Fatalf("Handshake: %v", err)
+	}
+	return set, b0, b1
+}
+
+// userOnShard finds a user routed to shard sh under the canonical
+// 2-way map.
+func userOnShard(sh int) dataset.UserID {
+	m := hashMapFor(2)
+	for u := dataset.UserID(0); ; u++ {
+		if m.Of(int64(u)) == sh {
+			return u
+		}
+	}
+}
+
+// TestShardSetRoutesByShard: each user's data-plane reads land on the
+// worker owning its shard.
+func TestShardSetRoutesByShard(t *testing.T) {
+	set, _, _ := twoWorkerSet(t)
+	for sh := 0; sh < 2; sh++ {
+		u := userOnShard(sh)
+		scores, err := set.ViewScores(u)
+		if err != nil {
+			t.Fatalf("shard %d: ViewScores(%d): %v", sh, u, err)
+		}
+		if len(scores) != 10 || scores[0] != float64(u)*1000 {
+			t.Errorf("shard %d: scores %v", sh, scores[:2])
+		}
+		if _, err := set.PredictBatch(u, []dataset.ItemID{1}); err != nil {
+			t.Errorf("shard %d: PredictBatch: %v", sh, err)
+		}
+	}
+}
+
+// TestShardSetApplyFansOutToAllWorkers: every replica ingests every
+// rating (neighborhoods cross shards); the owner's ack is returned.
+func TestShardSetApplyFansOutToAllWorkers(t *testing.T) {
+	set, b0, b1 := twoWorkerSet(t)
+	u := userOnShard(1)
+	ack, err := set.Apply(dataset.Rating{User: u, Item: 7, Value: 4, Time: 1})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ack.Pending != 1 {
+		t.Errorf("ack = %+v", ack)
+	}
+	for i, b := range []*fakeBackend{b0, b1} {
+		b.mu.Lock()
+		n := len(b.applied)
+		b.mu.Unlock()
+		if n != 1 {
+			t.Errorf("worker %d ingested %d ratings, want 1", i, n)
+		}
+	}
+	if set.FanoutErrors() != 0 {
+		t.Errorf("fanout errors = %d", set.FanoutErrors())
+	}
+}
+
+// TestShardSetStatsByShard gathers both workers' counters into shard
+// order with every entry live.
+func TestShardSetStatsByShard(t *testing.T) {
+	set, _, _ := twoWorkerSet(t)
+	ss, ok, err := set.StatsByShard()
+	if err != nil {
+		t.Fatalf("StatsByShard: %v", err)
+	}
+	for sh := 0; sh < 2; sh++ {
+		if !ok[sh] {
+			t.Errorf("shard %d not live", sh)
+		}
+		if ss[sh].Shard != sh || ss[sh].RowCache.Hits != uint64(100+sh) {
+			t.Errorf("shard %d stats = %+v", sh, ss[sh])
+		}
+	}
+}
+
+// killWorker severs a worker client's pool and redirects it to a dead
+// port, simulating a SIGKILLed process under static membership.
+func killWorker(t *testing.T, set *ShardSet, sh int) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := lis.Addr().String()
+	lis.Close()
+	cl := set.Owner(sh)
+	cl.Close()
+	cl.mu.Lock()
+	cl.closed = false
+	cl.addr = dead
+	cl.cfg.DialTimeout = 100 * time.Millisecond
+	cl.mu.Unlock()
+}
+
+// TestShardSetDeadWorkerDegradesOnlyItsShards: after one worker dies,
+// its shards answer ErrShardUnavailable while the other keeps serving;
+// stats keep zero-valued placeholder entries; an ingest for a user the
+// dead worker owns fails, one owned by the live worker proceeds with a
+// counted fanout miss.
+func TestShardSetDeadWorkerDegradesOnlyItsShards(t *testing.T) {
+	set, _, b1 := twoWorkerSet(t)
+	killWorker(t, set, 0)
+
+	if _, err := set.ViewScores(userOnShard(0)); !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("dead shard read: err = %v, want ErrShardUnavailable", err)
+	}
+	if _, err := set.ViewScores(userOnShard(1)); err != nil {
+		t.Errorf("live shard read: %v", err)
+	}
+
+	ss, ok, err := set.StatsByShard()
+	if err == nil {
+		t.Error("StatsByShard reported no error with a dead worker")
+	}
+	if ok[0] || !ok[1] {
+		t.Errorf("liveness = %v, want [false true]", ok)
+	}
+	if ss[0].Shard != 0 || ss[0].RowCache.Hits != 0 {
+		t.Errorf("dead shard entry = %+v, want zero-valued placeholder", ss[0])
+	}
+
+	if _, err := set.Apply(dataset.Rating{User: userOnShard(0), Item: 1, Value: 1}); !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("ingest for dead owner: err = %v, want ErrShardUnavailable", err)
+	}
+	if _, err := set.Apply(dataset.Rating{User: userOnShard(1), Item: 1, Value: 1, Time: 1}); err != nil {
+		t.Errorf("ingest for live owner: %v", err)
+	}
+	if set.FanoutErrors() == 0 {
+		t.Error("fanout miss not counted")
+	}
+	// The live replica ingested both ratings: fanout delivers to every
+	// reachable worker even when the owner's ack fails (replicas must
+	// not diverge from each other; the dead worker is behind either
+	// way and never serves again under static membership).
+	b1.mu.Lock()
+	n := len(b1.applied)
+	b1.mu.Unlock()
+	if n != 2 {
+		t.Errorf("live worker ingested %d ratings, want 2", n)
+	}
+}
+
+// TestShardSetConcurrentReads exercises the per-client connection pool
+// under parallel scatter traffic; run with -race.
+func TestShardSetConcurrentReads(t *testing.T) {
+	set, _, _ := twoWorkerSet(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				u := userOnShard((g + i) % 2)
+				if _, err := set.ViewScores(u); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := set.PredictBatch(u, []dataset.ItemID{1, 2}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent read: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Backend is the world a greca-shard worker serves: the per-shard
+// data plane over its full replica of the rating store. Values must be
+// bit-identical to what the router's own world would compute — the
+// worker and router are built from the same configuration, which the
+// hello fingerprint enforces — so moving a shard out of process never
+// changes a served byte. All methods must be safe for concurrent use.
+type Backend interface {
+	// Fingerprint identifies the world configuration (the persistence
+	// layer's config fingerprint); hello refuses mismatches.
+	Fingerprint() uint64
+	// Shards is the world's total shard count; Owned lists the shards
+	// this worker serves (requests for other shards are refused).
+	Shards() int
+	Owned() []int
+	// ViewScores returns u's pool-order normalized preference scores —
+	// the dense side of the sorted-list view; the router reconstructs
+	// the canonical sorted side locally (the sort is deterministic
+	// given the scores, exactly like a snapshot restore).
+	ViewScores(u dataset.UserID) ([]float64, error)
+	// PredictBatch returns raw (1..5 scale) predictions of u for items.
+	PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error)
+	// Apply ingests one rating into the worker's replica, running the
+	// scoped-invalidation path over its caches, and acks with the
+	// replica's delta counters. Rejections unwrap to the dataset
+	// sentinels.
+	Apply(r dataset.Rating) (ApplyAck, error)
+	// InvalidateUser drops u's cached rows and sorted view, reporting
+	// whether anything was resident.
+	InvalidateUser(u dataset.UserID) bool
+	// ShardStats reports the cache counters of every owned shard.
+	ShardStats() []ShardStats
+}
+
+// DefaultChunkScores is the view-streaming chunk size: scores per
+// progress frame. A MovieLens-scale pool (~4000 items) streams in one
+// or two frames; tests shrink it to pin multi-frame behavior.
+const DefaultChunkScores = 4096
+
+// Server serves the shard data plane over a listener. One goroutine
+// per connection, requests on a connection answered in order; the
+// accept loop runs until Close.
+type Server struct {
+	b Backend
+	// ChunkScores overrides the view-streaming chunk size (set before
+	// Serve; DefaultChunkScores if 0).
+	ChunkScores int
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	owned map[int]bool
+	sm    shardOf
+}
+
+// shardOf is the minimal routing the server needs: shard-of-user under
+// the world's map, provided by the backend adapter via SetSharding or
+// defaulted to hash routing through the backend's shard count.
+type shardOf func(u dataset.UserID) int
+
+// NewServer builds a server over b. Routing uses the canonical hash
+// map over b.Shards(), matching the router and the in-process world.
+func NewServer(b Backend) *Server {
+	s := &Server{
+		b:     b,
+		conns: make(map[net.Conn]struct{}),
+		owned: make(map[int]bool, len(b.Owned())),
+	}
+	for _, sh := range b.Owned() {
+		s.owned[sh] = true
+	}
+	sm := hashMapFor(b.Shards())
+	s.sm = func(u dataset.UserID) int { return sm.Of(int64(u)) }
+	return s
+}
+
+// Serve accepts connections on lis until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for
+// the per-connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// serveConn drives one connection: a hello handshake, then a request
+// loop. Any framing error tears the connection down — the client
+// re-dials and re-handshakes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	f, err := readFrame(conn)
+	if err != nil || f.kind != kindHello {
+		return
+	}
+	h, err := decodeHello(f.payload)
+	if err != nil {
+		return
+	}
+	if h.Fingerprint != s.b.Fingerprint() || int(h.Shards) != s.b.Shards() {
+		_ = writeFrame(conn, frame{kind: kindError, seq: f.seq, payload: encodeAppError(codeMismatch,
+			fmt.Sprintf("worker world (fp %x, %d shards) does not match router (fp %x, %d shards)",
+				s.b.Fingerprint(), s.b.Shards(), h.Fingerprint, h.Shards))})
+		return
+	}
+	if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck(s.b.Owned())}); err != nil {
+		return
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return // clean EOF or torn stream; either way the conn is done
+		}
+		if f.kind != kindRequest {
+			return
+		}
+		if err := s.dispatch(conn, f); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch answers one request frame. Application failures answer a
+// kindError frame and keep the connection; only transport failures
+// (the returned error) tear it down.
+func (s *Server) dispatch(conn net.Conn, f frame) error {
+	fail := func(code, msg string) error {
+		return writeFrame(conn, frame{kind: kindError, op: f.op, seq: f.seq, payload: encodeAppError(code, msg)})
+	}
+	result := func(payload []byte) error {
+		return writeFrame(conn, frame{kind: kindResult, op: f.op, seq: f.seq, payload: payload})
+	}
+	switch f.op {
+	case opView:
+		u, err := decodeUser(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		if !s.owned[s.sm(u)] {
+			return fail(codeWrongShard, fmt.Sprintf("user %d is on shard %d, not owned here", u, s.sm(u)))
+		}
+		scores, err := s.b.ViewScores(u)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		return s.streamView(conn, f, scores)
+	case opPredict:
+		q, err := decodePredictReq(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		if !s.owned[s.sm(q.User)] {
+			return fail(codeWrongShard, fmt.Sprintf("user %d is on shard %d, not owned here", q.User, s.sm(q.User)))
+		}
+		vals, err := s.b.PredictBatch(q.User, q.Items)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		return result(encodeF64s(vals))
+	case opApply:
+		rt, err := decodeRating(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		ack, err := s.b.Apply(rt)
+		switch {
+		case err == nil:
+			return result(encodeApplyAck(ack))
+		case errors.Is(err, dataset.ErrUnknownUser):
+			return fail(codeUnknownUser, err.Error())
+		case errors.Is(err, dataset.ErrUnknownItem):
+			return fail(codeUnknownItem, err.Error())
+		case errors.Is(err, dataset.ErrBadValue):
+			return fail(codeBadRating, err.Error())
+		default:
+			return fail(codeInternal, err.Error())
+		}
+	case opInvalidate:
+		u, err := decodeUser(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		if !s.owned[s.sm(u)] {
+			return fail(codeWrongShard, fmt.Sprintf("user %d is on shard %d, not owned here", u, s.sm(u)))
+		}
+		return result(encodeBool(s.b.InvalidateUser(u)))
+	case opStats:
+		payload, err := encodeStats(s.b.ShardStats())
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		return result(payload)
+	default:
+		return fail(codeInternal, fmt.Sprintf("unknown op %d", f.op))
+	}
+}
+
+// streamView answers a view fetch as chunked score frames: progress
+// frames for every chunk but the last, then the terminal result — the
+// transport shape of the anytime contract, exercised by the data
+// plane's hottest read.
+func (s *Server) streamView(conn net.Conn, req frame, scores []float64) error {
+	chunk := s.ChunkScores
+	if chunk <= 0 {
+		chunk = DefaultChunkScores
+	}
+	total := uint32(len(scores))
+	off := 0
+	for {
+		end := off + chunk
+		last := end >= len(scores)
+		if last {
+			end = len(scores)
+		}
+		kind := kindProgress
+		if last {
+			kind = kindResult
+		}
+		payload := encodeViewChunk(viewChunk{Total: total, Offset: uint32(off), Scores: scores[off:end]})
+		if err := writeFrame(conn, frame{kind: kind, op: req.op, seq: req.seq, payload: payload}); err != nil {
+			return err
+		}
+		if last {
+			return nil
+		}
+		off = end
+	}
+}
+
+// readAll is a tiny helper for tests that drain raw connections.
+func readAll(r io.Reader) []byte { b, _ := io.ReadAll(r); return b }

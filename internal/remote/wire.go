@@ -1,0 +1,364 @@
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/cf"
+	"repro/internal/dataset"
+	"repro/internal/liststore"
+)
+
+// Payload encoding: flat little-endian fields appended onto a byte
+// slice, decoded by a cursor that fails loudly on truncation. The hot
+// messages (view chunks, predict rows) are raw float64 arrays — no
+// per-call reflection, no schema — and the cold, shape-heavy stats
+// reply rides as JSON inside its frame, where the wire cost is
+// irrelevant.
+
+type wireWriter struct{ b []byte }
+
+func (w *wireWriter) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *wireWriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wireWriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wireWriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wireWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wireWriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+func (w *wireWriter) f64s(vs []float64) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// errShortPayload marks a payload shorter than its own fields claim —
+// a peer encoding bug, surfaced as a protocol violation.
+var errShortPayload = fmt.Errorf("%w: short payload", ErrProtocol)
+
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = errShortPayload
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+func (r *wireReader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+func (r *wireReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+func (r *wireReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+func (r *wireReader) i64() int64   { return int64(r.u64()) }
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *wireReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.b)-r.off {
+		if r.err == nil {
+			r.err = errShortPayload
+		}
+		return nil
+	}
+	return r.take(n)
+}
+func (r *wireReader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil || n*8 > len(r.b)-r.off {
+		if r.err == nil {
+			r.err = errShortPayload
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+// hello carries the router's world identity; the worker refuses a
+// connection whose fingerprint or shard count disagrees with its own
+// (ErrConfigMismatch) — two processes built from different worlds
+// cannot serve bit-identical bytes, so the seam fails closed.
+type hello struct {
+	Fingerprint uint64
+	Shards      uint32
+}
+
+func encodeHello(h hello) []byte {
+	var w wireWriter
+	w.u64(h.Fingerprint)
+	w.u32(h.Shards)
+	return w.b
+}
+
+func decodeHello(p []byte) (hello, error) {
+	r := wireReader{b: p}
+	h := hello{Fingerprint: r.u64(), Shards: r.u32()}
+	return h, r.err
+}
+
+func encodeHelloAck(owned []int) []byte {
+	var w wireWriter
+	w.u32(uint32(len(owned)))
+	for _, s := range owned {
+		w.u32(uint32(s))
+	}
+	return w.b
+}
+
+func decodeHelloAck(p []byte) ([]int, error) {
+	r := wireReader{b: p}
+	n := int(r.u32())
+	if r.err != nil || n > (len(p)-4)/4 {
+		return nil, errShortPayload
+	}
+	owned := make([]int, n)
+	for i := range owned {
+		owned[i] = int(r.u32())
+	}
+	return owned, r.err
+}
+
+func encodeUser(u dataset.UserID) []byte {
+	var w wireWriter
+	w.u64(uint64(u))
+	return w.b
+}
+
+func decodeUser(p []byte) (dataset.UserID, error) {
+	r := wireReader{b: p}
+	u := dataset.UserID(r.u64())
+	return u, r.err
+}
+
+// viewChunk is one slice of a view's pool-order normalized scores. A
+// view response is a sequence of chunks — progress frames, then the
+// terminal result carrying the last chunk — so a big pool streams
+// without one giant frame, and the progress-then-terminal contract is
+// exercised by the data plane itself.
+type viewChunk struct {
+	Total  uint32 // pool length (every chunk repeats it)
+	Offset uint32 // position of this chunk's first score
+	Scores []float64
+}
+
+func encodeViewChunk(c viewChunk) []byte {
+	var w wireWriter
+	w.u32(c.Total)
+	w.u32(c.Offset)
+	w.f64s(c.Scores)
+	return w.b
+}
+
+func decodeViewChunk(p []byte) (viewChunk, error) {
+	r := wireReader{b: p}
+	c := viewChunk{Total: r.u32(), Offset: r.u32(), Scores: r.f64s()}
+	return c, r.err
+}
+
+type predictReq struct {
+	User  dataset.UserID
+	Items []dataset.ItemID
+}
+
+func encodePredictReq(q predictReq) []byte {
+	var w wireWriter
+	w.u64(uint64(q.User))
+	w.u32(uint32(len(q.Items)))
+	for _, it := range q.Items {
+		w.u64(uint64(it))
+	}
+	return w.b
+}
+
+func decodePredictReq(p []byte) (predictReq, error) {
+	r := wireReader{b: p}
+	q := predictReq{User: dataset.UserID(r.u64())}
+	n := int(r.u32())
+	if r.err != nil || n > (len(p)-12)/8 {
+		return predictReq{}, errShortPayload
+	}
+	q.Items = make([]dataset.ItemID, n)
+	for i := range q.Items {
+		q.Items[i] = dataset.ItemID(r.u64())
+	}
+	return q, r.err
+}
+
+func encodeF64s(vs []float64) []byte {
+	var w wireWriter
+	w.f64s(vs)
+	return w.b
+}
+
+func decodeF64s(p []byte) ([]float64, error) {
+	r := wireReader{b: p}
+	vs := r.f64s()
+	return vs, r.err
+}
+
+func encodeRating(rt dataset.Rating) []byte {
+	var w wireWriter
+	w.u64(uint64(rt.User))
+	w.u64(uint64(rt.Item))
+	w.f64(rt.Value)
+	w.i64(rt.Time)
+	return w.b
+}
+
+func decodeRating(p []byte) (dataset.Rating, error) {
+	r := wireReader{b: p}
+	rt := dataset.Rating{
+		User:  dataset.UserID(r.u64()),
+		Item:  dataset.ItemID(r.u64()),
+		Value: r.f64(),
+		Time:  r.i64(),
+	}
+	return rt, r.err
+}
+
+// ApplyAck acknowledges a fanned-out rating with the worker's own
+// delta-log counters after the apply — the router's cross-check that
+// the replica ingested what it did.
+type ApplyAck struct {
+	Pending int
+	Applied int64
+	Folds   int64
+	Folded  int64
+}
+
+func encodeApplyAck(a ApplyAck) []byte {
+	var w wireWriter
+	w.i64(int64(a.Pending))
+	w.i64(a.Applied)
+	w.i64(a.Folds)
+	w.i64(a.Folded)
+	return w.b
+}
+
+func decodeApplyAck(p []byte) (ApplyAck, error) {
+	r := wireReader{b: p}
+	a := ApplyAck{
+		Pending: int(r.i64()),
+		Applied: r.i64(),
+		Folds:   r.i64(),
+		Folded:  r.i64(),
+	}
+	return a, r.err
+}
+
+func encodeBool(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+func decodeBool(p []byte) (bool, error) {
+	if len(p) != 1 {
+		return false, errShortPayload
+	}
+	return p[0] != 0, nil
+}
+
+// ShardStats is one owned shard's cache counters in wire form — the
+// worker-side slice of the router's per-shard /v1/stats breakdown.
+// JSON-encoded inside its frame: stats are cold-path and shape-heavy.
+type ShardStats struct {
+	Shard         int                  `json:"shard"`
+	RowCache      cf.CacheStats        `json:"row_cache"`
+	ListStore     liststore.ShardStats `json:"list_store"`
+	Neighborhoods cf.CacheStats        `json:"neighborhoods"`
+}
+
+func encodeStats(ss []ShardStats) ([]byte, error) { return json.Marshal(ss) }
+
+func decodeStats(p []byte) ([]ShardStats, error) {
+	var ss []ShardStats
+	if err := json.Unmarshal(p, &ss); err != nil {
+		return nil, fmt.Errorf("%w: decoding stats: %v", ErrProtocol, err)
+	}
+	return ss, nil
+}
+
+// Application-level error codes relayed in kindError frames. The
+// client maps the dataset trio back onto the dataset sentinels so the
+// HTTP ingest surface rejects a bad remote rating with exactly the
+// code an in-process world would have produced.
+const (
+	codeUnknownUser = "unknown_user"
+	codeUnknownItem = "unknown_item"
+	codeBadRating   = "bad_rating"
+	codeWrongShard  = "wrong_shard"
+	codeMismatch    = "config_mismatch"
+	codeInternal    = "internal"
+)
+
+// AppError is an application-level failure relayed from a worker —
+// the request was delivered and refused, as opposed to the transport
+// sentinels where it never completed.
+type AppError struct {
+	Code string
+	Msg  string
+}
+
+func (e *AppError) Error() string { return "remote: worker error " + e.Code + ": " + e.Msg }
+
+func encodeAppError(code, msg string) []byte {
+	var w wireWriter
+	w.bytes([]byte(code))
+	w.bytes([]byte(msg))
+	return w.b
+}
+
+func decodeAppError(p []byte) error {
+	r := wireReader{b: p}
+	code := string(r.bytes())
+	msg := string(r.bytes())
+	if r.err != nil {
+		return r.err
+	}
+	switch code {
+	case codeUnknownUser:
+		return fmt.Errorf("remote: %w: %s", dataset.ErrUnknownUser, msg)
+	case codeUnknownItem:
+		return fmt.Errorf("remote: %w: %s", dataset.ErrUnknownItem, msg)
+	case codeBadRating:
+		return fmt.Errorf("remote: %w: %s", dataset.ErrBadValue, msg)
+	case codeMismatch:
+		return fmt.Errorf("%w: %s", ErrConfigMismatch, msg)
+	default:
+		return &AppError{Code: code, Msg: msg}
+	}
+}

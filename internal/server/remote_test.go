@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/remote"
+	"repro/internal/shard"
+)
+
+// remoteWorldConfig is the shrunken world every process of a
+// distributed differential stack builds — router, workers, and the
+// in-process control all share it, so the config fingerprints match
+// and every computed byte is comparable.
+func remoteWorldConfig(shards int) repro.Config {
+	cfg := repro.QuickConfig()
+	cfg.Dataset.Users = 150
+	cfg.Dataset.TargetRatings = 10_000
+	cfg.Dataset.Items = 500
+	cfg.Shards = shards
+	return cfg
+}
+
+// remoteStack is a distributed serving stack: a router world fronting
+// worker processes (in-process goroutines speaking the real TCP
+// protocol), plus the worker servers for fault injection.
+type remoteStack struct {
+	router  *repro.World
+	set     *remote.ShardSet
+	workers []*remote.Server
+	// ownerOf maps shard index → index into workers.
+	ownerOf []int
+}
+
+// startRemoteStack builds worker worlds for each ownership split,
+// serves them over loopback TCP, and attaches a router world to them.
+func startRemoteStack(t *testing.T, shards int, owns [][]int, cc remote.ClientConfig, wrap func(remote.Backend) remote.Backend) *remoteStack {
+	t.Helper()
+	st := &remoteStack{ownerOf: make([]int, shards)}
+	var workersJSON []string
+	for wi, owned := range owns {
+		w, err := repro.NewWorld(remoteWorldConfig(shards))
+		if err != nil {
+			t.Fatalf("building worker world: %v", err)
+		}
+		backend, err := repro.NewShardBackend(w, owned)
+		if err != nil {
+			t.Fatalf("shard backend: %v", err)
+		}
+		var b remote.Backend = backend
+		if wrap != nil {
+			b = wrap(b)
+		}
+		srv := remote.NewServer(b)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(lis)
+		t.Cleanup(srv.Close)
+		st.workers = append(st.workers, srv)
+		for _, sh := range owned {
+			st.ownerOf[sh] = wi
+		}
+		ownsJSON, _ := json.Marshal(owned)
+		workersJSON = append(workersJSON, fmt.Sprintf(`{"addr": %q, "owns": %s}`, lis.Addr().String(), ownsJSON))
+	}
+	top, err := remote.ParseTopology([]byte(fmt.Sprintf(
+		`{"shards": %d, "workers": [%s]}`, shards, strings.Join(workersJSON, ","))))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	st.set, err = remote.NewShardSet(top, cc)
+	if err != nil {
+		t.Fatalf("shard set: %v", err)
+	}
+	t.Cleanup(st.set.Close)
+	st.router, err = repro.NewWorld(remoteWorldConfig(shards))
+	if err != nil {
+		t.Fatalf("building router world: %v", err)
+	}
+	if err := st.router.AttachRemote(st.set); err != nil {
+		t.Fatalf("AttachRemote: %v", err)
+	}
+	return st
+}
+
+// serveHTTP exposes a world through the full HTTP surface.
+func serveHTTP(t *testing.T, w *repro.World) *httptest.Server {
+	t.Helper()
+	s := New(w, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// groupOnShards picks n participants whose shards all fall in allowed
+// (nil = no constraint).
+func groupOnShards(t *testing.T, w *repro.World, shards, n int, allowed map[int]bool) []int64 {
+	t.Helper()
+	m, err := shard.New(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var group []int64
+	for _, u := range w.Participants() {
+		if allowed == nil || allowed[m.Of(int64(u))] {
+			group = append(group, int64(u))
+			if len(group) == n {
+				return group
+			}
+		}
+	}
+	t.Fatalf("found only %d of %d participants on shards %v", len(group), n, allowed)
+	return nil
+}
+
+func groupJSON(group []int64) string {
+	parts := make([]string, len(group))
+	for i, u := range group {
+		parts[i] = fmt.Sprint(u)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// collectShape records every key path of a JSON document, recursing
+// through objects and arrays — the stats differential compares shapes,
+// not counter values.
+func collectShape(v any, prefix string, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := prefix + "." + k
+			out[p] = true
+			collectShape(child, p, out)
+		}
+	case []any:
+		for _, child := range x {
+			collectShape(child, prefix+"[]", out)
+		}
+	}
+}
+
+func jsonShape(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+	out := make(map[string]bool)
+	collectShape(v, "", out)
+	return out
+}
+
+// TestRemoteDifferentialByteIdentical is the distributed acceptance
+// differential: a router fronting worker processes serves byte-for-byte
+// the responses of the in-process world at the same shard count —
+// single recommend, batch, the full SSE frame sequence, and the stats
+// shape — including after a rating ingested through the remote path.
+func TestRemoteDifferentialByteIdentical(t *testing.T) {
+	cases := []struct {
+		shards int
+		owns   [][]int
+	}{
+		{1, [][]int{{0}}},
+		{4, [][]int{{0, 2}, {1, 3}}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("shards=%d", tc.shards), func(t *testing.T) {
+			local, err := repro.NewWorld(remoteWorldConfig(tc.shards))
+			if err != nil {
+				t.Fatalf("building local world: %v", err)
+			}
+			localTS := serveHTTP(t, local)
+			stack := startRemoteStack(t, tc.shards, tc.owns, remote.ClientConfig{}, nil)
+			remoteTS := serveHTTP(t, stack.router)
+
+			g3 := groupJSON(groupOnShards(t, stack.router, tc.shards, 3, nil))
+			g1 := groupJSON(groupOnShards(t, stack.router, tc.shards, 1, nil))
+			singles := []string{
+				fmt.Sprintf(`{"group":%s,"k":5,"num_items":200}`, g3),
+				fmt.Sprintf(`{"group":%s,"k":3,"num_items":120,"consensus":"MO"}`, g3),
+				fmt.Sprintf(`{"group":%s,"k":4,"num_items":150}`, g1),
+			}
+			compare := func(stage string) {
+				for _, body := range singles {
+					ls, lb := postJSON(t, localTS.URL+"/v1/recommend", body)
+					rs, rb := postJSON(t, remoteTS.URL+"/v1/recommend", body)
+					if ls != http.StatusOK || rs != http.StatusOK {
+						t.Fatalf("%s: status local %d remote %d (%s / %s)", stage, ls, rs, lb, rb)
+					}
+					if !bytes.Equal(lb, rb) {
+						t.Errorf("%s: recommend bytes diverge for %s:\nlocal  %s\nremote %s", stage, body, lb, rb)
+					}
+				}
+				batch := fmt.Sprintf(`{"requests":[%s]}`, strings.Join(singles, ","))
+				ls, lb := postJSON(t, localTS.URL+"/v1/recommend/batch", batch)
+				rs, rb := postJSON(t, remoteTS.URL+"/v1/recommend/batch", batch)
+				if ls != http.StatusOK || rs != http.StatusOK {
+					t.Fatalf("%s: batch status local %d remote %d", stage, ls, rs)
+				}
+				if !bytes.Equal(lb, rb) {
+					t.Errorf("%s: batch bytes diverge:\nlocal  %s\nremote %s", stage, lb, rb)
+				}
+				stream := fmt.Sprintf(`{"group":%s,"k":5,"num_items":400}`, g3)
+				ls, lb = postJSON(t, localTS.URL+"/v1/recommend/stream", stream)
+				rs, rb = postJSON(t, remoteTS.URL+"/v1/recommend/stream", stream)
+				if ls != http.StatusOK || rs != http.StatusOK {
+					t.Fatalf("%s: stream status local %d remote %d", stage, ls, rs)
+				}
+				if !bytes.Equal(lb, rb) {
+					t.Errorf("%s: SSE frame sequence diverges:\nlocal  %s\nremote %s", stage, lb, rb)
+				}
+			}
+			compare("cold")
+
+			// Ingest one rating through both surfaces; the acks and every
+			// subsequent response must stay identical. The remote path
+			// fans the rating to the workers and requires the owner's ack.
+			u := groupOnShards(t, stack.router, tc.shards, 1, nil)[0]
+			rating := fmt.Sprintf(`{"user":%d,"item":%d,"value":5,"time":978300000}`, u, 1)
+			ls, lb := postJSON(t, localTS.URL+"/v1/ratings", rating)
+			rs, rb := postJSON(t, remoteTS.URL+"/v1/ratings", rating)
+			if ls != http.StatusOK || rs != http.StatusOK {
+				t.Fatalf("ingest: status local %d remote %d (%s / %s)", ls, rs, lb, rb)
+			}
+			if !bytes.Equal(lb, rb) {
+				t.Errorf("ingest acks diverge: local %s remote %s", lb, rb)
+			}
+			compare("post-ingest")
+
+			// Stats: counter values differ (the remote substitutes worker
+			// counters), but the wire shape must be identical, the
+			// per-shard breakdown complete, and the recheck pool visible.
+			var localStats, remoteStats json.RawMessage
+			if st := getJSON(t, localTS.URL+"/v1/stats", &localStats); st != http.StatusOK {
+				t.Fatalf("local stats status %d", st)
+			}
+			if st := getJSON(t, remoteTS.URL+"/v1/stats", &remoteStats); st != http.StatusOK {
+				t.Fatalf("remote stats status %d", st)
+			}
+			lshape, rshape := jsonShape(t, localStats), jsonShape(t, remoteStats)
+			for k := range lshape {
+				if !rshape[k] {
+					t.Errorf("remote stats missing key %s", k)
+				}
+			}
+			for k := range rshape {
+				if !lshape[k] {
+					t.Errorf("remote stats has extra key %s", k)
+				}
+			}
+			var parsed struct {
+				Caches struct {
+					RecheckPool int `json:"recheck_pool"`
+					PerShard    []struct {
+						Shard int `json:"shard"`
+					} `json:"per_shard"`
+				} `json:"caches"`
+			}
+			if err := json.Unmarshal(remoteStats, &parsed); err != nil {
+				t.Fatalf("parsing remote stats: %v", err)
+			}
+			if parsed.Caches.RecheckPool < 1 {
+				t.Errorf("recheck_pool = %d, want >= 1", parsed.Caches.RecheckPool)
+			}
+			if len(parsed.Caches.PerShard) != tc.shards {
+				t.Errorf("per_shard has %d entries, want %d", len(parsed.Caches.PerShard), tc.shards)
+			}
+		})
+	}
+}
+
+// TestRemoteWorkerDeathDegradesOnlyItsShards kills one of two workers
+// and pins the failure semantics: requests touching its shards answer
+// 503 shard_unavailable with a Retry-After header (recommend, stream,
+// ingest; batch carries the code per result), while groups wholly on
+// the surviving worker's shards keep serving. Run with -race.
+func TestRemoteWorkerDeathDegradesOnlyItsShards(t *testing.T) {
+	const shards = 4
+	stack := startRemoteStack(t, shards, [][]int{{0, 2}, {1, 3}}, remote.ClientConfig{
+		DialTimeout: 200 * time.Millisecond,
+		Backoff:     time.Millisecond,
+	}, nil)
+	ts := serveHTTP(t, stack.router)
+
+	deadShards := map[int]bool{0: true, 2: true}
+	liveShards := map[int]bool{1: true, 3: true}
+	deadGroup := groupJSON(groupOnShards(t, stack.router, shards, 2, deadShards))
+	liveGroup := groupJSON(groupOnShards(t, stack.router, shards, 2, liveShards))
+
+	stack.workers[0].Close() // SIGKILL stand-in: shards 0 and 2 go dark
+
+	deadBody := fmt.Sprintf(`{"group":%s,"k":3,"num_items":120}`, deadGroup)
+	status, data := postJSON(t, ts.URL+"/v1/recommend", deadBody)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("dead-shard recommend status = %d, body %s", status, data)
+	}
+	var errResp struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(data, &errResp); err != nil || errResp.Code != "shard_unavailable" {
+		t.Errorf("dead-shard recommend code = %q (%v), want shard_unavailable", errResp.Code, err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/recommend", "application/json", strings.NewReader(deadBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	resp.Body.Close()
+
+	liveBody := fmt.Sprintf(`{"group":%s,"k":3,"num_items":120}`, liveGroup)
+	if status, data := postJSON(t, ts.URL+"/v1/recommend", liveBody); status != http.StatusOK {
+		t.Errorf("live-shard recommend status = %d, body %s", status, data)
+	}
+
+	// Batch: mixed requests answer per-result; the dead group's slot
+	// carries the transport code, the live one its recommendation.
+	batch := fmt.Sprintf(`{"requests":[%s,%s]}`, deadBody, liveBody)
+	status, data = postJSON(t, ts.URL+"/v1/recommend/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", status, data)
+	}
+	var br struct {
+		Results []struct {
+			Code     string          `json:"code"`
+			Response json.RawMessage `json:"response"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &br); err != nil || len(br.Results) != 2 {
+		t.Fatalf("batch response %s: %v", data, err)
+	}
+	if br.Results[0].Code != "shard_unavailable" {
+		t.Errorf("batch dead slot code = %q, want shard_unavailable", br.Results[0].Code)
+	}
+	if br.Results[1].Response == nil || br.Results[1].Code != "" {
+		t.Errorf("batch live slot = %+v, want a response", br.Results[1])
+	}
+
+	// Stream: the pre-frame failure path answers a plain 503.
+	status, data = postJSON(t, ts.URL+"/v1/recommend/stream", deadBody)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("dead-shard stream status = %d, body %s", status, data)
+	}
+
+	// Ingest: a rating owned by the dead worker cannot be acked (503);
+	// one owned by the live worker proceeds.
+	deadUser := groupOnShards(t, stack.router, shards, 1, deadShards)[0]
+	liveUser := groupOnShards(t, stack.router, shards, 1, liveShards)[0]
+	status, data = postJSON(t, ts.URL+"/v1/ratings",
+		fmt.Sprintf(`{"user":%d,"item":1,"value":4,"time":978300001}`, deadUser))
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("dead-owner ingest status = %d, body %s", status, data)
+	}
+	status, data = postJSON(t, ts.URL+"/v1/ratings",
+		fmt.Sprintf(`{"user":%d,"item":1,"value":4,"time":978300002}`, liveUser))
+	if status != http.StatusOK {
+		t.Errorf("live-owner ingest status = %d, body %s", status, data)
+	}
+
+	// Stats stay serveable: dead shards appear as zero-valued entries.
+	var stats json.RawMessage
+	if st := getJSON(t, ts.URL+"/v1/stats", &stats); st != http.StatusOK {
+		t.Errorf("stats status = %d", st)
+	}
+}
+
+// slowBackend delays the data-plane reads past the client's call
+// deadline while leaving the handshake fast — a wedged worker, as
+// opposed to a dead one.
+type slowBackend struct {
+	remote.Backend
+	delay time.Duration
+}
+
+func (b slowBackend) ViewScores(u dataset.UserID) ([]float64, error) {
+	time.Sleep(b.delay)
+	return b.Backend.ViewScores(u)
+}
+
+func (b slowBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	time.Sleep(b.delay)
+	return b.Backend.PredictBatch(u, items)
+}
+
+// TestRemoteWorkerTimeoutAnswers504 pins the second transport code: a
+// worker that stalls past the call deadline (while staying connected)
+// answers 504 shard_timeout — distinct from 503, because retrying
+// immediately will not help a wedged worker.
+func TestRemoteWorkerTimeoutAnswers504(t *testing.T) {
+	stack := startRemoteStack(t, 1, [][]int{{0}}, remote.ClientConfig{
+		CallTimeout: 100 * time.Millisecond,
+		Backoff:     time.Millisecond,
+	}, func(b remote.Backend) remote.Backend {
+		return slowBackend{Backend: b, delay: 400 * time.Millisecond}
+	})
+	ts := serveHTTP(t, stack.router)
+
+	group := groupJSON(groupOnShards(t, stack.router, 1, 2, nil))
+	body := fmt.Sprintf(`{"group":%s,"k":3,"num_items":120}`, group)
+	status, data := postJSON(t, ts.URL+"/v1/recommend", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("recommend status = %d, body %s", status, data)
+	}
+	var errResp struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(data, &errResp); err != nil || errResp.Code != "shard_timeout" {
+		t.Errorf("code = %q (%v), want shard_timeout", errResp.Code, err)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/recommend/stream", body); status != http.StatusGatewayTimeout {
+		t.Errorf("stream status = %d, want 504", status)
+	}
+}
+
+// TestRemoteStreamFramesMatchLocal drains both SSE streams frame by
+// frame and compares the event sequence — progress cadence included —
+// not just the concatenated bytes.
+func TestRemoteStreamFramesMatchLocal(t *testing.T) {
+	const shards = 4
+	local, err := repro.NewWorld(remoteWorldConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTS := serveHTTP(t, local)
+	stack := startRemoteStack(t, shards, [][]int{{0, 2}, {1, 3}}, remote.ClientConfig{}, nil)
+	remoteTS := serveHTTP(t, stack.router)
+
+	group := groupJSON(groupOnShards(t, stack.router, shards, 3, nil))
+	body := fmt.Sprintf(`{"group":%s,"k":5,"num_items":400,"progress_every":2}`, group)
+	readFrames := func(url string) []string {
+		resp, err := http.Post(url+"/v1/recommend/stream", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		var frames []string
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				frames = append(frames, line)
+			}
+		}
+		return frames
+	}
+	lf, rf := readFrames(localTS.URL), readFrames(remoteTS.URL)
+	if len(lf) == 0 {
+		t.Fatal("no SSE lines")
+	}
+	if len(lf) != len(rf) {
+		t.Fatalf("frame counts diverge: local %d, remote %d", len(lf), len(rf))
+	}
+	for i := range lf {
+		if lf[i] != rf[i] {
+			t.Errorf("frame %d diverges:\nlocal  %s\nremote %s", i, lf[i], rf[i])
+		}
+	}
+}

@@ -230,6 +230,39 @@ func errorCode(err error) string {
 	}
 }
 
+// resultCode maps any engine-side failure onto its wire code: the
+// distributed world's transport degradations first, then the
+// client-fault set. Batch results carry these codes per entry.
+func resultCode(err error) string {
+	switch {
+	case errors.Is(err, repro.ErrShardUnavailable):
+		return "shard_unavailable"
+	case errors.Is(err, repro.ErrShardTimeout):
+		return "shard_timeout"
+	default:
+		return errorCode(err)
+	}
+}
+
+// writeTransportError answers a shard-transport degradation with its
+// HTTP form — 503 + Retry-After for an unreachable worker (its shards
+// are degraded; others keep serving, so the client should retry after
+// a window), 504 for a worker that missed its deadline — and reports
+// whether err was transport-shaped at all.
+func (s *Server) writeTransportError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, repro.ErrShardUnavailable):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.co.Window())))
+		writeError(w, http.StatusServiceUnavailable, "shard_unavailable", err.Error())
+		return true
+	case errors.Is(err, repro.ErrShardTimeout):
+		writeError(w, http.StatusGatewayTimeout, "shard_timeout", err.Error())
+		return true
+	default:
+		return false
+	}
+}
+
 // allowMethod guards a route's HTTP method: a mismatch answers 405
 // with the Allow header (never falling through to the decoder as a
 // 400) and reports false.
@@ -401,6 +434,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "dispatch_failed", res.Err.Error())
 		return
 	case res.Err != nil:
+		// A dead or deadlined shard worker degrades the shards it owns:
+		// 503/504 with machine-readable codes, never a 400.
+		if s.writeTransportError(w, res.Err) {
+			return
+		}
 		// Everything else the engine rejects at this point is input-
 		// shaped (period out of range, K exceeding the pool, ...).
 		writeError(w, http.StatusBadRequest, errorCode(res.Err), res.Err.Error())
@@ -455,7 +493,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// client disconnect cancels every in-flight run of its batch.
 		for j, res := range s.world.RecommendBatchContext(r.Context(), reqs) {
 			if res.Err != nil {
-				results[slots[j]] = batchResult{Error: res.Err.Error(), Code: errorCode(res.Err)}
+				results[slots[j]] = batchResult{Error: res.Err.Error(), Code: resultCode(res.Err)}
 			} else {
 				results[slots[j]] = batchResult{Response: toResponse(res.Recommendation)}
 			}
@@ -529,6 +567,11 @@ func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
 		reject(http.StatusBadRequest, "bad_rating", err.Error())
 		return
 	default:
+		// A fanned-out ingest whose owning worker could not ack
+		// degrades like any other shard failure: 503/504, retryable.
+		if s.writeTransportError(w, err) {
+			return
+		}
 		// The rating may have applied but failed to journal — a server
 		// fault (disk trouble), never the client's.
 		writeError(w, http.StatusInternalServerError, "ingest_failed", err.Error())

@@ -137,7 +137,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// RecommendStream can only fail before its first frame
 		// (problem build / runner construction) or via the request
 		// context handled above, so the SSE headers are never out yet
-		// and a plain 400 is always still possible.
+		// and a plain status response is always still possible: 503/504
+		// for a degraded shard worker, 400 for client-shaped input.
+		if s.writeTransportError(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, errorCode(err), err.Error())
 		return
 	}

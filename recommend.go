@@ -274,12 +274,21 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	// a dense fallback that batch-predicts and normalizes every row in
 	// parallel. Both paths produce identical values; the served one
 	// additionally carries the pre-sorted views so problem
-	// construction merges instead of re-sorting.
-	va, served := w.asm.AprefViews(group, items, prefDivisor)
+	// construction merges instead of re-sorting. With remote shard
+	// workers attached, either path fetches per-member data over the
+	// wire and a dead worker surfaces here as a typed transport error
+	// (ErrShardUnavailable / ErrShardTimeout).
+	va, served, err := w.asm.AprefViews(group, items, prefDivisor)
+	if err != nil {
+		return nil, nil, 0, noRelease, fmt.Errorf("repro: assembling preferences: %w", err)
+	}
 	if served {
 		in.Apref = va.Rows
 	} else {
-		in.Apref = w.asm.AprefRows(group, items, prefDivisor)
+		in.Apref, err = w.asm.AprefRows(group, items, prefDivisor)
+		if err != nil {
+			return nil, nil, 0, noRelease, fmt.Errorf("repro: assembling preferences: %w", err)
+		}
 	}
 
 	// Affinity components per the selected time model.
@@ -305,7 +314,6 @@ func (w *World) buildProblem(group []dataset.UserID, opt *Options) (*core.Proble
 	}
 
 	var prob *core.Problem
-	var err error
 	if served {
 		prob, err = core.NewProblemFromViews(in, va.Views)
 	} else {

@@ -1,0 +1,102 @@
+// Distributed serving benchmark: the warmed request mix replayed
+// against a router whose shards live in worker processes reached over
+// loopback TCP (in-process goroutines speaking the real wire
+// protocol), versus the in-process worlds the other benchmarks
+// measure. The delta against BenchmarkRecommendSharded at the same
+// shard count is the transport tax: framing, CRC, syscalls, and the
+// view-chunk reassembly.
+//
+//	go test -bench BenchmarkRecommendRemote -benchtime 2s
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro"
+	"repro/internal/remote"
+)
+
+// remoteBenchStack builds a router fronting nWorkers loopback workers
+// over a `shards`-way world, with the shards dealt round-robin.
+func remoteBenchStack(b *testing.B, shards, nWorkers int) *repro.World {
+	b.Helper()
+	cfg := repro.QuickConfig()
+	cfg.AssemblyWorkers = 1
+	cfg.Shards = shards
+
+	owns := make([][]int, nWorkers)
+	for sh := 0; sh < shards; sh++ {
+		owns[sh%nWorkers] = append(owns[sh%nWorkers], sh)
+	}
+	var workers []remote.Worker
+	for _, owned := range owns {
+		w, err := repro.NewWorld(cfg)
+		if err != nil {
+			b.Fatalf("worker world: %v", err)
+		}
+		backend, err := repro.NewShardBackend(w, owned)
+		if err != nil {
+			b.Fatalf("shard backend: %v", err)
+		}
+		srv := remote.NewServer(backend)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(lis)
+		b.Cleanup(srv.Close)
+		workers = append(workers, remote.Worker{Addr: lis.Addr().String(), Owns: owned})
+	}
+	topJSON, _ := json.Marshal(remote.Topology{Shards: shards, Workers: workers})
+	top, err := remote.ParseTopology(topJSON)
+	if err != nil {
+		b.Fatalf("topology: %v", err)
+	}
+	set, err := remote.NewShardSet(top, remote.ClientConfig{})
+	if err != nil {
+		b.Fatalf("shard set: %v", err)
+	}
+	b.Cleanup(set.Close)
+	router, err := repro.NewWorld(cfg)
+	if err != nil {
+		b.Fatalf("router world: %v", err)
+	}
+	if err := router.AttachRemote(set); err != nil {
+		b.Fatalf("AttachRemote: %v", err)
+	}
+	return router
+}
+
+// BenchmarkRecommendRemote measures steady-state Recommend latency
+// through the distributed stack on the warmed group mix — every view
+// and prediction row crosses the wire. shards=1/workers=1 is the
+// minimal-hop configuration; shards=4/workers=2 is the CI e2e split.
+func BenchmarkRecommendRemote(b *testing.B) {
+	opt := repro.Options{K: 10, NumItems: 600}
+	cases := []struct{ shards, workers int }{
+		{1, 1},
+		{4, 2},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", tc.shards, tc.workers), func(b *testing.B) {
+			router := remoteBenchStack(b, tc.shards, tc.workers)
+			_, groups := shardBenchWorld(b, tc.shards)
+			for _, g := range groups {
+				if _, err := router.Recommend(g, opt); err != nil {
+					b.Fatalf("warmup: %v", err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := groups[i%len(groups)]
+				if _, err := router.Recommend(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

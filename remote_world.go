@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/remote"
+)
+
+// This file is the world's side of the distributed deployment: the
+// router attaches a remote.ShardSet so per-user data-plane reads
+// scatter to worker processes, and a worker wraps its world in a
+// ShardBackend so remote.Server can serve them. Both processes build
+// the same deterministic world from the same configuration — the
+// config fingerprint handshake enforces it — so moving shards out of
+// process never changes a served byte; see DESIGN.md "Distributed
+// world".
+
+// ConfigFingerprint identifies the world-shaping configuration — the
+// same FNV-64a digest the persistence layer gates snapshots and WALs
+// with, reused by the distributed hello handshake so a router only
+// talks to workers built from its exact world.
+func (w *World) ConfigFingerprint() uint64 { return configFingerprint(w.cfg) }
+
+// AttachRemote switches the world's per-user data plane to the worker
+// fleet behind set: view fetches and batch predictions route to each
+// user's owning worker, rating ingest fans out to every replica, and
+// /v1/stats reports the workers' cache counters. The topology's shard
+// count must equal the world's, and every worker must be reachable
+// and fingerprint-identical (the handshake runs eagerly here, so a
+// misconfigured fleet fails at boot, not on the first request).
+//
+// Call before serving traffic; attaching is not synchronized against
+// in-flight requests.
+func (w *World) AttachRemote(set *remote.ShardSet) error {
+	if set.Shards() != w.sm.N() {
+		return fmt.Errorf("repro: topology has %d shards, world has %d", set.Shards(), w.sm.N())
+	}
+	if err := set.Handshake(w.ConfigFingerprint(), w.sm.N()); err != nil {
+		return fmt.Errorf("repro: attaching remote shards: %w", err)
+	}
+	w.remote = set
+	w.asm.AttachRemote(remotePlane{set: set})
+	return nil
+}
+
+// Remote returns the attached worker fleet, or nil in-process.
+func (w *World) Remote() *remote.ShardSet { return w.remote }
+
+// remotePlane adapts the shard-set client to the assembler's
+// data-plane seam.
+type remotePlane struct{ set *remote.ShardSet }
+
+func (p remotePlane) ViewScores(u dataset.UserID) ([]float64, error) {
+	return p.set.ViewScores(u)
+}
+
+func (p remotePlane) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	return p.set.PredictBatch(u, items)
+}
+
+// ShardBackend is the worker process's side of the data plane: a full
+// replica world serving the per-shard operations for the shards this
+// worker owns, behind the remote.Backend interface cmd/greca-shard
+// plugs into remote.NewServer.
+type ShardBackend struct {
+	w     *World
+	owned []int
+}
+
+// NewShardBackend wraps w as the backend for the given owned shards.
+// Shard indexes must be valid for the world and free of duplicates.
+func NewShardBackend(w *World, owned []int) (*ShardBackend, error) {
+	if len(owned) == 0 {
+		return nil, fmt.Errorf("repro: shard backend owns no shards")
+	}
+	seen := make(map[int]bool, len(owned))
+	for _, sh := range owned {
+		if sh < 0 || sh >= w.Shards() {
+			return nil, fmt.Errorf("repro: owned shard %d outside [0,%d)", sh, w.Shards())
+		}
+		if seen[sh] {
+			return nil, fmt.Errorf("repro: shard %d owned twice", sh)
+		}
+		seen[sh] = true
+	}
+	return &ShardBackend{w: w, owned: append([]int(nil), owned...)}, nil
+}
+
+// Fingerprint implements remote.Backend.
+func (b *ShardBackend) Fingerprint() uint64 { return b.w.ConfigFingerprint() }
+
+// Shards implements remote.Backend.
+func (b *ShardBackend) Shards() int { return b.w.Shards() }
+
+// Owned implements remote.Backend.
+func (b *ShardBackend) Owned() []int { return append([]int(nil), b.owned...) }
+
+// ViewScores implements remote.Backend: u's pool-order normalized
+// preference scores, served from the sorted-list store when enabled
+// (materializing and caching the view exactly like local traffic
+// would) and computed directly from the predictor otherwise.
+func (b *ShardBackend) ViewScores(u dataset.UserID) ([]float64, error) {
+	if b.w.lists != nil {
+		return b.w.lists.Acquire(u).Scores, nil
+	}
+	pool := b.w.ratings.PopularityRanked()
+	raw := b.w.source.PredictBatch(u, pool)
+	scores := make([]float64, len(raw))
+	for i, v := range raw {
+		scores[i] = v / prefDivisor
+	}
+	return scores, nil
+}
+
+// PredictBatch implements remote.Backend: raw (1..5 scale)
+// predictions through the worker's row cache, exactly the values the
+// router's own source would produce.
+func (b *ShardBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	return b.w.source.PredictBatch(u, items), nil
+}
+
+// Apply implements remote.Backend: ingest one fanned-out rating into
+// the replica — the full AddRating path, scoped invalidation included
+// — and ack with the replica's delta counters. Rejections unwrap to
+// the dataset sentinels, which the transport relays by code.
+func (b *ShardBackend) Apply(r dataset.Rating) (remote.ApplyAck, error) {
+	if err := b.w.AddRating(r); err != nil {
+		return remote.ApplyAck{}, err
+	}
+	ds := b.w.IngestStats()
+	return remote.ApplyAck{
+		Pending: ds.Pending,
+		Applied: ds.Applied,
+		Folds:   ds.Folds,
+		Folded:  ds.Folded,
+	}, nil
+}
+
+// InvalidateUser implements remote.Backend.
+func (b *ShardBackend) InvalidateUser(u dataset.UserID) bool {
+	return b.w.InvalidateUserViews(u)
+}
+
+// ShardStats implements remote.Backend: the owned shards' slices of
+// the replica's cache counters, in owned order.
+func (b *ShardBackend) ShardStats() []remote.ShardStats {
+	per := b.w.CacheStats().PerShard
+	out := make([]remote.ShardStats, 0, len(b.owned))
+	for _, sh := range b.owned {
+		ps := per[sh]
+		out = append(out, remote.ShardStats{
+			Shard:         sh,
+			RowCache:      ps.RowCache,
+			ListStore:     ps.ListStore,
+			Neighborhoods: ps.Neighborhoods,
+		})
+	}
+	return out
+}

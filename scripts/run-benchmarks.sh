@@ -25,10 +25,11 @@ done
 export GOMAXPROCS="${GOMAXPROCS:-4}"
 
 # The pinned set: the three pre-existing hot-path benchmarks, the two
-# added by the scheduling/laziness pass, and the ingest-mix pair added
+# added by the scheduling/laziness pass, the ingest-mix pair added
 # with scoped invalidation (scoped vs full sub-benchmarks ride along
-# via the path match, like shards=N and g=N).
-PINNED='^(BenchmarkRecommendParallel|BenchmarkServeCoalesced|BenchmarkRecommendSharded|BenchmarkBatchShardAware|BenchmarkPDLazyLists|BenchmarkPDEagerLists|BenchmarkIngestMix|BenchmarkIngestOnly)$'
+# via the path match, like shards=N and g=N), and the distributed
+# serving path over loopback workers.
+PINNED='^(BenchmarkRecommendParallel|BenchmarkServeCoalesced|BenchmarkRecommendSharded|BenchmarkBatchShardAware|BenchmarkPDLazyLists|BenchmarkPDEagerLists|BenchmarkIngestMix|BenchmarkIngestOnly|BenchmarkRecommendRemote)$'
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT

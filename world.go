@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/liststore"
+	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/social"
 )
@@ -99,6 +100,15 @@ type Config struct {
 	// escape hatch for differential testing and the baseline the
 	// ingest-mix benchmarks measure scoping against.
 	FullInvalidation bool
+	// RecheckWorkers bounds the goroutines a scoped rating ingest uses
+	// to recheck revdep candidate neighborhoods (the candidates are
+	// independent one-similarity verifications, bucketed by shard so
+	// concurrent workers stay off each other's locks). 0 selects a
+	// small default pool (min(4, GOMAXPROCS)); 1 or negative forces the
+	// serial path. The pool never changes a verdict or a served byte —
+	// only how long ingest holds its serialized window. Excluded from
+	// the config fingerprint like the other work-placement knobs.
+	RecheckWorkers int
 	// DisableRunSharing turns off the shared-runner multiplexer:
 	// identical concurrent RecommendContext/RecommendStream calls then
 	// each drive their own core.Runner instead of riding one shared
@@ -196,6 +206,10 @@ type World struct {
 	// wal, when set, is notified of every applied rating for
 	// durability; see SetRatingLog.
 	wal RatingLog
+	// remote, when set by AttachRemote, is the multi-process worker
+	// fleet serving the per-user data plane; AddRating fans ingest out
+	// to every replica and CacheStats reports the workers' counters.
+	remote *remote.ShardSet
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -291,6 +305,7 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("repro: building CF predictor: %w", err)
 	}
 	pred.SetSharding(w.sm)
+	pred.SetRecheckWorkers(cfg.RecheckWorkers)
 	w.pred = pred
 	if cfg.ItemBasedCF && cfg.TimeWeightedCF {
 		return nil, fmt.Errorf("repro: ItemBasedCF and TimeWeightedCF are mutually exclusive")
@@ -495,6 +510,21 @@ func (w *World) AddRating(r dataset.Rating) error {
 			return fmt.Errorf("repro: rating applied but not journaled: %w", err)
 		}
 	}
+	// Distributed mode: fan the rating out to every worker replica,
+	// still inside the ingest lock so every process applies ratings in
+	// the same global order (apply order is the fold order, and fold
+	// order is what makes replicas bit-identical). Every replica needs
+	// every rating — a user-based neighborhood reads all users'
+	// vectors, so no shard's state is independent of the ingest. The
+	// owning worker must ack (its shards answer reads about the rater);
+	// a non-owner failure is tolerated, since that worker's shards are
+	// already degraded for reads and static membership means it never
+	// comes back without a restart.
+	if w.remote != nil {
+		if _, err := w.remote.Apply(r); err != nil {
+			return fmt.Errorf("repro: rating applied locally but the owning shard worker did not ack: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -619,6 +649,14 @@ func (w *World) InvalidateUserViews(u dataset.UserID) bool {
 	if w.lists != nil && w.lists.Invalidate(u) {
 		dropped = true
 	}
+	// Distributed mode: the user's served view lives on its owning
+	// worker; drop it there too. Best-effort — an unreachable owner's
+	// shards fail reads anyway, so there is no stale view to serve.
+	if w.remote != nil {
+		if rd, err := w.remote.InvalidateUser(u); err == nil && rd {
+			dropped = true
+		}
+	}
 	return dropped
 }
 
@@ -648,6 +686,10 @@ type CacheStats struct {
 	// counters down by shard (one entry per shard, in shard order).
 	Shards   int               `json:"shards"`
 	PerShard []ShardCacheStats `json:"per_shard"`
+	// RecheckPool is the effective worker-pool size scoped ingest uses
+	// to recheck revdep candidates (1 = serial; see
+	// Config.RecheckWorkers).
+	RecheckPool int `json:"recheck_pool"`
 }
 
 // ShardCacheStats is one shard's slice of the cache counters: the
@@ -668,7 +710,7 @@ type ShardCacheStats struct {
 // PerShard breakdown reports, so the two levels sum exactly even
 // mid-flight.
 func (w *World) CacheStats() CacheStats {
-	st := CacheStats{Shards: w.sm.N()}
+	st := CacheStats{Shards: w.sm.N(), RecheckPool: w.pred.RecheckWorkers()}
 	st.PerShard = make([]ShardCacheStats, st.Shards)
 	for i := range st.PerShard {
 		st.PerShard[i].Shard = i
@@ -681,14 +723,9 @@ func (w *World) CacheStats() CacheStats {
 	}
 	if w.lists != nil {
 		st.ListStoreEnabled = true
-		// One per-shard snapshot feeds both levels: the breakdown
-		// reports it and the aggregate is derived from it, so the sums
-		// match exactly even mid-flight.
-		parts := w.lists.StatsByShard()
-		for i, s := range parts {
+		for i, s := range w.lists.StatsByShard() {
 			st.PerShard[i].ListStore = s
 		}
-		st.ListStore = w.lists.StatsFrom(parts)
 	}
 	var nbhd cf.ShardStatsSource
 	switch {
@@ -701,6 +738,35 @@ func (w *World) CacheStats() CacheStats {
 	}
 	for i, s := range nbhd.StatsByShard() {
 		st.PerShard[i].Neighborhoods = s
+	}
+	// Distributed mode: each shard's hot state lives on its owning
+	// worker, so the workers' counters replace the router's idle local
+	// ones shard by shard. An unreachable worker leaves zero-valued
+	// entries for its shards — degraded, not absent, so the response
+	// shape is identical to the in-process world's.
+	if w.remote != nil {
+		rs, ok, _ := w.remote.StatsByShard()
+		for i := range st.PerShard {
+			if ok[i] {
+				st.PerShard[i].RowCache = rs[i].RowCache
+				st.PerShard[i].ListStore = rs[i].ListStore
+				st.PerShard[i].Neighborhoods = rs[i].Neighborhoods
+			} else {
+				st.PerShard[i].RowCache = cf.CacheStats{}
+				st.PerShard[i].ListStore = liststore.ShardStats{}
+				st.PerShard[i].Neighborhoods = cf.CacheStats{}
+			}
+		}
+	}
+	if w.lists != nil {
+		// One per-shard snapshot feeds both levels: the breakdown
+		// reports it and the aggregate is derived from it, so the sums
+		// match exactly even mid-flight (and across processes).
+		parts := make([]liststore.ShardStats, len(st.PerShard))
+		for i, ps := range st.PerShard {
+			parts[i] = ps.ListStore
+		}
+		st.ListStore = w.lists.StatsFrom(parts)
 	}
 	// Aggregates are the sums of the per-shard snapshots, so the two
 	// levels can never disagree.
