@@ -49,9 +49,11 @@
 // started first (same world flags: -seed, -ratings, -rowcache,
 // -liststore, -shards) — the boot handshake refuses a worker built
 // from a different world. A worker dying degrades only the shards it
-// owns: requests touching them answer 503 ("shard_unavailable") with
+// owns: reads touching them answer 503 ("shard_unavailable") with
 // Retry-After, or 504 ("shard_timeout") on deadline, while other
-// shards keep serving.
+// shards keep serving; rating ingest stays accepted (durable locally
+// and on live replicas) with missed fanout deliveries counted in
+// /v1/stats and the lagging worker fenced from serving.
 //
 // Endpoints (API v1; the unversioned routes are compatibility
 // aliases):

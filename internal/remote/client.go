@@ -25,18 +25,37 @@ type ClientConfig struct {
 	// CallTimeout bounds one whole call — write, every response frame,
 	// terminal frame (2s if 0). Expiry maps to ErrShardTimeout.
 	CallTimeout time.Duration
-	// Retries bounds re-dial attempts for idempotent reads after a
-	// transport failure (2 if 0, negative disables). Writes (rating
-	// apply) never retry: the transport is at-most-once for them.
+	// Retries bounds re-dial attempts after a transport failure (2 if
+	// 0, negative disables). Reads are idempotent; applies are
+	// sequence-numbered and deduplicated by the worker, so both are
+	// safe to redeliver.
 	Retries int
 	// Backoff is the base retry backoff, doubled per attempt (5ms if 0).
 	Backoff time.Duration
 	// PoolSize bounds idle pooled connections per worker (4 if 0).
 	PoolSize int
+	// BreakerFailures is the circuit breaker threshold: after this
+	// many consecutive transport failures the client fast-fails calls
+	// for BreakerCooldown instead of re-dialing into a dead worker's
+	// DialTimeout every time (3 if 0, negative disables).
+	BreakerFailures int
+	// BreakerCooldown is how long the opened circuit fast-fails before
+	// letting one probe call through (1s if 0).
+	BreakerCooldown time.Duration
+	// MaxViewScores bounds the pool length a view response may claim;
+	// a chunk whose Total exceeds it is a protocol violation, rejected
+	// before the gather buffer is allocated (2^22 scores = 32 MiB if
+	// 0). The router pins it to the actual pool size at attach time.
+	MaxViewScores int
 	// Fingerprint and Shards identify the router's world; every fresh
 	// connection handshakes them against the worker.
 	Fingerprint uint64
 	Shards      int
+	// Owns, when non-nil, is the shard set the topology assigns this
+	// worker; the handshake verifies the worker's helloAck agrees and
+	// refuses a mis-assigned worker at boot (ErrConfigMismatch)
+	// instead of surfacing wrong_shard errors at request time.
+	Owns []int
 }
 
 func (c *ClientConfig) fill() {
@@ -58,6 +77,15 @@ func (c *ClientConfig) fill() {
 	if c.PoolSize == 0 {
 		c.PoolSize = 4
 	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.MaxViewScores == 0 {
+		c.MaxViewScores = 1 << 22
+	}
 }
 
 // Client speaks the shard protocol to one worker. Connections are
@@ -68,6 +96,21 @@ type Client struct {
 	addr string
 	cfg  ClientConfig
 	seq  atomic.Uint64
+
+	// fenceReason, when non-nil, quarantines the client: every call
+	// fast-fails with ErrShardUnavailable. Set when the worker's
+	// replica is known to have missed a write (divergent state must
+	// not serve); never cleared under static membership — the worker
+	// rejoins by restarting with rebuilt state.
+	fenceReason atomic.Pointer[string]
+
+	// Circuit breaker: failStreak counts consecutive transport
+	// failures; once it reaches BreakerFailures the circuit opens
+	// until openUntil (unix nanos), fast-failing calls instead of
+	// paying DialTimeout per call against a dead worker. The first
+	// call after the cooldown probes; success closes the circuit.
+	failStreak atomic.Int32
+	openUntil  atomic.Int64
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -95,11 +138,58 @@ func (c *Client) Close() {
 	c.idle = nil
 }
 
+// Fence quarantines the client: every subsequent call fast-fails with
+// ErrShardUnavailable, so a replica known to have missed a write never
+// serves divergent bytes. Permanent under static membership (the
+// worker rejoins by restarting with rebuilt state).
+func (c *Client) Fence(reason string) {
+	c.fenceReason.CompareAndSwap(nil, &reason)
+}
+
+// Fenced reports whether the client has been quarantined.
+func (c *Client) Fenced() bool { return c.fenceReason.Load() != nil }
+
+// noteFailure records one transport failure for the circuit breaker,
+// opening the circuit once the streak reaches the threshold.
+func (c *Client) noteFailure() {
+	if c.cfg.BreakerFailures < 0 {
+		return
+	}
+	if int(c.failStreak.Add(1)) >= c.cfg.BreakerFailures {
+		c.openUntil.Store(time.Now().Add(c.cfg.BreakerCooldown).UnixNano())
+	}
+}
+
+// noteSuccess records a completed exchange, closing the circuit.
+func (c *Client) noteSuccess() {
+	c.failStreak.Store(0)
+	c.openUntil.Store(0)
+}
+
+// gate fast-fails a call that must not reach the wire: the client is
+// fenced (quarantined replica) or the breaker circuit is open.
+func (c *Client) gate() error {
+	if r := c.fenceReason.Load(); r != nil {
+		return fmt.Errorf("%w: worker %s fenced: %s", ErrShardUnavailable, c.addr, *r)
+	}
+	if until := c.openUntil.Load(); until != 0 {
+		if time.Now().UnixNano() < until {
+			return fmt.Errorf("%w: worker %s circuit open after %d consecutive failures", ErrShardUnavailable, c.addr, c.failStreak.Load())
+		}
+		// Cooldown elapsed: let this call through as the probe.
+		c.openUntil.Store(0)
+	}
+	return nil
+}
+
 // getConn returns a pooled connection or dials and handshakes a fresh
 // one. Handshake failures that are configuration-shaped surface as
 // ErrConfigMismatch; everything transport-shaped wraps
 // ErrShardUnavailable.
 func (c *Client) getConn() (net.Conn, error) {
+	if err := c.gate(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -115,6 +205,7 @@ func (c *Client) getConn() (net.Conn, error) {
 
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
+		c.noteFailure()
 		return nil, fmt.Errorf("%w: dialing worker %s: %v", ErrShardUnavailable, c.addr, err)
 	}
 	if err := c.handshake(conn); err != nil {
@@ -139,12 +230,39 @@ func (c *Client) handshake(conn net.Conn) error {
 	}
 	switch f.kind {
 	case kindHelloAck:
-		return nil
+		return c.checkHelloAck(f.payload)
 	case kindError:
 		return decodeAppError(f.payload)
 	default:
 		return fmt.Errorf("%w: hello answered by frame kind %d", ErrProtocol, f.kind)
 	}
+}
+
+// checkHelloAck verifies the worker's declared owned shards against
+// the topology's assignment (cfg.Owns; nil skips — a bare client has
+// no expectation). A worker whose -owns disagrees with the router's
+// topology fails here, at boot, instead of answering wrong_shard to
+// every request for the mis-assigned shard.
+func (c *Client) checkHelloAck(payload []byte) error {
+	if c.cfg.Owns == nil {
+		return nil
+	}
+	got, err := decodeHelloAck(payload)
+	if err != nil {
+		return err
+	}
+	want := append([]int(nil), c.cfg.Owns...)
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		return fmt.Errorf("%w: worker %s owns shards %v, topology assigns %v", ErrConfigMismatch, c.addr, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%w: worker %s owns shards %v, topology assigns %v", ErrConfigMismatch, c.addr, got, want)
+		}
+	}
+	return nil
 }
 
 // putConn returns a healthy connection to the pool.
@@ -160,8 +278,10 @@ func (c *Client) putConn(conn net.Conn) {
 
 // transportErr classifies a low-level failure: deadline expiries are
 // ErrShardTimeout, everything else (reset, torn frame, corrupt frame)
-// is ErrShardUnavailable. Both carry the worker address.
+// is ErrShardUnavailable. Both carry the worker address and count as
+// a breaker strike.
 func (c *Client) transportErr(op string, err error) error {
+	c.noteFailure()
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		return fmt.Errorf("%w: %s to worker %s: %v", ErrShardTimeout, op, c.addr, err)
@@ -172,10 +292,11 @@ func (c *Client) transportErr(op string, err error) error {
 // call runs one request/response exchange: write the request frame,
 // deliver every progress frame to onProgress (may be nil), return the
 // terminal result payload. Transport failures close the connection
-// and, for idempotent ops, retry on a fresh one with doubling backoff.
-func (c *Client) call(op uint8, payload []byte, idempotent bool, onProgress func([]byte) error) ([]byte, error) {
+// and, for redeliverable ops (idempotent reads, sequence-deduplicated
+// applies), retry on a fresh one with doubling backoff.
+func (c *Client) call(op uint8, payload []byte, redeliverable bool, onProgress func([]byte) error) ([]byte, error) {
 	attempts := 1
-	if idempotent {
+	if redeliverable {
 		attempts += c.cfg.Retries
 	}
 	var err error
@@ -231,10 +352,12 @@ func (c *Client) callOnce(op uint8, payload []byte, onProgress func([]byte) erro
 		case kindResult:
 			_ = conn.SetDeadline(time.Time{})
 			c.putConn(conn)
+			c.noteSuccess()
 			return f.payload, nil
 		case kindError:
 			_ = conn.SetDeadline(time.Time{})
 			c.putConn(conn)
+			c.noteSuccess() // the transport delivered; the refusal is application-level
 			return nil, decodeAppError(f.payload)
 		default:
 			conn.Close()
@@ -255,13 +378,19 @@ func (c *Client) Ping() error {
 }
 
 // ViewScores fetches u's pool-order normalized view scores, gathering
-// the chunked progress frames into one dense slice.
+// the chunked progress frames into one dense slice. The peer-claimed
+// total is bounded by MaxViewScores before the gather buffer is
+// allocated — a buggy worker cannot make the router allocate
+// gigabytes off one CRC-valid frame.
 func (c *Client) ViewScores(u dataset.UserID) ([]float64, error) {
 	var scores []float64
 	gather := func(p []byte) error {
 		chunk, err := decodeViewChunk(p)
 		if err != nil {
 			return err
+		}
+		if int64(chunk.Total) > int64(c.cfg.MaxViewScores) {
+			return fmt.Errorf("%w: view claims %d scores, bound is %d", ErrProtocol, chunk.Total, c.cfg.MaxViewScores)
 		}
 		if scores == nil {
 			scores = make([]float64, chunk.Total)
@@ -298,10 +427,14 @@ func (c *Client) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float
 	return vals, nil
 }
 
-// Apply fans one rating into the worker's replica. Never retried: the
-// transport is at-most-once for writes.
-func (c *Client) Apply(r dataset.Rating) (ApplyAck, error) {
-	out, err := c.call(opApply, encodeRating(r), false, nil)
+// Apply delivers one sequence-stamped rating into the worker's
+// replica. The worker deduplicates by sequence, so a delivery whose
+// ack was lost in transit is safely redelivered on retry — effectively
+// exactly-once per sequence number — and a worker that missed an
+// earlier sequence answers ErrReplicaGap instead of ingesting past
+// the hole.
+func (c *Client) Apply(seq uint64, r dataset.Rating) (ApplyAck, error) {
+	out, err := c.call(opApply, encodeApplyReq(applyReq{Seq: seq, Rating: r}), true, nil)
 	if err != nil {
 		return ApplyAck{}, err
 	}
@@ -400,9 +533,9 @@ type ShardSet struct {
 	sm      shard.Map
 	owner   []*Client // per shard
 	clients []*Client // distinct, in worker order
-	// fanoutErrs counts non-owner apply deliveries that failed — those
-	// workers' shards are already degraded for reads, so the ingest
-	// proceeds, but the misses are observable.
+	// fanoutErrs counts apply deliveries that failed after retries;
+	// each one fenced its worker, so a missed write is never silent —
+	// the worker's shards degrade to ErrShardUnavailable.
 	fanoutErrs atomic.Uint64
 }
 
@@ -416,7 +549,11 @@ func NewShardSet(top Topology, cfg ClientConfig) (*ShardSet, error) {
 	sm := hashMapFor(top.Shards)
 	s := &ShardSet{top: top, sm: sm, owner: make([]*Client, top.Shards)}
 	for _, w := range top.Workers {
-		cl := NewClient(w.Addr, cfg)
+		wcfg := cfg
+		// The handshake verifies each worker's helloAck against its
+		// topology assignment, so a mis-deployed -owns fails at boot.
+		wcfg.Owns = append([]int(nil), w.Owns...)
+		cl := NewClient(w.Addr, wcfg)
 		s.clients = append(s.clients, cl)
 		for _, sh := range w.Owns {
 			if sh < 0 || sh >= top.Shards || s.owner[sh] != nil {
@@ -481,25 +618,53 @@ func (s *ShardSet) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]flo
 	return s.ownerOf(u).PredictBatch(u, items)
 }
 
-// Apply fans a rating out to every worker — each holds a full replica
-// of the rating store, and a worker's neighborhoods for its own users
-// depend on every user's vector, so every replica must ingest every
-// rating, in the same order (the router serializes applies under its
-// ingest lock). The owner's ack is returned; an unreachable owner
-// fails the call (its shards cannot ack the write). A non-owner
-// failure is tolerated and counted: that worker's shards are already
-// degraded for reads, and static membership means it never serves
-// again without a restart.
-func (s *ShardSet) Apply(r dataset.Rating) (ApplyAck, error) {
+// Apply fans a sequence-stamped rating out to every worker — each
+// holds a full replica of the rating store, and a worker's
+// neighborhoods for its own users depend on every user's vector, so
+// every replica must ingest every rating, in the same order (the
+// router serializes applies and their sequence numbers under its
+// ingest lock). Deliveries run concurrently, so one dead worker costs
+// at most one dial timeout per fanout, not one per worker.
+//
+// Failure policy: each delivery is retried with backoff (the worker
+// deduplicates by sequence, so redelivery after a lost ack is safe).
+// A worker whose delivery still fails — transport, or an application
+// refusal of a rating the router already applied — has missed a write
+// its replica can never recover under static membership, so it is
+// fenced: every later call fast-fails ErrShardUnavailable and its
+// shards degrade honestly instead of serving divergent bytes. Already
+// fenced workers are skipped. The owner's ack is returned; a non-nil
+// error reports that the owner itself missed the write (and is now
+// fenced) — the rating is still durably delivered to every live
+// replica, so the caller decides whether that fails its ingest.
+func (s *ShardSet) Apply(seq uint64, r dataset.Rating) (ApplyAck, error) {
 	owner := s.ownerOf(r.User)
+	acks := make([]ApplyAck, len(s.clients))
+	errs := make([]error, len(s.clients))
+	var wg sync.WaitGroup
+	for i, cl := range s.clients {
+		if cl.Fenced() {
+			if cl == owner {
+				errs[i] = fmt.Errorf("%w: owner %s is fenced", ErrShardUnavailable, cl.Addr())
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			acks[i], errs[i] = cl.Apply(seq, r)
+		}(i, cl)
+	}
+	wg.Wait()
 	var ack ApplyAck
 	var ownerErr error
-	for _, cl := range s.clients {
-		a, err := cl.Apply(r)
-		if cl == owner {
-			ack, ownerErr = a, err
-		} else if err != nil {
+	for i, cl := range s.clients {
+		if err := errs[i]; err != nil && !cl.Fenced() {
+			cl.Fence(fmt.Sprintf("missed apply seq %d: %v", seq, err))
 			s.fanoutErrs.Add(1)
+		}
+		if cl == owner {
+			ack, ownerErr = acks[i], errs[i]
 		}
 	}
 	if ownerErr != nil {
@@ -508,8 +673,31 @@ func (s *ShardSet) Apply(r dataset.Rating) (ApplyAck, error) {
 	return ack, nil
 }
 
-// FanoutErrors reports non-owner apply deliveries that failed.
+// FanoutErrors reports apply deliveries that failed (each such worker
+// was fenced at that point).
 func (s *ShardSet) FanoutErrors() uint64 { return s.fanoutErrs.Load() }
+
+// Fenced lists the addresses of quarantined workers — replicas that
+// missed a write and were cut off from serving.
+func (s *ShardSet) Fenced() []string {
+	var out []string
+	for _, cl := range s.clients {
+		if cl.Fenced() {
+			out = append(out, cl.Addr())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LimitViewScores pins every client's view-length bound to the actual
+// pool size, so a buggy worker's claimed view total cannot exceed the
+// world's real one. Call before serving (AttachRemote does).
+func (s *ShardSet) LimitViewScores(n int) {
+	for _, cl := range s.clients {
+		cl.cfg.MaxViewScores = n
+	}
+}
 
 // InvalidateUser drops u's derived state on its owning worker.
 func (s *ShardSet) InvalidateUser(u dataset.UserID) (bool, error) {

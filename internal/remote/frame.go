@@ -43,8 +43,10 @@ import (
 //	payload length bytes
 //	crc     u32  CRC32 (IEEE) over header + payload
 const (
-	frameMagic   = uint32(0x41435247) // "GRCA" little-endian
-	frameVersion = uint16(1)
+	frameMagic = uint32(0x41435247) // "GRCA" little-endian
+	// frameVersion 2: apply requests carry the router's global apply
+	// sequence (dedup + gap detection at the replica).
+	frameVersion = uint16(2)
 	frameHdrLen  = 4 + 2 + 1 + 1 + 8 + 4
 	frameCRCLen  = 4
 )
@@ -96,8 +98,14 @@ var (
 	// bytes — corruption in transit.
 	ErrCRCMismatch = errors.New("remote: frame CRC mismatch")
 	// ErrConfigMismatch marks a worker built from a different world
-	// configuration (hello fingerprint or shard-count disagreement).
+	// configuration (hello fingerprint, shard-count, or owned-shard
+	// disagreement).
 	ErrConfigMismatch = errors.New("remote: world configuration mismatch")
+	// ErrReplicaGap marks a worker that detected a hole in the apply
+	// sequence: it missed at least one fanned-out rating and refuses
+	// to ingest past the gap — its replica is behind and must not
+	// serve until rebuilt (the router fences it).
+	ErrReplicaGap = errors.New("remote: replica missed an apply")
 	// ErrProtocol marks a well-formed frame that violates the RPC
 	// discipline (wrong sequence, unexpected kind).
 	ErrProtocol = errors.New("remote: protocol violation")

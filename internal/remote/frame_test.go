@@ -133,7 +133,7 @@ func TestWireShortPayloads(t *testing.T) {
 		"chunk":    encodeViewChunk(viewChunk{Total: 4, Offset: 0, Scores: []float64{1, 2}}),
 		"predict":  encodePredictReq(predictReq{User: 3, Items: []dataset.ItemID{1, 2, 3}}),
 		"f64s":     encodeF64s([]float64{1, 2, 3}),
-		"rating":   encodeRating(dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4}),
+		"apply":    encodeApplyReq(applyReq{Seq: 9, Rating: dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4}}),
 		"ack":      encodeApplyAck(ApplyAck{Pending: 1, Applied: 2, Folds: 3, Folded: 4}),
 		"bool":     encodeBool(true),
 		"appError": encodeAppError("internal", "msg"),
@@ -145,7 +145,7 @@ func TestWireShortPayloads(t *testing.T) {
 		"chunk":    func(p []byte) error { _, err := decodeViewChunk(p); return err },
 		"predict":  func(p []byte) error { _, err := decodePredictReq(p); return err },
 		"f64s":     func(p []byte) error { _, err := decodeF64s(p); return err },
-		"rating":   func(p []byte) error { _, err := decodeRating(p); return err },
+		"apply":    func(p []byte) error { _, err := decodeApplyReq(p); return err },
 		"ack":      func(p []byte) error { _, err := decodeApplyAck(p); return err },
 		"bool":     func(p []byte) error { _, err := decodeBool(p); return err },
 		"appError": func(p []byte) error {
@@ -185,9 +185,9 @@ func TestWireRoundTrips(t *testing.T) {
 	if err != nil || q.User != 11 || len(q.Items) != 2 || q.Items[0] != 5 || q.Items[1] != 1 {
 		t.Errorf("predictReq: %+v, %v", q, err)
 	}
-	rt, err := decodeRating(encodeRating(dataset.Rating{User: 1, Item: 2, Value: 4.5, Time: -3}))
-	if err != nil || rt.User != 1 || rt.Item != 2 || rt.Value != 4.5 || rt.Time != -3 {
-		t.Errorf("rating: %+v, %v", rt, err)
+	ar, err := decodeApplyReq(encodeApplyReq(applyReq{Seq: 12, Rating: dataset.Rating{User: 1, Item: 2, Value: 4.5, Time: -3}}))
+	if err != nil || ar.Seq != 12 || ar.Rating != (dataset.Rating{User: 1, Item: 2, Value: 4.5, Time: -3}) {
+		t.Errorf("applyReq: %+v, %v", ar, err)
 	}
 	b, err := decodeBool(encodeBool(false))
 	if err != nil || b {
@@ -224,6 +224,7 @@ func TestAppErrorMapping(t *testing.T) {
 		{codeUnknownItem, dataset.ErrUnknownItem},
 		{codeBadRating, dataset.ErrBadValue},
 		{codeMismatch, ErrConfigMismatch},
+		{codeReplicaGap, ErrReplicaGap},
 	}
 	for _, c := range cases {
 		err := decodeAppError(encodeAppError(c.code, "detail"))

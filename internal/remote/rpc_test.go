@@ -149,7 +149,7 @@ func TestClientPredictApplyInvalidateStats(t *testing.T) {
 		t.Errorf("predictions = %v, want %v", vals, want)
 	}
 
-	ack, err := c.Apply(dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4})
+	ack, err := c.Apply(1, dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4})
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
@@ -191,7 +191,9 @@ func TestClientApplyAppErrors(t *testing.T) {
 		b.mu.Lock()
 		b.applyErr = fmt.Errorf("refused: %w", want)
 		b.mu.Unlock()
-		if _, err := c.Apply(dataset.Rating{User: 1, Item: 1, Value: 1}); !errors.Is(err, want) {
+		// A refused apply never advances the worker's sequence, so every
+		// attempt is the "next" apply at seq 1.
+		if _, err := c.Apply(1, dataset.Rating{User: 1, Item: 1, Value: 1}); !errors.Is(err, want) {
 			t.Errorf("err = %v, want %v", err, want)
 		}
 	}
@@ -245,6 +247,50 @@ func TestHandshakeConfigMismatch(t *testing.T) {
 	defer c2.Close()
 	if err := c2.Ping(); !errors.Is(err, ErrConfigMismatch) {
 		t.Errorf("shard-count skew: err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestHandshakeOwnsMismatch: a worker deployed with the wrong -owns
+// (its helloAck disagrees with the topology's assignment) is refused
+// at the boot handshake — not discovered request by request as
+// wrong_shard errors.
+func TestHandshakeOwnsMismatch(t *testing.T) {
+	b := &fakeBackend{fp: 5, shards: 2, owned: []int{0}}
+	addr := startWorker(t, b, nil)
+	top, err := ParseTopology([]byte(fmt.Sprintf(
+		`{"shards": 2, "workers": [{"addr": %q, "owns": [0, 1]}]}`, addr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewShardSet(top, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(set.Close)
+	if err := set.Handshake(5, 2); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("Handshake: err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestClientViewTotalBounded: a view chunk claiming a total past the
+// configured bound is a protocol violation, rejected before the
+// gather buffer is allocated — a buggy or hostile worker cannot make
+// the router allocate gigabytes off one CRC-valid frame.
+func TestClientViewTotalBounded(t *testing.T) {
+	addr := rawWorker(t, func(conn net.Conn, req frame) {
+		chunk := encodeViewChunk(viewChunk{Total: 1_000_000, Offset: 0, Scores: []float64{1}})
+		_ = writeFrame(conn, frame{kind: kindProgress, op: req.op, seq: req.seq, payload: chunk})
+		_ = writeFrame(conn, frame{kind: kindResult, op: req.op, seq: req.seq, payload: chunk})
+	})
+	c := NewClient(addr, ClientConfig{
+		CallTimeout:   500 * time.Millisecond,
+		Backoff:       time.Millisecond,
+		Shards:        1,
+		MaxViewScores: 100,
+	})
+	defer c.Close()
+	if _, err := c.ViewScores(1); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized view claim: err = %v, want ErrProtocol", err)
 	}
 }
 
@@ -376,26 +422,77 @@ func TestClientRetriesIdempotentReads(t *testing.T) {
 	}
 }
 
-// TestClientNeverRetriesApply: a write on a severed connection fails
-// without a second delivery — at-most-once for ratings.
-func TestClientNeverRetriesApply(t *testing.T) {
+// TestClientApplyRetriesSameSeq: an apply whose connection is severed
+// before the ack is redelivered on a fresh dial, byte-identical —
+// same sequence, same rating — so the worker's dedup can make the
+// redelivery idempotent.
+func TestClientApplyRetriesSameSeq(t *testing.T) {
 	var mu sync.Mutex
-	calls := 0
+	var payloads [][]byte
 	addr := rawWorker(t, func(conn net.Conn, req frame) {
 		mu.Lock()
-		calls++
+		payloads = append(payloads, append([]byte(nil), req.payload...))
+		first := len(payloads) == 1
 		mu.Unlock()
-		// Never answer: every attempt would count here.
+		if first {
+			return // die without answering; deferred Close tears the conn
+		}
+		_ = writeFrame(conn, frame{kind: kindResult, op: req.op, seq: req.seq, payload: encodeApplyAck(ApplyAck{Pending: 1})})
 	})
-	c := NewClient(addr, ClientConfig{CallTimeout: 200 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
+	c := NewClient(addr, ClientConfig{CallTimeout: 500 * time.Millisecond, Backoff: time.Millisecond, Shards: 1})
 	defer c.Close()
-	if _, err := c.Apply(dataset.Rating{User: 1, Item: 1, Value: 1}); err == nil {
-		t.Fatal("Apply on dead worker succeeded")
+	ack, err := c.Apply(42, dataset.Rating{User: 1, Item: 1, Value: 1})
+	if err != nil || ack.Pending != 1 {
+		t.Fatalf("retried apply = %+v, %v; want pending 1, nil", ack, err)
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	if calls != 1 {
-		t.Errorf("worker saw %d apply deliveries, want exactly 1", calls)
+	if len(payloads) != 2 {
+		t.Fatalf("worker saw %d apply deliveries, want 2 (one dropped, one redelivered)", len(payloads))
+	}
+	q0, err0 := decodeApplyReq(payloads[0])
+	q1, err1 := decodeApplyReq(payloads[1])
+	if err0 != nil || err1 != nil || q0 != q1 || q0.Seq != 42 {
+		t.Errorf("deliveries diverge: %+v (%v) vs %+v (%v)", q0, err0, q1, err1)
+	}
+}
+
+// TestServerApplyDedupAndGap pins the worker-side sequence discipline:
+// a redelivered apply acks without a second ingest, and a sequence
+// hole answers replica_gap instead of ingesting past a missed write.
+func TestServerApplyDedupAndGap(t *testing.T) {
+	b := allOwned()
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	r1 := dataset.Rating{User: 1, Item: 2, Value: 3, Time: 4}
+	ack, err := c.Apply(1, r1)
+	if err != nil {
+		t.Fatalf("Apply(1): %v", err)
+	}
+	// Redelivery of seq 1: same ack, no second ingest.
+	again, err := c.Apply(1, r1)
+	if err != nil || again != ack {
+		t.Fatalf("redelivered Apply(1) = %+v, %v; want %+v, nil", again, err, ack)
+	}
+	b.mu.Lock()
+	n := len(b.applied)
+	b.mu.Unlock()
+	if n != 1 {
+		t.Errorf("backend ingested %d ratings, want 1 (dedup)", n)
+	}
+	// Same seq, different rating: not a redelivery — a divergence.
+	if _, err := c.Apply(1, dataset.Rating{User: 1, Item: 9, Value: 1}); !errors.Is(err, ErrReplicaGap) {
+		t.Errorf("conflicting seq 1: err = %v, want ErrReplicaGap", err)
+	}
+	// Skipping seq 2 entirely: the replica missed a write.
+	if _, err := c.Apply(3, dataset.Rating{User: 1, Item: 3, Value: 2}); !errors.Is(err, ErrReplicaGap) {
+		t.Errorf("gap: err = %v, want ErrReplicaGap", err)
+	}
+	// The contiguous next sequence still applies.
+	if _, err := c.Apply(2, dataset.Rating{User: 1, Item: 3, Value: 2}); err != nil {
+		t.Errorf("Apply(2): %v", err)
 	}
 }
 
@@ -488,7 +585,7 @@ func TestShardSetRoutesByShard(t *testing.T) {
 func TestShardSetApplyFansOutToAllWorkers(t *testing.T) {
 	set, b0, b1 := twoWorkerSet(t)
 	u := userOnShard(1)
-	ack, err := set.Apply(dataset.Rating{User: u, Item: 7, Value: 4, Time: 1})
+	ack, err := set.Apply(1, dataset.Rating{User: u, Item: 7, Value: 4, Time: 1})
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
@@ -572,14 +669,20 @@ func TestShardSetDeadWorkerDegradesOnlyItsShards(t *testing.T) {
 		t.Errorf("dead shard entry = %+v, want zero-valued placeholder", ss[0])
 	}
 
-	if _, err := set.Apply(dataset.Rating{User: userOnShard(0), Item: 1, Value: 1}); !errors.Is(err, ErrShardUnavailable) {
+	if _, err := set.Apply(1, dataset.Rating{User: userOnShard(0), Item: 1, Value: 1}); !errors.Is(err, ErrShardUnavailable) {
 		t.Errorf("ingest for dead owner: err = %v, want ErrShardUnavailable", err)
 	}
-	if _, err := set.Apply(dataset.Rating{User: userOnShard(1), Item: 1, Value: 1, Time: 1}); err != nil {
+	if _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 1, Value: 1, Time: 1}); err != nil {
 		t.Errorf("ingest for live owner: %v", err)
 	}
 	if set.FanoutErrors() == 0 {
 		t.Error("fanout miss not counted")
+	}
+	// The dead worker missed a write: it must be fenced, so even if
+	// the process came back on that address it could not serve a
+	// diverged replica.
+	if fenced := set.Fenced(); len(fenced) != 1 {
+		t.Errorf("fenced workers = %v, want exactly the dead one", fenced)
 	}
 	// The live replica ingested both ratings: fanout delivers to every
 	// reachable worker even when the owner's ack fails (replicas must
@@ -590,6 +693,54 @@ func TestShardSetDeadWorkerDegradesOnlyItsShards(t *testing.T) {
 	b1.mu.Unlock()
 	if n != 2 {
 		t.Errorf("live worker ingested %d ratings, want 2", n)
+	}
+}
+
+// TestShardSetFencesReplicaThatMissedWrite is the divergence guard
+// from the other direction: the worker process is alive and serving
+// reads, but its Apply fails (full disk, refused ingest). The set
+// must fence it — a replica that missed a write can no longer serve
+// byte-identical state — so its shards degrade to ErrShardUnavailable
+// instead of silently serving stale bytes.
+func TestShardSetFencesReplicaThatMissedWrite(t *testing.T) {
+	set, b0, b1 := twoWorkerSet(t)
+	// Reads on shard 0 work before the miss.
+	if _, err := set.ViewScores(userOnShard(0)); err != nil {
+		t.Fatalf("pre-miss read: %v", err)
+	}
+	// Worker 0's replica refuses the ingest; the owner (worker 1) acks.
+	b0.mu.Lock()
+	b0.applyErr = errors.New("disk full")
+	b0.mu.Unlock()
+	if _, err := set.Apply(1, dataset.Rating{User: userOnShard(1), Item: 1, Value: 2, Time: 1}); err != nil {
+		t.Fatalf("Apply with live owner: %v", err)
+	}
+	if fenced := set.Fenced(); len(fenced) != 1 {
+		t.Fatalf("fenced = %v, want the worker that missed the write", fenced)
+	}
+	// The alive-but-behind worker no longer serves: its shard reads
+	// fast-fail, the live shard keeps serving.
+	if _, err := set.ViewScores(userOnShard(0)); !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("fenced shard read: err = %v, want ErrShardUnavailable", err)
+	}
+	if _, err := set.ViewScores(userOnShard(1)); err != nil {
+		t.Errorf("live shard read: %v", err)
+	}
+	// Later applies skip the fenced replica entirely.
+	b0.mu.Lock()
+	b0.applyErr = nil
+	b0.mu.Unlock()
+	if _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 2, Value: 3, Time: 2}); err != nil {
+		t.Fatalf("post-fence apply: %v", err)
+	}
+	b0.mu.Lock()
+	n0 := len(b0.applied)
+	b0.mu.Unlock()
+	b1.mu.Lock()
+	n1 := len(b1.applied)
+	b1.mu.Unlock()
+	if n0 != 0 || n1 != 2 {
+		t.Errorf("applied counts = %d/%d, want 0 (fenced, skipped) / 2", n0, n1)
 	}
 }
 

@@ -65,6 +65,15 @@ type Server struct {
 
 	owned map[int]bool
 	sm    shardOf
+
+	// Apply-sequence state: the router stamps every fanned-out rating
+	// with a contiguous global sequence. applyMu also serializes the
+	// backend Apply itself, so a redelivered duplicate can never race
+	// its original.
+	applyMu   sync.Mutex
+	applySeq  uint64         // highest contiguously applied sequence
+	lastApply dataset.Rating // rating applied at applySeq
+	lastAck   ApplyAck       // ack returned for applySeq
 }
 
 // shardOf is the minimal routing the server needs: shard-of-user under
@@ -213,11 +222,33 @@ func (s *Server) dispatch(conn net.Conn, f frame) error {
 		}
 		return result(encodeF64s(vals))
 	case opApply:
-		rt, err := decodeRating(f.payload)
+		q, err := decodeApplyReq(f.payload)
 		if err != nil {
 			return fail(codeInternal, err.Error())
 		}
-		ack, err := s.b.Apply(rt)
+		s.applyMu.Lock()
+		switch {
+		case q.Seq == s.applySeq && q.Seq > 0 && q.Rating == s.lastApply:
+			// Redelivery of the last apply (the router retrying after a
+			// lost ack): already ingested, answer the recorded ack.
+			ack := s.lastAck
+			s.applyMu.Unlock()
+			return result(encodeApplyAck(ack))
+		case q.Seq != s.applySeq+1:
+			// A hole in the sequence (or a replay of something older
+			// than the last apply): this replica missed a write and
+			// must not ingest past the gap — the router fences it.
+			seen := s.applySeq
+			s.applyMu.Unlock()
+			return fail(codeReplicaGap, fmt.Sprintf("apply seq %d after contiguous seq %d", q.Seq, seen))
+		}
+		ack, err := s.b.Apply(q.Rating)
+		if err == nil {
+			s.applySeq = q.Seq
+			s.lastApply = q.Rating
+			s.lastAck = ack
+		}
+		s.applyMu.Unlock()
 		switch {
 		case err == nil:
 			return result(encodeApplyAck(ack))

@@ -228,24 +228,39 @@ func decodeF64s(p []byte) ([]float64, error) {
 	return vs, r.err
 }
 
-func encodeRating(rt dataset.Rating) []byte {
+// applyReq is one fanned-out rating stamped with the router's global
+// apply sequence. The sequence makes the write path idempotent — a
+// redelivered apply (the router retrying after a lost ack) is
+// recognized and acked without a second ingest — and lets a replica
+// detect that it missed an earlier apply (a gap) and refuse to serve
+// a diverged state.
+type applyReq struct {
+	Seq    uint64
+	Rating dataset.Rating
+}
+
+func encodeApplyReq(q applyReq) []byte {
 	var w wireWriter
-	w.u64(uint64(rt.User))
-	w.u64(uint64(rt.Item))
-	w.f64(rt.Value)
-	w.i64(rt.Time)
+	w.u64(q.Seq)
+	w.u64(uint64(q.Rating.User))
+	w.u64(uint64(q.Rating.Item))
+	w.f64(q.Rating.Value)
+	w.i64(q.Rating.Time)
 	return w.b
 }
 
-func decodeRating(p []byte) (dataset.Rating, error) {
+func decodeApplyReq(p []byte) (applyReq, error) {
 	r := wireReader{b: p}
-	rt := dataset.Rating{
-		User:  dataset.UserID(r.u64()),
-		Item:  dataset.ItemID(r.u64()),
-		Value: r.f64(),
-		Time:  r.i64(),
+	q := applyReq{
+		Seq: r.u64(),
+		Rating: dataset.Rating{
+			User:  dataset.UserID(r.u64()),
+			Item:  dataset.ItemID(r.u64()),
+			Value: r.f64(),
+			Time:  r.i64(),
+		},
 	}
-	return rt, r.err
+	return q, r.err
 }
 
 // ApplyAck acknowledges a fanned-out rating with the worker's own
@@ -322,6 +337,7 @@ const (
 	codeBadRating   = "bad_rating"
 	codeWrongShard  = "wrong_shard"
 	codeMismatch    = "config_mismatch"
+	codeReplicaGap  = "replica_gap"
 	codeInternal    = "internal"
 )
 
@@ -358,6 +374,8 @@ func decodeAppError(p []byte) error {
 		return fmt.Errorf("remote: %w: %s", dataset.ErrBadValue, msg)
 	case codeMismatch:
 		return fmt.Errorf("%w: %s", ErrConfigMismatch, msg)
+	case codeReplicaGap:
+		return fmt.Errorf("%w: %s", ErrReplicaGap, msg)
 	default:
 		return &AppError{Code: code, Msg: msg}
 	}

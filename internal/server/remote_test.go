@@ -285,10 +285,14 @@ func TestRemoteDifferentialByteIdentical(t *testing.T) {
 }
 
 // TestRemoteWorkerDeathDegradesOnlyItsShards kills one of two workers
-// and pins the failure semantics: requests touching its shards answer
-// 503 shard_unavailable with a Retry-After header (recommend, stream,
-// ingest; batch carries the code per result), while groups wholly on
-// the surviving worker's shards keep serving. Run with -race.
+// and pins the failure semantics: reads touching its shards answer
+// 503 shard_unavailable with a Retry-After header (recommend, stream;
+// batch carries the code per result), while groups wholly on the
+// surviving worker's shards keep serving. Ingest stays available for
+// every user — the rating is durable on the router and the live
+// replicas before the dead owner's ack is missed, so answering an
+// error would invite a double-counting retry; the miss is counted in
+// stats instead. Run with -race.
 func TestRemoteWorkerDeathDegradesOnlyItsShards(t *testing.T) {
 	const shards = 4
 	stack := startRemoteStack(t, shards, [][]int{{0, 2}, {1, 3}}, remote.ClientConfig{
@@ -358,13 +362,16 @@ func TestRemoteWorkerDeathDegradesOnlyItsShards(t *testing.T) {
 		t.Errorf("dead-shard stream status = %d, body %s", status, data)
 	}
 
-	// Ingest: a rating owned by the dead worker cannot be acked (503);
-	// one owned by the live worker proceeds.
+	// Ingest: a rating stays accepted whichever worker owns its user —
+	// it is already durable on the router and the live replicas, and a
+	// 503 here would invite a retry that double-counts it. The missed
+	// fanout is observable, not silent: counted in stats, and the dead
+	// worker's shards keep failing reads above.
 	deadUser := groupOnShards(t, stack.router, shards, 1, deadShards)[0]
 	liveUser := groupOnShards(t, stack.router, shards, 1, liveShards)[0]
 	status, data = postJSON(t, ts.URL+"/v1/ratings",
 		fmt.Sprintf(`{"user":%d,"item":1,"value":4,"time":978300001}`, deadUser))
-	if status != http.StatusServiceUnavailable {
+	if status != http.StatusOK {
 		t.Errorf("dead-owner ingest status = %d, body %s", status, data)
 	}
 	status, data = postJSON(t, ts.URL+"/v1/ratings",
@@ -373,10 +380,18 @@ func TestRemoteWorkerDeathDegradesOnlyItsShards(t *testing.T) {
 		t.Errorf("live-owner ingest status = %d, body %s", status, data)
 	}
 
-	// Stats stay serveable: dead shards appear as zero-valued entries.
-	var stats json.RawMessage
+	// Stats stay serveable: dead shards appear as zero-valued entries,
+	// and the missed fanout deliveries are counted.
+	var stats struct {
+		Ingest struct {
+			FanoutMisses uint64 `json:"fanout_misses"`
+		} `json:"ingest"`
+	}
 	if st := getJSON(t, ts.URL+"/v1/stats", &stats); st != http.StatusOK {
 		t.Errorf("stats status = %d", st)
+	}
+	if stats.Ingest.FanoutMisses == 0 {
+		t.Error("fanout_misses = 0 after ingesting past a dead worker")
 	}
 }
 

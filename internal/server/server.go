@@ -567,8 +567,11 @@ func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
 		reject(http.StatusBadRequest, "bad_rating", err.Error())
 		return
 	default:
-		// A fanned-out ingest whose owning worker could not ack
-		// degrades like any other shard failure: 503/504, retryable.
+		// Defensive: the distributed ingest path no longer fails on a
+		// missed fanout (the rating is durable before the fanout runs,
+		// so a retryable failure here would double-count it; the worker
+		// that missed the write is fenced and its shards 503 on reads).
+		// Any transport-shaped error still maps honestly.
 		if s.writeTransportError(w, err) {
 			return
 		}
@@ -623,11 +626,15 @@ type streamStats struct {
 }
 
 // ingestStats counts live rating ingest: the HTTP traffic (posts
-// applied, rejects) and the store's own delta counters.
+// applied, rejects), the store's own delta counters, and — in
+// distributed mode — fanned-out applies whose owning worker missed
+// the write and was fenced (always present, zero in-process, so the
+// stats shape is identical either way).
 type ingestStats struct {
-	Posts   uint64             `json:"posts"`
-	Rejects uint64             `json:"rejects"`
-	Store   dataset.DeltaStats `json:"store"`
+	Posts        uint64             `json:"posts"`
+	Rejects      uint64             `json:"rejects"`
+	FanoutMisses uint64             `json:"fanout_misses"`
+	Store        dataset.DeltaStats `json:"store"`
 }
 
 type worldStats struct {
@@ -665,9 +672,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Periods:      s.world.Timeline().NumPeriods(),
 		},
 		Ingest: ingestStats{
-			Posts:   s.ratingPosts.Load(),
-			Rejects: s.ratingRejects.Load(),
-			Store:   s.world.IngestStats(),
+			Posts:        s.ratingPosts.Load(),
+			Rejects:      s.ratingRejects.Load(),
+			FanoutMisses: s.world.RemoteFanoutMisses(),
+			Store:        s.world.IngestStats(),
 		},
 		Persistence: s.openStats,
 	})

@@ -39,6 +39,10 @@ func (w *World) AttachRemote(set *remote.ShardSet) error {
 	if err := set.Handshake(w.ConfigFingerprint(), w.sm.N()); err != nil {
 		return fmt.Errorf("repro: attaching remote shards: %w", err)
 	}
+	// A view is the pool-order score vector, so its length is exactly
+	// the candidate pool's — pin the transport's claimed-total bound to
+	// it, rejecting any larger claim before allocation.
+	set.LimitViewScores(len(w.ratings.PopularityRanked()))
 	w.remote = set
 	w.asm.AttachRemote(remotePlane{set: set})
 	return nil

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/affinity"
 	"repro/internal/cf"
@@ -210,6 +211,15 @@ type World struct {
 	// fleet serving the per-user data plane; AddRating fans ingest out
 	// to every replica and CacheStats reports the workers' counters.
 	remote *remote.ShardSet
+	// remoteApplySeq stamps each fanned-out rating with a contiguous
+	// global sequence (guarded by ingestMu) so worker replicas can
+	// deduplicate redeliveries and detect missed writes. Starts at 0
+	// in every process: router and workers must boot from identical
+	// rating state.
+	remoteApplySeq uint64
+	// remoteFanoutMisses counts ingests whose owning worker missed
+	// the fanned-out write and was fenced.
+	remoteFanoutMisses atomic.Uint64
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -515,18 +525,27 @@ func (w *World) AddRating(r dataset.Rating) error {
 	// the same global order (apply order is the fold order, and fold
 	// order is what makes replicas bit-identical). Every replica needs
 	// every rating — a user-based neighborhood reads all users'
-	// vectors, so no shard's state is independent of the ingest. The
-	// owning worker must ack (its shards answer reads about the rater);
-	// a non-owner failure is tolerated, since that worker's shards are
-	// already degraded for reads and static membership means it never
-	// comes back without a restart.
+	// vectors, so no shard's state is independent of the ingest.
+	// Deliveries are sequence-stamped, retried with dedup at the
+	// worker, and any worker that still misses the write is fenced by
+	// the set — its shards answer 503 to reads instead of serving a
+	// diverged replica. The ingest itself never fails here: the rating
+	// is already durably applied (local store, WAL, every live
+	// replica), so failing the request would invite a retry that
+	// double-counts the rating in every process that applied it. A
+	// missed owner surfaces at read time, on its fenced shards.
 	if w.remote != nil {
-		if _, err := w.remote.Apply(r); err != nil {
-			return fmt.Errorf("repro: rating applied locally but the owning shard worker did not ack: %w", err)
+		w.remoteApplySeq++
+		if _, err := w.remote.Apply(w.remoteApplySeq, r); err != nil {
+			w.remoteFanoutMisses.Add(1)
 		}
 	}
 	return nil
 }
+
+// RemoteFanoutMisses counts distributed ingests whose owning worker
+// missed the fanned-out write (and was fenced). Zero in-process.
+func (w *World) RemoteFanoutMisses() uint64 { return w.remoteFanoutMisses.Load() }
 
 // applyRating is AddRating without the lock or the journal — the
 // shared core of live ingest and WAL replay (replayed records are
