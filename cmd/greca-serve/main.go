@@ -8,7 +8,7 @@
 //	greca-serve [-addr :8080] [-window 5ms] [-maxbatch 64] [-maxpending 0]
 //	            [-ratings ratings.dat] [-seed N] [-rowcache 1024]
 //	            [-liststore 1024] [-shards 1] [-shards-config topology.json]
-//	            [-workers N] [-recheck-workers N] [-snapshot dir]
+//	            [-remote-viewcache 0] [-workers N] [-recheck-workers N] [-snapshot dir]
 //	            [-refreeze 0] [-pprof localhost:6060] [-v]
 //
 // -snapshot names a persistence directory: on boot the world is
@@ -54,6 +54,13 @@
 // shards keep serving; rating ingest stays accepted (durable locally
 // and on live replicas) with missed fanout deliveries counted in
 // /v1/stats and the lagging worker fenced from serving.
+//
+// -remote-viewcache keeps up to N fetched member views warm on the
+// router, fenced by the global apply sequence: each ingested rating's
+// scoped-invalidation verdict (relayed in the workers' apply acks)
+// drops or patches exactly the cached views it could have touched, so
+// a warm hit serves bytes identical to a fresh fetch. Off by default
+// (0); only meaningful with -shards-config.
 //
 // Endpoints (API v1; the unversioned routes are compatibility
 // aliases):
@@ -149,6 +156,7 @@ func main() {
 		listStore  = flag.Int("liststore", liststore.DefaultMaxUsers, "sorted-list store user-view bound (must be positive)")
 		shards     = flag.Int("shards", 1, "user-range shard count (must be positive; 1 = unsharded)")
 		shardsConf = flag.String("shards-config", "", "JSON topology file mapping shards to greca-shard workers (empty = in-process shards)")
+		viewCache  = flag.Int("remote-viewcache", 0, "router-side remote view cache capacity in views (0 = disabled; only meaningful with -shards-config)")
 		workers    = flag.Int("workers", 0, "assembly workers per request (0 = GOMAXPROCS)")
 		recheck    = flag.Int("recheck-workers", 0, "scoped-invalidation recheck pool size (0 = min(4, GOMAXPROCS); negative = serial)")
 		snapshot   = flag.String("snapshot", "", "persistence directory: warm-restart snapshot + rating WAL (empty = no persistence)")
@@ -173,6 +181,7 @@ func main() {
 	cfg.Shards = *shards
 	cfg.AssemblyWorkers = *workers
 	cfg.RecheckWorkers = *recheck
+	cfg.RemoteViewCache = *viewCache
 	if *ratings != "" {
 		f, err := os.Open(*ratings)
 		if err != nil {

@@ -49,17 +49,22 @@ type Assembler struct {
 	remote RemotePlane
 }
 
-// RemotePlane is the multi-process data plane the assembler scatters
-// per-member reads over when shards live in worker processes. Both
-// methods route to the worker owning the user's shard; implementations
-// must be safe for concurrent use and return the transport's typed
-// sentinels on failure (the assembler propagates them verbatim).
+// RemotePlane is the multi-process data plane the assembler hands
+// whole-group reads to when shards live in worker processes. The
+// assembler passes the full member list; the plane buckets members by
+// owning worker and pays one RPC per worker per call (serving cached
+// views without any RPC at all), so a g-member group costs O(workers)
+// round trips instead of O(members). Implementations must be safe for
+// concurrent use and return the transport's typed sentinels on
+// failure (the assembler propagates them verbatim).
 type RemotePlane interface {
-	// ViewScores returns u's pool-order normalized preference scores
-	// (the dense side of the sorted-list view, length = pool size).
-	ViewScores(u dataset.UserID) ([]float64, error)
-	// PredictBatch returns raw (1..5 scale) predictions of u for items.
-	PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error)
+	// ViewsMulti returns each member's materialized view in member
+	// order (dense pool-order scores plus the canonical sorted side,
+	// score length = pool size).
+	ViewsMulti(users []dataset.UserID) ([]*liststore.View, error)
+	// PredictBatchMulti returns each member's raw (1..5 scale)
+	// predictions for one shared item list, in member order.
+	PredictBatchMulti(users []dataset.UserID, items []dataset.ItemID) ([][]float64, error)
 }
 
 // New builds an Assembler over src with the given per-call worker
@@ -111,27 +116,29 @@ func (a *Assembler) Source() cf.Source { return a.src }
 // re-allocates.
 //
 // The error is always nil for in-process reads; with a remote plane
-// attached, a member whose worker cannot serve fails the whole
-// assembly with the transport's typed error (first failing member in
-// group order), and every filled row is returned to the pool.
+// attached, the whole group's predictions come back from one batched
+// scatter (one RPC per owning worker), and a worker that cannot serve
+// fails the whole assembly with the transport's typed error before
+// any row is filled.
 func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, divisor float64) ([][]float64, error) {
 	g := len(group)
 	out := make([][]float64, g)
 	if g == 0 {
 		return out, nil
 	}
-	errs := make([]error, g)
+	var fetched [][]float64
+	if a.remote != nil {
+		var err error
+		fetched, err = a.remote.PredictBatchMulti(group, items)
+		if err != nil {
+			return nil, err
+		}
+	}
 	a.forEachMember(g, func(ui int) {
 		row := a.getRow(len(items))
 		switch {
-		case a.remote != nil:
-			vals, err := a.remote.PredictBatch(group[ui], items)
-			if err != nil {
-				errs[ui] = err
-				a.putRow(row)
-				return
-			}
-			copy(row, vals)
+		case fetched != nil:
+			copy(row, fetched[ui])
 		case a.into != nil:
 			a.into.PredictBatchInto(group[ui], items, row)
 		default:
@@ -142,23 +149,7 @@ func (a *Assembler) AprefRows(group []dataset.UserID, items []dataset.ItemID, di
 		}
 		out[ui] = row
 	})
-	if err := firstError(errs); err != nil {
-		a.Release(out)
-		return nil, err
-	}
 	return out, nil
-}
-
-// firstError returns the first non-nil error in slot order, so a
-// multi-member failure reports deterministically regardless of which
-// concurrent fill failed first.
-func firstError(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // forEachMember runs fill(ui) for ui in [0,g) over at most
@@ -265,13 +256,14 @@ type ViewAssembly struct {
 // assembles without any cross-shard lock, and the fill order is
 // interleaved across shards so concurrent workers spread over the
 // sub-stores instead of queueing on one.
-// With a remote plane attached, each member's view scores and patch
-// predictions come from the worker owning its shard (the local store
-// still supplies the global pool mapping, and the sorted side is
-// reconstructed from the fetched scores by the same canonical sort a
-// snapshot restore uses — bit-identical to the in-process view). A
-// member whose worker cannot serve fails the assembly with the
-// transport's typed error.
+// With a remote plane attached, the whole group's views and patch
+// predictions come back from two batched scatters — one ViewsMulti
+// and (when the patch set is non-empty) one PredictBatchMulti, each
+// one RPC per owning worker — before the parallel fill begins (the
+// local store still supplies the global pool mapping; fetched views
+// carry the same canonical sorted side a snapshot restore derives —
+// bit-identical to the in-process view). A worker that cannot serve
+// fails the assembly with the transport's typed error.
 func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, divisor float64) (ViewAssembly, bool, error) {
 	if a.lists == nil || a.lists.Divisor() != divisor || len(group) == 0 || len(items) == 0 {
 		return ViewAssembly{}, false, nil
@@ -289,20 +281,37 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 			Members: make([]core.MemberView, g),
 		},
 	}
-	errs := make([]error, g)
+	var (
+		remoteViews []*liststore.View
+		remotePatch [][]float64
+	)
+	if a.remote != nil {
+		var err error
+		remoteViews, err = a.remote.ViewsMulti(group)
+		if err != nil {
+			return ViewAssembly{}, false, err
+		}
+		for ui, v := range remoteViews {
+			if v == nil || len(v.Scores) != len(mapping.LocalOf) {
+				n := -1
+				if v != nil {
+					n = len(v.Scores)
+				}
+				return ViewAssembly{}, false, fmt.Errorf("engine: remote view for user %d carries %d scores, pool has %d",
+					group[ui], n, len(mapping.LocalOf))
+			}
+		}
+		if len(patch) > 0 {
+			remotePatch, err = a.remote.PredictBatchMulti(group, patch)
+			if err != nil {
+				return ViewAssembly{}, false, err
+			}
+		}
+	}
 	a.forEachMemberOrdered(a.shardInterleavedOrder(group), func(ui int) {
 		var v *liststore.View
-		if a.remote != nil {
-			scores, err := a.remote.ViewScores(group[ui])
-			if err == nil && len(scores) != len(mapping.LocalOf) {
-				err = fmt.Errorf("engine: remote view for user %d carries %d scores, pool has %d",
-					group[ui], len(scores), len(mapping.LocalOf))
-			}
-			if err != nil {
-				errs[ui] = err
-				return
-			}
-			v = liststore.ViewFromScores(scores)
+		if remoteViews != nil {
+			v = remoteViews[ui]
 		} else {
 			v = a.lists.Acquire(group[ui])
 		}
@@ -315,14 +324,8 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 		mv := core.MemberView{View: v.Sorted}
 		if len(patch) > 0 {
 			var pv []float64
-			if a.remote != nil {
-				var err error
-				pv, err = a.remote.PredictBatch(group[ui], patch)
-				if err != nil {
-					errs[ui] = err
-					a.putRow(row)
-					return
-				}
+			if remotePatch != nil {
+				pv = remotePatch[ui]
 			} else {
 				pv = a.src.PredictBatch(group[ui], patch)
 			}
@@ -338,10 +341,6 @@ func (a *Assembler) AprefViews(group []dataset.UserID, items []dataset.ItemID, d
 		va.Rows[ui] = row
 		va.Views.Members[ui] = mv
 	})
-	if err := firstError(errs); err != nil {
-		a.Release(va.Rows)
-		return ViewAssembly{}, false, err
-	}
 	return va, true, nil
 }
 

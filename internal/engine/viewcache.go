@@ -1,0 +1,363 @@
+// Router-side remote view cache: keeps views fetched from shard
+// workers warm across requests so a group assembly that has seen a
+// member before skips the wire entirely. Coherence with rating ingest
+// rides on a sequence fence: every ingest brackets itself with
+// Begin/End, which moves a global generation counter through an odd
+// (ingest-in-progress) phase, and a fetched view may only be installed
+// if the generation is even and unchanged since the fetch was issued —
+// so a view read from a worker before an ingest can never be installed
+// after that ingest's invalidation sweep has passed its slot. The
+// sweep itself mirrors the liststore's scoped invalidation verdicts
+// exactly (drop stale/unknown/global-mean views, patch fallback-only
+// views in place, retain the rest), so a cache hit is bit-identical to
+// a fresh worker fetch at every point in the ingest history.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cf"
+	"repro/internal/dataset"
+	"repro/internal/liststore"
+	"repro/internal/shard"
+)
+
+// cacheEntry is one cached remote view plus the dependency metadata
+// its worker build reported — what the scoped sweep needs to decide
+// drop vs patch vs retain. depsKnown false marks a view the worker
+// could not attribute (conservatively dropped by every sweep).
+type cacheEntry struct {
+	view      *liststore.View
+	deps      cf.RowDeps
+	depsKnown bool
+	ref       bool // CLOCK reference bit, under the part lock
+}
+
+// cachePart is one shard's slice of the cache: its own mutex, CLOCK
+// ring, and capacity budget, so concurrent assemblies touching
+// different shards never contend.
+type cachePart struct {
+	max int
+
+	mu      sync.Mutex
+	entries map[dataset.UserID]*cacheEntry
+	ring    []dataset.UserID
+	hand    int
+}
+
+// ViewCacheStats is the cache's observability surface for /stats.
+type ViewCacheStats struct {
+	// Hits counts Get calls served from the cache; Misses the rest —
+	// each miss is a view the data plane had to fetch over the wire.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Installs counts fetched views accepted into the cache; Rejected
+	// counts installs refused by the generation fence (an ingest moved
+	// the world between fetch and install) — rejected views still serve
+	// their own request, they just don't stick.
+	Installs uint64 `json:"installs"`
+	Rejected uint64 `json:"rejected"`
+	// Invalidations counts views dropped by ingest sweeps (scoped or
+	// full) and explicit invalidation; Evictions counts views dropped by
+	// capacity pressure. Retained and Patched mirror the liststore
+	// counters: views a scoped sweep proved independent and kept warm,
+	// and the subset patched in place.
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+	Retained      uint64 `json:"retained"`
+	Patched       uint64 `json:"patched"`
+	// Flushes counts drop-everything sweeps (unscoped ingest outcomes).
+	Flushes uint64 `json:"flushes"`
+	// Size is the number of cached views; Capacity the configured bound.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// ViewCache caches remote per-user views on the router, fenced against
+// rating ingest by a generation seqlock. Safe for concurrent use; the
+// Begin/End ingest bracket must be externally serialized (the world's
+// ingest lock provides this).
+type ViewCache struct {
+	sm       shard.Map
+	parts    []*cachePart
+	capacity int
+
+	// gen is the ingest generation seqlock: even = quiescent, odd =
+	// ingest in progress. Begin and End each advance it by one.
+	gen atomic.Uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	installs      atomic.Uint64
+	rejected      atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
+	retained      atomic.Uint64
+	patched       atomic.Uint64
+	flushes       atomic.Uint64
+}
+
+// NewViewCache builds a cache bounded to capacity views, partitioned
+// by m (nil = one part). Returns nil for capacity <= 0 — the cache is
+// strictly opt-in, and a nil *ViewCache is a valid always-miss cache.
+func NewViewCache(capacity int, m shard.Map) *ViewCache {
+	if capacity <= 0 {
+		return nil
+	}
+	sm := shard.Normalize(m)
+	c := &ViewCache{sm: sm, capacity: capacity}
+	budgets := shard.Split(sm, capacity)
+	c.parts = make([]*cachePart, sm.N())
+	for i := range c.parts {
+		c.parts[i] = &cachePart{
+			max:     budgets[i],
+			entries: make(map[dataset.UserID]*cacheEntry),
+		}
+	}
+	return c
+}
+
+func (c *ViewCache) part(u dataset.UserID) *cachePart {
+	return c.parts[c.sm.Of(int64(u))]
+}
+
+// Get returns u's cached view, or nil on a miss. Nil-receiver safe.
+func (c *ViewCache) Get(u dataset.UserID) *liststore.View {
+	if c == nil {
+		return nil
+	}
+	p := c.part(u)
+	p.mu.Lock()
+	e, ok := p.entries[u]
+	if ok {
+		e.ref = true
+		v := e.view
+		p.mu.Unlock()
+		c.hits.Add(1)
+		return v
+	}
+	p.mu.Unlock()
+	c.misses.Add(1)
+	return nil
+}
+
+// Snapshot returns the current generation — the fence token a caller
+// takes before issuing a remote fetch. Nil-receiver safe.
+func (c *ViewCache) Snapshot() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.gen.Load()
+}
+
+// TryInstall offers a fetched view for caching under the fence token
+// g0 taken before the fetch. The install is accepted only if g0 was
+// quiescent (even) and the generation is still g0 at insert time,
+// checked under the part lock — so an ingest that began after the
+// fetch either rejects the install outright or is guaranteed to run
+// its invalidation sweep over the installed entry (the sweep takes the
+// same part lock). Reports whether the view was cached.
+func (c *ViewCache) TryInstall(u dataset.UserID, v *liststore.View, deps cf.RowDeps, depsKnown bool, g0 uint64) bool {
+	if c == nil || v == nil {
+		return false
+	}
+	if g0%2 != 0 || c.gen.Load() != g0 {
+		c.rejected.Add(1)
+		return false
+	}
+	p := c.part(u)
+	p.mu.Lock()
+	if c.gen.Load() != g0 {
+		p.mu.Unlock()
+		c.rejected.Add(1)
+		return false
+	}
+	if e, ok := p.entries[u]; ok {
+		// Already resident (a concurrent fetch won): refresh the
+		// reference bit, keep the incumbent — both were fetched in the
+		// same generation, so they are identical.
+		e.ref = true
+		p.mu.Unlock()
+		return false
+	}
+	p.evictLocked(c)
+	p.entries[u] = &cacheEntry{view: v, deps: deps, depsKnown: depsKnown, ref: true}
+	p.ring = append(p.ring, u)
+	p.mu.Unlock()
+	c.installs.Add(1)
+	return true
+}
+
+// evictLocked makes room via CLOCK second-chance; callers hold p.mu.
+func (p *cachePart) evictLocked(c *ViewCache) {
+	for len(p.ring) >= p.max {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		u := p.ring[p.hand]
+		e := p.entries[u]
+		if e.ref {
+			e.ref = false
+			p.hand++
+			continue
+		}
+		delete(p.entries, u)
+		p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+		c.evictions.Add(1)
+	}
+}
+
+// Begin opens an ingest bracket: the generation turns odd, so every
+// in-flight fetch's install is fenced out. Callers must hold the
+// ingest lock and pair with End. Nil-receiver safe.
+func (c *ViewCache) Begin() {
+	if c != nil {
+		c.gen.Add(1)
+	}
+}
+
+// End closes an ingest bracket after the sweep: the generation turns
+// even again at a new value, so only fetches issued from here on can
+// install. Nil-receiver safe.
+func (c *ViewCache) End() {
+	if c != nil {
+		c.gen.Add(1)
+	}
+}
+
+// SweepScoped applies a scoped ingest outcome to the cache, mirroring
+// liststore.InvalidateScoped verdict for verdict: views of stale users,
+// views with unknown deps, and views that touched the global mean are
+// dropped; views whose fallback entries cover the ingested item are
+// patched in place with the post-ingest item mean (raw; divisor
+// applied here, exactly as a worker rebuild would); everything else is
+// retained warm. Must be called inside a Begin/End bracket. Returns
+// the number of views dropped. Nil-receiver safe.
+func (c *ViewCache) SweepScoped(stale map[dataset.UserID]struct{}, it dataset.ItemID, patch float64, havePatch bool, divisor float64) int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range c.parts {
+		p.mu.Lock()
+		dropped, patched, kept := 0, 0, 0
+		keptRing := p.ring[:0]
+		for _, u := range p.ring {
+			e := p.entries[u]
+			_, isStale := stale[u]
+			switch {
+			case isStale, !e.depsKnown, e.deps.UsedGlobal:
+				delete(p.entries, u)
+				dropped++
+				continue
+			case e.deps.DependsOn(it):
+				if !havePatch {
+					delete(p.entries, u)
+					dropped++
+					continue
+				}
+				e.view = liststore.PatchView(e.view, e.deps, it, patch, divisor)
+				patched++
+			}
+			keptRing = append(keptRing, u)
+			kept++
+		}
+		if dropped > 0 {
+			p.ring = keptRing
+			p.hand = 0
+		}
+		p.mu.Unlock()
+		c.invalidations.Add(uint64(dropped))
+		c.patched.Add(uint64(patched))
+		c.retained.Add(uint64(kept))
+		n += dropped
+	}
+	return n
+}
+
+// Flush drops every cached view — the unscoped ingest outcome (an
+// apply that could not prove its reach, a fenced worker, a full-flush
+// local verdict). Must be called inside a Begin/End bracket when used
+// as an ingest sweep. Returns the number dropped. Nil-receiver safe.
+func (c *ViewCache) Flush() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range c.parts {
+		p.mu.Lock()
+		dropped := len(p.entries)
+		for u := range p.entries {
+			delete(p.entries, u)
+		}
+		p.ring = p.ring[:0]
+		p.hand = 0
+		p.mu.Unlock()
+		c.invalidations.Add(uint64(dropped))
+		n += dropped
+	}
+	c.flushes.Add(1)
+	return n
+}
+
+// Invalidate drops u's cached view, if any — the hook for explicit
+// per-user invalidation requests. Nil-receiver safe.
+func (c *ViewCache) Invalidate(u dataset.UserID) bool {
+	if c == nil {
+		return false
+	}
+	p := c.part(u)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[u]; !ok {
+		return false
+	}
+	delete(p.entries, u)
+	for i, ru := range p.ring {
+		if ru == u {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	c.invalidations.Add(1)
+	return true
+}
+
+// Len reports the number of cached views. Nil-receiver safe.
+func (c *ViewCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range c.parts {
+		p.mu.Lock()
+		n += len(p.entries)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters. Nil-receiver safe: a disabled
+// cache reports zeroes with zero capacity.
+func (c *ViewCache) Stats() ViewCacheStats {
+	if c == nil {
+		return ViewCacheStats{}
+	}
+	return ViewCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Installs:      c.installs.Load(),
+		Rejected:      c.rejected.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		Retained:      c.retained.Load(),
+		Patched:       c.patched.Load(),
+		Flushes:       c.flushes.Load(),
+		Size:          c.Len(),
+		Capacity:      c.capacity,
+	}
+}

@@ -308,6 +308,33 @@ func (s *Store) Acquire(u dataset.UserID) *View {
 	return e.viewOf()
 }
 
+// AcquireWithDeps is Acquire plus the view's recorded build
+// dependencies: the mean-fallback metadata scoped invalidation reads.
+// depsKnown is false when the source could not report them (a
+// non-DepsSource, or a snapshot-restored view) — the remote data plane
+// relays this over the wire so the router's view cache knows whether a
+// cached view can be patched through an ingest or must be dropped.
+func (s *Store) AcquireWithDeps(u dataset.UserID) (*View, cf.RowDeps, bool) {
+	v := s.Acquire(u)
+	if v == nil {
+		return nil, cf.RowDeps{}, false
+	}
+	p := s.part(u)
+	p.mu.Lock()
+	e, ok := p.entries[u]
+	p.mu.Unlock()
+	if ok {
+		if b := e.built.Load(); b != nil && b.view == v {
+			return v, b.deps, b.depsKnown
+		}
+	}
+	// The entry was evicted, invalidated, or replaced between the
+	// acquire and the lookup: the view itself is still valid (views are
+	// immutable), but its dependency metadata is gone — report it
+	// unknown so the caller treats the view as unpatchable.
+	return v, cf.RowDeps{}, false
+}
+
 // evictLocked makes room for one more view via CLOCK: sweep the ring,
 // give referenced entries a second chance, evict the first
 // unreferenced one. Callers hold the part's mu.
@@ -512,6 +539,16 @@ func patchView(v *View, deps cf.RowDeps, it dataset.ItemID, patchScore float64) 
 		}
 	}
 	return &View{Scores: scores, Sorted: &core.SortedView{Entries: entries}}
+}
+
+// PatchView returns a copy of v with the raw post-ingest item mean
+// patch spliced into every fallback position of item it, after
+// applying divisor — exactly the in-place patch InvalidateScoped
+// performs on a retained view, exported for the router's remote view
+// cache, which holds views outside any store and must patch them with
+// the identical splice to stay bit-identical to a worker rebuild.
+func PatchView(v *View, deps cf.RowDeps, it dataset.ItemID, patch, divisor float64) *View {
+	return patchView(v, deps, it, patch/divisor)
 }
 
 // searchCanonical returns the index of (val, key) in a canonically

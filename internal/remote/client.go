@@ -32,7 +32,10 @@ type ClientConfig struct {
 	Retries int
 	// Backoff is the base retry backoff, doubled per attempt (5ms if 0).
 	Backoff time.Duration
-	// PoolSize bounds idle pooled connections per worker (4 if 0).
+	// PoolSize bounds live connections per worker (4 if 0). Each
+	// connection is pipelined — many in-flight calls demultiplexed by
+	// sequence number — so the pool bounds parallel links, not
+	// parallel calls.
 	PoolSize int
 	// BreakerFailures is the circuit breaker threshold: after this
 	// many consecutive transport failures the client fast-fails calls
@@ -88,14 +91,76 @@ func (c *ClientConfig) fill() {
 	}
 }
 
-// Client speaks the shard protocol to one worker. Connections are
-// pooled and used in lockstep (one in-flight call per connection);
-// concurrent calls each take their own connection. Safe for
-// concurrent use.
+// opNames are the wire ops' stats keys (the /v1/stats remote section).
+var opNames = map[uint8]string{
+	opView:         "view",
+	opPredict:      "predict",
+	opApply:        "apply",
+	opInvalidate:   "invalidate",
+	opStats:        "stats",
+	opViewMulti:    "view_multi",
+	opPredictMulti: "predict_multi",
+}
+
+func opName(op uint8) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// transportCounters is one client's wire activity, aggregated across
+// the fleet by ShardSet.TransportStats.
+type transportCounters struct {
+	ops          [8]atomic.Uint64 // calls by op code (indices 1..7)
+	retries      atomic.Uint64
+	breakerOpens atomic.Uint64
+	dials        atomic.Uint64
+	reuses       atomic.Uint64
+}
+
+// TransportStats is the router-side transport picture: calls by wire
+// op, batched (multi-user) vs single-user read calls, retry and
+// breaker activity, and connection reuse vs dials. Cheap enough to
+// read per /v1/stats hit; the benchmark harness derives rpcs/op from
+// deltas of the call counters.
+type TransportStats struct {
+	CallsByOp    map[string]uint64 `json:"calls_by_op"`
+	BatchedCalls uint64            `json:"batched_calls"`
+	SingleCalls  uint64            `json:"single_calls"`
+	Retries      uint64            `json:"retries"`
+	BreakerOpens uint64            `json:"breaker_opens"`
+	Dials        uint64            `json:"dials"`
+	ConnReuses   uint64            `json:"conn_reuses"`
+}
+
+// TotalCalls sums every op's call count — the rpcs side of the bench
+// harness's rpcs/op extra.
+func (t TransportStats) TotalCalls() uint64 {
+	var n uint64
+	for _, v := range t.CallsByOp {
+		n += v
+	}
+	return n
+}
+
+// Client speaks the shard protocol to one worker over a small pool of
+// pipelined connections: many calls share one connection in flight at
+// once, demultiplexed by per-call sequence number, so concurrent
+// router traffic saturates a worker link without a dial per call.
+// Safe for concurrent use.
 type Client struct {
 	addr string
 	cfg  ClientConfig
 	seq  atomic.Uint64
+
+	// proto is the negotiated protocol version, learned from the first
+	// handshake's helloAck (0 until then): min(this build's version,
+	// the worker's). Below 3 the batched multi ops fall back to loops
+	// over the single-user ops.
+	proto atomic.Uint32
+
+	counters transportCounters
 
 	// fenceReason, when non-nil, quarantines the client: every call
 	// fast-fails with ErrShardUnavailable. Set when the worker's
@@ -112,9 +177,30 @@ type Client struct {
 	failStreak atomic.Int32
 	openUntil  atomic.Int64
 
-	mu     sync.Mutex
-	idle   []net.Conn
-	closed bool
+	mu      sync.Mutex
+	conns   []*clientConn
+	dialing int
+	closed  bool
+}
+
+// clientConn is one pipelined connection: a single reader goroutine
+// demultiplexes response frames to in-flight calls by sequence
+// number; writers serialize whole request frames under writeMu. The
+// reader is the only party that sends on or closes a call channel, so
+// a torn connection fails every in-flight call exactly once.
+type clientConn struct {
+	c       *Client
+	conn    net.Conn
+	version uint16 // negotiated frame version for requests on this conn
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	calls    map[uint64]chan frame
+	closed   bool
+	err      error // first transport error, reported to in-flight calls
+
+	inflight atomic.Int32
 }
 
 // NewClient builds a client for the worker at addr. No connection is
@@ -127,15 +213,16 @@ func NewClient(addr string, cfg ClientConfig) *Client {
 // Addr returns the worker address.
 func (c *Client) Addr() string { return c.addr }
 
-// Close severs the idle pool. In-flight calls fail on their own.
+// Close severs every connection. In-flight calls fail on their own.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	for _, conn := range c.idle {
-		conn.Close()
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.conn.Close()
 	}
-	c.idle = nil
 }
 
 // Fence quarantines the client: every subsequent call fast-fails with
@@ -155,8 +242,12 @@ func (c *Client) noteFailure() {
 	if c.cfg.BreakerFailures < 0 {
 		return
 	}
-	if int(c.failStreak.Add(1)) >= c.cfg.BreakerFailures {
+	streak := int(c.failStreak.Add(1))
+	if streak >= c.cfg.BreakerFailures {
 		c.openUntil.Store(time.Now().Add(c.cfg.BreakerCooldown).UnixNano())
+		if streak == c.cfg.BreakerFailures {
+			c.counters.breakerOpens.Add(1)
+		}
 	}
 }
 
@@ -182,11 +273,11 @@ func (c *Client) gate() error {
 	return nil
 }
 
-// getConn returns a pooled connection or dials and handshakes a fresh
-// one. Handshake failures that are configuration-shaped surface as
-// ErrConfigMismatch; everything transport-shaped wraps
-// ErrShardUnavailable.
-func (c *Client) getConn() (net.Conn, error) {
+// getConn picks the least-loaded live connection, dialing a fresh one
+// (up to PoolSize) when every link is busy. Handshake failures that
+// are configuration-shaped surface as ErrConfigMismatch; everything
+// transport-shaped wraps ErrShardUnavailable.
+func (c *Client) getConn() (*clientConn, error) {
 	if err := c.gate(); err != nil {
 		return nil, err
 	}
@@ -195,62 +286,119 @@ func (c *Client) getConn() (net.Conn, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: client closed (worker %s)", ErrShardUnavailable, c.addr)
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return conn, nil
+	live := c.conns[:0]
+	for _, cc := range c.conns {
+		if !cc.dead() {
+			live = append(live, cc)
+		}
 	}
+	c.conns = live
+	var best *clientConn
+	for _, cc := range c.conns {
+		if best == nil || cc.inflight.Load() < best.inflight.Load() {
+			best = cc
+		}
+	}
+	if best != nil && (best.inflight.Load() == 0 || len(c.conns)+c.dialing >= c.cfg.PoolSize) {
+		c.mu.Unlock()
+		c.counters.reuses.Add(1)
+		return best, nil
+	}
+	c.dialing++
 	c.mu.Unlock()
 
+	cc, err := c.dial()
+	c.mu.Lock()
+	c.dialing--
+	if err == nil {
+		if c.closed {
+			c.mu.Unlock()
+			cc.conn.Close()
+			return nil, fmt.Errorf("%w: client closed (worker %s)", ErrShardUnavailable, c.addr)
+		}
+		c.conns = append(c.conns, cc)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		if best != nil && !best.dead() {
+			// The dial failed but a live pipelined link exists: ride it
+			// rather than failing a call the worker could still serve.
+			c.counters.reuses.Add(1)
+			return best, nil
+		}
+		return nil, err
+	}
+	return cc, nil
+}
+
+// dial establishes and handshakes one fresh connection, then starts
+// its reader goroutine.
+func (c *Client) dial() (*clientConn, error) {
+	c.counters.dials.Add(1)
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		c.noteFailure()
 		return nil, fmt.Errorf("%w: dialing worker %s: %v", ErrShardUnavailable, c.addr, err)
 	}
-	if err := c.handshake(conn); err != nil {
+	version, err := c.handshake(conn)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return conn, nil
+	cc := &clientConn{c: c, conn: conn, version: version, calls: make(map[uint64]chan frame)}
+	go cc.readLoop()
+	return cc, nil
 }
 
-func (c *Client) handshake(conn net.Conn) error {
+// handshake runs the hello exchange and returns the negotiated frame
+// version: min(this build's, the worker's advertised one). The hello
+// itself is written at the minimum version so an older worker can
+// read it and answer with its own.
+func (c *Client) handshake(conn net.Conn) (uint16, error) {
 	deadline := time.Now().Add(c.cfg.CallTimeout)
 	_ = conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	seq := c.seq.Add(1)
 	h := hello{Fingerprint: c.cfg.Fingerprint, Shards: uint32(c.cfg.Shards)}
-	if err := writeFrame(conn, frame{kind: kindHello, seq: seq, payload: encodeHello(h)}); err != nil {
-		return c.transportErr("hello", err)
+	if err := writeFrame(conn, frame{version: frameVersionMin, kind: kindHello, seq: seq, payload: encodeHello(h)}); err != nil {
+		return 0, c.transportErr("hello", err)
 	}
 	f, err := readFrame(conn)
 	if err != nil {
-		return c.transportErr("hello", err)
+		return 0, c.transportErr("hello", err)
 	}
 	switch f.kind {
 	case kindHelloAck:
-		return c.checkHelloAck(f.payload)
+		owned, workerVersion, err := decodeHelloAck(f.payload)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.checkOwned(owned); err != nil {
+			return 0, err
+		}
+		version := uint16(frameVersion)
+		if workerVersion < version {
+			version = workerVersion
+		}
+		c.proto.Store(uint32(version))
+		return version, nil
 	case kindError:
-		return decodeAppError(f.payload)
+		return 0, decodeAppError(f.payload)
 	default:
-		return fmt.Errorf("%w: hello answered by frame kind %d", ErrProtocol, f.kind)
+		return 0, fmt.Errorf("%w: hello answered by frame kind %d", ErrProtocol, f.kind)
 	}
 }
 
-// checkHelloAck verifies the worker's declared owned shards against
-// the topology's assignment (cfg.Owns; nil skips — a bare client has
-// no expectation). A worker whose -owns disagrees with the router's
+// checkOwned verifies the worker's declared owned shards against the
+// topology's assignment (cfg.Owns; nil skips — a bare client has no
+// expectation). A worker whose -owns disagrees with the router's
 // topology fails here, at boot, instead of answering wrong_shard to
 // every request for the mis-assigned shard.
-func (c *Client) checkHelloAck(payload []byte) error {
+func (c *Client) checkOwned(got []int) error {
 	if c.cfg.Owns == nil {
 		return nil
 	}
-	got, err := decodeHelloAck(payload)
-	if err != nil {
-		return err
-	}
+	got = append([]int(nil), got...)
 	want := append([]int(nil), c.cfg.Owns...)
 	sort.Ints(got)
 	sort.Ints(want)
@@ -265,15 +413,114 @@ func (c *Client) checkHelloAck(payload []byte) error {
 	return nil
 }
 
-// putConn returns a healthy connection to the pool.
-func (c *Client) putConn(conn net.Conn) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed || len(c.idle) >= c.cfg.PoolSize {
-		conn.Close()
+// protoVersion returns the negotiated protocol version, handshaking a
+// connection to learn it if no call has run yet.
+func (c *Client) protoVersion() (uint16, error) {
+	if v := c.proto.Load(); v != 0 {
+		return uint16(v), nil
+	}
+	if err := c.Ping(); err != nil {
+		return 0, err
+	}
+	return uint16(c.proto.Load()), nil
+}
+
+// dead reports whether the connection has failed.
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.closed
+}
+
+// register enrolls a call's sequence number for demultiplexing. The
+// channel is buffered only to absorb a pathological frame raced in
+// after the terminal — in-flight calls always drain it live.
+func (cc *clientConn) register(seq uint64) (chan frame, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return nil, cc.err
+	}
+	ch := make(chan frame, 8)
+	cc.calls[seq] = ch
+	cc.inflight.Add(1)
+	return ch, nil
+}
+
+// deregister removes a completed call. Late frames for the sequence
+// are dropped by the reader.
+func (cc *clientConn) deregister(seq uint64) {
+	cc.mu.Lock()
+	if _, ok := cc.calls[seq]; ok {
+		delete(cc.calls, seq)
+		cc.inflight.Add(-1)
+	}
+	cc.mu.Unlock()
+}
+
+// errOf reports the connection's terminal error.
+func (cc *clientConn) errOf() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return fmt.Errorf("connection closed")
+}
+
+// fail tears the connection down, failing every in-flight call by
+// closing its channel. Only the reader goroutine calls it, after its
+// read loop ends, so a channel is never sent to after close.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
 		return
 	}
-	c.idle = append(c.idle, conn)
+	cc.closed = true
+	cc.err = err
+	calls := cc.calls
+	cc.calls = nil
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range calls {
+		close(ch)
+	}
+}
+
+// readLoop is the connection's single demultiplexer: every response
+// frame routes to its call by sequence number. A frame for an unknown
+// live sequence is a protocol violation that poisons the connection —
+// except frames whose call already finished (a buggy peer writing
+// past its terminal), which are dropped.
+func (cc *clientConn) readLoop() {
+	for {
+		f, err := readFrame(cc.conn)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.calls[f.seq]
+		cc.mu.Unlock()
+		if !ok {
+			cc.fail(fmt.Errorf("%w: response for unknown sequence %d (op %s)", ErrProtocol, f.seq, opName(f.op)))
+			return
+		}
+		ch <- f
+	}
+}
+
+// send writes one request frame at the connection's negotiated
+// version, serialized against concurrent callers.
+func (cc *clientConn) send(f frame) error {
+	f.version = cc.version
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	_ = cc.conn.SetWriteDeadline(time.Now().Add(cc.c.cfg.CallTimeout))
+	err := writeFrame(cc.conn, f)
+	_ = cc.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // transportErr classifies a low-level failure: deadline expiries are
@@ -291,10 +538,11 @@ func (c *Client) transportErr(op string, err error) error {
 
 // call runs one request/response exchange: write the request frame,
 // deliver every progress frame to onProgress (may be nil), return the
-// terminal result payload. Transport failures close the connection
+// terminal result payload. Transport failures poison the connection
 // and, for redeliverable ops (idempotent reads, sequence-deduplicated
-// applies), retry on a fresh one with doubling backoff.
+// applies), retry on another one with doubling backoff.
 func (c *Client) call(op uint8, payload []byte, redeliverable bool, onProgress func([]byte) error) ([]byte, error) {
+	c.counters.ops[op].Add(1)
 	attempts := 1
 	if redeliverable {
 		attempts += c.cfg.Retries
@@ -302,6 +550,7 @@ func (c *Client) call(op uint8, payload []byte, redeliverable bool, onProgress f
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.counters.retries.Add(1)
 			time.Sleep(c.cfg.Backoff << (attempt - 1))
 		}
 		var out []byte
@@ -320,48 +569,82 @@ func (c *Client) call(op uint8, payload []byte, redeliverable bool, onProgress f
 }
 
 func (c *Client) callOnce(op uint8, payload []byte, onProgress func([]byte) error) ([]byte, error) {
-	conn, err := c.getConn()
+	cc, err := c.getConn()
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.cfg.CallTimeout)
-	_ = conn.SetDeadline(deadline)
 	seq := c.seq.Add(1)
-	if err := writeFrame(conn, frame{kind: kindRequest, op: op, seq: seq, payload: payload}); err != nil {
-		conn.Close()
+	ch, err := cc.register(seq)
+	if err != nil {
+		// The connection died between pick and enrollment.
 		return nil, c.transportErr("request", err)
 	}
+	// The call's deadline poisons the whole connection: the reader
+	// fails, every sibling call errs as unavailable (and retries —
+	// their budget was stolen, not spent), and this call maps the
+	// closure to ErrShardTimeout via the flag.
+	var timedOut atomic.Bool
+	timer := time.AfterFunc(c.cfg.CallTimeout, func() {
+		timedOut.Store(true)
+		cc.conn.Close()
+	})
+	defer timer.Stop()
+	if err := cc.send(frame{kind: kindRequest, op: op, seq: seq, payload: payload}); err != nil {
+		cc.conn.Close()
+		cc.deregister(seq)
+		return nil, c.transportErr("request", err)
+	}
+	// Receive until the terminal frame or channel close. After a local
+	// failure (bad frame, progress error) the connection is poisoned
+	// and the loop keeps draining until the reader closes the channel,
+	// so a blocked reader can never deadlock against an absent
+	// receiver.
+	var perr error
 	for {
-		f, err := readFrame(conn)
-		if err != nil {
-			conn.Close()
+		f, ok := <-ch
+		if !ok {
+			if perr != nil {
+				c.noteFailure()
+				return nil, perr
+			}
+			if timedOut.Load() {
+				c.noteFailure()
+				return nil, fmt.Errorf("%w: %s call to worker %s exceeded %v", ErrShardTimeout, opName(op), c.addr, c.cfg.CallTimeout)
+			}
+			err := cc.errOf()
+			if errors.Is(err, ErrProtocol) {
+				c.noteFailure()
+				return nil, err
+			}
 			return nil, c.transportErr("response", err)
 		}
-		if f.seq != seq || f.op != op {
-			conn.Close()
-			return nil, fmt.Errorf("%w: response (seq %d, op %d) for request (seq %d, op %d)", ErrProtocol, f.seq, f.op, seq, op)
+		if perr != nil {
+			continue // draining a poisoned connection
+		}
+		if f.op != op {
+			perr = fmt.Errorf("%w: response op %s for request op %s (seq %d)", ErrProtocol, opName(f.op), opName(op), seq)
+			cc.conn.Close()
+			continue
 		}
 		switch f.kind {
 		case kindProgress:
 			if onProgress != nil {
 				if err := onProgress(f.payload); err != nil {
-					conn.Close()
-					return nil, err
+					perr = err
+					cc.conn.Close()
 				}
 			}
 		case kindResult:
-			_ = conn.SetDeadline(time.Time{})
-			c.putConn(conn)
+			cc.deregister(seq)
 			c.noteSuccess()
 			return f.payload, nil
 		case kindError:
-			_ = conn.SetDeadline(time.Time{})
-			c.putConn(conn)
+			cc.deregister(seq)
 			c.noteSuccess() // the transport delivered; the refusal is application-level
 			return nil, decodeAppError(f.payload)
 		default:
-			conn.Close()
-			return nil, fmt.Errorf("%w: unexpected frame kind %d", ErrProtocol, f.kind)
+			perr = fmt.Errorf("%w: unexpected frame kind %d", ErrProtocol, f.kind)
+			cc.conn.Close()
 		}
 	}
 }
@@ -369,11 +652,24 @@ func (c *Client) callOnce(op uint8, payload []byte, onProgress func([]byte) erro
 // Ping dials (or reuses) a connection and verifies the handshake — the
 // eager liveness and configuration check AttachRemote runs per worker.
 func (c *Client) Ping() error {
-	conn, err := c.getConn()
-	if err != nil {
-		return err
+	_, err := c.getConn()
+	return err
+}
+
+// gatherChunk is the chunk-splicing step shared by the single and
+// batched view fetches: bound the peer-claimed total, allocate once,
+// splice chunks by offset.
+func (c *Client) gatherChunk(scores *[]float64, total, offset uint32, part []float64) error {
+	if int64(total) > int64(c.cfg.MaxViewScores) {
+		return fmt.Errorf("%w: view claims %d scores, bound is %d", ErrProtocol, total, c.cfg.MaxViewScores)
 	}
-	c.putConn(conn)
+	if *scores == nil {
+		*scores = make([]float64, total)
+	}
+	if int(offset)+len(part) > len(*scores) {
+		return fmt.Errorf("%w: view chunk overflows total %d", ErrProtocol, len(*scores))
+	}
+	copy((*scores)[offset:], part)
 	return nil
 }
 
@@ -389,17 +685,7 @@ func (c *Client) ViewScores(u dataset.UserID) ([]float64, error) {
 		if err != nil {
 			return err
 		}
-		if int64(chunk.Total) > int64(c.cfg.MaxViewScores) {
-			return fmt.Errorf("%w: view claims %d scores, bound is %d", ErrProtocol, chunk.Total, c.cfg.MaxViewScores)
-		}
-		if scores == nil {
-			scores = make([]float64, chunk.Total)
-		}
-		if int(chunk.Offset)+len(chunk.Scores) > len(scores) {
-			return fmt.Errorf("%w: view chunk overflows total %d", ErrProtocol, len(scores))
-		}
-		copy(scores[chunk.Offset:], chunk.Scores)
-		return nil
+		return c.gatherChunk(&scores, chunk.Total, chunk.Offset, chunk.Scores)
 	}
 	last, err := c.call(opView, encodeUser(u), true, gather)
 	if err != nil {
@@ -409,6 +695,72 @@ func (c *Client) ViewScores(u dataset.UserID) ([]float64, error) {
 		return nil, err
 	}
 	return scores, nil
+}
+
+// ViewResult is one user's fetched view: its pool-order scores plus
+// the mean-fallback dependencies the worker relayed (when known),
+// which the router's view cache needs to patch the view through
+// scoped invalidation. FallbackPos are candidate-pool positions; the
+// router reconstructs the item IDs from its own pool, which is
+// bit-identical to the worker's.
+type ViewResult struct {
+	Scores      []float64
+	DepsKnown   bool
+	UsedGlobal  bool
+	FallbackPos []int32
+}
+
+// ViewScoresMulti fetches every listed user's view in one round trip
+// (opViewMulti, protocol 3+), gathering interleaved per-user chunks.
+// Against a version-2 worker it falls back to one ViewScores call per
+// user (DepsKnown stays false — the old op carries no dependencies).
+func (c *Client) ViewScoresMulti(users []dataset.UserID) ([]ViewResult, error) {
+	if len(users) == 0 {
+		return nil, nil
+	}
+	proto, err := c.protoVersion()
+	if err != nil {
+		return nil, err
+	}
+	if proto < 3 {
+		out := make([]ViewResult, len(users))
+		for i, u := range users {
+			scores, err := c.ViewScores(u)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ViewResult{Scores: scores}
+		}
+		return out, nil
+	}
+	out := make([]ViewResult, len(users))
+	gather := func(p []byte) error {
+		chunk, err := decodeViewMultiChunk(p)
+		if err != nil {
+			return err
+		}
+		if int(chunk.Index) >= len(users) {
+			return fmt.Errorf("%w: view chunk for user index %d of %d", ErrProtocol, chunk.Index, len(users))
+		}
+		r := &out[chunk.Index]
+		if err := c.gatherChunk(&r.Scores, chunk.Total, chunk.Offset, chunk.Scores); err != nil {
+			return err
+		}
+		if chunk.Flags&vmLastChunk != 0 {
+			r.DepsKnown = chunk.Flags&vmDepsKnown != 0
+			r.UsedGlobal = chunk.Flags&vmUsedGlobal != 0
+			r.FallbackPos = chunk.FallbackPos
+		}
+		return nil
+	}
+	last, err := c.call(opViewMulti, encodeViewMultiReq(viewMultiReq{Users: users}), true, gather)
+	if err != nil {
+		return nil, err
+	}
+	if err := gather(last); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PredictBatch fetches raw (1..5 scale) predictions of u for items.
@@ -425,6 +777,58 @@ func (c *Client) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float
 		return nil, fmt.Errorf("%w: %d predictions for %d items", ErrProtocol, len(vals), len(items))
 	}
 	return vals, nil
+}
+
+// PredictBatchMulti fetches every listed user's predictions for one
+// shared item list in one round trip (opPredictMulti, protocol 3+),
+// falling back to per-user PredictBatch calls against an old worker.
+func (c *Client) PredictBatchMulti(users []dataset.UserID, items []dataset.ItemID) ([][]float64, error) {
+	if len(users) == 0 {
+		return nil, nil
+	}
+	proto, err := c.protoVersion()
+	if err != nil {
+		return nil, err
+	}
+	if proto < 3 {
+		out := make([][]float64, len(users))
+		for i, u := range users {
+			vals, err := c.PredictBatch(u, items)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = vals
+		}
+		return out, nil
+	}
+	out := make([][]float64, len(users))
+	gather := func(p []byte) error {
+		row, err := decodePredictMultiRow(p)
+		if err != nil {
+			return err
+		}
+		if int(row.Index) >= len(users) {
+			return fmt.Errorf("%w: prediction row for user index %d of %d", ErrProtocol, row.Index, len(users))
+		}
+		if len(row.Values) != len(items) {
+			return fmt.Errorf("%w: %d predictions for %d items", ErrProtocol, len(row.Values), len(items))
+		}
+		out[row.Index] = row.Values
+		return nil
+	}
+	last, err := c.call(opPredictMulti, encodePredictMultiReq(predictMultiReq{Users: users, Items: items}), true, gather)
+	if err != nil {
+		return nil, err
+	}
+	if err := gather(last); err != nil {
+		return nil, err
+	}
+	for i, row := range out {
+		if row == nil {
+			return nil, fmt.Errorf("%w: no prediction row for user index %d", ErrProtocol, i)
+		}
+	}
+	return out, nil
 }
 
 // Apply delivers one sequence-stamped rating into the worker's
@@ -618,6 +1022,118 @@ func (s *ShardSet) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]flo
 	return s.ownerOf(u).PredictBatch(u, items)
 }
 
+// bucketByOwner groups user indices by owning client, preserving
+// request order within each bucket, keyed by position in s.clients so
+// the scatter order — and therefore the first error returned — is
+// deterministic.
+func (s *ShardSet) bucketByOwner(users []dataset.UserID) map[*Client][]int {
+	buckets := make(map[*Client][]int)
+	for i, u := range users {
+		cl := s.ownerOf(u)
+		buckets[cl] = append(buckets[cl], i)
+	}
+	return buckets
+}
+
+// ViewScoresMulti fetches every listed user's view with one RPC per
+// owning worker — O(workers) round trips per group assembly instead
+// of O(members) — scattering the per-worker batches concurrently and
+// gathering results back into request order.
+func (s *ShardSet) ViewScoresMulti(users []dataset.UserID) ([]ViewResult, error) {
+	if len(users) == 0 {
+		return nil, nil
+	}
+	buckets := s.bucketByOwner(users)
+	out := make([]ViewResult, len(users))
+	errs := make([]error, len(s.clients))
+	var wg sync.WaitGroup
+	for ci, cl := range s.clients {
+		idx := buckets[cl]
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int, cl *Client, idx []int) {
+			defer wg.Done()
+			batch := make([]dataset.UserID, len(idx))
+			for j, i := range idx {
+				batch[j] = users[i]
+			}
+			res, err := cl.ViewScoresMulti(batch)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			for j, i := range idx {
+				out[i] = res[j]
+			}
+		}(ci, cl, idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PredictBatchMulti fetches predictions of every listed user for one
+// shared item list, one RPC per owning worker.
+func (s *ShardSet) PredictBatchMulti(users []dataset.UserID, items []dataset.ItemID) ([][]float64, error) {
+	if len(users) == 0 {
+		return nil, nil
+	}
+	buckets := s.bucketByOwner(users)
+	out := make([][]float64, len(users))
+	errs := make([]error, len(s.clients))
+	var wg sync.WaitGroup
+	for ci, cl := range s.clients {
+		idx := buckets[cl]
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int, cl *Client, idx []int) {
+			defer wg.Done()
+			batch := make([]dataset.UserID, len(idx))
+			for j, i := range idx {
+				batch[j] = users[i]
+			}
+			rows, err := cl.PredictBatchMulti(batch, items)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			for j, i := range idx {
+				out[i] = rows[j]
+			}
+		}(ci, cl, idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ApplyScope is the fanout's scoped-invalidation verdict for the
+// router's view cache. Scoped is true only when every attempted
+// delivery succeeded with a scoped ack — then Stale (sorted, deduped)
+// is the complete set of cached views the rating could have touched
+// across all replicas, and the cache may keep everything else warm.
+// Any failure, fence, or unscoped ack forces Scoped=false and a
+// wholesale cache flush. Workers already fenced before this apply are
+// excluded: the flush at their fencing apply already cleared their
+// users, and the fence gate keeps new views of theirs from entering
+// the cache.
+type ApplyScope struct {
+	Scoped bool
+	Stale  []dataset.UserID
+}
+
 // Apply fans a sequence-stamped rating out to every worker — each
 // holds a full replica of the rating store, and a worker's
 // neighborhoods for its own users depend on every user's vector, so
@@ -637,10 +1153,11 @@ func (s *ShardSet) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]flo
 // error reports that the owner itself missed the write (and is now
 // fenced) — the rating is still durably delivered to every live
 // replica, so the caller decides whether that fails its ingest.
-func (s *ShardSet) Apply(seq uint64, r dataset.Rating) (ApplyAck, error) {
+func (s *ShardSet) Apply(seq uint64, r dataset.Rating) (ApplyAck, ApplyScope, error) {
 	owner := s.ownerOf(r.User)
 	acks := make([]ApplyAck, len(s.clients))
 	errs := make([]error, len(s.clients))
+	attempted := make([]bool, len(s.clients))
 	var wg sync.WaitGroup
 	for i, cl := range s.clients {
 		if cl.Fenced() {
@@ -649,6 +1166,7 @@ func (s *ShardSet) Apply(seq uint64, r dataset.Rating) (ApplyAck, error) {
 			}
 			continue
 		}
+		attempted[i] = true
 		wg.Add(1)
 		go func(i int, cl *Client) {
 			defer wg.Done()
@@ -658,19 +1176,40 @@ func (s *ShardSet) Apply(seq uint64, r dataset.Rating) (ApplyAck, error) {
 	wg.Wait()
 	var ack ApplyAck
 	var ownerErr error
+	scope := ApplyScope{Scoped: true}
+	staleSet := make(map[dataset.UserID]struct{})
 	for i, cl := range s.clients {
 		if err := errs[i]; err != nil && !cl.Fenced() {
 			cl.Fence(fmt.Sprintf("missed apply seq %d: %v", seq, err))
 			s.fanoutErrs.Add(1)
 		}
+		if attempted[i] {
+			switch {
+			case errs[i] != nil || !acks[i].Scoped:
+				scope.Scoped = false
+			default:
+				for _, u := range acks[i].Stale {
+					staleSet[u] = struct{}{}
+				}
+			}
+		}
 		if cl == owner {
 			ack, ownerErr = acks[i], errs[i]
 		}
 	}
-	if ownerErr != nil {
-		return ApplyAck{}, ownerErr
+	if scope.Scoped {
+		scope.Stale = make([]dataset.UserID, 0, len(staleSet))
+		for u := range staleSet {
+			scope.Stale = append(scope.Stale, u)
+		}
+		sort.Slice(scope.Stale, func(i, j int) bool { return scope.Stale[i] < scope.Stale[j] })
+	} else {
+		scope.Stale = nil
 	}
-	return ack, nil
+	if ownerErr != nil {
+		return ApplyAck{}, scope, ownerErr
+	}
+	return ack, scope, nil
 }
 
 // FanoutErrors reports apply deliveries that failed (each such worker
@@ -702,6 +1241,37 @@ func (s *ShardSet) LimitViewScores(n int) {
 // InvalidateUser drops u's derived state on its owning worker.
 func (s *ShardSet) InvalidateUser(u dataset.UserID) (bool, error) {
 	return s.ownerOf(u).InvalidateUser(u)
+}
+
+// EmptyTransportStats is the zero activity snapshot with every op key
+// present (zero-valued) — the in-process world's `remote.transport`
+// placeholder, shaped identically to an attached fleet's so the stats
+// wire shape never depends on the deployment.
+func EmptyTransportStats() TransportStats {
+	t := TransportStats{CallsByOp: make(map[string]uint64, len(opNames))}
+	for _, name := range opNames {
+		t.CallsByOp[name] = 0
+	}
+	return t
+}
+
+// TransportStats aggregates every client's wire counters — the
+// `remote.transport` section of /v1/stats. Every op key is present
+// even at zero, so the JSON shape is deployment-independent.
+func (s *ShardSet) TransportStats() TransportStats {
+	t := EmptyTransportStats()
+	for _, cl := range s.clients {
+		for op, name := range opNames {
+			t.CallsByOp[name] += cl.counters.ops[op].Load()
+		}
+		t.Retries += cl.counters.retries.Load()
+		t.BreakerOpens += cl.counters.breakerOpens.Load()
+		t.Dials += cl.counters.dials.Load()
+		t.ConnReuses += cl.counters.reuses.Load()
+	}
+	t.BatchedCalls = t.CallsByOp[opNames[opViewMulti]] + t.CallsByOp[opNames[opPredictMulti]]
+	t.SingleCalls = t.CallsByOp[opNames[opView]] + t.CallsByOp[opNames[opPredict]]
+	return t
 }
 
 // StatsByShard gathers every worker's per-shard cache counters into

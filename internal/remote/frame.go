@@ -44,11 +44,20 @@ import (
 //	crc     u32  CRC32 (IEEE) over header + payload
 const (
 	frameMagic = uint32(0x41435247) // "GRCA" little-endian
-	// frameVersion 2: apply requests carry the router's global apply
-	// sequence (dedup + gap detection at the replica).
-	frameVersion = uint16(2)
-	frameHdrLen  = 4 + 2 + 1 + 1 + 8 + 4
-	frameCRCLen  = 4
+	// frameVersion 3: worker-batched multi-user ops (opViewMulti,
+	// opPredictMulti), scoped-invalidation relay in apply acks, and a
+	// protocol version advertised in the hello ack. Version 2 (apply
+	// requests carry the router's global apply sequence) remains
+	// speakable: the handshake negotiates down to the worker's version,
+	// and the router falls back to the single-user ops against old
+	// workers.
+	frameVersion = uint16(3)
+	// frameVersionMin is the oldest protocol this build still speaks.
+	// Handshake frames are always written at the minimum so an old peer
+	// can read them and answer with its own version.
+	frameVersionMin = uint16(2)
+	frameHdrLen     = 4 + 2 + 1 + 1 + 8 + 4
+	frameCRCLen     = 4
 )
 
 // MaxPayload bounds a single frame's payload. The largest legitimate
@@ -76,6 +85,12 @@ const (
 	opApply      = uint8(3) // rating → apply + scoped invalidation + ack
 	opInvalidate = uint8(4) // user → drop cached rows and view
 	opStats      = uint8(5) // () → per-owned-shard cache stats
+
+	// Version-3 batched ops: one request carries every group member the
+	// worker owns, so an assembly costs one round trip per worker, not
+	// one per member.
+	opViewMulti    = uint8(6) // users → per-user view scores (+ deps)
+	opPredictMulti = uint8(7) // (users, items) → per-user predictions
 )
 
 // Typed framing and transport errors. The client maps everything
@@ -121,8 +136,12 @@ var (
 	ErrShardTimeout = errors.New("remote: shard timeout")
 )
 
-// frame is one decoded wire frame.
+// frame is one decoded wire frame. version is the protocol version it
+// was read with (or should be written at; zero means the current
+// frameVersion) — responses echo their request's version so a v2 peer
+// only ever sees v2 frames.
 type frame struct {
+	version uint16
 	kind    uint8
 	op      uint8
 	seq     uint64
@@ -136,9 +155,13 @@ func writeFrame(w io.Writer, f frame) error {
 	if len(f.payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
+	v := f.version
+	if v == 0 {
+		v = frameVersion
+	}
 	buf := make([]byte, frameHdrLen+len(f.payload)+frameCRCLen)
 	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
-	binary.LittleEndian.PutUint16(buf[4:], frameVersion)
+	binary.LittleEndian.PutUint16(buf[4:], v)
 	buf[6] = f.kind
 	buf[7] = f.op
 	binary.LittleEndian.PutUint64(buf[8:], f.seq)
@@ -167,8 +190,9 @@ func readFrame(r io.Reader) (frame, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
 		return frame{}, ErrBadFrame
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != frameVersion {
-		return frame{}, fmt.Errorf("%w: got version %d, want %d", ErrVersionSkew, v, frameVersion)
+	v := binary.LittleEndian.Uint16(hdr[4:])
+	if v < frameVersionMin || v > frameVersion {
+		return frame{}, fmt.Errorf("%w: got version %d, want %d..%d", ErrVersionSkew, v, frameVersionMin, frameVersion)
 	}
 	length := binary.LittleEndian.Uint32(hdr[16:])
 	if length > MaxPayload {
@@ -187,6 +211,7 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, ErrCRCMismatch
 	}
 	return frame{
+		version: v,
 		kind:    hdr[6],
 		op:      hdr[7],
 		seq:     binary.LittleEndian.Uint64(hdr[8:]),

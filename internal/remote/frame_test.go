@@ -128,7 +128,7 @@ func TestFrameCRCMismatch(t *testing.T) {
 func TestWireShortPayloads(t *testing.T) {
 	full := map[string][]byte{
 		"hello":    encodeHello(hello{Fingerprint: 1, Shards: 2}),
-		"helloAck": encodeHelloAck([]int{0, 1, 2}),
+		"helloAck": encodeHelloAck([]int{0, 1, 2}, frameVersion),
 		"user":     encodeUser(7),
 		"chunk":    encodeViewChunk(viewChunk{Total: 4, Offset: 0, Scores: []float64{1, 2}}),
 		"predict":  encodePredictReq(predictReq{User: 3, Items: []dataset.ItemID{1, 2, 3}}),
@@ -140,7 +140,7 @@ func TestWireShortPayloads(t *testing.T) {
 	}
 	decode := map[string]func([]byte) error{
 		"hello":    func(p []byte) error { _, err := decodeHello(p); return err },
-		"helloAck": func(p []byte) error { _, err := decodeHelloAck(p); return err },
+		"helloAck": func(p []byte) error { _, _, err := decodeHelloAck(p); return err },
 		"user":     func(p []byte) error { _, err := decodeUser(p); return err },
 		"chunk":    func(p []byte) error { _, err := decodeViewChunk(p); return err },
 		"predict":  func(p []byte) error { _, err := decodePredictReq(p); return err },
@@ -156,6 +156,14 @@ func TestWireShortPayloads(t *testing.T) {
 			return nil // a complete payload decodes to an app error, not a protocol error
 		},
 	}
+	// The version-3 trailers on helloAck and ack are tolerated when
+	// absent (that's the version-2 payload shape, still a valid
+	// message); a cut exactly at the trailer boundary therefore decodes
+	// successfully rather than failing.
+	v2OK := map[string]int{
+		"helloAck": len(full["helloAck"]) - 4, // minus the version u32
+		"ack":      4 * 8,                     // the four counter u64s
+	}
 	for name, raw := range full {
 		dec := decode[name]
 		if name != "appError" {
@@ -164,6 +172,12 @@ func TestWireShortPayloads(t *testing.T) {
 			}
 		}
 		for cut := 0; cut < len(raw); cut++ {
+			if boundary, ok := v2OK[name]; ok && cut == boundary {
+				if err := dec(raw[:cut]); err != nil {
+					t.Errorf("%s cut at %d (v2 shape): err = %v, want nil", name, cut, err)
+				}
+				continue
+			}
 			if err := dec(raw[:cut]); !errors.Is(err, ErrProtocol) {
 				t.Errorf("%s cut at %d: err = %v, want ErrProtocol", name, cut, err)
 			}
@@ -177,9 +191,13 @@ func TestWireRoundTrips(t *testing.T) {
 	if err != nil || h.Fingerprint != 0xabc || h.Shards != 9 {
 		t.Errorf("hello: %+v, %v", h, err)
 	}
-	owned, err := decodeHelloAck(encodeHelloAck([]int{2, 0, 5}))
-	if err != nil || len(owned) != 3 || owned[0] != 2 || owned[1] != 0 || owned[2] != 5 {
-		t.Errorf("helloAck: %v, %v", owned, err)
+	owned, ver, err := decodeHelloAck(encodeHelloAck([]int{2, 0, 5}, frameVersion))
+	if err != nil || len(owned) != 3 || owned[0] != 2 || owned[1] != 0 || owned[2] != 5 || ver != frameVersion {
+		t.Errorf("helloAck: %v, v%d, %v", owned, ver, err)
+	}
+	ack, err := decodeApplyAck(encodeApplyAck(ApplyAck{Pending: 1, Applied: 2, Scoped: true, Stale: []dataset.UserID{7, 9}}))
+	if err != nil || !ack.Scoped || len(ack.Stale) != 2 || ack.Stale[0] != 7 || ack.Stale[1] != 9 {
+		t.Errorf("applyAck scoped trailer: %+v, %v", ack, err)
 	}
 	q, err := decodePredictReq(encodePredictReq(predictReq{User: 11, Items: []dataset.ItemID{5, 1}}))
 	if err != nil || q.User != 11 || len(q.Items) != 2 || q.Items[0] != 5 || q.Items[1] != 1 {

@@ -1,0 +1,289 @@
+package remote
+
+// The pipelined-connection battery: concurrent calls sharing one
+// connection, demultiplexed by sequence number. Run with -race — the
+// interleavings these tests force (overlapping chunked multi-views,
+// mid-stream disconnects with several calls in flight, out-of-order
+// terminal frames) are exactly where a demux data race would hide.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// scriptedWorker accepts connections, answers the handshake advertising
+// the given protocol version, then hands each connection to serve for
+// full control over the request/response stream (unlike rawWorker,
+// which reads exactly one request).
+func scriptedWorker(t *testing.T, version uint16, serve func(conn net.Conn)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				f, err := readFrame(conn)
+				if err != nil || f.kind != kindHello {
+					return
+				}
+				if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck([]int{0}, version)}); err != nil {
+					return
+				}
+				serve(conn)
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestPipelinedInterleavedMultiViews: many concurrent ViewScoresMulti
+// calls share one connection (PoolSize 1), so the server's per-request
+// dispatch goroutines interleave chunked progress frames from different
+// calls on the same wire. Every call must still gather its own users'
+// exact scores, and the whole burst must cost exactly one dial.
+func TestPipelinedInterleavedMultiViews(t *testing.T) {
+	b := allOwned()
+	b.viewLen = 23
+	b.delay = time.Millisecond // widen the interleaving window
+	addr := startWorker(t, b, func(s *Server) { s.ChunkScores = 3 })
+	cfg := testClientConfig(b)
+	cfg.PoolSize = 1
+	cfg.CallTimeout = 5 * time.Second
+	c := NewClient(addr, cfg)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			users := []dataset.UserID{dataset.UserID(g), dataset.UserID(g + 100), dataset.UserID(g + 200)}
+			res, err := c.ViewScoresMulti(users)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i, u := range users {
+				want, _ := b.ViewScores(u)
+				if !reflect.DeepEqual(res[i].Scores, want) {
+					errc <- fmt.Errorf("user %d: scores cross-wired under interleaving", u)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if d := c.counters.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1 (every call pipelined on one connection)", d)
+	}
+}
+
+// TestPipelinedMidStreamDisconnect: the worker dies with two calls in
+// flight on one connection, each having received a progress frame but
+// no terminal. Both calls must fail ErrShardUnavailable — neither a
+// hang nor a half-gathered view crossed to the other call.
+func TestPipelinedMidStreamDisconnect(t *testing.T) {
+	addr := scriptedWorker(t, frameVersion, func(conn net.Conn) {
+		var reqs []frame
+		for len(reqs) < 2 {
+			f, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, f)
+		}
+		for _, f := range reqs {
+			chunk := encodeViewChunk(viewChunk{Total: 100, Offset: 0, Scores: []float64{1, 2, 3}})
+			_ = writeFrame(conn, frame{version: f.version, kind: kindProgress, op: f.op, seq: f.seq, payload: chunk})
+		}
+		// Die before any terminal frame: both calls are mid-stream.
+	})
+	c := NewClient(addr, ClientConfig{
+		CallTimeout: time.Second,
+		Retries:     -1, // no redial: the torn stream itself must surface
+		Backoff:     time.Millisecond,
+		Shards:      1,
+		PoolSize:    1,
+	})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.ViewScores(dataset.UserID(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrShardUnavailable) {
+			t.Errorf("call %d: err = %v, want ErrShardUnavailable", i, err)
+		}
+	}
+}
+
+// TestPipelinedOutOfOrderTerminals: the worker answers two in-flight
+// calls in reverse arrival order. The demux must route each terminal to
+// its own call by sequence number, not by arrival position.
+func TestPipelinedOutOfOrderTerminals(t *testing.T) {
+	addr := scriptedWorker(t, frameVersion, func(conn net.Conn) {
+		var reqs []frame
+		for len(reqs) < 2 {
+			f, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, f)
+		}
+		for i := len(reqs) - 1; i >= 0; i-- {
+			f := reqs[i]
+			q, err := decodePredictReq(f.payload)
+			if err != nil {
+				return
+			}
+			_ = writeFrame(conn, frame{version: f.version, kind: kindResult, op: f.op, seq: f.seq, payload: encodeF64s([]float64{float64(q.User) * 10})})
+		}
+		// Hold the connection open until the client hangs up, so the
+		// teardown never races the terminal deliveries.
+		for {
+			if _, err := readFrame(conn); err != nil {
+				return
+			}
+		}
+	})
+	c := NewClient(addr, ClientConfig{
+		CallTimeout: time.Second,
+		Backoff:     time.Millisecond,
+		Shards:      1,
+		PoolSize:    1,
+	})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	vals := make([][]float64, 2)
+	errs := make([]error, 2)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = c.PredictBatch(dataset.UserID(i+1), []dataset.ItemID{7})
+		}(i)
+	}
+	wg.Wait()
+	for i := range vals {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if want := float64(i+1) * 10; len(vals[i]) != 1 || vals[i][0] != want {
+			t.Errorf("call %d got %v, want [%v] — terminal routed to the wrong call", i, vals[i], want)
+		}
+	}
+}
+
+// TestClientMultiFallbackToSingleOps: against a protocol-2 worker the
+// batched ops degrade to per-user single ops — same results, deps
+// unknown (the old op cannot carry them), no multi frames on the wire.
+func TestClientMultiFallbackToSingleOps(t *testing.T) {
+	addr := scriptedWorker(t, frameVersionMin, func(conn net.Conn) {
+		for {
+			f, err := readFrame(conn)
+			if err != nil || f.kind != kindRequest {
+				return
+			}
+			switch f.op {
+			case opView:
+				u, err := decodeUser(f.payload)
+				if err != nil {
+					return
+				}
+				scores := make([]float64, 4)
+				for i := range scores {
+					scores[i] = float64(u) + float64(i)
+				}
+				_ = writeFrame(conn, frame{version: f.version, kind: kindResult, op: f.op, seq: f.seq, payload: encodeViewChunk(viewChunk{Total: 4, Offset: 0, Scores: scores})})
+			case opPredict:
+				q, err := decodePredictReq(f.payload)
+				if err != nil {
+					return
+				}
+				vals := make([]float64, len(q.Items))
+				for i, it := range q.Items {
+					vals[i] = float64(q.User)*100 + float64(it)
+				}
+				_ = writeFrame(conn, frame{version: f.version, kind: kindResult, op: f.op, seq: f.seq, payload: encodeF64s(vals)})
+			default:
+				// A correct client never sends protocol-3 ops here.
+				_ = writeFrame(conn, frame{version: f.version, kind: kindError, op: f.op, seq: f.seq, payload: encodeAppError(codeInternal, "protocol-3 op sent to protocol-2 worker")})
+			}
+		}
+	})
+	c := NewClient(addr, ClientConfig{
+		CallTimeout: time.Second,
+		Backoff:     time.Millisecond,
+		Shards:      1,
+	})
+	defer c.Close()
+
+	users := []dataset.UserID{3, 1, 4}
+	res, err := c.ViewScoresMulti(users)
+	if err != nil {
+		t.Fatalf("ViewScoresMulti: %v", err)
+	}
+	for i, u := range users {
+		want := []float64{float64(u), float64(u) + 1, float64(u) + 2, float64(u) + 3}
+		if !reflect.DeepEqual(res[i].Scores, want) {
+			t.Errorf("user %d scores = %v, want %v", u, res[i].Scores, want)
+		}
+		if res[i].DepsKnown {
+			t.Errorf("user %d: deps known over the fallback path", u)
+		}
+	}
+	items := []dataset.ItemID{2, 9}
+	rows, err := c.PredictBatchMulti(users[:2], items)
+	if err != nil {
+		t.Fatalf("PredictBatchMulti: %v", err)
+	}
+	for i, u := range users[:2] {
+		want := []float64{float64(u)*100 + 2, float64(u)*100 + 9}
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Errorf("user %d row = %v, want %v", u, rows[i], want)
+		}
+	}
+	if v, p := c.counters.ops[opViewMulti].Load(), c.counters.ops[opPredictMulti].Load(); v != 0 || p != 0 {
+		t.Errorf("multi calls = %d/%d, want 0/0 against a protocol-2 worker", v, p)
+	}
+	if v, p := c.counters.ops[opView].Load(), c.counters.ops[opPredict].Load(); v != 3 || p != 2 {
+		t.Errorf("single calls = %d/%d, want 3/2 (one per user)", v, p)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cf"
 	"repro/internal/dataset"
 )
 
@@ -25,6 +26,9 @@ type fakeBackend struct {
 	applyErr error
 	viewLen  int
 	delay    time.Duration
+	// depsFor, when set, supplies ViewScoresDeps' dependency metadata;
+	// nil reports deps unknown (the conservative default).
+	depsFor func(u dataset.UserID) (cf.RowDeps, bool)
 }
 
 func (b *fakeBackend) Fingerprint() uint64 { return b.fp }
@@ -44,6 +48,15 @@ func (b *fakeBackend) ViewScores(u dataset.UserID) ([]float64, error) {
 		scores[i] = float64(u)*1000 + float64(i)
 	}
 	return scores, nil
+}
+
+func (b *fakeBackend) ViewScoresDeps(u dataset.UserID) ([]float64, cf.RowDeps, bool, error) {
+	scores, err := b.ViewScores(u)
+	if b.depsFor != nil {
+		deps, known := b.depsFor(u)
+		return scores, deps, known, err
+	}
+	return scores, cf.RowDeps{}, false, err
 }
 
 func (b *fakeBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
@@ -130,6 +143,169 @@ func TestClientViewScoresChunked(t *testing.T) {
 	// A second call reuses the pooled connection (same answer).
 	if again, err := c.ViewScores(5); err != nil || !reflect.DeepEqual(again, want) {
 		t.Errorf("pooled call: %v, %v", again, err)
+	}
+}
+
+// TestClientViewScoresMultiChunked: one batched call fetches several
+// users' views — interleaved per-user chunk frames reassembled into
+// request order — and relays each view's mean-fallback dependencies on
+// its last chunk, which the router's view cache needs to patch warm
+// views through scoped invalidation.
+func TestClientViewScoresMultiChunked(t *testing.T) {
+	b := allOwned()
+	b.viewLen = 10
+	b.depsFor = func(u dataset.UserID) (cf.RowDeps, bool) {
+		if u == 2 {
+			return cf.RowDeps{FallbackPos: []int32{1, 4}, UsedGlobal: true}, true
+		}
+		return cf.RowDeps{}, false
+	}
+	// Chunk size 3 forces several progress frames per user.
+	addr := startWorker(t, b, func(s *Server) { s.ChunkScores = 3 })
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	users := []dataset.UserID{5, 2, 8}
+	res, err := c.ViewScoresMulti(users)
+	if err != nil {
+		t.Fatalf("ViewScoresMulti: %v", err)
+	}
+	if len(res) != len(users) {
+		t.Fatalf("got %d results for %d users", len(res), len(users))
+	}
+	for i, u := range users {
+		want, _ := b.ViewScores(u)
+		if !reflect.DeepEqual(res[i].Scores, want) {
+			t.Errorf("user %d scores = %v, want %v", u, res[i].Scores, want)
+		}
+	}
+	if !res[1].DepsKnown || !res[1].UsedGlobal || !reflect.DeepEqual(res[1].FallbackPos, []int32{1, 4}) {
+		t.Errorf("deps relay = %+v, want known, global, fallback [1 4]", res[1])
+	}
+	if res[0].DepsKnown || res[2].DepsKnown {
+		t.Error("deps reported known for users without metadata")
+	}
+	// The whole 3-member fetch cost exactly one wire call.
+	if got := c.counters.ops[opViewMulti].Load(); got != 1 {
+		t.Errorf("view_multi calls = %d, want 1", got)
+	}
+	if got := c.counters.ops[opView].Load(); got != 0 {
+		t.Errorf("single view calls = %d, want 0", got)
+	}
+}
+
+// TestClientPredictBatchMulti: one batched call fetches several users'
+// predictions for a shared item list, one row per user.
+func TestClientPredictBatchMulti(t *testing.T) {
+	b := allOwned()
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	users := []dataset.UserID{4, 1, 7}
+	items := []dataset.ItemID{3, 9}
+	rows, err := c.PredictBatchMulti(users, items)
+	if err != nil {
+		t.Fatalf("PredictBatchMulti: %v", err)
+	}
+	for i, u := range users {
+		want, _ := b.PredictBatch(u, items)
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Errorf("user %d row = %v, want %v", u, rows[i], want)
+		}
+	}
+	if got := c.counters.ops[opPredictMulti].Load(); got != 1 {
+		t.Errorf("predict_multi calls = %d, want 1", got)
+	}
+	if got := c.counters.ops[opPredict].Load(); got != 0 {
+		t.Errorf("single predict calls = %d, want 0", got)
+	}
+}
+
+// TestClientMultiWrongShard: a batched request naming even one user
+// outside the worker's owned shards is refused whole — misrouting is
+// loud on the batched path exactly as on the single-user one.
+func TestClientMultiWrongShard(t *testing.T) {
+	b := &fakeBackend{fp: 9, shards: 4, owned: []int{1}}
+	addr := startWorker(t, b, nil)
+	c := NewClient(addr, testClientConfig(b))
+	defer c.Close()
+
+	m := hashMapFor(4)
+	var inside, outside dataset.UserID
+	for u, haveIn, haveOut := dataset.UserID(0), false, false; !haveIn || !haveOut; u++ {
+		if m.Of(int64(u)) == 1 {
+			if !haveIn {
+				inside, haveIn = u, true
+			}
+		} else if !haveOut {
+			outside, haveOut = u, true
+		}
+	}
+	var ae *AppError
+	if _, err := c.ViewScoresMulti([]dataset.UserID{inside, outside}); !errors.As(err, &ae) || ae.Code != codeWrongShard {
+		t.Errorf("ViewScoresMulti: err = %v, want wrong_shard", err)
+	}
+	if _, err := c.PredictBatchMulti([]dataset.UserID{outside}, []dataset.ItemID{1}); !errors.As(err, &ae) || ae.Code != codeWrongShard {
+		t.Errorf("PredictBatchMulti: err = %v, want wrong_shard", err)
+	}
+}
+
+// TestShardSetMultiBatchesByWorker pins the RPC collapse the batched
+// ops exist for: a group assembly's reads cost one wire call per owning
+// worker, never one per member.
+func TestShardSetMultiBatchesByWorker(t *testing.T) {
+	set, _, _ := twoWorkerSet(t)
+	m := hashMapFor(2)
+	// 3 members on shard 0 and 2 on shard 1, interleaved in request
+	// order, so the gather has to scatter results back across buckets.
+	var users []dataset.UserID
+	want0, want1 := 3, 2
+	for u := dataset.UserID(0); want0 > 0 || want1 > 0; u++ {
+		switch m.Of(int64(u)) {
+		case 0:
+			if want0 > 0 {
+				users = append(users, u)
+				want0--
+			}
+		case 1:
+			if want1 > 0 {
+				users = append(users, u)
+				want1--
+			}
+		}
+	}
+
+	res, err := set.ViewScoresMulti(users)
+	if err != nil {
+		t.Fatalf("ViewScoresMulti: %v", err)
+	}
+	for i, u := range users {
+		if len(res[i].Scores) != 10 || res[i].Scores[0] != float64(u)*1000 {
+			t.Errorf("user %d (slot %d): scores %v", u, i, res[i].Scores[:2])
+		}
+	}
+	items := []dataset.ItemID{1, 2}
+	rows, err := set.PredictBatchMulti(users, items)
+	if err != nil {
+		t.Fatalf("PredictBatchMulti: %v", err)
+	}
+	for i, u := range users {
+		if len(rows[i]) != 2 || rows[i][0] != float64(u)+0.01 {
+			t.Errorf("user %d (slot %d): row %v", u, i, rows[i])
+		}
+	}
+
+	st := set.TransportStats()
+	if st.CallsByOp["view_multi"] != 2 || st.CallsByOp["predict_multi"] != 2 {
+		t.Errorf("multi calls = %d/%d, want 2/2 (one per worker per scatter, 5 members)",
+			st.CallsByOp["view_multi"], st.CallsByOp["predict_multi"])
+	}
+	if st.CallsByOp["view"] != 0 || st.CallsByOp["predict"] != 0 {
+		t.Errorf("single calls = %d/%d, want 0/0", st.CallsByOp["view"], st.CallsByOp["predict"])
+	}
+	if st.BatchedCalls != 4 || st.SingleCalls != 0 {
+		t.Errorf("batched/single = %d/%d, want 4/0", st.BatchedCalls, st.SingleCalls)
 	}
 }
 
@@ -350,7 +526,7 @@ func rawWorker(t *testing.T, serve func(conn net.Conn, req frame)) string {
 				if err != nil || f.kind != kindHello {
 					return
 				}
-				if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck([]int{0})}); err != nil {
+				if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck([]int{0}, frameVersionMin)}); err != nil {
 					return
 				}
 				req, err := readFrame(conn)
@@ -473,7 +649,7 @@ func TestServerApplyDedupAndGap(t *testing.T) {
 	}
 	// Redelivery of seq 1: same ack, no second ingest.
 	again, err := c.Apply(1, r1)
-	if err != nil || again != ack {
+	if err != nil || !reflect.DeepEqual(again, ack) {
 		t.Fatalf("redelivered Apply(1) = %+v, %v; want %+v, nil", again, err, ack)
 	}
 	b.mu.Lock()
@@ -585,7 +761,7 @@ func TestShardSetRoutesByShard(t *testing.T) {
 func TestShardSetApplyFansOutToAllWorkers(t *testing.T) {
 	set, b0, b1 := twoWorkerSet(t)
 	u := userOnShard(1)
-	ack, err := set.Apply(1, dataset.Rating{User: u, Item: 7, Value: 4, Time: 1})
+	ack, _, err := set.Apply(1, dataset.Rating{User: u, Item: 7, Value: 4, Time: 1})
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
@@ -669,10 +845,10 @@ func TestShardSetDeadWorkerDegradesOnlyItsShards(t *testing.T) {
 		t.Errorf("dead shard entry = %+v, want zero-valued placeholder", ss[0])
 	}
 
-	if _, err := set.Apply(1, dataset.Rating{User: userOnShard(0), Item: 1, Value: 1}); !errors.Is(err, ErrShardUnavailable) {
+	if _, _, err := set.Apply(1, dataset.Rating{User: userOnShard(0), Item: 1, Value: 1}); !errors.Is(err, ErrShardUnavailable) {
 		t.Errorf("ingest for dead owner: err = %v, want ErrShardUnavailable", err)
 	}
-	if _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 1, Value: 1, Time: 1}); err != nil {
+	if _, _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 1, Value: 1, Time: 1}); err != nil {
 		t.Errorf("ingest for live owner: %v", err)
 	}
 	if set.FanoutErrors() == 0 {
@@ -712,7 +888,7 @@ func TestShardSetFencesReplicaThatMissedWrite(t *testing.T) {
 	b0.mu.Lock()
 	b0.applyErr = errors.New("disk full")
 	b0.mu.Unlock()
-	if _, err := set.Apply(1, dataset.Rating{User: userOnShard(1), Item: 1, Value: 2, Time: 1}); err != nil {
+	if _, _, err := set.Apply(1, dataset.Rating{User: userOnShard(1), Item: 1, Value: 2, Time: 1}); err != nil {
 		t.Fatalf("Apply with live owner: %v", err)
 	}
 	if fenced := set.Fenced(); len(fenced) != 1 {
@@ -730,7 +906,7 @@ func TestShardSetFencesReplicaThatMissedWrite(t *testing.T) {
 	b0.mu.Lock()
 	b0.applyErr = nil
 	b0.mu.Unlock()
-	if _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 2, Value: 3, Time: 2}); err != nil {
+	if _, _, err := set.Apply(2, dataset.Rating{User: userOnShard(1), Item: 2, Value: 3, Time: 2}); err != nil {
 		t.Fatalf("post-fence apply: %v", err)
 	}
 	b0.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/cf"
 	"repro/internal/dataset"
 )
 
@@ -29,6 +30,15 @@ type Backend interface {
 	// the canonical sorted side locally (the sort is deterministic
 	// given the scores, exactly like a snapshot restore).
 	ViewScores(u dataset.UserID) ([]float64, error)
+	// ViewScoresDeps is ViewScores plus the view's mean-fallback
+	// dependencies when they are known: the pool positions that fell
+	// back to an item mean and whether the global mean was used. The
+	// router's view cache relays them over the multi-view op so warm
+	// views can be patched through scoped invalidation instead of
+	// refetched. depsKnown=false means the view is served but cannot
+	// be patched (the router drops it from its cache on any ingest
+	// touching it).
+	ViewScoresDeps(u dataset.UserID) (scores []float64, deps cf.RowDeps, depsKnown bool, err error)
 	// PredictBatch returns raw (1..5 scale) predictions of u for items.
 	PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error)
 	// Apply ingests one rating into the worker's replica, running the
@@ -48,9 +58,12 @@ type Backend interface {
 // or two frames; tests shrink it to pin multi-frame behavior.
 const DefaultChunkScores = 4096
 
-// Server serves the shard data plane over a listener. One goroutine
-// per connection, requests on a connection answered in order; the
-// accept loop runs until Close.
+// Server serves the shard data plane over a listener. One reader
+// goroutine per connection; each request is dispatched on its own
+// goroutine, so a pipelined router can keep several calls in flight on
+// one connection and slow reads never block the apply stream. Response
+// frames carry their request's sequence number, which is what keeps a
+// multiplexed connection sortable at the client.
 type Server struct {
 	b Backend
 	// ChunkScores overrides the view-streaming chunk size (set before
@@ -148,9 +161,31 @@ func (s *Server) dropConn(conn net.Conn) {
 	s.wg.Done()
 }
 
+// connWriter serializes frame writes on a shared connection, so the
+// dispatch goroutines answering concurrent requests interleave whole
+// frames, never bytes. version is the connection's handshake frame
+// version, the default for frames that don't set their own; response
+// frames echo their request's version, so a version-2 router never
+// sees a version-3 frame.
+type connWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	version uint16
+}
+
+func (w *connWriter) write(f frame) error {
+	if f.version == 0 {
+		f.version = w.version
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.conn, f)
+}
+
 // serveConn drives one connection: a hello handshake, then a request
-// loop. Any framing error tears the connection down — the client
-// re-dials and re-handshakes.
+// loop dispatching each request on its own goroutine. Any framing
+// error tears the connection down — the client re-dials and
+// re-handshakes — after the in-flight dispatches drain.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	f, err := readFrame(conn)
@@ -161,15 +196,22 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	// The connection speaks the hello's version: an older router wrote
+	// its newest, and writing anything newer back would be rejected.
+	w := &connWriter{conn: conn, version: f.version}
 	if h.Fingerprint != s.b.Fingerprint() || int(h.Shards) != s.b.Shards() {
-		_ = writeFrame(conn, frame{kind: kindError, seq: f.seq, payload: encodeAppError(codeMismatch,
+		_ = w.write(frame{kind: kindError, seq: f.seq, payload: encodeAppError(codeMismatch,
 			fmt.Sprintf("worker world (fp %x, %d shards) does not match router (fp %x, %d shards)",
 				s.b.Fingerprint(), s.b.Shards(), h.Fingerprint, h.Shards))})
 		return
 	}
-	if err := writeFrame(conn, frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck(s.b.Owned())}); err != nil {
+	// The ack's payload advertises this build's own protocol version;
+	// the router speaks min(its version, ours) from then on.
+	if err := w.write(frame{kind: kindHelloAck, seq: f.seq, payload: encodeHelloAck(s.b.Owned(), frameVersion)}); err != nil {
 		return
 	}
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
@@ -178,21 +220,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		if f.kind != kindRequest {
 			return
 		}
-		if err := s.dispatch(conn, f); err != nil {
-			return
-		}
+		reqs.Add(1)
+		go func(f frame) {
+			defer reqs.Done()
+			_ = s.dispatch(w, f)
+		}(f)
 	}
 }
 
 // dispatch answers one request frame. Application failures answer a
 // kindError frame and keep the connection; only transport failures
-// (the returned error) tear it down.
-func (s *Server) dispatch(conn net.Conn, f frame) error {
+// (the returned error) matter, and they resolve themselves — a failed
+// write means the connection is dead and the read loop is about to
+// find out.
+func (s *Server) dispatch(w *connWriter, f frame) error {
 	fail := func(code, msg string) error {
-		return writeFrame(conn, frame{kind: kindError, op: f.op, seq: f.seq, payload: encodeAppError(code, msg)})
+		return w.write(frame{version: f.version, kind: kindError, op: f.op, seq: f.seq, payload: encodeAppError(code, msg)})
 	}
 	result := func(payload []byte) error {
-		return writeFrame(conn, frame{kind: kindResult, op: f.op, seq: f.seq, payload: payload})
+		return w.write(frame{version: f.version, kind: kindResult, op: f.op, seq: f.seq, payload: payload})
 	}
 	switch f.op {
 	case opView:
@@ -207,7 +253,21 @@ func (s *Server) dispatch(conn net.Conn, f frame) error {
 		if err != nil {
 			return fail(codeInternal, err.Error())
 		}
-		return s.streamView(conn, f, scores)
+		return s.streamView(w, f, scores)
+	case opViewMulti:
+		q, err := decodeViewMultiReq(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		if len(q.Users) == 0 {
+			return fail(codeInternal, "empty multi-view request")
+		}
+		for _, u := range q.Users {
+			if !s.owned[s.sm(u)] {
+				return fail(codeWrongShard, fmt.Sprintf("user %d is on shard %d, not owned here", u, s.sm(u)))
+			}
+		}
+		return s.streamViewMulti(w, f, q.Users)
 	case opPredict:
 		q, err := decodePredictReq(f.payload)
 		if err != nil {
@@ -221,6 +281,34 @@ func (s *Server) dispatch(conn net.Conn, f frame) error {
 			return fail(codeInternal, err.Error())
 		}
 		return result(encodeF64s(vals))
+	case opPredictMulti:
+		q, err := decodePredictMultiReq(f.payload)
+		if err != nil {
+			return fail(codeInternal, err.Error())
+		}
+		if len(q.Users) == 0 {
+			return fail(codeInternal, "empty multi-predict request")
+		}
+		for _, u := range q.Users {
+			if !s.owned[s.sm(u)] {
+				return fail(codeWrongShard, fmt.Sprintf("user %d is on shard %d, not owned here", u, s.sm(u)))
+			}
+		}
+		for i, u := range q.Users {
+			vals, err := s.b.PredictBatch(u, q.Items)
+			if err != nil {
+				return fail(codeInternal, err.Error())
+			}
+			kind := kindProgress
+			if i == len(q.Users)-1 {
+				kind = kindResult
+			}
+			payload := encodePredictMultiRow(predictMultiRow{Index: uint32(i), Values: vals})
+			if err := w.write(frame{version: f.version, kind: kind, op: f.op, seq: f.seq, payload: payload}); err != nil {
+				return err
+			}
+		}
+		return nil
 	case opApply:
 		q, err := decodeApplyReq(f.payload)
 		if err != nil {
@@ -285,7 +373,7 @@ func (s *Server) dispatch(conn net.Conn, f frame) error {
 // frames for every chunk but the last, then the terminal result — the
 // transport shape of the anytime contract, exercised by the data
 // plane's hottest read.
-func (s *Server) streamView(conn net.Conn, req frame, scores []float64) error {
+func (s *Server) streamView(w *connWriter, req frame, scores []float64) error {
 	chunk := s.ChunkScores
 	if chunk <= 0 {
 		chunk = DefaultChunkScores
@@ -303,7 +391,7 @@ func (s *Server) streamView(conn net.Conn, req frame, scores []float64) error {
 			kind = kindResult
 		}
 		payload := encodeViewChunk(viewChunk{Total: total, Offset: uint32(off), Scores: scores[off:end]})
-		if err := writeFrame(conn, frame{kind: kind, op: req.op, seq: req.seq, payload: payload}); err != nil {
+		if err := w.write(frame{version: req.version, kind: kind, op: req.op, seq: req.seq, payload: payload}); err != nil {
 			return err
 		}
 		if last {
@@ -311,6 +399,60 @@ func (s *Server) streamView(conn net.Conn, req frame, scores []float64) error {
 		}
 		off = end
 	}
+}
+
+// streamViewMulti answers a multi-view fetch: every user's view
+// streams as chunks tagged with the user's request position, all of
+// them progress frames except the final chunk of the final user, which
+// is the terminal result. The last chunk of each user carries the
+// view's mean-fallback dependency positions when the backend knows
+// them, so the router's cache can patch the view through scoped
+// invalidation. A backend failure mid-stream answers a terminal error
+// frame — progress-then-terminal holds even on the sad path.
+func (s *Server) streamViewMulti(w *connWriter, req frame, users []dataset.UserID) error {
+	chunk := s.ChunkScores
+	if chunk <= 0 {
+		chunk = DefaultChunkScores
+	}
+	for i, u := range users {
+		scores, deps, depsKnown, err := s.b.ViewScoresDeps(u)
+		if err != nil {
+			return w.write(frame{version: req.version, kind: kindError, op: req.op, seq: req.seq, payload: encodeAppError(codeInternal, err.Error())})
+		}
+		lastUser := i == len(users)-1
+		total := uint32(len(scores))
+		off := 0
+		for {
+			end := off + chunk
+			last := end >= len(scores)
+			if last {
+				end = len(scores)
+			}
+			c := viewMultiChunk{Index: uint32(i), Total: total, Offset: uint32(off), Scores: scores[off:end]}
+			if last {
+				c.Flags |= vmLastChunk
+				if depsKnown {
+					c.Flags |= vmDepsKnown
+					c.FallbackPos = deps.FallbackPos
+				}
+				if deps.UsedGlobal {
+					c.Flags |= vmUsedGlobal
+				}
+			}
+			kind := kindProgress
+			if last && lastUser {
+				kind = kindResult
+			}
+			if err := w.write(frame{version: req.version, kind: kind, op: req.op, seq: req.seq, payload: encodeViewMultiChunk(c)}); err != nil {
+				return err
+			}
+			if last {
+				break
+			}
+			off = end
+		}
+	}
+	return nil
 }
 
 // readAll is a tiny helper for tests that drain raw connections.

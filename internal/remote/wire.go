@@ -128,26 +128,38 @@ func decodeHello(p []byte) (hello, error) {
 	return h, r.err
 }
 
-func encodeHelloAck(owned []int) []byte {
+// encodeHelloAck carries the worker's owned shards plus, since
+// protocol version 3, its own protocol version as a trailing u32. A
+// version-2 worker omits the trailer and a version-2 router ignores
+// it, so the handshake negotiates in both directions: each side
+// speaks min(its version, the peer's).
+func encodeHelloAck(owned []int, version uint16) []byte {
 	var w wireWriter
 	w.u32(uint32(len(owned)))
 	for _, s := range owned {
 		w.u32(uint32(s))
 	}
+	w.u32(uint32(version))
 	return w.b
 }
 
-func decodeHelloAck(p []byte) ([]int, error) {
+func decodeHelloAck(p []byte) ([]int, uint16, error) {
 	r := wireReader{b: p}
 	n := int(r.u32())
 	if r.err != nil || n > (len(p)-4)/4 {
-		return nil, errShortPayload
+		return nil, 0, errShortPayload
 	}
 	owned := make([]int, n)
 	for i := range owned {
 		owned[i] = int(r.u32())
 	}
-	return owned, r.err
+	// A trailing u32 is the worker's protocol version; its absence
+	// means a version-2 worker (the trailer was introduced with 3).
+	version := uint16(frameVersionMin)
+	if r.err == nil && r.off < len(p) {
+		version = uint16(r.u32())
+	}
+	return owned, version, r.err
 }
 
 func encodeUser(u dataset.UserID) []byte {
@@ -185,6 +197,152 @@ func decodeViewChunk(p []byte) (viewChunk, error) {
 	r := wireReader{b: p}
 	c := viewChunk{Total: r.u32(), Offset: r.u32(), Scores: r.f64s()}
 	return c, r.err
+}
+
+// viewMultiReq asks for the views of every group member a worker owns
+// in one round trip.
+type viewMultiReq struct {
+	Users []dataset.UserID
+}
+
+func encodeViewMultiReq(q viewMultiReq) []byte {
+	var w wireWriter
+	w.u32(uint32(len(q.Users)))
+	for _, u := range q.Users {
+		w.u64(uint64(u))
+	}
+	return w.b
+}
+
+func decodeViewMultiReq(p []byte) (viewMultiReq, error) {
+	r := wireReader{b: p}
+	n := int(r.u32())
+	if r.err != nil || n > (len(p)-4)/8 {
+		return viewMultiReq{}, errShortPayload
+	}
+	q := viewMultiReq{Users: make([]dataset.UserID, n)}
+	for i := range q.Users {
+		q.Users[i] = dataset.UserID(r.u64())
+	}
+	return q, r.err
+}
+
+// viewMultiChunk flags.
+const (
+	vmLastChunk  = uint8(1) // final chunk of this user's view
+	vmDepsKnown  = uint8(2) // the view's fallback dependencies rode along
+	vmUsedGlobal = uint8(4) // the view leaned on the global mean
+)
+
+// viewMultiChunk is one slice of one user's view inside a multi-view
+// response. Index names the user by position in the request, so chunks
+// of different users may interleave freely; the final chunk of a user
+// (vmLastChunk) optionally carries the view's mean-fallback positions
+// (pool indices — the router reconstructs the items from its own,
+// bit-identical candidate pool), which the router's view cache needs
+// to patch warm views through scoped invalidation.
+type viewMultiChunk struct {
+	Index       uint32 // user position in the request
+	Total       uint32 // pool length (every chunk repeats it)
+	Offset      uint32 // position of this chunk's first score
+	Flags       uint8
+	Scores      []float64
+	FallbackPos []int32 // only on vmLastChunk|vmDepsKnown frames
+}
+
+func encodeViewMultiChunk(c viewMultiChunk) []byte {
+	var w wireWriter
+	w.u32(c.Index)
+	w.u32(c.Total)
+	w.u32(c.Offset)
+	w.u8(c.Flags)
+	w.f64s(c.Scores)
+	if c.Flags&vmLastChunk != 0 && c.Flags&vmDepsKnown != 0 {
+		w.u32(uint32(len(c.FallbackPos)))
+		for _, pos := range c.FallbackPos {
+			w.u32(uint32(pos))
+		}
+	}
+	return w.b
+}
+
+func decodeViewMultiChunk(p []byte) (viewMultiChunk, error) {
+	r := wireReader{b: p}
+	c := viewMultiChunk{Index: r.u32(), Total: r.u32(), Offset: r.u32(), Flags: r.u8()}
+	c.Scores = r.f64s()
+	if r.err == nil && c.Flags&vmLastChunk != 0 && c.Flags&vmDepsKnown != 0 {
+		n := int(r.u32())
+		if r.err != nil || n > (len(p)-r.off)/4 {
+			return viewMultiChunk{}, errShortPayload
+		}
+		c.FallbackPos = make([]int32, n)
+		for i := range c.FallbackPos {
+			c.FallbackPos[i] = int32(r.u32())
+		}
+	}
+	return c, r.err
+}
+
+// predictMultiReq carries one shared item list for every group member
+// a worker owns — the assembly's patch items are the same for the
+// whole group, so the items ride once.
+type predictMultiReq struct {
+	Users []dataset.UserID
+	Items []dataset.ItemID
+}
+
+func encodePredictMultiReq(q predictMultiReq) []byte {
+	var w wireWriter
+	w.u32(uint32(len(q.Users)))
+	for _, u := range q.Users {
+		w.u64(uint64(u))
+	}
+	w.u32(uint32(len(q.Items)))
+	for _, it := range q.Items {
+		w.u64(uint64(it))
+	}
+	return w.b
+}
+
+func decodePredictMultiReq(p []byte) (predictMultiReq, error) {
+	r := wireReader{b: p}
+	nu := int(r.u32())
+	if r.err != nil || nu > (len(p)-8)/8 {
+		return predictMultiReq{}, errShortPayload
+	}
+	q := predictMultiReq{Users: make([]dataset.UserID, nu)}
+	for i := range q.Users {
+		q.Users[i] = dataset.UserID(r.u64())
+	}
+	ni := int(r.u32())
+	if r.err != nil || ni > (len(p)-r.off)/8 {
+		return predictMultiReq{}, errShortPayload
+	}
+	q.Items = make([]dataset.ItemID, ni)
+	for i := range q.Items {
+		q.Items[i] = dataset.ItemID(r.u64())
+	}
+	return q, r.err
+}
+
+// predictMultiRow is one user's prediction row inside a multi-predict
+// response, named by request position like viewMultiChunk.
+type predictMultiRow struct {
+	Index  uint32
+	Values []float64
+}
+
+func encodePredictMultiRow(row predictMultiRow) []byte {
+	var w wireWriter
+	w.u32(row.Index)
+	w.f64s(row.Values)
+	return w.b
+}
+
+func decodePredictMultiRow(p []byte) (predictMultiRow, error) {
+	r := wireReader{b: p}
+	row := predictMultiRow{Index: r.u32(), Values: r.f64s()}
+	return row, r.err
 }
 
 type predictReq struct {
@@ -265,12 +423,22 @@ func decodeApplyReq(p []byte) (applyReq, error) {
 
 // ApplyAck acknowledges a fanned-out rating with the worker's own
 // delta-log counters after the apply — the router's cross-check that
-// the replica ingested what it did.
+// the replica ingested what it did. Since protocol version 3 it also
+// relays the worker's scoped-invalidation outcome: Scoped reports
+// whether the worker confined the rating's reach to an explicit user
+// set, and Stale lists those users (sorted, deterministic). The
+// router's view cache needs this relay — in distributed mode the
+// router's own caches are idle, so only the workers know which warm
+// views the rating could have touched. A version-2 ack omits the
+// trailer; the decoder reports Scoped=false and the router falls back
+// to flushing its cache wholesale.
 type ApplyAck struct {
 	Pending int
 	Applied int64
 	Folds   int64
 	Folded  int64
+	Scoped  bool
+	Stale   []dataset.UserID
 }
 
 func encodeApplyAck(a ApplyAck) []byte {
@@ -279,6 +447,15 @@ func encodeApplyAck(a ApplyAck) []byte {
 	w.i64(a.Applied)
 	w.i64(a.Folds)
 	w.i64(a.Folded)
+	if a.Scoped {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(a.Stale)))
+	for _, u := range a.Stale {
+		w.u64(uint64(u))
+	}
 	return w.b
 }
 
@@ -289,6 +466,18 @@ func decodeApplyAck(p []byte) (ApplyAck, error) {
 		Applied: r.i64(),
 		Folds:   r.i64(),
 		Folded:  r.i64(),
+	}
+	if r.err != nil || r.off == len(p) {
+		return a, r.err // version-2 ack: no scoped trailer
+	}
+	a.Scoped = r.u8() != 0
+	n := int(r.u32())
+	if r.err != nil || n > (len(p)-r.off)/8 {
+		return ApplyAck{}, errShortPayload
+	}
+	a.Stale = make([]dataset.UserID, n)
+	for i := range a.Stale {
+		a.Stale[i] = dataset.UserID(r.u64())
 	}
 	return a, r.err
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cf"
 	"repro/internal/dataset"
 	"repro/internal/remote"
 	"repro/internal/shard"
@@ -44,7 +45,10 @@ type remoteStack struct {
 
 // startRemoteStack builds worker worlds for each ownership split,
 // serves them over loopback TCP, and attaches a router world to them.
-func startRemoteStack(t *testing.T, shards int, owns [][]int, cc remote.ClientConfig, wrap func(remote.Backend) remote.Backend) *remoteStack {
+// routerTweak functions adjust the router's config only — valid for
+// router-local knobs excluded from the fingerprint (RemoteViewCache),
+// which must not perturb the worker worlds.
+func startRemoteStack(t *testing.T, shards int, owns [][]int, cc remote.ClientConfig, wrap func(remote.Backend) remote.Backend, routerTweak ...func(*repro.Config)) *remoteStack {
 	t.Helper()
 	st := &remoteStack{ownerOf: make([]int, shards)}
 	var workersJSON []string
@@ -85,7 +89,11 @@ func startRemoteStack(t *testing.T, shards int, owns [][]int, cc remote.ClientCo
 		t.Fatalf("shard set: %v", err)
 	}
 	t.Cleanup(st.set.Close)
-	st.router, err = repro.NewWorld(remoteWorldConfig(shards))
+	routerCfg := remoteWorldConfig(shards)
+	for _, tweak := range routerTweak {
+		tweak(&routerCfg)
+	}
+	st.router, err = repro.NewWorld(routerCfg)
 	if err != nil {
 		t.Fatalf("building router world: %v", err)
 	}
@@ -170,22 +178,33 @@ func jsonShape(t *testing.T, data []byte) map[string]bool {
 // the responses of the in-process world at the same shard count —
 // single recommend, batch, the full SSE frame sequence, and the stats
 // shape — including after a rating ingested through the remote path.
+// The cached variants enable the router view cache and repeat every
+// stage against warm cache state: a cache hit must serve the same
+// bytes as the wire fetch it replaced, before and after ingest.
 func TestRemoteDifferentialByteIdentical(t *testing.T) {
 	cases := []struct {
 		shards int
 		owns   [][]int
+		cache  bool
 	}{
-		{1, [][]int{{0}}},
-		{4, [][]int{{0, 2}, {1, 3}}},
+		{1, [][]int{{0}}, false},
+		{4, [][]int{{0, 2}, {1, 3}}, false},
+		{1, [][]int{{0}}, true},
+		{4, [][]int{{0, 2}, {1, 3}}, true},
 	}
 	for _, tc := range cases {
-		t.Run(fmt.Sprintf("shards=%d", tc.shards), func(t *testing.T) {
+		t.Run(fmt.Sprintf("shards=%d,cache=%v", tc.shards, tc.cache), func(t *testing.T) {
 			local, err := repro.NewWorld(remoteWorldConfig(tc.shards))
 			if err != nil {
 				t.Fatalf("building local world: %v", err)
 			}
 			localTS := serveHTTP(t, local)
-			stack := startRemoteStack(t, tc.shards, tc.owns, remote.ClientConfig{}, nil)
+			stack := startRemoteStack(t, tc.shards, tc.owns, remote.ClientConfig{}, nil,
+				func(c *repro.Config) {
+					if tc.cache {
+						c.RemoteViewCache = 256
+					}
+				})
 			remoteTS := serveHTTP(t, stack.router)
 
 			g3 := groupJSON(groupOnShards(t, stack.router, tc.shards, 3, nil))
@@ -226,6 +245,11 @@ func TestRemoteDifferentialByteIdentical(t *testing.T) {
 				}
 			}
 			compare("cold")
+			if tc.cache {
+				// Second pass over the same groups: the router now serves
+				// views from its cache instead of the wire — same bytes.
+				compare("warm")
+			}
 
 			// Ingest one rating through both surfaces; the acks and every
 			// subsequent response must stay identical. The remote path
@@ -241,6 +265,11 @@ func TestRemoteDifferentialByteIdentical(t *testing.T) {
 				t.Errorf("ingest acks diverge: local %s remote %s", lb, rb)
 			}
 			compare("post-ingest")
+			if tc.cache {
+				// Post-ingest warm pass: views retained or re-fetched after
+				// the ingest sweep serve from cache, still byte-identical.
+				compare("post-ingest-warm")
+			}
 
 			// Stats: counter values differ (the remote substitutes worker
 			// counters), but the wire shape must be identical, the
@@ -270,6 +299,18 @@ func TestRemoteDifferentialByteIdentical(t *testing.T) {
 						Shard int `json:"shard"`
 					} `json:"per_shard"`
 				} `json:"caches"`
+				Remote struct {
+					Attached  bool `json:"attached"`
+					Transport struct {
+						CallsByOp    map[string]uint64 `json:"calls_by_op"`
+						BatchedCalls uint64            `json:"batched_calls"`
+					} `json:"transport"`
+					ViewCacheEnabled bool `json:"view_cache_enabled"`
+					ViewCache        struct {
+						Hits     uint64 `json:"hits"`
+						Installs uint64 `json:"installs"`
+					} `json:"view_cache"`
+				} `json:"remote"`
 			}
 			if err := json.Unmarshal(remoteStats, &parsed); err != nil {
 				t.Fatalf("parsing remote stats: %v", err)
@@ -279,6 +320,20 @@ func TestRemoteDifferentialByteIdentical(t *testing.T) {
 			}
 			if len(parsed.Caches.PerShard) != tc.shards {
 				t.Errorf("per_shard has %d entries, want %d", len(parsed.Caches.PerShard), tc.shards)
+			}
+			if !parsed.Remote.Attached {
+				t.Error("remote.attached = false on the distributed stack")
+			}
+			if parsed.Remote.Transport.BatchedCalls == 0 || parsed.Remote.Transport.CallsByOp["view_multi"] == 0 {
+				t.Errorf("batched reads not counted: %+v", parsed.Remote.Transport)
+			}
+			if tc.cache {
+				if !parsed.Remote.ViewCacheEnabled {
+					t.Error("view_cache_enabled = false with RemoteViewCache set")
+				}
+				if parsed.Remote.ViewCache.Installs == 0 || parsed.Remote.ViewCache.Hits == 0 {
+					t.Errorf("warm passes did not exercise the view cache: %+v", parsed.Remote.ViewCache)
+				}
 			}
 		})
 	}
@@ -408,6 +463,11 @@ func (b slowBackend) ViewScores(u dataset.UserID) ([]float64, error) {
 	return b.Backend.ViewScores(u)
 }
 
+func (b slowBackend) ViewScoresDeps(u dataset.UserID) ([]float64, cf.RowDeps, bool, error) {
+	time.Sleep(b.delay)
+	return b.Backend.ViewScoresDeps(u)
+}
+
 func (b slowBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
 	time.Sleep(b.delay)
 	return b.Backend.PredictBatch(u, items)
@@ -440,6 +500,87 @@ func TestRemoteWorkerTimeoutAnswers504(t *testing.T) {
 	}
 	if status, _ := postJSON(t, ts.URL+"/v1/recommend/stream", body); status != http.StatusGatewayTimeout {
 		t.Errorf("stream status = %d, want 504", status)
+	}
+}
+
+// TestStatsExposesRemoteTransportCounters pins the wire names of the
+// /v1/stats remote section: operators alert on batched-call adoption,
+// breaker opens, and view-cache hit rates, so the JSON keys are
+// contract, not implementation detail.
+func TestStatsExposesRemoteTransportCounters(t *testing.T) {
+	stack := startRemoteStack(t, 1, [][]int{{0}}, remote.ClientConfig{}, nil,
+		func(c *repro.Config) { c.RemoteViewCache = 64 })
+	ts := serveHTTP(t, stack.router)
+
+	group := groupJSON(groupOnShards(t, stack.router, 1, 2, nil))
+	// Two recommends over the same group: the first fetches and installs
+	// the members' views, the second serves them from the cache (the
+	// bodies differ so no request-level dedup can short-circuit it).
+	for _, n := range []int{120, 140} {
+		body := fmt.Sprintf(`{"group":%s,"k":3,"num_items":%d}`, group, n)
+		if status, data := postJSON(t, ts.URL+"/v1/recommend", body); status != http.StatusOK {
+			t.Fatalf("recommend status = %d, body %s", status, data)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw struct {
+		Remote map[string]json.RawMessage `json:"remote"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"attached", "transport", "view_cache_enabled", "view_cache"} {
+		if _, ok := raw.Remote[key]; !ok {
+			t.Errorf("remote lacks %q; keys: %v", key, keysOf(raw.Remote))
+		}
+	}
+	var transport map[string]json.RawMessage
+	if err := json.Unmarshal(raw.Remote["transport"], &transport); err != nil {
+		t.Fatalf("remote.transport: %v", err)
+	}
+	for _, key := range []string{"calls_by_op", "batched_calls", "single_calls", "retries", "breaker_opens", "dials", "conn_reuses"} {
+		if _, ok := transport[key]; !ok {
+			t.Errorf("remote.transport lacks %q; keys: %v", key, keysOf(transport))
+		}
+	}
+	var callsByOp map[string]uint64
+	if err := json.Unmarshal(transport["calls_by_op"], &callsByOp); err != nil {
+		t.Fatalf("remote.transport.calls_by_op: %v", err)
+	}
+	for _, op := range []string{"view", "predict", "apply", "invalidate", "stats", "view_multi", "predict_multi"} {
+		if _, ok := callsByOp[op]; !ok {
+			t.Errorf("calls_by_op lacks %q; keys: %v", op, callsByOp)
+		}
+	}
+	var viewCache map[string]json.RawMessage
+	if err := json.Unmarshal(raw.Remote["view_cache"], &viewCache); err != nil {
+		t.Fatalf("remote.view_cache: %v", err)
+	}
+	for _, key := range []string{"hits", "misses", "installs", "rejected", "invalidations", "evictions", "retained", "patched", "flushes", "size", "capacity"} {
+		if _, ok := viewCache[key]; !ok {
+			t.Errorf("remote.view_cache lacks %q; keys: %v", key, keysOf(viewCache))
+		}
+	}
+
+	// And the counters moved: the first recommend batched its view
+	// fetch over the wire, the second hit the cache.
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if !st.Remote.Attached || !st.Remote.ViewCacheEnabled {
+		t.Errorf("attached/enabled = %v/%v, want true/true", st.Remote.Attached, st.Remote.ViewCacheEnabled)
+	}
+	if st.Remote.Transport.CallsByOp["view_multi"] == 0 || st.Remote.Transport.BatchedCalls == 0 {
+		t.Errorf("no batched view fetch counted: %+v", st.Remote.Transport)
+	}
+	if st.Remote.ViewCache.Installs == 0 || st.Remote.ViewCache.Hits == 0 {
+		t.Errorf("view cache unused across two recommends: %+v", st.Remote.ViewCache)
 	}
 }
 

@@ -607,6 +607,12 @@ type statsResponse struct {
 	Caches        repro.CacheStats `json:"caches"`
 	World         worldStats       `json:"world"`
 	Ingest        ingestStats      `json:"ingest"`
+	// Remote is the distributed transport's observability: wire calls
+	// by op, batched vs single reads, retries, breaker opens, dials vs
+	// connection reuses, and the router view cache. Always present —
+	// zero-valued with Attached false in-process — so the stats shape
+	// is identical across deployments.
+	Remote repro.RemoteStats `json:"remote"`
 	// Persistence reports the boot path (warm restore, WAL replay);
 	// absent when the process runs without a snapshot directory.
 	Persistence *repro.OpenStats `json:"persistence,omitempty"`
@@ -677,6 +683,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FanoutMisses: s.world.RemoteFanoutMisses(),
 			Store:        s.world.IngestStats(),
 		},
+		Remote:      s.world.RemoteStats(),
 		Persistence: s.openStats,
 	})
 }

@@ -21,7 +21,9 @@ import (
 
 // remoteBenchStack builds a router fronting nWorkers loopback workers
 // over a `shards`-way world, with the shards dealt round-robin.
-func remoteBenchStack(b *testing.B, shards, nWorkers int) *repro.World {
+// viewCache sizes the router's remote view cache (0 = disabled, the
+// production default).
+func remoteBenchStack(b *testing.B, shards, nWorkers, viewCache int) *repro.World {
 	b.Helper()
 	cfg := repro.QuickConfig()
 	cfg.AssemblyWorkers = 1
@@ -60,6 +62,9 @@ func remoteBenchStack(b *testing.B, shards, nWorkers int) *repro.World {
 		b.Fatalf("shard set: %v", err)
 	}
 	b.Cleanup(set.Close)
+	// The cache knob is router-local (excluded from the config
+	// fingerprint), so only the router world carries it.
+	cfg.RemoteViewCache = viewCache
 	router, err := repro.NewWorld(cfg)
 	if err != nil {
 		b.Fatalf("router world: %v", err)
@@ -70,33 +75,68 @@ func remoteBenchStack(b *testing.B, shards, nWorkers int) *repro.World {
 	return router
 }
 
+// runRemoteBench replays the warmed group mix through a distributed
+// router, reporting wire-call extras from the transport counter deltas:
+// rpcs/op is total calls per Recommend, view_rpcs/op the view-fetch
+// calls alone — the number the batched ops collapse from O(members) to
+// O(workers).
+func runRemoteBench(b *testing.B, shards, nWorkers, viewCache int) {
+	opt := repro.Options{K: 10, NumItems: 600}
+	router := remoteBenchStack(b, shards, nWorkers, viewCache)
+	_, groups := shardBenchWorld(b, shards)
+	for _, g := range groups {
+		if _, err := router.Recommend(g, opt); err != nil {
+			b.Fatalf("warmup: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	before := router.RemoteStats().Transport
+	for i := 0; i < b.N; i++ {
+		g := groups[i%len(groups)]
+		if _, err := router.Recommend(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := router.RemoteStats().Transport
+	n := float64(b.N)
+	b.ReportMetric(float64(after.TotalCalls()-before.TotalCalls())/n, "rpcs/op")
+	views := (after.CallsByOp["view"] + after.CallsByOp["view_multi"]) -
+		(before.CallsByOp["view"] + before.CallsByOp["view_multi"])
+	b.ReportMetric(float64(views)/n, "view_rpcs/op")
+}
+
 // BenchmarkRecommendRemote measures steady-state Recommend latency
 // through the distributed stack on the warmed group mix — every view
-// and prediction row crosses the wire. shards=1/workers=1 is the
-// minimal-hop configuration; shards=4/workers=2 is the CI e2e split.
+// and prediction row crosses the wire, one batched RPC per worker per
+// assembly. shards=1/workers=1 is the minimal-hop configuration;
+// shards=4/workers=2 is the CI e2e split.
 func BenchmarkRecommendRemote(b *testing.B) {
-	opt := repro.Options{K: 10, NumItems: 600}
 	cases := []struct{ shards, workers int }{
 		{1, 1},
 		{4, 2},
 	}
 	for _, tc := range cases {
 		b.Run(fmt.Sprintf("shards=%d/workers=%d", tc.shards, tc.workers), func(b *testing.B) {
-			router := remoteBenchStack(b, tc.shards, tc.workers)
-			_, groups := shardBenchWorld(b, tc.shards)
-			for _, g := range groups {
-				if _, err := router.Recommend(g, opt); err != nil {
-					b.Fatalf("warmup: %v", err)
-				}
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				g := groups[i%len(groups)]
-				if _, err := router.Recommend(g, opt); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runRemoteBench(b, tc.shards, tc.workers, 0)
+		})
+	}
+}
+
+// BenchmarkRecommendRemoteBatched is the same stack with the router's
+// apply-seq-coherent view cache enabled: the steady-state group mix
+// hits warm views, so the view-fetch RPCs drop toward zero and the
+// remaining wire cost is the prediction path. The delta against
+// BenchmarkRecommendRemote at the same split is what the cache buys.
+func BenchmarkRecommendRemoteBatched(b *testing.B) {
+	cases := []struct{ shards, workers int }{
+		{1, 1},
+		{4, 2},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", tc.shards, tc.workers), func(b *testing.B) {
+			runRemoteBench(b, tc.shards, tc.workers, 4096)
 		})
 	}
 }

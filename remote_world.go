@@ -2,8 +2,12 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/cf"
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/liststore"
 	"repro/internal/remote"
 )
 
@@ -44,23 +48,95 @@ func (w *World) AttachRemote(set *remote.ShardSet) error {
 	// it, rejecting any larger claim before allocation.
 	set.LimitViewScores(len(w.ratings.PopularityRanked()))
 	w.remote = set
-	w.asm.AttachRemote(remotePlane{set: set})
+	// Router view cache (opt-in via Config.RemoteViewCache): fetched
+	// views stick on the router, fenced against ingest by the apply
+	// bracket in addRating. NewViewCache returns nil when disabled, and
+	// every cache call site is nil-safe, so the default wiring is
+	// identical to PR 9's.
+	w.viewCache = engine.NewViewCache(w.cfg.RemoteViewCache, w.sm)
+	w.asm.AttachRemote(&remotePlane{
+		set:   set,
+		cache: w.viewCache,
+		pool:  w.ratings.PopularityRanked(),
+	})
 	return nil
 }
 
 // Remote returns the attached worker fleet, or nil in-process.
 func (w *World) Remote() *remote.ShardSet { return w.remote }
 
-// remotePlane adapts the shard-set client to the assembler's
-// data-plane seam.
-type remotePlane struct{ set *remote.ShardSet }
-
-func (p remotePlane) ViewScores(u dataset.UserID) ([]float64, error) {
-	return p.set.ViewScores(u)
+// remotePlane adapts the shard-set client to the assembler's batched
+// data-plane seam, with the router view cache in front of the wire:
+// cached members are served locally, the misses fetch in one
+// worker-batched scatter, and fetched views install back into the
+// cache under the ingest fence taken before the fetch.
+type remotePlane struct {
+	set   *remote.ShardSet
+	cache *engine.ViewCache // nil when Config.RemoteViewCache disabled it
+	pool  []dataset.ItemID  // the popularity pool, for fallback-position reconstruction
 }
 
-func (p remotePlane) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([]float64, error) {
-	return p.set.PredictBatch(u, items)
+func (p *remotePlane) ViewsMulti(group []dataset.UserID) ([]*liststore.View, error) {
+	out := make([]*liststore.View, len(group))
+	var (
+		missUsers []dataset.UserID
+		missIdx   []int
+	)
+	for i, u := range group {
+		if v := p.cache.Get(u); v != nil {
+			out[i] = v
+			continue
+		}
+		missUsers = append(missUsers, u)
+		missIdx = append(missIdx, i)
+	}
+	if len(missUsers) == 0 {
+		return out, nil
+	}
+	// Fence token first, fetch second: if an ingest begins anywhere in
+	// between, the install is rejected and the fetched view serves only
+	// this request — never a post-ingest one.
+	g0 := p.cache.Snapshot()
+	res, err := p.set.ViewScoresMulti(missUsers)
+	if err != nil {
+		return nil, err
+	}
+	for j, r := range res {
+		v := liststore.ViewFromScores(r.Scores)
+		out[missIdx[j]] = v
+		deps, depsKnown := p.reconstructDeps(r)
+		p.cache.TryInstall(missUsers[j], v, deps, depsKnown, g0)
+	}
+	return out, nil
+}
+
+// reconstructDeps rebuilds the worker view's dependency metadata from
+// the wire form: fallback positions are candidate-pool indexes, and
+// the router's pool is bit-identical to the worker's (the fingerprint
+// handshake guarantees it), so pool[pos] recovers the item IDs the
+// scoped sweep matches against. A position outside the pool marks the
+// metadata unusable, never a panic.
+func (p *remotePlane) reconstructDeps(r remote.ViewResult) (cf.RowDeps, bool) {
+	if !r.DepsKnown {
+		return cf.RowDeps{}, false
+	}
+	deps := cf.RowDeps{UsedGlobal: r.UsedGlobal}
+	if n := len(r.FallbackPos); n > 0 {
+		items := make([]dataset.ItemID, n)
+		for k, pos := range r.FallbackPos {
+			if pos < 0 || int(pos) >= len(p.pool) {
+				return cf.RowDeps{}, false
+			}
+			items[k] = p.pool[pos]
+		}
+		deps.FallbackItems = items
+		deps.FallbackPos = append([]int32(nil), r.FallbackPos...)
+	}
+	return deps, true
+}
+
+func (p *remotePlane) PredictBatchMulti(group []dataset.UserID, items []dataset.ItemID) ([][]float64, error) {
+	return p.set.PredictBatchMulti(group, items)
 }
 
 // ShardBackend is the worker process's side of the data plane: a full
@@ -117,6 +193,36 @@ func (b *ShardBackend) ViewScores(u dataset.UserID) ([]float64, error) {
 	return scores, nil
 }
 
+// ViewScoresDeps implements remote.Backend: u's view scores plus the
+// dependency metadata the build recorded — which pool positions fell
+// to the mean-fallback ladder — so the router's view cache can apply
+// the same scoped-invalidation verdicts the worker's own store would.
+// depsKnown is false when the metadata is unavailable (store disabled
+// with a non-deps source, or a snapshot-restored view); such views
+// cache fine but drop on the first ingest sweep.
+func (b *ShardBackend) ViewScoresDeps(u dataset.UserID) ([]float64, cf.RowDeps, bool, error) {
+	if b.w.lists != nil {
+		v, deps, known := b.w.lists.AcquireWithDeps(u)
+		return v.Scores, deps, known, nil
+	}
+	pool := b.w.ratings.PopularityRanked()
+	var (
+		raw  []float64
+		deps cf.RowDeps
+	)
+	ds, known := b.w.source.(cf.DepsSource)
+	if known {
+		raw, deps = ds.PredictBatchDeps(u, pool)
+	} else {
+		raw = b.w.source.PredictBatch(u, pool)
+	}
+	scores := make([]float64, len(raw))
+	for i, v := range raw {
+		scores[i] = v / prefDivisor
+	}
+	return scores, deps, known, nil
+}
+
 // PredictBatch implements remote.Backend: raw (1..5 scale)
 // predictions through the worker's row cache, exactly the values the
 // router's own source would produce.
@@ -126,19 +232,35 @@ func (b *ShardBackend) PredictBatch(u dataset.UserID, items []dataset.ItemID) ([
 
 // Apply implements remote.Backend: ingest one fanned-out rating into
 // the replica — the full AddRating path, scoped invalidation included
-// — and ack with the replica's delta counters. Rejections unwrap to
-// the dataset sentinels, which the transport relays by code.
+// — and ack with the replica's delta counters plus the invalidation
+// outcome: whether the replica swept scoped, and if so which of its
+// cached users went stale. The router merges the relayed verdicts
+// into its own to sweep the remote view cache — the cached views were
+// built here, against this replica's caches, so this replica's stale
+// set (not the router's idle one) is the authoritative reach of the
+// ingest. Rejections unwrap to the dataset sentinels, which the
+// transport relays by code.
 func (b *ShardBackend) Apply(r dataset.Rating) (remote.ApplyAck, error) {
-	if err := b.w.AddRating(r); err != nil {
+	out, err := b.w.addRating(r)
+	if err != nil {
 		return remote.ApplyAck{}, err
 	}
 	ds := b.w.IngestStats()
-	return remote.ApplyAck{
+	ack := remote.ApplyAck{
 		Pending: ds.Pending,
 		Applied: ds.Applied,
 		Folds:   ds.Folds,
 		Folded:  ds.Folded,
-	}, nil
+		Scoped:  out.scoped,
+	}
+	if out.scoped && len(out.stale) > 0 {
+		ack.Stale = make([]dataset.UserID, 0, len(out.stale))
+		for u := range out.stale {
+			ack.Stale = append(ack.Stale, u)
+		}
+		sort.Slice(ack.Stale, func(i, j int) bool { return ack.Stale[i] < ack.Stale[j] })
+	}
+	return ack, nil
 }
 
 // InvalidateUser implements remote.Backend.

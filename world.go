@@ -92,6 +92,16 @@ type Config struct {
 	// identical for every shard count. Capacity budgets (RowCacheSize,
 	// ListStoreSize) are split across the shards.
 	Shards int
+	// RemoteViewCache bounds the router-side cache of views fetched
+	// from shard workers in distributed mode (AttachRemote): a group
+	// assembly whose members' views are cached skips the wire entirely,
+	// and rating ingest sweeps the cache with the same scoped verdicts
+	// the workers apply locally — fenced by the global apply sequence,
+	// so a cached view is always bit-identical to a fresh worker fetch.
+	// 0 (the default) and negative disable the cache; it is router-only
+	// state, excluded from the config fingerprint, and irrelevant
+	// in-process.
+	RemoteViewCache int
 	// FullInvalidation reverts rating ingest to the drop-everything
 	// scheme: every cached neighborhood, prediction row, and sorted
 	// view is discarded on every AddRating, instead of the default
@@ -220,6 +230,10 @@ type World struct {
 	// remoteFanoutMisses counts ingests whose owning worker missed
 	// the fanned-out write and was fenced.
 	remoteFanoutMisses atomic.Uint64
+	// viewCache is the router-side cache of worker-fetched views,
+	// fenced against ingest by its generation seqlock; nil unless
+	// AttachRemote enabled it (Config.RemoteViewCache > 0).
+	viewCache *engine.ViewCache
 }
 
 // NewWorld builds every substrate: ratings (loaded or generated), the
@@ -510,14 +524,42 @@ func (w *World) SetRatingLog(l RatingLog) {
 // apref source, a time-weighted clock advance) fall back to it for the
 // affected caches automatically.
 func (w *World) AddRating(r dataset.Rating) error {
+	_, err := w.addRating(r)
+	return err
+}
+
+// ingestOutcome describes how one applied rating invalidated the
+// world's caches: whether the sweep was dependency-scoped, and if so
+// the stale-user verdicts and the rated item's post-ingest mean (the
+// splice value for retained fallback entries). The distributed layers
+// relay it — workers ack it back to the router, and the router merges
+// local and relayed outcomes to sweep its remote view cache with the
+// exact verdicts the workers applied.
+type ingestOutcome struct {
+	scoped    bool
+	stale     map[dataset.UserID]struct{}
+	patch     float64
+	havePatch bool
+}
+
+// addRating is AddRating plus the ingest outcome — the shared core of
+// the public path and the worker backend's Apply, which acks the
+// outcome back to the router.
+func (w *World) addRating(r dataset.Rating) (ingestOutcome, error) {
 	w.ingestMu.Lock()
 	defer w.ingestMu.Unlock()
-	if err := w.applyRating(r); err != nil {
-		return err
+	// Open the view-cache ingest bracket before any state moves: from
+	// here until End, the generation is odd and no in-flight remote
+	// fetch can install a pre-ingest view. A no-op without the cache.
+	w.viewCache.Begin()
+	defer w.viewCache.End()
+	out, err := w.applyRating(r)
+	if err != nil {
+		return ingestOutcome{}, err
 	}
 	if w.wal != nil {
 		if err := w.wal.Append(r); err != nil {
-			return fmt.Errorf("repro: rating applied but not journaled: %w", err)
+			return ingestOutcome{}, fmt.Errorf("repro: rating applied but not journaled: %w", err)
 		}
 	}
 	// Distributed mode: fan the rating out to every worker replica,
@@ -536,11 +578,40 @@ func (w *World) AddRating(r dataset.Rating) error {
 	// missed owner surfaces at read time, on its fenced shards.
 	if w.remote != nil {
 		w.remoteApplySeq++
-		if _, err := w.remote.Apply(w.remoteApplySeq, r); err != nil {
+		_, scope, ferr := w.remote.Apply(w.remoteApplySeq, r)
+		if ferr != nil {
 			w.remoteFanoutMisses.Add(1)
 		}
+		// Sweep the remote view cache with the merged verdicts. The
+		// cached views were built on the workers, whose neighborhood
+		// caches differ from the router's idle local ones, so the
+		// workers' relayed stale sets — not just the local one — decide
+		// which cached views the ingest reached. Only a fully scoped
+		// outcome (local AND every attempted replica) sweeps scoped;
+		// anything weaker (a full-invalidation verdict anywhere, a
+		// failed delivery, an old-protocol ack) flushes the cache
+		// wholesale. Either way no stale byte can serve: the bracket's
+		// fence already blocks pre-ingest installs.
+		if w.viewCache != nil {
+			if out.scoped && scope.Scoped {
+				stale := out.stale
+				if len(scope.Stale) > 0 {
+					merged := make(map[dataset.UserID]struct{}, len(stale)+len(scope.Stale))
+					for u := range stale {
+						merged[u] = struct{}{}
+					}
+					for _, u := range scope.Stale {
+						merged[u] = struct{}{}
+					}
+					stale = merged
+				}
+				w.viewCache.SweepScoped(stale, r.Item, out.patch, out.havePatch, prefDivisor)
+			} else {
+				w.viewCache.Flush()
+			}
+		}
 	}
-	return nil
+	return out, nil
 }
 
 // RemoteFanoutMisses counts distributed ingests whose owning worker
@@ -549,10 +620,11 @@ func (w *World) RemoteFanoutMisses() uint64 { return w.remoteFanoutMisses.Load()
 
 // applyRating is AddRating without the lock or the journal — the
 // shared core of live ingest and WAL replay (replayed records are
-// already journaled). Caller holds ingestMu.
-func (w *World) applyRating(r dataset.Rating) error {
+// already journaled) — reporting how the sweep scoped. Caller holds
+// ingestMu.
+func (w *World) applyRating(r dataset.Rating) (ingestOutcome, error) {
 	if err := w.ratings.Apply(r); err != nil {
-		return fmt.Errorf("repro: applying rating: %w", err)
+		return ingestOutcome{}, fmt.Errorf("repro: applying rating: %w", err)
 	}
 	// Store first, then predictors (their recomputed means must see the
 	// new rating), then the caches layered over them.
@@ -570,7 +642,7 @@ func (w *World) applyRating(r dataset.Rating) error {
 		if w.lists != nil {
 			w.lists.InvalidateAll()
 		}
-		return nil
+		return ingestOutcome{}, nil
 	}
 
 	// Scoped path. The user-based predictor always updates scoped — it
@@ -608,7 +680,7 @@ func (w *World) applyRating(r dataset.Rating) error {
 		if w.lists != nil {
 			w.lists.InvalidateAll()
 		}
-		return nil
+		return ingestOutcome{}, nil
 	}
 	// The rated item's post-ingest mean is the splice value for
 	// retained entries that fell back to it (always defined: the item
@@ -622,7 +694,7 @@ func (w *World) applyRating(r dataset.Rating) error {
 	if w.lists != nil {
 		w.lists.InvalidateScoped(scope.Stale, r.Item, patch, havePatch)
 	}
-	return nil
+	return ingestOutcome{scoped: true, stale: scope.Stale, patch: patch, havePatch: havePatch}, nil
 }
 
 // ReFreeze folds the store's pending rating deltas into new frozen
@@ -669,14 +741,51 @@ func (w *World) InvalidateUserViews(u dataset.UserID) bool {
 		dropped = true
 	}
 	// Distributed mode: the user's served view lives on its owning
-	// worker; drop it there too. Best-effort — an unreachable owner's
-	// shards fail reads anyway, so there is no stale view to serve.
+	// worker; drop it there too, along with any router-cached copy.
+	// Best-effort — an unreachable owner's shards fail reads anyway, so
+	// there is no stale view to serve.
+	if w.viewCache.Invalidate(u) {
+		dropped = true
+	}
 	if w.remote != nil {
 		if rd, err := w.remote.InvalidateUser(u); err == nil && rd {
 			dropped = true
 		}
 	}
 	return dropped
+}
+
+// RemoteStats is the distributed transport's observability surface
+// for /v1/stats: the shard-set's wire counters plus the router view
+// cache's. Zero-valued in-process (the serving layer reports the
+// section only when a fleet is attached).
+type RemoteStats struct {
+	// Attached reports whether a worker fleet is attached at all.
+	Attached bool `json:"attached"`
+	// Transport counts the shard-set's wire traffic: calls by op,
+	// batched vs single reads, retries, breaker opens, dials vs
+	// connection reuses.
+	Transport remote.TransportStats `json:"transport"`
+	// ViewCacheEnabled reports whether the router view cache is on
+	// (Config.RemoteViewCache > 0); ViewCache is zero when it is not.
+	ViewCacheEnabled bool                  `json:"view_cache_enabled"`
+	ViewCache        engine.ViewCacheStats `json:"view_cache"`
+}
+
+// RemoteStats snapshots the distributed transport counters. The
+// in-process world reports Attached false with every counter (and
+// every calls_by_op key) present at zero, so the JSON shape is
+// identical whether or not a fleet is attached.
+func (w *World) RemoteStats() RemoteStats {
+	if w.remote == nil {
+		return RemoteStats{Transport: remote.EmptyTransportStats()}
+	}
+	return RemoteStats{
+		Attached:         true,
+		Transport:        w.remote.TransportStats(),
+		ViewCacheEnabled: w.viewCache != nil,
+		ViewCache:        w.viewCache.Stats(),
+	}
 }
 
 // CacheStats aggregates the engine's cache counters — the prediction-
